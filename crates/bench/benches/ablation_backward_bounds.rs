@@ -1,0 +1,95 @@
+//! Ablation: Lemma 4's non-preemptive-aware WCBT vs the scheduler-agnostic
+//! Dürr-style baseline.
+//!
+//! Benchmarks the computation cost of both bounds and, once per run,
+//! prints their tightness ratio on a batch of generated chains (the design
+//! choice DESIGN.md calls out: the paper claims Lemma 4 "is more precise
+//! than the results presented in [5]").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disparity_core::backward::wcbt;
+use disparity_core::baseline::baseline_wcbt;
+use disparity_model::chain::Chain;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_sched::schedulability::analyze;
+use disparity_sched::wcrt::ResponseTimes;
+use disparity_workload::chains::schedulable_two_chain_system_scaled;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn sample_chains(len: usize) -> (CauseEffectGraph, Vec<Chain>, ResponseTimes) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let sys = schedulable_two_chain_system_scaled(len, 2, Some(0.5), &mut rng, 200)
+        .expect("generator finds a schedulable system");
+    let rt = analyze(&sys.graph)
+        .expect("schedulable")
+        .into_response_times();
+    let chains = vec![sys.lambda.clone(), sys.nu.clone()];
+    (sys.graph, chains, rt)
+}
+
+fn report_tightness_once() {
+    // Few ECUs -> many same-ECU hops -> Lemma 4's refined cases apply.
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut ratios = Vec::new();
+    for _ in 0..20 {
+        let Ok(sys) = schedulable_two_chain_system_scaled(10, 2, Some(0.5), &mut rng, 200) else {
+            continue;
+        };
+        let rt = analyze(&sys.graph)
+            .expect("schedulable")
+            .into_response_times();
+        for chain in [&sys.lambda, &sys.nu] {
+            let tight = wcbt(&sys.graph, chain, &rt);
+            let loose = baseline_wcbt(&sys.graph, chain, &rt);
+            if loose.is_positive() {
+                ratios.push(tight.as_nanos() as f64 / loose.as_nanos() as f64);
+            }
+        }
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    eprintln!(
+        "[ablation] Lemma 4 WCBT / baseline WCBT over {} chains: mean {:.3} (lower = tighter)",
+        ratios.len(),
+        mean
+    );
+}
+
+fn bench_backward_bounds(c: &mut Criterion) {
+    report_tightness_once();
+    let mut group = c.benchmark_group("ablation/wcbt");
+    for &len in &[5usize, 15, 30] {
+        let (graph, chains, rt) = sample_chains(len);
+        group.bench_with_input(
+            BenchmarkId::new("lemma4", len),
+            &(&graph, &chains, &rt),
+            |b, (graph, chains, rt)| {
+                b.iter(|| {
+                    chains
+                        .iter()
+                        .map(|c| wcbt(black_box(graph), c, rt))
+                        .max()
+                        .expect("non-empty")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline", len),
+            &(&graph, &chains, &rt),
+            |b, (graph, chains, rt)| {
+                b.iter(|| {
+                    chains
+                        .iter()
+                        .map(|c| baseline_wcbt(black_box(graph), c, rt))
+                        .max()
+                        .expect("non-empty")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backward_bounds);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Benchmarks the Fig. 6(a)/(b) analysis pipeline: chain enumeration plus
+//! the P-diff (Theorem 1) and S-diff (Theorem 2) disparity bounds on
+//! WATERS-style random graphs of growing size.
+//!
+//! The paper argues that simulation is "not only unsafe but also time
+//! consuming" compared to analysis; together with `simulation.rs` this
+//! bench quantifies that gap on our implementation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disparity_core::disparity::{worst_case_disparity, AnalysisConfig};
+use disparity_core::pairwise::Method;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_sched::schedulability::analyze;
+use disparity_sched::wcrt::ResponseTimes;
+use disparity_workload::graphgen::{schedulable_random_system, GraphGenConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn prepared_system(n_tasks: usize, seed: u64) -> (CauseEffectGraph, ResponseTimes) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = schedulable_random_system(
+        GraphGenConfig {
+            n_tasks,
+            max_sources: Some(3),
+            target_utilization: Some(0.4),
+            ..Default::default()
+        },
+        &mut rng,
+        200,
+    )
+    .expect("generator finds a schedulable system");
+    let rt = analyze(&graph).expect("schedulable").into_response_times();
+    (graph, rt)
+}
+
+fn bench_disparity_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6ab/disparity_analysis");
+    for &n in &[10usize, 20, 35] {
+        let (graph, rt) = prepared_system(n, 42);
+        let sink = graph.sinks()[0];
+        for (label, method) in [
+            ("p_diff", Method::Independent),
+            ("s_diff", Method::ForkJoin),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(&graph, &rt),
+                |b, (graph, rt)| {
+                    b.iter(|| {
+                        worst_case_disparity(
+                            black_box(graph),
+                            sink,
+                            rt,
+                            AnalysisConfig {
+                                method,
+                                chain_limit: 8192,
+                            },
+                        )
+                        .expect("analysis succeeds")
+                        .bound
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_chain_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6ab/chain_enumeration");
+    for &n in &[10usize, 20, 35] {
+        let (graph, _) = prepared_system(n, 42);
+        let sink = graph.sinks()[0];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            b.iter(|| {
+                graph
+                    .chains_to(black_box(sink), 8192)
+                    .expect("within limit")
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_response_time_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6ab/response_times");
+    for &n in &[10usize, 20, 35] {
+        let (graph, _) = prepared_system(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            b.iter(|| {
+                analyze(black_box(graph))
+                    .expect("schedulable")
+                    .all_schedulable()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_disparity_analysis,
+    bench_chain_enumeration,
+    bench_response_time_analysis
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Benchmarks the Fig. 6(c)/(d) machinery: the Theorem 2 pairwise bound,
+//! Algorithm 1's buffer design and the greedy multi-pair optimizer on
+//! merged two-chain systems of growing length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disparity_core::buffering::{design_buffer, optimize_task};
+use disparity_core::disparity::AnalysisConfig;
+use disparity_core::pairwise::theorem2_bound;
+use disparity_sched::schedulability::analyze;
+use disparity_sched::wcrt::ResponseTimes;
+use disparity_workload::chains::{schedulable_two_chain_system, TwoChainSystem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn prepared(len: usize, seed: u64) -> (TwoChainSystem, ResponseTimes) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sys = schedulable_two_chain_system(len, 4, &mut rng, 200)
+        .expect("generator finds a schedulable system");
+    let rt = analyze(&sys.graph)
+        .expect("schedulable")
+        .into_response_times();
+    (sys, rt)
+}
+
+fn bench_theorem2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6cd/theorem2_pairwise");
+    for &len in &[5usize, 15, 30] {
+        let (sys, rt) = prepared(len, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(len),
+            &(&sys, &rt),
+            |b, (sys, rt)| {
+                b.iter(|| {
+                    theorem2_bound(black_box(&sys.graph), &sys.lambda, &sys.nu, rt)
+                        .expect("pairwise analysis succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6cd/algorithm1_buffer_design");
+    for &len in &[5usize, 15, 30] {
+        let (sys, rt) = prepared(len, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(len),
+            &(&sys, &rt),
+            |b, (sys, rt)| {
+                b.iter(|| {
+                    design_buffer(black_box(&sys.graph), &sys.lambda, &sys.nu, rt)
+                        .expect("buffer design succeeds")
+                        .capacity
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_greedy_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6cd/greedy_optimizer");
+    group.sample_size(20);
+    for &len in &[5usize, 15] {
+        let (sys, _) = prepared(len, 7);
+        let sink = sys.sink();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &sys, |b, sys| {
+            b.iter(|| {
+                optimize_task(black_box(&sys.graph), sink, AnalysisConfig::default(), 4)
+                    .expect("optimization succeeds")
+                    .final_bound()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_theorem2,
+    bench_algorithm1,
+    bench_greedy_optimizer
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Benchmarks the Logical Execution Time extension: LET backward bounds
+//! and LET disparity analysis vs their implicit-communication
+//! counterparts (the LET path needs no response-time analysis at all).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disparity_core::disparity::{worst_case_disparity, AnalysisConfig};
+use disparity_core::letmodel::{let_backward_bounds, let_worst_case_disparity};
+use disparity_core::pairwise::Method;
+use disparity_sched::schedulability::analyze;
+use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_let_vs_implicit_disparity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("let/task_disparity");
+    for &n in &[12usize, 24] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = FunnelConfig::with_approximate_size(n);
+        let graph =
+            schedulable_funnel_system(&cfg, &mut rng, 200).expect("generator succeeds");
+        let sink = graph.sinks()[0];
+        let rt = analyze(&graph).expect("schedulable").into_response_times();
+        group.bench_with_input(BenchmarkId::new("implicit", n), &graph, |b, graph| {
+            b.iter(|| {
+                worst_case_disparity(
+                    black_box(graph),
+                    sink,
+                    &rt,
+                    AnalysisConfig::default(),
+                )
+                .expect("analysis succeeds")
+                .bound
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("let", n), &graph, |b, graph| {
+            b.iter(|| {
+                let_worst_case_disparity(black_box(graph), sink, Method::ForkJoin, 4096)
+                    .expect("analysis succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_let_backward_bounds(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let graph = schedulable_funnel_system(&FunnelConfig::with_approximate_size(20), &mut rng, 200)
+        .expect("generator succeeds");
+    let sink = graph.sinks()[0];
+    let chains = graph.chains_to(sink, 4096).expect("enumerable");
+    c.bench_function("let/backward_bounds_per_chain_set", |b| {
+        b.iter(|| {
+            chains
+                .iter()
+                .map(|chain| let_backward_bounds(black_box(&graph), chain).wcbt)
+                .max()
+                .expect("non-empty")
+        })
+    });
+}
+
+criterion_group!(benches, bench_let_vs_implicit_disparity, bench_let_backward_bounds);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Benchmarks the discrete-event simulator: events per wall-clock second
+//! across graph sizes, trace recording overhead, and FIFO channels.
+//!
+//! Read together with `fig6ab_analysis.rs`, this substantiates the paper's
+//! remark that simulation-based estimation is orders of magnitude more
+//! expensive than the analytical bounds (while also being unsafe).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::time::Duration;
+use disparity_sim::engine::{SimConfig, Simulator};
+use disparity_sim::exec::ExecutionTimeModel;
+use disparity_workload::graphgen::{schedulable_random_system, GraphGenConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn prepared_system(n_tasks: usize) -> CauseEffectGraph {
+    let mut rng = StdRng::seed_from_u64(11);
+    schedulable_random_system(
+        GraphGenConfig {
+            n_tasks,
+            max_sources: Some(3),
+            target_utilization: Some(0.4),
+            ..Default::default()
+        },
+        &mut rng,
+        200,
+    )
+    .expect("generator finds a schedulable system")
+}
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation/one_second_horizon");
+    group.sample_size(20);
+    for &n in &[10usize, 20, 35] {
+        let graph = prepared_system(n);
+        let sink = graph.sinks()[0];
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            b.iter(|| {
+                let sim = Simulator::new(
+                    black_box(graph),
+                    SimConfig {
+                        horizon: Duration::from_secs(1),
+                        exec_model: ExecutionTimeModel::Uniform,
+                        seed: 3,
+                        ..Default::default()
+                    },
+                );
+                sim.run()
+                    .expect("valid simulation")
+                    .metrics
+                    .max_disparity(sink)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_recording_overhead(c: &mut Criterion) {
+    let graph = prepared_system(20);
+    let mut group = c.benchmark_group("simulation/trace_overhead");
+    group.sample_size(20);
+    for (label, record) in [("streaming", false), ("with_trace", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let sim = Simulator::new(
+                    &graph,
+                    SimConfig {
+                        horizon: Duration::from_secs(1),
+                        record_trace: record,
+                        seed: 3,
+                        ..Default::default()
+                    },
+                );
+                sim.run().expect("valid simulation").metrics.chain_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fifo_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation/fifo_capacity");
+    group.sample_size(20);
+    for &capacity in &[1usize, 4, 16] {
+        let mut graph = prepared_system(20);
+        let ids: Vec<_> = graph.channels().iter().map(|ch| ch.id()).collect();
+        for id in ids {
+            graph
+                .set_channel_capacity(id, capacity)
+                .expect("valid capacity");
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(capacity), &graph, |b, graph| {
+            b.iter(|| {
+                let sim = Simulator::new(
+                    black_box(graph),
+                    SimConfig {
+                        horizon: Duration::from_secs(1),
+                        seed: 3,
+                        ..Default::default()
+                    },
+                );
+                sim.run().expect("valid simulation").metrics.chain_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulation_throughput,
+    bench_trace_recording_overhead,
+    bench_fifo_capacity
+);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Criterion benchmark crate for the `time-disparity` workspace.
+//!
+//! All content lives in `benches/`:
+//!
+//! * `fig6ab_analysis` — disparity analysis, chain enumeration, WCRT.
+//! * `fig6cd_optimization` — Theorem 2, Algorithm 1, greedy optimizer.
+//! * `simulation` — simulator throughput, trace overhead, FIFO cost.
+//! * `ablation_backward_bounds` — Lemma 4 vs the scheduler-agnostic
+//!   baseline, cost and tightness.
+//!
+//! Run with `cargo bench -p disparity-bench`.

@@ -1,0 +1,315 @@
+//! Backward-time bounds of a chain (Lemmas 4, 5 and 6 of the paper).
+//!
+//! The *backward time* of the immediate backward job chain `π̄` ending at a
+//! job of the tail task is `len(π̄) = r(π̄^{|π|}) − r(π̄^1)` — how far back
+//! in time the output's source was sampled. This module bounds it under
+//! non-preemptive fixed-priority scheduling:
+//!
+//! * **Lemma 4** (upper bound, WCBT): `W(π) = Σ_{i<|π|} θ_i` where
+//!   `θ_i = T(π^i) + R(π^i)` across ECUs,
+//!   `θ_i = T(π^i)` on the same ECU if `π^i ∈ hp(π^{i+1})`, and
+//!   `θ_i = T(π^i) + R(π^i) − (W(π^i) + B(π^{i+1}))` otherwise.
+//! * **Lemma 5** (lower bound, BCBT): `B(π) = Σ_i B(π^i) − R(π^{|π|})`,
+//!   which may legitimately be negative.
+//! * **Lemma 6** (FIFO buffers): a channel of capacity `n` kept full in the
+//!   long term delays the consumed token by `(n−1)` producer periods, so
+//!   both bounds shift by `+(n−1)·T(producer)`.
+//!
+//! Lemma 6 in the paper is stated for the input channel of `π²`; the same
+//! peek-the-oldest argument applies verbatim to any edge of the chain, so
+//! [`backward_bounds`] applies the shift for *every* buffered channel it
+//! crosses (a register, capacity 1, contributes nothing).
+
+use disparity_model::chain::Chain;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::time::Duration;
+use disparity_sched::wcrt::ResponseTimes;
+
+/// Upper and lower bounds on the backward time of one chain.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::prelude::*;
+/// use disparity_sched::wcrt::response_times;
+/// use disparity_core::backward::backward_bounds;
+///
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("e");
+/// let ms = Duration::from_millis;
+/// let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+/// let t = b.add_task(TaskSpec::periodic("t", ms(10)).execution(ms(1), ms(2)).on_ecu(ecu));
+/// b.connect(s, t);
+/// let g = b.build()?;
+/// let rt = response_times(&g)?;
+/// let chain = Chain::new(&g, vec![s, t])?;
+/// let bounds = backward_bounds(&g, &chain, &rt);
+/// // Cross-"ECU" (s is an off-CPU stimulus): θ = T(s) + R(s) = 10ms.
+/// assert_eq!(bounds.wcbt, ms(10));
+/// // B = 0 + 1 − R(t) = 1 − 2 = −1ms.
+/// assert_eq!(bounds.bcbt, ms(-1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BackwardBounds {
+    /// Upper bound `W(π)` on the worst-case backward time.
+    pub wcbt: Duration,
+    /// Lower bound `B(π)` on the best-case backward time (may be negative).
+    pub bcbt: Duration,
+}
+
+impl BackwardBounds {
+    /// Bounds of a trivial (single-task) chain: the backward job chain is
+    /// the job itself, except that Lemma 5 still subtracts the tail's
+    /// response time.
+    #[must_use]
+    pub fn trivial() -> Self {
+        BackwardBounds {
+            wcbt: Duration::ZERO,
+            bcbt: Duration::ZERO,
+        }
+    }
+
+    /// Shifts both bounds by the same amount (the Lemma 6 buffer shift).
+    #[must_use]
+    pub fn shifted(self, by: Duration) -> Self {
+        BackwardBounds {
+            wcbt: self.wcbt + by,
+            bcbt: self.bcbt + by,
+        }
+    }
+
+    /// Width `W(π) − B(π)` of the backward-time interval.
+    #[must_use]
+    pub fn width(self) -> Duration {
+        self.wcbt - self.bcbt
+    }
+}
+
+/// The per-hop bound `θ_i` of Lemma 4 for the edge `π^i → π^{i+1}`,
+/// including the Lemma 6 shift `(n−1)·T(π^i)` when the connecting channel
+/// is a FIFO of capacity `n > 1`.
+///
+/// # Panics
+///
+/// Panics if `(from, to)` is not an edge of `graph`.
+#[must_use]
+pub fn hop_bound(
+    graph: &CauseEffectGraph,
+    from: disparity_model::ids::TaskId,
+    to: disparity_model::ids::TaskId,
+    rt: &ResponseTimes,
+) -> Duration {
+    let producer = graph.task(from);
+    let consumer = graph.task(to);
+    let channel = graph
+        .channel_between(from, to)
+        .unwrap_or_else(|| panic!("{from} -> {to} is not an edge"));
+    let base = if !graph.same_ecu(from, to) {
+        producer.period() + rt.wcrt(from)
+    } else if graph.in_hp(from, to) {
+        producer.period()
+    } else {
+        producer.period() + rt.wcrt(from) - (producer.wcet() + consumer.bcet())
+    };
+    base + buffer_shift(channel.capacity(), producer.period())
+}
+
+/// Upper bound on the worst-case backward time of `chain` (Lemma 4 + the
+/// Lemma 6 buffer shift on every buffered channel).
+///
+/// # Panics
+///
+/// Panics if `chain` is not a path of `graph` or `rt` was computed for a
+/// different graph.
+#[must_use]
+pub fn wcbt(graph: &CauseEffectGraph, chain: &Chain, rt: &ResponseTimes) -> Duration {
+    chain.edges().map(|(a, b)| hop_bound(graph, a, b, rt)).sum()
+}
+
+/// Lower bound on the best-case backward time of `chain` (Lemma 5 + the
+/// Lemma 6 buffer shift on every buffered channel).
+///
+/// May be negative: the source job of an immediate backward job chain can
+/// be released *after* the output job when response times are large.
+///
+/// # Panics
+///
+/// Panics if `chain` is not a path of `graph` or `rt` was computed for a
+/// different graph.
+#[must_use]
+pub fn bcbt(graph: &CauseEffectGraph, chain: &Chain, rt: &ResponseTimes) -> Duration {
+    let exec_sum: Duration = chain.tasks().iter().map(|&t| graph.task(t).bcet()).sum();
+    let shift: Duration = chain
+        .edges()
+        .map(|(a, b)| {
+            let ch = graph
+                .channel_between(a, b)
+                .unwrap_or_else(|| panic!("{a} -> {b} is not an edge"));
+            buffer_shift(ch.capacity(), graph.task(a).period())
+        })
+        .sum();
+    exec_sum - rt.wcrt(chain.tail()) + shift
+}
+
+/// Both backward-time bounds of a chain.
+///
+/// # Panics
+///
+/// Panics if `chain` is not a path of `graph` or `rt` was computed for a
+/// different graph.
+#[must_use]
+pub fn backward_bounds(
+    graph: &CauseEffectGraph,
+    chain: &Chain,
+    rt: &ResponseTimes,
+) -> BackwardBounds {
+    BackwardBounds {
+        wcbt: wcbt(graph, chain, rt),
+        bcbt: bcbt(graph, chain, rt),
+    }
+}
+
+/// The Lemma 6 shift contributed by a channel of the given capacity whose
+/// producer has period `producer_period`: `(n−1)·T`.
+#[must_use]
+pub fn buffer_shift(capacity: usize, producer_period: Duration) -> Duration {
+    debug_assert!(capacity >= 1);
+    producer_period * (capacity as i64 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::ids::Priority;
+    use disparity_model::task::TaskSpec;
+    use disparity_sched::wcrt::response_times;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    /// s -> a -> b with a, b on the same ECU.
+    fn line(prio_a: u32, prio_b: u32) -> (CauseEffectGraph, ResponseTimes, Chain) {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let a = b.add_task(
+            TaskSpec::periodic("a", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e)
+                .priority(Priority::new(prio_a)),
+        );
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(20))
+                .execution(ms(3), ms(4))
+                .on_ecu(e)
+                .priority(Priority::new(prio_b)),
+        );
+        b.connect(s, a);
+        b.connect(a, t);
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        let chain = Chain::new(&g, vec![s, a, t]).unwrap();
+        (g, rt, chain)
+    }
+
+    use disparity_model::graph::CauseEffectGraph;
+
+    #[test]
+    fn wcbt_same_ecu_hp_case() {
+        // a ∈ hp(t): θ(a→t) = T(a) = 10.
+        let (g, rt, chain) = line(0, 1);
+        // θ(s→a): different "ECU" (s unmapped): T(s) + R(s) = 10 + 0.
+        assert_eq!(wcbt(&g, &chain, &rt), ms(10) + ms(10));
+    }
+
+    #[test]
+    fn wcbt_same_ecu_lp_case() {
+        // a ∉ hp(t): θ(a→t) = T(a) + R(a) − (W(a) + B(t)).
+        let (g, rt, chain) = line(1, 0);
+        let r_a = rt.wcrt(g.find_task("a").unwrap());
+        let expected = ms(10) + (ms(10) + r_a - (ms(2) + ms(3)));
+        assert_eq!(wcbt(&g, &chain, &rt), expected);
+    }
+
+    #[test]
+    fn bcbt_subtracts_tail_response() {
+        let (g, rt, chain) = line(0, 1);
+        let r_t = rt.wcrt(g.find_task("t").unwrap());
+        assert_eq!(bcbt(&g, &chain, &rt), ms(0) + ms(1) + ms(3) - r_t);
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        for (pa, pb) in [(0, 1), (1, 0)] {
+            let (g, rt, chain) = line(pa, pb);
+            let b = backward_bounds(&g, &chain, &rt);
+            assert!(b.bcbt <= b.wcbt, "{:?}", b);
+            assert!(!b.width().is_negative());
+        }
+    }
+
+    #[test]
+    fn trivial_chain_has_zero_wcbt() {
+        let (g, rt, _) = line(0, 1);
+        let s = g.find_task("s").unwrap();
+        let c = Chain::new(&g, vec![s]).unwrap();
+        assert_eq!(wcbt(&g, &c, &rt), Duration::ZERO);
+        assert_eq!(BackwardBounds::trivial().wcbt, Duration::ZERO);
+    }
+
+    #[test]
+    fn buffer_shift_applies_lemma6() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        b.connect_with_capacity(s, t, 3); // n = 3 -> shift 2 * 10ms
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        let c = Chain::new(&g, vec![s, t]).unwrap();
+        let bounds = backward_bounds(&g, &c, &rt);
+        assert_eq!(bounds.wcbt, ms(10) + ms(20));
+        assert_eq!(bounds.bcbt, ms(1) - ms(2) + ms(20));
+    }
+
+    #[test]
+    fn shifted_moves_both_bounds() {
+        let b = BackwardBounds {
+            wcbt: ms(5),
+            bcbt: ms(-1),
+        };
+        let s = b.shifted(ms(10));
+        assert_eq!(s.wcbt, ms(15));
+        assert_eq!(s.bcbt, ms(9));
+        assert_eq!(s.width(), b.width());
+    }
+
+    #[test]
+    fn cross_ecu_uses_t_plus_r() {
+        let mut b = SystemBuilder::new();
+        let e0 = b.add_ecu("e0");
+        let e1 = b.add_ecu("e1");
+        let a = b.add_task(
+            TaskSpec::periodic("a", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e0),
+        );
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(20))
+                .execution(ms(3), ms(4))
+                .on_ecu(e1),
+        );
+        b.connect(a, t);
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        let c = Chain::new(&g, vec![a, t]).unwrap();
+        assert_eq!(wcbt(&g, &c, &rt), ms(10) + rt.wcrt(a));
+    }
+}

@@ -1,0 +1,150 @@
+//! Scheduler-agnostic baseline backward-time bounds (Dürr et al. style).
+//!
+//! The paper compares its Lemma 4 against the sporadic cause-effect-chain
+//! bounds of Dürr et al. (TECS 2019), which hold *regardless of the applied
+//! scheduling algorithm*: between consecutive jobs of an immediate backward
+//! job chain at most one period plus one response time of the producer can
+//! elapse, so
+//!
+//! `W_base(π) = Σ_{i<|π|} (T(π^i) + R(π^i))`.
+//!
+//! Lemma 4 refines the same-ECU hops; the difference is what the
+//! `ablation_backward_bounds` bench measures. For the lower bound the
+//! baseline keeps Lemma 5 (the paper applies Dürr et al. "with a slight
+//! modification" and gives no separate best case).
+
+use disparity_model::chain::Chain;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::time::Duration;
+use disparity_sched::wcrt::ResponseTimes;
+
+use crate::backward::{bcbt, buffer_shift, BackwardBounds};
+
+/// Scheduler-agnostic upper bound on the worst-case backward time:
+/// `Σ (T(π^i) + R(π^i))` over the chain's producers, plus the Lemma 6
+/// shift for buffered channels.
+///
+/// Always at least as large as [`crate::backward::wcbt`].
+///
+/// # Panics
+///
+/// Panics if `chain` is not a path of `graph`.
+#[must_use]
+pub fn baseline_wcbt(graph: &CauseEffectGraph, chain: &Chain, rt: &ResponseTimes) -> Duration {
+    chain
+        .edges()
+        .map(|(a, b)| {
+            let producer = graph.task(a);
+            let ch = graph
+                .channel_between(a, b)
+                .unwrap_or_else(|| panic!("{a} -> {b} is not an edge"));
+            producer.period() + rt.wcrt(a) + buffer_shift(ch.capacity(), producer.period())
+        })
+        .sum()
+}
+
+/// Baseline bounds pair: scheduler-agnostic WCBT, Lemma 5 BCBT.
+///
+/// # Panics
+///
+/// Panics if `chain` is not a path of `graph`.
+#[must_use]
+pub fn baseline_bounds(
+    graph: &CauseEffectGraph,
+    chain: &Chain,
+    rt: &ResponseTimes,
+) -> BackwardBounds {
+    BackwardBounds {
+        wcbt: baseline_wcbt(graph, chain, rt),
+        bcbt: bcbt(graph, chain, rt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backward::wcbt;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::ids::Priority;
+    use disparity_model::task::TaskSpec;
+    use disparity_sched::wcrt::response_times;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn baseline_dominates_lemma4_on_same_ecu_chains() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let a = b.add_task(
+            TaskSpec::periodic("a", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e)
+                .priority(Priority::new(0)),
+        );
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(20))
+                .execution(ms(2), ms(5))
+                .on_ecu(e)
+                .priority(Priority::new(1)),
+        );
+        b.connect(s, a);
+        b.connect(a, t);
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        let chain = Chain::new(&g, vec![s, a, t]).unwrap();
+        let tight = wcbt(&g, &chain, &rt);
+        let loose = baseline_wcbt(&g, &chain, &rt);
+        assert!(
+            loose > tight,
+            "baseline {loose} should exceed Lemma 4 {tight}"
+        );
+        // Baseline: (T(s)+R(s)) + (T(a)+R(a)) = 10 + (10 + 7) = 27ms
+        // (R(a) = 2 + blocking 5 = 7).
+        assert_eq!(loose, ms(27));
+        // Lemma 4: 10 + T(a) = 20ms (a ∈ hp(t)).
+        assert_eq!(tight, ms(20));
+    }
+
+    #[test]
+    fn baseline_equals_lemma4_on_cross_ecu_chains() {
+        let mut b = SystemBuilder::new();
+        let e0 = b.add_ecu("e0");
+        let e1 = b.add_ecu("e1");
+        let a = b.add_task(
+            TaskSpec::periodic("a", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e0),
+        );
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(20))
+                .execution(ms(2), ms(5))
+                .on_ecu(e1),
+        );
+        b.connect(a, t);
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        let chain = Chain::new(&g, vec![a, t]).unwrap();
+        assert_eq!(baseline_wcbt(&g, &chain, &rt), wcbt(&g, &chain, &rt));
+    }
+
+    #[test]
+    fn baseline_bounds_share_the_lower_bound() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        b.connect(s, t);
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        let chain = Chain::new(&g, vec![s, t]).unwrap();
+        let base = baseline_bounds(&g, &chain, &rt);
+        assert_eq!(base.bcbt, crate::backward::bcbt(&g, &chain, &rt));
+    }
+}

@@ -1,0 +1,495 @@
+//! Buffer-size optimization (§IV: Algorithm 1, Lemma 6, Theorem 3).
+//!
+//! Raising a task's frequency does **not** reduce time disparity — the
+//! worst case is governed by the WCBT of one chain against the BCBT of the
+//! other (the paper's Fig. 4 counterexample). What does work is *delaying*
+//! the fresher chain: giving the source's output channel a FIFO of capacity
+//! `n` shifts that chain's sampling window left by `L = (n−1)·T(source)`
+//! (Lemma 6), moving the two windows closer together.
+//!
+//! Algorithm 1 picks `n` so the window *midpoints* align as well as whole
+//! source periods allow; Theorem 3 then lowers the pairwise disparity bound
+//! by exactly `L`.
+
+use disparity_model::chain::Chain;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::{ChannelId, TaskId};
+use disparity_model::time::Duration;
+use disparity_sched::schedulability::analyze;
+use disparity_sched::wcrt::ResponseTimes;
+
+use crate::disparity::{worst_case_disparity, AnalysisConfig, DisparityReport};
+use crate::error::AnalysisError;
+use crate::pairwise::{decompose, theorem2_bound};
+
+/// Which chain of the analyzed pair receives the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferedSide {
+    /// The buffer goes on `λ²`'s input channel.
+    Lambda,
+    /// The buffer goes on `ν²`'s input channel.
+    Nu,
+}
+
+/// The outcome of Algorithm 1 for one pair of chains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferPlan {
+    /// Which chain is delayed.
+    pub side: BufferedSide,
+    /// The channel to resize: from the chosen chain's source to its second
+    /// task.
+    pub channel: ChannelId,
+    /// The designed FIFO capacity `⌊(M_hi − M_lo)/T⌋ + 1`.
+    pub capacity: usize,
+    /// The window shift `L = (capacity − 1)·T(source)`.
+    pub shift: Duration,
+    /// The Theorem 2 bound before buffering.
+    pub bound_before: Duration,
+    /// The Theorem 3 bound after buffering (`bound_before − L`).
+    pub bound_after: Duration,
+}
+
+impl BufferPlan {
+    /// Applies the plan to a graph by resizing the planned channel.
+    ///
+    /// Idempotent: applying twice sets the same capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`disparity_model::error::ModelError`] if the channel id
+    /// is foreign to `graph`.
+    pub fn apply(&self, graph: &mut CauseEffectGraph) -> Result<(), AnalysisError> {
+        graph.set_channel_capacity(self.channel, self.capacity)?;
+        Ok(())
+    }
+}
+
+/// Algorithm 1: designs the buffer size aligning the sampling windows of
+/// two chains that end at the same task, and states the Theorem 3 bound.
+///
+/// # Errors
+///
+/// * Validation errors of the pairwise analysis
+///   (identical chains / tail mismatch / non-source head).
+/// * [`AnalysisError::ChainTooShort`] if the chosen chain has no second
+///   task whose input channel could be buffered. The paper implicitly
+///   assumes `|π| ≥ 2`; a trivial chain's "source" is the analyzed task
+///   itself.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::prelude::*;
+/// use disparity_sched::wcrt::response_times;
+/// use disparity_core::buffering::design_buffer;
+///
+/// // A fast camera chain and a slow lidar chain joined at a fusion task.
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("e");
+/// let ms = Duration::from_millis;
+/// let cam = b.add_task(TaskSpec::periodic("cam", ms(10)));
+/// let lidar = b.add_task(TaskSpec::periodic("lidar", ms(100)));
+/// let f1 = b.add_task(TaskSpec::periodic("f1", ms(10)).execution(ms(1), ms(1)).on_ecu(ecu));
+/// let f2 = b.add_task(TaskSpec::periodic("f2", ms(100)).execution(ms(2), ms(4)).on_ecu(ecu));
+/// let fuse = b.add_task(TaskSpec::periodic("fuse", ms(100)).execution(ms(1), ms(2)).on_ecu(ecu));
+/// b.connect(cam, f1);
+/// b.connect(lidar, f2);
+/// b.connect(f1, fuse);
+/// b.connect(f2, fuse);
+/// let g = b.build()?;
+/// let rt = response_times(&g)?;
+/// let lam = Chain::new(&g, vec![cam, f1, fuse])?;
+/// let nu = Chain::new(&g, vec![lidar, f2, fuse])?;
+/// let plan = design_buffer(&g, &lam, &nu, &rt)?;
+/// assert!(plan.bound_after <= plan.bound_before);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn design_buffer(
+    graph: &CauseEffectGraph,
+    lambda: &Chain,
+    nu: &Chain,
+    rt: &ResponseTimes,
+) -> Result<BufferPlan, AnalysisError> {
+    let d = decompose(graph, lambda, nu, rt)?;
+    let w_lambda = d.lambda_source_window();
+    let w_nu = d.nu_source_window(graph);
+    let (side, chain, gap) = if w_lambda.midpoint() >= w_nu.midpoint() {
+        (
+            BufferedSide::Lambda,
+            lambda,
+            w_lambda.midpoint() - w_nu.midpoint(),
+        )
+    } else {
+        (BufferedSide::Nu, nu, w_nu.midpoint() - w_lambda.midpoint())
+    };
+    let second = chain.get(1).ok_or(AnalysisError::ChainTooShort {
+        chain_tail: chain.tail(),
+    })?;
+    let source_period = graph.task(chain.head()).period();
+    let steps = gap.div_floor(source_period);
+    debug_assert!(steps >= 0, "midpoint gap is non-negative by construction");
+    let shift = source_period * steps;
+    let channel = graph
+        .channel_between(chain.head(), second)
+        .expect("consecutive chain tasks are connected")
+        .id();
+    let bound_before = theorem2_bound(graph, lambda, nu, rt)?;
+    Ok(BufferPlan {
+        side,
+        channel,
+        capacity: steps as usize + 1,
+        shift,
+        bound_before,
+        bound_after: bound_before - shift,
+    })
+}
+
+/// One round of the greedy multi-pair optimization.
+#[derive(Debug, Clone)]
+pub struct OptimizationStep {
+    /// The plan applied in this round.
+    pub plan: BufferPlan,
+    /// The task's overall disparity bound after applying it.
+    pub bound_after_step: Duration,
+}
+
+/// Result of [`optimize_task`].
+#[derive(Debug, Clone)]
+pub struct OptimizationOutcome {
+    /// The graph with all designed buffers applied.
+    pub graph: CauseEffectGraph,
+    /// The disparity bound before any buffering.
+    pub initial_bound: Duration,
+    /// The per-round plans, in application order.
+    pub steps: Vec<OptimizationStep>,
+    /// The final disparity report on the buffered graph.
+    pub final_report: DisparityReport,
+}
+
+impl OptimizationOutcome {
+    /// The final overall bound.
+    #[must_use]
+    pub fn final_bound(&self) -> Duration {
+        self.final_report.bound
+    }
+
+    /// Total improvement `initial − final` (never negative).
+    #[must_use]
+    pub fn improvement(&self) -> Duration {
+        (self.initial_bound - self.final_report.bound).max_zero()
+    }
+}
+
+/// Greedy extension of Algorithm 1 to tasks fused from **more than two**
+/// chains (the paper's evaluation only buffers a single pair, §V).
+///
+/// Each round re-analyzes the task, picks the critical pair, designs its
+/// buffer, and applies it if it strictly improves the overall bound; stops
+/// after `max_rounds` rounds or at a fixpoint.
+///
+/// Buffering changes no task parameter, so response times stay valid across
+/// rounds; they are still recomputed per round for clarity of invariants.
+///
+/// # Errors
+///
+/// Propagates analysis and scheduling errors; `Unschedulable` if the system
+/// violates the paper's standing assumption.
+pub fn optimize_task(
+    graph: &CauseEffectGraph,
+    task: TaskId,
+    config: AnalysisConfig,
+    max_rounds: usize,
+) -> Result<OptimizationOutcome, AnalysisError> {
+    let mut current = graph.clone();
+    let sched = analyze(&current)?;
+    if !sched.all_schedulable() {
+        return Err(AnalysisError::Unschedulable {
+            violations: sched.violations(),
+        });
+    }
+    let rt = sched.into_response_times();
+    let mut report = worst_case_disparity(&current, task, &rt, config)?;
+    let initial_bound = report.bound;
+    let mut steps = Vec::new();
+
+    for _ in 0..max_rounds {
+        let Some(critical) = report.critical_pair() else {
+            break;
+        };
+        if critical.bound.is_zero() {
+            break;
+        }
+        let lambda = &report.chains[critical.lambda];
+        let nu = &report.chains[critical.nu];
+        let (lam_t, nu_t) = lambda
+            .truncate_to_last_joint(nu)
+            .expect("chains ending at the same task share a suffix");
+        let plan = match design_buffer(&current, &lam_t, &nu_t, &rt) {
+            Ok(p) => p,
+            // A trivial critical chain cannot be buffered; stop greedily.
+            Err(AnalysisError::ChainTooShort { .. }) => break,
+            Err(e) => return Err(e),
+        };
+        if plan.shift.is_zero() {
+            break; // windows already aligned within one source period
+        }
+        let mut candidate = current.clone();
+        plan.apply(&mut candidate)?;
+        let candidate_report = worst_case_disparity(&candidate, task, &rt, config)?;
+        if candidate_report.bound >= report.bound {
+            break; // no strict improvement; greedy fixpoint
+        }
+        current = candidate;
+        report = candidate_report;
+        steps.push(OptimizationStep {
+            plan,
+            bound_after_step: report.bound,
+        });
+    }
+
+    Ok(OptimizationOutcome {
+        graph: current,
+        initial_bound,
+        steps,
+        final_report: report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::task::TaskSpec;
+    use disparity_sched::wcrt::response_times;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    /// Fig. 4-style system: a fast camera path and a slow path fused at τ5.
+    fn fig4() -> (CauseEffectGraph, [TaskId; 5]) {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let t1 = b.add_task(TaskSpec::periodic("t1", ms(10)));
+        let t2 = b.add_task(TaskSpec::periodic("t2", ms(30)));
+        let t3 = b.add_task(
+            TaskSpec::periodic("t3", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        let t4 = b.add_task(
+            TaskSpec::periodic("t4", ms(30))
+                .execution(ms(2), ms(5))
+                .on_ecu(e),
+        );
+        let t5 = b.add_task(
+            TaskSpec::periodic("t5", ms(30))
+                .execution(ms(2), ms(4))
+                .on_ecu(e),
+        );
+        b.connect(t1, t3);
+        b.connect(t2, t4);
+        b.connect(t3, t5);
+        b.connect(t4, t5);
+        (b.build().unwrap(), [t1, t2, t3, t4, t5])
+    }
+
+    #[test]
+    fn plan_reduces_theorem_bound() {
+        let (g, [t1, t2, t3, t4, t5]) = fig4();
+        let rt = response_times(&g).unwrap();
+        let lam = Chain::new(&g, vec![t1, t3, t5]).unwrap();
+        let nu = Chain::new(&g, vec![t2, t4, t5]).unwrap();
+        let plan = design_buffer(&g, &lam, &nu, &rt).unwrap();
+        assert!(plan.capacity >= 1);
+        assert_eq!(
+            plan.shift,
+            graphs_period(&g, &plan) * (plan.capacity as i64 - 1)
+        );
+        assert_eq!(plan.bound_after, plan.bound_before - plan.shift);
+        // The fast chain (through 10ms t1) is the fresher one -> buffered.
+        assert_eq!(plan.side, BufferedSide::Lambda);
+        assert!(plan.capacity > 1, "the 10ms chain should need delaying");
+    }
+
+    fn graphs_period(g: &CauseEffectGraph, plan: &BufferPlan) -> Duration {
+        g.task(g.channel(plan.channel).src()).period()
+    }
+
+    #[test]
+    fn theorem3_matches_reanalysis_of_buffered_graph() {
+        // With the generalized Lemma 6 in `backward_bounds`, re-running
+        // Theorem 2 on the buffered graph must agree with Theorem 3's
+        // `bound − L` whenever the buffered window does not overshoot.
+        let (g, [t1, t2, t3, t4, t5]) = fig4();
+        let rt = response_times(&g).unwrap();
+        let lam = Chain::new(&g, vec![t1, t3, t5]).unwrap();
+        let nu = Chain::new(&g, vec![t2, t4, t5]).unwrap();
+        let plan = design_buffer(&g, &lam, &nu, &rt).unwrap();
+        let mut buffered = g.clone();
+        plan.apply(&mut buffered).unwrap();
+        let reanalyzed = theorem2_bound(&buffered, &lam, &nu, &rt).unwrap();
+        assert!(
+            reanalyzed <= plan.bound_before,
+            "buffering must not loosen the bound: {reanalyzed} > {}",
+            plan.bound_before
+        );
+        assert_eq!(reanalyzed, plan.bound_after);
+    }
+
+    #[test]
+    fn apply_is_idempotent() {
+        let (g, [t1, t2, t3, t4, t5]) = fig4();
+        let rt = response_times(&g).unwrap();
+        let lam = Chain::new(&g, vec![t1, t3, t5]).unwrap();
+        let nu = Chain::new(&g, vec![t2, t4, t5]).unwrap();
+        let plan = design_buffer(&g, &lam, &nu, &rt).unwrap();
+        let mut buffered = g.clone();
+        plan.apply(&mut buffered).unwrap();
+        plan.apply(&mut buffered).unwrap();
+        assert_eq!(buffered.channel(plan.channel).capacity(), plan.capacity);
+    }
+
+    #[test]
+    fn greedy_optimization_improves_or_stalls() {
+        let (g, [.., t5]) = fig4();
+        let out = optimize_task(&g, t5, AnalysisConfig::default(), 8).unwrap();
+        assert!(out.final_bound() <= out.initial_bound);
+        assert_eq!(out.improvement(), out.initial_bound - out.final_bound());
+        if !out.steps.is_empty() {
+            // each step strictly improved
+            let mut last = out.initial_bound;
+            for s in &out.steps {
+                assert!(s.bound_after_step < last);
+                last = s.bound_after_step;
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_chain_cannot_be_buffered() {
+        // s1 -> t <- s2 where both chains have length 2 is fine, but make
+        // one chain trivial by analyzing a source-fused task directly:
+        // s -> t and s2 -> t; chains are length 2, so buffering works.
+        // Instead check the error path with a chain of length 1 ... which
+        // can only be the tail itself; construct via a direct source pair.
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s1 = b.add_task(TaskSpec::periodic("s1", ms(10)));
+        let s2 = b.add_task(TaskSpec::periodic("s2", ms(30)));
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(30))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        b.connect(s1, t);
+        b.connect(s2, t);
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        let lam = Chain::new(&g, vec![s1, t]).unwrap();
+        let nu = Chain::new(&g, vec![s2, t]).unwrap();
+        // Both chains have a second task (t itself); design must succeed.
+        let plan = design_buffer(&g, &lam, &nu, &rt).unwrap();
+        assert!(plan.capacity >= 1);
+    }
+
+    #[test]
+    fn aligned_windows_get_a_noop_plan() {
+        // Perfectly symmetric chains: identical periods and execution
+        // times on both sides, so the sampling windows coincide and
+        // Algorithm 1 has nothing to shift.
+        let mut b = SystemBuilder::new();
+        let e1 = b.add_ecu("e1");
+        let e2 = b.add_ecu("e2");
+        let s1 = b.add_task(TaskSpec::periodic("s1", ms(10)));
+        let s2 = b.add_task(TaskSpec::periodic("s2", ms(10)));
+        let a = b.add_task(
+            TaskSpec::periodic("a", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e1),
+        );
+        let c = b.add_task(
+            TaskSpec::periodic("c", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e2),
+        );
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e1),
+        );
+        b.connect(s1, a);
+        b.connect(s2, c);
+        b.connect(a, t);
+        b.connect(c, t);
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        let lam = Chain::new(&g, vec![s1, a, t]).unwrap();
+        let nu = Chain::new(&g, vec![s2, c, t]).unwrap();
+        let plan = design_buffer(&g, &lam, &nu, &rt).unwrap();
+        assert_eq!(plan.capacity, 1, "no shift needed");
+        assert_eq!(plan.shift, Duration::ZERO);
+        assert_eq!(plan.bound_after, plan.bound_before);
+        // Applying the no-op plan changes nothing.
+        let mut g2 = g.clone();
+        plan.apply(&mut g2).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn plan_buffers_the_later_window_side() {
+        // ν is much slower (bigger periods), so its sampling window lies
+        // further in the past; the *fresher* λ side must be delayed.
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s1 = b.add_task(TaskSpec::periodic("s1", ms(10)));
+        let s2 = b.add_task(TaskSpec::periodic("s2", ms(100)));
+        let a = b.add_task(
+            TaskSpec::periodic("a", ms(10))
+                .execution(ms(1), ms(1))
+                .on_ecu(e),
+        );
+        let c = b.add_task(
+            TaskSpec::periodic("c", ms(100))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(100))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        b.connect(s1, a);
+        b.connect(s2, c);
+        b.connect(a, t);
+        b.connect(c, t);
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        let lam = Chain::new(&g, vec![s1, a, t]).unwrap();
+        let nu = Chain::new(&g, vec![s2, c, t]).unwrap();
+        let plan = design_buffer(&g, &lam, &nu, &rt).unwrap();
+        assert_eq!(plan.side, BufferedSide::Lambda);
+        // The buffered channel is λ's source output.
+        assert_eq!(g.channel(plan.channel).src(), s1);
+        assert!(plan.capacity > 1);
+        // Shift is a whole multiple of the buffered source's period.
+        assert_eq!(plan.shift % g.task(s1).period(), Duration::ZERO);
+    }
+
+    #[test]
+    fn optimization_rejects_unschedulable_systems() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        // hi is blocked by lo's 9ms job: R(hi) = 9 + 6 = 15 > T(hi) = 10.
+        let hi = b.add_task(TaskSpec::periodic("hi", ms(10)).wcet(ms(6)).on_ecu(e));
+        let lo = b.add_task(TaskSpec::periodic("lo", ms(30)).wcet(ms(9)).on_ecu(e));
+        b.connect(s, hi);
+        b.connect(s, lo);
+        let g = b.build().unwrap();
+        assert!(matches!(
+            optimize_task(&g, lo, AnalysisConfig::default(), 4),
+            Err(AnalysisError::Unschedulable { .. })
+        ));
+    }
+}

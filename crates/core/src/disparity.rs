@@ -1,0 +1,457 @@
+//! Worst-case time disparity of a task (Definition 2 + the enumeration of
+//! §III).
+//!
+//! The time disparity `Δ(J)` of a job is the maximum timestamp difference
+//! among all its sources; the worst-case disparity of a task `τ` is the
+//! maximum over its jobs. With `P` the set of chains from a source to `τ`:
+//!
+//! `Δ(J) = max_{λ≠ν ∈ P} |t(λ̄¹) − t(ν̄¹)|`
+//!
+//! so a safe bound is the maximum of the pairwise bounds (Theorem 1 or 2)
+//! over all chain pairs. Following the paper's remark, each pair is first
+//! truncated at its *last joint task*: on a shared suffix the immediate
+//! backward job chain is unique, so the disparity is decided where the two
+//! chains actually diverge.
+
+use disparity_model::chain::Chain;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::TaskId;
+use disparity_model::time::Duration;
+use disparity_sched::schedulability::analyze;
+use disparity_sched::wcrt::ResponseTimes;
+
+use crate::error::AnalysisError;
+use crate::pairwise::{pairwise_bound, Method};
+
+/// Tuning knobs for the disparity analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Which pairwise theorem to use.
+    pub method: Method,
+    /// Budget for chain enumeration (paths can be exponential in a DAG).
+    pub chain_limit: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            method: Method::ForkJoin,
+            chain_limit: 4096,
+        }
+    }
+}
+
+/// The bound contributed by one pair of chains.
+#[derive(Debug, Clone)]
+pub struct PairBound {
+    /// Index into [`DisparityReport::chains`] of the pair's first chain.
+    pub lambda: usize,
+    /// Index into [`DisparityReport::chains`] of the pair's second chain.
+    pub nu: usize,
+    /// The last joint task at which the pair was truncated and analyzed.
+    pub analyzed_at: TaskId,
+    /// The pairwise disparity bound.
+    pub bound: Duration,
+}
+
+/// Result of analyzing the worst-case time disparity of one task.
+#[derive(Debug, Clone)]
+pub struct DisparityReport {
+    /// The analyzed task.
+    pub task: TaskId,
+    /// The method that produced the bound.
+    pub method: Method,
+    /// Safe upper bound on the worst-case time disparity.
+    pub bound: Duration,
+    /// The enumerated chain set `P` (sources → task).
+    pub chains: Vec<Chain>,
+    /// Per-pair contributions, one entry per unordered chain pair.
+    pub pairs: Vec<PairBound>,
+}
+
+impl DisparityReport {
+    /// The pair attaining the overall bound, if any pair exists.
+    #[must_use]
+    pub fn critical_pair(&self) -> Option<&PairBound> {
+        self.pairs.iter().max_by_key(|p| p.bound)
+    }
+}
+
+impl core::fmt::Display for DisparityReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "worst-case time disparity of {} ({:?}): {}",
+            self.task, self.method, self.bound
+        )?;
+        writeln!(f, "  {} chains, {} pairs", self.chains.len(), self.pairs.len())?;
+        if let Some(critical) = self.critical_pair() {
+            writeln!(
+                f,
+                "  critical pair: ({}) vs ({}) analyzed at {} -> {}",
+                self.chains[critical.lambda],
+                self.chains[critical.nu],
+                critical.analyzed_at,
+                critical.bound
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Bounds the worst-case time disparity of `task` using precomputed
+/// response times.
+///
+/// A task reached by fewer than two chains has disparity 0 (there is no
+/// pair of sources to disagree).
+///
+/// # Errors
+///
+/// * [`AnalysisError::Model`] wrapping
+///   [`ChainLimitExceeded`](disparity_model::error::ModelError::ChainLimitExceeded)
+///   if the DAG holds more than `config.chain_limit` chains to `task`, and
+///   other model errors for foreign ids.
+/// * Errors from the pairwise analysis (see
+///   [`theorem1_bound`](crate::pairwise::theorem1_bound)).
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::prelude::*;
+/// use disparity_sched::wcrt::response_times;
+/// use disparity_core::disparity::{worst_case_disparity, AnalysisConfig};
+///
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("e");
+/// let ms = Duration::from_millis;
+/// let cam = b.add_task(TaskSpec::periodic("camera", ms(33)));
+/// let lidar = b.add_task(TaskSpec::periodic("lidar", ms(100)));
+/// let fuse = b.add_task(
+///     TaskSpec::periodic("fuse", ms(33)).execution(ms(2), ms(5)).on_ecu(ecu),
+/// );
+/// b.connect(cam, fuse);
+/// b.connect(lidar, fuse);
+/// let g = b.build()?;
+/// let rt = response_times(&g)?;
+/// let report = worst_case_disparity(&g, fuse, &rt, AnalysisConfig::default())?;
+/// assert!(report.bound > Duration::ZERO);
+/// assert_eq!(report.chains.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn worst_case_disparity(
+    graph: &CauseEffectGraph,
+    task: TaskId,
+    rt: &ResponseTimes,
+    config: AnalysisConfig,
+) -> Result<DisparityReport, AnalysisError> {
+    let chains = graph.chains_to(task, config.chain_limit)?;
+    let mut pairs = Vec::new();
+    let mut bound = Duration::ZERO;
+    for i in 0..chains.len() {
+        for j in (i + 1)..chains.len() {
+            let (pair_bound, analyzed_at) =
+                pair_bound_for_method(graph, &chains[i], &chains[j], rt, config.method)?;
+            bound = bound.max(pair_bound);
+            pairs.push(PairBound {
+                lambda: i,
+                nu: j,
+                analyzed_at,
+                bound: pair_bound,
+            });
+        }
+    }
+    Ok(DisparityReport {
+        task,
+        method: config.method,
+        bound,
+        chains,
+        pairs,
+    })
+}
+
+/// Applies one method to a full chain pair.
+///
+/// **P-diff** treats the chains as fully independent: the whole chains (up
+/// to the analyzed task) feed Theorem 1. **S-diff** first truncates the
+/// pair at its *last joint task* — on the shared suffix the immediate
+/// backward job chain is unique, so the disparity is decided where the
+/// chains diverge — and then applies Theorem 2 to the truncated pair.
+/// **Combined** takes the minimum of both (each is a safe upper bound).
+fn pair_bound_for_method(
+    graph: &CauseEffectGraph,
+    lambda: &Chain,
+    nu: &Chain,
+    rt: &ResponseTimes,
+    method: Method,
+) -> Result<(Duration, TaskId), AnalysisError> {
+    match method {
+        Method::Independent => Ok((
+            pairwise_bound(graph, lambda, nu, rt, method)?,
+            lambda.tail(),
+        )),
+        Method::ForkJoin => {
+            // Both chains end at the same task, so a common suffix exists.
+            let (lam, nu_t) = lambda
+                .truncate_to_last_joint(nu)
+                .expect("chains ending at the same task share a suffix");
+            Ok((pairwise_bound(graph, &lam, &nu_t, rt, method)?, lam.tail()))
+        }
+        Method::Combined => {
+            let (p, _) = pair_bound_for_method(graph, lambda, nu, rt, Method::Independent)?;
+            let (s, at) = pair_bound_for_method(graph, lambda, nu, rt, Method::ForkJoin)?;
+            Ok((p.min(s), at))
+        }
+    }
+}
+
+/// Convenience wrapper: runs the schedulability analysis, insists on
+/// `R(τ) ≤ T(τ)` for every task (the paper's standing assumption), then
+/// bounds the disparity of `task`.
+///
+/// # Errors
+///
+/// * [`AnalysisError::Sched`] if response times cannot be computed.
+/// * [`AnalysisError::Unschedulable`] if any task misses its deadline.
+/// * Everything [`worst_case_disparity`] can return.
+pub fn analyze_task(
+    graph: &CauseEffectGraph,
+    task: TaskId,
+    config: AnalysisConfig,
+) -> Result<DisparityReport, AnalysisError> {
+    let report = analyze(graph)?;
+    if !report.all_schedulable() {
+        return Err(AnalysisError::Unschedulable {
+            violations: report.violations(),
+        });
+    }
+    worst_case_disparity(graph, task, report.response_times(), config)
+}
+
+/// Bounds the worst-case time disparity of **every** task with at least
+/// two incoming chains (the only tasks where disparity is non-trivial).
+///
+/// Tasks whose chain enumeration exceeds the budget are skipped rather
+/// than failing the whole audit; they are reported in the second return
+/// value.
+///
+/// # Errors
+///
+/// Propagates pairwise-analysis errors; enumeration-budget overruns are
+/// collected, not raised.
+pub fn analyze_all_tasks(
+    graph: &CauseEffectGraph,
+    rt: &ResponseTimes,
+    config: AnalysisConfig,
+) -> Result<(Vec<DisparityReport>, Vec<TaskId>), AnalysisError> {
+    let mut reports = Vec::new();
+    let mut skipped = Vec::new();
+    for task in graph.tasks() {
+        match worst_case_disparity(graph, task.id(), rt, config) {
+            Ok(report) => {
+                if report.chains.len() >= 2 {
+                    reports.push(report);
+                }
+            }
+            Err(AnalysisError::Model(disparity_model::error::ModelError::ChainLimitExceeded {
+                ..
+            })) => skipped.push(task.id()),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((reports, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::task::TaskSpec;
+    use disparity_sched::wcrt::response_times;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn fig2() -> (CauseEffectGraph, TaskId) {
+        let mut b = SystemBuilder::new();
+        let e1 = b.add_ecu("ecu1");
+        let e2 = b.add_ecu("ecu2");
+        let t1 = b.add_task(TaskSpec::periodic("t1", ms(10)));
+        let t2 = b.add_task(TaskSpec::periodic("t2", ms(20)));
+        let t3 = b.add_task(
+            TaskSpec::periodic("t3", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e1),
+        );
+        let t4 = b.add_task(
+            TaskSpec::periodic("t4", ms(20))
+                .execution(ms(2), ms(4))
+                .on_ecu(e1),
+        );
+        let t5 = b.add_task(
+            TaskSpec::periodic("t5", ms(30))
+                .execution(ms(2), ms(5))
+                .on_ecu(e2),
+        );
+        let t6 = b.add_task(
+            TaskSpec::periodic("t6", ms(30))
+                .execution(ms(3), ms(6))
+                .on_ecu(e2),
+        );
+        b.connect(t1, t3);
+        b.connect(t2, t3);
+        b.connect(t3, t4);
+        b.connect(t3, t5);
+        b.connect(t4, t6);
+        b.connect(t5, t6);
+        (b.build().unwrap(), t6)
+    }
+
+    #[test]
+    fn fig2_sink_has_six_pairs() {
+        let (g, t6) = fig2();
+        let r = analyze_task(&g, t6, AnalysisConfig::default()).unwrap();
+        assert_eq!(r.chains.len(), 4);
+        assert_eq!(r.pairs.len(), 6);
+        assert!(r.bound > Duration::ZERO);
+        let critical = r.critical_pair().unwrap();
+        assert_eq!(critical.bound, r.bound);
+    }
+
+    #[test]
+    fn combined_method_is_tightest_overall() {
+        let (g, t6) = fig2();
+        let rt = response_times(&g).unwrap();
+        let mut bounds = std::collections::BTreeMap::new();
+        for method in [Method::Independent, Method::ForkJoin, Method::Combined] {
+            let r = worst_case_disparity(
+                &g,
+                t6,
+                &rt,
+                AnalysisConfig {
+                    method,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            bounds.insert(format!("{method:?}"), r.bound);
+        }
+        let combined = bounds["Combined"];
+        assert!(combined <= bounds["Independent"]);
+        assert!(combined <= bounds["ForkJoin"]);
+    }
+
+    #[test]
+    fn single_chain_task_has_zero_disparity() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        b.connect(s, t);
+        let g = b.build().unwrap();
+        let r = analyze_task(&g, t, AnalysisConfig::default()).unwrap();
+        assert_eq!(r.bound, Duration::ZERO);
+        assert!(r.pairs.is_empty());
+        assert!(r.critical_pair().is_none());
+    }
+
+    #[test]
+    fn source_task_has_zero_disparity() {
+        let (g, _) = fig2();
+        let t1 = g.find_task("t1").unwrap();
+        let r = analyze_task(&g, t1, AnalysisConfig::default()).unwrap();
+        assert_eq!(r.bound, Duration::ZERO);
+    }
+
+    #[test]
+    fn unschedulable_system_is_rejected() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        // hi is blocked by lo's 9ms job: R(hi) = 9 + 6 = 15 > T(hi) = 10.
+        let hi = b.add_task(TaskSpec::periodic("hi", ms(10)).wcet(ms(6)).on_ecu(e));
+        let lo = b.add_task(TaskSpec::periodic("lo", ms(30)).wcet(ms(9)).on_ecu(e));
+        b.connect(s, hi);
+        b.connect(s, lo);
+        let g = b.build().unwrap();
+        let err = analyze_task(&g, lo, AnalysisConfig::default()).unwrap_err();
+        assert!(matches!(err, AnalysisError::Unschedulable { .. }), "{err}");
+    }
+
+    #[test]
+    fn chain_limit_propagates() {
+        let (g, t6) = fig2();
+        let rt = response_times(&g).unwrap();
+        let err = worst_case_disparity(
+            &g,
+            t6,
+            &rt,
+            AnalysisConfig {
+                chain_limit: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::Model(_)));
+    }
+
+    #[test]
+    fn analyze_all_covers_fusion_tasks_only() {
+        let (g, t6) = fig2();
+        let rt = response_times(&g).unwrap();
+        let (reports, skipped) = analyze_all_tasks(&g, &rt, AnalysisConfig::default()).unwrap();
+        assert!(skipped.is_empty());
+        // Fusion points of Fig. 2: τ3 (2 chains), τ4/τ5 (2 each via τ3's
+        // two sources), τ6 (4 chains). Sources have a single trivial chain.
+        let analyzed: Vec<TaskId> = reports.iter().map(|r| r.task).collect();
+        assert!(analyzed.contains(&t6));
+        assert!(analyzed.contains(&g.find_task("t3").unwrap()));
+        assert!(!analyzed.contains(&g.find_task("t1").unwrap()));
+        for r in &reports {
+            assert!(r.chains.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn analyze_all_reports_chain_explosions_as_skips() {
+        let (g, t6) = fig2();
+        let rt = response_times(&g).unwrap();
+        let (reports, skipped) = analyze_all_tasks(
+            &g,
+            &rt,
+            AnalysisConfig {
+                chain_limit: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(skipped.contains(&t6));
+        assert!(reports.iter().all(|r| r.task != t6));
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let (g, t6) = fig2();
+        let r = analyze_task(&g, t6, AnalysisConfig::default()).unwrap();
+        let text = r.to_string();
+        assert!(text.contains("worst-case time disparity"));
+        assert!(text.contains("4 chains, 6 pairs"));
+        assert!(text.contains("critical pair"));
+        let _ = g; // keep binding used on all paths
+    }
+
+    #[test]
+    fn intermediate_task_analysis_works() {
+        // t3 fuses t1 and t2 directly.
+        let (g, _) = fig2();
+        let t3 = g.find_task("t3").unwrap();
+        let r = analyze_task(&g, t3, AnalysisConfig::default()).unwrap();
+        assert_eq!(r.chains.len(), 2);
+        assert_eq!(r.pairs.len(), 1);
+        assert!(r.bound > Duration::ZERO);
+    }
+}

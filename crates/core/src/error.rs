@@ -1,0 +1,115 @@
+//! Error types for the disparity analysis.
+
+use core::fmt;
+
+use disparity_model::error::ModelError;
+use disparity_model::ids::TaskId;
+use disparity_sched::error::SchedError;
+
+/// Errors produced by the disparity analysis and buffer optimization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A model-level problem (invalid chain, unknown task, ...).
+    Model(ModelError),
+    /// A scheduling-level problem (overload, non-convergence).
+    Sched(SchedError),
+    /// The analysis requires `R(τ) ≤ T(τ)` for every task (paper §II.B),
+    /// but at least one task misses its deadline.
+    Unschedulable {
+        /// The tasks whose worst-case response time exceeds their period.
+        violations: Vec<TaskId>,
+    },
+    /// Buffer design needs a chain with at least two tasks (a `π²` whose
+    /// input channel can be resized).
+    ChainTooShort {
+        /// Tail task of the offending chain.
+        chain_tail: TaskId,
+    },
+    /// The two chains handed to a pairwise analysis do not end at the same
+    /// task.
+    TailMismatch {
+        /// Tail of the first chain.
+        lambda_tail: TaskId,
+        /// Tail of the second chain.
+        nu_tail: TaskId,
+    },
+    /// A pairwise analysis was asked about two identical chains.
+    IdenticalChains,
+    /// A chain handed to the analysis does not start at a source task.
+    HeadNotSource {
+        /// The offending head task.
+        head: TaskId,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Model(e) => write!(f, "model error: {e}"),
+            AnalysisError::Sched(e) => write!(f, "scheduling error: {e}"),
+            AnalysisError::Unschedulable { violations } => {
+                write!(f, "{} task(s) miss their deadline", violations.len())
+            }
+            AnalysisError::ChainTooShort { chain_tail } => {
+                write!(
+                    f,
+                    "chain ending at {chain_tail} is too short for buffer design"
+                )
+            }
+            AnalysisError::TailMismatch {
+                lambda_tail,
+                nu_tail,
+            } => {
+                write!(
+                    f,
+                    "chains end at different tasks ({lambda_tail} vs {nu_tail})"
+                )
+            }
+            AnalysisError::IdenticalChains => {
+                write!(f, "pairwise disparity of a chain with itself is undefined")
+            }
+            AnalysisError::HeadNotSource { head } => {
+                write!(f, "chain head {head} is not a source task")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Model(e) => Some(e),
+            AnalysisError::Sched(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for AnalysisError {
+    fn from(e: ModelError) -> Self {
+        AnalysisError::Model(e)
+    }
+}
+
+impl From<SchedError> for AnalysisError {
+    fn from(e: SchedError) -> Self {
+        AnalysisError::Sched(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        use std::error::Error as _;
+        let e = AnalysisError::from(ModelError::EmptyChain);
+        assert!(e.to_string().contains("model error"));
+        assert!(e.source().is_some());
+        let e = AnalysisError::IdenticalChains;
+        assert!(e.source().is_none());
+        assert!(!e.to_string().is_empty());
+    }
+}

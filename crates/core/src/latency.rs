@@ -1,0 +1,125 @@
+//! Analytical end-to-end latency bounds (data age, reaction time).
+//!
+//! The paper's backward-time machinery yields the two classic end-to-end
+//! latencies almost for free; a downstream user auditing a chain wants all
+//! three numbers (disparity, age, reaction) from one API.
+//!
+//! * **Data age** (footnote 2 of the paper): the age of an output is its
+//!   backward time plus the tail job's response,
+//!   `age ≤ W(π) + R(π^{|π|})`.
+//! * **Maximum reaction time**: every tail job's traced source lies at
+//!   most `W(π)` before its release (Lemma 4), so the first tail job
+//!   released at or after `r(stimulus) + W(π)` — at most `T(π^{|π|})`
+//!   later — reacts to it, finishing within its response time:
+//!   `reaction ≤ W(π) + T(π^{|π|}) + R(π^{|π|})`.
+//!
+//! Both bounds inherit Lemma 4's standing assumptions (schedulable system,
+//! steady state: the pipeline has filled so immediate backward job chains
+//! exist).
+
+use disparity_model::chain::Chain;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::time::Duration;
+use disparity_sched::wcrt::ResponseTimes;
+
+use crate::backward::wcbt;
+
+/// Upper bound on the data age of `chain`'s outputs:
+/// `W(π) + R(π^{|π|})`.
+///
+/// # Panics
+///
+/// Panics if `chain` is not a path of `graph`.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::prelude::*;
+/// use disparity_sched::wcrt::response_times;
+/// use disparity_core::latency::data_age_bound;
+///
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("e");
+/// let ms = Duration::from_millis;
+/// let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+/// let t = b.add_task(TaskSpec::periodic("t", ms(10)).execution(ms(1), ms(2)).on_ecu(ecu));
+/// b.connect(s, t);
+/// let g = b.build()?;
+/// let rt = response_times(&g)?;
+/// let chain = Chain::new(&g, vec![s, t])?;
+/// // W(π) = 10ms (one sensor period), R(t) = 2ms.
+/// assert_eq!(data_age_bound(&g, &chain, &rt), ms(12));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn data_age_bound(graph: &CauseEffectGraph, chain: &Chain, rt: &ResponseTimes) -> Duration {
+    wcbt(graph, chain, rt) + rt.wcrt(chain.tail())
+}
+
+/// Upper bound on the maximum reaction time of `chain`:
+/// `W(π) + T(π^{|π|}) + R(π^{|π|})`.
+///
+/// # Panics
+///
+/// Panics if `chain` is not a path of `graph`.
+#[must_use]
+pub fn reaction_time_bound(
+    graph: &CauseEffectGraph,
+    chain: &Chain,
+    rt: &ResponseTimes,
+) -> Duration {
+    wcbt(graph, chain, rt) + graph.task(chain.tail()).period() + rt.wcrt(chain.tail())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::task::TaskSpec;
+    use disparity_sched::wcrt::response_times;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn pipeline() -> (CauseEffectGraph, Chain, ResponseTimes) {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let a = b.add_task(
+            TaskSpec::periodic("a", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(20))
+                .execution(ms(1), ms(3))
+                .on_ecu(e),
+        );
+        b.connect(s, a);
+        b.connect(a, t);
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        let c = Chain::new(&g, vec![s, a, t]).unwrap();
+        (g, c, rt)
+    }
+
+    #[test]
+    fn age_bound_adds_tail_response() {
+        let (g, c, rt) = pipeline();
+        assert_eq!(
+            data_age_bound(&g, &c, &rt),
+            wcbt(&g, &c, &rt) + rt.wcrt(c.tail())
+        );
+    }
+
+    #[test]
+    fn reaction_bound_dominates_age_bound() {
+        let (g, c, rt) = pipeline();
+        assert!(reaction_time_bound(&g, &c, &rt) > data_age_bound(&g, &c, &rt));
+        assert_eq!(
+            reaction_time_bound(&g, &c, &rt) - data_age_bound(&g, &c, &rt),
+            g.task(c.tail()).period()
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Time-disparity analysis under **Logical Execution Time** communication.
+//!
+//! The paper's related work (reference \[4\], Kordon & Tang, ECRTS 2020) analyzes
+//! cause-effect latencies under the LET paradigm: a job logically reads
+//! its inputs at its *release* and its output becomes visible exactly one
+//! period after the release, independent of when (or where) the job
+//! actually executes. LET trades latency for *determinism* — which makes
+//! its backward-time bounds scheduling-free:
+//!
+//! For a hop `π^i → π^{i+1}` with a register channel, the consumer job's
+//! release `t` satisfies `p ≤ t < p + T_i` where `p = r(π̄^i) + T_i` is
+//! the producer's publish instant (an earlier `t` would read the previous
+//! token, a later one the next). Hence per hop
+//!
+//! `T_i  ≤  r(π̄^{i+1}) − r(π̄^i)  <  2·T_i`
+//!
+//! and over a chain `Σ T_i ≤ len(π̄) ≤ Σ 2·T_i`. FIFO capacities shift
+//! both bounds by `(n−1)·T_i` exactly as the paper's Lemma 6.
+//!
+//! Because Theorems 1 and 2 only consume *some* sound backward-time
+//! bounds, the whole disparity machinery applies unchanged — this module
+//! wires the LET bounds through
+//! [`crate::pairwise::theorem1_bound_with`] /
+//! [`crate::pairwise::theorem2_bound_with`].
+//! Everything here is an extension over the paper, clearly separated in
+//! its own module.
+
+use disparity_model::chain::Chain;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::TaskId;
+use disparity_model::time::Duration;
+
+use crate::backward::{buffer_shift, BackwardBounds};
+use crate::error::AnalysisError;
+use crate::pairwise::{theorem1_bound_with, theorem2_bound_with, Method};
+
+/// Backward-time bounds of a chain under LET communication:
+/// `[Σ (T_i + shift_i), Σ (2·T_i + shift_i)]` over the chain's hops.
+///
+/// Scheduling-independent: no response times are needed (that is LET's
+/// selling point) — the system does not even need to be schedulable for
+/// the *dataflow* bounds to hold.
+///
+/// # Panics
+///
+/// Panics if `chain` is not a path of `graph`.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::prelude::*;
+/// use disparity_core::letmodel::let_backward_bounds;
+///
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("e");
+/// let ms = Duration::from_millis;
+/// let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+/// let t = b.add_task(TaskSpec::periodic("t", ms(20)).execution(ms(1), ms(2)).on_ecu(ecu));
+/// b.connect(s, t);
+/// let g = b.build()?;
+/// let chain = Chain::new(&g, vec![s, t])?;
+/// let bounds = let_backward_bounds(&g, &chain);
+/// assert_eq!(bounds.bcbt, ms(10));
+/// assert_eq!(bounds.wcbt, ms(20));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn let_backward_bounds(graph: &CauseEffectGraph, chain: &Chain) -> BackwardBounds {
+    let mut wcbt = Duration::ZERO;
+    let mut bcbt = Duration::ZERO;
+    for (a, b) in chain.edges() {
+        let period = graph.task(a).period();
+        let channel = graph
+            .channel_between(a, b)
+            .unwrap_or_else(|| panic!("{a} -> {b} is not an edge"));
+        let shift = buffer_shift(channel.capacity(), period);
+        bcbt += period + shift;
+        wcbt += period * 2 + shift;
+    }
+    BackwardBounds { wcbt, bcbt }
+}
+
+/// Pairwise disparity bound under LET, using Theorem 1 or 2 with the LET
+/// backward-time bounds.
+///
+/// # Errors
+///
+/// Same validation errors as the implicit-communication pairwise analysis
+/// (identical chains / tail mismatch / non-source head).
+pub fn let_pairwise_bound(
+    graph: &CauseEffectGraph,
+    lambda: &Chain,
+    nu: &Chain,
+    method: Method,
+) -> Result<Duration, AnalysisError> {
+    let bounds = |c: &Chain| let_backward_bounds(graph, c);
+    match method {
+        Method::Independent => theorem1_bound_with(graph, lambda, nu, &bounds),
+        Method::ForkJoin => theorem2_bound_with(graph, lambda, nu, &bounds),
+        Method::Combined => Ok(theorem1_bound_with(graph, lambda, nu, &bounds)?
+            .min(theorem2_bound_with(graph, lambda, nu, &bounds)?)),
+    }
+}
+
+/// Worst-case time disparity of `task` under LET: the maximum pairwise
+/// bound over all chain pairs, with the S-diff pairs truncated at their
+/// last joint task (as in the implicit-communication analyzer).
+///
+/// # Errors
+///
+/// * Chain-enumeration errors (budget exceeded, foreign task).
+/// * Pairwise validation errors.
+pub fn let_worst_case_disparity(
+    graph: &CauseEffectGraph,
+    task: TaskId,
+    method: Method,
+    chain_limit: usize,
+) -> Result<Duration, AnalysisError> {
+    let chains = graph.chains_to(task, chain_limit)?;
+    let mut bound = Duration::ZERO;
+    for i in 0..chains.len() {
+        for j in (i + 1)..chains.len() {
+            let pair = match method {
+                Method::Independent => let_pairwise_bound(graph, &chains[i], &chains[j], method)?,
+                Method::ForkJoin | Method::Combined => {
+                    let (lam, nu) = chains[i]
+                        .truncate_to_last_joint(&chains[j])
+                        .expect("chains ending at the same task share a suffix");
+                    let s = let_pairwise_bound(graph, &lam, &nu, Method::ForkJoin)?;
+                    if method == Method::Combined {
+                        s.min(let_pairwise_bound(
+                            graph,
+                            &chains[i],
+                            &chains[j],
+                            Method::Independent,
+                        )?)
+                    } else {
+                        s
+                    }
+                }
+            };
+            bound = bound.max(pair);
+        }
+    }
+    Ok(bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::task::TaskSpec;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn fork_join() -> (CauseEffectGraph, [TaskId; 5]) {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s1 = b.add_task(TaskSpec::periodic("s1", ms(10)));
+        let s2 = b.add_task(TaskSpec::periodic("s2", ms(30)));
+        let a = b.add_task(
+            TaskSpec::periodic("a", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        let c = b.add_task(
+            TaskSpec::periodic("c", ms(30))
+                .execution(ms(1), ms(4))
+                .on_ecu(e),
+        );
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(30))
+                .execution(ms(1), ms(3))
+                .on_ecu(e),
+        );
+        b.connect(s1, a);
+        b.connect(s2, c);
+        b.connect(a, t);
+        b.connect(c, t);
+        (b.build().unwrap(), [s1, s2, a, c, t])
+    }
+
+    #[test]
+    fn hop_bounds_are_period_sums() {
+        let (g, [s1, _, a, _, t]) = fork_join();
+        let chain = Chain::new(&g, vec![s1, a, t]).unwrap();
+        let b = let_backward_bounds(&g, &chain);
+        assert_eq!(b.bcbt, ms(10 + 10));
+        assert_eq!(b.wcbt, ms(20 + 20));
+    }
+
+    #[test]
+    fn buffered_channels_shift_let_bounds() {
+        let (mut g, [s1, _, a, _, t]) = fork_join();
+        let ch = g.channel_between(s1, a).unwrap().id();
+        g.set_channel_capacity(ch, 3).unwrap();
+        let chain = Chain::new(&g, vec![s1, a, t]).unwrap();
+        let b = let_backward_bounds(&g, &chain);
+        assert_eq!(b.bcbt, ms(20 + 20)); // +2 source periods
+        assert_eq!(b.wcbt, ms(40 + 20));
+    }
+
+    #[test]
+    fn pairwise_methods_agree_with_manual_o() {
+        let (g, [s1, s2, a, c, t]) = fork_join();
+        let lam = Chain::new(&g, vec![s1, a, t]).unwrap();
+        let nu = Chain::new(&g, vec![s2, c, t]).unwrap();
+        // W(λ)=40, B(λ)=20; W(ν)=120, B(ν)=60.
+        // O = max(|40−60|, |120−20|) = 100.
+        let p = let_pairwise_bound(&g, &lam, &nu, Method::Independent).unwrap();
+        assert_eq!(p, ms(100));
+        let s = let_pairwise_bound(&g, &lam, &nu, Method::ForkJoin).unwrap();
+        assert!(s <= p);
+        assert_eq!(
+            let_pairwise_bound(&g, &lam, &nu, Method::Combined).unwrap(),
+            p.min(s)
+        );
+    }
+
+    #[test]
+    fn task_level_bound_enumerates_pairs() {
+        let (g, [.., t]) = fork_join();
+        let p = let_worst_case_disparity(&g, t, Method::Independent, 64).unwrap();
+        let s = let_worst_case_disparity(&g, t, Method::ForkJoin, 64).unwrap();
+        let c = let_worst_case_disparity(&g, t, Method::Combined, 64).unwrap();
+        assert!(c <= p && c <= s);
+        assert!(p > Duration::ZERO);
+    }
+}

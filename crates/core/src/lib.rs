@@ -1,0 +1,75 @@
+//! Worst-case time disparity analysis for cause-effect chains.
+//!
+//! This crate implements the primary contribution of *"Analysis and
+//! Optimization of Worst-Case Time Disparity in Cause-Effect Chains"*
+//! (DATE 2023):
+//!
+//! * [`backward`] — backward-time bounds of a chain under non-preemptive
+//!   fixed-priority scheduling (Lemmas 4–6);
+//! * [`baseline`] — the scheduler-agnostic Dürr-et-al.-style bound the
+//!   paper compares against;
+//! * [`window`] — sampling-window arithmetic (Lemmas 1–2);
+//! * [`pairwise`] — Theorem 1 (**P-diff**) and Theorem 2 (**S-diff**);
+//! * [`disparity`] — per-task worst-case disparity via pair enumeration;
+//! * [`buffering`] — Algorithm 1 buffer design, Theorem 3, and a greedy
+//!   multi-pair extension.
+//!
+//! # Examples
+//!
+//! Bound the disparity of a two-sensor fusion task and shrink it with a
+//! designed buffer:
+//!
+//! ```
+//! use disparity_model::prelude::*;
+//! use disparity_core::prelude::*;
+//!
+//! let mut b = SystemBuilder::new();
+//! let ecu = b.add_ecu("ecu0");
+//! let ms = Duration::from_millis;
+//! let cam = b.add_task(TaskSpec::periodic("camera", ms(10)));
+//! let lidar = b.add_task(TaskSpec::periodic("lidar", ms(100)));
+//! let pre = b.add_task(TaskSpec::periodic("pre", ms(10)).execution(ms(1), ms(2)).on_ecu(ecu));
+//! let fuse = b.add_task(TaskSpec::periodic("fuse", ms(100)).execution(ms(3), ms(8)).on_ecu(ecu));
+//! b.connect(cam, pre);
+//! b.connect(pre, fuse);
+//! b.connect(lidar, fuse);
+//! let graph = b.build()?;
+//!
+//! let report = analyze_task(&graph, fuse, AnalysisConfig::default())?;
+//! let optimized = optimize_task(&graph, fuse, AnalysisConfig::default(), 4)?;
+//! assert!(optimized.final_bound() <= report.bound);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backward;
+pub mod baseline;
+pub mod buffering;
+pub mod disparity;
+pub mod error;
+pub mod latency;
+pub mod letmodel;
+pub mod pairwise;
+pub mod window;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::backward::{backward_bounds, bcbt, wcbt, BackwardBounds};
+    pub use crate::baseline::{baseline_bounds, baseline_wcbt};
+    pub use crate::buffering::{
+        design_buffer, optimize_task, BufferPlan, BufferedSide, OptimizationOutcome,
+    };
+    pub use crate::disparity::{
+        analyze_all_tasks, analyze_task, worst_case_disparity, AnalysisConfig, DisparityReport,
+        PairBound,
+    };
+    pub use crate::error::AnalysisError;
+    pub use crate::latency::{data_age_bound, reaction_time_bound};
+    pub use crate::letmodel::{let_backward_bounds, let_pairwise_bound, let_worst_case_disparity};
+    pub use crate::pairwise::{
+        decompose, pairwise_bound, theorem1_bound, theorem2_bound, ForkJoinDecomposition, Method,
+    };
+    pub use crate::window::SamplingWindow;
+}

@@ -1,0 +1,543 @@
+//! Pairwise disparity bounds: Theorem 1 (independent chains) and Theorem 2
+//! (fork-join aware).
+//!
+//! Both theorems bound `|t(λ̄¹) − t(ν̄¹)|` — the timestamp difference of
+//! the two sources an output traces back to along chains `λ` and `ν` that
+//! end at the same task.
+//!
+//! * **Theorem 1** treats the chains as independent: with
+//!   `O_{λ,ν} = max(|W(λ) − B(ν)|, |W(ν) − B(λ)|)` the difference is at
+//!   most `O_{λ,ν}`, rounded down to a whole multiple of `T(λ¹)` when the
+//!   two chains sample the *same* source.
+//! * **Theorem 2** exploits every common task `o_1 … o_c`: the jobs of
+//!   `o_j` appearing in `λ̄` and `ν̄` can only be `x_j…y_j` releases apart,
+//!   a range computed by a backward recursion over the sub-chain pairs
+//!   `(α_j, β_j)`; the final bound applies Lemma 3 at `o_1` with the window
+//!   `[x_1, y_1]`.
+
+use disparity_model::chain::Chain;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::TaskId;
+use disparity_model::time::{div_ceil, div_floor, Duration};
+use disparity_sched::wcrt::ResponseTimes;
+
+use crate::backward::{backward_bounds, BackwardBounds};
+use crate::error::AnalysisError;
+use crate::window::SamplingWindow;
+
+/// Which pairwise bound to apply.
+///
+/// Theorem 2 is *usually* tighter than Theorem 1 but not provably so: the
+/// sub-chain windows it composes can, in corner cases, be looser than the
+/// direct whole-chain bound (the crate's test suite contains such an
+/// instance). Both are sound upper bounds, so their minimum is too —
+/// that is [`Method::Combined`], an extension over the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Theorem 1: chains treated as independent (the paper's **P-diff**).
+    Independent,
+    /// Theorem 2: fork-join structure exploited (the paper's **S-diff**).
+    #[default]
+    ForkJoin,
+    /// `min(P-diff, S-diff)`: dominates both (extension, not in the paper).
+    Combined,
+}
+
+/// Validates that two chains form an analyzable pair: distinct, same tail,
+/// heads that are source tasks.
+fn validate_pair(
+    graph: &CauseEffectGraph,
+    lambda: &Chain,
+    nu: &Chain,
+) -> Result<(), AnalysisError> {
+    if lambda == nu {
+        return Err(AnalysisError::IdenticalChains);
+    }
+    if lambda.tail() != nu.tail() {
+        return Err(AnalysisError::TailMismatch {
+            lambda_tail: lambda.tail(),
+            nu_tail: nu.tail(),
+        });
+    }
+    for c in [lambda, nu] {
+        if !graph.is_source(c.head()) {
+            return Err(AnalysisError::HeadNotSource { head: c.head() });
+        }
+    }
+    Ok(())
+}
+
+/// Theorem 1 (**P-diff**): bound on `|t(λ̄¹) − t(ν̄¹)|` assuming the two
+/// chains are independent.
+///
+/// # Errors
+///
+/// * [`AnalysisError::IdenticalChains`] when `λ = ν`.
+/// * [`AnalysisError::TailMismatch`] when the chains end at different tasks.
+/// * [`AnalysisError::HeadNotSource`] when a head is not a source task.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::prelude::*;
+/// use disparity_sched::wcrt::response_times;
+/// use disparity_core::pairwise::theorem1_bound;
+///
+/// // s1 -> t <- s2 : a two-sensor fusion task.
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("e");
+/// let ms = Duration::from_millis;
+/// let s1 = b.add_task(TaskSpec::periodic("s1", ms(10)));
+/// let s2 = b.add_task(TaskSpec::periodic("s2", ms(30)));
+/// let t = b.add_task(TaskSpec::periodic("t", ms(30)).execution(ms(1), ms(2)).on_ecu(ecu));
+/// b.connect(s1, t);
+/// b.connect(s2, t);
+/// let g = b.build()?;
+/// let rt = response_times(&g)?;
+/// let lam = Chain::new(&g, vec![s1, t])?;
+/// let nu = Chain::new(&g, vec![s2, t])?;
+/// let bound = theorem1_bound(&g, &lam, &nu, &rt)?;
+/// assert!(bound >= ms(0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn theorem1_bound(
+    graph: &CauseEffectGraph,
+    lambda: &Chain,
+    nu: &Chain,
+    rt: &ResponseTimes,
+) -> Result<Duration, AnalysisError> {
+    theorem1_bound_with(graph, lambda, nu, &|c| backward_bounds(graph, c, rt))
+}
+
+/// [`theorem1_bound`] over an arbitrary per-chain bounds provider.
+///
+/// # Errors
+///
+/// Same conditions as [`theorem1_bound`].
+pub fn theorem1_bound_with(
+    graph: &CauseEffectGraph,
+    lambda: &Chain,
+    nu: &Chain,
+    bounds_of: &dyn Fn(&Chain) -> BackwardBounds,
+) -> Result<Duration, AnalysisError> {
+    validate_pair(graph, lambda, nu)?;
+    let bl = bounds_of(lambda);
+    let bn = bounds_of(nu);
+    let o = (bl.wcbt - bn.bcbt).abs().max((bn.wcbt - bl.bcbt).abs());
+    Ok(round_same_source(graph, lambda, nu, o))
+}
+
+/// When both chains start at the same source task, the two traced
+/// timestamps are releases of the same task, so their difference is a whole
+/// multiple of the source period: round the bound down accordingly
+/// (second case of Theorems 1 and 2).
+fn round_same_source(
+    graph: &CauseEffectGraph,
+    lambda: &Chain,
+    nu: &Chain,
+    o: Duration,
+) -> Duration {
+    if lambda.head() == nu.head() {
+        let t = graph.task(lambda.head()).period();
+        t * o.div_floor(t)
+    } else {
+        o
+    }
+}
+
+/// The fork-join decomposition of a chain pair: everything Theorem 2 and
+/// Algorithm 1 need.
+#[derive(Debug, Clone)]
+pub struct ForkJoinDecomposition {
+    /// The common tasks `o_1 … o_c` (graph sources excluded); `o_c` is the
+    /// pair's shared tail.
+    pub commons: Vec<TaskId>,
+    /// Sub-chains `α_1 … α_c` of `λ`.
+    pub alphas: Vec<Chain>,
+    /// Sub-chains `β_1 … β_c` of `ν`.
+    pub betas: Vec<Chain>,
+    /// Backward bounds of each `α_j`.
+    pub alpha_bounds: Vec<BackwardBounds>,
+    /// Backward bounds of each `β_j`.
+    pub beta_bounds: Vec<BackwardBounds>,
+    /// `x_1 … x_c`: lower job-index offsets at each common task.
+    pub x: Vec<i64>,
+    /// `y_1 … y_c`: upper job-index offsets at each common task.
+    pub y: Vec<i64>,
+}
+
+impl ForkJoinDecomposition {
+    /// Number of common tasks `c`.
+    #[must_use]
+    pub fn common_count(&self) -> usize {
+        self.commons.len()
+    }
+
+    /// The sampling window of `λ`'s source relative to the `o_1` job of
+    /// `λ̄` (Lemma 1 applied to `α_1`): `[−W(α_1), −B(α_1)]`.
+    #[must_use]
+    pub fn lambda_source_window(&self) -> SamplingWindow {
+        SamplingWindow::from_backward_bounds(self.alpha_bounds[0])
+    }
+
+    /// The sampling window of `ν`'s source relative to the `o_1` job of
+    /// `λ̄` (Lemma 2 applied to `β_1` with the job-index window
+    /// `[x_1, y_1]`): `[x_1·T(o_1) − W(β_1), y_1·T(o_1) − B(β_1)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` does not contain `o_1`.
+    #[must_use]
+    pub fn nu_source_window(&self, graph: &CauseEffectGraph) -> SamplingWindow {
+        let t = graph.task(self.commons[0]).period();
+        SamplingWindow::new(
+            t * self.x[0] - self.beta_bounds[0].wcbt,
+            t * self.y[0] - self.beta_bounds[0].bcbt,
+        )
+    }
+
+    /// Lemma 3's `O^{x_1,y_1}_{α_1,β_1}` for this decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` does not contain `o_1`.
+    #[must_use]
+    pub fn offset_bound(&self, graph: &CauseEffectGraph) -> Duration {
+        let t1 = graph.task(self.commons[0]).period();
+        let a = self.alpha_bounds[0];
+        let b = self.beta_bounds[0];
+        (b.wcbt - a.bcbt - t1 * self.x[0])
+            .abs()
+            .max((b.bcbt - a.wcbt - t1 * self.y[0]).abs())
+    }
+}
+
+/// Computes the Theorem 2 decomposition of a chain pair.
+///
+/// # Errors
+///
+/// Same conditions as [`theorem1_bound`].
+pub fn decompose(
+    graph: &CauseEffectGraph,
+    lambda: &Chain,
+    nu: &Chain,
+    rt: &ResponseTimes,
+) -> Result<ForkJoinDecomposition, AnalysisError> {
+    decompose_with(graph, lambda, nu, &|c| backward_bounds(graph, c, rt))
+}
+
+/// [`decompose`] over an arbitrary per-chain bounds provider. The theorem
+/// machinery is sound for *any* sound `(W, B)` backward-time bounds — this
+/// is what lets the LET communication model reuse it.
+pub fn decompose_with(
+    graph: &CauseEffectGraph,
+    lambda: &Chain,
+    nu: &Chain,
+    bounds_of: &dyn Fn(&Chain) -> BackwardBounds,
+) -> Result<ForkJoinDecomposition, AnalysisError> {
+    validate_pair(graph, lambda, nu)?;
+    let commons = lambda.common_tasks(nu, graph);
+    debug_assert!(
+        commons.last() == Some(&lambda.tail()),
+        "the shared tail must be the last common task"
+    );
+    let alphas = lambda.split_at(&commons);
+    let betas = nu.split_at(&commons);
+    let alpha_bounds: Vec<BackwardBounds> = alphas.iter().map(bounds_of).collect();
+    let beta_bounds: Vec<BackwardBounds> = betas.iter().map(bounds_of).collect();
+
+    let c = commons.len();
+    let mut x = vec![0i64; c];
+    let mut y = vec![0i64; c];
+    // x_c = y_c = 0 (the analyzed job is shared); recurse downwards.
+    for j in (0..c.saturating_sub(1)).rev() {
+        let t_j = graph.task(commons[j]).period();
+        let t_next = graph.task(commons[j + 1]).period();
+        let num_x = alpha_bounds[j + 1].bcbt - beta_bounds[j + 1].wcbt + t_next * x[j + 1];
+        let num_y = alpha_bounds[j + 1].wcbt - beta_bounds[j + 1].bcbt + t_next * y[j + 1];
+        x[j] = div_ceil(num_x.as_nanos(), t_j.as_nanos());
+        y[j] = div_floor(num_y.as_nanos(), t_j.as_nanos());
+    }
+
+    Ok(ForkJoinDecomposition {
+        commons,
+        alphas,
+        betas,
+        alpha_bounds,
+        beta_bounds,
+        x,
+        y,
+    })
+}
+
+/// Theorem 2 (**S-diff**): fork-join-aware bound on `|t(λ̄¹) − t(ν̄¹)|`.
+///
+/// Always applicable when [`theorem1_bound`] is; when the only common task
+/// is the shared tail the two bounds coincide.
+///
+/// # Errors
+///
+/// Same conditions as [`theorem1_bound`].
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::prelude::*;
+/// use disparity_sched::wcrt::response_times;
+/// use disparity_core::pairwise::{theorem1_bound, theorem2_bound};
+///
+/// // fork-join: s -> a -> t, s -> b -> t sharing the source s.
+/// let mut bld = SystemBuilder::new();
+/// let ecu = bld.add_ecu("e");
+/// let ms = Duration::from_millis;
+/// let s = bld.add_task(TaskSpec::periodic("s", ms(10)));
+/// let a = bld.add_task(TaskSpec::periodic("a", ms(10)).execution(ms(1), ms(1)).on_ecu(ecu));
+/// let b = bld.add_task(TaskSpec::periodic("b", ms(20)).execution(ms(1), ms(2)).on_ecu(ecu));
+/// let t = bld.add_task(TaskSpec::periodic("t", ms(20)).execution(ms(1), ms(3)).on_ecu(ecu));
+/// bld.connect(s, a);
+/// bld.connect(s, b);
+/// bld.connect(a, t);
+/// bld.connect(b, t);
+/// let g = bld.build()?;
+/// let rt = response_times(&g)?;
+/// let lam = Chain::new(&g, vec![s, a, t])?;
+/// let nu = Chain::new(&g, vec![s, b, t])?;
+/// let s_diff = theorem2_bound(&g, &lam, &nu, &rt)?;
+/// let p_diff = theorem1_bound(&g, &lam, &nu, &rt)?;
+/// assert!(s_diff <= p_diff);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn theorem2_bound(
+    graph: &CauseEffectGraph,
+    lambda: &Chain,
+    nu: &Chain,
+    rt: &ResponseTimes,
+) -> Result<Duration, AnalysisError> {
+    theorem2_bound_with(graph, lambda, nu, &|c| backward_bounds(graph, c, rt))
+}
+
+/// [`theorem2_bound`] over an arbitrary per-chain bounds provider.
+///
+/// # Errors
+///
+/// Same conditions as [`theorem1_bound`].
+pub fn theorem2_bound_with(
+    graph: &CauseEffectGraph,
+    lambda: &Chain,
+    nu: &Chain,
+    bounds_of: &dyn Fn(&Chain) -> BackwardBounds,
+) -> Result<Duration, AnalysisError> {
+    let d = decompose_with(graph, lambda, nu, bounds_of)?;
+    let o = d.offset_bound(graph);
+    Ok(round_same_source(graph, lambda, nu, o))
+}
+
+/// Dispatches on [`Method`].
+///
+/// # Errors
+///
+/// Same conditions as [`theorem1_bound`].
+pub fn pairwise_bound(
+    graph: &CauseEffectGraph,
+    lambda: &Chain,
+    nu: &Chain,
+    rt: &ResponseTimes,
+    method: Method,
+) -> Result<Duration, AnalysisError> {
+    match method {
+        Method::Independent => theorem1_bound(graph, lambda, nu, rt),
+        Method::ForkJoin => theorem2_bound(graph, lambda, nu, rt),
+        Method::Combined => {
+            Ok(theorem1_bound(graph, lambda, nu, rt)?.min(theorem2_bound(graph, lambda, nu, rt)?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::task::TaskSpec;
+    use disparity_sched::wcrt::response_times;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    /// The paper's Fig. 2 topology with plausible parameters.
+    fn fig2() -> (CauseEffectGraph, ResponseTimes, [TaskId; 6]) {
+        let mut b = SystemBuilder::new();
+        let e1 = b.add_ecu("ecu1");
+        let e2 = b.add_ecu("ecu2");
+        let t1 = b.add_task(TaskSpec::periodic("t1", ms(10)));
+        let t2 = b.add_task(TaskSpec::periodic("t2", ms(20)));
+        let t3 = b.add_task(
+            TaskSpec::periodic("t3", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e1),
+        );
+        let t4 = b.add_task(
+            TaskSpec::periodic("t4", ms(20))
+                .execution(ms(2), ms(4))
+                .on_ecu(e1),
+        );
+        let t5 = b.add_task(
+            TaskSpec::periodic("t5", ms(30))
+                .execution(ms(2), ms(5))
+                .on_ecu(e2),
+        );
+        let t6 = b.add_task(
+            TaskSpec::periodic("t6", ms(30))
+                .execution(ms(3), ms(6))
+                .on_ecu(e2),
+        );
+        b.connect(t1, t3);
+        b.connect(t2, t3);
+        b.connect(t3, t4);
+        b.connect(t3, t5);
+        b.connect(t4, t6);
+        b.connect(t5, t6);
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        (g, rt, [t1, t2, t3, t4, t5, t6])
+    }
+
+    #[test]
+    fn validation_rejects_bad_pairs() {
+        let (g, rt, [t1, t2, t3, t4, t5, t6]) = fig2();
+        let lam = Chain::new(&g, vec![t1, t3, t4, t6]).unwrap();
+        assert!(matches!(
+            theorem1_bound(&g, &lam, &lam, &rt),
+            Err(AnalysisError::IdenticalChains)
+        ));
+        let short = Chain::new(&g, vec![t2, t3, t5]).unwrap();
+        assert!(matches!(
+            theorem1_bound(&g, &lam, &short, &rt),
+            Err(AnalysisError::TailMismatch { .. })
+        ));
+        let not_source = Chain::new(&g, vec![t3, t4, t6]).unwrap();
+        assert!(matches!(
+            theorem2_bound(&g, &lam, &not_source, &rt),
+            Err(AnalysisError::HeadNotSource { head }) if head == t3
+        ));
+    }
+
+    #[test]
+    fn decomposition_matches_paper_example() {
+        let (g, rt, [t1, t2, t3, _, t5, t6]) = fig2();
+        let lam = Chain::new(&g, vec![t1, t3, g.find_task("t4").unwrap(), t6]).unwrap();
+        let nu = Chain::new(&g, vec![t2, t3, t5, t6]).unwrap();
+        let d = decompose(&g, &lam, &nu, &rt).unwrap();
+        assert_eq!(d.commons, vec![t3, t6]);
+        assert_eq!(d.common_count(), 2);
+        assert_eq!(d.x[1], 0);
+        assert_eq!(d.y[1], 0);
+        assert_eq!(d.alphas[0].tasks(), &[t1, t3]);
+        assert_eq!(d.betas[0].tasks(), &[t2, t3]);
+        // x_1 <= y_1 must describe a non-empty index window here.
+        assert!(d.x[0] <= d.y[0], "x={} y={}", d.x[0], d.y[0]);
+    }
+
+    #[test]
+    fn combined_method_dominates_both_theorems() {
+        let (g, rt, [_, _, _, _, _, t6]) = fig2();
+        let chains = g.chains_to(t6, 64).unwrap();
+        assert_eq!(chains.len(), 4);
+        for i in 0..chains.len() {
+            for j in (i + 1)..chains.len() {
+                let p = theorem1_bound(&g, &chains[i], &chains[j], &rt).unwrap();
+                let s = theorem2_bound(&g, &chains[i], &chains[j], &rt).unwrap();
+                let c = pairwise_bound(&g, &chains[i], &chains[j], &rt, Method::Combined).unwrap();
+                assert_eq!(c, p.min(s));
+                assert!(!s.is_negative());
+                assert!(!p.is_negative());
+            }
+        }
+    }
+
+    /// Theorem 2 is *not* provably tighter than Theorem 1: on the paper's
+    /// own Fig. 2 topology (with our parameters) the pair
+    /// `{τ1,τ3,τ4,τ6}` vs `{τ2,τ3,τ5,τ6}` has S-diff 75ms > P-diff 71ms.
+    /// Hand-derivation: W(λ)=46, W(ν)=66, B=−5 for both, so P-diff
+    /// = |66−(−5)| = 71; the recursion gives x₁=−5, y₁=4, hence
+    /// S-diff = |W(β₁)−B(α₁)−x₁T(τ3)| = |20+5+50| = 75.
+    #[test]
+    fn theorem2_can_exceed_theorem1() {
+        let (g, rt, [t1, t2, t3, t4, t5, t6]) = fig2();
+        let lam = Chain::new(&g, vec![t1, t3, t4, t6]).unwrap();
+        let nu = Chain::new(&g, vec![t2, t3, t5, t6]).unwrap();
+        let p = theorem1_bound(&g, &lam, &nu, &rt).unwrap();
+        let s = theorem2_bound(&g, &lam, &nu, &rt).unwrap();
+        assert_eq!(p, ms(71));
+        assert_eq!(s, ms(75));
+    }
+
+    #[test]
+    fn same_source_rounds_to_period_multiple() {
+        let (g, rt, [t1, _, t3, t4, t5, t6]) = fig2();
+        let lam = Chain::new(&g, vec![t1, t3, t4, t6]).unwrap();
+        let nu = Chain::new(&g, vec![t1, t3, t5, t6]).unwrap();
+        let t = g.task(t1).period();
+        for bound in [
+            theorem1_bound(&g, &lam, &nu, &rt).unwrap(),
+            theorem2_bound(&g, &lam, &nu, &rt).unwrap(),
+        ] {
+            assert_eq!(bound % t, Duration::ZERO, "{bound} not a multiple of {t}");
+        }
+    }
+
+    #[test]
+    fn single_common_task_makes_theorems_agree() {
+        // Two disjoint chains meeting only at the sink: Theorem 2's
+        // recursion is empty (c = 1, x = y = 0) and O^{0,0} = O.
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s1 = b.add_task(TaskSpec::periodic("s1", ms(10)));
+        let s2 = b.add_task(TaskSpec::periodic("s2", ms(30)));
+        let a = b.add_task(
+            TaskSpec::periodic("a", ms(10))
+                .execution(ms(1), ms(1))
+                .on_ecu(e),
+        );
+        let c = b.add_task(
+            TaskSpec::periodic("c", ms(30))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(30))
+                .execution(ms(1), ms(3))
+                .on_ecu(e),
+        );
+        b.connect(s1, a);
+        b.connect(s2, c);
+        b.connect(a, t);
+        b.connect(c, t);
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        let lam = Chain::new(&g, vec![s1, a, t]).unwrap();
+        let nu = Chain::new(&g, vec![s2, c, t]).unwrap();
+        let p = theorem1_bound(&g, &lam, &nu, &rt).unwrap();
+        let s = theorem2_bound(&g, &lam, &nu, &rt).unwrap();
+        assert_eq!(p, s);
+        assert_eq!(
+            pairwise_bound(&g, &lam, &nu, &rt, Method::ForkJoin).unwrap(),
+            s
+        );
+        assert_eq!(
+            pairwise_bound(&g, &lam, &nu, &rt, Method::Independent).unwrap(),
+            p
+        );
+    }
+
+    #[test]
+    fn windows_are_consistent_with_offset_bound() {
+        let (g, rt, [t1, t2, t3, t4, t5, t6]) = fig2();
+        let lam = Chain::new(&g, vec![t1, t3, t4, t6]).unwrap();
+        let nu = Chain::new(&g, vec![t2, t3, t5, t6]).unwrap();
+        let d = decompose(&g, &lam, &nu, &rt).unwrap();
+        let wl = d.lambda_source_window();
+        let wn = d.nu_source_window(&g);
+        assert_eq!(wl.max_separation(wn), d.offset_bound(&g));
+    }
+}

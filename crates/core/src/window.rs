@@ -1,0 +1,157 @@
+//! Sampling windows: the time range in which a traced source timestamp can
+//! lie.
+//!
+//! §III of the paper pins the analyzed job's release at time 0 and calls
+//! `[a, b]` a *sampling window* of a source `π̄¹` when `t(π̄¹) ∈ [a, b]`.
+//! Lemma 1 gives the basic window `[−W(π), −B(π)]`; Lemma 2 shifts it by
+//! whole periods for jobs released around the analyzed one. Algorithm 1
+//! reasons about window *midpoints* to choose buffer sizes.
+
+use core::fmt;
+
+use disparity_model::time::Duration;
+
+/// A closed interval `[earliest, latest]` of candidate source timestamps,
+/// expressed relative to the analyzed job's release (so usually negative).
+///
+/// # Examples
+///
+/// ```
+/// use disparity_core::window::SamplingWindow;
+/// use disparity_model::time::Duration;
+///
+/// let ms = Duration::from_millis;
+/// let w = SamplingWindow::new(ms(-30), ms(-10));
+/// assert_eq!(w.width(), ms(20));
+/// assert_eq!(w.midpoint(), ms(-20));
+/// assert_eq!(w.shifted(ms(-5)).latest, ms(-15));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SamplingWindow {
+    /// Earliest possible timestamp.
+    pub earliest: Duration,
+    /// Latest possible timestamp.
+    pub latest: Duration,
+}
+
+impl SamplingWindow {
+    /// Creates a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earliest > latest`.
+    #[must_use]
+    pub fn new(earliest: Duration, latest: Duration) -> Self {
+        debug_assert!(
+            earliest <= latest,
+            "window bounds out of order: {earliest} > {latest}"
+        );
+        SamplingWindow { earliest, latest }
+    }
+
+    /// The Lemma 1 window of a chain with backward-time bounds
+    /// `[B(π), W(π)]`: the source timestamp lies in `[−W(π), −B(π)]`.
+    #[must_use]
+    pub fn from_backward_bounds(bounds: crate::backward::BackwardBounds) -> Self {
+        SamplingWindow::new(-bounds.wcbt, -bounds.bcbt)
+    }
+
+    /// Window width `latest − earliest` (never negative).
+    #[must_use]
+    pub fn width(self) -> Duration {
+        self.latest - self.earliest
+    }
+
+    /// The midpoint `(earliest + latest) / 2`, the quantity Algorithm 1
+    /// aligns (integer division truncates toward zero by one nanosecond at
+    /// worst).
+    #[must_use]
+    pub fn midpoint(self) -> Duration {
+        (self.earliest + self.latest) / 2
+    }
+
+    /// The window translated by `by`.
+    #[must_use]
+    pub fn shifted(self, by: Duration) -> Self {
+        SamplingWindow {
+            earliest: self.earliest + by,
+            latest: self.latest + by,
+        }
+    }
+
+    /// Largest absolute timestamp difference between a point of `self` and
+    /// a point of `other`.
+    #[must_use]
+    pub fn max_separation(self, other: SamplingWindow) -> Duration {
+        (self.latest - other.earliest)
+            .abs()
+            .max((other.latest - self.earliest).abs())
+    }
+
+    /// `true` if the two windows share at least one instant.
+    #[must_use]
+    pub fn overlaps(self, other: SamplingWindow) -> bool {
+        self.earliest <= other.latest && other.earliest <= self.latest
+    }
+}
+
+impl fmt::Display for SamplingWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.earliest, self.latest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backward::BackwardBounds;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn lemma1_window_negates_bounds() {
+        let w = SamplingWindow::from_backward_bounds(BackwardBounds {
+            wcbt: ms(30),
+            bcbt: ms(-2),
+        });
+        assert_eq!(w.earliest, ms(-30));
+        assert_eq!(w.latest, ms(2));
+        assert_eq!(w.width(), ms(32));
+    }
+
+    #[test]
+    fn max_separation_is_symmetric_and_covers_extremes() {
+        let a = SamplingWindow::new(ms(-30), ms(-10));
+        let b = SamplingWindow::new(ms(-8), ms(-2));
+        assert_eq!(a.max_separation(b), ms(28)); // -30 vs -2
+        assert_eq!(b.max_separation(a), ms(28));
+        assert!(!a.overlaps(b));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = SamplingWindow::new(ms(-30), ms(-10));
+        let c = SamplingWindow::new(ms(-12), ms(-4));
+        assert!(a.overlaps(c));
+        assert!(c.overlaps(a));
+        let edge = SamplingWindow::new(ms(-10), ms(0));
+        assert!(a.overlaps(edge), "closed intervals touch at -10");
+    }
+
+    #[test]
+    fn midpoint_of_negative_window() {
+        let w = SamplingWindow::new(ms(-31), ms(-10));
+        // exact midpoint is -20.5ms; integer ns arithmetic keeps it exact.
+        assert_eq!(w.midpoint(), Duration::from_micros(-20_500));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            SamplingWindow::new(ms(-5), ms(3)).to_string(),
+            "[-5ms, 3ms]"
+        );
+    }
+}

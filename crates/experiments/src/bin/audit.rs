@@ -1,0 +1,276 @@
+//! Audit a cause-effect system described in JSON.
+//!
+//! ```text
+//! audit <spec.json> [--budget-ms N] [--optimize] [--dot FILE] [--sim-secs S]
+//! ```
+//!
+//! Reads a [`disparity_model::spec::SystemSpec`], then prints:
+//!
+//! * per-ECU utilization and per-task schedulability (`R ≤ T`);
+//! * for every sink: the worst-case time disparity under P-diff, S-diff
+//!   and Combined, with the critical sensor pair;
+//! * per-chain backward-time, data-age and reaction-time bounds;
+//! * with `--let`, the same chains under Logical Execution Time
+//!   communication (scheduling-independent bounds);
+//! * optionally (`--optimize`) an Algorithm-1 buffer plan per sink;
+//! * optionally a short simulation cross-check (`--sim-secs`, default 5).
+//!
+//! Exits non-zero if a `--budget-ms` disparity budget is violated by any
+//! sink, making the tool usable as a CI gate for timing requirements.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use disparity_core::prelude::*;
+use disparity_model::prelude::*;
+use disparity_model::spec::SystemSpec;
+use disparity_sched::prelude::*;
+use disparity_sim::prelude::*;
+
+#[derive(Debug)]
+struct Args {
+    spec: PathBuf,
+    budget: Option<Duration>,
+    optimize: bool,
+    let_mode: bool,
+    dot: Option<PathBuf>,
+    sim_secs: i64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut spec = None;
+    let mut budget = None;
+    let mut optimize = false;
+    let mut let_mode = false;
+    let mut dot = None;
+    let mut sim_secs = 5;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--budget-ms" => {
+                let v = it.next().ok_or("--budget-ms needs a value")?;
+                budget = Some(Duration::from_millis(
+                    v.parse().map_err(|_| format!("bad budget: {v}"))?,
+                ));
+            }
+            "--optimize" => optimize = true,
+            "--let" => let_mode = true,
+            "--dot" => dot = Some(PathBuf::from(it.next().ok_or("--dot needs a value")?)),
+            "--sim-secs" => {
+                let v = it.next().ok_or("--sim-secs needs a value")?;
+                sim_secs = v.parse().map_err(|_| format!("bad duration: {v}"))?;
+            }
+            other if spec.is_none() && !other.starts_with('-') => {
+                spec = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args {
+        spec: spec.ok_or("missing <spec.json> argument")?,
+        budget,
+        optimize,
+        let_mode,
+        dot,
+        sim_secs,
+    })
+}
+
+fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(&args.spec)?;
+    let spec: SystemSpec = serde_json::from_str(&text)?;
+    let graph = spec.build()?;
+    println!(
+        "loaded {}: {} tasks, {} channels, {} resources",
+        args.spec.display(),
+        graph.task_count(),
+        graph.channel_count(),
+        graph.ecus().len()
+    );
+
+    if let Some(dot_path) = &args.dot {
+        std::fs::write(dot_path, disparity_model::dot::to_dot(&graph))?;
+        println!("DOT written to {}", dot_path.display());
+    }
+
+    // --- Schedulability ----------------------------------------------------
+    let report = analyze(&graph)?;
+    println!("\n## schedulability");
+    for ecu in graph.ecus() {
+        println!(
+            "  {:<12} {:<10} utilization {:>5.1}%",
+            ecu.name(),
+            format!("({})", ecu.kind()),
+            ecu_utilization(&graph, ecu.id()) * 100.0
+        );
+    }
+    for v in report.verdicts() {
+        let task = graph.task(v.task);
+        if task.is_zero_cost() {
+            continue;
+        }
+        println!(
+            "  {:<12} R = {:>10}  T = {:>8}  {}",
+            task.name(),
+            v.wcrt.to_string(),
+            v.period.to_string(),
+            if v.schedulable { "ok" } else { "DEADLINE MISS" }
+        );
+    }
+    if !report.all_schedulable() {
+        println!("\nsystem is not schedulable; disparity bounds require R <= T");
+        return Ok(false);
+    }
+    let rt = report.into_response_times();
+
+    // --- Per-sink disparity -------------------------------------------------
+    let mut within_budget = true;
+    for sink in graph.sinks() {
+        println!("\n## sink `{}`", graph.task(sink).name());
+        let chains = match graph.chains_to(sink, 4096) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("  chain enumeration failed: {e}");
+                continue;
+            }
+        };
+        println!(
+            "  {} chains from {} source(s)",
+            chains.len(),
+            graph.sources().len()
+        );
+        for chain in &chains {
+            let b = backward_bounds(&graph, chain, &rt);
+            let names: Vec<&str> = chain
+                .tasks()
+                .iter()
+                .map(|&t| graph.task(t).name())
+                .collect();
+            println!(
+                "    {:<40} backward [{}, {}], age <= {}, reaction <= {}",
+                names.join("->"),
+                b.bcbt,
+                b.wcbt,
+                data_age_bound(&graph, chain, &rt),
+                reaction_time_bound(&graph, chain, &rt)
+            );
+        }
+        let mut best = Duration::MAX;
+        for method in [Method::Independent, Method::ForkJoin, Method::Combined] {
+            let r = worst_case_disparity(
+                &graph,
+                sink,
+                &rt,
+                AnalysisConfig {
+                    method,
+                    ..Default::default()
+                },
+            )?;
+            println!(
+                "  {:<12} worst-case disparity {}",
+                format!("{method:?}"),
+                r.bound
+            );
+            best = best.min(r.bound);
+            if method == Method::Combined {
+                if let Some(critical) = r.critical_pair() {
+                    println!(
+                        "  critical pair: {} vs {}",
+                        graph.task(r.chains[critical.lambda].head()).name(),
+                        graph.task(r.chains[critical.nu].head()).name()
+                    );
+                }
+            }
+        }
+        if args.let_mode {
+            use disparity_core::letmodel::{let_backward_bounds, let_worst_case_disparity};
+            for chain in &chains {
+                let b = let_backward_bounds(&graph, chain);
+                let names: Vec<&str> = chain
+                    .tasks()
+                    .iter()
+                    .map(|&t| graph.task(t).name())
+                    .collect();
+                println!(
+                    "    [LET] {:<34} backward [{}, {}]",
+                    names.join("->"),
+                    b.bcbt,
+                    b.wcbt
+                );
+            }
+            let let_bound = let_worst_case_disparity(&graph, sink, Method::Combined, 4096)?;
+            println!("  [LET]        worst-case disparity {let_bound}");
+        }
+
+        if let Some(budget) = args.budget {
+            let ok = best <= budget;
+            println!(
+                "  budget {}: {}",
+                budget,
+                if ok { "met" } else { "VIOLATED" }
+            );
+            within_budget &= ok;
+        }
+
+        if args.optimize {
+            let outcome = optimize_task(&graph, sink, AnalysisConfig::default(), 8)?;
+            if outcome.steps.is_empty() {
+                println!("  optimization: no improving buffer found");
+            } else {
+                println!(
+                    "  optimization: {} -> {} via",
+                    outcome.initial_bound,
+                    outcome.final_bound()
+                );
+                for step in &outcome.steps {
+                    let ch = outcome.graph.channel(step.plan.channel);
+                    println!(
+                        "    FIFO({}) on {} -> {}",
+                        step.plan.capacity,
+                        outcome.graph.task(ch.src()).name(),
+                        outcome.graph.task(ch.dst()).name()
+                    );
+                }
+            }
+        }
+
+        if args.sim_secs > 0 {
+            let sim = Simulator::new(
+                &graph,
+                SimConfig {
+                    horizon: Duration::from_secs(args.sim_secs),
+                    seed: 1,
+                    ..Default::default()
+                },
+            );
+            if let Some(observed) = sim.run()?.metrics.max_disparity(sink) {
+                println!(
+                    "  simulated max disparity over {}s: {}",
+                    args.sim_secs, observed
+                );
+            }
+        }
+    }
+    Ok(within_budget)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: audit <spec.json> [--budget-ms N] [--optimize] [--let] [--dot FILE] [--sim-secs S]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

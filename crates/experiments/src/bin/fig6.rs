@@ -1,0 +1,202 @@
+//! Regenerates the paper's Fig. 6 series.
+//!
+//! ```text
+//! fig6 [a|b|c|d|ab|cd|funnel|all] [--full] [--seed N] [--out DIR] [--horizon-secs S]
+//! ```
+//!
+//! * `a`/`b` share one sweep (absolute values vs. incremental ratios), as
+//!   do `c`/`d`; `funnel` runs the pipeline-topology variant of (a)/(b);
+//!   `all` runs everything.
+//! * `--full` uses the paper's scale: 10-minute simulations, 10 graphs ×
+//!   10 offsets per point (hours of wall-clock time). The default is a
+//!   quick profile whose qualitative shape matches.
+//! * CSV lands in `--out` (default `results/`); markdown goes to stdout.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use disparity_experiments::fig6ab::{self, Fig6abConfig};
+use disparity_experiments::fig6cd::{self, Fig6cdConfig};
+use disparity_model::time::Duration;
+
+#[derive(Debug)]
+struct Args {
+    run_ab: bool,
+    run_cd: bool,
+    run_funnel: bool,
+    full: bool,
+    seed: Option<u64>,
+    out: PathBuf,
+    horizon_secs: Option<i64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        run_ab: false,
+        run_cd: false,
+        run_funnel: false,
+        full: false,
+        seed: None,
+        out: PathBuf::from("results"),
+        horizon_secs: None,
+    };
+    let mut saw_selector = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "a" | "b" | "ab" => {
+                args.run_ab = true;
+                saw_selector = true;
+            }
+            "c" | "d" | "cd" => {
+                args.run_cd = true;
+                saw_selector = true;
+            }
+            "funnel" => {
+                args.run_funnel = true;
+                saw_selector = true;
+            }
+            "all" => {
+                args.run_ab = true;
+                args.run_cd = true;
+                args.run_funnel = true;
+                saw_selector = true;
+            }
+            "--full" => args.full = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = Some(v.parse().map_err(|_| format!("bad seed: {v}"))?);
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--horizon-secs" => {
+                let v = it.next().ok_or("--horizon-secs needs a value")?;
+                args.horizon_secs = Some(v.parse().map_err(|_| format!("bad horizon: {v}"))?);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if !saw_selector {
+        args.run_ab = true;
+        args.run_cd = true;
+        args.run_funnel = true;
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: fig6 [a|b|c|d|ab|cd|funnel|all] [--full] [--seed N] [--out DIR] [--horizon-secs S]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let horizon = |quick: i64| {
+        Duration::from_secs(
+            args.horizon_secs
+                .unwrap_or(if args.full { 600 } else { quick }),
+        )
+    };
+
+    if args.run_ab {
+        let mut cfg = Fig6abConfig {
+            sim_horizon: horizon(10),
+            ..Default::default()
+        };
+        if let Some(seed) = args.seed {
+            cfg.seed = seed;
+        }
+        if !args.full {
+            cfg.graphs_per_point = 5;
+            cfg.offsets_per_graph = 3;
+        }
+        eprintln!("fig6(a,b): sweeping n_tasks={:?} ...", cfg.task_counts);
+        let rows = fig6ab::run(&cfg);
+        let ta = fig6ab::table_a(&rows);
+        let tb = fig6ab::table_b(&rows);
+        println!("## Fig 6(a) — absolute worst-case time disparity (mean over graphs)\n");
+        println!("{}", ta.to_markdown());
+        println!("## Fig 6(b) — incremental ratio vs Sim\n");
+        println!("{}", tb.to_markdown());
+        if let Err(e) = ta
+            .write_csv(&args.out.join("fig6a.csv"))
+            .and_then(|()| tb.write_csv(&args.out.join("fig6b.csv")))
+        {
+            eprintln!("error writing CSV: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if args.run_funnel {
+        let mut cfg = Fig6abConfig {
+            sim_horizon: horizon(10),
+            ..Default::default()
+        };
+        if let Some(seed) = args.seed {
+            cfg.seed = seed;
+        }
+        if !args.full {
+            cfg.graphs_per_point = 5;
+            cfg.offsets_per_graph = 3;
+        }
+        eprintln!(
+            "fig6(a') funnel variant: sweeping n_tasks={:?} ...",
+            cfg.task_counts
+        );
+        let rows = fig6ab::run_funnel(&cfg);
+        let ta = fig6ab::table_a(&rows);
+        let tb = fig6ab::table_b(&rows);
+        println!("## Fig 6(a') — funnel-graph variant (pipeline topologies)\n");
+        println!("{}", ta.to_markdown());
+        println!("## Fig 6(b') — funnel-graph incremental ratios\n");
+        println!("{}", tb.to_markdown());
+        if let Err(e) = ta
+            .write_csv(&args.out.join("fig6a_funnel.csv"))
+            .and_then(|()| tb.write_csv(&args.out.join("fig6b_funnel.csv")))
+        {
+            eprintln!("error writing CSV: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if args.run_cd {
+        let mut cfg = Fig6cdConfig {
+            sim_horizon: horizon(10),
+            ..Default::default()
+        };
+        if let Some(seed) = args.seed {
+            cfg.seed = seed;
+        }
+        if !args.full {
+            cfg.systems_per_point = 5;
+            cfg.offsets_per_system = 3;
+        }
+        eprintln!(
+            "fig6(c,d): sweeping chain_lengths={:?} ...",
+            cfg.chain_lengths
+        );
+        let rows = fig6cd::run(&cfg);
+        let tc = fig6cd::table_c(&rows);
+        let td = fig6cd::table_d(&rows);
+        println!("## Fig 6(c) — buffer optimization, absolute values (mean over systems)\n");
+        println!("{}", tc.to_markdown());
+        println!("## Fig 6(d) — incremental ratios after optimization\n");
+        println!("{}", td.to_markdown());
+        if let Err(e) = tc
+            .write_csv(&args.out.join("fig6c.csv"))
+            .and_then(|()| td.write_csv(&args.out.join("fig6d.csv")))
+        {
+            eprintln!("error writing CSV: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!("CSV written to {}", args.out.display());
+    ExitCode::SUCCESS
+}

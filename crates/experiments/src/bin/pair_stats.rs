@@ -1,0 +1,87 @@
+//! Diagnostic: per-pair P-diff vs S-diff statistics on random graphs.
+//!
+//! For each generated graph, prints how many chain pairs exist, how many
+//! share interior structure (common tasks beyond the analyzed one after
+//! truncation), and where the two theorems disagree — including which pair
+//! attains the overall maximum under each method.
+
+use disparity_core::pairwise::{decompose, theorem1_bound, theorem2_bound};
+use disparity_model::time::Duration;
+use disparity_sched::schedulability::analyze;
+use disparity_workload::graphgen::{schedulable_random_system, GraphGenConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+    let factor: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2.5);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let max_sources: Option<usize> = args.next().and_then(|a| a.parse().ok());
+    let mut rng = StdRng::seed_from_u64(seed);
+    for g_idx in 0..5 {
+        let graph = schedulable_random_system(
+            GraphGenConfig {
+                n_tasks: n,
+                n_ecus: 4,
+                n_edges: Some((n as f64 * factor) as usize),
+                max_sources,
+                target_utilization: Some(0.45),
+            },
+            &mut rng,
+            100,
+        )
+        .expect("generation succeeds");
+        let sink = graph.sinks()[0];
+        let rt = analyze(&graph).expect("schedulable").into_response_times();
+        let chains = match graph.chains_to(sink, 4096) {
+            Ok(c) => c,
+            Err(_) => {
+                println!("graph {g_idx}: chain explosion, skipped");
+                continue;
+            }
+        };
+        let mut structured = 0usize;
+        let mut s_tighter = 0usize;
+        let mut s_looser = 0usize;
+        let mut total = 0usize;
+        let mut max_p = (Duration::ZERO, 0usize, 0usize);
+        let mut max_s = (Duration::ZERO, 0usize, 0usize);
+        for i in 0..chains.len() {
+            for j in (i + 1)..chains.len() {
+                total += 1;
+                let p = theorem1_bound(&graph, &chains[i], &chains[j], &rt).unwrap();
+                let (lam, nu) = chains[i].truncate_to_last_joint(&chains[j]).unwrap();
+                let s = theorem2_bound(&graph, &lam, &nu, &rt).unwrap();
+                let d = decompose(&graph, &lam, &nu, &rt).unwrap();
+                if d.common_count() > 1 || lam.len() < chains[i].len() {
+                    structured += 1;
+                }
+                if s < p {
+                    s_tighter += 1;
+                }
+                if s > p {
+                    s_looser += 1;
+                }
+                if p > max_p.0 {
+                    max_p = (p, i, j);
+                }
+                if s > max_s.0 {
+                    max_s = (s, i, j);
+                }
+            }
+        }
+        println!(
+            "graph {g_idx}: sources={} chains={} pairs={total} structured={structured} \
+             S<P={s_tighter} S>P={s_looser}  maxP={} (pair {},{})  maxS={} (pair {},{})",
+            graph.sources().len(),
+            chains.len(),
+            max_p.0,
+            max_p.1,
+            max_p.2,
+            max_s.0,
+            max_s.1,
+            max_s.2,
+        );
+    }
+}

@@ -1,0 +1,417 @@
+//! Reproduction of Fig. 6(a) and 6(b): P-diff / S-diff bounds vs. the
+//! simulated maximum time disparity on random single-sink DAGs.
+//!
+//! Protocol (paper §V): for each task count `n` on the X axis, generate
+//! `graphs_per_point` random graphs; analyze the sink with Theorem 1
+//! (**P-diff**) and Theorem 2 (**S-diff**); simulate each graph
+//! `offsets_per_graph` times with fresh random offsets and record the
+//! maximum observed disparity (**Sim**); average everything per point.
+//! Fig. 6(a) plots the absolute values, Fig. 6(b) the incremental ratios
+//! `(bound − Sim)/Sim`.
+
+use disparity_core::disparity::{worst_case_disparity, AnalysisConfig};
+use disparity_core::pairwise::Method;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::TaskId;
+use disparity_model::time::Duration;
+use disparity_sched::schedulability::analyze;
+use disparity_sim::engine::{SimConfig, Simulator};
+use disparity_sim::exec::ExecutionTimeModel;
+use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
+use disparity_workload::graphgen::{schedulable_random_system, GraphGenConfig};
+use disparity_workload::offsets::randomize_offsets;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::stats::{incremental_ratio, mean};
+use crate::table::{fmt_ms, fmt_pct, Table};
+
+/// Parameters of the Fig. 6(a)/(b) sweep.
+#[derive(Debug, Clone)]
+pub struct Fig6abConfig {
+    /// X-axis values (number of tasks per graph). Paper: `[5, 35]`.
+    pub task_counts: Vec<usize>,
+    /// Graphs generated per point. Paper: 10.
+    pub graphs_per_point: usize,
+    /// Offset randomizations simulated per graph. Paper: 10.
+    pub offsets_per_graph: usize,
+    /// Simulated horizon per run. Paper: 10 minutes; default kept shorter
+    /// (observed maxima only grow with the horizon, so bounds stay safe).
+    pub sim_horizon: Duration,
+    /// Number of processor ECUs.
+    pub n_ecus: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Chain-enumeration budget per sink.
+    pub chain_limit: usize,
+    /// Edges drawn per task (`m = ⌊edge_factor · n⌋`). The paper uses
+    /// NetworkX's *dense* G(n, m) generator without stating `m`; denser
+    /// graphs have more interleaved chain pairs, which is where Theorem 2
+    /// separates from Theorem 1.
+    pub edge_factor: f64,
+    /// Source budget handed to the generator (see
+    /// [`GraphGenConfig::max_sources`]).
+    pub max_sources: Option<usize>,
+    /// Per-ECU utilization target (see
+    /// [`GraphGenConfig::target_utilization`]).
+    pub target_utilization: Option<f64>,
+}
+
+impl Default for Fig6abConfig {
+    fn default() -> Self {
+        Fig6abConfig {
+            task_counts: vec![5, 10, 15, 20, 25, 30, 35],
+            graphs_per_point: 10,
+            offsets_per_graph: 10,
+            sim_horizon: Duration::from_secs(10),
+            n_ecus: 4,
+            seed: 0xD15B,
+            chain_limit: 4096,
+            edge_factor: 2.5,
+            max_sources: Some(3),
+            target_utilization: Some(0.45),
+        }
+    }
+}
+
+/// One aggregated point of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6abRow {
+    /// Number of tasks.
+    pub n_tasks: usize,
+    /// Mean Theorem 1 bound (ms).
+    pub p_diff_ms: f64,
+    /// Mean Theorem 2 bound (ms).
+    pub s_diff_ms: f64,
+    /// Mean simulated maximum disparity (ms).
+    pub sim_ms: f64,
+    /// `(P-diff − Sim)/Sim` on the means.
+    pub p_ratio: Option<f64>,
+    /// `(S-diff − Sim)/Sim` on the means.
+    pub s_ratio: Option<f64>,
+    /// Mean over all chain *pairs* of the Theorem 1 bound (ms). The
+    /// per-pair view is where Theorem 2's advantage is visible: the
+    /// per-task maximum is usually attained by a structureless pair on
+    /// which both theorems provably coincide.
+    pub p_pair_mean_ms: f64,
+    /// Mean over all chain *pairs* of the Theorem 2 bound (ms).
+    pub s_pair_mean_ms: f64,
+    /// Graphs that actually contributed (analysis within limits).
+    pub graphs: usize,
+}
+
+/// Runs the sweep on G(n, m) graphs (the paper's generator family) and
+/// returns one row per task count.
+///
+/// Graphs whose sink exceeds the chain-enumeration budget are redrawn (the
+/// paper's generator implicitly avoids path explosions the same way: by
+/// drawing another random graph).
+#[must_use]
+pub fn run(config: &Fig6abConfig) -> Vec<Fig6abRow> {
+    run_with(config, |n_tasks, cfg, rng| {
+        schedulable_random_system(
+            GraphGenConfig {
+                n_tasks,
+                n_ecus: cfg.n_ecus,
+                n_edges: Some((n_tasks as f64 * cfg.edge_factor) as usize),
+                max_sources: cfg.max_sources,
+                target_utilization: cfg.target_utilization,
+            },
+            rng,
+            50,
+        )
+        .ok()
+    })
+}
+
+/// Runs the sweep on *funnel* graphs (layered pipelines).
+///
+/// On funnels every chain pair shares a suffix, so the fork-join bound's
+/// per-task advantage over the independent bound — which G(n, m) graphs
+/// wash out — becomes visible (see EXPERIMENTS.md).
+#[must_use]
+pub fn run_funnel(config: &Fig6abConfig) -> Vec<Fig6abRow> {
+    run_with(config, |n_tasks, cfg, rng| {
+        let mut funnel_cfg = FunnelConfig::with_approximate_size(n_tasks);
+        funnel_cfg.n_ecus = cfg.n_ecus;
+        funnel_cfg.target_utilization = cfg.target_utilization;
+        schedulable_funnel_system(&funnel_cfg, rng, 50).ok()
+    })
+}
+
+/// Shared sweep driver over an arbitrary graph generator.
+///
+/// Points are independent (each has its own derived RNG seed), so they are
+/// computed on one thread per point; results are deterministic per
+/// configuration regardless of scheduling.
+fn run_with<F>(config: &Fig6abConfig, generate: F) -> Vec<Fig6abRow>
+where
+    F: Fn(usize, &Fig6abConfig, &mut StdRng) -> Option<disparity_model::graph::CauseEffectGraph>
+        + Sync,
+{
+    let mut rows: Vec<Option<Fig6abRow>> = vec![None; config.task_counts.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (point, &n_tasks) in config.task_counts.iter().enumerate() {
+            let generate = &generate;
+            handles
+                .push(scope.spawn(move || (point, sweep_point(config, point, n_tasks, generate))));
+        }
+        for handle in handles {
+            let (point, row) = handle.join().expect("sweep worker never panics");
+            rows[point] = Some(row);
+        }
+    });
+    rows.into_iter()
+        .map(|r| r.expect("every point computed"))
+        .collect()
+}
+
+fn sweep_point<F>(config: &Fig6abConfig, point: usize, n_tasks: usize, generate: &F) -> Fig6abRow
+where
+    F: Fn(usize, &Fig6abConfig, &mut StdRng) -> Option<disparity_model::graph::CauseEffectGraph>,
+{
+    let mut rng = StdRng::seed_from_u64(config.seed ^ ((point as u64) << 32));
+    let mut p_values = Vec::new();
+    let mut s_values = Vec::new();
+    let mut p_pair_values = Vec::new();
+    let mut s_pair_values = Vec::new();
+    let mut sim_values = Vec::new();
+    let mut produced = 0usize;
+    let mut attempts = 0usize;
+    while produced < config.graphs_per_point && attempts < config.graphs_per_point * 20 {
+        attempts += 1;
+        let Some(graph) = generate(n_tasks, config, &mut rng) else {
+            continue;
+        };
+        let sink = graph.sinks()[0];
+        let Some(bounds) = analyze_sink(&graph, sink, config.chain_limit) else {
+            continue; // chain explosion: redraw
+        };
+        let sim_ms = simulate_max_disparity(
+            &graph,
+            sink,
+            config.offsets_per_graph,
+            config.sim_horizon,
+            &mut rng,
+        );
+        p_values.push(bounds.p_ms);
+        s_values.push(bounds.s_ms);
+        p_pair_values.push(bounds.p_pair_mean_ms);
+        s_pair_values.push(bounds.s_pair_mean_ms);
+        sim_values.push(sim_ms);
+        produced += 1;
+    }
+    let p_diff_ms = mean(&p_values).unwrap_or(0.0);
+    let s_diff_ms = mean(&s_values).unwrap_or(0.0);
+    let sim_ms = mean(&sim_values).unwrap_or(0.0);
+    Fig6abRow {
+        n_tasks,
+        p_diff_ms,
+        s_diff_ms,
+        sim_ms,
+        p_ratio: incremental_ratio(p_diff_ms, sim_ms),
+        s_ratio: incremental_ratio(s_diff_ms, sim_ms),
+        p_pair_mean_ms: mean(&p_pair_values).unwrap_or(0.0),
+        s_pair_mean_ms: mean(&s_pair_values).unwrap_or(0.0),
+        graphs: produced,
+    }
+}
+
+/// Per-graph analysis results.
+struct SinkBounds {
+    p_ms: f64,
+    s_ms: f64,
+    p_pair_mean_ms: f64,
+    s_pair_mean_ms: f64,
+}
+
+/// Theorem 1 and Theorem 2 bounds (in ms) of the sink, or `None` on chain
+/// explosion.
+fn analyze_sink(graph: &CauseEffectGraph, sink: TaskId, chain_limit: usize) -> Option<SinkBounds> {
+    let report = analyze(graph).ok()?;
+    if !report.all_schedulable() {
+        return None;
+    }
+    let rt = report.into_response_times();
+    let p = worst_case_disparity(
+        graph,
+        sink,
+        &rt,
+        AnalysisConfig {
+            method: Method::Independent,
+            chain_limit,
+        },
+    )
+    .ok()?;
+    let s = worst_case_disparity(
+        graph,
+        sink,
+        &rt,
+        AnalysisConfig {
+            method: Method::ForkJoin,
+            chain_limit,
+        },
+    )
+    .ok()?;
+    let pair_mean = |r: &disparity_core::disparity::DisparityReport| {
+        let vals: Vec<f64> = r.pairs.iter().map(|p| p.bound.as_millis_f64()).collect();
+        mean(&vals).unwrap_or(0.0)
+    };
+    Some(SinkBounds {
+        p_ms: p.bound.as_millis_f64(),
+        s_ms: s.bound.as_millis_f64(),
+        p_pair_mean_ms: pair_mean(&p),
+        s_pair_mean_ms: pair_mean(&s),
+    })
+}
+
+/// Maximum observed disparity (ms) over several offset-randomized runs.
+fn simulate_max_disparity(
+    graph: &CauseEffectGraph,
+    sink: TaskId,
+    runs: usize,
+    horizon: Duration,
+    rng: &mut StdRng,
+) -> f64 {
+    let mut best = 0.0f64;
+    for run in 0..runs {
+        let instance = randomize_offsets(graph, rng);
+        let sim = Simulator::new(
+            &instance,
+            SimConfig {
+                horizon,
+                exec_model: ExecutionTimeModel::Uniform,
+                seed: rng_seed(rng, run),
+                warmup: Duration::ZERO,
+                record_trace: false,
+                semantics: disparity_sim::engine::CommunicationSemantics::Implicit,
+            },
+        );
+        let outcome = sim.run().expect("valid configuration");
+        if let Some(d) = outcome.metrics.max_disparity(sink) {
+            best = best.max(d.as_millis_f64());
+        }
+    }
+    best
+}
+
+fn rng_seed(rng: &mut StdRng, salt: usize) -> u64 {
+    use rand::Rng as _;
+    rng.gen::<u64>() ^ (salt as u64)
+}
+
+/// Renders the Fig. 6(a) view (absolute values).
+#[must_use]
+pub fn table_a(rows: &[Fig6abRow]) -> Table {
+    let mut t = Table::new([
+        "n_tasks",
+        "P-diff_ms",
+        "S-diff_ms",
+        "Sim_ms",
+        "P-pair-mean_ms",
+        "S-pair-mean_ms",
+        "graphs",
+    ]);
+    for r in rows {
+        t.push_row([
+            r.n_tasks.to_string(),
+            fmt_ms(r.p_diff_ms),
+            fmt_ms(r.s_diff_ms),
+            fmt_ms(r.sim_ms),
+            fmt_ms(r.p_pair_mean_ms),
+            fmt_ms(r.s_pair_mean_ms),
+            r.graphs.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders the Fig. 6(b) view (incremental ratios vs. Sim).
+#[must_use]
+pub fn table_b(rows: &[Fig6abRow]) -> Table {
+    let mut t = Table::new(["n_tasks", "P-diff_ratio", "S-diff_ratio"]);
+    for r in rows {
+        t.push_row([
+            r.n_tasks.to_string(),
+            fmt_pct(r.p_ratio),
+            fmt_pct(r.s_ratio),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Fig6abConfig {
+        Fig6abConfig {
+            task_counts: vec![5, 8],
+            graphs_per_point: 2,
+            offsets_per_graph: 2,
+            sim_horizon: Duration::from_millis(2_000),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sweep_produces_safe_bounds() {
+        let rows = run(&tiny_config());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.graphs > 0, "every point should produce graphs");
+            // Safety: the mean bounds must dominate the mean observation.
+            assert!(
+                r.p_diff_ms + 1e-9 >= r.sim_ms,
+                "P-diff {} < Sim {}",
+                r.p_diff_ms,
+                r.sim_ms
+            );
+            assert!(
+                r.s_diff_ms + 1e-9 >= r.sim_ms,
+                "S-diff {} < Sim {}",
+                r.s_diff_ms,
+                r.sim_ms
+            );
+        }
+    }
+
+    #[test]
+    fn tables_have_one_row_per_point() {
+        let rows = run(&tiny_config());
+        assert_eq!(table_a(&rows).len(), rows.len());
+        assert_eq!(table_b(&rows).len(), rows.len());
+    }
+
+    /// The sweep is parallel over points but must stay deterministic per
+    /// configuration (each point derives its own seed).
+    #[test]
+    fn sweep_is_deterministic_across_runs() {
+        let cfg = tiny_config();
+        let a = run(&cfg);
+        let b = run(&cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.n_tasks, y.n_tasks);
+            assert_eq!(x.p_diff_ms, y.p_diff_ms);
+            assert_eq!(x.s_diff_ms, y.s_diff_ms);
+            assert_eq!(x.sim_ms, y.sim_ms);
+        }
+    }
+
+    #[test]
+    fn funnel_sweep_runs_and_separates_bounds() {
+        let rows = run_funnel(&Fig6abConfig {
+            task_counts: vec![12],
+            graphs_per_point: 3,
+            offsets_per_graph: 2,
+            sim_horizon: Duration::from_millis(1500),
+            ..Default::default()
+        });
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.graphs > 0);
+        assert!(r.s_diff_ms < r.p_diff_ms, "funnels separate S from P");
+        assert!(r.s_diff_ms + 1e-9 >= r.sim_ms, "S-diff stays safe");
+    }
+}

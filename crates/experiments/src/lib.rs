@@ -1,0 +1,18 @@
+//! Experiment harness reproducing every figure of the DATE 2023
+//! time-disparity paper.
+//!
+//! * [`fig6ab`] — Fig. 6(a)/(b): P-diff / S-diff / Sim on random DAGs.
+//! * [`fig6cd`] — Fig. 6(c)/(d): buffer optimization on merged chains.
+//! * [`table`] / [`stats`] — CSV/markdown emission and aggregation.
+//!
+//! The `fig6` binary drives these sweeps
+//! (`cargo run -p disparity-experiments --release --bin fig6 -- all`);
+//! `paper_examples` reproduces the running examples of Figs. 2–4.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fig6ab;
+pub mod fig6cd;
+pub mod stats;
+pub mod table;

@@ -1,0 +1,45 @@
+//! Small statistics helpers for experiment aggregation.
+
+/// Arithmetic mean; `None` for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Sample maximum; `None` for an empty slice.
+#[must_use]
+pub fn max(values: &[f64]) -> Option<f64> {
+    values.iter().copied().reduce(f64::max)
+}
+
+/// The paper's *incremental ratio* of a bound against an observed value:
+/// `(bound − observed) / observed`. `None` when `observed` is not strictly
+/// positive (no meaningful ratio exists).
+#[must_use]
+pub fn incremental_ratio(bound: f64, observed: f64) -> Option<f64> {
+    (observed > 0.0).then(|| (bound - observed) / observed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_max() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(max(&[]), None);
+        assert_eq!(max(&[2.0, 4.0, 3.0]), Some(4.0));
+    }
+
+    #[test]
+    fn ratio_guards_division() {
+        assert_eq!(incremental_ratio(15.0, 10.0), Some(0.5));
+        assert_eq!(incremental_ratio(15.0, 0.0), None);
+        assert_eq!(incremental_ratio(15.0, -1.0), None);
+    }
+}

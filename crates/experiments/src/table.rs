@@ -1,0 +1,151 @@
+//! CSV and markdown emission for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular result table with named columns.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    #[must_use]
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header.
+    pub fn push_row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a millisecond value with two decimals.
+#[must_use]
+pub fn fmt_ms(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Formats a ratio as a percentage with one decimal.
+#[must_use]
+pub fn fmt_pct(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{:.1}%", v * 100.0),
+        None => "n/a".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_csv_and_markdown() {
+        let mut t = Table::new(["n", "value"]);
+        t.push_row(["5", "1.25"]);
+        t.push_row(["10", "2.50"]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let csv = t.to_csv();
+        assert!(csv.starts_with("n,value\n"));
+        assert!(csv.contains("10,2.50"));
+        let md = t.to_markdown();
+        assert!(md.contains("| n | value |"));
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_is_enforced() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ms(1.234), "1.23");
+        assert_eq!(fmt_pct(Some(0.256)), "25.6%");
+        assert_eq!(fmt_pct(None), "n/a");
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("disparity_table_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Table::new(["x"]);
+        t.push_row(["1"]);
+        let path = dir.join("nested/out.csv");
+        t.write_csv(&path).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

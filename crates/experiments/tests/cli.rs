@@ -1,0 +1,96 @@
+//! Integration tests for the `audit` and `fig6` command-line tools.
+
+use std::process::Command;
+
+fn audit_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_audit")
+}
+
+const SPEC: &str = r#"{
+  "ecus": [{"name": "e0"}],
+  "tasks": [
+    {"name": "s1", "period": 10000000},
+    {"name": "s2", "period": 30000000},
+    {"name": "fuse", "period": 30000000, "bcet": 1000000, "wcet": 2000000, "ecu": "e0"}
+  ],
+  "channels": [
+    {"from": "s1", "to": "fuse"},
+    {"from": "s2", "to": "fuse"}
+  ]
+}"#;
+
+fn write_spec(name: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, SPEC).expect("temp spec written");
+    path
+}
+
+#[test]
+fn audit_reports_and_meets_generous_budget() {
+    let spec = write_spec("audit_cli_ok.json");
+    let out = Command::new(audit_bin())
+        .arg(&spec)
+        .args(["--budget-ms", "2000", "--sim-secs", "1", "--let"])
+        .output()
+        .expect("audit runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("## schedulability"));
+    assert!(stdout.contains("worst-case disparity"));
+    assert!(stdout.contains("[LET]"));
+    assert!(stdout.contains("budget 2000ms: met"));
+}
+
+#[test]
+fn audit_fails_on_impossible_budget() {
+    let spec = write_spec("audit_cli_tight.json");
+    let out = Command::new(audit_bin())
+        .arg(&spec)
+        .args(["--budget-ms", "1", "--sim-secs", "0"])
+        .output()
+        .expect("audit runs");
+    assert!(!out.status.success(), "a 1ms budget must be violated");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VIOLATED"));
+}
+
+#[test]
+fn audit_rejects_bad_arguments() {
+    let out = Command::new(audit_bin())
+        .arg("--definitely-not-a-flag")
+        .output()
+        .expect("audit runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn audit_writes_dot_output() {
+    let spec = write_spec("audit_cli_dot.json");
+    let dot = std::env::temp_dir().join("audit_cli_graph.dot");
+    let _ = std::fs::remove_file(&dot);
+    let out = Command::new(audit_bin())
+        .arg(&spec)
+        .args(["--sim-secs", "0", "--dot"])
+        .arg(&dot)
+        .output()
+        .expect("audit runs");
+    assert!(out.status.success());
+    let rendered = std::fs::read_to_string(&dot).expect("dot written");
+    assert!(rendered.contains("digraph cause_effect"));
+}
+
+#[test]
+fn fig6_rejects_unknown_selector() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig6"))
+        .arg("bogus")
+        .output()
+        .expect("fig6 runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

@@ -1,0 +1,467 @@
+//! Construction and validation of cause-effect graphs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::channel::Channel;
+use crate::ecu::{Ecu, EcuKind};
+use crate::error::ModelError;
+use crate::graph::CauseEffectGraph;
+use crate::ids::{ChannelId, EcuId, Priority, TaskId};
+use crate::task::{Task, TaskSpec};
+
+/// Incremental builder for a [`CauseEffectGraph`].
+///
+/// Ids are handed out immediately so they can be wired into edges; all
+/// validation happens in [`SystemBuilder::build`].
+///
+/// Tasks without an explicit priority receive one **rate-monotonically** at
+/// build time: on each ECU, unassigned tasks are ordered by ascending period
+/// (ties by insertion order) and given the lowest priority levels not
+/// claimed explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::builder::SystemBuilder;
+/// use disparity_model::task::TaskSpec;
+/// use disparity_model::time::Duration;
+///
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("ecu0");
+/// let ms = Duration::from_millis;
+/// let sensor = b.add_task(TaskSpec::periodic("sensor", ms(33)));
+/// let filter = b.add_task(
+///     TaskSpec::periodic("filter", ms(33)).execution(ms(1), ms(4)).on_ecu(ecu),
+/// );
+/// b.connect(sensor, filter);
+/// let graph = b.build()?;
+/// assert_eq!(graph.task_count(), 2);
+/// # Ok::<(), disparity_model::error::ModelError>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SystemBuilder {
+    ecus: Vec<Ecu>,
+    tasks: Vec<TaskSpec>,
+    edges: Vec<(TaskId, TaskId, usize)>,
+}
+
+impl SystemBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        SystemBuilder::default()
+    }
+
+    /// Registers a processor ECU and returns its id.
+    pub fn add_ecu(&mut self, name: impl Into<String>) -> EcuId {
+        self.add_resource(name, EcuKind::Processor)
+    }
+
+    /// Registers a communication bus and returns its id.
+    ///
+    /// A bus is scheduled exactly like a processor (non-preemptive fixed
+    /// priority — i.e. CAN arbitration); the kind is metadata.
+    pub fn add_bus(&mut self, name: impl Into<String>) -> EcuId {
+        self.add_resource(name, EcuKind::Bus)
+    }
+
+    fn add_resource(&mut self, name: impl Into<String>, kind: EcuKind) -> EcuId {
+        let id = EcuId::from_index(self.ecus.len());
+        self.ecus.push(Ecu {
+            id,
+            name: name.into(),
+            kind,
+        });
+        id
+    }
+
+    /// Registers a task and returns its id.
+    pub fn add_task(&mut self, spec: TaskSpec) -> TaskId {
+        let id = TaskId::from_index(self.tasks.len());
+        self.tasks.push(spec);
+        id
+    }
+
+    /// Adds a register channel (capacity 1) from `src` to `dst`.
+    pub fn connect(&mut self, src: TaskId, dst: TaskId) -> ChannelId {
+        self.connect_with_capacity(src, dst, 1)
+    }
+
+    /// Adds a FIFO channel with the given buffer capacity from `src` to
+    /// `dst`. Capacity is validated at build time.
+    pub fn connect_with_capacity(
+        &mut self,
+        src: TaskId,
+        dst: TaskId,
+        capacity: usize,
+    ) -> ChannelId {
+        let id = ChannelId::from_index(self.edges.len());
+        self.edges.push((src, dst, capacity));
+        id
+    }
+
+    /// Number of tasks registered so far.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Validates everything and produces the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] describing the first violated invariant:
+    /// malformed task parameters, unmapped costly tasks, unknown ids,
+    /// self-loops, duplicate edges, zero capacities, duplicate explicit
+    /// priorities, or a cycle.
+    pub fn build(self) -> Result<CauseEffectGraph, ModelError> {
+        if self.tasks.is_empty() {
+            return Err(ModelError::EmptyGraph);
+        }
+        let n = self.tasks.len();
+
+        // Per-task parameter validation.
+        for (i, spec) in self.tasks.iter().enumerate() {
+            let id = TaskId::from_index(i);
+            if spec.wcet.is_negative() || spec.bcet.is_negative() {
+                return Err(ModelError::NegativeExecutionTime { task: id });
+            }
+            if spec.bcet > spec.wcet {
+                return Err(ModelError::ExecutionTimeOrder {
+                    task: id,
+                    bcet_nanos: spec.bcet.as_nanos(),
+                    wcet_nanos: spec.wcet.as_nanos(),
+                });
+            }
+            if !spec.period.is_positive() {
+                return Err(ModelError::NonPositivePeriod {
+                    task: id,
+                    period_nanos: spec.period.as_nanos(),
+                });
+            }
+            if spec.offset.is_negative() {
+                return Err(ModelError::NegativeOffset {
+                    task: id,
+                    offset_nanos: spec.offset.as_nanos(),
+                });
+            }
+            if let Some(ecu) = spec.ecu {
+                if ecu.index() >= self.ecus.len() {
+                    return Err(ModelError::UnknownEcu(ecu));
+                }
+            } else if !spec.wcet.is_zero() {
+                return Err(ModelError::UnmappedTask(id));
+            }
+        }
+
+        // Edge validation and adjacency construction.
+        let mut out_edges: Vec<Vec<ChannelId>> = vec![Vec::new(); n];
+        let mut in_edges: Vec<Vec<ChannelId>> = vec![Vec::new(); n];
+        let mut seen: BTreeSet<(TaskId, TaskId)> = BTreeSet::new();
+        let mut channels = Vec::with_capacity(self.edges.len());
+        for (i, &(src, dst, capacity)) in self.edges.iter().enumerate() {
+            let id = ChannelId::from_index(i);
+            if src.index() >= n {
+                return Err(ModelError::UnknownTask(src));
+            }
+            if dst.index() >= n {
+                return Err(ModelError::UnknownTask(dst));
+            }
+            if src == dst {
+                return Err(ModelError::SelfLoop(src));
+            }
+            if capacity == 0 {
+                return Err(ModelError::ZeroCapacity { src, dst });
+            }
+            if !seen.insert((src, dst)) {
+                return Err(ModelError::DuplicateEdge { src, dst });
+            }
+            out_edges[src.index()].push(id);
+            in_edges[dst.index()].push(id);
+            channels.push(Channel {
+                id,
+                src,
+                dst,
+                capacity,
+            });
+        }
+
+        // Priority assignment: explicit priorities must be unique per ECU;
+        // the rest are filled rate-monotonically into unused levels.
+        let mut priorities: Vec<Option<Priority>> = self.tasks.iter().map(|t| t.priority).collect();
+        let mut per_ecu: BTreeMap<EcuId, Vec<TaskId>> = BTreeMap::new();
+        for (i, spec) in self.tasks.iter().enumerate() {
+            if let Some(ecu) = spec.ecu {
+                per_ecu.entry(ecu).or_default().push(TaskId::from_index(i));
+            }
+        }
+        for (&ecu, members) in &per_ecu {
+            let mut used: BTreeMap<Priority, TaskId> = BTreeMap::new();
+            for &t in members {
+                if let Some(p) = priorities[t.index()] {
+                    if let Some(&other) = used.get(&p) {
+                        return Err(ModelError::DuplicatePriority {
+                            ecu,
+                            a: other,
+                            b: t,
+                            priority: p,
+                        });
+                    }
+                    used.insert(p, t);
+                }
+            }
+            let mut unassigned: Vec<TaskId> = members
+                .iter()
+                .copied()
+                .filter(|t| priorities[t.index()].is_none())
+                .collect();
+            unassigned.sort_by_key(|t| (self.tasks[t.index()].period, t.index()));
+            let mut next_level = 0u32;
+            for t in unassigned {
+                while used.contains_key(&Priority::new(next_level)) {
+                    next_level += 1;
+                }
+                let p = Priority::new(next_level);
+                used.insert(p, t);
+                priorities[t.index()] = Some(p);
+            }
+        }
+        // Unmapped (zero-cost) tasks never compete for a CPU; give them the
+        // top level so the value is at least well defined.
+        for p in priorities.iter_mut() {
+            p.get_or_insert(Priority::HIGHEST);
+        }
+
+        let tasks: Vec<Task> = self
+            .tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| Task {
+                id: TaskId::from_index(i),
+                name: spec.name,
+                wcet: spec.wcet,
+                bcet: spec.bcet,
+                period: spec.period,
+                offset: spec.offset,
+                ecu: spec.ecu,
+                priority: priorities[i].expect("all priorities assigned"),
+            })
+            .collect();
+
+        let topo = topological_sort(n, &channels, &in_edges)?;
+
+        Ok(CauseEffectGraph {
+            tasks,
+            channels,
+            ecus: self.ecus,
+            out_edges,
+            in_edges,
+            topo,
+        })
+    }
+}
+
+/// Kahn's algorithm; fails with [`ModelError::CycleDetected`] when the edge
+/// relation is cyclic. Deterministic: ready vertices are taken in id order.
+fn topological_sort(
+    n: usize,
+    channels: &[Channel],
+    in_edges: &[Vec<ChannelId>],
+) -> Result<Vec<TaskId>, ModelError> {
+    let mut indegree: Vec<usize> = in_edges.iter().map(Vec::len).collect();
+    let mut ready: BTreeSet<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(&i) = ready.iter().next() {
+        ready.remove(&i);
+        order.push(TaskId::from_index(i));
+        for ch in channels.iter().filter(|c| c.src.index() == i) {
+            let d = ch.dst.index();
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                ready.insert(d);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err(ModelError::CycleDetected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        assert_eq!(
+            SystemBuilder::new().build().unwrap_err(),
+            ModelError::EmptyGraph
+        );
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut b = SystemBuilder::new();
+        let ecu = b.add_ecu("e");
+        let a = b.add_task(TaskSpec::periodic("a", ms(1)).wcet(ms(1)).on_ecu(ecu));
+        let c = b.add_task(TaskSpec::periodic("c", ms(1)).wcet(ms(1)).on_ecu(ecu));
+        b.connect(a, c);
+        b.connect(c, a);
+        assert_eq!(b.build().unwrap_err(), ModelError::CycleDetected);
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        let mut b = SystemBuilder::new();
+        let a = b.add_task(TaskSpec::periodic("a", ms(1)));
+        b.connect(a, a);
+        assert_eq!(b.build().unwrap_err(), ModelError::SelfLoop(a));
+    }
+
+    #[test]
+    fn duplicate_edge_is_rejected() {
+        let mut b = SystemBuilder::new();
+        let a = b.add_task(TaskSpec::periodic("a", ms(1)));
+        let c = b.add_task(TaskSpec::periodic("c", ms(1)));
+        b.connect(a, c);
+        b.connect(a, c);
+        assert_eq!(
+            b.build().unwrap_err(),
+            ModelError::DuplicateEdge { src: a, dst: c }
+        );
+    }
+
+    #[test]
+    fn costly_task_needs_mapping() {
+        let mut b = SystemBuilder::new();
+        let a = b.add_task(TaskSpec::periodic("a", ms(1)).wcet(ms(1)));
+        assert_eq!(b.build().unwrap_err(), ModelError::UnmappedTask(a));
+    }
+
+    #[test]
+    fn zero_cost_task_needs_no_mapping() {
+        let mut b = SystemBuilder::new();
+        b.add_task(TaskSpec::periodic("stim", ms(5)));
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn unknown_ecu_is_rejected() {
+        let mut b = SystemBuilder::new();
+        b.add_task(
+            TaskSpec::periodic("a", ms(1))
+                .wcet(ms(1))
+                .on_ecu(EcuId::from_index(9)),
+        );
+        assert_eq!(
+            b.build().unwrap_err(),
+            ModelError::UnknownEcu(EcuId::from_index(9))
+        );
+    }
+
+    #[test]
+    fn unknown_task_in_edge_is_rejected() {
+        let mut b = SystemBuilder::new();
+        let a = b.add_task(TaskSpec::periodic("a", ms(1)));
+        b.connect(a, TaskId::from_index(5));
+        assert_eq!(
+            b.build().unwrap_err(),
+            ModelError::UnknownTask(TaskId::from_index(5))
+        );
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        let mut b = SystemBuilder::new();
+        let a = b.add_task(TaskSpec::periodic("a", ms(1)));
+        let c = b.add_task(TaskSpec::periodic("c", ms(1)));
+        b.connect_with_capacity(a, c, 0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::ZeroCapacity { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_explicit_priorities_rejected() {
+        let mut b = SystemBuilder::new();
+        let ecu = b.add_ecu("e");
+        b.add_task(
+            TaskSpec::periodic("a", ms(1))
+                .wcet(ms(1))
+                .on_ecu(ecu)
+                .priority(Priority::new(1)),
+        );
+        b.add_task(
+            TaskSpec::periodic("c", ms(2))
+                .wcet(ms(1))
+                .on_ecu(ecu)
+                .priority(Priority::new(1)),
+        );
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::DuplicatePriority { .. }
+        ));
+    }
+
+    #[test]
+    fn rate_monotonic_fills_around_explicit_levels() {
+        let mut b = SystemBuilder::new();
+        let ecu = b.add_ecu("e");
+        let pinned = b.add_task(
+            TaskSpec::periodic("pinned", ms(50))
+                .wcet(ms(1))
+                .on_ecu(ecu)
+                .priority(Priority::new(0)),
+        );
+        let fast = b.add_task(TaskSpec::periodic("fast", ms(5)).wcet(ms(1)).on_ecu(ecu));
+        let slow = b.add_task(TaskSpec::periodic("slow", ms(100)).wcet(ms(1)).on_ecu(ecu));
+        let g = b.build().unwrap();
+        assert_eq!(g.task(pinned).priority(), Priority::new(0));
+        assert_eq!(g.task(fast).priority(), Priority::new(1));
+        assert_eq!(g.task(slow).priority(), Priority::new(2));
+    }
+
+    #[test]
+    fn bcet_above_wcet_rejected() {
+        let mut b = SystemBuilder::new();
+        let ecu = b.add_ecu("e");
+        b.add_task(
+            TaskSpec::periodic("a", ms(1))
+                .bcet(ms(2))
+                .wcet(ms(1))
+                .on_ecu(ecu),
+        );
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::ExecutionTimeOrder { .. }
+        ));
+    }
+
+    #[test]
+    fn nonpositive_period_rejected() {
+        let mut b = SystemBuilder::new();
+        b.add_task(TaskSpec::periodic("a", ms(0)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::NonPositivePeriod { .. }
+        ));
+    }
+
+    #[test]
+    fn negative_offset_rejected() {
+        let mut b = SystemBuilder::new();
+        b.add_task(TaskSpec::periodic("a", ms(5)).offset(ms(-1)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::NegativeOffset { .. }
+        ));
+    }
+}

@@ -1,0 +1,370 @@
+//! Cause-effect chains: paths through the graph.
+//!
+//! A chain `π = {π¹, π², …}` is a path in `G`; the analysis of §III
+//! decomposes *pairs* of chains at their common tasks, so this module also
+//! provides common-task extraction, sub-chain splitting (the `α_i`/`β_i`
+//! decomposition of Theorem 2) and longest-common-suffix truncation ("the
+//! last joint task" simplification).
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::graph::CauseEffectGraph;
+use crate::ids::TaskId;
+
+/// A non-empty path of tasks through a cause-effect graph.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::builder::SystemBuilder;
+/// use disparity_model::chain::Chain;
+/// use disparity_model::task::TaskSpec;
+/// use disparity_model::time::Duration;
+///
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("e");
+/// let ms = Duration::from_millis;
+/// let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+/// let t = b.add_task(TaskSpec::periodic("t", ms(10)).wcet(ms(1)).on_ecu(ecu));
+/// b.connect(s, t);
+/// let g = b.build()?;
+/// let chain = Chain::new(&g, vec![s, t])?;
+/// assert_eq!(chain.head(), s);
+/// assert_eq!(chain.tail(), t);
+/// assert_eq!(chain.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Chain {
+    tasks: Vec<TaskId>,
+}
+
+impl Chain {
+    /// Creates a chain after checking that every consecutive pair is an
+    /// edge of `graph`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::EmptyChain`] if `tasks` is empty.
+    /// * [`ModelError::UnknownTask`] if a task is foreign to the graph.
+    /// * [`ModelError::NotAChain`] if some consecutive pair is not an edge.
+    pub fn new(graph: &CauseEffectGraph, tasks: Vec<TaskId>) -> Result<Self, ModelError> {
+        if tasks.is_empty() {
+            return Err(ModelError::EmptyChain);
+        }
+        for &t in &tasks {
+            if graph.get_task(t).is_none() {
+                return Err(ModelError::UnknownTask(t));
+            }
+        }
+        for w in tasks.windows(2) {
+            if graph.channel_between(w[0], w[1]).is_none() {
+                return Err(ModelError::NotAChain {
+                    from: w[0],
+                    to: w[1],
+                });
+            }
+        }
+        Ok(Chain { tasks })
+    }
+
+    /// Internal constructor for chains produced by graph traversal, which
+    /// are paths by construction.
+    pub(crate) fn new_unchecked(tasks: Vec<TaskId>) -> Self {
+        debug_assert!(!tasks.is_empty());
+        Chain { tasks }
+    }
+
+    /// The head task `π¹`.
+    #[must_use]
+    pub fn head(&self) -> TaskId {
+        self.tasks[0]
+    }
+
+    /// The tail task `π^{|π|}`.
+    #[must_use]
+    pub fn tail(&self) -> TaskId {
+        *self.tasks.last().expect("chains are non-empty")
+    }
+
+    /// Number of tasks `|π|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `false` — chains are never empty; provided for clippy-friendliness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `true` if the chain consists of a single task.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.tasks.len() == 1
+    }
+
+    /// The tasks of the chain in order.
+    #[must_use]
+    pub fn tasks(&self) -> &[TaskId] {
+        &self.tasks
+    }
+
+    /// The `i`-th task (0-based; the paper's `π^{i+1}`).
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<TaskId> {
+        self.tasks.get(i).copied()
+    }
+
+    /// Position of `task` in the chain, if present.
+    #[must_use]
+    pub fn position(&self, task: TaskId) -> Option<usize> {
+        self.tasks.iter().position(|&t| t == task)
+    }
+
+    /// `true` if the chain visits `task`.
+    #[must_use]
+    pub fn contains(&self, task: TaskId) -> bool {
+        self.tasks.contains(&task)
+    }
+
+    /// Iterates over the consecutive `(predecessor, successor)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
+        self.tasks.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// The sub-chain spanning positions `start..=end` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end` is out of range.
+    #[must_use]
+    pub fn slice(&self, start: usize, end: usize) -> Chain {
+        Chain {
+            tasks: self.tasks[start..=end].to_vec(),
+        }
+    }
+
+    /// Tasks common to `self` and `other` **excluding graph source tasks**,
+    /// in chain order — the `{o_1, …, o_c}` of Theorem 2.
+    ///
+    /// Both chains visit common tasks in the same relative order (the graph
+    /// is acyclic), so the order is well defined.
+    #[must_use]
+    pub fn common_tasks(&self, other: &Chain, graph: &CauseEffectGraph) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .copied()
+            .filter(|&t| other.contains(t) && !graph.is_source(t))
+            .collect()
+    }
+
+    /// Splits the chain at the given cut tasks into the sub-chains
+    /// `α_1, …, α_c` of Theorem 2: `α_1` runs from the head to `cuts[0]`,
+    /// and `α_i` from `cuts[i-2]` to `cuts[i-1]`. Every cut task appears as
+    /// both the tail of one sub-chain and the head of the next.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cuts` is empty, contains a task not on the chain, or is
+    /// not in ascending chain order.
+    #[must_use]
+    pub fn split_at(&self, cuts: &[TaskId]) -> Vec<Chain> {
+        assert!(!cuts.is_empty(), "need at least one cut task");
+        let mut out = Vec::with_capacity(cuts.len());
+        let mut start = 0usize;
+        for &cut in cuts {
+            let end = self.position(cut).expect("cut task must be on the chain");
+            assert!(end >= start, "cut tasks must be in chain order");
+            out.push(self.slice(start, end));
+            start = end;
+        }
+        out
+    }
+
+    /// Length (in tasks) of the longest common suffix of the two chains.
+    #[must_use]
+    pub fn common_suffix_len(&self, other: &Chain) -> usize {
+        self.tasks
+            .iter()
+            .rev()
+            .zip(other.tasks.iter().rev())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// Truncates both chains at the *last joint task*: the first task of
+    /// their longest common suffix. Per §III, the immediate backward job
+    /// chain on a shared suffix is unique, so the disparity of the original
+    /// tails equals the disparity at the last joint task.
+    ///
+    /// Returns `None` when the chains share no suffix (different tails) —
+    /// then no truncation applies and the caller should use the chains as
+    /// they are.
+    #[must_use]
+    pub fn truncate_to_last_joint(&self, other: &Chain) -> Option<(Chain, Chain)> {
+        let k = self.common_suffix_len(other);
+        if k == 0 {
+            return None;
+        }
+        let a_end = self.len() - k;
+        let b_end = other.len() - k;
+        Some((self.slice(0, a_end), other.slice(0, b_end)))
+    }
+}
+
+impl fmt::Display for Chain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for t in &self.tasks {
+            if !first {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{t}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SystemBuilder;
+    use crate::task::TaskSpec;
+    use crate::time::Duration;
+
+    /// The paper's Fig. 2 graph:
+    /// τ1 -> τ3 -> {τ4, τ5} -> τ6, τ2 -> τ3.
+    fn fig2() -> (CauseEffectGraph, [TaskId; 6]) {
+        let mut b = SystemBuilder::new();
+        let e1 = b.add_ecu("ecu1");
+        let e2 = b.add_ecu("ecu2");
+        let ms = Duration::from_millis;
+        let t1 = b.add_task(TaskSpec::periodic("t1", ms(10)));
+        let t2 = b.add_task(TaskSpec::periodic("t2", ms(20)));
+        let t3 = b.add_task(
+            TaskSpec::periodic("t3", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e1),
+        );
+        let t4 = b.add_task(
+            TaskSpec::periodic("t4", ms(20))
+                .execution(ms(2), ms(4))
+                .on_ecu(e1),
+        );
+        let t5 = b.add_task(
+            TaskSpec::periodic("t5", ms(30))
+                .execution(ms(2), ms(5))
+                .on_ecu(e2),
+        );
+        let t6 = b.add_task(
+            TaskSpec::periodic("t6", ms(30))
+                .execution(ms(3), ms(6))
+                .on_ecu(e2),
+        );
+        b.connect(t1, t3);
+        b.connect(t2, t3);
+        b.connect(t3, t4);
+        b.connect(t3, t5);
+        b.connect(t4, t6);
+        b.connect(t5, t6);
+        (b.build().unwrap(), [t1, t2, t3, t4, t5, t6])
+    }
+
+    #[test]
+    fn validated_construction() {
+        let (g, [t1, _, t3, _, t5, t6]) = fig2();
+        let c = Chain::new(&g, vec![t1, t3, t5, t6]).unwrap();
+        assert_eq!(c.head(), t1);
+        assert_eq!(c.tail(), t6);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_trivial());
+    }
+
+    #[test]
+    fn non_path_is_rejected() {
+        let (g, [t1, _, _, _, t5, _]) = fig2();
+        assert_eq!(
+            Chain::new(&g, vec![t1, t5]).unwrap_err(),
+            ModelError::NotAChain { from: t1, to: t5 }
+        );
+        assert_eq!(Chain::new(&g, vec![]).unwrap_err(), ModelError::EmptyChain);
+    }
+
+    #[test]
+    fn common_tasks_excludes_sources() {
+        let (g, [t1, t2, t3, t4, t5, t6]) = fig2();
+        let lam = Chain::new(&g, vec![t1, t3, t4, t6]).unwrap();
+        let nu = Chain::new(&g, vec![t2, t3, t5, t6]).unwrap();
+        // Paper example (§III): common tasks are τ3 and τ6.
+        assert_eq!(lam.common_tasks(&nu, &g), vec![t3, t6]);
+
+        let nu_same_head = Chain::new(&g, vec![t1, t3, t5, t6]).unwrap();
+        // τ1 is a source, hence excluded even though shared.
+        assert_eq!(lam.common_tasks(&nu_same_head, &g), vec![t3, t6]);
+    }
+
+    #[test]
+    fn split_matches_paper_example() {
+        let (g, [t1, t2, t3, t4, t5, t6]) = fig2();
+        let lam = Chain::new(&g, vec![t1, t3, t4, t6]).unwrap();
+        let nu = Chain::new(&g, vec![t2, t3, t5, t6]).unwrap();
+        let cuts = lam.common_tasks(&nu, &g);
+        let alphas = lam.split_at(&cuts);
+        let betas = nu.split_at(&cuts);
+        // Paper: {τ1,τ3}, {τ3,τ4,τ6} and {τ2,τ3}, {τ3,τ5,τ6}.
+        assert_eq!(alphas.len(), 2);
+        assert_eq!(alphas[0].tasks(), &[t1, t3]);
+        assert_eq!(alphas[1].tasks(), &[t3, t4, t6]);
+        assert_eq!(betas[0].tasks(), &[t2, t3]);
+        assert_eq!(betas[1].tasks(), &[t3, t5, t6]);
+    }
+
+    #[test]
+    fn suffix_truncation_finds_last_joint() {
+        let (g, [t1, t2, t3, t4, t5, t6]) = fig2();
+        // The chains differ only in their source: the suffixes coincide
+        // from τ3 onwards, so the last joint task is τ3.
+        let a = Chain::new(&g, vec![t1, t3, t4, t6]).unwrap();
+        let b = Chain::new(&g, vec![t2, t3, t4, t6]).unwrap();
+        assert_eq!(a.common_suffix_len(&b), 3); // {t3, t4, t6}
+        let (ta, tb) = a.truncate_to_last_joint(&b).unwrap();
+        assert_eq!(ta.tasks(), &[t1, t3]);
+        assert_eq!(tb.tasks(), &[t2, t3]);
+
+        let c = Chain::new(&g, vec![t1, t3, t5, t6]).unwrap();
+        let (ta, tc) = a.truncate_to_last_joint(&c).unwrap();
+        assert_eq!(ta.tail(), t6);
+        assert_eq!(tc.tail(), t6);
+        assert_eq!(ta.tasks(), &[t1, t3, t4, t6]);
+    }
+
+    #[test]
+    fn disjoint_tails_do_not_truncate() {
+        let (g, [t1, _, t3, t4, t5, _]) = fig2();
+        let a = Chain::new(&g, vec![t1, t3, t4]).unwrap();
+        let b = Chain::new(&g, vec![t1, t3, t5]).unwrap();
+        assert_eq!(a.common_suffix_len(&b), 0);
+        assert!(a.truncate_to_last_joint(&b).is_none());
+    }
+
+    #[test]
+    fn display_renders_arrows() {
+        let (g, [t1, _, t3, _, _, _]) = fig2();
+        let c = Chain::new(&g, vec![t1, t3]).unwrap();
+        assert_eq!(c.to_string(), format!("{t1} -> {t3}"));
+    }
+
+    #[test]
+    fn edges_iterates_pairs() {
+        let (g, [t1, _, t3, t4, _, t6]) = fig2();
+        let c = Chain::new(&g, vec![t1, t3, t4, t6]).unwrap();
+        let e: Vec<_> = c.edges().collect();
+        assert_eq!(e, vec![(t1, t3), (t3, t4), (t4, t6)]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Channels: the edges of a cause-effect graph.
+//!
+//! An edge `(τ_i, τ_j)` is a communication buffer from `τ_i` to `τ_j`.
+//! In the paper's base model (§II) every channel is a register of size 1
+//! with overwrite semantics; §IV generalizes the *input channel* of a
+//! chain's second task to a FIFO of capacity `n ≥ 1`:
+//!
+//! * a writer **enqueues** its token; when the buffer is already full the
+//!   **oldest** token is evicted first;
+//! * a reader **peeks** the oldest token without consuming it.
+//!
+//! Capacity 1 reproduces exactly the register semantics, so a single type
+//! covers both.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ChannelId, TaskId};
+
+/// A validated channel inside a graph.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::builder::SystemBuilder;
+/// use disparity_model::task::TaskSpec;
+/// use disparity_model::time::Duration;
+///
+/// let mut b = SystemBuilder::new();
+/// let src = b.add_task(TaskSpec::periodic("s", Duration::from_millis(10)));
+/// let dst = b.add_task(TaskSpec::periodic("d", Duration::from_millis(10)));
+/// let ch = b.connect(src, dst);
+/// let g = b.build()?;
+/// assert_eq!(g.channel(ch).capacity(), 1); // register by default
+/// assert_eq!(g.channel(ch).src(), src);
+/// # Ok::<(), disparity_model::error::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Channel {
+    pub(crate) id: ChannelId,
+    pub(crate) src: TaskId,
+    pub(crate) dst: TaskId,
+    pub(crate) capacity: usize,
+}
+
+impl Channel {
+    /// The channel identifier.
+    #[must_use]
+    pub fn id(&self) -> ChannelId {
+        self.id
+    }
+
+    /// The producing task.
+    #[must_use]
+    pub fn src(&self) -> TaskId {
+        self.src
+    }
+
+    /// The consuming task.
+    #[must_use]
+    pub fn dst(&self) -> TaskId {
+        self.dst
+    }
+
+    /// FIFO capacity; `1` is the paper's size-1 register.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `true` if the channel behaves as the base model's overwrite register.
+    #[must_use]
+    pub fn is_register(&self) -> bool {
+        self.capacity == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_detection() {
+        let c = Channel {
+            id: ChannelId::from_index(0),
+            src: TaskId::from_index(0),
+            dst: TaskId::from_index(1),
+            capacity: 1,
+        };
+        assert!(c.is_register());
+        let c2 = Channel { capacity: 3, ..c };
+        assert!(!c2.is_register());
+        assert_eq!(c2.capacity(), 3);
+    }
+}

@@ -1,0 +1,94 @@
+//! Execution resources: ECUs and communication buses.
+//!
+//! The paper models inter-ECU communication as "a periodic task on the bus"
+//! scheduled like any other non-preemptive fixed-priority resource — which
+//! is exactly CAN arbitration. We therefore represent a bus as just another
+//! execution resource; [`EcuKind`] is descriptive metadata for reports and
+//! DOT output.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::EcuId;
+
+/// The flavour of an execution resource.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EcuKind {
+    /// A processing core running application tasks.
+    #[default]
+    Processor,
+    /// A communication bus (e.g. CAN); message transmissions are modeled as
+    /// non-preemptive periodic tasks mapped to it.
+    Bus,
+}
+
+impl fmt::Display for EcuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcuKind::Processor => write!(f, "processor"),
+            EcuKind::Bus => write!(f, "bus"),
+        }
+    }
+}
+
+/// A validated execution resource inside a graph.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::builder::SystemBuilder;
+/// use disparity_model::ecu::EcuKind;
+///
+/// # use disparity_model::task::TaskSpec;
+/// # use disparity_model::time::Duration;
+/// let mut b = SystemBuilder::new();
+/// let bus = b.add_bus("can0");
+/// # b.add_task(TaskSpec::periodic("stim", Duration::from_millis(1)));
+/// let g = b.build()?;
+/// assert_eq!(g.ecu(bus).kind(), EcuKind::Bus);
+/// assert_eq!(g.ecu(bus).name(), "can0");
+/// # Ok::<(), disparity_model::error::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ecu {
+    pub(crate) id: EcuId,
+    pub(crate) name: String,
+    pub(crate) kind: EcuKind,
+}
+
+impl Ecu {
+    /// The resource identifier.
+    #[must_use]
+    pub fn id(&self) -> EcuId {
+        self.id
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this is a processor or a bus.
+    #[must_use]
+    pub fn kind(&self) -> EcuKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(EcuKind::Processor.to_string(), "processor");
+        assert_eq!(EcuKind::Bus.to_string(), "bus");
+    }
+
+    #[test]
+    fn default_kind_is_processor() {
+        assert_eq!(EcuKind::default(), EcuKind::Processor);
+    }
+}

@@ -1,0 +1,235 @@
+//! Error types for model construction and chain queries.
+
+use core::fmt;
+
+use crate::ids::{ChannelId, EcuId, Priority, TaskId};
+
+/// Errors produced while building or querying a cause-effect graph.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::builder::SystemBuilder;
+/// use disparity_model::error::ModelError;
+/// use disparity_model::task::TaskSpec;
+/// use disparity_model::time::Duration;
+///
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("ecu");
+/// let spec = TaskSpec::periodic("t", Duration::from_millis(10))
+///     .wcet(Duration::from_millis(2))
+///     .bcet(Duration::from_millis(3)) // BCET > WCET: invalid
+///     .on_ecu(ecu);
+/// let t = b.add_task(spec);
+/// let err = b.build().unwrap_err();
+/// assert!(matches!(err, ModelError::ExecutionTimeOrder { task, .. } if task == t));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The graph contains a directed cycle, so it is not a DAG.
+    CycleDetected,
+    /// A referenced task id does not exist in the graph.
+    UnknownTask(TaskId),
+    /// A referenced ECU id does not exist in the graph.
+    UnknownEcu(EcuId),
+    /// A referenced channel id does not exist in the graph.
+    UnknownChannel(ChannelId),
+    /// An edge connects a task to itself.
+    SelfLoop(TaskId),
+    /// The same directed edge was added twice.
+    DuplicateEdge {
+        /// Producing task of the duplicated edge.
+        src: TaskId,
+        /// Consuming task of the duplicated edge.
+        dst: TaskId,
+    },
+    /// A task's BCET exceeds its WCET.
+    ExecutionTimeOrder {
+        /// The offending task.
+        task: TaskId,
+        /// Its declared BCET in nanoseconds.
+        bcet_nanos: i64,
+        /// Its declared WCET in nanoseconds.
+        wcet_nanos: i64,
+    },
+    /// A task's period is not strictly positive.
+    NonPositivePeriod {
+        /// The offending task.
+        task: TaskId,
+        /// Its declared period in nanoseconds.
+        period_nanos: i64,
+    },
+    /// A task's release offset is negative.
+    NegativeOffset {
+        /// The offending task.
+        task: TaskId,
+        /// Its declared offset in nanoseconds.
+        offset_nanos: i64,
+    },
+    /// A task's WCET or BCET is negative.
+    NegativeExecutionTime {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// A task with non-zero execution cost has no ECU mapping.
+    UnmappedTask(TaskId),
+    /// Two tasks on the same ECU share a priority level.
+    DuplicatePriority {
+        /// The ECU on which the clash occurs.
+        ecu: EcuId,
+        /// First task claiming the level.
+        a: TaskId,
+        /// Second task claiming the level.
+        b: TaskId,
+        /// The contested priority level.
+        priority: Priority,
+    },
+    /// A channel buffer capacity of zero was requested.
+    ZeroCapacity {
+        /// Producing task of the channel.
+        src: TaskId,
+        /// Consuming task of the channel.
+        dst: TaskId,
+    },
+    /// The given task sequence is not a path in the graph.
+    NotAChain {
+        /// Task at which the path breaks.
+        from: TaskId,
+        /// Task that is not a successor of `from`.
+        to: TaskId,
+    },
+    /// A chain must contain at least one task.
+    EmptyChain,
+    /// Chain enumeration exceeded the configured limit.
+    ChainLimitExceeded {
+        /// The task whose incoming chains were being enumerated.
+        task: TaskId,
+        /// The configured enumeration budget.
+        limit: usize,
+    },
+    /// The graph has no tasks.
+    EmptyGraph,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::CycleDetected => write!(f, "cause-effect graph contains a cycle"),
+            ModelError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            ModelError::UnknownEcu(e) => write!(f, "unknown ecu {e}"),
+            ModelError::UnknownChannel(c) => write!(f, "unknown channel {c}"),
+            ModelError::SelfLoop(t) => write!(f, "self-loop on {t}"),
+            ModelError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate edge {src} -> {dst}")
+            }
+            ModelError::ExecutionTimeOrder {
+                task,
+                bcet_nanos,
+                wcet_nanos,
+            } => write!(
+                f,
+                "{task} has BCET {bcet_nanos}ns greater than WCET {wcet_nanos}ns"
+            ),
+            ModelError::NonPositivePeriod { task, period_nanos } => {
+                write!(f, "{task} has non-positive period {period_nanos}ns")
+            }
+            ModelError::NegativeOffset { task, offset_nanos } => {
+                write!(f, "{task} has negative release offset {offset_nanos}ns")
+            }
+            ModelError::NegativeExecutionTime { task } => {
+                write!(f, "{task} has a negative execution time")
+            }
+            ModelError::UnmappedTask(t) => {
+                write!(f, "{t} has non-zero execution cost but no ecu mapping")
+            }
+            ModelError::DuplicatePriority {
+                ecu,
+                a,
+                b,
+                priority,
+            } => {
+                write!(f, "{a} and {b} on {ecu} share priority {priority}")
+            }
+            ModelError::ZeroCapacity { src, dst } => {
+                write!(f, "channel {src} -> {dst} requested with zero capacity")
+            }
+            ModelError::NotAChain { from, to } => {
+                write!(f, "no edge {from} -> {to}: task sequence is not a chain")
+            }
+            ModelError::EmptyChain => write!(f, "a chain must contain at least one task"),
+            ModelError::ChainLimitExceeded { task, limit } => {
+                write!(f, "more than {limit} chains end at {task}")
+            }
+            ModelError::EmptyGraph => write!(f, "graph contains no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_every_variant() {
+        let samples: Vec<ModelError> = vec![
+            ModelError::CycleDetected,
+            ModelError::UnknownTask(TaskId::from_index(1)),
+            ModelError::UnknownEcu(EcuId::from_index(1)),
+            ModelError::UnknownChannel(ChannelId::from_index(1)),
+            ModelError::SelfLoop(TaskId::from_index(0)),
+            ModelError::DuplicateEdge {
+                src: TaskId::from_index(0),
+                dst: TaskId::from_index(1),
+            },
+            ModelError::ExecutionTimeOrder {
+                task: TaskId::from_index(0),
+                bcet_nanos: 2,
+                wcet_nanos: 1,
+            },
+            ModelError::NonPositivePeriod {
+                task: TaskId::from_index(0),
+                period_nanos: 0,
+            },
+            ModelError::NegativeOffset {
+                task: TaskId::from_index(0),
+                offset_nanos: -1,
+            },
+            ModelError::NegativeExecutionTime {
+                task: TaskId::from_index(0),
+            },
+            ModelError::UnmappedTask(TaskId::from_index(0)),
+            ModelError::DuplicatePriority {
+                ecu: EcuId::from_index(0),
+                a: TaskId::from_index(0),
+                b: TaskId::from_index(1),
+                priority: Priority::new(3),
+            },
+            ModelError::ZeroCapacity {
+                src: TaskId::from_index(0),
+                dst: TaskId::from_index(1),
+            },
+            ModelError::NotAChain {
+                from: TaskId::from_index(0),
+                to: TaskId::from_index(1),
+            },
+            ModelError::EmptyChain,
+            ModelError::ChainLimitExceeded {
+                task: TaskId::from_index(0),
+                limit: 10,
+            },
+            ModelError::EmptyGraph,
+        ];
+        for e in samples {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

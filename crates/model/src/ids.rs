@@ -1,0 +1,168 @@
+//! Typed indices for tasks, ECUs and channels.
+//!
+//! All entities of a [`crate::graph::CauseEffectGraph`] are stored in dense
+//! arrays; these newtypes make the indices type-safe (C-NEWTYPE) so a task
+//! index can never be confused with a channel index.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an id from a raw dense index.
+            #[must_use]
+            pub const fn from_index(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// The raw dense index.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a task (a vertex of the cause-effect graph).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use disparity_model::ids::TaskId;
+    ///
+    /// let id = TaskId::from_index(3);
+    /// assert_eq!(id.index(), 3);
+    /// assert_eq!(id.to_string(), "task3");
+    /// ```
+    TaskId,
+    "task"
+);
+
+define_id!(
+    /// Identifier of an ECU or bus (an execution resource).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use disparity_model::ids::EcuId;
+    ///
+    /// assert_eq!(EcuId::from_index(0).to_string(), "ecu0");
+    /// ```
+    EcuId,
+    "ecu"
+);
+
+define_id!(
+    /// Identifier of a channel (an edge of the cause-effect graph).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use disparity_model::ids::ChannelId;
+    ///
+    /// assert_eq!(ChannelId::from_index(7).to_string(), "chan7");
+    /// ```
+    ChannelId,
+    "chan"
+);
+
+/// Fixed-priority level of a task on its ECU.
+///
+/// **Lower numeric value means higher priority**, matching the common
+/// real-time convention (priority 0 is the most urgent). Priorities are
+/// only comparable between tasks mapped to the same ECU.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::ids::Priority;
+///
+/// let urgent = Priority::new(0);
+/// let relaxed = Priority::new(9);
+/// assert!(urgent.is_higher_than(relaxed));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Priority(u32);
+
+impl Priority {
+    /// The most urgent priority level.
+    pub const HIGHEST: Priority = Priority(0);
+
+    /// Creates a priority level; lower `level` is more urgent.
+    #[must_use]
+    pub const fn new(level: u32) -> Self {
+        Priority(level)
+    }
+
+    /// The raw level (lower is more urgent).
+    #[must_use]
+    pub const fn level(self) -> u32 {
+        self.0
+    }
+
+    /// `true` if `self` is strictly more urgent than `other`.
+    #[must_use]
+    pub const fn is_higher_than(self, other: Priority) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_index() {
+        for i in [0usize, 1, 17, 10_000] {
+            assert_eq!(TaskId::from_index(i).index(), i);
+            assert_eq!(EcuId::from_index(i).index(), i);
+            assert_eq!(ChannelId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn priority_ordering_is_inverted_numeric() {
+        assert!(Priority::new(1).is_higher_than(Priority::new(2)));
+        assert!(!Priority::new(2).is_higher_than(Priority::new(2)));
+        assert!(Priority::HIGHEST.is_higher_than(Priority::new(1)));
+    }
+
+    #[test]
+    fn ids_are_usable_as_map_keys() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(TaskId::from_index(2), "b");
+        m.insert(TaskId::from_index(1), "a");
+        assert_eq!(m.values().copied().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+}

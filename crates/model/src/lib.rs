@@ -1,0 +1,68 @@
+//! System model for cause-effect chains in automotive systems.
+//!
+//! This crate provides the substrate shared by the whole `time-disparity`
+//! workspace: the formal model of §II of *"Analysis and Optimization of
+//! Worst-Case Time Disparity in Cause-Effect Chains"* (DATE 2023).
+//!
+//! * [`time`] — signed, integer-nanosecond instants and durations, plus the
+//!   exact floor/ceiling divisions the analysis needs.
+//! * [`task`] / [`ecu`] / [`channel`] — tasks `(W, B, T)`, execution
+//!   resources (ECUs and CAN-like buses) and FIFO channels.
+//! * [`graph`] / [`builder`] — the validated cause-effect DAG and its
+//!   builder.
+//! * [`chain`] — cause-effect chains and the pairwise decompositions used
+//!   by the fork-join-aware analysis.
+//! * [`dot`] — Graphviz export.
+//!
+//! # Examples
+//!
+//! Build the two-source fork-join graph of the paper's Fig. 2:
+//!
+//! ```
+//! use disparity_model::prelude::*;
+//!
+//! let mut b = SystemBuilder::new();
+//! let ecu1 = b.add_ecu("ecu1");
+//! let ms = Duration::from_millis;
+//! let t1 = b.add_task(TaskSpec::periodic("t1", ms(10)));
+//! let t2 = b.add_task(TaskSpec::periodic("t2", ms(20)));
+//! let t3 = b.add_task(TaskSpec::periodic("t3", ms(10)).execution(ms(1), ms(2)).on_ecu(ecu1));
+//! b.connect(t1, t3);
+//! b.connect(t2, t3);
+//! let graph = b.build()?;
+//! assert_eq!(graph.sources().len(), 2);
+//! let chains = graph.chains_to(t3, 10)?;
+//! assert_eq!(chains.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builder;
+pub mod chain;
+pub mod channel;
+pub mod dot;
+pub mod ecu;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod lints;
+pub mod metrics;
+pub mod spec;
+pub mod task;
+pub mod time;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::builder::SystemBuilder;
+    pub use crate::chain::Chain;
+    pub use crate::channel::Channel;
+    pub use crate::ecu::{Ecu, EcuKind};
+    pub use crate::error::ModelError;
+    pub use crate::graph::CauseEffectGraph;
+    pub use crate::ids::{ChannelId, EcuId, Priority, TaskId};
+    pub use crate::spec::{ChannelSpec, EcuSpec, SpecError, SystemSpec, TaskEntry};
+    pub use crate::task::{Task, TaskSpec};
+    pub use crate::time::{Duration, Instant};
+}

@@ -1,0 +1,193 @@
+//! Design lints for cause-effect graphs.
+//!
+//! §IV of the paper opens with a design discussion: when a producer runs
+//! faster than its consumer, part of its output is never propagated
+//! ("computation resources could be potentially wasted"); when it runs
+//! slower, the consumer re-processes stale data. These mismatches are
+//! legal — the model's registers absorb them — but usually worth a second
+//! look, so this module reports them as structured lints rather than
+//! errors.
+
+use core::fmt;
+
+use crate::graph::CauseEffectGraph;
+use crate::ids::ChannelId;
+
+/// A single design observation about a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Lint {
+    /// The producer runs faster than the consumer: roughly
+    /// `1 − T(producer)/T(consumer)` of its outputs are overwritten
+    /// unread (the paper's "wasted computation" remark, §IV).
+    OversampledChannel {
+        /// The mismatched channel.
+        channel: ChannelId,
+        /// How many producer jobs fire per consumer job (≥ 2 to lint).
+        producer_jobs_per_consumer_job: i64,
+    },
+    /// The producer runs slower than the consumer: the consumer processes
+    /// the same token several times.
+    UndersampledChannel {
+        /// The mismatched channel.
+        channel: ChannelId,
+        /// How many consumer jobs fire per producer job (≥ 2 to lint).
+        consumer_jobs_per_producer_job: i64,
+    },
+    /// The producer's period does not divide the consumer's (or vice
+    /// versa): the sampling phase drifts, so backward times vary job to
+    /// job even in a fully deterministic schedule.
+    NonHarmonicChannel {
+        /// The mismatched channel.
+        channel: ChannelId,
+    },
+}
+
+impl Lint {
+    /// The channel the lint refers to.
+    #[must_use]
+    pub fn channel(&self) -> ChannelId {
+        match self {
+            Lint::OversampledChannel { channel, .. }
+            | Lint::UndersampledChannel { channel, .. }
+            | Lint::NonHarmonicChannel { channel } => *channel,
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::OversampledChannel {
+                channel,
+                producer_jobs_per_consumer_job,
+            } => write!(
+                f,
+                "{channel}: producer fires {producer_jobs_per_consumer_job}x per consumer job; \
+                 most outputs are overwritten unread"
+            ),
+            Lint::UndersampledChannel {
+                channel,
+                consumer_jobs_per_producer_job,
+            } => write!(
+                f,
+                "{channel}: consumer fires {consumer_jobs_per_producer_job}x per producer job; \
+                 the same token is re-processed"
+            ),
+            Lint::NonHarmonicChannel { channel } => {
+                write!(f, "{channel}: non-harmonic periods; sampling phase drifts")
+            }
+        }
+    }
+}
+
+/// Scans every channel of the graph for rate mismatches.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::builder::SystemBuilder;
+/// use disparity_model::lints::{lint_graph, Lint};
+/// use disparity_model::task::TaskSpec;
+/// use disparity_model::time::Duration;
+///
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("e");
+/// let ms = Duration::from_millis;
+/// let fast = b.add_task(TaskSpec::periodic("fast", ms(10)));
+/// let slow = b.add_task(TaskSpec::periodic("slow", ms(30)).wcet(ms(1)).on_ecu(ecu));
+/// b.connect(fast, slow);
+/// let g = b.build()?;
+/// let lints = lint_graph(&g);
+/// assert!(matches!(lints[0], Lint::OversampledChannel { producer_jobs_per_consumer_job: 3, .. }));
+/// # Ok::<(), disparity_model::error::ModelError>(())
+/// ```
+#[must_use]
+pub fn lint_graph(graph: &CauseEffectGraph) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    for ch in graph.channels() {
+        let tp = graph.task(ch.src()).period().as_nanos();
+        let tc = graph.task(ch.dst()).period().as_nanos();
+        if tc % tp == 0 {
+            let ratio = tc / tp;
+            if ratio >= 2 {
+                lints.push(Lint::OversampledChannel {
+                    channel: ch.id(),
+                    producer_jobs_per_consumer_job: ratio,
+                });
+            }
+        } else if tp % tc == 0 {
+            let ratio = tp / tc;
+            if ratio >= 2 {
+                lints.push(Lint::UndersampledChannel {
+                    channel: ch.id(),
+                    consumer_jobs_per_producer_job: ratio,
+                });
+            }
+        } else {
+            lints.push(Lint::NonHarmonicChannel { channel: ch.id() });
+        }
+    }
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SystemBuilder;
+    use crate::task::TaskSpec;
+    use crate::time::Duration;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn graph_with_periods(tp: i64, tc: i64) -> CauseEffectGraph {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let p = b.add_task(TaskSpec::periodic("p", ms(tp)));
+        let c = b.add_task(TaskSpec::periodic("c", ms(tc)).wcet(ms(1)).on_ecu(e));
+        b.connect(p, c);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn equal_periods_are_clean() {
+        assert!(lint_graph(&graph_with_periods(10, 10)).is_empty());
+    }
+
+    #[test]
+    fn fast_producer_is_oversampled() {
+        let lints = lint_graph(&graph_with_periods(10, 30));
+        assert_eq!(lints.len(), 1);
+        assert!(matches!(
+            lints[0],
+            Lint::OversampledChannel {
+                producer_jobs_per_consumer_job: 3,
+                ..
+            }
+        ));
+        assert!(!lints[0].to_string().is_empty());
+    }
+
+    #[test]
+    fn slow_producer_is_undersampled() {
+        let lints = lint_graph(&graph_with_periods(100, 10));
+        assert_eq!(lints.len(), 1);
+        assert!(matches!(
+            lints[0],
+            Lint::UndersampledChannel {
+                consumer_jobs_per_producer_job: 10,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn coprime_periods_are_nonharmonic() {
+        let lints = lint_graph(&graph_with_periods(20, 50));
+        assert_eq!(lints.len(), 1);
+        assert!(matches!(lints[0], Lint::NonHarmonicChannel { .. }));
+        assert_eq!(lints[0].channel(), ChannelId::from_index(0));
+    }
+}

@@ -1,0 +1,212 @@
+//! Structural metrics of cause-effect graphs.
+//!
+//! Chain enumeration is exponential in the worst case; these O(V + E)
+//! dynamic programs let a caller size budgets *before* enumerating:
+//! [`chain_count_to`] gives the exact number of source-to-task chains,
+//! [`depth`] the longest path, and [`GraphProfile`] a one-stop summary.
+
+use crate::graph::CauseEffectGraph;
+use crate::ids::TaskId;
+
+/// Exact number of chains (source-to-`task` paths), saturating at
+/// `u64::MAX` — path counts double per diamond, so they overflow quickly
+/// on dense DAGs.
+///
+/// # Panics
+///
+/// Panics if `task` does not belong to `graph`.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::builder::SystemBuilder;
+/// use disparity_model::metrics::chain_count_to;
+/// use disparity_model::task::TaskSpec;
+/// use disparity_model::time::Duration;
+///
+/// // diamond: 2 paths into the sink
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("e");
+/// let ms = Duration::from_millis;
+/// let mk = |n: &str| TaskSpec::periodic(n, ms(10));
+/// let s = b.add_task(mk("s"));
+/// let a = b.add_task(mk("a").wcet(ms(1)).on_ecu(ecu));
+/// let c = b.add_task(mk("c").wcet(ms(1)).on_ecu(ecu));
+/// let t = b.add_task(mk("t").wcet(ms(1)).on_ecu(ecu));
+/// b.connect(s, a);
+/// b.connect(s, c);
+/// b.connect(a, t);
+/// b.connect(c, t);
+/// let g = b.build()?;
+/// assert_eq!(chain_count_to(&g, t), 2);
+/// # Ok::<(), disparity_model::error::ModelError>(())
+/// ```
+#[must_use]
+pub fn chain_count_to(graph: &CauseEffectGraph, task: TaskId) -> u64 {
+    let mut counts = vec![0u64; graph.task_count()];
+    for &v in graph.topological_order() {
+        if graph.is_source(v) {
+            counts[v.index()] = 1;
+        } else {
+            let mut total = 0u64;
+            for p in graph.predecessors(v) {
+                total = total.saturating_add(counts[p.index()]);
+            }
+            counts[v.index()] = total;
+        }
+        if v == task {
+            break;
+        }
+    }
+    counts[task.index()]
+}
+
+/// Length (in tasks) of the longest chain ending at `task`.
+///
+/// # Panics
+///
+/// Panics if `task` does not belong to `graph`.
+#[must_use]
+pub fn depth_to(graph: &CauseEffectGraph, task: TaskId) -> usize {
+    let mut depth = vec![1usize; graph.task_count()];
+    for &v in graph.topological_order() {
+        for p in graph.predecessors(v) {
+            depth[v.index()] = depth[v.index()].max(depth[p.index()] + 1);
+        }
+        if v == task {
+            break;
+        }
+    }
+    depth[task.index()]
+}
+
+/// Length (in tasks) of the longest chain anywhere in the graph.
+#[must_use]
+pub fn depth(graph: &CauseEffectGraph) -> usize {
+    graph
+        .sinks()
+        .into_iter()
+        .map(|s| depth_to(graph, s))
+        .max()
+        .unwrap_or(0)
+}
+
+/// A one-stop structural summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphProfile {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of channels.
+    pub channels: usize,
+    /// Number of source tasks.
+    pub sources: usize,
+    /// Number of sink tasks.
+    pub sinks: usize,
+    /// Longest chain length in tasks.
+    pub depth: usize,
+    /// Exact chain count into the single sink, or the maximum over sinks
+    /// (saturating).
+    pub max_chain_count: u64,
+}
+
+/// Computes the [`GraphProfile`] of a graph.
+#[must_use]
+pub fn profile(graph: &CauseEffectGraph) -> GraphProfile {
+    let sinks = graph.sinks();
+    GraphProfile {
+        tasks: graph.task_count(),
+        channels: graph.channel_count(),
+        sources: graph.sources().len(),
+        sinks: sinks.len(),
+        depth: depth(graph),
+        max_chain_count: sinks
+            .iter()
+            .map(|&s| chain_count_to(graph, s))
+            .max()
+            .unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SystemBuilder;
+    use crate::task::TaskSpec;
+    use crate::time::Duration;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    /// k stacked diamonds: path count 2^k.
+    fn diamonds(k: usize) -> (CauseEffectGraph, TaskId) {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let mut prev = b.add_task(TaskSpec::periodic("s", ms(10)));
+        for i in 0..k {
+            let l = b.add_task(
+                TaskSpec::periodic(format!("l{i}"), ms(10))
+                    .wcet(ms(1))
+                    .on_ecu(e),
+            );
+            let r = b.add_task(
+                TaskSpec::periodic(format!("r{i}"), ms(10))
+                    .wcet(ms(1))
+                    .on_ecu(e),
+            );
+            let j = b.add_task(
+                TaskSpec::periodic(format!("j{i}"), ms(10))
+                    .wcet(ms(1))
+                    .on_ecu(e),
+            );
+            b.connect(prev, l);
+            b.connect(prev, r);
+            b.connect(l, j);
+            b.connect(r, j);
+            prev = j;
+        }
+        (b.build().unwrap(), prev)
+    }
+
+    #[test]
+    fn diamond_chain_counts_are_exact_powers() {
+        for k in 1..6 {
+            let (g, sink) = diamonds(k);
+            assert_eq!(chain_count_to(&g, sink), 1 << k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn depth_counts_tasks_on_longest_path() {
+        let (g, sink) = diamonds(3);
+        // s + 3 × (layer + join) = 1 + 3*2 = 7 tasks on the longest path.
+        assert_eq!(depth_to(&g, sink), 7);
+        assert_eq!(depth(&g), 7);
+    }
+
+    #[test]
+    fn source_metrics_are_trivial() {
+        let (g, _) = diamonds(2);
+        let s = g.find_task("s").unwrap();
+        assert_eq!(chain_count_to(&g, s), 1);
+        assert_eq!(depth_to(&g, s), 1);
+    }
+
+    #[test]
+    fn profile_summarizes() {
+        let (g, _) = diamonds(2);
+        let p = profile(&g);
+        assert_eq!(p.tasks, 7);
+        assert_eq!(p.sources, 1);
+        assert_eq!(p.sinks, 1);
+        assert_eq!(p.depth, 5);
+        assert_eq!(p.max_chain_count, 4);
+    }
+
+    #[test]
+    fn counts_saturate_instead_of_overflowing() {
+        // 70 stacked diamonds exceed u64? 2^70 saturates.
+        let (g, sink) = diamonds(70);
+        assert_eq!(chain_count_to(&g, sink), u64::MAX);
+    }
+}

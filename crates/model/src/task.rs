@@ -1,0 +1,232 @@
+//! Tasks: the vertices of a cause-effect graph.
+//!
+//! Each task `τ_i` is characterized by the paper's triple
+//! `(W(τ_i), B(τ_i), T(τ_i))` — worst-case execution time, best-case
+//! execution time and period — plus the run-time attributes the model needs:
+//! a release offset, a static ECU mapping and a fixed priority on that ECU.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{EcuId, Priority, TaskId};
+use crate::time::Duration;
+
+/// Declarative description of a task, consumed by
+/// [`SystemBuilder::add_task`](crate::builder::SystemBuilder::add_task).
+///
+/// Built with a fluent API; only the name and period are mandatory.
+/// A task with both WCET and BCET zero (the default) models an external
+/// stimulus — the paper's *source task* convention `W = B = 0`.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::task::TaskSpec;
+/// use disparity_model::time::Duration;
+/// use disparity_model::ids::EcuId;
+///
+/// let spec = TaskSpec::periodic("camera_proc", Duration::from_millis(33))
+///     .wcet(Duration::from_millis(8))
+///     .bcet(Duration::from_millis(5))
+///     .offset(Duration::from_millis(2))
+///     .on_ecu(EcuId::from_index(0));
+/// assert_eq!(spec.period, Duration::from_millis(33));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Human-readable name, used in reports and DOT output.
+    pub name: String,
+    /// Worst-case execution time `W(τ)`.
+    pub wcet: Duration,
+    /// Best-case execution time `B(τ)`.
+    pub bcet: Duration,
+    /// Activation period `T(τ)`.
+    pub period: Duration,
+    /// Release offset of the first job relative to system start.
+    pub offset: Duration,
+    /// Execution resource the task is statically mapped to.
+    ///
+    /// May be `None` only for zero-cost (source) tasks.
+    pub ecu: Option<EcuId>,
+    /// Fixed priority on the ECU; assigned rate-monotonically at build time
+    /// when absent.
+    pub priority: Option<Priority>,
+}
+
+impl TaskSpec {
+    /// Starts a spec for a periodic task with zero execution cost.
+    #[must_use]
+    pub fn periodic(name: impl Into<String>, period: Duration) -> Self {
+        TaskSpec {
+            name: name.into(),
+            wcet: Duration::ZERO,
+            bcet: Duration::ZERO,
+            period,
+            offset: Duration::ZERO,
+            ecu: None,
+            priority: None,
+        }
+    }
+
+    /// Sets the worst-case execution time.
+    #[must_use]
+    pub fn wcet(mut self, wcet: Duration) -> Self {
+        self.wcet = wcet;
+        self
+    }
+
+    /// Sets the best-case execution time.
+    #[must_use]
+    pub fn bcet(mut self, bcet: Duration) -> Self {
+        self.bcet = bcet;
+        self
+    }
+
+    /// Sets both execution times at once (`bcet`, `wcet`).
+    #[must_use]
+    pub fn execution(mut self, bcet: Duration, wcet: Duration) -> Self {
+        self.bcet = bcet;
+        self.wcet = wcet;
+        self
+    }
+
+    /// Sets the release offset of the first job.
+    #[must_use]
+    pub fn offset(mut self, offset: Duration) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Maps the task onto an execution resource.
+    #[must_use]
+    pub fn on_ecu(mut self, ecu: EcuId) -> Self {
+        self.ecu = Some(ecu);
+        self
+    }
+
+    /// Fixes the task's priority explicitly (lower level = more urgent).
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = Some(priority);
+        self
+    }
+}
+
+/// A validated task inside a [`CauseEffectGraph`](crate::graph::CauseEffectGraph).
+///
+/// Obtained from [`CauseEffectGraph::task`](crate::graph::CauseEffectGraph::task);
+/// fields are read through accessors so representation can evolve
+/// (C-STRUCT-PRIVATE).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    pub(crate) id: TaskId,
+    pub(crate) name: String,
+    pub(crate) wcet: Duration,
+    pub(crate) bcet: Duration,
+    pub(crate) period: Duration,
+    pub(crate) offset: Duration,
+    pub(crate) ecu: Option<EcuId>,
+    pub(crate) priority: Priority,
+}
+
+impl Task {
+    /// The task's identifier.
+    #[must_use]
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Worst-case execution time `W(τ)`.
+    #[must_use]
+    pub fn wcet(&self) -> Duration {
+        self.wcet
+    }
+
+    /// Best-case execution time `B(τ)`.
+    #[must_use]
+    pub fn bcet(&self) -> Duration {
+        self.bcet
+    }
+
+    /// Activation period `T(τ)`.
+    #[must_use]
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Release offset of the first job.
+    #[must_use]
+    pub fn offset(&self) -> Duration {
+        self.offset
+    }
+
+    /// The execution resource the task runs on, if it consumes CPU time.
+    #[must_use]
+    pub fn ecu(&self) -> Option<EcuId> {
+        self.ecu
+    }
+
+    /// The task's fixed priority on its ECU (lower level = more urgent).
+    #[must_use]
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// `true` if the task consumes no CPU time (`W = B = 0`), i.e. it is an
+    /// external stimulus in the sense of the paper's source-task convention.
+    #[must_use]
+    pub fn is_zero_cost(&self) -> bool {
+        self.wcet.is_zero() && self.bcet.is_zero()
+    }
+
+    /// CPU utilization `W/T` of the task.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.wcet.as_nanos() as f64 / self.period.as_nanos() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_chains() {
+        let s = TaskSpec::periodic("x", Duration::from_millis(20))
+            .execution(Duration::from_millis(1), Duration::from_millis(3))
+            .offset(Duration::from_millis(4))
+            .priority(Priority::new(2));
+        assert_eq!(s.bcet, Duration::from_millis(1));
+        assert_eq!(s.wcet, Duration::from_millis(3));
+        assert_eq!(s.offset, Duration::from_millis(4));
+        assert_eq!(s.priority, Some(Priority::new(2)));
+        assert_eq!(s.ecu, None);
+    }
+
+    #[test]
+    fn default_spec_is_zero_cost_stimulus() {
+        let s = TaskSpec::periodic("sensor", Duration::from_millis(33));
+        assert!(s.wcet.is_zero() && s.bcet.is_zero());
+    }
+
+    #[test]
+    fn task_utilization() {
+        let t = Task {
+            id: TaskId::from_index(0),
+            name: "t".into(),
+            wcet: Duration::from_millis(2),
+            bcet: Duration::from_millis(1),
+            period: Duration::from_millis(10),
+            offset: Duration::ZERO,
+            ecu: None,
+            priority: Priority::new(0),
+        };
+        assert!((t.utilization() - 0.2).abs() < 1e-12);
+        assert!(!t.is_zero_cost());
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types for schedulability analysis.
+
+use core::fmt;
+
+use disparity_model::ids::{EcuId, TaskId};
+
+/// Errors produced by the response-time analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The tasks on an ECU demand at least its full capacity, so the
+    /// level-i busy period is unbounded.
+    Overloaded {
+        /// The saturated resource.
+        ecu: EcuId,
+        /// Its total utilization (≥ 1).
+        utilization: f64,
+    },
+    /// The fixed-point iteration failed to converge within its budget;
+    /// indicates utilization extremely close to 1.
+    NonConvergence {
+        /// The task whose response time was being computed.
+        task: TaskId,
+    },
+    /// A response time was requested for a task id that was not analyzed.
+    UnknownTask(TaskId),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Overloaded { ecu, utilization } => {
+                write!(f, "{ecu} is overloaded (utilization {utilization:.3})")
+            }
+            SchedError::NonConvergence { task } => {
+                write!(f, "response-time iteration for {task} did not converge")
+            }
+            SchedError::UnknownTask(t) => write!(f, "no response time computed for {t}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = SchedError::Overloaded {
+            ecu: EcuId::from_index(0),
+            utilization: 1.2,
+        };
+        assert!(e.to_string().contains("overloaded"));
+        assert!(!SchedError::NonConvergence {
+            task: TaskId::from_index(3)
+        }
+        .to_string()
+        .is_empty());
+        assert!(!SchedError::UnknownTask(TaskId::from_index(3))
+            .to_string()
+            .is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Schedulability verdicts (`R(τ) ≤ T(τ)`).
+//!
+//! The paper "does not focus on the schedulability of the system, and
+//! simply assume\[s\] that each task is schedulable" (§II.B). The disparity
+//! analysis therefore demands a [`SchedulabilityReport`] whose verdict is
+//! positive; this module computes it.
+
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::TaskId;
+use disparity_model::time::Duration;
+
+use crate::error::SchedError;
+use crate::wcrt::{response_times, ResponseTimes};
+
+/// Per-task schedulability outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskVerdict {
+    /// The task under verdict.
+    pub task: TaskId,
+    /// Its worst-case response time.
+    pub wcrt: Duration,
+    /// Its period (implicit deadline).
+    pub period: Duration,
+    /// `wcrt ≤ period`.
+    pub schedulable: bool,
+}
+
+/// Result of checking `R(τ) ≤ T(τ)` for every task of a graph.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::prelude::*;
+/// use disparity_sched::schedulability::analyze;
+///
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("e");
+/// let ms = Duration::from_millis;
+/// b.add_task(TaskSpec::periodic("a", ms(10)).wcet(ms(2)).on_ecu(ecu));
+/// b.add_task(TaskSpec::periodic("b", ms(20)).wcet(ms(4)).on_ecu(ecu));
+/// let g = b.build()?;
+/// let report = analyze(&g)?;
+/// assert!(report.all_schedulable());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulabilityReport {
+    response_times: ResponseTimes,
+    verdicts: Vec<TaskVerdict>,
+}
+
+impl SchedulabilityReport {
+    /// The underlying response-time bounds.
+    #[must_use]
+    pub fn response_times(&self) -> &ResponseTimes {
+        &self.response_times
+    }
+
+    /// Consumes the report, yielding the response times.
+    #[must_use]
+    pub fn into_response_times(self) -> ResponseTimes {
+        self.response_times
+    }
+
+    /// Per-task verdicts, indexed by [`TaskId::index`].
+    #[must_use]
+    pub fn verdicts(&self) -> &[TaskVerdict] {
+        &self.verdicts
+    }
+
+    /// `true` if every task meets its implicit deadline.
+    #[must_use]
+    pub fn all_schedulable(&self) -> bool {
+        self.verdicts.iter().all(|v| v.schedulable)
+    }
+
+    /// The tasks that miss their deadline, if any.
+    #[must_use]
+    pub fn violations(&self) -> Vec<TaskId> {
+        self.verdicts
+            .iter()
+            .filter(|v| !v.schedulable)
+            .map(|v| v.task)
+            .collect()
+    }
+}
+
+/// Runs the response-time analysis and checks every task against its
+/// implicit deadline.
+///
+/// # Errors
+///
+/// Propagates [`SchedError`] from the response-time analysis (overload or
+/// non-convergence). An unschedulable-but-bounded system is *not* an error;
+/// inspect [`SchedulabilityReport::all_schedulable`].
+pub fn analyze(graph: &CauseEffectGraph) -> Result<SchedulabilityReport, SchedError> {
+    let response_times = response_times(graph)?;
+    let verdicts = graph
+        .tasks()
+        .iter()
+        .map(|t| {
+            let wcrt = response_times.wcrt(t.id());
+            TaskVerdict {
+                task: t.id(),
+                wcrt,
+                period: t.period(),
+                schedulable: wcrt <= t.period(),
+            }
+        })
+        .collect();
+    Ok(SchedulabilityReport {
+        response_times,
+        verdicts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::task::TaskSpec;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn schedulable_system_reports_clean() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        b.add_task(TaskSpec::periodic("a", ms(10)).wcet(ms(1)).on_ecu(e));
+        b.add_task(TaskSpec::periodic("b", ms(20)).wcet(ms(2)).on_ecu(e));
+        let g = b.build().unwrap();
+        let r = analyze(&g).unwrap();
+        assert!(r.all_schedulable());
+        assert!(r.violations().is_empty());
+        assert_eq!(r.verdicts().len(), 2);
+    }
+
+    #[test]
+    fn deadline_miss_is_flagged_not_an_error() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        // hi alone fits; lo blocked by nothing but interfered heavily.
+        let _hi = b.add_task(TaskSpec::periodic("hi", ms(10)).wcet(ms(5)).on_ecu(e));
+        let lo = b.add_task(TaskSpec::periodic("lo", ms(12)).wcet(ms(4)).on_ecu(e));
+        let g = b.build().unwrap();
+        let r = analyze(&g).unwrap();
+        // lo: w = 5 (one hi) -> release at 10 lands during lo? w=5: floor(5/10)+1 =1,
+        // fix; R = 9 <= 12 -> actually schedulable. Check report consistency instead.
+        let v = r.verdicts()[lo.index()];
+        assert_eq!(v.schedulable, v.wcrt <= v.period);
+        assert_eq!(r.all_schedulable(), r.violations().is_empty());
+    }
+
+    #[test]
+    fn truly_unschedulable_system_is_flagged() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let _hi = b.add_task(TaskSpec::periodic("hi", ms(10)).wcet(ms(6)).on_ecu(e));
+        let lo = b.add_task(TaskSpec::periodic("lo", ms(30)).wcet(ms(9)).on_ecu(e));
+        let g = b.build().unwrap();
+        let r = analyze(&g).unwrap();
+        // lo start delay: 6; +releases at 10, 20 while waiting:
+        // w: 6 -> (floor(6/10)+1)*6=12 -> (floor(12/10)+1)*6=12? floor(12/10)=1 ->
+        // 2*6=12 fix. R = 12+9 = 21 <= 30 ok. hi: blocked 9 + 6 = 15 > 10: miss.
+        assert!(!r.all_schedulable());
+        assert!(!r.violations().contains(&lo));
+    }
+}

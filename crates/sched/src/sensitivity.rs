@@ -1,0 +1,172 @@
+//! WCET sensitivity analysis.
+//!
+//! Answers the designer's question "how much execution-time budget is
+//! left?": the largest factor by which a task's WCET can grow before some
+//! task misses its deadline. Because response times are monotone in every
+//! WCET (more demand never finishes earlier), a binary search over the
+//! scaled graph is exact to the chosen resolution.
+
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::TaskId;
+use disparity_model::time::Duration;
+
+use crate::error::SchedError;
+use crate::schedulability::analyze;
+
+/// Result of [`wcet_slack`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WcetSlack {
+    /// The analyzed task.
+    pub task: TaskId,
+    /// Largest additional WCET (at the probe resolution) that keeps the
+    /// whole system schedulable.
+    pub slack: Duration,
+    /// The task's current WCET.
+    pub current_wcet: Duration,
+}
+
+/// Computes how much `task`'s WCET can grow (keeping `BCET` fixed) before
+/// any task in the system misses its deadline, to a 1 µs resolution.
+///
+/// Returns slack zero if the system is already unschedulable.
+///
+/// # Errors
+///
+/// Propagates [`SchedError`] when even the *current* system cannot be
+/// analyzed (overload), and [`SchedError::UnknownTask`] for a foreign id.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::prelude::*;
+/// use disparity_sched::sensitivity::wcet_slack;
+///
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("e");
+/// let ms = Duration::from_millis;
+/// let t = b.add_task(TaskSpec::periodic("t", ms(10)).wcet(ms(2)).on_ecu(ecu));
+/// let g = b.build()?;
+/// let slack = wcet_slack(&g, t)?;
+/// // Alone on its ECU with T = 10ms: WCET can grow to (almost) 10ms.
+/// assert!(slack.slack >= ms(7));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn wcet_slack(graph: &CauseEffectGraph, task: TaskId) -> Result<WcetSlack, SchedError> {
+    let current = graph.get_task(task).ok_or(SchedError::UnknownTask(task))?;
+    let current_wcet = current.wcet();
+    let period = current.period();
+
+    let schedulable_with = |extra: Duration| -> bool {
+        let mut probe = graph.clone();
+        if probe.set_task_wcet(task, current_wcet + extra).is_err() {
+            return false;
+        }
+        matches!(analyze(&probe), Ok(r) if r.all_schedulable())
+    };
+
+    if !schedulable_with(Duration::ZERO) {
+        return Ok(WcetSlack {
+            task,
+            slack: Duration::ZERO,
+            current_wcet,
+        });
+    }
+
+    // The WCET can never exceed the period (R >= W > T otherwise).
+    let mut lo = Duration::ZERO; // known schedulable
+    let mut hi = period - current_wcet; // upper probe
+    if hi.is_negative() {
+        hi = Duration::ZERO;
+    }
+    if schedulable_with(hi) {
+        return Ok(WcetSlack {
+            task,
+            slack: hi,
+            current_wcet,
+        });
+    }
+    let resolution = Duration::from_micros(1);
+    while hi - lo > resolution {
+        let mid = lo + (hi - lo) / 2;
+        if schedulable_with(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(WcetSlack {
+        task,
+        slack: lo,
+        current_wcet,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::task::TaskSpec;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn lone_task_slack_fills_the_period() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let t = b.add_task(TaskSpec::periodic("t", ms(10)).wcet(ms(2)).on_ecu(e));
+        let g = b.build().unwrap();
+        let s = wcet_slack(&g, t).unwrap();
+        assert_eq!(s.current_wcet, ms(2));
+        // WCET = T hits the utilization-1 guard, so the search converges
+        // to the period from below at 1 µs resolution.
+        assert!(s.slack <= ms(8));
+        assert!(
+            s.slack >= ms(8) - Duration::from_micros(2),
+            "slack {}",
+            s.slack
+        );
+    }
+
+    #[test]
+    fn slack_accounts_for_np_blocking_of_others() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        // hi has T=10, C=2; lo's WCET blocks hi once: R(hi) = C_lo + 2 <= 10
+        // forces C_lo <= 8.
+        let _hi = b.add_task(TaskSpec::periodic("hi", ms(10)).wcet(ms(2)).on_ecu(e));
+        let lo = b.add_task(TaskSpec::periodic("lo", ms(100)).wcet(ms(3)).on_ecu(e));
+        let g = b.build().unwrap();
+        let s = wcet_slack(&g, lo).unwrap();
+        // lo can grow from 3 to ~8 (then R(hi) = 8 + 2 = 10 = T(hi)).
+        assert!(
+            s.slack >= ms(5) - Duration::from_micros(2),
+            "slack {}",
+            s.slack
+        );
+        assert!(s.slack <= ms(5));
+    }
+
+    #[test]
+    fn unschedulable_system_has_zero_slack() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let hi = b.add_task(TaskSpec::periodic("hi", ms(10)).wcet(ms(6)).on_ecu(e));
+        let _lo = b.add_task(TaskSpec::periodic("lo", ms(30)).wcet(ms(9)).on_ecu(e));
+        let g = b.build().unwrap();
+        let s = wcet_slack(&g, hi).unwrap();
+        assert_eq!(s.slack, Duration::ZERO);
+    }
+
+    #[test]
+    fn foreign_task_is_an_error() {
+        let mut b = SystemBuilder::new();
+        b.add_task(TaskSpec::periodic("s", ms(10)));
+        let g = b.build().unwrap();
+        assert!(matches!(
+            wcet_slack(&g, TaskId::from_index(9)),
+            Err(SchedError::UnknownTask(_))
+        ));
+    }
+}

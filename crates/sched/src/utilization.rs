@@ -1,0 +1,84 @@
+//! Per-ECU utilization accounting.
+
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::EcuId;
+
+/// CPU utilization `Σ W(τ)/T(τ)` of the tasks mapped to `ecu`.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::prelude::*;
+/// use disparity_sched::utilization::ecu_utilization;
+///
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("e");
+/// let ms = Duration::from_millis;
+/// b.add_task(TaskSpec::periodic("a", ms(10)).wcet(ms(2)).on_ecu(ecu));
+/// b.add_task(TaskSpec::periodic("b", ms(20)).wcet(ms(5)).on_ecu(ecu));
+/// let g = b.build()?;
+/// assert!((ecu_utilization(&g, ecu) - 0.45).abs() < 1e-12);
+/// # Ok::<(), disparity_model::error::ModelError>(())
+/// ```
+#[must_use]
+pub fn ecu_utilization(graph: &CauseEffectGraph, ecu: EcuId) -> f64 {
+    graph
+        .tasks_on_ecu(ecu)
+        .map(|t| graph.task(t).utilization())
+        .sum()
+}
+
+/// Utilization of every ECU, indexed like [`CauseEffectGraph::ecus`].
+#[must_use]
+pub fn all_utilizations(graph: &CauseEffectGraph) -> Vec<f64> {
+    graph
+        .ecus()
+        .iter()
+        .map(|e| ecu_utilization(graph, e.id()))
+        .collect()
+}
+
+/// The most loaded ECU and its utilization, or `None` if the graph has no
+/// ECUs.
+#[must_use]
+pub fn peak_utilization(graph: &CauseEffectGraph) -> Option<(EcuId, f64)> {
+    graph
+        .ecus()
+        .iter()
+        .map(|e| (e.id(), ecu_utilization(graph, e.id())))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::task::TaskSpec;
+    use disparity_model::time::Duration;
+
+    #[test]
+    fn zero_cost_tasks_do_not_load_an_ecu() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let ms = Duration::from_millis;
+        b.add_task(TaskSpec::periodic("stim", ms(5)));
+        b.add_task(TaskSpec::periodic("t", ms(10)).wcet(ms(1)).on_ecu(e));
+        let g = b.build().unwrap();
+        assert!((ecu_utilization(&g, e) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_picks_heaviest() {
+        let mut b = SystemBuilder::new();
+        let e0 = b.add_ecu("e0");
+        let e1 = b.add_ecu("e1");
+        let ms = Duration::from_millis;
+        b.add_task(TaskSpec::periodic("a", ms(10)).wcet(ms(1)).on_ecu(e0));
+        b.add_task(TaskSpec::periodic("b", ms(10)).wcet(ms(4)).on_ecu(e1));
+        let g = b.build().unwrap();
+        let (ecu, u) = peak_utilization(&g).unwrap();
+        assert_eq!(ecu, e1);
+        assert!((u - 0.4).abs() < 1e-12);
+        assert_eq!(all_utilizations(&g).len(), 2);
+    }
+}

@@ -1,0 +1,375 @@
+//! Worst-case response-time analysis for non-preemptive fixed-priority
+//! scheduling.
+//!
+//! This is the classic level-i busy-period analysis (in the style of the
+//! CAN analysis by Davis et al. and the non-preemptive uniprocessor results
+//! cited by the paper as \[12\], \[13\]):
+//!
+//! * a job of `τ_i` suffers **blocking** `B_i = max{ C_j : j ∈ lp(i) }`
+//!   from at most one already-running lower-priority job;
+//! * the `q`-th job in a level-i busy period starts no later than the
+//!   smallest fixed point of
+//!   `w = B_i + q·C_i + Σ_{j ∈ hp(i)} (⌊w/T_j⌋ + 1)·C_j`;
+//! * its response time is `w + C_i − q·T_i`, and the busy period spans
+//!   `Q = ⌈L/T_i⌉` jobs where `L` solves
+//!   `L = B_i + Σ_{j ∈ hp(i) ∪ {i}} ⌈L/T_j⌉·C_j`.
+//!
+//! The `⌊w/T⌋ + 1` term is deliberately conservative at integer boundaries:
+//! a higher-priority job released exactly at the candidate start instant is
+//! assumed to win the processor, matching the simulator's dispatch rule
+//! (releases are processed before dispatch at equal timestamps).
+//!
+//! Zero-cost tasks (the paper's source-task stimuli) are off-CPU: their
+//! response time is zero and they induce no interference.
+
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::{EcuId, TaskId};
+use disparity_model::time::Duration;
+
+use crate::error::SchedError;
+use crate::utilization::ecu_utilization;
+
+/// Iteration budget for the fixed-point loops; generously above anything a
+/// sane workload needs, purely a divergence backstop.
+const MAX_ITERATIONS: usize = 1_000_000;
+
+/// Response-time bounds of a single task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskResponse {
+    /// Worst-case response time `R(τ)`: the longest release-to-finish span.
+    pub wcrt: Duration,
+    /// Worst-case start delay `R(τ) − W(τ)`: the longest release-to-start
+    /// span. Lemma 4 of the paper implicitly relies on this quantity.
+    pub max_start_delay: Duration,
+}
+
+/// Response times for every task of a graph.
+///
+/// Produced by [`response_times`]; indexed by [`TaskId`].
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::prelude::*;
+/// use disparity_sched::wcrt::response_times;
+///
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("e");
+/// let ms = Duration::from_millis;
+/// let hi = b.add_task(TaskSpec::periodic("hi", ms(10)).wcet(ms(2)).on_ecu(ecu));
+/// let lo = b.add_task(TaskSpec::periodic("lo", ms(50)).wcet(ms(5)).on_ecu(ecu));
+/// let g = b.build()?;
+/// let rt = response_times(&g)?;
+/// // `hi` can only be blocked by `lo` once: R = 5 + 2.
+/// assert_eq!(rt.wcrt(hi), ms(7));
+/// // `lo` waits for one `hi` job: R = 2 + 5.
+/// assert_eq!(rt.wcrt(lo), ms(7));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseTimes {
+    per_task: Vec<TaskResponse>,
+}
+
+impl ResponseTimes {
+    /// Worst-case response time of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` was not part of the analyzed graph.
+    #[must_use]
+    pub fn wcrt(&self, task: TaskId) -> Duration {
+        self.per_task[task.index()].wcrt
+    }
+
+    /// Worst-case start delay (`R − W`) of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` was not part of the analyzed graph.
+    #[must_use]
+    pub fn max_start_delay(&self, task: TaskId) -> Duration {
+        self.per_task[task.index()].max_start_delay
+    }
+
+    /// Full bounds of `task`, or `None` for a foreign id.
+    #[must_use]
+    pub fn get(&self, task: TaskId) -> Option<TaskResponse> {
+        self.per_task.get(task.index()).copied()
+    }
+
+    /// Bounds for all tasks, indexed by [`TaskId::index`].
+    #[must_use]
+    pub fn as_slice(&self) -> &[TaskResponse] {
+        &self.per_task
+    }
+}
+
+/// Computes worst-case response times for every task in the graph.
+///
+/// # Errors
+///
+/// * [`SchedError::Overloaded`] if any ECU's utilization is ≥ 1 (the busy
+///   period would be unbounded).
+/// * [`SchedError::NonConvergence`] if a fixed point is not reached within
+///   the iteration budget.
+pub fn response_times(graph: &CauseEffectGraph) -> Result<ResponseTimes, SchedError> {
+    for ecu in graph.ecus() {
+        let u = ecu_utilization(graph, ecu.id());
+        if u >= 1.0 {
+            return Err(SchedError::Overloaded {
+                ecu: ecu.id(),
+                utilization: u,
+            });
+        }
+    }
+    let mut per_task = vec![
+        TaskResponse {
+            wcrt: Duration::ZERO,
+            max_start_delay: Duration::ZERO
+        };
+        graph.task_count()
+    ];
+    for task in graph.tasks() {
+        if task.is_zero_cost() {
+            continue; // off-CPU stimulus: R = 0
+        }
+        let ecu = task
+            .ecu()
+            .expect("costly tasks are mapped (validated at build)");
+        per_task[task.id().index()] = task_response(graph, task.id(), ecu)?;
+    }
+    Ok(ResponseTimes { per_task })
+}
+
+fn task_response(
+    graph: &CauseEffectGraph,
+    id: TaskId,
+    ecu: EcuId,
+) -> Result<TaskResponse, SchedError> {
+    let task = graph.task(id);
+    let c = task.wcet();
+    let t = task.period();
+
+    let mut hp: Vec<(Duration, Duration)> = Vec::new(); // (C_j, T_j)
+    let mut blocking = Duration::ZERO;
+    for other_id in graph.tasks_on_ecu(ecu) {
+        if other_id == id {
+            continue;
+        }
+        let other = graph.task(other_id);
+        if other.wcet().is_zero() {
+            continue;
+        }
+        if graph.in_hp(other_id, id) {
+            hp.push((other.wcet(), other.period()));
+        } else {
+            blocking = blocking.max(other.wcet());
+        }
+    }
+
+    // Length of the level-i busy period.
+    let mut busy = blocking + c;
+    for _ in 0..MAX_ITERATIONS {
+        let mut next = blocking + busy.div_ceil(t).max(1) * c;
+        for &(cj, tj) in &hp {
+            next += busy.div_ceil(tj).max(1) * cj;
+        }
+        if next == busy {
+            break;
+        }
+        busy = next;
+        if busy == Duration::MAX {
+            return Err(SchedError::NonConvergence { task: id });
+        }
+    }
+    let instances = busy.div_ceil(t).max(1);
+
+    let mut worst = TaskResponse {
+        wcrt: Duration::ZERO,
+        max_start_delay: Duration::ZERO,
+    };
+    for q in 0..instances {
+        // Seed from below so the iteration converges to the *least* fixed
+        // point (seeding from the previous instance can overshoot).
+        let mut w = blocking + c * q;
+        let mut converged = false;
+        for _ in 0..MAX_ITERATIONS {
+            let mut next = blocking + c * q;
+            for &(cj, tj) in &hp {
+                next += (next_release_count(w, tj)) * cj;
+            }
+            if next == w {
+                converged = true;
+                break;
+            }
+            w = next;
+        }
+        if !converged {
+            return Err(SchedError::NonConvergence { task: id });
+        }
+        let start_delay = w - t * q;
+        let response = start_delay + c;
+        if response > worst.wcrt {
+            worst = TaskResponse {
+                wcrt: response,
+                max_start_delay: start_delay,
+            };
+        }
+    }
+    Ok(worst)
+}
+
+/// Number of releases of a period-`t` task in the closed interval `[0, w]`:
+/// `⌊w/t⌋ + 1`. A release exactly at the candidate start instant still
+/// pre-empts the start decision (matching simulator event ordering).
+fn next_release_count(w: Duration, t: Duration) -> i64 {
+    w.div_floor(t) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::ids::Priority;
+    use disparity_model::task::TaskSpec;
+    use disparity_model::time::Duration;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn lone_task_has_response_equal_to_wcet() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(10))
+                .execution(ms(1), ms(3))
+                .on_ecu(e),
+        );
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        assert_eq!(rt.wcrt(t), ms(3));
+        assert_eq!(rt.max_start_delay(t), ms(0));
+    }
+
+    #[test]
+    fn highest_priority_suffers_only_blocking() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let hi = b.add_task(TaskSpec::periodic("hi", ms(10)).wcet(ms(2)).on_ecu(e));
+        let lo1 = b.add_task(TaskSpec::periodic("lo1", ms(100)).wcet(ms(4)).on_ecu(e));
+        let _lo2 = b.add_task(TaskSpec::periodic("lo2", ms(100)).wcet(ms(7)).on_ecu(e));
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        // blocked by the longest lower-priority job only once
+        assert_eq!(rt.wcrt(hi), ms(2 + 7));
+        assert_eq!(rt.max_start_delay(hi), ms(7));
+        // lo1 blocked by lo2 and interfered by hi
+        assert_eq!(rt.wcrt(lo1), ms(7 + 2 + 4));
+    }
+
+    #[test]
+    fn interference_counts_boundary_releases() {
+        // hi: C=2, T=4; lo: C=3, T=100. Start delay of lo:
+        // w0 = 2 (one hi release at 0); release at 4 lands while waiting?
+        // w = (floor(2/4)+1)*2 = 2 -> fixpoint w=2; R = 5.
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let _hi = b.add_task(TaskSpec::periodic("hi", ms(4)).wcet(ms(2)).on_ecu(e));
+        let lo = b.add_task(TaskSpec::periodic("lo", ms(100)).wcet(ms(3)).on_ecu(e));
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        assert_eq!(rt.wcrt(lo), ms(5));
+    }
+
+    #[test]
+    fn boundary_release_is_conservative() {
+        // hi: C=4, T=4 would saturate; use C=2, T=4 and mid: C=2, T=4?
+        // Instead verify the +1: lo behind hi with w exactly multiple of T.
+        // hi: C=1, T=2; lo: C=3, T=100.
+        // w iterates: 1, then floor(1/2)+1 =1 -> w=1? then next = 1*1=1 fix.
+        // Then releases at 2,4 happen *during* lo's execution (non-preemptive):
+        // they do not delay the start. R = 1 + 3 = 4.
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let _hi = b.add_task(TaskSpec::periodic("hi", ms(2)).wcet(ms(1)).on_ecu(e));
+        let lo = b.add_task(TaskSpec::periodic("lo", ms(100)).wcet(ms(3)).on_ecu(e));
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        assert_eq!(rt.wcrt(lo), ms(4));
+    }
+
+    #[test]
+    fn overload_is_reported() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        b.add_task(TaskSpec::periodic("a", ms(10)).wcet(ms(6)).on_ecu(e));
+        b.add_task(TaskSpec::periodic("b", ms(10)).wcet(ms(6)).on_ecu(e));
+        let g = b.build().unwrap();
+        assert!(matches!(
+            response_times(&g),
+            Err(SchedError::Overloaded { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_cost_stimulus_has_zero_response() {
+        let mut b = SystemBuilder::new();
+        let s = b.add_task(TaskSpec::periodic("s", ms(5)));
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        assert_eq!(rt.wcrt(s), Duration::ZERO);
+    }
+
+    #[test]
+    fn busy_period_extends_past_first_instance() {
+        // Non-preemptive self-pushing: hi C=3 T=5, lo C=4 T=100.
+        // hi's first job: blocked by lo (4) -> w0=4, R0=7 > T=5.
+        // Second hi job (q=1): w = 4+3 + hp(none) = 7, R1 = 7+3-5 = 5.
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let hi = b.add_task(TaskSpec::periodic("hi", ms(5)).wcet(ms(3)).on_ecu(e));
+        let _lo = b.add_task(TaskSpec::periodic("lo", ms(100)).wcet(ms(4)).on_ecu(e));
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        assert_eq!(rt.wcrt(hi), ms(7));
+    }
+
+    #[test]
+    fn explicit_priorities_change_interference() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        // slow task explicitly outranks fast one
+        let slow = b.add_task(
+            TaskSpec::periodic("slow", ms(100))
+                .wcet(ms(5))
+                .on_ecu(e)
+                .priority(Priority::new(0)),
+        );
+        let fast = b.add_task(
+            TaskSpec::periodic("fast", ms(10))
+                .wcet(ms(1))
+                .on_ecu(e)
+                .priority(Priority::new(1)),
+        );
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        assert_eq!(rt.wcrt(slow), ms(1 + 5)); // blocked once by fast
+        assert_eq!(rt.wcrt(fast), ms(5 + 1)); // interfered by slow
+    }
+
+    #[test]
+    fn cross_ecu_tasks_do_not_interact() {
+        let mut b = SystemBuilder::new();
+        let e0 = b.add_ecu("e0");
+        let e1 = b.add_ecu("e1");
+        let a = b.add_task(TaskSpec::periodic("a", ms(10)).wcet(ms(2)).on_ecu(e0));
+        let c = b.add_task(TaskSpec::periodic("c", ms(10)).wcet(ms(9)).on_ecu(e1));
+        let g = b.build().unwrap();
+        let rt = response_times(&g).unwrap();
+        assert_eq!(rt.wcrt(a), ms(2));
+        assert_eq!(rt.wcrt(c), ms(9));
+    }
+}

@@ -1,0 +1,205 @@
+//! Classic end-to-end latency metrics: data age and reaction time.
+//!
+//! The paper positions time disparity against the two end-to-end latencies
+//! that dominate the cause-effect-chain literature; a complete toolkit
+//! measures them from the same traces:
+//!
+//! * **Data age** of an output (footnote 2 of the paper):
+//!   `f(π̄^{|π|}) − r(π̄¹)` — the backward time plus the tail's response
+//!   time. How stale is the data behind an output?
+//! * **Reaction time** of a stimulus: the span from a source job's release
+//!   to the finish of the *first* tail job whose immediate backward job
+//!   chain samples that job or a later one. How long until an input is
+//!   reflected in some output?
+
+use disparity_model::chain::Chain;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::time::{Duration, Instant};
+
+use crate::metrics::backward_time_from_trace;
+use crate::token::JobRef;
+use crate::trace::Trace;
+
+/// Data age of the output produced by the `index`-th job of `chain`'s
+/// tail: `finish(tail job) − release(traced source job)`.
+///
+/// Returns `None` when the job did not complete within the horizon or a
+/// read link is missing.
+///
+/// # Panics
+///
+/// Panics if `chain` is not a path of the graph the trace was recorded on.
+#[must_use]
+pub fn data_age_from_trace(
+    trace: &Trace,
+    graph: &CauseEffectGraph,
+    chain: &Chain,
+    index: u64,
+) -> Option<Duration> {
+    let backward = backward_time_from_trace(trace, graph, chain, index)?;
+    let tail = trace.job(JobRef {
+        task: chain.tail(),
+        index,
+    })?;
+    Some(backward + tail.response_time())
+}
+
+/// Maximum data age over every completed tail job of `chain`.
+///
+/// # Panics
+///
+/// Panics if `chain` is not a path of the graph the trace was recorded on.
+#[must_use]
+pub fn max_data_age(trace: &Trace, graph: &CauseEffectGraph, chain: &Chain) -> Option<Duration> {
+    (0..trace.jobs_of(chain.tail()).len() as u64)
+        .filter_map(|k| data_age_from_trace(trace, graph, chain, k))
+        .max()
+}
+
+/// The traced source release of each completed tail job, in activation
+/// order (`None` where the backward chain is incomplete).
+fn traced_sources(trace: &Trace, graph: &CauseEffectGraph, chain: &Chain) -> Vec<Option<Instant>> {
+    (0..trace.jobs_of(chain.tail()).len() as u64)
+        .map(|k| {
+            backward_time_from_trace(trace, graph, chain, k).map(|len| {
+                let tail = trace
+                    .job(JobRef {
+                        task: chain.tail(),
+                        index: k,
+                    })
+                    .expect("backward walk succeeded, so the tail record exists");
+                tail.release - len
+            })
+        })
+        .collect()
+}
+
+/// Maximum reaction time over the source jobs of `chain` that some
+/// completed tail job reacted to.
+///
+/// For each source job `s`, the reaction is `finish(first tail job whose
+/// traced source is released at or after r(s)) − r(s)`. Source jobs never
+/// reacted to within the horizon are skipped (their reaction is
+/// right-censored, not observed).
+///
+/// # Panics
+///
+/// Panics if `chain` is not a path of the graph the trace was recorded on.
+#[must_use]
+pub fn max_reaction_time(
+    trace: &Trace,
+    graph: &CauseEffectGraph,
+    chain: &Chain,
+) -> Option<Duration> {
+    let sources = traced_sources(trace, graph, chain);
+    let tail_jobs = trace.jobs_of(chain.tail());
+    let source_jobs = trace.jobs_of(chain.head());
+    let mut worst: Option<Duration> = None;
+    let mut cursor = 0usize;
+    for s in source_jobs {
+        // Find the first tail job whose traced source is >= r(s). Traced
+        // sources are non-decreasing, so the cursor never moves backwards.
+        while cursor < tail_jobs.len() {
+            match sources[cursor] {
+                Some(b) if b >= s.release => break,
+                _ => cursor += 1,
+            }
+        }
+        let Some(tail) = tail_jobs.get(cursor) else {
+            break;
+        };
+        let reaction = tail.finish - s.release;
+        worst = Some(worst.map_or(reaction, |w| w.max(reaction)));
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, Simulator};
+    use crate::exec::ExecutionTimeModel;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::task::TaskSpec;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn pipeline() -> (CauseEffectGraph, Chain) {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let a = b.add_task(
+            TaskSpec::periodic("a", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(20))
+                .execution(ms(1), ms(3))
+                .on_ecu(e),
+        );
+        b.connect(s, a);
+        b.connect(a, t);
+        let g = b.build().unwrap();
+        let chain = Chain::new(&g, vec![s, a, t]).unwrap();
+        (g, chain)
+    }
+
+    fn traced(g: &CauseEffectGraph, exec: ExecutionTimeModel) -> Trace {
+        let sim = Simulator::new(
+            g,
+            SimConfig {
+                horizon: ms(1000),
+                exec_model: exec,
+                record_trace: true,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        sim.run().unwrap().trace.unwrap()
+    }
+
+    #[test]
+    fn data_age_is_backward_time_plus_response() {
+        let (g, chain) = pipeline();
+        let trace = traced(&g, ExecutionTimeModel::WorstCase);
+        for k in 0..trace.jobs_of(chain.tail()).len() as u64 {
+            if let Some(age) = data_age_from_trace(&trace, &g, &chain, k) {
+                let len = backward_time_from_trace(&trace, &g, &chain, k).unwrap();
+                assert!(age >= len);
+                assert!(age - len <= ms(20), "tail response bounded by period here");
+            }
+        }
+        assert!(max_data_age(&trace, &g, &chain).is_some());
+    }
+
+    #[test]
+    fn reaction_time_exceeds_data_age_floor() {
+        let (g, chain) = pipeline();
+        let trace = traced(&g, ExecutionTimeModel::Uniform);
+        let reaction = max_reaction_time(&trace, &g, &chain).unwrap();
+        // A stimulus must at least traverse the pipeline once.
+        assert!(reaction >= ms(2));
+        // And it cannot exceed the trivial bound W(π)-ish + periods.
+        assert!(reaction <= ms(100), "sanity ceiling, got {reaction}");
+    }
+
+    #[test]
+    fn reaction_skips_unreacted_tail() {
+        // A horizon so short that late source jobs are never consumed.
+        let (g, chain) = pipeline();
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(40),
+                record_trace: true,
+                ..Default::default()
+            },
+        );
+        let trace = sim.run().unwrap().trace.unwrap();
+        // Should not panic and should produce a value for early stimuli.
+        let _ = max_reaction_time(&trace, &g, &chain);
+    }
+}

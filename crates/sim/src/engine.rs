@@ -1,0 +1,898 @@
+//! The discrete-event simulation engine.
+//!
+//! Simulates a cause-effect graph under per-ECU **non-preemptive
+//! fixed-priority** scheduling with the paper's implicit communication
+//! semantics: a job reads all input channels when it starts and writes its
+//! output token when it finishes; registers overwrite, FIFOs evict their
+//! oldest token and readers peek the head.
+//!
+//! ## Event ordering
+//!
+//! At equal timestamps the engine processes **finish events, then release
+//! events (in topological task order), then dispatches each ECU**. Hence a
+//! token written at `t` is visible to any job starting at `t`, matching
+//! Definition 1's "finishes no later than the start". Zero-cost tasks (the
+//! paper's source stimuli, `W = B = 0`) execute instantaneously off-CPU at
+//! their release. Costly tasks always run for at least 1 ns so that a
+//! token's write instant is strictly after its read instants — this keeps
+//! the immediate-backward-chain semantics unambiguous at timestamp ties.
+//!
+//! The engine is fully deterministic given the configuration seed.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::rc::Rc;
+
+use disparity_model::chain::Chain;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::{ChannelId, Priority, TaskId};
+use disparity_model::time::{Duration, Instant};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::SimError;
+use crate::exec::ExecutionTimeModel;
+use crate::metrics::ObservedMetrics;
+use crate::token::{
+    merge_sources, source_spread, JobRef, SharedToken, SourceMap, SourceStamp, Token,
+};
+use crate::trace::{JobRecord, ReadRecord, Trace};
+
+/// Which communication model the simulated tasks follow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CommunicationSemantics {
+    /// The paper's model (§II): a job reads its inputs when it *starts*
+    /// executing and writes its output when it *finishes*.
+    #[default]
+    Implicit,
+    /// Logical Execution Time: a job reads its inputs at its *release*
+    /// and its output becomes visible exactly one period later, making the
+    /// dataflow independent of scheduling. Because LET dataflow by
+    /// construction cannot be influenced by CPU contention, the engine
+    /// does not dispatch LET jobs onto ECUs (response-time metrics stay
+    /// zero); a job's trace record spans `[release, release + T)`.
+    LogicalExecutionTime,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Simulated time span `[0, horizon)`.
+    pub horizon: Duration,
+    /// How job execution times are drawn.
+    pub exec_model: ExecutionTimeModel,
+    /// RNG seed (the run is deterministic per seed).
+    pub seed: u64,
+    /// Samples taken before this instant are excluded from the metrics
+    /// (Lemma 6 holds "in the long term", once FIFOs have filled).
+    pub warmup: Duration,
+    /// Record a full [`Trace`] (memory grows with the horizon).
+    pub record_trace: bool,
+    /// Communication model (implicit by default).
+    pub semantics: CommunicationSemantics,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon: Duration::from_secs(1),
+            exec_model: ExecutionTimeModel::default(),
+            seed: 0,
+            warmup: Duration::ZERO,
+            record_trace: false,
+            semantics: CommunicationSemantics::default(),
+        }
+    }
+}
+
+/// What a simulation run produced.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Aggregated observations (disparity, backward times, response times).
+    pub metrics: ObservedMetrics,
+    /// The full trace, if recording was enabled.
+    pub trace: Option<Trace>,
+}
+
+/// A configured simulator for one graph.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::prelude::*;
+/// use disparity_sim::engine::{SimConfig, Simulator};
+///
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("e");
+/// let ms = Duration::from_millis;
+/// let s1 = b.add_task(TaskSpec::periodic("s1", ms(10)));
+/// let s2 = b.add_task(TaskSpec::periodic("s2", ms(30)));
+/// let fuse = b.add_task(TaskSpec::periodic("fuse", ms(30)).execution(ms(1), ms(2)).on_ecu(ecu));
+/// b.connect(s1, fuse);
+/// b.connect(s2, fuse);
+/// let g = b.build()?;
+///
+/// let mut sim = Simulator::new(&g, SimConfig::default());
+/// sim.monitor_chain(Chain::new(&g, vec![s1, fuse])?);
+/// let outcome = sim.run()?;
+/// let disparity = outcome.metrics.max_disparity(fuse);
+/// assert!(disparity.is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'g> {
+    graph: &'g CauseEffectGraph,
+    config: SimConfig,
+    chains: Vec<Chain>,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator over `graph`.
+    #[must_use]
+    pub fn new(graph: &'g CauseEffectGraph, config: SimConfig) -> Self {
+        Simulator {
+            graph,
+            config,
+            chains: Vec::new(),
+        }
+    }
+
+    /// Registers a chain whose backward times should be observed; returns
+    /// the chain's id within the run's metrics.
+    pub fn monitor_chain(&mut self, chain: Chain) -> usize {
+        self.chains.push(chain);
+        self.chains.len() - 1
+    }
+
+    /// Registers several chains at once.
+    pub fn monitor_chains<I: IntoIterator<Item = Chain>>(&mut self, chains: I) {
+        self.chains.extend(chains);
+    }
+
+    /// The monitored chains, in registration (id) order.
+    #[must_use]
+    pub fn monitored_chains(&self) -> &[Chain] {
+        &self.chains
+    }
+
+    /// Runs the simulation.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidHorizon`] / [`SimError::InvalidWarmup`] for
+    ///   nonsensical spans.
+    /// * [`SimError::Model`] if a monitored chain is not a path of the
+    ///   graph.
+    pub fn run(&self) -> Result<SimOutcome, SimError> {
+        if !self.config.horizon.is_positive() {
+            return Err(SimError::InvalidHorizon {
+                horizon_nanos: self.config.horizon.as_nanos(),
+            });
+        }
+        if self.config.warmup.is_negative() || self.config.warmup >= self.config.horizon {
+            return Err(SimError::InvalidWarmup {
+                warmup_nanos: self.config.warmup.as_nanos(),
+            });
+        }
+        for chain in &self.chains {
+            // Re-validate against this graph (chains are cheap to check).
+            Chain::new(self.graph, chain.tasks().to_vec())?;
+        }
+        let mut engine = Engine::new(self.graph, &self.config, &self.chains);
+        Ok(engine.run())
+    }
+}
+
+/// Where a monitored chain gets its upstream stamp when a job of the
+/// producing task writes into a channel.
+#[derive(Debug, Clone, Copy)]
+struct ChainHop {
+    chain: usize,
+    /// `None` when the producer is the chain's head (stamp = own release).
+    upstream: Option<ChannelId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// A running job on this ECU completes. Sorted before releases.
+    Finish(usize),
+    /// A LET job's output becomes visible (release + period). Sorted
+    /// before releases so a reader releasing at the publish instant sees
+    /// the fresh token.
+    Publish(u32, usize),
+    /// A task releases its next job. `u32` is the topological position so
+    /// that zero-cost cascades at one instant resolve upstream-first.
+    Release(u32, usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: Instant,
+    kind: EventKind,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct RunningJob {
+    job: JobRef,
+    release: Instant,
+    start: Instant,
+    sources: SourceMap,
+    /// Chain stamps to attach per outgoing channel.
+    out_stamps: BTreeMap<ChannelId, BTreeMap<usize, Instant>>,
+    reads: Vec<ReadRecord>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct ReadyKey {
+    priority: Priority,
+    release: Instant,
+    seq: u64,
+}
+
+struct Engine<'g> {
+    graph: &'g CauseEffectGraph,
+    config: SimConfig,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    buffers: Vec<VecDeque<SharedToken>>,
+    ready: Vec<BTreeMap<ReadyKey, (JobRef, Instant)>>,
+    running: Vec<Option<RunningJob>>,
+    pending_publishes: Vec<std::collections::VecDeque<RunningJob>>,
+    next_index: Vec<u64>,
+    topo_pos: Vec<u32>,
+    hops_per_channel: Vec<Vec<ChainHop>>,
+    tails_per_channel: Vec<Vec<usize>>,
+    rng: StdRng,
+    metrics: ObservedMetrics,
+    trace: Option<Trace>,
+    warmup_at: Instant,
+}
+
+impl<'g> Engine<'g> {
+    fn new(graph: &'g CauseEffectGraph, config: &SimConfig, chains: &[Chain]) -> Self {
+        let n_tasks = graph.task_count();
+        let n_channels = graph.channel_count();
+        let mut topo_pos = vec![0u32; n_tasks];
+        for (pos, &t) in graph.topological_order().iter().enumerate() {
+            topo_pos[t.index()] = pos as u32;
+        }
+        let mut hops_per_channel: Vec<Vec<ChainHop>> = vec![Vec::new(); n_channels];
+        let mut tails_per_channel: Vec<Vec<usize>> = vec![Vec::new(); n_channels];
+        for (chain_id, chain) in chains.iter().enumerate() {
+            let edges: Vec<(TaskId, TaskId)> = chain.edges().collect();
+            for (j, &(u, v)) in edges.iter().enumerate() {
+                let ch = graph
+                    .channel_between(u, v)
+                    .expect("monitored chains are validated")
+                    .id();
+                let upstream = if j == 0 {
+                    None
+                } else {
+                    let (pu, pv) = edges[j - 1];
+                    Some(
+                        graph
+                            .channel_between(pu, pv)
+                            .expect("monitored chains are validated")
+                            .id(),
+                    )
+                };
+                hops_per_channel[ch.index()].push(ChainHop {
+                    chain: chain_id,
+                    upstream,
+                });
+                if j + 1 == edges.len() {
+                    tails_per_channel[ch.index()].push(chain_id);
+                }
+            }
+        }
+        Engine {
+            graph,
+            config: *config,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            buffers: vec![VecDeque::new(); n_channels],
+            ready: vec![BTreeMap::new(); graph.ecus().len().max(1)],
+            running: (0..graph.ecus().len().max(1)).map(|_| None).collect(),
+            pending_publishes: (0..n_tasks)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
+            next_index: vec![0; n_tasks],
+            topo_pos,
+            hops_per_channel,
+            tails_per_channel,
+            rng: StdRng::seed_from_u64(config.seed),
+            metrics: ObservedMetrics::new(n_tasks, chains.len()),
+            trace: config.record_trace.then(|| Trace::new(n_tasks)),
+            warmup_at: Instant::ZERO + config.warmup,
+        }
+    }
+
+    fn push_event(&mut self, time: Instant, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event {
+            time,
+            kind,
+            seq: self.seq,
+        }));
+    }
+
+    fn run(&mut self) -> SimOutcome {
+        let end = Instant::ZERO + self.config.horizon;
+        for task in self.graph.tasks() {
+            let first = Instant::ZERO + task.offset();
+            if first < end {
+                self.push_event(
+                    first,
+                    EventKind::Release(self.topo_pos[task.id().index()], task.id().index()),
+                );
+            }
+        }
+        while let Some(Reverse(ev)) = self.heap.peek().copied() {
+            if ev.time >= end {
+                break;
+            }
+            let now = ev.time;
+            while let Some(Reverse(ev)) = self.heap.peek().copied() {
+                if ev.time != now {
+                    break;
+                }
+                self.heap.pop();
+                match ev.kind {
+                    EventKind::Finish(ecu) => self.handle_finish(ecu, now),
+                    EventKind::Publish(_, task) => {
+                        self.handle_publish(TaskId::from_index(task), now);
+                    }
+                    EventKind::Release(_, task) => {
+                        self.handle_release(TaskId::from_index(task), now, end);
+                    }
+                }
+            }
+            for ecu in 0..self.running.len() {
+                self.dispatch(ecu, now);
+            }
+        }
+        SimOutcome {
+            metrics: std::mem::take(&mut self.metrics),
+            trace: self.trace.take(),
+        }
+    }
+
+    fn handle_release(&mut self, task_id: TaskId, now: Instant, end: Instant) {
+        let task = self.graph.task(task_id);
+        let index = self.next_index[task_id.index()];
+        self.next_index[task_id.index()] += 1;
+        let next = now + task.period();
+        if next < end {
+            self.push_event(
+                next,
+                EventKind::Release(self.topo_pos[task_id.index()], task_id.index()),
+            );
+        }
+        let job = JobRef {
+            task: task_id,
+            index,
+        };
+        if self.config.semantics == CommunicationSemantics::LogicalExecutionTime {
+            // LET: read at release, publish one period later; CPU
+            // contention cannot influence the dataflow, so no dispatch.
+            let prepared = self.start_job(job, now, now);
+            self.pending_publishes[task_id.index()].push_back(prepared);
+            self.push_event(
+                now + task.period(),
+                EventKind::Publish(self.topo_pos[task_id.index()], task_id.index()),
+            );
+            return;
+        }
+        if task.is_zero_cost() {
+            // Off-CPU stimulus or forwarding hop: start and finish at `now`.
+            let started = self.start_job(job, now, now);
+            self.complete_job(started, now);
+        } else {
+            let ecu = task.ecu().expect("costly tasks are mapped").index();
+            self.seq += 1;
+            self.ready[ecu].insert(
+                ReadyKey {
+                    priority: task.priority(),
+                    release: now,
+                    seq: self.seq,
+                },
+                (job, now),
+            );
+        }
+    }
+
+    /// Makes a LET job's output visible and records its trace entry
+    /// (spanning the job's logical execution interval).
+    fn handle_publish(&mut self, task_id: TaskId, now: Instant) {
+        let mut prepared = self.pending_publishes[task_id.index()]
+            .pop_front()
+            .expect("publish events match queued prepared outputs");
+        self.write_tokens(&mut prepared, now);
+        if let Some(trace) = &mut self.trace {
+            trace.push(JobRecord {
+                job: prepared.job,
+                release: prepared.release,
+                start: prepared.release,
+                finish: now,
+                reads: std::mem::take(&mut prepared.reads),
+            });
+        }
+    }
+
+    fn dispatch(&mut self, ecu: usize, now: Instant) {
+        if self.running[ecu].is_some() {
+            return;
+        }
+        let Some((&key, _)) = self.ready[ecu].iter().next() else {
+            return;
+        };
+        let (job, release) = self.ready[ecu].remove(&key).expect("key just observed");
+        let started = self.start_job(job, release, now);
+        let task = self.graph.task(job.task);
+        let drawn = self.config.exec_model.draw(task, job.index, &mut self.rng);
+        // Costly tasks run for >= 1ns: a token write is strictly after the
+        // job's reads, keeping tie-breaking unambiguous — so a dispatched
+        // job always occupies the ECU past `now` and at most one job can
+        // start per ECU per instant.
+        let exec = drawn.max(Duration::from_nanos(1));
+        self.running[ecu] = Some(started);
+        self.push_event(now + exec, EventKind::Finish(ecu));
+    }
+
+    /// Performs the read phase of a job: peeks every input channel, merges
+    /// provenance, records chain observations and the disparity sample.
+    fn start_job(&mut self, job: JobRef, release: Instant, now: Instant) -> RunningJob {
+        let task_id = job.task;
+        let mut sources = SourceMap::new();
+        let mut reads = Vec::new();
+        let mut read_tokens: BTreeMap<ChannelId, SharedToken> = BTreeMap::new();
+        for &ch in self.graph.in_channels(task_id) {
+            let token = self.buffers[ch.index()].front().cloned();
+            reads.push(ReadRecord {
+                channel: ch,
+                producer: token.as_ref().map(|t| t.produced_by),
+            });
+            if let Some(token) = token {
+                merge_sources(&mut sources, &token.sources);
+                read_tokens.insert(ch, token);
+            }
+        }
+        if self.graph.is_source(task_id) {
+            sources.insert(task_id, SourceStamp::point(release));
+        }
+
+        // Chain tail observations: backward time = r(tail) − traced stamp.
+        for (&ch, token) in &read_tokens {
+            for &chain_id in &self.tails_per_channel[ch.index()] {
+                if now >= self.warmup_at {
+                    match token.chain_stamps.get(&chain_id) {
+                        Some(&stamp) => {
+                            self.metrics.record_backward(chain_id, release - stamp);
+                        }
+                        None => self.metrics.record_missing_read(chain_id),
+                    }
+                }
+            }
+        }
+        // Missing-read accounting for tail channels that were empty.
+        for r in &reads {
+            if r.producer.is_none() && now >= self.warmup_at {
+                for &chain_id in &self.tails_per_channel[r.channel.index()] {
+                    self.metrics.record_missing_read(chain_id);
+                }
+            }
+        }
+
+        if now >= self.warmup_at {
+            if let Some(spread) = source_spread(&sources) {
+                self.metrics.record_disparity(task_id, spread);
+            }
+        }
+
+        // Precompute the chain stamps each outgoing channel will carry.
+        let mut out_stamps: BTreeMap<ChannelId, BTreeMap<usize, Instant>> = BTreeMap::new();
+        for &out in self.graph.out_channels(task_id) {
+            let mut stamps = BTreeMap::new();
+            for hop in &self.hops_per_channel[out.index()] {
+                match hop.upstream {
+                    None => {
+                        stamps.insert(hop.chain, release);
+                    }
+                    Some(up) => {
+                        if let Some(stamp) = read_tokens
+                            .get(&up)
+                            .and_then(|t| t.chain_stamps.get(&hop.chain).copied())
+                        {
+                            stamps.insert(hop.chain, stamp);
+                        }
+                    }
+                }
+            }
+            out_stamps.insert(out, stamps);
+        }
+
+        RunningJob {
+            job,
+            release,
+            start: now,
+            sources,
+            out_stamps,
+            reads,
+        }
+    }
+
+    /// Writes one token per outgoing channel (FIFO eviction included).
+    fn write_tokens(&mut self, running: &mut RunningJob, now: Instant) {
+        for &out in self.graph.out_channels(running.job.task) {
+            let token = Rc::new(Token {
+                produced_by: running.job,
+                producer_release: running.release,
+                produced_at: now,
+                sources: running.sources.clone(),
+                chain_stamps: running.out_stamps.remove(&out).unwrap_or_default(),
+            });
+            let capacity = self.graph.channel(out).capacity();
+            let buf = &mut self.buffers[out.index()];
+            if buf.len() == capacity {
+                buf.pop_front();
+            }
+            buf.push_back(token);
+        }
+    }
+
+    /// Performs the write phase of a job and the bookkeeping at its finish.
+    fn complete_job(&mut self, mut running: RunningJob, now: Instant) {
+        self.write_tokens(&mut running, now);
+        self.metrics.record_response(
+            running.job.task,
+            now - running.release,
+            running.start - running.release,
+        );
+        if let Some(trace) = &mut self.trace {
+            trace.push(JobRecord {
+                job: running.job,
+                release: running.release,
+                start: running.start,
+                finish: now,
+                reads: std::mem::take(&mut running.reads),
+            });
+        }
+    }
+
+    fn handle_finish(&mut self, ecu: usize, now: Instant) {
+        let running = self.running[ecu]
+            .take()
+            .expect("finish implies a running job");
+        self.complete_job(running, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::task::TaskSpec;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn two_sensor_fusion() -> (CauseEffectGraph, [TaskId; 3]) {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s1 = b.add_task(TaskSpec::periodic("s1", ms(10)));
+        let s2 = b.add_task(TaskSpec::periodic("s2", ms(30)));
+        let fuse = b.add_task(
+            TaskSpec::periodic("fuse", ms(30))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        b.connect(s1, fuse);
+        b.connect(s2, fuse);
+        (b.build().unwrap(), [s1, s2, fuse])
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g, [s1, _, fuse]) = two_sensor_fusion();
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(
+                &g,
+                SimConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            sim.monitor_chain(Chain::new(&g, vec![s1, fuse]).unwrap());
+            let out = sim.run().unwrap();
+            (
+                out.metrics.max_disparity(fuse),
+                out.metrics.chain(0).max_backward,
+            )
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn rejects_bad_horizon_and_warmup() {
+        let (g, _) = two_sensor_fusion();
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: Duration::ZERO,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(sim.run(), Err(SimError::InvalidHorizon { .. })));
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                warmup: Duration::from_secs(2),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(sim.run(), Err(SimError::InvalidWarmup { .. })));
+    }
+
+    #[test]
+    fn rejects_foreign_chain() {
+        let (g, [s1, s2, _]) = two_sensor_fusion();
+        let mut sim = Simulator::new(&g, SimConfig::default());
+        // s1 -> s2 is not an edge; construct via unchecked path through a
+        // different graph's Chain is impossible, so check the validation by
+        // monitoring a chain built from another graph's layout.
+        let (g2, [a, _, f2]) = two_sensor_fusion();
+        let foreign = Chain::new(&g2, vec![a, f2]).unwrap();
+        sim.monitor_chain(foreign);
+        // Same shape, so it validates fine — instead check a broken one by
+        // constructing with new_unchecked-equivalent: skip; assert Chain::new fails.
+        assert!(Chain::new(&g, vec![s1, s2]).is_err());
+        assert!(sim.run().is_ok());
+    }
+
+    #[test]
+    fn source_jobs_stamp_their_release() {
+        let (g, [s1, s2, fuse]) = two_sensor_fusion();
+        let mut sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(100),
+                record_trace: true,
+                ..Default::default()
+            },
+        );
+        sim.monitor_chain(Chain::new(&g, vec![s1, fuse]).unwrap());
+        sim.monitor_chain(Chain::new(&g, vec![s2, fuse]).unwrap());
+        let out = sim.run().unwrap();
+        let trace = out.trace.unwrap();
+        // 10 source jobs of s1 (0..100ms at 10ms), 4 of s2? 100/30 -> 0,30,60,90 = 4.
+        assert_eq!(trace.jobs_of(s1).len(), 10);
+        assert_eq!(trace.jobs_of(s2).len(), 4);
+        for j in trace.jobs_of(s1) {
+            assert_eq!(j.start, j.release);
+            assert_eq!(j.finish, j.release);
+        }
+    }
+
+    #[test]
+    fn fuse_reads_latest_available_tokens() {
+        let (g, [s1, _s2, fuse]) = two_sensor_fusion();
+        let mut sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(100),
+                exec_model: ExecutionTimeModel::WorstCase,
+                record_trace: true,
+                ..Default::default()
+            },
+        );
+        sim.monitor_chain(Chain::new(&g, vec![s1, fuse]).unwrap());
+        let out = sim.run().unwrap();
+        let trace = out.trace.unwrap();
+        // fuse job 0 releases at 0 and starts at 0: both sources released
+        // at 0, tokens written at 0 (finishes before dispatch), so reads
+        // find producer index 0 on both channels.
+        let f0 = &trace.jobs_of(fuse)[0];
+        assert_eq!(f0.reads.len(), 2);
+        for r in &f0.reads {
+            assert_eq!(r.producer.map(|p| p.index), Some(0));
+        }
+        // fuse job 1 releases at 30: s1 produced 0..3 (released 0,10,20,30);
+        // the register holds the newest = index 3.
+        let f1 = &trace.jobs_of(fuse)[1];
+        let s1_ch = g.channel_between(s1, fuse).unwrap().id();
+        let read = f1.read_on(s1_ch).unwrap();
+        assert_eq!(read.producer.map(|p| p.index), Some(3));
+        // Backward time for chain s1->fuse: r(fuse#k) - r(s1#k*3...) = 0.
+        let c = out.metrics.chain(0);
+        assert_eq!(c.max_backward, Some(Duration::ZERO));
+        assert_eq!(c.min_backward, Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn disparity_observed_matches_hand_computation() {
+        let (g, [_, _, fuse]) = two_sensor_fusion();
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(300),
+                exec_model: ExecutionTimeModel::WorstCase,
+                ..Default::default()
+            },
+        );
+        let out = sim.run().unwrap();
+        // At each fuse release k*30 both sensors just fired (30 divisible
+        // by 10 and 30): timestamps equal -> disparity 0 throughout.
+        assert_eq!(out.metrics.max_disparity(fuse), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn offset_shifts_sampling() {
+        // Shift s2 by 5ms: fuse at 30 reads s1@30 and s2@(5+0? releases 5,35,..)
+        // at fuse release 30 the newest s2 token is 5 -> disparity 25ms.
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s1 = b.add_task(TaskSpec::periodic("s1", ms(10)));
+        let s2 = b.add_task(TaskSpec::periodic("s2", ms(30)).offset(ms(5)));
+        let fuse = b.add_task(
+            TaskSpec::periodic("fuse", ms(30))
+                .execution(ms(1), ms(1))
+                .on_ecu(e),
+        );
+        b.connect(s1, fuse);
+        b.connect(s2, fuse);
+        let g = b.build().unwrap();
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(300),
+                warmup: ms(40),
+                exec_model: ExecutionTimeModel::WorstCase,
+                ..Default::default()
+            },
+        );
+        let out = sim.run().unwrap();
+        assert_eq!(out.metrics.max_disparity(fuse), Some(ms(25)));
+    }
+
+    #[test]
+    fn fifo_buffer_delays_tokens() {
+        // s -> t with capacity 3: in steady state t reads data 2 periods old.
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(10))
+                .execution(ms(1), ms(1))
+                .on_ecu(e),
+        );
+        b.connect_with_capacity(s, t, 3);
+        let g = b.build().unwrap();
+        let mut sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(500),
+                warmup: ms(100),
+                exec_model: ExecutionTimeModel::WorstCase,
+                ..Default::default()
+            },
+        );
+        sim.monitor_chain(Chain::new(&g, vec![s, t]).unwrap());
+        let out = sim.run().unwrap();
+        let c = out.metrics.chain(0);
+        assert_eq!(c.min_backward, Some(ms(20)));
+        assert_eq!(c.max_backward, Some(ms(20)));
+        assert_eq!(c.missing_reads, 0);
+    }
+
+    #[test]
+    fn let_publish_is_visible_at_exactly_one_period() {
+        // s (T=10) -> t (T=10), both offset 0, LET semantics.
+        // t's job at k*10 reads the token s published at k*10, whose
+        // stamp is the release one period earlier: backward time = 10ms.
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        b.connect(s, t);
+        let g = b.build().unwrap();
+        let mut sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(200),
+                warmup: ms(50),
+                semantics: CommunicationSemantics::LogicalExecutionTime,
+                ..Default::default()
+            },
+        );
+        sim.monitor_chain(Chain::new(&g, vec![s, t]).unwrap());
+        let out = sim.run().unwrap();
+        let obs = out.metrics.chain(0);
+        assert_eq!(obs.min_backward, Some(ms(10)));
+        assert_eq!(obs.max_backward, Some(ms(10)));
+    }
+
+    #[test]
+    fn let_phase_shift_lands_inside_window() {
+        // Reader offset 3ms behind the publish grid: backward time 13ms,
+        // still inside [T, 2T) = [10, 20).
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(10))
+                .execution(ms(1), ms(2))
+                .offset(ms(3))
+                .on_ecu(e),
+        );
+        b.connect(s, t);
+        let g = b.build().unwrap();
+        let mut sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(200),
+                warmup: ms(50),
+                semantics: CommunicationSemantics::LogicalExecutionTime,
+                ..Default::default()
+            },
+        );
+        sim.monitor_chain(Chain::new(&g, vec![s, t]).unwrap());
+        let out = sim.run().unwrap();
+        let obs = out.metrics.chain(0);
+        assert_eq!(obs.min_backward, Some(ms(13)));
+        assert_eq!(obs.max_backward, Some(ms(13)));
+    }
+
+    #[test]
+    fn let_trace_records_logical_interval() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(20))
+                .execution(ms(1), ms(5))
+                .on_ecu(e),
+        );
+        b.connect(s, t);
+        let g = b.build().unwrap();
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(100),
+                record_trace: true,
+                semantics: CommunicationSemantics::LogicalExecutionTime,
+                ..Default::default()
+            },
+        );
+        let out = sim.run().unwrap();
+        let trace = out.trace.unwrap();
+        for job in trace.jobs_of(t) {
+            assert_eq!(job.start, job.release);
+            assert_eq!(job.finish - job.release, ms(20), "LET interval = period");
+        }
+        // Publishes at horizon edge are dropped; released-but-unpublished
+        // jobs simply do not appear.
+        assert!(trace.jobs_of(t).len() <= 5);
+        // CPU response metrics stay zero under LET.
+        assert_eq!(out.metrics.max_response(t), Duration::ZERO);
+    }
+
+    #[test]
+    fn response_times_observed() {
+        let (g, [_, _, fuse]) = two_sensor_fusion();
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                exec_model: ExecutionTimeModel::WorstCase,
+                ..Default::default()
+            },
+        );
+        let out = sim.run().unwrap();
+        assert_eq!(out.metrics.max_response(fuse), ms(2));
+    }
+}

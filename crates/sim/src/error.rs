@@ -1,0 +1,76 @@
+//! Error types for the simulator.
+
+use core::fmt;
+
+use disparity_model::error::ModelError;
+
+/// Errors produced when configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The simulation horizon must be strictly positive.
+    InvalidHorizon {
+        /// The offending horizon in nanoseconds.
+        horizon_nanos: i64,
+    },
+    /// The warm-up span must be non-negative and shorter than the horizon.
+    InvalidWarmup {
+        /// The offending warm-up in nanoseconds.
+        warmup_nanos: i64,
+    },
+    /// A monitored chain is not a path of the simulated graph.
+    Model(ModelError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidHorizon { horizon_nanos } => {
+                write!(
+                    f,
+                    "simulation horizon must be positive, got {horizon_nanos}ns"
+                )
+            }
+            SimError::InvalidWarmup { warmup_nanos } => {
+                write!(
+                    f,
+                    "warm-up must be non-negative and below the horizon, got {warmup_nanos}ns"
+                )
+            }
+            SimError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SimError {
+    fn from(e: ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!SimError::InvalidHorizon { horizon_nanos: 0 }
+            .to_string()
+            .is_empty());
+        assert!(!SimError::InvalidWarmup { warmup_nanos: -1 }
+            .to_string()
+            .is_empty());
+        assert!(!SimError::from(ModelError::EmptyGraph)
+            .to_string()
+            .is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Execution-time models for simulated jobs.
+
+use disparity_model::task::Task;
+use disparity_model::time::Duration;
+use rand::Rng;
+
+/// How a job's actual execution time is drawn from `[B(τ), W(τ)]`.
+///
+/// The paper's evaluation simulates systems whose jobs may run anywhere
+/// between their best- and worst-case execution times; the observed maximum
+/// disparity ("Sim") is a *lower* bound on the true worst case, which is
+/// why the analytical bounds must dominate it at any setting here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ExecutionTimeModel {
+    /// Every job takes exactly `W(τ)`.
+    WorstCase,
+    /// Every job takes exactly `B(τ)`.
+    BestCase,
+    /// Each job independently draws a uniform time in `[B(τ), W(τ)]`.
+    #[default]
+    Uniform,
+    /// Jobs alternate deterministically between `B(τ)` and `W(τ)`
+    /// (a cheap way to exercise jitter without randomness).
+    Alternating,
+}
+
+impl ExecutionTimeModel {
+    /// Draws the execution time of the `index`-th job of `task`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use disparity_sim::exec::ExecutionTimeModel;
+    /// # use disparity_model::prelude::*;
+    /// # use rand::SeedableRng;
+    /// # let mut b = SystemBuilder::new();
+    /// # let e = b.add_ecu("e");
+    /// # let ms = Duration::from_millis;
+    /// # let t = b.add_task(TaskSpec::periodic("t", ms(10)).execution(ms(1), ms(3)).on_ecu(e));
+    /// # let g = b.build().unwrap();
+    /// # let task = g.task(t);
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let e = ExecutionTimeModel::Uniform.draw(task, 0, &mut rng);
+    /// assert!(task.bcet() <= e && e <= task.wcet());
+    /// ```
+    pub fn draw<R: Rng + ?Sized>(self, task: &Task, index: u64, rng: &mut R) -> Duration {
+        match self {
+            ExecutionTimeModel::WorstCase => task.wcet(),
+            ExecutionTimeModel::BestCase => task.bcet(),
+            ExecutionTimeModel::Uniform => {
+                let lo = task.bcet().as_nanos();
+                let hi = task.wcet().as_nanos();
+                if lo == hi {
+                    task.wcet()
+                } else {
+                    Duration::from_nanos(rng.gen_range(lo..=hi))
+                }
+            }
+            ExecutionTimeModel::Alternating => {
+                if index.is_multiple_of(2) {
+                    task.bcet()
+                } else {
+                    task.wcet()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::task::TaskSpec;
+    use rand::SeedableRng;
+
+    fn sample_task() -> disparity_model::graph::CauseEffectGraph {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let ms = Duration::from_millis;
+        b.add_task(
+            TaskSpec::periodic("t", ms(10))
+                .execution(ms(2), ms(5))
+                .on_ecu(e),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fixed_models_return_extremes() {
+        let g = sample_task();
+        let t = &g.tasks()[0];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert_eq!(ExecutionTimeModel::WorstCase.draw(t, 0, &mut rng), t.wcet());
+        assert_eq!(ExecutionTimeModel::BestCase.draw(t, 0, &mut rng), t.bcet());
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_is_deterministic_per_seed() {
+        let g = sample_task();
+        let t = &g.tasks()[0];
+        let draw_all = |seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            (0..100)
+                .map(|i| ExecutionTimeModel::Uniform.draw(t, i, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        let a = draw_all(42);
+        let b = draw_all(42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&e| t.bcet() <= e && e <= t.wcet()));
+        assert!(a.iter().any(|&e| e != a[0]), "should actually vary");
+    }
+
+    #[test]
+    fn alternating_flips_each_job() {
+        let g = sample_task();
+        let t = &g.tasks()[0];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert_eq!(
+            ExecutionTimeModel::Alternating.draw(t, 0, &mut rng),
+            t.bcet()
+        );
+        assert_eq!(
+            ExecutionTimeModel::Alternating.draw(t, 1, &mut rng),
+            t.wcet()
+        );
+        assert_eq!(
+            ExecutionTimeModel::Alternating.draw(t, 2, &mut rng),
+            t.bcet()
+        );
+    }
+
+    #[test]
+    fn degenerate_range_needs_no_rng() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let ms = Duration::from_millis;
+        b.add_task(
+            TaskSpec::periodic("t", ms(10))
+                .execution(ms(3), ms(3))
+                .on_ecu(e),
+        );
+        let g = b.build().unwrap();
+        let t = &g.tasks()[0];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert_eq!(ExecutionTimeModel::Uniform.draw(t, 0, &mut rng), ms(3));
+    }
+}

@@ -1,0 +1,201 @@
+//! Trace export: Chrome trace-event JSON and ASCII Gantt rendering.
+//!
+//! A recorded [`Trace`] can be inspected in `chrome://tracing` /
+//! [Perfetto](https://ui.perfetto.dev) — each ECU becomes a track, each
+//! job a duration event — or printed as a quick ASCII Gantt chart for
+//! terminal debugging.
+
+use std::fmt::Write as _;
+
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::time::{Duration, Instant};
+
+use crate::trace::Trace;
+
+/// Renders the trace in the Chrome trace-event format (JSON array of
+/// complete events, timestamps in microseconds).
+///
+/// Zero-cost stimuli are skipped (they have no extent on a timeline);
+/// every other completed job becomes one `"X"` event on its ECU's track
+/// with the job id in the name.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::prelude::*;
+/// use disparity_sim::prelude::*;
+/// use disparity_sim::export::to_chrome_trace;
+///
+/// let mut b = SystemBuilder::new();
+/// let ecu = b.add_ecu("e");
+/// let ms = Duration::from_millis;
+/// let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+/// let t = b.add_task(TaskSpec::periodic("t", ms(10)).execution(ms(1), ms(2)).on_ecu(ecu));
+/// b.connect(s, t);
+/// let g = b.build()?;
+/// let sim = Simulator::new(&g, SimConfig { record_trace: true, ..Default::default() });
+/// let trace = sim.run()?.trace.expect("recording enabled");
+/// let json = to_chrome_trace(&trace, &g);
+/// assert!(json.starts_with('['));
+/// assert!(json.contains("\"ph\":\"X\""));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn to_chrome_trace(trace: &Trace, graph: &CauseEffectGraph) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for task in graph.tasks() {
+        if task.is_zero_cost() {
+            continue;
+        }
+        let ecu = task.ecu().map_or(usize::MAX, |e| e.index());
+        for job in trace.jobs_of(task.id()) {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "  {{\"name\":\"{}#{}\",\"cat\":\"job\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":{},\"args\":{{\"release_us\":{},\"response_us\":{}}}}}",
+                escape(task.name()),
+                job.job.index,
+                job.start.as_nanos() / 1_000,
+                (job.finish - job.start).as_nanos().max(1) / 1_000,
+                ecu,
+                job.release.as_nanos() / 1_000,
+                job.response_time().as_nanos() / 1_000,
+            );
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Renders an ASCII Gantt chart of the window `[from, to)` with one row
+/// per costly task, `columns` characters wide.
+///
+/// `#` marks execution, `.` marks released-but-waiting time, spaces are
+/// idle. Useful for eyeballing non-preemptive blocking in a terminal.
+///
+/// # Panics
+///
+/// Panics if `to <= from` or `columns == 0`.
+#[must_use]
+pub fn to_ascii_gantt(
+    trace: &Trace,
+    graph: &CauseEffectGraph,
+    from: Instant,
+    to: Instant,
+    columns: usize,
+) -> String {
+    assert!(to > from, "empty window");
+    assert!(columns > 0, "need at least one column");
+    let span = to - from;
+    let col_of = |t: Instant| -> usize {
+        let offset = (t - from).as_nanos().clamp(0, span.as_nanos() - 1);
+        (offset as u128 * columns as u128 / span.as_nanos() as u128) as usize
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "gantt [{from} .. {to}] ('#' running, '.' waiting)");
+    for task in graph.tasks() {
+        if task.is_zero_cost() {
+            continue;
+        }
+        let mut row = vec![b' '; columns];
+        for job in trace.jobs_of(task.id()) {
+            if job.finish <= from || job.release >= to {
+                continue;
+            }
+            for c in &mut row[col_of(job.release)..=col_of(job.start)] {
+                *c = b'.';
+            }
+            for c in &mut row[col_of(job.start)..=col_of(job.finish - Duration::from_nanos(1))] {
+                *c = b'#';
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:>12} |{}|",
+            task.name(),
+            String::from_utf8(row).expect("ascii art is valid utf-8")
+        );
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, Simulator};
+    use crate::exec::ExecutionTimeModel;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::task::TaskSpec;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn traced() -> (CauseEffectGraph, Trace) {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let hi = b.add_task(
+            TaskSpec::periodic("hi", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        let lo = b.add_task(
+            TaskSpec::periodic("lo", ms(20))
+                .execution(ms(3), ms(5))
+                .on_ecu(e),
+        );
+        b.connect(s, hi);
+        b.connect(s, lo);
+        let g = b.build().unwrap();
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(100),
+                exec_model: ExecutionTimeModel::WorstCase,
+                record_trace: true,
+                ..Default::default()
+            },
+        );
+        let trace = sim.run().unwrap().trace.unwrap();
+        (g, trace)
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let (g, trace) = traced();
+        let json = to_chrome_trace(&trace, &g);
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        // 10 hi jobs + 5 lo jobs; stimuli excluded.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 15);
+        assert!(!json.contains("\"s#"));
+        assert!(json.contains("\"hi#0\""));
+    }
+
+    #[test]
+    fn gantt_marks_execution_and_waiting() {
+        let (g, trace) = traced();
+        let art = to_ascii_gantt(&trace, &g, Instant::ZERO, Instant::from_millis(40), 80);
+        assert!(art.contains("hi"));
+        assert!(art.contains('#'));
+        let hi_row = art.lines().find(|l| l.contains("hi")).unwrap();
+        assert!(hi_row.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn gantt_rejects_empty_window() {
+        let (g, trace) = traced();
+        let _ = to_ascii_gantt(&trace, &g, Instant::ZERO, Instant::ZERO, 10);
+    }
+}

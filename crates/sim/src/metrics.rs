@@ -1,0 +1,387 @@
+//! Aggregated observations from a simulation run, plus trace-based
+//! recomputation utilities.
+//!
+//! The streaming observations (collected by the engine as jobs start and
+//! finish) and the trace-based reconstructions (following recorded
+//! read-links) are two independent implementations of the same paper
+//! definitions; the test suite checks they agree.
+
+use disparity_model::chain::Chain;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::TaskId;
+use disparity_model::time::Duration;
+
+use crate::token::JobRef;
+use crate::trace::Trace;
+
+/// Observed time-disparity statistics of one task.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DisparityObservation {
+    /// Largest observed disparity sample.
+    pub max: Duration,
+    /// Number of samples (jobs with at least one traced source).
+    pub samples: u64,
+}
+
+/// Observed backward-time statistics of one monitored chain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChainObservation {
+    /// Smallest observed backward time.
+    pub min_backward: Option<Duration>,
+    /// Largest observed backward time.
+    pub max_backward: Option<Duration>,
+    /// Number of complete backward chains observed.
+    pub samples: u64,
+    /// Tail starts that found no traced stamp (empty channel or a gap
+    /// upstream — e.g. before the pipeline filled).
+    pub missing_reads: u64,
+}
+
+/// Everything a run observed, aggregated online.
+#[derive(Debug, Clone, Default)]
+pub struct ObservedMetrics {
+    disparity: Vec<DisparityObservation>,
+    chains: Vec<ChainObservation>,
+    max_response: Vec<Duration>,
+    max_start_delay: Vec<Duration>,
+}
+
+impl ObservedMetrics {
+    /// Creates empty metrics for `tasks` tasks and `chains` monitored
+    /// chains.
+    #[must_use]
+    pub fn new(tasks: usize, chains: usize) -> Self {
+        ObservedMetrics {
+            disparity: vec![DisparityObservation::default(); tasks],
+            chains: vec![ChainObservation::default(); chains],
+            max_response: vec![Duration::ZERO; tasks],
+            max_start_delay: vec![Duration::ZERO; tasks],
+        }
+    }
+
+    pub(crate) fn record_disparity(&mut self, task: TaskId, sample: Duration) {
+        let obs = &mut self.disparity[task.index()];
+        obs.max = obs.max.max(sample);
+        obs.samples += 1;
+    }
+
+    pub(crate) fn record_backward(&mut self, chain: usize, sample: Duration) {
+        let obs = &mut self.chains[chain];
+        obs.min_backward = Some(obs.min_backward.map_or(sample, |m| m.min(sample)));
+        obs.max_backward = Some(obs.max_backward.map_or(sample, |m| m.max(sample)));
+        obs.samples += 1;
+    }
+
+    pub(crate) fn record_missing_read(&mut self, chain: usize) {
+        self.chains[chain].missing_reads += 1;
+    }
+
+    pub(crate) fn record_response(&mut self, task: TaskId, response: Duration, delay: Duration) {
+        let i = task.index();
+        self.max_response[i] = self.max_response[i].max(response);
+        self.max_start_delay[i] = self.max_start_delay[i].max(delay);
+    }
+
+    /// Largest observed time disparity of `task`, or `None` if no job of it
+    /// ever traced a source (e.g. sampling never happened in the horizon).
+    #[must_use]
+    pub fn max_disparity(&self, task: TaskId) -> Option<Duration> {
+        let obs = self.disparity.get(task.index())?;
+        (obs.samples > 0).then_some(obs.max)
+    }
+
+    /// Full disparity statistics of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a task id outside the simulated graph.
+    #[must_use]
+    pub fn disparity(&self, task: TaskId) -> DisparityObservation {
+        self.disparity[task.index()]
+    }
+
+    /// Statistics of the monitored chain with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown chain id.
+    #[must_use]
+    pub fn chain(&self, chain: usize) -> ChainObservation {
+        self.chains[chain]
+    }
+
+    /// Number of monitored chains.
+    #[must_use]
+    pub fn chain_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Largest observed response time of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a task id outside the simulated graph.
+    #[must_use]
+    pub fn max_response(&self, task: TaskId) -> Duration {
+        self.max_response[task.index()]
+    }
+
+    /// Largest observed release-to-start delay of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a task id outside the simulated graph.
+    #[must_use]
+    pub fn max_start_delay(&self, task: TaskId) -> Duration {
+        self.max_start_delay[task.index()]
+    }
+
+    /// Folds another run's observations into this one (the paper's
+    /// protocol aggregates maxima over several offset-randomized runs of
+    /// the same system).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` was produced for a different graph or chain set
+    /// (mismatched dimensions).
+    pub fn merge(&mut self, other: &ObservedMetrics) {
+        assert_eq!(
+            self.disparity.len(),
+            other.disparity.len(),
+            "task count mismatch"
+        );
+        assert_eq!(
+            self.chains.len(),
+            other.chains.len(),
+            "chain count mismatch"
+        );
+        for (a, b) in self.disparity.iter_mut().zip(&other.disparity) {
+            a.max = a.max.max(b.max);
+            a.samples += b.samples;
+        }
+        for (a, b) in self.chains.iter_mut().zip(&other.chains) {
+            a.min_backward = match (a.min_backward, b.min_backward) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, y) => x.or(y),
+            };
+            a.max_backward = match (a.max_backward, b.max_backward) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, y) => x.or(y),
+            };
+            a.samples += b.samples;
+            a.missing_reads += b.missing_reads;
+        }
+        for (a, b) in self.max_response.iter_mut().zip(&other.max_response) {
+            *a = (*a).max(*b);
+        }
+        for (a, b) in self.max_start_delay.iter_mut().zip(&other.max_start_delay) {
+            *a = (*a).max(*b);
+        }
+    }
+}
+
+/// Follows recorded read-links to reconstruct the immediate backward job
+/// chain of the `index`-th job of `chain`'s tail, returning its backward
+/// time `r(tail job) − r(source job)`.
+///
+/// Returns `None` when the job did not complete within the horizon or some
+/// link is missing (empty channel at a read).
+///
+/// # Panics
+///
+/// Panics if `chain` is not a path of the graph the trace was recorded on.
+#[must_use]
+pub fn backward_time_from_trace(
+    trace: &Trace,
+    graph: &CauseEffectGraph,
+    chain: &Chain,
+    index: u64,
+) -> Option<Duration> {
+    let tail = chain.tail();
+    let tail_record = trace.job(JobRef { task: tail, index })?;
+    let mut current = tail_record;
+    // Walk edges from the tail back to the head.
+    for pos in (1..chain.len()).rev() {
+        let consumer = chain.get(pos).expect("position in range");
+        let producer_task = chain.get(pos - 1).expect("position in range");
+        debug_assert_eq!(current.job.task, consumer);
+        let ch = graph
+            .channel_between(producer_task, consumer)
+            .unwrap_or_else(|| panic!("{producer_task} -> {consumer} is not an edge"))
+            .id();
+        let read = current.read_on(ch)?;
+        let producer = read.producer?;
+        current = trace.job(producer)?;
+    }
+    Some(tail_record.release - current.release)
+}
+
+/// Reconstructs every observable backward time of `chain` from a trace and
+/// returns `(min, max, samples)` over jobs whose start lies at or after
+/// `warmup_index` tail activations.
+///
+/// # Panics
+///
+/// Panics if `chain` is not a path of the graph the trace was recorded on.
+#[must_use]
+pub fn backward_extrema_from_trace(
+    trace: &Trace,
+    graph: &CauseEffectGraph,
+    chain: &Chain,
+) -> (Option<Duration>, Option<Duration>, u64) {
+    let mut min = None;
+    let mut max = None;
+    let mut samples = 0u64;
+    for k in 0..trace.jobs_of(chain.tail()).len() as u64 {
+        if let Some(len) = backward_time_from_trace(trace, graph, chain, k) {
+            min = Some(min.map_or(len, |m: Duration| m.min(len)));
+            max = Some(max.map_or(len, |m: Duration| m.max(len)));
+            samples += 1;
+        }
+    }
+    (min, max, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, Simulator};
+    use crate::exec::ExecutionTimeModel;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::task::TaskSpec;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut m = ObservedMetrics::new(2, 1);
+        let t0 = TaskId::from_index(0);
+        assert_eq!(m.max_disparity(t0), None);
+        m.record_disparity(t0, ms(3));
+        m.record_disparity(t0, ms(1));
+        assert_eq!(m.max_disparity(t0), Some(ms(3)));
+        assert_eq!(m.disparity(t0).samples, 2);
+        m.record_backward(0, ms(5));
+        m.record_backward(0, ms(-1));
+        m.record_missing_read(0);
+        let c = m.chain(0);
+        assert_eq!(c.min_backward, Some(ms(-1)));
+        assert_eq!(c.max_backward, Some(ms(5)));
+        assert_eq!(c.samples, 2);
+        assert_eq!(c.missing_reads, 1);
+        m.record_response(t0, ms(7), ms(2));
+        m.record_response(t0, ms(4), ms(3));
+        assert_eq!(m.max_response(t0), ms(7));
+        assert_eq!(m.max_start_delay(t0), ms(3));
+    }
+
+    #[test]
+    fn merge_folds_extrema_and_counts() {
+        let t0 = TaskId::from_index(0);
+        let mut a = ObservedMetrics::new(1, 1);
+        a.record_disparity(t0, ms(3));
+        a.record_backward(0, ms(5));
+        a.record_response(t0, ms(4), ms(1));
+        let mut b = ObservedMetrics::new(1, 1);
+        b.record_disparity(t0, ms(7));
+        b.record_backward(0, ms(-2));
+        b.record_missing_read(0);
+        b.record_response(t0, ms(2), ms(2));
+        a.merge(&b);
+        assert_eq!(a.max_disparity(t0), Some(ms(7)));
+        assert_eq!(a.disparity(t0).samples, 2);
+        let c = a.chain(0);
+        assert_eq!(c.min_backward, Some(ms(-2)));
+        assert_eq!(c.max_backward, Some(ms(5)));
+        assert_eq!(c.samples, 2);
+        assert_eq!(c.missing_reads, 1);
+        assert_eq!(a.max_response(t0), ms(4));
+        assert_eq!(a.max_start_delay(t0), ms(2));
+    }
+
+    #[test]
+    fn merge_handles_empty_sides() {
+        let t0 = TaskId::from_index(0);
+        let mut a = ObservedMetrics::new(1, 1);
+        let mut b = ObservedMetrics::new(1, 1);
+        b.record_backward(0, ms(1));
+        a.merge(&b);
+        assert_eq!(a.chain(0).min_backward, Some(ms(1)));
+        let empty = ObservedMetrics::new(1, 1);
+        a.merge(&empty);
+        assert_eq!(a.chain(0).max_backward, Some(ms(1)));
+        assert_eq!(a.max_disparity(t0), None);
+    }
+
+    #[test]
+    fn streaming_and_trace_backward_times_agree() {
+        // Three-stage pipeline with jitter.
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let a = b.add_task(
+            TaskSpec::periodic("a", ms(10))
+                .execution(ms(1), ms(3))
+                .on_ecu(e),
+        );
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(20))
+                .execution(ms(1), ms(4))
+                .on_ecu(e),
+        );
+        b.connect(s, a);
+        b.connect(a, t);
+        let g = b.build().unwrap();
+        let chain = Chain::new(&g, vec![s, a, t]).unwrap();
+        let mut sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(2000),
+                exec_model: ExecutionTimeModel::Uniform,
+                seed: 99,
+                record_trace: true,
+                ..Default::default()
+            },
+        );
+        sim.monitor_chain(chain.clone());
+        let out = sim.run().unwrap();
+        let trace = out.trace.unwrap();
+        let (min_t, max_t, n_t) = backward_extrema_from_trace(&trace, &g, &chain);
+        let streamed = out.metrics.chain(0);
+        assert_eq!(streamed.min_backward, min_t);
+        assert_eq!(streamed.max_backward, max_t);
+        // The trace sees every tail job that completed; streaming sees
+        // every tail job that *started*. The counts can differ by the jobs
+        // in flight at the horizon, but never by more than one.
+        assert!(streamed.samples >= n_t);
+        assert!(streamed.samples - n_t <= 1);
+    }
+
+    #[test]
+    fn trace_walks_fail_gracefully_on_missing_jobs() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(10))
+                .execution(ms(1), ms(1))
+                .on_ecu(e),
+        );
+        b.connect(s, t);
+        let g = b.build().unwrap();
+        let chain = Chain::new(&g, vec![s, t]).unwrap();
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(50),
+                record_trace: true,
+                ..Default::default()
+            },
+        );
+        let out = sim.run().unwrap();
+        let trace = out.trace.unwrap();
+        assert!(backward_time_from_trace(&trace, &g, &chain, 9999).is_none());
+    }
+}

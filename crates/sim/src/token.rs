@@ -1,0 +1,161 @@
+//! Data tokens and their provenance.
+//!
+//! Every token produced by a job carries two kinds of provenance:
+//!
+//! * **Source stamps** — for each ancestor source task, the *interval*
+//!   `[min, max]` of source-job timestamps reachable by tracing immediate
+//!   backward job chains along every path. The time disparity of a job is
+//!   exactly the spread of the union of these intervals (Definition 2).
+//! * **Chain stamps** — for each explicitly monitored chain, the single
+//!   timestamp traced along *that* path, which yields the chain's observed
+//!   backward time.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use disparity_model::ids::TaskId;
+use disparity_model::time::Instant;
+
+/// Identifies one job: the `index`-th activation of `task` (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobRef {
+    /// The releasing task.
+    pub task: TaskId,
+    /// 0-based activation index.
+    pub index: u64,
+}
+
+impl core::fmt::Display for JobRef {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}#{}", self.task, self.index)
+    }
+}
+
+/// The interval of source timestamps traced to one source task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourceStamp {
+    /// Earliest traced timestamp.
+    pub min: Instant,
+    /// Latest traced timestamp.
+    pub max: Instant,
+}
+
+impl SourceStamp {
+    /// A fresh stamp for a token produced by a source job at `at`.
+    #[must_use]
+    pub fn point(at: Instant) -> Self {
+        SourceStamp { min: at, max: at }
+    }
+
+    /// Pointwise union of two stamps.
+    #[must_use]
+    pub fn merge(self, other: SourceStamp) -> Self {
+        SourceStamp {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+/// The provenance map of a token or a running job: source task → stamp.
+pub type SourceMap = BTreeMap<TaskId, SourceStamp>;
+
+/// Merges `from` into `into` (pointwise interval union).
+pub fn merge_sources(into: &mut SourceMap, from: &SourceMap) {
+    for (&task, &stamp) in from {
+        into.entry(task)
+            .and_modify(|s| *s = s.merge(stamp))
+            .or_insert(stamp);
+    }
+}
+
+/// Spread of a source map: the time disparity sample of a job whose merged
+/// provenance it is — `max over all stamps − min over all stamps`
+/// (`None` for an empty map).
+#[must_use]
+pub fn source_spread(sources: &SourceMap) -> Option<disparity_model::time::Duration> {
+    let min = sources.values().map(|s| s.min).min()?;
+    let max = sources.values().map(|s| s.max).max()?;
+    Some(max - min)
+}
+
+/// An immutable data token in a channel buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The producing job.
+    pub produced_by: JobRef,
+    /// Release time of the producing job.
+    pub producer_release: Instant,
+    /// Time the token was written (the producer's finish).
+    pub produced_at: Instant,
+    /// Source provenance (see module docs).
+    pub sources: SourceMap,
+    /// Per-monitored-chain traced source timestamp, indexed by chain id;
+    /// only meaningful on channels the chain routes through.
+    pub chain_stamps: BTreeMap<usize, Instant>,
+}
+
+/// Tokens are shared (not copied) between channel buffers and readers.
+pub type SharedToken = Rc<Token>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::time::Duration;
+
+    fn at(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    #[test]
+    fn stamp_merge_widens() {
+        let a = SourceStamp::point(at(10));
+        let b = SourceStamp::point(at(30));
+        let m = a.merge(b);
+        assert_eq!(m.min, at(10));
+        assert_eq!(m.max, at(30));
+        assert_eq!(m.merge(a), m);
+    }
+
+    #[test]
+    fn source_map_merge_and_spread() {
+        let t0 = TaskId::from_index(0);
+        let t1 = TaskId::from_index(1);
+        let mut a: SourceMap = BTreeMap::new();
+        a.insert(t0, SourceStamp::point(at(0)));
+        let mut b: SourceMap = BTreeMap::new();
+        b.insert(t0, SourceStamp::point(at(20)));
+        b.insert(t1, SourceStamp::point(at(5)));
+        merge_sources(&mut a, &b);
+        assert_eq!(
+            a[&t0],
+            SourceStamp {
+                min: at(0),
+                max: at(20)
+            }
+        );
+        assert_eq!(a[&t1], SourceStamp::point(at(5)));
+        assert_eq!(source_spread(&a), Some(Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn empty_spread_is_none() {
+        assert_eq!(source_spread(&SourceMap::new()), None);
+    }
+
+    #[test]
+    fn single_point_spread_is_zero() {
+        let mut m = SourceMap::new();
+        m.insert(TaskId::from_index(0), SourceStamp::point(at(7)));
+        assert_eq!(source_spread(&m), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn jobref_display() {
+        let j = JobRef {
+            task: TaskId::from_index(2),
+            index: 9,
+        };
+        assert_eq!(j.to_string(), "task2#9");
+    }
+}

@@ -1,0 +1,156 @@
+//! Recorded execution traces.
+//!
+//! When [`SimConfig::record_trace`](crate::engine::SimConfig) is set, the
+//! simulator records one [`JobRecord`] per *completed* job: its release /
+//! start / finish instants and, per input channel, which producer job's
+//! token it read. Immediate backward job chains — and hence backward
+//! times, data ages and disparities — can be reconstructed exactly from
+//! these read-links (see [`crate::metrics`]).
+
+use disparity_model::ids::{ChannelId, TaskId};
+use disparity_model::time::Instant;
+
+use crate::token::JobRef;
+
+/// One observed read: what a starting job found at the head of one of its
+/// input channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadRecord {
+    /// The input channel that was read.
+    pub channel: ChannelId,
+    /// The job whose token was read, or `None` if the channel was empty.
+    pub producer: Option<JobRef>,
+}
+
+/// The lifecycle of one completed job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Which job this is.
+    pub job: JobRef,
+    /// Release time.
+    pub release: Instant,
+    /// Start time (equals `release` for zero-cost stimuli).
+    pub start: Instant,
+    /// Finish time.
+    pub finish: Instant,
+    /// One entry per input channel, in channel order.
+    pub reads: Vec<ReadRecord>,
+}
+
+impl JobRecord {
+    /// The read on the given channel, if the job has that input.
+    #[must_use]
+    pub fn read_on(&self, channel: ChannelId) -> Option<&ReadRecord> {
+        self.reads.iter().find(|r| r.channel == channel)
+    }
+
+    /// Observed response time `finish − release`.
+    #[must_use]
+    pub fn response_time(&self) -> disparity_model::time::Duration {
+        self.finish - self.release
+    }
+}
+
+/// A full execution trace: completed jobs per task, in activation order.
+///
+/// Per task, records cover a gap-free prefix of activation indices (jobs of
+/// one task complete in release order under non-preemptive FP), so
+/// [`Trace::job`] is a direct index lookup.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    jobs: Vec<Vec<JobRecord>>,
+}
+
+impl Trace {
+    /// Creates an empty trace for `task_count` tasks.
+    #[must_use]
+    pub fn new(task_count: usize) -> Self {
+        Trace {
+            jobs: vec![Vec::new(); task_count],
+        }
+    }
+
+    /// Appends a completed job (engine use).
+    pub(crate) fn push(&mut self, record: JobRecord) {
+        let lane = &mut self.jobs[record.job.task.index()];
+        debug_assert_eq!(
+            lane.len() as u64,
+            record.job.index,
+            "jobs of one task must complete in activation order"
+        );
+        lane.push(record);
+    }
+
+    /// The record of one job, if it completed within the horizon.
+    #[must_use]
+    pub fn job(&self, job: JobRef) -> Option<&JobRecord> {
+        self.jobs.get(job.task.index())?.get(job.index as usize)
+    }
+
+    /// All completed jobs of one task, in activation order.
+    #[must_use]
+    pub fn jobs_of(&self, task: TaskId) -> &[JobRecord] {
+        self.jobs.get(task.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total number of completed jobs.
+    #[must_use]
+    pub fn completed_jobs(&self) -> usize {
+        self.jobs.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::time::Duration;
+
+    fn record(task: usize, index: u64, release_ms: i64) -> JobRecord {
+        JobRecord {
+            job: JobRef {
+                task: TaskId::from_index(task),
+                index,
+            },
+            release: Instant::from_millis(release_ms),
+            start: Instant::from_millis(release_ms + 1),
+            finish: Instant::from_millis(release_ms + 3),
+            reads: vec![],
+        }
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut t = Trace::new(2);
+        t.push(record(0, 0, 0));
+        t.push(record(0, 1, 10));
+        t.push(record(1, 0, 5));
+        assert_eq!(t.completed_jobs(), 3);
+        let j = t
+            .job(JobRef {
+                task: TaskId::from_index(0),
+                index: 1,
+            })
+            .unwrap();
+        assert_eq!(j.release, Instant::from_millis(10));
+        assert_eq!(j.response_time(), Duration::from_millis(3));
+        assert!(t
+            .job(JobRef {
+                task: TaskId::from_index(0),
+                index: 2
+            })
+            .is_none());
+        assert_eq!(t.jobs_of(TaskId::from_index(1)).len(), 1);
+        assert!(t.jobs_of(TaskId::from_index(9)).is_empty());
+    }
+
+    #[test]
+    fn read_on_finds_channel() {
+        let mut r = record(0, 0, 0);
+        r.reads.push(ReadRecord {
+            channel: ChannelId::from_index(3),
+            producer: None,
+        });
+        assert!(r.read_on(ChannelId::from_index(3)).is_some());
+        assert!(r.read_on(ChannelId::from_index(4)).is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for workload generation.
+
+use core::fmt;
+
+use disparity_model::error::ModelError;
+
+/// Errors produced while generating synthetic systems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// At least two tasks are required for a cause-effect graph with an
+    /// edge, and chain generators need a minimum length.
+    TooSmall {
+        /// The requested size.
+        requested: usize,
+        /// The smallest supported size.
+        minimum: usize,
+    },
+    /// The generated system never passed the schedulability test within the
+    /// retry budget; lower the task count or raise the ECU count.
+    UnschedulableAfterRetries {
+        /// How many candidate systems were drawn.
+        attempts: usize,
+    },
+    /// The model rejected a generated structure (a generator bug if it ever
+    /// surfaces).
+    Model(ModelError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::TooSmall { requested, minimum } => {
+                write!(f, "requested size {requested} below minimum {minimum}")
+            }
+            WorkloadError::UnschedulableAfterRetries { attempts } => {
+                write!(f, "no schedulable system found in {attempts} attempts")
+            }
+            WorkloadError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for WorkloadError {
+    fn from(e: ModelError) -> Self {
+        WorkloadError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!WorkloadError::TooSmall {
+            requested: 1,
+            minimum: 2
+        }
+        .to_string()
+        .is_empty());
+        assert!(!WorkloadError::UnschedulableAfterRetries { attempts: 3 }
+            .to_string()
+            .is_empty());
+        assert!(!WorkloadError::from(ModelError::EmptyGraph)
+            .to_string()
+            .is_empty());
+    }
+}

@@ -1,0 +1,273 @@
+//! Funnel (layered pipeline) graph generation.
+//!
+//! Realistic automotive pipelines (the paper's Fig. 1) are *funnels*:
+//! several sensors feed progressively narrower fusion/planning/control
+//! stages, so every pair of chains to the sink shares a long suffix. This
+//! is precisely the regime where the fork-join analysis (Theorem 2 plus
+//! the last-joint-task truncation) visibly outperforms the independent
+//! bound — on unstructured G(n, m) graphs the critical chain pair rarely
+//! shares structure and the two bounds tie (see EXPERIMENTS.md).
+//!
+//! A funnel is described by its stage widths, e.g. `[4, 2, 2, 1]`: four
+//! sensors, two fusion tasks, two planners, one sink. Every task in stage
+//! `i+1` consumes from `min(width_i, fan_in)` random tasks of stage `i`,
+//! and every stage-`i` task feeds at least one stage-`i+1` task.
+
+use disparity_model::builder::SystemBuilder;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::{EcuId, TaskId};
+use disparity_model::task::TaskSpec;
+use disparity_sched::schedulability::analyze;
+use rand::Rng;
+
+use crate::error::WorkloadError;
+use crate::graphgen::scale_to_utilization;
+use crate::waters::{paper_bins, sample_bin, sample_execution};
+
+/// Parameters for [`funnel_system`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunnelConfig {
+    /// Number of tasks per stage, sensors first. The final stage should be
+    /// `1` for a single sink. Must contain at least two stages.
+    pub stage_widths: Vec<usize>,
+    /// Maximum inputs per consumer task.
+    pub fan_in: usize,
+    /// Number of processor ECUs.
+    pub n_ecus: usize,
+    /// Per-ECU utilization target (see
+    /// [`crate::graphgen::GraphGenConfig::target_utilization`]).
+    pub target_utilization: Option<f64>,
+}
+
+impl Default for FunnelConfig {
+    fn default() -> Self {
+        FunnelConfig {
+            stage_widths: vec![4, 3, 2, 1],
+            fan_in: 2,
+            n_ecus: 4,
+            target_utilization: Some(0.45),
+        }
+    }
+}
+
+impl FunnelConfig {
+    /// A funnel with roughly `n_tasks` tasks: width halves per stage from
+    /// `⌈n/3⌉` sensors down to a single sink.
+    #[must_use]
+    pub fn with_approximate_size(n_tasks: usize) -> Self {
+        let mut widths = Vec::new();
+        let mut remaining = n_tasks.max(3);
+        let mut width = (n_tasks / 3).max(2);
+        while remaining > 0 && width > 1 {
+            let w = width.min(remaining);
+            widths.push(w);
+            remaining -= w;
+            width = (width / 2).max(1);
+        }
+        widths.extend(std::iter::repeat_n(1, remaining));
+        if widths.last() != Some(&1) {
+            widths.push(1);
+        }
+        FunnelConfig {
+            stage_widths: widths,
+            ..Default::default()
+        }
+    }
+
+    /// Total number of tasks in the funnel.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.stage_widths.iter().sum()
+    }
+}
+
+/// Generates a funnel-shaped cause-effect graph with WATERS parameters.
+///
+/// Stage-0 tasks are zero-cost stimuli; all others are WATERS-sampled
+/// computations on random ECUs.
+///
+/// # Errors
+///
+/// [`WorkloadError::TooSmall`] if fewer than two stages (or an empty
+/// stage) are requested.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_workload::funnel::{funnel_system, FunnelConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let g = funnel_system(&FunnelConfig::default(), &mut rng)?;
+/// assert_eq!(g.sources().len(), 4);
+/// assert_eq!(g.sinks().len(), 1);
+/// # Ok::<(), disparity_workload::error::WorkloadError>(())
+/// ```
+pub fn funnel_system<R: Rng + ?Sized>(
+    config: &FunnelConfig,
+    rng: &mut R,
+) -> Result<CauseEffectGraph, WorkloadError> {
+    if config.stage_widths.len() < 2 || config.stage_widths.contains(&0) {
+        return Err(WorkloadError::TooSmall {
+            requested: config.stage_widths.len(),
+            minimum: 2,
+        });
+    }
+    let bins = paper_bins();
+    let n_ecus = config.n_ecus.max(1);
+
+    // Sample all specs first (utilization scaling needs the full picture).
+    let mut specs = Vec::with_capacity(config.task_count());
+    let mut stages: Vec<Vec<usize>> = Vec::with_capacity(config.stage_widths.len());
+    for (stage_idx, &width) in config.stage_widths.iter().enumerate() {
+        let mut stage = Vec::with_capacity(width);
+        for k in 0..width {
+            let bin = sample_bin(bins, rng);
+            let mut spec = TaskSpec::periodic(format!("s{stage_idx}_{k}"), bin.period);
+            if stage_idx > 0 {
+                let (bcet, wcet) = sample_execution(bin, rng);
+                spec = spec
+                    .execution(bcet, wcet)
+                    .on_ecu(EcuId::from_index(rng.gen_range(0..n_ecus)));
+            }
+            stage.push(specs.len());
+            specs.push(spec);
+        }
+        stages.push(stage);
+    }
+    if let Some(target) = config.target_utilization {
+        scale_to_utilization(&mut specs, target);
+    }
+
+    let mut b = SystemBuilder::new();
+    for i in 0..n_ecus {
+        let _ = b.add_ecu(format!("ecu{i}"));
+    }
+    let ids: Vec<TaskId> = specs.into_iter().map(|s| b.add_task(s)).collect();
+
+    // Wire adjacent stages: each consumer picks `fan_in` distinct
+    // producers; uncovered producers are then attached to random consumers.
+    for w in stages.windows(2) {
+        let (producers, consumers) = (&w[0], &w[1]);
+        let mut covered = vec![false; producers.len()];
+        for &c in consumers {
+            let fan_in = config.fan_in.max(1).min(producers.len());
+            let mut picks: Vec<usize> = (0..producers.len()).collect();
+            for _ in 0..fan_in {
+                let i = rng.gen_range(0..picks.len());
+                let p = picks.swap_remove(i);
+                covered[p] = true;
+                b.connect(ids[producers[p]], ids[c]);
+            }
+        }
+        for (p, &is_covered) in covered.iter().enumerate() {
+            if !is_covered {
+                let c = consumers[rng.gen_range(0..consumers.len())];
+                b.connect(ids[producers[p]], ids[c]);
+            }
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// Draws funnels until one is fully schedulable.
+///
+/// # Errors
+///
+/// * [`WorkloadError::TooSmall`] as for [`funnel_system`].
+/// * [`WorkloadError::UnschedulableAfterRetries`] when the budget runs out.
+pub fn schedulable_funnel_system<R: Rng + ?Sized>(
+    config: &FunnelConfig,
+    rng: &mut R,
+    max_attempts: usize,
+) -> Result<CauseEffectGraph, WorkloadError> {
+    for _ in 0..max_attempts {
+        let graph = funnel_system(config, rng)?;
+        if let Ok(report) = analyze(&graph) {
+            if report.all_schedulable() {
+                return Ok(graph);
+            }
+        }
+    }
+    Err(WorkloadError::UnschedulableAfterRetries {
+        attempts: max_attempts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn funnel_shape_is_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = FunnelConfig {
+            stage_widths: vec![5, 3, 1],
+            ..Default::default()
+        };
+        let g = funnel_system(&cfg, &mut rng).unwrap();
+        assert_eq!(g.task_count(), 9);
+        assert_eq!(g.sources().len(), 5);
+        assert_eq!(g.sinks().len(), 1);
+        // Every source is a zero-cost stimulus.
+        for s in g.sources() {
+            assert!(g.task(s).is_zero_cost());
+        }
+    }
+
+    #[test]
+    fn every_producer_is_consumed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = FunnelConfig {
+            stage_widths: vec![6, 2, 2, 1],
+            ..Default::default()
+        };
+        let g = funnel_system(&cfg, &mut rng).unwrap();
+        // Single sink means every non-sink task has an outgoing edge.
+        let sink = g.sinks()[0];
+        for t in g.tasks() {
+            if t.id() != sink {
+                assert!(
+                    !g.out_channels(t.id()).is_empty(),
+                    "{} is dangling",
+                    t.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_size_constructor() {
+        let cfg = FunnelConfig::with_approximate_size(20);
+        assert_eq!(cfg.task_count(), 20);
+        assert_eq!(*cfg.stage_widths.last().unwrap(), 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = funnel_system(&cfg, &mut rng).unwrap();
+        assert_eq!(g.task_count(), 20);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for widths in [vec![], vec![3], vec![3, 0, 1]] {
+            let cfg = FunnelConfig {
+                stage_widths: widths,
+                ..Default::default()
+            };
+            assert!(matches!(
+                funnel_system(&cfg, &mut rng),
+                Err(WorkloadError::TooSmall { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn schedulable_variant_passes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = schedulable_funnel_system(&FunnelConfig::default(), &mut rng, 100).unwrap();
+        assert!(analyze(&g).unwrap().all_schedulable());
+    }
+}

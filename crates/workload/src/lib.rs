@@ -1,0 +1,50 @@
+//! Synthetic workload generation for the time-disparity evaluation.
+//!
+//! Reproduces the paper's §V workload pipeline:
+//!
+//! * [`waters`] — the WATERS 2015 automotive benchmark tables (period
+//!   distribution, ACET, BCET/WCET factor ranges);
+//! * [`graphgen`] — `dense_gnm_random_graph`-style single-sink DAGs for
+//!   Fig. 6(a)/(b);
+//! * [`chains`] — two-chain merge topologies for Fig. 6(c)/(d);
+//! * [`offsets`] — per-run release-offset randomization.
+//!
+//! # Examples
+//!
+//! ```
+//! use disparity_workload::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let graph = schedulable_random_system(
+//!     GraphGenConfig { n_tasks: 15, ..Default::default() },
+//!     &mut rng,
+//!     100,
+//! )?;
+//! let run_instance = randomize_offsets(&graph, &mut rng);
+//! assert_eq!(run_instance.task_count(), 15);
+//! # Ok::<(), disparity_workload::error::WorkloadError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chains;
+pub mod error;
+pub mod funnel;
+pub mod graphgen;
+pub mod offsets;
+pub mod waters;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::chains::{
+        schedulable_two_chain_system, schedulable_two_chain_system_scaled, two_chain_system,
+        two_chain_system_scaled, TwoChainSystem,
+    };
+    pub use crate::error::WorkloadError;
+    pub use crate::funnel::{funnel_system, schedulable_funnel_system, FunnelConfig};
+    pub use crate::graphgen::{random_system, schedulable_random_system, GraphGenConfig};
+    pub use crate::offsets::{randomize_offsets, zero_offsets};
+    pub use crate::waters::{paper_bins, sample_bin, sample_execution, PeriodBin, ALL_BINS};
+}

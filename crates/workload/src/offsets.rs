@@ -1,0 +1,118 @@
+//! Release-offset randomization.
+//!
+//! The paper's evaluation simulates each generated graph "10 times with
+//! different randomly generated offsets", each task's offset drawn from
+//! `[1, T_i]`. Offsets only matter to the simulator — the analytical
+//! bounds are offset-oblivious — so randomization mutates a clone of the
+//! graph in place.
+
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::time::Duration;
+use rand::Rng;
+
+/// Returns a clone of `graph` whose every task has a fresh uniformly random
+/// offset in `[0, T_i)`.
+///
+/// (The paper says `[1, T_i]`; modulo the period the two conventions
+/// describe the same set of phasings.)
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::prelude::*;
+/// use disparity_workload::offsets::randomize_offsets;
+/// use rand::SeedableRng;
+///
+/// let mut b = SystemBuilder::new();
+/// let t = b.add_task(TaskSpec::periodic("t", Duration::from_millis(10)));
+/// let g = b.build()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let shifted = randomize_offsets(&g, &mut rng);
+/// assert!(shifted.task(t).offset() < Duration::from_millis(10));
+/// # Ok::<(), disparity_model::error::ModelError>(())
+/// ```
+#[must_use]
+pub fn randomize_offsets<R: Rng + ?Sized>(
+    graph: &CauseEffectGraph,
+    rng: &mut R,
+) -> CauseEffectGraph {
+    let mut out = graph.clone();
+    for task in graph.tasks() {
+        let t = task.period().as_nanos();
+        let offset = Duration::from_nanos(rng.gen_range(0..t));
+        out.set_task_offset(task.id(), offset)
+            .expect("task ids come from this graph");
+    }
+    out
+}
+
+/// Returns a clone of `graph` with all offsets reset to zero (synchronous
+/// release).
+#[must_use]
+pub fn zero_offsets(graph: &CauseEffectGraph) -> CauseEffectGraph {
+    let mut out = graph.clone();
+    for task in graph.tasks() {
+        out.set_task_offset(task.id(), Duration::ZERO)
+            .expect("task ids come from this graph");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::task::TaskSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_graph() -> CauseEffectGraph {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let ms = Duration::from_millis;
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(20))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        b.connect(s, t);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn offsets_stay_below_period() {
+        let g = sample_graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let shifted = randomize_offsets(&g, &mut rng);
+            for task in shifted.tasks() {
+                assert!(!task.offset().is_negative());
+                assert!(task.offset() < task.period());
+            }
+        }
+    }
+
+    #[test]
+    fn structure_is_untouched() {
+        let g = sample_graph();
+        let mut rng = StdRng::seed_from_u64(2);
+        let shifted = randomize_offsets(&g, &mut rng);
+        assert_eq!(shifted.task_count(), g.task_count());
+        assert_eq!(shifted.channel_count(), g.channel_count());
+        for (a, b) in g.tasks().iter().zip(shifted.tasks()) {
+            assert_eq!(a.period(), b.period());
+            assert_eq!(a.wcet(), b.wcet());
+            assert_eq!(a.priority(), b.priority());
+        }
+    }
+
+    #[test]
+    fn zeroing_resets() {
+        let g = sample_graph();
+        let mut rng = StdRng::seed_from_u64(3);
+        let shifted = randomize_offsets(&g, &mut rng);
+        let zeroed = zero_offsets(&shifted);
+        assert!(zeroed.tasks().iter().all(|t| t.offset().is_zero()));
+    }
+}

@@ -1,0 +1,219 @@
+//! WATERS 2015 automotive benchmark parameters (Kramer et al., "Real World
+//! Automotive Benchmark for Free").
+//!
+//! The paper generates its evaluation workloads from three tables of that
+//! benchmark:
+//!
+//! * **Table III** — the distribution of task periods
+//!   (the paper restricts itself to the subset
+//!   `{1, 2, 5, 10, 20, 50, 100, 200} ms`, renormalized);
+//! * **Table IV** — the average-case execution time (ACET) per period bin;
+//! * **Table V** — per-bin factor ranges turning the ACET into BCET and
+//!   WCET: `BCET = f_b·ACET`, `WCET = f_w·ACET` with `f_b`, `f_w` drawn
+//!   uniformly from the bin's ranges.
+//!
+//! The constants below are transcribed from the published benchmark. Minor
+//! transcription imprecision would shift absolute numbers, not the shape of
+//! any comparison, because every analysis and the simulator consume the
+//! same sampled tasks.
+
+use disparity_model::time::Duration;
+use rand::Rng;
+
+/// One row of the WATERS tables: a period bin with its sampling metadata.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodBin {
+    /// The bin's activation period.
+    pub period: Duration,
+    /// Share of tasks with this period (Table III), as a weight.
+    pub share: f64,
+    /// Average-case execution time (Table IV).
+    pub acet: Duration,
+    /// `(min, max)` BCET factor range (Table V).
+    pub bcet_factor: (f64, f64),
+    /// `(min, max)` WCET factor range (Table V).
+    pub wcet_factor: (f64, f64),
+}
+
+const fn us(micros: i64) -> Duration {
+    Duration::from_micros(micros)
+}
+
+const fn ns(nanos: i64) -> Duration {
+    Duration::from_nanos(nanos)
+}
+
+/// The full WATERS 2015 period table (including the 1000 ms bin the paper
+/// does not use).
+pub const ALL_BINS: [PeriodBin; 9] = [
+    PeriodBin {
+        period: Duration::from_millis(1),
+        share: 0.03,
+        acet: us(5),
+        bcet_factor: (0.19, 0.92),
+        wcet_factor: (1.30, 29.11),
+    },
+    PeriodBin {
+        period: Duration::from_millis(2),
+        share: 0.02,
+        acet: ns(4_200),
+        bcet_factor: (0.12, 0.89),
+        wcet_factor: (1.54, 19.04),
+    },
+    PeriodBin {
+        period: Duration::from_millis(5),
+        share: 0.02,
+        acet: ns(11_040),
+        bcet_factor: (0.17, 0.94),
+        wcet_factor: (1.13, 18.44),
+    },
+    PeriodBin {
+        period: Duration::from_millis(10),
+        share: 0.25,
+        acet: ns(10_090),
+        bcet_factor: (0.05, 0.99),
+        wcet_factor: (1.06, 30.03),
+    },
+    PeriodBin {
+        period: Duration::from_millis(20),
+        share: 0.25,
+        acet: ns(8_740),
+        bcet_factor: (0.11, 0.98),
+        wcet_factor: (1.06, 15.61),
+    },
+    PeriodBin {
+        period: Duration::from_millis(50),
+        share: 0.03,
+        acet: ns(17_560),
+        bcet_factor: (0.32, 0.95),
+        wcet_factor: (1.13, 7.76),
+    },
+    PeriodBin {
+        period: Duration::from_millis(100),
+        share: 0.20,
+        acet: ns(10_530),
+        bcet_factor: (0.09, 0.99),
+        wcet_factor: (1.02, 8.88),
+    },
+    PeriodBin {
+        period: Duration::from_millis(200),
+        share: 0.01,
+        acet: ns(2_560),
+        bcet_factor: (0.45, 0.98),
+        wcet_factor: (1.03, 4.90),
+    },
+    PeriodBin {
+        period: Duration::from_millis(1000),
+        share: 0.04,
+        acet: ns(430),
+        bcet_factor: (0.68, 0.80),
+        wcet_factor: (1.84, 4.75),
+    },
+];
+
+/// The eight bins the paper samples from
+/// (`{1, 2, 5, 10, 20, 50, 100, 200} ms`).
+#[must_use]
+pub fn paper_bins() -> &'static [PeriodBin] {
+    &ALL_BINS[..8]
+}
+
+/// Samples a period bin weighted by the Table III shares (renormalized over
+/// the given bins).
+///
+/// # Panics
+///
+/// Panics if `bins` is empty.
+pub fn sample_bin<'b, R: Rng + ?Sized>(bins: &'b [PeriodBin], rng: &mut R) -> &'b PeriodBin {
+    assert!(!bins.is_empty(), "need at least one period bin");
+    let total: f64 = bins.iter().map(|b| b.share).sum();
+    let mut point = rng.gen_range(0.0..total);
+    for bin in bins {
+        if point < bin.share {
+            return bin;
+        }
+        point -= bin.share;
+    }
+    bins.last().expect("bins is non-empty")
+}
+
+/// Draws `(BCET, WCET)` for a task of the given bin: factors are sampled
+/// uniformly from Table V's ranges and applied to the bin's ACET. The
+/// result always satisfies `1ns ≤ BCET ≤ WCET`.
+pub fn sample_execution<R: Rng + ?Sized>(bin: &PeriodBin, rng: &mut R) -> (Duration, Duration) {
+    let fb = rng.gen_range(bin.bcet_factor.0..=bin.bcet_factor.1);
+    let fw = rng.gen_range(bin.wcet_factor.0..=bin.wcet_factor.1);
+    let acet = bin.acet.as_nanos() as f64;
+    let bcet = Duration::from_nanos((acet * fb).round().max(1.0) as i64);
+    let wcet = Duration::from_nanos((acet * fw).round().max(1.0) as i64);
+    (bcet.min(wcet), wcet.max(bcet))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_subset_has_eight_bins_in_order() {
+        let bins = paper_bins();
+        assert_eq!(bins.len(), 8);
+        let periods: Vec<i64> = bins.iter().map(|b| b.period.as_millis()).collect();
+        assert_eq!(periods, vec![1, 2, 5, 10, 20, 50, 100, 200]);
+    }
+
+    #[test]
+    fn factors_are_ordered_and_shares_positive() {
+        for b in &ALL_BINS {
+            assert!(b.bcet_factor.0 <= b.bcet_factor.1);
+            assert!(b.wcet_factor.0 <= b.wcet_factor.1);
+            assert!(
+                b.bcet_factor.1 <= b.wcet_factor.0,
+                "BCET below WCET for {b:?}"
+            );
+            assert!(b.share > 0.0);
+            assert!(b.acet.is_positive());
+        }
+    }
+
+    #[test]
+    fn sampling_respects_distribution_roughly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bins = paper_bins();
+        let mut counts = vec![0usize; bins.len()];
+        let n = 20_000;
+        for _ in 0..n {
+            let bin = sample_bin(bins, &mut rng);
+            let idx = bins.iter().position(|b| b.period == bin.period).unwrap();
+            counts[idx] += 1;
+        }
+        let total_share: f64 = bins.iter().map(|b| b.share).sum();
+        for (i, bin) in bins.iter().enumerate() {
+            let expected = bin.share / total_share;
+            let observed = counts[i] as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.02,
+                "bin {}ms: observed {observed:.3} expected {expected:.3}",
+                bin.period.as_millis()
+            );
+        }
+    }
+
+    #[test]
+    fn execution_sampling_is_well_formed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for bin in &ALL_BINS {
+            for _ in 0..500 {
+                let (b, w) = sample_execution(bin, &mut rng);
+                assert!(b.is_positive());
+                assert!(b <= w);
+                assert!(
+                    w <= bin.period,
+                    "WCET {w} above period {} for bin",
+                    bin.period
+                );
+            }
+        }
+    }
+}

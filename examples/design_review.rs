@@ -1,0 +1,109 @@
+//! A full design review of a fusion system using every tool in the box:
+//! rate-mismatch lints, WCET slack, disparity bounds, offset tuning, and
+//! bound-vs-observation verification.
+//!
+//! Run with: `cargo run --example design_review`
+
+use time_disparity::core::prelude::*;
+use time_disparity::model::lints::lint_graph;
+use time_disparity::model::metrics::profile;
+use time_disparity::model::prelude::*;
+use time_disparity::offset_tuning::{tune_offsets, OffsetTuningConfig};
+use time_disparity::sched::prelude::*;
+use time_disparity::sim::prelude::*;
+use time_disparity::verify::verify_run;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ms = Duration::from_millis;
+
+    // A deliberately imperfect design: mismatched rates, a badly phased
+    // sensor, one ECU close to its blocking limit.
+    let mut b = SystemBuilder::new();
+    let ecu = b.add_ecu("ecu0");
+    let camera = b.add_task(TaskSpec::periodic("camera", ms(10)));
+    let radar = b.add_task(TaskSpec::periodic("radar", ms(30)).offset(ms(13)));
+    let filter = b.add_task(
+        TaskSpec::periodic("filter", ms(10))
+            .execution(ms(1), ms(2))
+            .on_ecu(ecu),
+    );
+    let fuse = b.add_task(
+        TaskSpec::periodic("fuse", ms(30))
+            .execution(ms(2), ms(5))
+            .on_ecu(ecu),
+    );
+    b.connect(camera, filter);
+    b.connect(filter, fuse);
+    b.connect(radar, fuse);
+    let graph = b.build()?;
+
+    // --- 1. structure ------------------------------------------------------
+    let p = profile(&graph);
+    println!("== structure ==");
+    println!(
+        "{} tasks, {} channels, {} sources, depth {}, {} chains into the sink\n",
+        p.tasks, p.channels, p.sources, p.depth, p.max_chain_count
+    );
+
+    // --- 2. rate-mismatch lints --------------------------------------------
+    println!("== design lints ==");
+    let lints = lint_graph(&graph);
+    if lints.is_empty() {
+        println!("(none)");
+    }
+    for lint in &lints {
+        println!("warning: {lint}");
+    }
+
+    // --- 3. schedulability and slack -----------------------------------------
+    println!("\n== schedulability & WCET slack ==");
+    let report = analyze(&graph)?;
+    assert!(report.all_schedulable());
+    for task in graph.tasks() {
+        if task.is_zero_cost() {
+            continue;
+        }
+        let slack = wcet_slack(&graph, task.id())?;
+        println!(
+            "{:<8} R = {:<6} slack = {}",
+            task.name(),
+            report.response_times().wcrt(task.id()).to_string(),
+            slack.slack
+        );
+    }
+
+    // --- 4. disparity bounds -------------------------------------------------
+    println!("\n== worst-case time disparity at `fuse` ==");
+    let analysis = analyze_task(&graph, fuse, AnalysisConfig::default())?;
+    println!("S-diff bound: {}", analysis.bound);
+
+    // --- 5. offset tuning ----------------------------------------------------
+    println!("\n== offset tuning (deployment-level, bounds unchanged) ==");
+    let tuned = tune_offsets(&graph, fuse, &OffsetTuningConfig::default())?;
+    println!("observed disparity: {} -> {}", tuned.before, tuned.after);
+    for &s in &tuned.tuned_tasks {
+        println!(
+            "  {} offset {} -> {}",
+            graph.task(s).name(),
+            graph.task(s).offset(),
+            tuned.graph.task(s).offset()
+        );
+    }
+
+    // --- 6. verification ------------------------------------------------------
+    println!("\n== verification of the tuned deployment ==");
+    let chains = tuned.graph.chains_to(fuse, 64)?;
+    let mut sim = Simulator::new(
+        &tuned.graph,
+        SimConfig {
+            horizon: Duration::from_secs(10),
+            ..Default::default()
+        },
+    );
+    sim.monitor_chains(chains.iter().cloned());
+    let outcome = sim.run()?;
+    let verification = verify_run(&tuned.graph, &chains, &outcome.metrics)?;
+    print!("{verification}");
+    assert!(verification.all_passed());
+    Ok(())
+}

@@ -1,0 +1,321 @@
+//! Bound-vs-observation verification.
+//!
+//! Packages the soundness argument of the test suite as a reusable API:
+//! given a system, its response-time analysis and the observations of one
+//! or more simulation runs, check that **every** analytical bound
+//! dominates **every** observation and report each comparison. Useful as
+//! a regression harness for analysis changes and as evidence in a safety
+//! case.
+//!
+//! # Examples
+//!
+//! ```
+//! use time_disparity::model::prelude::*;
+//! use time_disparity::sim::prelude::*;
+//! use time_disparity::verify::verify_run;
+//!
+//! let mut b = SystemBuilder::new();
+//! let ecu = b.add_ecu("e");
+//! let ms = Duration::from_millis;
+//! let s1 = b.add_task(TaskSpec::periodic("s1", ms(10)));
+//! let s2 = b.add_task(TaskSpec::periodic("s2", ms(30)));
+//! let fuse = b.add_task(TaskSpec::periodic("fuse", ms(30)).execution(ms(1), ms(2)).on_ecu(ecu));
+//! b.connect(s1, fuse);
+//! b.connect(s2, fuse);
+//! let graph = b.build()?;
+//!
+//! let chains = graph.chains_to(fuse, 16)?;
+//! let mut sim = Simulator::new(&graph, SimConfig::default());
+//! sim.monitor_chains(chains.iter().cloned());
+//! let outcome = sim.run()?;
+//!
+//! let report = verify_run(&graph, &chains, &outcome.metrics)?;
+//! assert!(report.all_passed(), "{report}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use core::fmt;
+
+use disparity_core::backward::backward_bounds;
+use disparity_core::disparity::{worst_case_disparity, AnalysisConfig};
+use disparity_core::error::AnalysisError;
+use disparity_core::pairwise::Method;
+use disparity_model::chain::Chain;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_sched::schedulability::analyze;
+use disparity_sim::metrics::ObservedMetrics;
+
+/// What a single check compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    /// Observed response time vs `R(τ)`.
+    ResponseTime,
+    /// Observed release-to-start delay vs `R(τ) − W(τ)`.
+    StartDelay,
+    /// Observed backward-time range vs `[B(π), W(π)]`.
+    BackwardTime,
+    /// Observed maximum disparity vs the Theorem 1/2 bounds.
+    Disparity,
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckKind::ResponseTime => write!(f, "response-time"),
+            CheckKind::StartDelay => write!(f, "start-delay"),
+            CheckKind::BackwardTime => write!(f, "backward-time"),
+            CheckKind::Disparity => write!(f, "disparity"),
+        }
+    }
+}
+
+/// One bound-vs-observation comparison.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// What was compared.
+    pub kind: CheckKind,
+    /// Human-readable subject (task or chain).
+    pub subject: String,
+    /// Whether the bound dominated the observation.
+    pub passed: bool,
+    /// `bound >= observed` rendered for humans.
+    pub detail: String,
+}
+
+/// The full comparison report.
+#[derive(Debug, Clone, Default)]
+pub struct VerificationReport {
+    /// Every individual comparison, in deterministic order.
+    pub checks: Vec<CheckOutcome>,
+}
+
+impl VerificationReport {
+    /// `true` when every check passed.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// The failed checks, if any.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&CheckOutcome> {
+        self.checks.iter().filter(|c| !c.passed).collect()
+    }
+
+    fn push(&mut self, kind: CheckKind, subject: String, passed: bool, detail: String) {
+        self.checks.push(CheckOutcome {
+            kind,
+            subject,
+            passed,
+            detail,
+        });
+    }
+}
+
+impl fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "verification: {}/{} checks passed",
+            self.checks.iter().filter(|c| c.passed).count(),
+            self.checks.len()
+        )?;
+        for c in &self.checks {
+            writeln!(
+                f,
+                "  [{}] {:<14} {:<28} {}",
+                if c.passed { "ok" } else { "FAIL" },
+                c.kind,
+                c.subject,
+                c.detail
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Verifies one run's observations against all analytical bounds:
+/// per-task response times and start delays, per-monitored-chain backward
+/// times, and the disparity of every monitored chain's tail.
+///
+/// `chains` must be the chains that were monitored on the simulator, in
+/// registration order (their metrics are looked up by index).
+///
+/// # Errors
+///
+/// Propagates scheduling and analysis errors (the system must be
+/// analyzable; an unschedulable system cannot be verified against bounds
+/// that assume `R ≤ T`).
+pub fn verify_run(
+    graph: &CauseEffectGraph,
+    chains: &[Chain],
+    metrics: &ObservedMetrics,
+) -> Result<VerificationReport, AnalysisError> {
+    let sched = analyze(graph)?;
+    if !sched.all_schedulable() {
+        return Err(AnalysisError::Unschedulable {
+            violations: sched.violations(),
+        });
+    }
+    let rt = sched.into_response_times();
+    let mut report = VerificationReport::default();
+
+    for task in graph.tasks() {
+        let bound = rt.wcrt(task.id());
+        let observed = metrics.max_response(task.id());
+        report.push(
+            CheckKind::ResponseTime,
+            task.name().to_string(),
+            observed <= bound,
+            format!("{bound} >= {observed}"),
+        );
+        let delay_bound = rt.max_start_delay(task.id());
+        let delay_obs = metrics.max_start_delay(task.id());
+        report.push(
+            CheckKind::StartDelay,
+            task.name().to_string(),
+            delay_obs <= delay_bound,
+            format!("{delay_bound} >= {delay_obs}"),
+        );
+    }
+
+    for (i, chain) in chains.iter().enumerate() {
+        let bounds = backward_bounds(graph, chain, &rt);
+        let obs = metrics.chain(i);
+        let (passed, detail) = match (obs.min_backward, obs.max_backward) {
+            (Some(lo), Some(hi)) => (
+                bounds.bcbt <= lo && hi <= bounds.wcbt,
+                format!("[{lo}, {hi}] within [{}, {}]", bounds.bcbt, bounds.wcbt),
+            ),
+            _ => (true, "no samples".to_string()),
+        };
+        report.push(CheckKind::BackwardTime, chain.to_string(), passed, detail);
+    }
+
+    let mut tails: Vec<_> = chains.iter().map(Chain::tail).collect();
+    tails.sort_unstable();
+    tails.dedup();
+    for tail in tails {
+        let bound = worst_case_disparity(graph, tail, &rt, AnalysisConfig::default())?.bound;
+        let p_bound = worst_case_disparity(
+            graph,
+            tail,
+            &rt,
+            AnalysisConfig {
+                method: Method::Independent,
+                ..Default::default()
+            },
+        )?
+        .bound;
+        if let Some(observed) = metrics.max_disparity(tail) {
+            report.push(
+                CheckKind::Disparity,
+                graph.task(tail).name().to_string(),
+                observed <= bound && observed <= p_bound,
+                format!("S-diff {bound} / P-diff {p_bound} >= {observed}"),
+            );
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::task::TaskSpec;
+    use disparity_model::time::Duration;
+    use disparity_sim::engine::{SimConfig, Simulator};
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn system() -> (CauseEffectGraph, Vec<Chain>) {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s1 = b.add_task(TaskSpec::periodic("s1", ms(10)));
+        let s2 = b.add_task(TaskSpec::periodic("s2", ms(30)));
+        let fuse = b.add_task(
+            TaskSpec::periodic("fuse", ms(30))
+                .execution(ms(1), ms(3))
+                .on_ecu(e),
+        );
+        b.connect(s1, fuse);
+        b.connect(s2, fuse);
+        let g = b.build().unwrap();
+        let chains = g.chains_to(fuse, 16).unwrap();
+        (g, chains)
+    }
+
+    #[test]
+    fn clean_run_verifies() {
+        let (g, chains) = system();
+        let mut sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(2000),
+                ..Default::default()
+            },
+        );
+        sim.monitor_chains(chains.iter().cloned());
+        let out = sim.run().unwrap();
+        let report = verify_run(&g, &chains, &out.metrics).unwrap();
+        assert!(report.all_passed(), "{report}");
+        assert!(report.failures().is_empty());
+        // 3 tasks × 2 checks + 2 chains + 1 disparity = 9 checks.
+        assert_eq!(report.checks.len(), 9);
+        assert!(report.to_string().contains("9/9 checks passed"));
+    }
+
+    #[test]
+    fn mismatched_observations_fail_verification() {
+        // Observations taken on a *slower* twin system (s2 at 120ms) must
+        // violate the bounds computed for the fast original (s2 at 30ms):
+        // verification catches bound/observation mismatches.
+        let (fast, chains) = system();
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s1 = b.add_task(TaskSpec::periodic("s1", ms(10)));
+        let s2 = b.add_task(TaskSpec::periodic("s2", ms(120)).offset(ms(113)));
+        let fuse = b.add_task(
+            TaskSpec::periodic("fuse", ms(30))
+                .execution(ms(1), ms(3))
+                .on_ecu(e),
+        );
+        b.connect(s1, fuse);
+        b.connect(s2, fuse);
+        let slow = b.build().unwrap();
+
+        let mut sim = Simulator::new(
+            &slow,
+            SimConfig {
+                horizon: ms(4000),
+                ..Default::default()
+            },
+        );
+        sim.monitor_chains(chains.iter().cloned());
+        let out = sim.run().unwrap();
+        let report = verify_run(&fast, &chains, &out.metrics).unwrap();
+        assert!(!report.all_passed(), "{report}");
+        assert!(report
+            .failures()
+            .iter()
+            .any(|c| matches!(c.kind, CheckKind::Disparity | CheckKind::BackwardTime)));
+    }
+
+    #[test]
+    fn unschedulable_systems_are_rejected() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        b.add_task(TaskSpec::periodic("hi", ms(10)).wcet(ms(6)).on_ecu(e));
+        b.add_task(TaskSpec::periodic("lo", ms(30)).wcet(ms(9)).on_ecu(e));
+        let g = b.build().unwrap();
+        let metrics = ObservedMetrics::new(2, 0);
+        assert!(matches!(
+            verify_run(&g, &[], &metrics),
+            Err(AnalysisError::Unschedulable { .. })
+        ));
+    }
+}

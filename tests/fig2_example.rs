@@ -1,0 +1,150 @@
+//! The paper's Fig. 2/3 running example with hand-derived expectations.
+//!
+//! Parameters (ours — the paper's figure labels are not fully legible in
+//! text form, so we fix a representative set and derive every expected
+//! number by hand):
+//!
+//! | task | W | B | T  | ECU  |
+//! |------|---|---|----|------|
+//! | τ1   | 0 | 0 | 10 | —    |
+//! | τ2   | 0 | 0 | 20 | —    |
+//! | τ3   | 2 | 1 | 10 | ecu1 |
+//! | τ4   | 4 | 2 | 20 | ecu1 |
+//! | τ5   | 5 | 2 | 30 | ecu2 |
+//! | τ6   | 6 | 3 | 30 | ecu2 |
+//!
+//! Rate-monotonic: τ3 ≻ τ4 on ecu1; τ5 ≻ τ6 on ecu2 (tie broken by id).
+//! Response times: R(τ3) = 4+2 = 6, R(τ4) = 2+4 = 6, R(τ5) = 6+5 = 11,
+//! R(τ6) = 5+6 = 11.
+
+use time_disparity::core::prelude::*;
+use time_disparity::model::prelude::*;
+use time_disparity::sched::prelude::*;
+
+fn ms(v: i64) -> Duration {
+    Duration::from_millis(v)
+}
+
+fn fig2() -> (CauseEffectGraph, [TaskId; 6]) {
+    let mut b = SystemBuilder::new();
+    let e1 = b.add_ecu("ecu1");
+    let e2 = b.add_ecu("ecu2");
+    let t1 = b.add_task(TaskSpec::periodic("tau1", ms(10)));
+    let t2 = b.add_task(TaskSpec::periodic("tau2", ms(20)));
+    let t3 = b.add_task(
+        TaskSpec::periodic("tau3", ms(10))
+            .execution(ms(1), ms(2))
+            .on_ecu(e1),
+    );
+    let t4 = b.add_task(
+        TaskSpec::periodic("tau4", ms(20))
+            .execution(ms(2), ms(4))
+            .on_ecu(e1),
+    );
+    let t5 = b.add_task(
+        TaskSpec::periodic("tau5", ms(30))
+            .execution(ms(2), ms(5))
+            .on_ecu(e2),
+    );
+    let t6 = b.add_task(
+        TaskSpec::periodic("tau6", ms(30))
+            .execution(ms(3), ms(6))
+            .on_ecu(e2),
+    );
+    b.connect(t1, t3);
+    b.connect(t2, t3);
+    b.connect(t3, t4);
+    b.connect(t3, t5);
+    b.connect(t4, t6);
+    b.connect(t5, t6);
+    (b.build().unwrap(), [t1, t2, t3, t4, t5, t6])
+}
+
+#[test]
+fn response_times_match_hand_computation() {
+    let (g, [t1, t2, t3, t4, t5, t6]) = fig2();
+    let rt = response_times(&g).unwrap();
+    assert_eq!(rt.wcrt(t1), ms(0));
+    assert_eq!(rt.wcrt(t2), ms(0));
+    assert_eq!(rt.wcrt(t3), ms(6)); // blocked once by τ4
+    assert_eq!(rt.wcrt(t4), ms(6)); // one τ3 job then own WCET
+    assert_eq!(rt.wcrt(t5), ms(11)); // blocked once by τ6
+    assert_eq!(rt.wcrt(t6), ms(11)); // one τ5 job then own WCET
+}
+
+#[test]
+fn backward_bounds_match_hand_computation() {
+    let (g, [t1, t2, t3, t4, t5, t6]) = fig2();
+    let rt = response_times(&g).unwrap();
+    // λ = τ1→τ3→τ4→τ6:
+    //   θ(τ1→τ3) = T+R = 10 (τ1 off-CPU), θ(τ3→τ4) = T(τ3) = 10 (hp),
+    //   θ(τ4→τ6) = T+R = 20+6 = 26 (cross-ECU). W = 46.
+    //   B = (0+1+2+3) − R(τ6) = 6 − 11 = −5.
+    let lam = Chain::new(&g, vec![t1, t3, t4, t6]).unwrap();
+    let b = backward_bounds(&g, &lam, &rt);
+    assert_eq!(b.wcbt, ms(46));
+    assert_eq!(b.bcbt, ms(-5));
+    // ν = τ2→τ3→τ5→τ6:
+    //   θ(τ2→τ3) = 20, θ(τ3→τ5) = 10+R(τ3) = 16 (cross-ECU),
+    //   θ(τ5→τ6) = T(τ5) = 30 (hp). W = 66. B = −5.
+    let nu = Chain::new(&g, vec![t2, t3, t5, t6]).unwrap();
+    let b = backward_bounds(&g, &nu, &rt);
+    assert_eq!(b.wcbt, ms(66));
+    assert_eq!(b.bcbt, ms(-5));
+}
+
+#[test]
+fn pairwise_bounds_match_hand_computation() {
+    let (g, [t1, t2, t3, t4, t5, t6]) = fig2();
+    let rt = response_times(&g).unwrap();
+    let lam = Chain::new(&g, vec![t1, t3, t4, t6]).unwrap();
+    let nu = Chain::new(&g, vec![t2, t3, t5, t6]).unwrap();
+    // P-diff: O = max(|46−(−5)|, |66−(−5)|) = 71.
+    assert_eq!(theorem1_bound(&g, &lam, &nu, &rt).unwrap(), ms(71));
+    // S-diff: commons {τ3, τ6}; α2 = τ3→τ4→τ6 (W=36, B=−5),
+    // β2 = τ3→τ5→τ6 (W=46, B=−5); x1 = ⌈(−5−46)/10⌉ = −5,
+    // y1 = ⌊(36+5)/10⌋ = 4; α1 = τ1→τ3 (W=10, B=−5), β1 = τ2→τ3 (W=20,
+    // B=−5); O = max(|20+5+50|, |−5−10−40|) = 75.
+    assert_eq!(theorem2_bound(&g, &lam, &nu, &rt).unwrap(), ms(75));
+    // Combined takes the min.
+    assert_eq!(
+        pairwise_bound(&g, &lam, &nu, &rt, Method::Combined).unwrap(),
+        ms(71)
+    );
+}
+
+#[test]
+fn decomposition_matches_paper_splitting() {
+    let (g, [t1, t2, t3, t4, t5, t6]) = fig2();
+    let rt = response_times(&g).unwrap();
+    let lam = Chain::new(&g, vec![t1, t3, t4, t6]).unwrap();
+    let nu = Chain::new(&g, vec![t2, t3, t5, t6]).unwrap();
+    let d = decompose(&g, &lam, &nu, &rt).unwrap();
+    // §III: "we can divide them into sub-chains {τ1,τ3}, {τ3,τ4,τ6} and
+    // {τ2,τ3}, {τ3,τ5,τ6}".
+    assert_eq!(d.commons, vec![t3, t6]);
+    assert_eq!(d.alphas[0].tasks(), &[t1, t3]);
+    assert_eq!(d.alphas[1].tasks(), &[t3, t4, t6]);
+    assert_eq!(d.betas[0].tasks(), &[t2, t3]);
+    assert_eq!(d.betas[1].tasks(), &[t3, t5, t6]);
+    assert_eq!((d.x[1], d.y[1]), (0, 0));
+    assert_eq!((d.x[0], d.y[0]), (-5, 4));
+}
+
+#[test]
+fn sink_disparity_enumeration() {
+    let (g, [.., t6]) = fig2();
+    let report = analyze_task(&g, t6, AnalysisConfig::default()).unwrap();
+    assert_eq!(report.chains.len(), 4);
+    assert_eq!(report.pairs.len(), 6);
+    // The same-source chain pairs stay period-aligned: their bounds are
+    // multiples of the shared source's period.
+    for pair in &report.pairs {
+        let lam = &report.chains[pair.lambda];
+        let nu = &report.chains[pair.nu];
+        if lam.head() == nu.head() {
+            let t = g.task(lam.head()).period();
+            assert!(pair.bound % t == Duration::ZERO);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Validates the end-to-end latency bounds (data age, reaction time)
+//! against trace-based observations on randomized pipelines.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+use time_disparity::core::prelude::*;
+use time_disparity::model::prelude::*;
+use time_disparity::sched::prelude::*;
+use time_disparity::sim::prelude::*;
+use time_disparity::workload::prelude::*;
+
+#[test]
+fn latency_bounds_dominate_trace_observations() {
+    for seed in 0..6 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sys = schedulable_two_chain_system_scaled(4, 2, Some(0.4), &mut rng, 200)
+            .expect("generator finds a schedulable system");
+        let rt = analyze(&sys.graph)
+            .expect("schedulable")
+            .into_response_times();
+        for _ in 0..2 {
+            let instance = randomize_offsets(&sys.graph, &mut rng);
+            let sim = Simulator::new(
+                &instance,
+                SimConfig {
+                    horizon: Duration::from_secs(3),
+                    record_trace: true,
+                    seed: rng.gen(),
+                    ..Default::default()
+                },
+            );
+            let trace = sim
+                .run()
+                .expect("valid simulation")
+                .trace
+                .expect("recorded");
+            for chain in [&sys.lambda, &sys.nu] {
+                let age_bound = data_age_bound(&sys.graph, chain, &rt);
+                let reaction_bound = reaction_time_bound(&sys.graph, chain, &rt);
+                if let Some(age) = max_data_age(&trace, &sys.graph, chain) {
+                    assert!(
+                        age <= age_bound,
+                        "data age {age} exceeds bound {age_bound} on {chain} (seed {seed})"
+                    );
+                }
+                if let Some(reaction) = max_reaction_time(&trace, &sys.graph, chain) {
+                    assert!(
+                        reaction <= reaction_bound,
+                        "reaction {reaction} exceeds bound {reaction_bound} on {chain} \
+                         (seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn data_age_exceeds_backward_time_pointwise() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let sys = schedulable_two_chain_system(5, 2, &mut rng, 200).expect("generated");
+    let sim = Simulator::new(
+        &sys.graph,
+        SimConfig {
+            horizon: Duration::from_secs(2),
+            record_trace: true,
+            ..Default::default()
+        },
+    );
+    let trace = sim
+        .run()
+        .expect("valid simulation")
+        .trace
+        .expect("recorded");
+    let chain = &sys.lambda;
+    let mut compared = 0;
+    for k in 0..trace.jobs_of(chain.tail()).len() as u64 {
+        let (Some(age), Some(len)) = (
+            data_age_from_trace(&trace, &sys.graph, chain, k),
+            backward_time_from_trace(&trace, &sys.graph, chain, k),
+        ) else {
+            continue;
+        };
+        assert!(age >= len, "age {age} < backward time {len} at job {k}");
+        compared += 1;
+    }
+    assert!(
+        compared > 0,
+        "the trace must contain complete backward chains"
+    );
+}

@@ -1,0 +1,161 @@
+//! End-to-end validation of the Logical Execution Time extension: the
+//! LET simulator against the LET analytical bounds, and the determinism /
+//! latency trade-off against implicit communication.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+use time_disparity::core::letmodel::{let_backward_bounds, let_worst_case_disparity};
+use time_disparity::core::prelude::*;
+use time_disparity::model::prelude::*;
+use time_disparity::sim::prelude::*;
+use time_disparity::workload::prelude::*;
+
+fn let_config(horizon_ms: i64, seed: u64) -> SimConfig {
+    SimConfig {
+        horizon: Duration::from_millis(horizon_ms),
+        semantics: CommunicationSemantics::LogicalExecutionTime,
+        seed,
+        warmup: Duration::from_millis(500),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn let_observations_stay_within_let_bounds() {
+    for seed in 0..6 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sys = schedulable_two_chain_system(4, 2, &mut rng, 200).expect("generated");
+        let lam_bounds = let_backward_bounds(&sys.graph, &sys.lambda);
+        let nu_bounds = let_backward_bounds(&sys.graph, &sys.nu);
+        let disparity_bound =
+            let_worst_case_disparity(&sys.graph, sys.sink(), Method::ForkJoin, 64)
+                .expect("analyzable");
+
+        for _ in 0..2 {
+            let instance = randomize_offsets(&sys.graph, &mut rng);
+            let mut sim = Simulator::new(&instance, let_config(4000, rng.gen()));
+            sim.monitor_chain(sys.lambda.clone());
+            sim.monitor_chain(sys.nu.clone());
+            let out = sim.run().expect("valid simulation");
+            for (i, bounds) in [lam_bounds, nu_bounds].iter().enumerate() {
+                let obs = out.metrics.chain(i);
+                if let (Some(lo), Some(hi)) = (obs.min_backward, obs.max_backward) {
+                    assert!(
+                        bounds.bcbt <= lo && hi <= bounds.wcbt,
+                        "LET chain {i}: [{lo}, {hi}] outside [{}, {}] (seed {seed})",
+                        bounds.bcbt,
+                        bounds.wcbt
+                    );
+                }
+            }
+            if let Some(observed) = out.metrics.max_disparity(sys.sink()) {
+                assert!(
+                    observed <= disparity_bound,
+                    "LET disparity {observed} exceeds bound {disparity_bound} (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+/// LET dataflow is execution-time independent: two runs with different
+/// execution-time models observe identical disparity and backward times.
+#[test]
+fn let_dataflow_ignores_execution_times() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let sys = schedulable_two_chain_system(5, 2, &mut rng, 200).expect("generated");
+    let run = |model: ExecutionTimeModel| {
+        let mut cfg = let_config(3000, 9);
+        cfg.exec_model = model;
+        let mut sim = Simulator::new(&sys.graph, cfg);
+        sim.monitor_chain(sys.lambda.clone());
+        let out = sim.run().expect("valid simulation");
+        (out.metrics.max_disparity(sys.sink()), out.metrics.chain(0))
+    };
+    let worst = run(ExecutionTimeModel::WorstCase);
+    let best = run(ExecutionTimeModel::BestCase);
+    let uniform = run(ExecutionTimeModel::Uniform);
+    assert_eq!(worst, best);
+    assert_eq!(worst, uniform);
+}
+
+/// The determinism/latency trade-off: LET backward times are never smaller
+/// than one period per hop, while implicit communication can be much
+/// fresher — but LET's observed range is far narrower.
+#[test]
+fn let_trades_latency_for_determinism() {
+    let mut b = SystemBuilder::new();
+    let e = b.add_ecu("e");
+    let ms = Duration::from_millis;
+    let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+    let a = b.add_task(
+        TaskSpec::periodic("a", ms(10))
+            .execution(ms(1), ms(4))
+            .on_ecu(e),
+    );
+    let t = b.add_task(
+        TaskSpec::periodic("t", ms(10))
+            .execution(ms(1), ms(4))
+            .on_ecu(e),
+    );
+    b.connect(s, a);
+    b.connect(a, t);
+    let g = b.build().unwrap();
+    let chain = Chain::new(&g, vec![s, a, t]).unwrap();
+
+    let run = |semantics: CommunicationSemantics| {
+        let mut sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: Duration::from_secs(5),
+                semantics,
+                warmup: ms(200),
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        sim.monitor_chain(chain.clone());
+        sim.run().expect("valid simulation").metrics.chain(0)
+    };
+    let implicit = run(CommunicationSemantics::Implicit);
+    let let_obs = run(CommunicationSemantics::LogicalExecutionTime);
+
+    // LET pays at least one period per hop …
+    assert!(let_obs.min_backward.unwrap() >= ms(20));
+    // … while implicit can sample fresher data.
+    assert!(implicit.min_backward.unwrap() < let_obs.min_backward.unwrap());
+    // LET's observed range fits the deterministic [ΣT, Σ2T) window.
+    assert!(let_obs.max_backward.unwrap() < ms(40));
+}
+
+/// Under LET, the paper's Fig. 4 frequency intuition actually works the
+/// way designers expect for the *latency floor*: the per-hop cost is the
+/// period, so raising a frequency lowers the LET backward bounds.
+#[test]
+fn let_bounds_scale_with_periods() {
+    let build = |t3: i64| {
+        let ms = Duration::from_millis;
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let m = b.add_task(
+            TaskSpec::periodic("m", ms(t3))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(30))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        b.connect(s, m);
+        b.connect(m, t);
+        let g = b.build().unwrap();
+        let c = Chain::new(&g, vec![s, m, t]).unwrap();
+        let_backward_bounds(&g, &c)
+    };
+    let slow = build(30);
+    let fast = build(10);
+    assert!(fast.wcbt < slow.wcbt);
+    assert!(fast.bcbt < slow.bcbt);
+}

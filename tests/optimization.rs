@@ -1,0 +1,177 @@
+//! End-to-end validation of the §IV buffer optimization: Algorithm 1,
+//! Lemma 6 and Theorem 3 against the simulator.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+use time_disparity::core::prelude::*;
+use time_disparity::model::prelude::*;
+use time_disparity::sched::prelude::*;
+use time_disparity::sim::prelude::*;
+use time_disparity::workload::prelude::*;
+
+/// Lemma 6: a FIFO of capacity `n` on the source channel shifts both
+/// backward-time bounds by `(n−1)·T(source)` — and the simulator's
+/// steady-state observations respect the shifted bounds.
+#[test]
+fn lemma6_shift_is_respected_by_simulation() {
+    for seed in 0..4 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sys = schedulable_two_chain_system(4, 2, &mut rng, 100).expect("generated");
+        let rt = analyze(&sys.graph)
+            .expect("schedulable")
+            .into_response_times();
+        let base = backward_bounds(&sys.graph, &sys.lambda, &rt);
+
+        for capacity in [2usize, 3, 5] {
+            let mut buffered = sys.graph.clone();
+            let head = sys.lambda.head();
+            let second = sys.lambda.get(1).expect("chain length ≥ 2");
+            let ch = buffered
+                .channel_between(head, second)
+                .expect("edge exists")
+                .id();
+            buffered
+                .set_channel_capacity(ch, capacity)
+                .expect("valid capacity");
+
+            let shifted = backward_bounds(&buffered, &sys.lambda, &rt);
+            let shift = sys.graph.task(head).period() * (capacity as i64 - 1);
+            assert_eq!(shifted.wcbt, base.wcbt + shift);
+            assert_eq!(shifted.bcbt, base.bcbt + shift);
+
+            // Warm up long enough for the FIFO to fill.
+            let warmup =
+                sys.graph.task(head).period() * (capacity as i64) * 2 + Duration::from_millis(400);
+            let mut sim = Simulator::new(
+                &buffered,
+                SimConfig {
+                    horizon: warmup * 4,
+                    warmup,
+                    seed: rng.gen(),
+                    ..Default::default()
+                },
+            );
+            sim.monitor_chain(sys.lambda.clone());
+            let outcome = sim.run().expect("valid simulation");
+            let obs = outcome.metrics.chain(0);
+            if let (Some(lo), Some(hi)) = (obs.min_backward, obs.max_backward) {
+                assert!(
+                    shifted.bcbt <= lo && hi <= shifted.wcbt,
+                    "capacity {capacity}: observed [{lo}, {hi}] outside [{}, {}] (seed {seed})",
+                    shifted.bcbt,
+                    shifted.wcbt
+                );
+            }
+        }
+    }
+}
+
+/// Theorem 3: the designed buffer lowers the pairwise bound by exactly the
+/// window shift `L`, and the buffered simulation stays within it.
+#[test]
+fn theorem3_bound_is_safe_in_simulation() {
+    let mut checked = 0;
+    for seed in 10..20 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sys = schedulable_two_chain_system(5, 4, &mut rng, 100).expect("generated");
+        let rt = analyze(&sys.graph)
+            .expect("schedulable")
+            .into_response_times();
+        let plan = design_buffer(&sys.graph, &sys.lambda, &sys.nu, &rt).expect("plan");
+        if plan.shift.is_zero() {
+            continue; // windows already aligned; nothing to validate
+        }
+        checked += 1;
+        assert_eq!(plan.bound_after, plan.bound_before - plan.shift);
+        assert!(plan.capacity > 1);
+
+        let mut buffered = sys.graph.clone();
+        plan.apply(&mut buffered).expect("apply succeeds");
+        let warmup = plan.shift * 3 + Duration::from_millis(500);
+        for _ in 0..2 {
+            let instance = randomize_offsets(&buffered, &mut rng);
+            let sim = Simulator::new(
+                &instance,
+                SimConfig {
+                    horizon: warmup * 3,
+                    warmup,
+                    seed: rng.gen(),
+                    ..Default::default()
+                },
+            );
+            let outcome = sim.run().expect("valid simulation");
+            if let Some(observed) = outcome.metrics.max_disparity(sys.sink()) {
+                assert!(
+                    observed <= plan.bound_after,
+                    "Theorem 3 bound {} violated by {observed} (seed {seed})",
+                    plan.bound_after
+                );
+            }
+        }
+    }
+    assert!(
+        checked >= 3,
+        "need a meaningful number of non-trivial plans, got {checked}"
+    );
+}
+
+/// The greedy multi-pair optimizer never loosens the bound and its steps
+/// are strictly improving.
+#[test]
+fn greedy_optimizer_monotonicity() {
+    for seed in 30..36 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = schedulable_random_system(
+            GraphGenConfig {
+                n_tasks: 10,
+                max_sources: Some(3),
+                target_utilization: Some(0.35),
+                ..Default::default()
+            },
+            &mut rng,
+            200,
+        )
+        .expect("generated");
+        let sink = graph.sinks()[0];
+        let Ok(outcome) = optimize_task(&graph, sink, AnalysisConfig::default(), 6) else {
+            continue; // chain-limit explosion on rare draws
+        };
+        assert!(outcome.final_bound() <= outcome.initial_bound);
+        let mut previous = outcome.initial_bound;
+        for step in &outcome.steps {
+            assert!(
+                step.bound_after_step < previous,
+                "greedy step must strictly improve"
+            );
+            previous = step.bound_after_step;
+        }
+        assert_eq!(
+            outcome.improvement(),
+            (outcome.initial_bound - outcome.final_bound()).max_zero()
+        );
+    }
+}
+
+/// Applying a plan only changes the planned channel's capacity — nothing
+/// else about the graph.
+#[test]
+fn plans_touch_only_their_channel() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let sys = schedulable_two_chain_system(6, 4, &mut rng, 100).expect("generated");
+    let rt = analyze(&sys.graph)
+        .expect("schedulable")
+        .into_response_times();
+    let plan = design_buffer(&sys.graph, &sys.lambda, &sys.nu, &rt).expect("plan");
+    let mut buffered = sys.graph.clone();
+    plan.apply(&mut buffered).expect("apply succeeds");
+    for (before, after) in sys.graph.channels().iter().zip(buffered.channels()) {
+        if before.id() == plan.channel {
+            assert_eq!(after.capacity(), plan.capacity);
+        } else {
+            assert_eq!(before.capacity(), after.capacity());
+        }
+    }
+    for (before, after) in sys.graph.tasks().iter().zip(buffered.tasks()) {
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,223 @@
+//! Edge-case behavior of the simulator that the analysis relies on.
+
+use time_disparity::core::prelude::*;
+use time_disparity::model::prelude::*;
+use time_disparity::sched::prelude::*;
+use time_disparity::sim::prelude::*;
+use time_disparity::workload::prelude::*;
+
+fn ms(v: i64) -> Duration {
+    Duration::from_millis(v)
+}
+
+/// An overloaded-but-bounded system (a deadline miss without utilization
+/// overload): the simulator must keep running, queue backlogged jobs in
+/// activation order, and report response times beyond the period.
+#[test]
+fn deadline_misses_simulate_without_panicking() {
+    let mut b = SystemBuilder::new();
+    let e = b.add_ecu("e");
+    let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+    let hi = b.add_task(
+        TaskSpec::periodic("hi", ms(10))
+            .execution(ms(6), ms(6))
+            .on_ecu(e),
+    );
+    let lo = b.add_task(
+        TaskSpec::periodic("lo", ms(30))
+            .execution(ms(9), ms(9))
+            .on_ecu(e),
+    );
+    b.connect(s, hi);
+    b.connect(s, lo);
+    let g = b.build().unwrap();
+    let report = analyze(&g).unwrap();
+    assert!(!report.all_schedulable(), "fixture must be unschedulable");
+
+    let sim = Simulator::new(
+        &g,
+        SimConfig {
+            horizon: ms(1000),
+            record_trace: true,
+            ..Default::default()
+        },
+    );
+    let out = sim.run().unwrap();
+    // hi misses its deadline (blocked by lo's 9ms job): observed R > T.
+    assert!(out.metrics.max_response(hi) > ms(10));
+    // Jobs of one task still complete in activation order (Trace::push
+    // debug-asserts this; verify finish monotonicity explicitly).
+    let trace = out.trace.unwrap();
+    let finishes: Vec<_> = trace.jobs_of(hi).iter().map(|j| j.finish).collect();
+    assert!(finishes.windows(2).all(|w| w[0] < w[1]));
+}
+
+/// A chain of zero-cost tasks releasing at the same instant propagates the
+/// token through the whole cascade within that instant (topological
+/// release ordering).
+#[test]
+fn zero_cost_cascade_propagates_instantaneously() {
+    let mut b = SystemBuilder::new();
+    let e = b.add_ecu("e");
+    let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+    let f1 = b.add_task(TaskSpec::periodic("f1", ms(10)));
+    let f2 = b.add_task(TaskSpec::periodic("f2", ms(10)));
+    let t = b.add_task(
+        TaskSpec::periodic("t", ms(10))
+            .execution(ms(1), ms(1))
+            .on_ecu(e),
+    );
+    b.connect(s, f1);
+    b.connect(f1, f2);
+    b.connect(f2, t);
+    let g = b.build().unwrap();
+    let chain = Chain::new(&g, vec![s, f1, f2, t]).unwrap();
+    let mut sim = Simulator::new(
+        &g,
+        SimConfig {
+            horizon: ms(100),
+            exec_model: ExecutionTimeModel::WorstCase,
+            ..Default::default()
+        },
+    );
+    sim.monitor_chain(chain);
+    let out = sim.run().unwrap();
+    let obs = out.metrics.chain(0);
+    // Token written by s at k*10 passes f1, f2 within the same instant and
+    // t starts at k*10: backward time is exactly zero.
+    assert_eq!(obs.min_backward, Some(Duration::ZERO));
+    assert_eq!(obs.max_backward, Some(Duration::ZERO));
+    assert_eq!(obs.missing_reads, 0);
+}
+
+/// Tokens cross ECUs through explicit bus-message tasks; the backward-time
+/// bounds hold hop by hop across the bus.
+#[test]
+fn bus_hops_respect_bounds() {
+    let mut b = SystemBuilder::new();
+    let e0 = b.add_ecu("e0");
+    let e1 = b.add_ecu("e1");
+    let bus = b.add_bus("can");
+    let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+    let a = b.add_task(
+        TaskSpec::periodic("a", ms(10))
+            .execution(ms(1), ms(3))
+            .on_ecu(e0),
+    );
+    let m = b.add_task(
+        TaskSpec::periodic("m", ms(10))
+            .execution(ms(1), ms(1))
+            .on_ecu(bus),
+    );
+    let t = b.add_task(
+        TaskSpec::periodic("t", ms(20))
+            .execution(ms(2), ms(5))
+            .on_ecu(e1),
+    );
+    b.connect(s, a);
+    b.connect(a, m);
+    b.connect(m, t);
+    let g = b.build().unwrap();
+    let chain = Chain::new(&g, vec![s, a, m, t]).unwrap();
+    let rt = analyze(&g).unwrap().into_response_times();
+    let bounds = backward_bounds(&g, &chain, &rt);
+
+    let mut sim = Simulator::new(
+        &g,
+        SimConfig {
+            horizon: Duration::from_secs(5),
+            seed: 13,
+            ..Default::default()
+        },
+    );
+    sim.monitor_chain(chain);
+    let out = sim.run().unwrap();
+    let obs = out.metrics.chain(0);
+    let (lo, hi) = (obs.min_backward.unwrap(), obs.max_backward.unwrap());
+    assert!(
+        bounds.bcbt <= lo && hi <= bounds.wcbt,
+        "[{lo}, {hi}] ⊄ [{}, {}]",
+        bounds.bcbt,
+        bounds.wcbt
+    );
+}
+
+/// Funnel workloads: bounds hold and S-diff is strictly tighter than
+/// P-diff at the task level (the structured-topology regime).
+#[test]
+fn funnel_systems_show_forkjoin_advantage() {
+    use rand::SeedableRng as _;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let mut s_strictly_tighter = 0;
+    // Deep funnels (long shared suffixes) are where truncation pays off.
+    let cfg = FunnelConfig::with_approximate_size(15);
+    for _ in 0..4 {
+        let g = schedulable_funnel_system(&cfg, &mut rng, 100).expect("generated");
+        let sink = g.sinks()[0];
+        let rt = analyze(&g).unwrap().into_response_times();
+        let p = worst_case_disparity(
+            &g,
+            sink,
+            &rt,
+            AnalysisConfig {
+                method: Method::Independent,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .bound;
+        let s = worst_case_disparity(&g, sink, &rt, AnalysisConfig::default())
+            .unwrap()
+            .bound;
+        if s < p {
+            s_strictly_tighter += 1;
+        }
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: Duration::from_secs(2),
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        if let Some(observed) = sim.run().unwrap().metrics.max_disparity(sink) {
+            assert!(observed <= s, "S-diff violated: {observed} > {s}");
+            assert!(observed <= p, "P-diff violated: {observed} > {p}");
+        }
+    }
+    assert!(
+        s_strictly_tighter >= 3,
+        "fork-join analysis should win on most funnels, won {s_strictly_tighter}/4"
+    );
+}
+
+/// The very first jobs may read empty channels; the engine counts them as
+/// missing reads instead of fabricating data.
+#[test]
+fn cold_start_counts_missing_reads() {
+    let mut b = SystemBuilder::new();
+    let e = b.add_ecu("e");
+    // Sink fires at t=0 with offset 0 while its producer (offset 5ms)
+    // has produced nothing yet.
+    let s = b.add_task(TaskSpec::periodic("s", ms(10)).offset(ms(5)));
+    let t = b.add_task(
+        TaskSpec::periodic("t", ms(10))
+            .execution(ms(1), ms(1))
+            .on_ecu(e),
+    );
+    b.connect(s, t);
+    let g = b.build().unwrap();
+    let chain = Chain::new(&g, vec![s, t]).unwrap();
+    let mut sim = Simulator::new(
+        &g,
+        SimConfig {
+            horizon: ms(100),
+            ..Default::default()
+        },
+    );
+    sim.monitor_chain(chain);
+    let out = sim.run().unwrap();
+    let obs = out.metrics.chain(0);
+    assert!(obs.missing_reads >= 1, "the t=0 job reads an empty channel");
+    assert!(obs.samples >= 1, "later jobs do observe the chain");
+}

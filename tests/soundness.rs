@@ -1,0 +1,180 @@
+//! The central correctness claim of the reproduction: on randomized
+//! workloads, every analytical bound dominates every simulated
+//! observation.
+//!
+//! For each seeded random system this exercises the whole stack —
+//! workload generation → response-time analysis → backward-time bounds →
+//! disparity bounds → simulation — and checks:
+//!
+//! * observed response times ≤ `R(τ)` and start delays ≤ `R(τ) − W(τ)`;
+//! * observed backward times of every chain within `[B(π), W(π)]`;
+//! * the scheduler-agnostic baseline WCBT dominates Lemma 4's;
+//! * observed sink disparity ≤ P-diff, S-diff and Combined bounds.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+use time_disparity::core::prelude::*;
+use time_disparity::model::prelude::*;
+use time_disparity::sched::prelude::*;
+use time_disparity::sim::prelude::*;
+use time_disparity::workload::prelude::*;
+
+/// One full soundness audit of a random system.
+fn audit_system(seed: u64, n_tasks: usize, target_utilization: Option<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = schedulable_random_system(
+        GraphGenConfig {
+            n_tasks,
+            target_utilization,
+            max_sources: Some(3),
+            ..Default::default()
+        },
+        &mut rng,
+        200,
+    )
+    .expect("generator finds a schedulable system");
+    let report = analyze(&graph).expect("schedulable by construction");
+    assert!(report.all_schedulable());
+    let rt = report.into_response_times();
+
+    let sink = graph.sinks()[0];
+    let chains = match graph.chains_to(sink, 512) {
+        Ok(c) => c,
+        Err(_) => return, // path explosion: nothing to check on this draw
+    };
+
+    let mut bounds = Vec::new();
+    for chain in &chains {
+        let b = backward_bounds(&graph, chain, &rt);
+        assert!(b.bcbt <= b.wcbt, "bounds ordered for {chain}");
+        assert!(
+            baseline_wcbt(&graph, chain, &rt) >= b.wcbt,
+            "Dürr-style baseline must dominate Lemma 4 on {chain}"
+        );
+        bounds.push(b);
+    }
+
+    let methods = [Method::Independent, Method::ForkJoin, Method::Combined];
+    let disparity_bounds: Vec<Duration> = methods
+        .iter()
+        .map(|&method| {
+            worst_case_disparity(
+                &graph,
+                sink,
+                &rt,
+                AnalysisConfig {
+                    method,
+                    chain_limit: 512,
+                },
+            )
+            .expect("analysis succeeds")
+            .bound
+        })
+        .collect();
+
+    // Three offset assignments, three seeds each.
+    for _ in 0..3 {
+        let instance = randomize_offsets(&graph, &mut rng);
+        let mut sim = Simulator::new(
+            &instance,
+            SimConfig {
+                horizon: Duration::from_secs(2),
+                exec_model: ExecutionTimeModel::Uniform,
+                seed: rng.gen(),
+                ..Default::default()
+            },
+        );
+        sim.monitor_chains(chains.iter().cloned());
+        let outcome = sim.run().expect("valid simulation");
+
+        for task in graph.tasks() {
+            assert!(
+                outcome.metrics.max_response(task.id()) <= rt.wcrt(task.id()),
+                "response time of {} exceeded R (seed {seed})",
+                task.name()
+            );
+            assert!(
+                outcome.metrics.max_start_delay(task.id()) <= rt.max_start_delay(task.id()),
+                "start delay of {} exceeded R − W (seed {seed})",
+                task.name()
+            );
+        }
+        for (i, chain) in chains.iter().enumerate() {
+            let obs = outcome.metrics.chain(i);
+            if let (Some(lo), Some(hi)) = (obs.min_backward, obs.max_backward) {
+                assert!(
+                    bounds[i].bcbt <= lo,
+                    "BCBT {} > observed {lo} on {chain} (seed {seed})",
+                    bounds[i].bcbt
+                );
+                assert!(
+                    hi <= bounds[i].wcbt,
+                    "observed {hi} > WCBT {} on {chain} (seed {seed})",
+                    bounds[i].wcbt
+                );
+            }
+        }
+        if let Some(observed) = outcome.metrics.max_disparity(sink) {
+            for (&method, &bound) in methods.iter().zip(&disparity_bounds) {
+                assert!(
+                    observed <= bound,
+                    "observed disparity {observed} exceeds {method:?} bound {bound} (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bounds_dominate_observations_on_light_workloads() {
+    for seed in 0..6 {
+        audit_system(seed, 10, None);
+    }
+}
+
+#[test]
+fn bounds_dominate_observations_on_loaded_workloads() {
+    for seed in 100..106 {
+        audit_system(seed, 12, Some(0.45));
+    }
+}
+
+#[test]
+fn bounds_dominate_observations_on_larger_graphs() {
+    for seed in 200..203 {
+        audit_system(seed, 20, Some(0.3));
+    }
+}
+
+#[test]
+fn bounds_dominate_observations_on_two_chain_systems() {
+    for seed in 300..306 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.gen_range(3..10);
+        let sys = schedulable_two_chain_system(len, 4, &mut rng, 100)
+            .expect("generator finds a schedulable system");
+        let rt = analyze(&sys.graph)
+            .expect("schedulable")
+            .into_response_times();
+        let s_diff = theorem2_bound(&sys.graph, &sys.lambda, &sys.nu, &rt)
+            .expect("pairwise analysis succeeds");
+        let p_diff = theorem1_bound(&sys.graph, &sys.lambda, &sys.nu, &rt)
+            .expect("pairwise analysis succeeds");
+        for _ in 0..2 {
+            let instance = randomize_offsets(&sys.graph, &mut rng);
+            let sim = Simulator::new(
+                &instance,
+                SimConfig {
+                    horizon: Duration::from_secs(3),
+                    seed: rng.gen(),
+                    ..Default::default()
+                },
+            );
+            let outcome = sim.run().expect("valid simulation");
+            if let Some(observed) = outcome.metrics.max_disparity(sys.sink()) {
+                assert!(observed <= s_diff, "S-diff violated (seed {seed})");
+                assert!(observed <= p_diff, "P-diff violated (seed {seed})");
+            }
+        }
+    }
+}
