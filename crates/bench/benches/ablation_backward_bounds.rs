@@ -6,7 +6,7 @@
 //! choice DESIGN.md calls out: the paper claims Lemma 4 "is more precise
 //! than the results presented in [5]").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disparity_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use disparity_core::backward::wcbt;
 use disparity_core::baseline::baseline_wcbt;
 use disparity_model::chain::Chain;
@@ -14,8 +14,7 @@ use disparity_model::graph::CauseEffectGraph;
 use disparity_sched::schedulability::analyze;
 use disparity_sched::wcrt::ResponseTimes;
 use disparity_workload::chains::schedulable_two_chain_system_scaled;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use disparity_rng::rngs::StdRng;
 use std::hint::black_box;
 
 fn sample_chains(len: usize) -> (CauseEffectGraph, Vec<Chain>, ResponseTimes) {

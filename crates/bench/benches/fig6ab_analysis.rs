@@ -6,15 +6,14 @@
 //! consuming" compared to analysis; together with `simulation.rs` this
 //! bench quantifies that gap on our implementation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disparity_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use disparity_core::disparity::{worst_case_disparity, AnalysisConfig};
 use disparity_core::pairwise::Method;
 use disparity_model::graph::CauseEffectGraph;
 use disparity_sched::schedulability::analyze;
 use disparity_sched::wcrt::ResponseTimes;
 use disparity_workload::graphgen::{schedulable_random_system, GraphGenConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use disparity_rng::rngs::StdRng;
 use std::hint::black_box;
 
 fn prepared_system(n_tasks: usize, seed: u64) -> (CauseEffectGraph, ResponseTimes) {

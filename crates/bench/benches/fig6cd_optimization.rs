@@ -2,15 +2,14 @@
 //! Algorithm 1's buffer design and the greedy multi-pair optimizer on
 //! merged two-chain systems of growing length.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disparity_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use disparity_core::buffering::{design_buffer, optimize_task};
 use disparity_core::disparity::AnalysisConfig;
 use disparity_core::pairwise::theorem2_bound;
 use disparity_sched::schedulability::analyze;
 use disparity_sched::wcrt::ResponseTimes;
 use disparity_workload::chains::{schedulable_two_chain_system, TwoChainSystem};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use disparity_rng::rngs::StdRng;
 use std::hint::black_box;
 
 fn prepared(len: usize, seed: u64) -> (TwoChainSystem, ResponseTimes) {

@@ -2,14 +2,13 @@
 //! and LET disparity analysis vs their implicit-communication
 //! counterparts (the LET path needs no response-time analysis at all).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disparity_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use disparity_core::disparity::{worst_case_disparity, AnalysisConfig};
 use disparity_core::letmodel::{let_backward_bounds, let_worst_case_disparity};
 use disparity_core::pairwise::Method;
 use disparity_sched::schedulability::analyze;
 use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use disparity_rng::rngs::StdRng;
 use std::hint::black_box;
 
 fn bench_let_vs_implicit_disparity(c: &mut Criterion) {

@@ -5,14 +5,13 @@
 //! remark that simulation-based estimation is orders of magnitude more
 //! expensive than the analytical bounds (while also being unsafe).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use disparity_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use disparity_model::graph::CauseEffectGraph;
 use disparity_model::time::Duration;
 use disparity_sim::engine::{SimConfig, Simulator};
 use disparity_sim::exec::ExecutionTimeModel;
 use disparity_workload::graphgen::{schedulable_random_system, GraphGenConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use disparity_rng::rngs::StdRng;
 use std::hint::black_box;
 
 fn prepared_system(n_tasks: usize) -> CauseEffectGraph {

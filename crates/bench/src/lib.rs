@@ -1,4 +1,12 @@
-//! Criterion benchmark crate for the `time-disparity` workspace.
+//! Benchmark crate for the `time-disparity` workspace.
+//!
+//! The workspace builds offline with no external dependencies, so this
+//! crate ships its own tiny wall-clock harness exposing the subset of the
+//! `criterion` API the benches use (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, the `criterion_group!` /
+//! `criterion_main!` macros). Results are min/mean nanoseconds per
+//! iteration printed to stdout — enough to compare orders of magnitude
+//! and catch regressions, without statistical machinery.
 //!
 //! All content lives in `benches/`:
 //!
@@ -7,5 +15,285 @@
 //! * `simulation` — simulator throughput, trace overhead, FIFO cost.
 //! * `ablation_backward_bounds` — Lemma 4 vs the scheduler-agnostic
 //!   baseline, cost and tightness.
+//! * `let_analysis` — LET bounds vs the implicit-communication path.
 //!
-//! Run with `cargo bench -p disparity-bench`.
+//! Run with `cargo bench -p disparity-bench`. The default is a quick
+//! pass (≤ 30 iterations or ~100 ms per benchmark) suitable for CI
+//! smoke runs; set `DISPARITY_BENCH_FULL=1` for longer, steadier
+//! measurements.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Budget {
+    max_iters: u64,
+    max_time: Duration,
+}
+
+fn budget() -> Budget {
+    if std::env::var_os("DISPARITY_BENCH_FULL").is_some() {
+        Budget {
+            max_iters: 1_000,
+            max_time: Duration::from_secs(2),
+        }
+    } else {
+        Budget {
+            max_iters: 30,
+            max_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Runs closures and records per-iteration timings.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Budget,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            budget: budget(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `f` repeatedly within the measurement budget.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // One untimed warmup pass (populates caches, faults in pages).
+        std::hint::black_box(f());
+        let started = Instant::now();
+        for _ in 0..self.budget.max_iters {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() >= self.budget.max_time {
+                break;
+            }
+        }
+    }
+}
+
+/// A benchmark identifier: a function label plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a label and a parameter, printed `label/parameter`.
+    pub fn new(label: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{label}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation; reported as a per-element rate when set.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named group of related benchmarks.
+///
+/// Mutably borrows the [`Criterion`] it came from for its lifetime, like
+/// the criterion original.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _harness: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion API compatibility; the in-tree harness
+    /// sizes runs by wall-clock budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.label),
+            &b.samples,
+            self.throughput,
+        );
+    }
+
+    /// Benchmarks a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.into().label),
+            &b.samples,
+            self.throughput,
+        );
+    }
+
+    /// Ends the group (prints nothing; results stream as they finish).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        BenchmarkGroup {
+            _harness: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a standalone closure.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, &b.samples, None);
+        self
+    }
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<55} (no samples)");
+        return;
+    }
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let mut line = format!(
+        "{name:<55} min {:>12}  mean {:>12}  ({} iters)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        samples.len()
+    );
+    if let Some(Throughput::Elements(n)) = throughput {
+        if n > 0 && mean.as_nanos() > 0 {
+            let rate = n as f64 / mean.as_secs_f64();
+            line.push_str(&format!("  {rate:.0} elem/s"));
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a function running each
+/// listed benchmark with a shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: defines `main` invoking each
+/// group function.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            budget: Budget {
+                max_iters: 5,
+                max_time: Duration::from_secs(1),
+            },
+            samples: Vec::new(),
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        // 5 timed iterations plus 1 warmup.
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("p_diff", 10).label, "p_diff/10");
+        assert_eq!(BenchmarkId::from_parameter(35).label, "35");
+    }
+
+    #[test]
+    fn group_runs_to_completion() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::from_parameter(1), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -21,9 +21,25 @@
 //! crosses (a register, capacity 1, contributes nothing).
 
 use disparity_model::chain::Chain;
+use disparity_model::error::ModelError;
 use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::TaskId;
 use disparity_model::time::Duration;
 use disparity_sched::wcrt::ResponseTimes;
+
+use crate::error::AnalysisError;
+
+/// Looks up the channel of an edge, reporting a structured error instead
+/// of panicking when the pair is not connected.
+fn edge_channel(
+    graph: &CauseEffectGraph,
+    from: TaskId,
+    to: TaskId,
+) -> Result<&disparity_model::channel::Channel, AnalysisError> {
+    graph
+        .channel_between(from, to)
+        .ok_or(AnalysisError::Model(ModelError::NotAChain { from, to }))
+}
 
 /// Upper and lower bounds on the backward time of one chain.
 ///
@@ -94,17 +110,26 @@ impl BackwardBounds {
 ///
 /// Panics if `(from, to)` is not an edge of `graph`.
 #[must_use]
-pub fn hop_bound(
+pub fn hop_bound(graph: &CauseEffectGraph, from: TaskId, to: TaskId, rt: &ResponseTimes) -> Duration {
+    try_hop_bound(graph, from, to, rt).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`hop_bound`].
+///
+/// # Errors
+///
+/// [`AnalysisError::Model`] wrapping
+/// [`NotAChain`](disparity_model::error::ModelError::NotAChain) when
+/// `(from, to)` is not an edge of `graph`.
+pub fn try_hop_bound(
     graph: &CauseEffectGraph,
-    from: disparity_model::ids::TaskId,
-    to: disparity_model::ids::TaskId,
+    from: TaskId,
+    to: TaskId,
     rt: &ResponseTimes,
-) -> Duration {
-    let producer = graph.task(from);
-    let consumer = graph.task(to);
-    let channel = graph
-        .channel_between(from, to)
-        .unwrap_or_else(|| panic!("{from} -> {to} is not an edge"));
+) -> Result<Duration, AnalysisError> {
+    let producer = graph.get_task(from).ok_or(ModelError::UnknownTask(from))?;
+    let consumer = graph.get_task(to).ok_or(ModelError::UnknownTask(to))?;
+    let channel = edge_channel(graph, from, to)?;
     let base = if !graph.same_ecu(from, to) {
         producer.period() + rt.wcrt(from)
     } else if graph.in_hp(from, to) {
@@ -112,7 +137,7 @@ pub fn hop_bound(
     } else {
         producer.period() + rt.wcrt(from) - (producer.wcet() + consumer.bcet())
     };
-    base + buffer_shift(channel.capacity(), producer.period())
+    Ok(base + buffer_shift(channel.capacity(), producer.period()))
 }
 
 /// Upper bound on the worst-case backward time of `chain` (Lemma 4 + the
@@ -124,7 +149,25 @@ pub fn hop_bound(
 /// different graph.
 #[must_use]
 pub fn wcbt(graph: &CauseEffectGraph, chain: &Chain, rt: &ResponseTimes) -> Duration {
-    chain.edges().map(|(a, b)| hop_bound(graph, a, b, rt)).sum()
+    try_wcbt(graph, chain, rt).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`wcbt`].
+///
+/// # Errors
+///
+/// [`AnalysisError::Model`] when an edge of `chain` is not an edge of
+/// `graph` (the chain belongs to a different graph).
+pub fn try_wcbt(
+    graph: &CauseEffectGraph,
+    chain: &Chain,
+    rt: &ResponseTimes,
+) -> Result<Duration, AnalysisError> {
+    let mut sum = Duration::ZERO;
+    for (a, b) in chain.edges() {
+        sum += try_hop_bound(graph, a, b, rt)?;
+    }
+    Ok(sum)
 }
 
 /// Lower bound on the best-case backward time of `chain` (Lemma 5 + the
@@ -139,17 +182,30 @@ pub fn wcbt(graph: &CauseEffectGraph, chain: &Chain, rt: &ResponseTimes) -> Dura
 /// different graph.
 #[must_use]
 pub fn bcbt(graph: &CauseEffectGraph, chain: &Chain, rt: &ResponseTimes) -> Duration {
-    let exec_sum: Duration = chain.tasks().iter().map(|&t| graph.task(t).bcet()).sum();
-    let shift: Duration = chain
-        .edges()
-        .map(|(a, b)| {
-            let ch = graph
-                .channel_between(a, b)
-                .unwrap_or_else(|| panic!("{a} -> {b} is not an edge"));
-            buffer_shift(ch.capacity(), graph.task(a).period())
-        })
-        .sum();
-    exec_sum - rt.wcrt(chain.tail()) + shift
+    try_bcbt(graph, chain, rt).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`bcbt`].
+///
+/// # Errors
+///
+/// [`AnalysisError::Model`] when a task or edge of `chain` is foreign to
+/// `graph`.
+pub fn try_bcbt(
+    graph: &CauseEffectGraph,
+    chain: &Chain,
+    rt: &ResponseTimes,
+) -> Result<Duration, AnalysisError> {
+    let mut exec_sum = Duration::ZERO;
+    for &t in chain.tasks() {
+        exec_sum += graph.get_task(t).ok_or(ModelError::UnknownTask(t))?.bcet();
+    }
+    let mut shift = Duration::ZERO;
+    for (a, b) in chain.edges() {
+        let ch = edge_channel(graph, a, b)?;
+        shift += buffer_shift(ch.capacity(), graph.task(a).period());
+    }
+    Ok(exec_sum - rt.wcrt(chain.tail()) + shift)
 }
 
 /// Both backward-time bounds of a chain.
@@ -164,10 +220,23 @@ pub fn backward_bounds(
     chain: &Chain,
     rt: &ResponseTimes,
 ) -> BackwardBounds {
-    BackwardBounds {
-        wcbt: wcbt(graph, chain, rt),
-        bcbt: bcbt(graph, chain, rt),
-    }
+    try_backward_bounds(graph, chain, rt).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`backward_bounds`].
+///
+/// # Errors
+///
+/// [`AnalysisError::Model`] when `chain` is not a path of `graph`.
+pub fn try_backward_bounds(
+    graph: &CauseEffectGraph,
+    chain: &Chain,
+    rt: &ResponseTimes,
+) -> Result<BackwardBounds, AnalysisError> {
+    Ok(BackwardBounds {
+        wcbt: try_wcbt(graph, chain, rt)?,
+        bcbt: try_bcbt(graph, chain, rt)?,
+    })
 }
 
 /// The Lemma 6 shift contributed by a channel of the given capacity whose
@@ -289,6 +358,46 @@ mod tests {
         assert_eq!(s.wcbt, ms(15));
         assert_eq!(s.bcbt, ms(9));
         assert_eq!(s.width(), b.width());
+    }
+
+    #[test]
+    fn try_variants_report_foreign_chains() {
+        use disparity_model::error::ModelError;
+
+        let (g, rt, _) = line(0, 1);
+        // A chain from a structurally different graph: s -> t edge that g
+        // does not have.
+        let mut b2 = SystemBuilder::new();
+        let e = b2.add_ecu("e");
+        let s = b2.add_task(TaskSpec::periodic("s", ms(10)));
+        let a = b2.add_task(
+            TaskSpec::periodic("a", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        let t = b2.add_task(
+            TaskSpec::periodic("t", ms(20))
+                .execution(ms(3), ms(4))
+                .on_ecu(e),
+        );
+        b2.connect(s, t); // g has s->a->t, not s->t
+        b2.connect(a, t);
+        let g2 = b2.build().unwrap();
+        let foreign = Chain::new(&g2, vec![s, t]).unwrap();
+        for result in [
+            try_wcbt(&g, &foreign, &rt),
+            try_bcbt(&g, &foreign, &rt),
+            try_backward_bounds(&g, &foreign, &rt).map(|b| b.wcbt),
+        ] {
+            assert!(matches!(
+                result,
+                Err(AnalysisError::Model(ModelError::NotAChain { .. }))
+            ));
+        }
+        // The happy path agrees with the panicking API.
+        let native = Chain::new(&g, g.topological_order().to_vec()).unwrap();
+        assert_eq!(try_wcbt(&g, &native, &rt).unwrap(), wcbt(&g, &native, &rt));
+        assert_eq!(try_bcbt(&g, &native, &rt).unwrap(), bcbt(&g, &native, &rt));
     }
 
     #[test]

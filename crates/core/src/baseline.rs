@@ -18,7 +18,10 @@ use disparity_model::graph::CauseEffectGraph;
 use disparity_model::time::Duration;
 use disparity_sched::wcrt::ResponseTimes;
 
-use crate::backward::{bcbt, buffer_shift, BackwardBounds};
+use disparity_model::error::ModelError;
+
+use crate::backward::{bcbt, buffer_shift, try_bcbt, BackwardBounds};
+use crate::error::AnalysisError;
 
 /// Scheduler-agnostic upper bound on the worst-case backward time:
 /// `Σ (T(π^i) + R(π^i))` over the chain's producers, plus the Lemma 6
@@ -31,16 +34,29 @@ use crate::backward::{bcbt, buffer_shift, BackwardBounds};
 /// Panics if `chain` is not a path of `graph`.
 #[must_use]
 pub fn baseline_wcbt(graph: &CauseEffectGraph, chain: &Chain, rt: &ResponseTimes) -> Duration {
-    chain
-        .edges()
-        .map(|(a, b)| {
-            let producer = graph.task(a);
-            let ch = graph
-                .channel_between(a, b)
-                .unwrap_or_else(|| panic!("{a} -> {b} is not an edge"));
-            producer.period() + rt.wcrt(a) + buffer_shift(ch.capacity(), producer.period())
-        })
-        .sum()
+    try_baseline_wcbt(graph, chain, rt).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`baseline_wcbt`].
+///
+/// # Errors
+///
+/// [`AnalysisError::Model`] when an edge of `chain` is not an edge of
+/// `graph`.
+pub fn try_baseline_wcbt(
+    graph: &CauseEffectGraph,
+    chain: &Chain,
+    rt: &ResponseTimes,
+) -> Result<Duration, AnalysisError> {
+    let mut sum = Duration::ZERO;
+    for (a, b) in chain.edges() {
+        let producer = graph.get_task(a).ok_or(ModelError::UnknownTask(a))?;
+        let ch = graph
+            .channel_between(a, b)
+            .ok_or(AnalysisError::Model(ModelError::NotAChain { from: a, to: b }))?;
+        sum = sum + producer.period() + rt.wcrt(a) + buffer_shift(ch.capacity(), producer.period());
+    }
+    Ok(sum)
 }
 
 /// Baseline bounds pair: scheduler-agnostic WCBT, Lemma 5 BCBT.
@@ -58,6 +74,22 @@ pub fn baseline_bounds(
         wcbt: baseline_wcbt(graph, chain, rt),
         bcbt: bcbt(graph, chain, rt),
     }
+}
+
+/// Fallible form of [`baseline_bounds`].
+///
+/// # Errors
+///
+/// [`AnalysisError::Model`] when `chain` is not a path of `graph`.
+pub fn try_baseline_bounds(
+    graph: &CauseEffectGraph,
+    chain: &Chain,
+    rt: &ResponseTimes,
+) -> Result<BackwardBounds, AnalysisError> {
+    Ok(BackwardBounds {
+        wcbt: try_baseline_wcbt(graph, chain, rt)?,
+        bcbt: try_bcbt(graph, chain, rt)?,
+    })
 }
 
 #[cfg(test)]

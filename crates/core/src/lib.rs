@@ -52,12 +52,17 @@ pub mod error;
 pub mod latency;
 pub mod letmodel;
 pub mod pairwise;
+pub mod sentinel;
 pub mod window;
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
-    pub use crate::backward::{backward_bounds, bcbt, wcbt, BackwardBounds};
-    pub use crate::baseline::{baseline_bounds, baseline_wcbt};
+    pub use crate::backward::{
+        backward_bounds, bcbt, try_backward_bounds, try_bcbt, try_wcbt, wcbt, BackwardBounds,
+    };
+    pub use crate::baseline::{
+        baseline_bounds, baseline_wcbt, try_baseline_bounds, try_baseline_wcbt,
+    };
     pub use crate::buffering::{
         design_buffer, optimize_task, BufferPlan, BufferedSide, OptimizationOutcome,
     };
@@ -70,6 +75,9 @@ pub mod prelude {
     pub use crate::letmodel::{let_backward_bounds, let_pairwise_bound, let_worst_case_disparity};
     pub use crate::pairwise::{
         decompose, pairwise_bound, theorem1_bound, theorem2_bound, ForkJoinDecomposition, Method,
+    };
+    pub use crate::sentinel::{
+        check_run, ChainEvidence, CheckKind, RunEvidence, SentinelReport, TaskEvidence, Violation,
     };
     pub use crate::window::SamplingWindow;
 }

@@ -78,7 +78,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn run(args: &Args) -> Result<bool, Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(&args.spec)?;
-    let spec: SystemSpec = serde_json::from_str(&text)?;
+    let spec = SystemSpec::from_json_str(&text)?;
     let graph = spec.build()?;
     println!(
         "loaded {}: {} tasks, {} channels, {} resources",

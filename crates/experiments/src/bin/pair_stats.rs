@@ -9,8 +9,7 @@ use disparity_core::pairwise::{decompose, theorem1_bound, theorem2_bound};
 use disparity_model::time::Duration;
 use disparity_sched::schedulability::analyze;
 use disparity_workload::graphgen::{schedulable_random_system, GraphGenConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use disparity_rng::rngs::StdRng;
 
 fn main() {
     let mut args = std::env::args().skip(1);

@@ -99,8 +99,7 @@ fn fig4(t3_period: Duration) -> (CauseEffectGraph, [TaskId; 5]) {
 /// (the paper's "Sim" protocol, scaled down).
 fn simulated_disparity(graph: &CauseEffectGraph, task: TaskId) -> f64 {
     use disparity_workload::offsets::randomize_offsets;
-    use rand::SeedableRng as _;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = disparity_rng::rngs::StdRng::seed_from_u64(7);
     let mut best = 0.0f64;
     for seed in 0..5u64 {
         let instance = randomize_offsets(graph, &mut rng);

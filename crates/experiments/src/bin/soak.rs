@@ -1,0 +1,106 @@
+//! Fault-injection soundness soak runner.
+//!
+//! Sweeps seeds × fault plans × WATERS workloads and replays every run
+//! through the soundness sentinel. Exits non-zero on the first hard
+//! violation, printing the violation's JSON artifact (seed, fault plan,
+//! graph spec — everything needed to reproduce) to stdout.
+//!
+//! ```text
+//! cargo run -p disparity-experiments --release --bin soak            # full sweep
+//! cargo run -p disparity-experiments --release --bin soak -- --quick # CI smoke
+//! ```
+//!
+//! Options:
+//!
+//! * `--quick` — small sweep for CI smoke tests.
+//! * `--systems N` — number of random WATERS DAGs.
+//! * `--seeds N` — seeds per (system, plan) combination.
+//! * `--horizon-ms N` — simulated horizon per run.
+//! * `--base-seed N` — derivation seed for the whole sweep.
+
+use std::process::ExitCode;
+
+use disparity_experiments::soak::{fault_catalog, run_soak, SoakConfig};
+use disparity_model::time::Duration;
+
+const USAGE: &str =
+    "usage: soak [--quick] [--systems N] [--seeds N] [--horizon-ms N] [--base-seed N]";
+
+/// `Ok(None)` means help was requested (print usage, exit zero).
+fn parse_args() -> Result<Option<SoakConfig>, String> {
+    let mut config = SoakConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> Result<u64, String> {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("bad value for {name}: {e}"))
+        };
+        match arg.as_str() {
+            "--quick" => {
+                config = SoakConfig {
+                    base_seed: config.base_seed,
+                    ..SoakConfig::quick()
+                };
+            }
+            "--systems" => config.random_systems = take("--systems")? as usize,
+            "--seeds" => config.seeds_per_combo = take("--seeds")? as usize,
+            "--horizon-ms" => {
+                config.horizon = Duration::from_millis(take("--horizon-ms")? as i64);
+            }
+            "--base-seed" => config.base_seed = take("--base-seed")?,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown option {other} (try --help)")),
+        }
+    }
+    Ok(Some(config))
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(Some(c)) => c,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "soak: {} fault plans x {} combos planned (horizon {}, base seed {:#x})",
+        fault_catalog().len(),
+        config.combos(),
+        config.horizon,
+        config.base_seed,
+    );
+    let summary = run_soak(&config, &mut |line| eprintln!("soak: {line}"));
+    eprintln!(
+        "soak: {} runs, {} checks, {} flagged, {} degraded, {} skipped, {} warnings",
+        summary.runs,
+        summary.checks,
+        summary.flagged,
+        summary.degraded,
+        summary.skipped,
+        summary.degraded_warnings,
+    );
+    if summary.checks == 0 {
+        // Every run was skipped (e.g. a horizon at or below the warm-up):
+        // nothing was verified, so a green exit would be vacuous.
+        eprintln!("soak: no checks executed — sweep is vacuous, failing");
+        ExitCode::FAILURE
+    } else if summary.is_sound() {
+        eprintln!("soak: no soundness violations");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "soak: {} soundness violation(s); first artifact follows",
+            summary.violations.len()
+        );
+        println!("{}", summary.violations[0].to_pretty());
+        ExitCode::FAILURE
+    }
+}

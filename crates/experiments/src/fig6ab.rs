@@ -20,8 +20,7 @@ use disparity_sim::exec::ExecutionTimeModel;
 use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
 use disparity_workload::graphgen::{schedulable_random_system, GraphGenConfig};
 use disparity_workload::offsets::randomize_offsets;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use disparity_rng::rngs::StdRng;
 
 use crate::stats::{incremental_ratio, mean};
 use crate::table::{fmt_ms, fmt_pct, Table};
@@ -286,6 +285,7 @@ fn simulate_max_disparity(
                 warmup: Duration::ZERO,
                 record_trace: false,
                 semantics: disparity_sim::engine::CommunicationSemantics::Implicit,
+                fault: disparity_sim::fault::FaultPlan::none(),
             },
         );
         let outcome = sim.run().expect("valid configuration");
@@ -297,7 +297,7 @@ fn simulate_max_disparity(
 }
 
 fn rng_seed(rng: &mut StdRng, salt: usize) -> u64 {
-    use rand::Rng as _;
+    use disparity_rng::Rng as _;
     rng.gen::<u64>() ^ (salt as u64)
 }
 

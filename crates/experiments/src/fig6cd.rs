@@ -25,8 +25,8 @@ use disparity_sim::engine::{SimConfig, Simulator};
 use disparity_sim::exec::ExecutionTimeModel;
 use disparity_workload::chains::schedulable_two_chain_system;
 use disparity_workload::offsets::randomize_offsets;
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
+use disparity_rng::rngs::StdRng;
+use disparity_rng::Rng as _;
 
 use crate::stats::{incremental_ratio, mean};
 use crate::table::{fmt_ms, fmt_pct, Table};
@@ -193,6 +193,7 @@ fn simulate_max(
                 warmup,
                 record_trace: false,
                 semantics: disparity_sim::engine::CommunicationSemantics::Implicit,
+                fault: disparity_sim::fault::FaultPlan::none(),
             },
         );
         let outcome = sim.run().expect("valid configuration");

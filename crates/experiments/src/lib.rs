@@ -3,6 +3,8 @@
 //!
 //! * [`fig6ab`] — Fig. 6(a)/(b): P-diff / S-diff / Sim on random DAGs.
 //! * [`fig6cd`] — Fig. 6(c)/(d): buffer optimization on merged chains.
+//! * [`soak`] — fault-injection soundness soak over seeds × plans ×
+//!   workloads (the `soak` binary).
 //! * [`table`] / [`stats`] — CSV/markdown emission and aggregation.
 //!
 //! The `fig6` binary drives these sweeps
@@ -14,5 +16,6 @@
 
 pub mod fig6ab;
 pub mod fig6cd;
+pub mod soak;
 pub mod stats;
 pub mod table;

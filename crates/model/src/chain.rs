@@ -8,7 +8,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::ModelError;
 use crate::graph::CauseEffectGraph;
@@ -37,7 +36,7 @@ use crate::ids::TaskId;
 /// assert_eq!(chain.len(), 2);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Chain {
     tasks: Vec<TaskId>,
 }

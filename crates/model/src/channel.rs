@@ -12,7 +12,6 @@
 //! Capacity 1 reproduces exactly the register semantics, so a single type
 //! covers both.
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::{ChannelId, TaskId};
 
@@ -34,7 +33,7 @@ use crate::ids::{ChannelId, TaskId};
 /// assert_eq!(g.channel(ch).src(), src);
 /// # Ok::<(), disparity_model::error::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Channel {
     pub(crate) id: ChannelId,
     pub(crate) src: TaskId,

@@ -8,12 +8,11 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::EcuId;
 
 /// The flavour of an execution resource.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum EcuKind {
     /// A processing core running application tasks.
     #[default]
@@ -50,7 +49,7 @@ impl fmt::Display for EcuKind {
 /// assert_eq!(g.ecu(bus).name(), "can0");
 /// # Ok::<(), disparity_model::error::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ecu {
     pub(crate) id: EcuId,
     pub(crate) name: String,

@@ -29,7 +29,6 @@
 //! # Ok::<(), disparity_model::error::ModelError>(())
 //! ```
 
-use serde::{Deserialize, Serialize};
 
 use crate::chain::Chain;
 use crate::channel::Channel;
@@ -47,7 +46,7 @@ use crate::time::{hyperperiod, Duration};
 /// * priorities are unique among tasks sharing an ECU;
 /// * `B(τ) ≤ W(τ)` and `T(τ) > 0` for every task;
 /// * every channel capacity is at least 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CauseEffectGraph {
     pub(crate) tasks: Vec<Task>,
     pub(crate) channels: Vec<Channel>,

@@ -6,15 +6,13 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
 
 macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
-        #[serde(transparent)]
         pub struct $name(usize);
 
         impl $name {
@@ -104,8 +102,7 @@ define_id!(
 /// let relaxed = Priority::new(9);
 /// assert!(urgent.is_higher_than(relaxed));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Priority(u32);
 
 impl Priority {

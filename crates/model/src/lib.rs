@@ -47,6 +47,7 @@ pub mod ecu;
 pub mod error;
 pub mod graph;
 pub mod ids;
+pub mod json;
 pub mod lints;
 pub mod metrics;
 pub mod spec;

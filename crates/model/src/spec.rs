@@ -2,8 +2,9 @@
 //!
 //! [`SystemSpec`] is a plain-data mirror of a cause-effect graph meant for
 //! files and tools: names instead of ids, one struct per concept, no
-//! derived state. It round-trips through serde (JSON in the tests) and
-//! converts to a validated [`CauseEffectGraph`] via [`SystemSpec::build`].
+//! derived state. It round-trips through JSON ([`SystemSpec::to_json`] /
+//! [`SystemSpec::from_json_str`], built on [`crate::json`]) and converts to
+//! a validated [`CauseEffectGraph`] via [`SystemSpec::build`].
 //!
 //! # Examples
 //!
@@ -32,23 +33,22 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::builder::SystemBuilder;
 use crate::ecu::EcuKind;
 use crate::error::ModelError;
 use crate::graph::CauseEffectGraph;
 use crate::ids::Priority;
+use crate::json::{self, JsonError, Value};
 use crate::task::TaskSpec;
 use crate::time::Duration;
 
 /// One execution resource in a spec.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EcuSpec {
     /// Unique resource name.
     pub name: String,
     /// Processor or bus.
-    #[serde(default)]
     pub kind: EcuKind,
 }
 
@@ -73,26 +73,21 @@ impl EcuSpec {
 }
 
 /// One task in a spec. Durations serialize as integer nanoseconds.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskEntry {
     /// Unique task name.
     pub name: String,
     /// Activation period.
     pub period: Duration,
     /// Worst-case execution time (default 0: a stimulus).
-    #[serde(default)]
     pub wcet: Duration,
     /// Best-case execution time (default 0).
-    #[serde(default)]
     pub bcet: Duration,
     /// First-release offset (default 0).
-    #[serde(default)]
     pub offset: Duration,
     /// Name of the resource the task runs on; optional for stimuli.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub ecu: Option<String>,
     /// Explicit priority level; rate-monotonic when absent.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub priority: Option<u32>,
 }
 
@@ -133,14 +128,13 @@ impl TaskEntry {
 }
 
 /// One channel in a spec.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChannelSpec {
     /// Producing task name.
     pub from: String,
     /// Consuming task name.
     pub to: String,
     /// FIFO capacity; 1 (the default) is the base model's register.
-    #[serde(default = "default_capacity")]
     pub capacity: usize,
 }
 
@@ -171,19 +165,17 @@ impl ChannelSpec {
 }
 
 /// A complete, serializable system description.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SystemSpec {
     /// Execution resources.
-    #[serde(default)]
     pub ecus: Vec<EcuSpec>,
     /// Tasks.
     pub tasks: Vec<TaskEntry>,
     /// Channels.
-    #[serde(default)]
     pub channels: Vec<ChannelSpec>,
 }
 
-/// Errors turning a [`SystemSpec`] into a graph.
+/// Errors turning a [`SystemSpec`] into a graph or decoding one from JSON.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum SpecError {
@@ -193,6 +185,11 @@ pub enum SpecError {
     UnknownName(String),
     /// The underlying graph validation failed.
     Model(ModelError),
+    /// The JSON text was malformed.
+    Json(JsonError),
+    /// The JSON was well-formed but did not describe a spec (a field had
+    /// the wrong type, or a required field was missing).
+    Schema(String),
 }
 
 impl fmt::Display for SpecError {
@@ -201,6 +198,8 @@ impl fmt::Display for SpecError {
             SpecError::DuplicateName(n) => write!(f, "duplicate name: {n}"),
             SpecError::UnknownName(n) => write!(f, "unknown name: {n}"),
             SpecError::Model(e) => write!(f, "model error: {e}"),
+            SpecError::Json(e) => write!(f, "{e}"),
+            SpecError::Schema(msg) => write!(f, "spec schema error: {msg}"),
         }
     }
 }
@@ -209,6 +208,7 @@ impl std::error::Error for SpecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SpecError::Model(e) => Some(e),
+            SpecError::Json(e) => Some(e),
             _ => None,
         }
     }
@@ -217,6 +217,12 @@ impl std::error::Error for SpecError {
 impl From<ModelError> for SpecError {
     fn from(e: ModelError) -> Self {
         SpecError::Model(e)
+    }
+}
+
+impl From<JsonError> for SpecError {
+    fn from(e: JsonError) -> Self {
+        SpecError::Json(e)
     }
 }
 
@@ -271,6 +277,202 @@ impl SystemSpec {
             builder.connect_with_capacity(from, to, channel.capacity);
         }
         Ok(builder.build()?)
+    }
+
+    /// Encodes the spec as a JSON value.
+    ///
+    /// Durations serialize as integer nanoseconds; `ecu` and `priority`
+    /// are omitted when absent, matching the format [`Self::from_json`]
+    /// accepts.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let ecus = self
+            .ecus
+            .iter()
+            .map(|e| {
+                json::object(vec![
+                    ("name", Value::from(e.name.clone())),
+                    (
+                        "kind",
+                        Value::from(match e.kind {
+                            EcuKind::Processor => "Processor",
+                            EcuKind::Bus => "Bus",
+                        }),
+                    ),
+                ])
+            })
+            .collect();
+        let tasks = self
+            .tasks
+            .iter()
+            .map(|t| {
+                let mut members = vec![
+                    ("name", Value::from(t.name.clone())),
+                    ("period", Value::Int(t.period.as_nanos())),
+                    ("wcet", Value::Int(t.wcet.as_nanos())),
+                    ("bcet", Value::Int(t.bcet.as_nanos())),
+                    ("offset", Value::Int(t.offset.as_nanos())),
+                ];
+                if let Some(ecu) = &t.ecu {
+                    members.push(("ecu", Value::from(ecu.clone())));
+                }
+                if let Some(priority) = t.priority {
+                    members.push(("priority", Value::from(priority)));
+                }
+                json::object(members)
+            })
+            .collect();
+        let channels = self
+            .channels
+            .iter()
+            .map(|c| {
+                json::object(vec![
+                    ("from", Value::from(c.from.clone())),
+                    ("to", Value::from(c.to.clone())),
+                    ("capacity", Value::from(c.capacity)),
+                ])
+            })
+            .collect();
+        json::object(vec![
+            ("ecus", Value::Array(ecus)),
+            ("tasks", Value::Array(tasks)),
+            ("channels", Value::Array(channels)),
+        ])
+    }
+
+    /// Pretty-printed JSON text of [`Self::to_json`].
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Decodes a spec from a JSON value.
+    ///
+    /// Missing `wcet`/`bcet`/`offset` default to zero, a missing channel
+    /// `capacity` defaults to 1, and `ecu`/`priority` are optional —
+    /// mirroring what [`Self::to_json`] omits.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Schema`] when a field is missing or has the wrong
+    /// type. The resulting spec is *not* validated against the graph
+    /// rules; call [`Self::build`] for that.
+    pub fn from_json(value: &Value) -> Result<Self, SpecError> {
+        fn schema(msg: impl Into<String>) -> SpecError {
+            SpecError::Schema(msg.into())
+        }
+        fn str_field(v: &Value, ctx: &str, key: &str) -> Result<String, SpecError> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| schema(format!("{ctx}: missing or non-string \"{key}\"")))
+        }
+        fn nanos_field(v: &Value, ctx: &str, key: &str) -> Result<Duration, SpecError> {
+            match v.get(key) {
+                None => Ok(Duration::ZERO),
+                Some(n) => n
+                    .as_i64()
+                    .map(Duration::from_nanos)
+                    .ok_or_else(|| schema(format!("{ctx}: \"{key}\" must be integer nanoseconds"))),
+            }
+        }
+        fn entries<'v>(value: &'v Value, key: &str) -> Result<&'v [Value], SpecError> {
+            match value.get(key) {
+                None => Ok(&[]),
+                Some(v) => v
+                    .as_array()
+                    .ok_or_else(|| schema(format!("\"{key}\" must be an array"))),
+            }
+        }
+
+        if value.as_object().is_none() {
+            return Err(schema("top-level value must be an object"));
+        }
+        let mut ecus = Vec::new();
+        for (i, e) in entries(value, "ecus")?.iter().enumerate() {
+            let ctx = format!("ecus[{i}]");
+            let kind = match e.get("kind").and_then(Value::as_str) {
+                None | Some("Processor") => EcuKind::Processor,
+                Some("Bus") => EcuKind::Bus,
+                Some(other) => {
+                    return Err(schema(format!(
+                        "{ctx}: unknown kind {other:?} (expected \"Processor\" or \"Bus\")"
+                    )))
+                }
+            };
+            ecus.push(EcuSpec {
+                name: str_field(e, &ctx, "name")?,
+                kind,
+            });
+        }
+        let mut tasks = Vec::new();
+        for (i, t) in entries(value, "tasks")?.iter().enumerate() {
+            let ctx = format!("tasks[{i}]");
+            let period = t
+                .get("period")
+                .and_then(Value::as_i64)
+                .map(Duration::from_nanos)
+                .ok_or_else(|| schema(format!("{ctx}: missing or non-integer \"period\"")))?;
+            let ecu = match t.get("ecu") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(v.as_str().map(str::to_string).ok_or_else(|| {
+                    schema(format!("{ctx}: \"ecu\" must be a string"))
+                })?),
+            };
+            let priority = match t.get("priority") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(
+                    v.as_i64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| {
+                            schema(format!("{ctx}: \"priority\" must be a non-negative integer"))
+                        })?,
+                ),
+            };
+            tasks.push(TaskEntry {
+                name: str_field(t, &ctx, "name")?,
+                period,
+                wcet: nanos_field(t, &ctx, "wcet")?,
+                bcet: nanos_field(t, &ctx, "bcet")?,
+                offset: nanos_field(t, &ctx, "offset")?,
+                ecu,
+                priority,
+            });
+        }
+        let mut channels = Vec::new();
+        for (i, c) in entries(value, "channels")?.iter().enumerate() {
+            let ctx = format!("channels[{i}]");
+            let capacity = match c.get("capacity") {
+                None => default_capacity(),
+                Some(v) => v
+                    .as_i64()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| {
+                        schema(format!("{ctx}: \"capacity\" must be a positive integer"))
+                    })?,
+            };
+            channels.push(ChannelSpec {
+                from: str_field(c, &ctx, "from")?,
+                to: str_field(c, &ctx, "to")?,
+                capacity,
+            });
+        }
+        Ok(SystemSpec {
+            ecus,
+            tasks,
+            channels,
+        })
+    }
+
+    /// Parses and decodes a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Json`] for malformed JSON, [`SpecError::Schema`] for
+    /// well-formed JSON that is not a spec.
+    pub fn from_json_str(text: &str) -> Result<Self, SpecError> {
+        Self::from_json(&Value::parse(text)?)
     }
 
     /// Extracts a spec from an existing graph (names are preserved).

@@ -5,7 +5,6 @@
 //! execution time and period — plus the run-time attributes the model needs:
 //! a release offset, a static ECU mapping and a fixed priority on that ECU.
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::{EcuId, Priority, TaskId};
 use crate::time::Duration;
@@ -31,7 +30,7 @@ use crate::time::Duration;
 ///     .on_ecu(EcuId::from_index(0));
 /// assert_eq!(spec.period, Duration::from_millis(33));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskSpec {
     /// Human-readable name, used in reports and DOT output.
     pub name: String,
@@ -116,7 +115,7 @@ impl TaskSpec {
 /// Obtained from [`CauseEffectGraph::task`](crate::graph::CauseEffectGraph::task);
 /// fields are read through accessors so representation can evolve
 /// (C-STRUCT-PRIVATE).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Task {
     pub(crate) id: TaskId,
     pub(crate) name: String,

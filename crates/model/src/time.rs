@@ -23,7 +23,6 @@ use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
 
 /// A signed span of time with nanosecond resolution.
 ///
@@ -41,9 +40,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(d.as_micros(), -500);
 /// ```
 #[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
-#[serde(transparent)]
 pub struct Duration(i64);
 
 impl Duration {
@@ -338,9 +336,8 @@ impl fmt::Display for Duration {
 /// assert_eq!(t1.elapsed_since(t0), Duration::from_millis(5));
 /// ```
 #[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
-#[serde(transparent)]
 pub struct Instant(i64);
 
 impl Instant {

@@ -21,8 +21,8 @@ fn json_round_trip_preserves_the_graph() {
             ChannelSpec::fifo("detect", "msg", 3),
         ],
     };
-    let json = serde_json::to_string_pretty(&spec).expect("serializes");
-    let parsed: SystemSpec = serde_json::from_str(&json).expect("parses");
+    let json = spec.to_json_pretty();
+    let parsed = SystemSpec::from_json_str(&json).expect("parses");
     assert_eq!(spec, parsed);
     assert_eq!(spec.build().unwrap(), parsed.build().unwrap());
 }
@@ -39,7 +39,7 @@ fn hand_written_json_with_defaults_parses() {
         ],
         "channels": [{"from": "sensor", "to": "proc"}]
     }"#;
-    let spec: SystemSpec = serde_json::from_str(json).expect("parses");
+    let spec = SystemSpec::from_json_str(json).expect("parses");
     let graph = spec.build().expect("builds");
     assert_eq!(graph.task_count(), 2);
     let sensor = graph.find_task("sensor").unwrap();
@@ -49,9 +49,9 @@ fn hand_written_json_with_defaults_parses() {
 }
 
 #[test]
-fn graph_serde_matches_spec_route() {
-    // The graph itself is also serde-serializable (derived); a full cycle
-    // through JSON must reproduce an equal graph.
+fn graph_json_cycle_via_spec_reproduces_the_graph() {
+    // A graph can be exported to a spec, serialized to JSON, and rebuilt;
+    // the full cycle must reproduce an equal graph.
     let spec = SystemSpec {
         ecus: vec![EcuSpec::processor("e")],
         tasks: vec![
@@ -61,7 +61,27 @@ fn graph_serde_matches_spec_route() {
         channels: vec![ChannelSpec::register("s", "t")],
     };
     let graph = spec.build().unwrap();
-    let json = serde_json::to_string(&graph).expect("serializes");
-    let parsed: CauseEffectGraph = serde_json::from_str(&json).expect("parses");
-    assert_eq!(graph, parsed);
+    let json = SystemSpec::from_graph(&graph).to_json().to_string();
+    let parsed = SystemSpec::from_json_str(&json).expect("parses");
+    assert_eq!(graph, parsed.build().unwrap());
+}
+
+#[test]
+fn malformed_json_is_a_json_error() {
+    let err = SystemSpec::from_json_str("{not json").unwrap_err();
+    assert!(matches!(err, SpecError::Json(_)), "{err}");
+}
+
+#[test]
+fn wrong_shape_is_a_schema_error() {
+    for bad in [
+        r#"[1, 2, 3]"#,
+        r#"{"tasks": [{"name": "t"}]}"#,
+        r#"{"tasks": [{"name": "t", "period": "fast"}]}"#,
+        r#"{"ecus": [{"name": "e", "kind": "Quantum"}]}"#,
+        r#"{"channels": [{"from": "a", "to": "b", "capacity": 0}]}"#,
+    ] {
+        let err = SystemSpec::from_json_str(bad).unwrap_err();
+        assert!(matches!(err, SpecError::Schema(_)), "{bad}: {err}");
+    }
 }

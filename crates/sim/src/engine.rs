@@ -27,11 +27,11 @@ use disparity_model::chain::Chain;
 use disparity_model::graph::CauseEffectGraph;
 use disparity_model::ids::{ChannelId, Priority, TaskId};
 use disparity_model::time::{Duration, Instant};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use disparity_rng::rngs::StdRng;
 
 use crate::error::SimError;
 use crate::exec::ExecutionTimeModel;
+use crate::fault::{FaultPlan, FaultSummary};
 use crate::metrics::ObservedMetrics;
 use crate::token::{
     merge_sources, source_spread, JobRef, SharedToken, SourceMap, SourceStamp, Token,
@@ -70,6 +70,8 @@ pub struct SimConfig {
     pub record_trace: bool,
     /// Communication model (implicit by default).
     pub semantics: CommunicationSemantics,
+    /// Fault-injection plan (nothing injected by default).
+    pub fault: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -81,6 +83,7 @@ impl Default for SimConfig {
             warmup: Duration::ZERO,
             record_trace: false,
             semantics: CommunicationSemantics::default(),
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -92,6 +95,8 @@ pub struct SimOutcome {
     pub metrics: ObservedMetrics,
     /// The full trace, if recording was enabled.
     pub trace: Option<Trace>,
+    /// What fault injection actually did (all zero without a plan).
+    pub faults: FaultSummary,
 }
 
 /// A configured simulator for one graph.
@@ -174,6 +179,7 @@ impl<'g> Simulator<'g> {
                 warmup_nanos: self.config.warmup.as_nanos(),
             });
         }
+        self.config.fault.validate()?;
         for chain in &self.chains {
             // Re-validate against this graph (chains are cheap to check).
             Chain::new(self.graph, chain.tasks().to_vec())?;
@@ -203,6 +209,9 @@ enum EventKind {
     /// A task releases its next job. `u32` is the topological position so
     /// that zero-cost cascades at one instant resolve upstream-first.
     Release(u32, usize),
+    /// An ECU's stall window ends. No handler work — dispatch runs after
+    /// every event batch anyway; the event only wakes the loop up.
+    Resume(usize),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -247,6 +256,12 @@ struct Engine<'g> {
     metrics: ObservedMetrics,
     trace: Option<Trace>,
     warmup_at: Instant,
+    /// Next *nominal* (jitter-free) release instant per task; jitter is
+    /// applied relative to this grid so it never accumulates.
+    nominal_next: Vec<Instant>,
+    /// Pending stall-resume event per ECU, to avoid duplicates.
+    resume_scheduled: Vec<Option<Instant>>,
+    faults: FaultSummary,
 }
 
 impl<'g> Engine<'g> {
@@ -305,7 +320,29 @@ impl<'g> Engine<'g> {
             metrics: ObservedMetrics::new(n_tasks, chains.len()),
             trace: config.record_trace.then(|| Trace::new(n_tasks)),
             warmup_at: Instant::ZERO + config.warmup,
+            nominal_next: vec![Instant::ZERO; n_tasks],
+            resume_scheduled: vec![None; graph.ecus().len().max(1)],
+            faults: FaultSummary::default(),
         }
+    }
+
+    /// Schedules the release event for the job whose nominal release is
+    /// `nominal`, applying (bounded) activation jitter. Returns the next
+    /// nominal release.
+    fn schedule_release(&mut self, task_id: TaskId, nominal: Instant) {
+        let task = self.graph.task(task_id);
+        let mut jitter = self.config.fault.draw_release_jitter(&mut self.rng);
+        if jitter.is_positive() {
+            // Keep releases strictly increasing per task: a job never
+            // releases after its successor's nominal instant.
+            jitter = jitter.min(task.period() - Duration::from_nanos(1));
+            self.faults.jittered_releases += 1;
+        }
+        self.nominal_next[task_id.index()] = nominal + task.period();
+        self.push_event(
+            nominal + jitter,
+            EventKind::Release(self.topo_pos[task_id.index()], task_id.index()),
+        );
     }
 
     fn push_event(&mut self, time: Instant, kind: EventKind) {
@@ -319,13 +356,11 @@ impl<'g> Engine<'g> {
 
     fn run(&mut self) -> SimOutcome {
         let end = Instant::ZERO + self.config.horizon;
-        for task in self.graph.tasks() {
-            let first = Instant::ZERO + task.offset();
+        for id in 0..self.graph.task_count() {
+            let task_id = TaskId::from_index(id);
+            let first = Instant::ZERO + self.graph.task(task_id).offset();
             if first < end {
-                self.push_event(
-                    first,
-                    EventKind::Release(self.topo_pos[task.id().index()], task.id().index()),
-                );
+                self.schedule_release(task_id, first);
             }
         }
         while let Some(Reverse(ev)) = self.heap.peek().copied() {
@@ -346,6 +381,9 @@ impl<'g> Engine<'g> {
                     EventKind::Release(_, task) => {
                         self.handle_release(TaskId::from_index(task), now, end);
                     }
+                    EventKind::Resume(ecu) => {
+                        self.resume_scheduled[ecu] = None;
+                    }
                 }
             }
             for ecu in 0..self.running.len() {
@@ -355,6 +393,7 @@ impl<'g> Engine<'g> {
         SimOutcome {
             metrics: std::mem::take(&mut self.metrics),
             trace: self.trace.take(),
+            faults: self.faults,
         }
     }
 
@@ -362,12 +401,9 @@ impl<'g> Engine<'g> {
         let task = self.graph.task(task_id);
         let index = self.next_index[task_id.index()];
         self.next_index[task_id.index()] += 1;
-        let next = now + task.period();
+        let next = self.nominal_next[task_id.index()];
         if next < end {
-            self.push_event(
-                next,
-                EventKind::Release(self.topo_pos[task_id.index()], task_id.index()),
-            );
+            self.schedule_release(task_id, next);
         }
         let job = JobRef {
             task: task_id,
@@ -420,8 +456,32 @@ impl<'g> Engine<'g> {
         }
     }
 
+    /// The end of the stall window covering `now`, if the ECU may not
+    /// start new jobs at this instant.
+    fn stall_ends_at(&self, now: Instant) -> Option<Instant> {
+        let stall = self.config.fault.stall?;
+        if !stall.duration.is_positive() {
+            return None;
+        }
+        let elapsed = now - Instant::ZERO;
+        let phase = Duration::from_nanos(elapsed.as_nanos().rem_euclid(stall.interval.as_nanos()));
+        (phase < stall.duration).then(|| now + (stall.duration - phase))
+    }
+
     fn dispatch(&mut self, ecu: usize, now: Instant) {
         if self.running[ecu].is_some() {
+            return;
+        }
+        if self.ready[ecu].is_empty() {
+            return;
+        }
+        if let Some(resume_at) = self.stall_ends_at(now) {
+            // Transient ECU stall: ready jobs wait until the window ends.
+            self.faults.stalled_dispatches += 1;
+            if self.resume_scheduled[ecu] != Some(resume_at) {
+                self.resume_scheduled[ecu] = Some(resume_at);
+                self.push_event(resume_at, EventKind::Resume(ecu));
+            }
             return;
         }
         let Some((&key, _)) = self.ready[ecu].iter().next() else {
@@ -431,11 +491,15 @@ impl<'g> Engine<'g> {
         let started = self.start_job(job, release, now);
         let task = self.graph.task(job.task);
         let drawn = self.config.exec_model.draw(task, job.index, &mut self.rng);
+        let (perturbed, overran) = self.config.fault.perturb_exec(task, drawn, &mut self.rng);
+        if overran {
+            self.faults.overruns_beyond_wcet += 1;
+        }
         // Costly tasks run for >= 1ns: a token write is strictly after the
         // job's reads, keeping tie-breaking unambiguous — so a dispatched
         // job always occupies the ECU past `now` and at most one job can
         // start per ECU per instant.
-        let exec = drawn.max(Duration::from_nanos(1));
+        let exec = perturbed.max(Duration::from_nanos(1));
         self.running[ecu] = Some(started);
         self.push_event(now + exec, EventKind::Finish(ecu));
     }
@@ -522,9 +586,15 @@ impl<'g> Engine<'g> {
         }
     }
 
-    /// Writes one token per outgoing channel (FIFO eviction included).
+    /// Writes one token per outgoing channel (FIFO eviction included),
+    /// except tokens lost to injected sensor dropout.
     fn write_tokens(&mut self, running: &mut RunningJob, now: Instant) {
         for &out in self.graph.out_channels(running.job.task) {
+            if self.config.fault.drop_token(&mut self.rng) {
+                self.faults.dropped_tokens += 1;
+                running.out_stamps.remove(&out);
+                continue;
+            }
             let token = Rc::new(Token {
                 produced_by: running.job,
                 producer_release: running.release,
@@ -571,6 +641,7 @@ impl<'g> Engine<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::ExecFault;
     use disparity_model::builder::SystemBuilder;
     use disparity_model::task::TaskSpec;
 
@@ -880,6 +951,211 @@ mod tests {
         assert!(trace.jobs_of(t).len() <= 5);
         // CPU response metrics stay zero under LET.
         assert_eq!(out.metrics.max_response(t), Duration::ZERO);
+    }
+
+    #[test]
+    fn run_rejects_invalid_fault_plan() {
+        let (g, _) = two_sensor_fusion();
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                fault: FaultPlan {
+                    token_loss: Some(crate::fault::TokenLoss { permille: 9999 }),
+                    ..FaultPlan::default()
+                },
+                ..Default::default()
+            },
+        );
+        assert!(matches!(sim.run(), Err(SimError::InvalidFaultPlan { .. })));
+    }
+
+    #[test]
+    fn jittered_releases_stay_on_the_nominal_grid() {
+        let (g, [s1, _, _]) = two_sensor_fusion();
+        let max = Duration::from_micros(700);
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(200),
+                record_trace: true,
+                fault: FaultPlan {
+                    release_jitter: Some(crate::fault::ReleaseJitter {
+                        max,
+                        permille: 1000,
+                    }),
+                    ..FaultPlan::default()
+                },
+                ..Default::default()
+            },
+        );
+        let out = sim.run().unwrap();
+        assert!(out.faults.jittered_releases > 0);
+        assert!(out.faults.any_model_violation());
+        let trace = out.trace.unwrap();
+        let jobs = trace.jobs_of(s1);
+        // Jitter is applied per release against the nominal grid, so the
+        // k-th release sits in (k·T, k·T + max] and never drifts.
+        assert_eq!(jobs.len(), 20, "no releases lost to jitter");
+        for (k, job) in jobs.iter().enumerate() {
+            let nominal = Instant::ZERO + ms(10) * i64::try_from(k).unwrap();
+            assert!(job.release > nominal, "job {k} released at {}", job.release);
+            assert!(job.release <= nominal + max, "job {k} drifted");
+        }
+    }
+
+    #[test]
+    fn ecu_stall_defers_dispatch() {
+        // Stall the ECU for 4ms out of every 10ms. The fuse task releases
+        // on the 30ms grid (inside each stall window), so every dispatch
+        // waits for the window to end: start - release >= 4ms.
+        let (g, [_, _, fuse]) = two_sensor_fusion();
+        let stall = crate::fault::StallPlan {
+            interval: ms(10),
+            duration: ms(4),
+        };
+        let run = |fault: FaultPlan| {
+            let sim = Simulator::new(
+                &g,
+                SimConfig {
+                    horizon: ms(300),
+                    exec_model: ExecutionTimeModel::WorstCase,
+                    record_trace: true,
+                    fault,
+                    ..Default::default()
+                },
+            );
+            sim.run().unwrap()
+        };
+        let clean = run(FaultPlan::none());
+        assert_eq!(clean.faults.stalled_dispatches, 0);
+        for job in clean.trace.as_ref().unwrap().jobs_of(fuse) {
+            assert_eq!(job.start, job.release, "uncontended ECU starts at once");
+        }
+        let stalled = run(FaultPlan {
+            stall: Some(stall),
+            ..FaultPlan::default()
+        });
+        assert!(stalled.faults.stalled_dispatches > 0);
+        assert!(stalled.faults.any_model_violation());
+        for job in stalled.trace.as_ref().unwrap().jobs_of(fuse) {
+            assert_eq!(job.start - job.release, ms(4), "held until window end");
+        }
+        assert_eq!(stalled.metrics.max_response(fuse), ms(6));
+    }
+
+    #[test]
+    fn token_loss_produces_missing_reads() {
+        let (g, [s1, _, fuse]) = two_sensor_fusion();
+        let mut sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(300),
+                exec_model: ExecutionTimeModel::WorstCase,
+                fault: FaultPlan {
+                    token_loss: Some(crate::fault::TokenLoss { permille: 1000 }),
+                    ..FaultPlan::default()
+                },
+                ..Default::default()
+            },
+        );
+        sim.monitor_chain(Chain::new(&g, vec![s1, fuse]).unwrap());
+        let out = sim.run().unwrap();
+        assert!(out.faults.dropped_tokens > 0);
+        assert!(out.faults.any_model_violation());
+        // Every token was lost, so the chain tail never observes a stamp.
+        let obs = out.metrics.chain(0);
+        assert!(obs.missing_reads > 0);
+        assert_eq!(obs.max_backward, None);
+    }
+
+    #[test]
+    fn overrun_beyond_wcet_is_flagged_and_visible() {
+        let (g, [_, _, fuse]) = two_sensor_fusion();
+        let wcet = g.task(fuse).wcet();
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(300),
+                exec_model: ExecutionTimeModel::WorstCase,
+                fault: FaultPlan {
+                    exec: ExecFault::OverrunBeyondWcet {
+                        permille: 1000,
+                        max_excess: ms(3),
+                    },
+                    ..FaultPlan::default()
+                },
+                ..Default::default()
+            },
+        );
+        let out = sim.run().unwrap();
+        assert!(out.faults.overruns_beyond_wcet > 0);
+        assert!(out.faults.any_model_violation());
+        assert!(
+            out.metrics.max_response(fuse) > wcet,
+            "overrun must show up in the observed response time"
+        );
+    }
+
+    #[test]
+    fn exec_scale_fault_stays_model_preserving() {
+        let (g, [_, _, fuse]) = two_sensor_fusion();
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(300),
+                exec_model: ExecutionTimeModel::Uniform,
+                fault: FaultPlan {
+                    exec: ExecFault::Scale { permille: 10_000 },
+                    ..FaultPlan::default()
+                },
+                ..Default::default()
+            },
+        );
+        let out = sim.run().unwrap();
+        assert!(!out.faults.any_model_violation());
+        // 10x pressure saturates at the declared WCET, never beyond.
+        assert_eq!(out.metrics.max_response(fuse), g.task(fuse).wcet());
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_per_seed() {
+        let (g, [s1, _, fuse]) = two_sensor_fusion();
+        let fault = FaultPlan {
+            release_jitter: Some(crate::fault::ReleaseJitter {
+                max: ms(1),
+                permille: 300,
+            }),
+            exec: ExecFault::OverrunBeyondWcet {
+                permille: 200,
+                max_excess: ms(2),
+            },
+            token_loss: Some(crate::fault::TokenLoss { permille: 100 }),
+            stall: Some(crate::fault::StallPlan {
+                interval: ms(50),
+                duration: ms(2),
+            }),
+        };
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(
+                &g,
+                SimConfig {
+                    horizon: ms(400),
+                    seed,
+                    fault,
+                    ..Default::default()
+                },
+            );
+            sim.monitor_chain(Chain::new(&g, vec![s1, fuse]).unwrap());
+            let out = sim.run().unwrap();
+            (
+                out.faults,
+                out.metrics.max_disparity(fuse),
+                out.metrics.chain(0).max_backward,
+                out.metrics.chain(0).missing_reads,
+            )
+        };
+        assert_eq!(run(11), run(11));
+        assert!(run(11).0.any_model_violation(), "plan actually fired");
     }
 
     #[test]

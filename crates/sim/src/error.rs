@@ -20,6 +20,20 @@ pub enum SimError {
     },
     /// A monitored chain is not a path of the simulated graph.
     Model(ModelError),
+    /// The fault-injection plan is inconsistent (see
+    /// [`crate::fault::FaultPlan::validate`]).
+    InvalidFaultPlan {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Two [`crate::metrics::ObservedMetrics`] with different shapes
+    /// (task or chain counts) were merged.
+    MetricsShapeMismatch {
+        /// Task/chain counts of the left operand.
+        left: (usize, usize),
+        /// Task/chain counts of the right operand.
+        right: (usize, usize),
+    },
 }
 
 impl fmt::Display for SimError {
@@ -38,6 +52,17 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Model(e) => write!(f, "model error: {e}"),
+            SimError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
+            }
+            SimError::MetricsShapeMismatch { left, right } => {
+                write!(
+                    f,
+                    "cannot merge metrics of different shapes: \
+                     {}x{} tasks/chains vs {}x{}",
+                    left.0, left.1, right.0, right.1
+                )
+            }
         }
     }
 }

@@ -2,7 +2,7 @@
 
 use disparity_model::task::Task;
 use disparity_model::time::Duration;
-use rand::Rng;
+use disparity_rng::Rng;
 
 /// How a job's actual execution time is drawn from `[B(τ), W(τ)]`.
 ///
@@ -32,14 +32,14 @@ impl ExecutionTimeModel {
     /// ```
     /// use disparity_sim::exec::ExecutionTimeModel;
     /// # use disparity_model::prelude::*;
-    /// # use rand::SeedableRng;
+    /// # use disparity_rng::SeedableRng;
     /// # let mut b = SystemBuilder::new();
     /// # let e = b.add_ecu("e");
     /// # let ms = Duration::from_millis;
     /// # let t = b.add_task(TaskSpec::periodic("t", ms(10)).execution(ms(1), ms(3)).on_ecu(e));
     /// # let g = b.build().unwrap();
     /// # let task = g.task(t);
-    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let mut rng = disparity_rng::rngs::StdRng::seed_from_u64(7);
     /// let e = ExecutionTimeModel::Uniform.draw(task, 0, &mut rng);
     /// assert!(task.bcet() <= e && e <= task.wcet());
     /// ```
@@ -72,7 +72,6 @@ mod tests {
     use super::*;
     use disparity_model::builder::SystemBuilder;
     use disparity_model::task::TaskSpec;
-    use rand::SeedableRng;
 
     fn sample_task() -> disparity_model::graph::CauseEffectGraph {
         let mut b = SystemBuilder::new();
@@ -90,7 +89,7 @@ mod tests {
     fn fixed_models_return_extremes() {
         let g = sample_task();
         let t = &g.tasks()[0];
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = disparity_rng::rngs::StdRng::seed_from_u64(0);
         assert_eq!(ExecutionTimeModel::WorstCase.draw(t, 0, &mut rng), t.wcet());
         assert_eq!(ExecutionTimeModel::BestCase.draw(t, 0, &mut rng), t.bcet());
     }
@@ -100,7 +99,7 @@ mod tests {
         let g = sample_task();
         let t = &g.tasks()[0];
         let draw_all = |seed: u64| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = disparity_rng::rngs::StdRng::seed_from_u64(seed);
             (0..100)
                 .map(|i| ExecutionTimeModel::Uniform.draw(t, i, &mut rng))
                 .collect::<Vec<_>>()
@@ -116,7 +115,7 @@ mod tests {
     fn alternating_flips_each_job() {
         let g = sample_task();
         let t = &g.tasks()[0];
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = disparity_rng::rngs::StdRng::seed_from_u64(0);
         assert_eq!(
             ExecutionTimeModel::Alternating.draw(t, 0, &mut rng),
             t.bcet()
@@ -143,7 +142,7 @@ mod tests {
         );
         let g = b.build().unwrap();
         let t = &g.tasks()[0];
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = disparity_rng::rngs::StdRng::seed_from_u64(0);
         assert_eq!(ExecutionTimeModel::Uniform.draw(t, 0, &mut rng), ms(3));
     }
 }

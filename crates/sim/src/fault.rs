@@ -1,0 +1,465 @@
+//! Adversarial fault injection.
+//!
+//! A [`FaultPlan`] perturbs a simulation run to probe the robustness of
+//! the analytical bounds. Faults come in two classes, and the class
+//! decides what a soundness checker may assume afterwards:
+//!
+//! * **Model-preserving** faults keep every job inside the declared task
+//!   model `(W, B, T)`. Execution-time overruns/underruns via
+//!   [`ExecFault::Scale`] are re-clamped into `[B, W]`, so the paper's
+//!   WCBT/BCBT (Lemmas 4–5) and disparity bounds (Theorems 1–3) must
+//!   still hold — any observed violation is a real soundness bug.
+//! * **Model-violating** faults step outside the model: release jitter
+//!   (periods are no longer exact), execution beyond the declared WCET
+//!   ([`ExecFault::OverrunBeyondWcet`]), token loss on channels, and
+//!   transient ECU stalls. Runs with such faults must be *flagged* (see
+//!   [`FaultSummary`]) rather than silently analyzed; the bounds can
+//!   legitimately fail in either direction.
+//!
+//! All probabilities are expressed in permille (`0..=1000`) so
+//! [`crate::engine::SimConfig`] stays `Copy + Eq` and fault plans are
+//! exactly reproducible from their debug representation.
+//!
+//! # Examples
+//!
+//! ```
+//! use disparity_model::time::Duration;
+//! use disparity_sim::fault::{ExecFault, FaultPlan, ReleaseJitter};
+//!
+//! let benign = FaultPlan {
+//!     exec: ExecFault::Scale { permille: 1_500 },
+//!     ..FaultPlan::default()
+//! };
+//! assert!(benign.is_model_preserving());
+//!
+//! let adversarial = FaultPlan {
+//!     release_jitter: Some(ReleaseJitter {
+//!         max: Duration::from_millis(2),
+//!         permille: 500,
+//!     }),
+//!     ..FaultPlan::default()
+//! };
+//! assert!(!adversarial.is_model_preserving());
+//! ```
+
+use disparity_model::task::Task;
+use disparity_model::time::Duration;
+use disparity_rng::{Rng, RngCore};
+
+use crate::error::SimError;
+
+/// Per-release activation jitter (model-violating).
+///
+/// Each release is delayed, with probability `permille`/1000, by a
+/// uniformly drawn amount in `(0, max]`. Jitter is applied relative to
+/// the task's *nominal* periodic grid, so it never accumulates across
+/// jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReleaseJitter {
+    /// Largest delay a single release can suffer.
+    pub max: Duration,
+    /// Probability (in permille) that a given release is jittered.
+    pub permille: u32,
+}
+
+/// Sensor dropout / token loss on channels (model-violating).
+///
+/// Each token write is discarded with probability `permille`/1000, as if
+/// the frame had been lost on the wire. Readers simply keep seeing the
+/// previous token (or nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TokenLoss {
+    /// Probability (in permille) that a written token is dropped.
+    pub permille: u32,
+}
+
+/// Transient ECU stalls (model-violating).
+///
+/// Every `interval`, each ECU refuses to *start* new jobs for `duration`
+/// (windows `[k·interval, k·interval + duration)`). Running jobs are not
+/// preempted — the scheduler is non-preemptive — but ready jobs wait,
+/// modelling a hypervisor pause, DMA storm or thermal throttle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StallPlan {
+    /// Distance between stall-window starts.
+    pub interval: Duration,
+    /// Length of each stall window (must be shorter than `interval`).
+    pub duration: Duration,
+}
+
+/// Execution-time perturbation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ExecFault {
+    /// Execution times are drawn from the configured
+    /// [`crate::exec::ExecutionTimeModel`] unchanged.
+    #[default]
+    None,
+    /// Scales every drawn execution time by `permille`/1000, then clamps
+    /// back into the task's declared `[B, W]`. Values above 1000 model
+    /// overload pressure (times saturate at the WCET), below 1000 a
+    /// fast path (times saturate at the BCET). **Model-preserving**: no
+    /// job ever leaves its declared range.
+    Scale {
+        /// Multiplier in permille; 1000 is the identity.
+        permille: u32,
+    },
+    /// With probability `permille`/1000, a job's execution time is forced
+    /// *beyond* its declared WCET to `W + excess`, `excess` drawn
+    /// uniformly from `(0, max_excess]`. **Model-violating**: the run
+    /// must be flagged, not silently analyzed.
+    OverrunBeyondWcet {
+        /// Probability (in permille) that a given job overruns.
+        permille: u32,
+        /// Largest excess beyond the WCET.
+        max_excess: Duration,
+    },
+}
+
+/// A complete fault-injection plan for one simulation run.
+///
+/// The default plan injects nothing and is therefore model-preserving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// Release jitter, if any.
+    pub release_jitter: Option<ReleaseJitter>,
+    /// Execution-time perturbation.
+    pub exec: ExecFault,
+    /// Token loss on channels, if any.
+    pub token_loss: Option<TokenLoss>,
+    /// Transient ECU stalls, if any.
+    pub stall: Option<StallPlan>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing.
+    #[must_use]
+    pub const fn none() -> Self {
+        FaultPlan {
+            release_jitter: None,
+            exec: ExecFault::None,
+            token_loss: None,
+            stall: None,
+        }
+    }
+
+    /// Whether every fault in this plan keeps jobs inside the declared
+    /// task model, so the analytical bounds must still hold exactly.
+    ///
+    /// Faults configured with probability (or magnitude) zero are inert
+    /// and do not count against preservation.
+    #[must_use]
+    pub fn is_model_preserving(&self) -> bool {
+        let jitter_active = self
+            .release_jitter
+            .is_some_and(|j| j.permille > 0 && j.max.is_positive());
+        let loss_active = self.token_loss.is_some_and(|l| l.permille > 0);
+        let stall_active = self.stall.is_some_and(|s| s.duration.is_positive());
+        let overrun_active = matches!(
+            self.exec,
+            ExecFault::OverrunBeyondWcet {
+                permille,
+                max_excess,
+            } if permille > 0 && max_excess.is_positive()
+        );
+        !(jitter_active || loss_active || stall_active || overrun_active)
+    }
+
+    /// Validates magnitudes and probabilities.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFaultPlan`] for out-of-range permille values,
+    /// negative durations, or a stall window at least as long as its
+    /// interval (the ECU would never run).
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |reason: &str| {
+            Err(SimError::InvalidFaultPlan {
+                reason: reason.to_string(),
+            })
+        };
+        if let Some(j) = self.release_jitter {
+            if j.permille > 1000 {
+                return bad("release_jitter.permille must be <= 1000");
+            }
+            if j.max.is_negative() {
+                return bad("release_jitter.max must be non-negative");
+            }
+        }
+        match self.exec {
+            ExecFault::None => {}
+            ExecFault::Scale { permille } => {
+                if permille == 0 {
+                    return bad("exec scale of 0 would zero all execution times");
+                }
+            }
+            ExecFault::OverrunBeyondWcet {
+                permille,
+                max_excess,
+            } => {
+                if permille > 1000 {
+                    return bad("exec overrun permille must be <= 1000");
+                }
+                if max_excess.is_negative() {
+                    return bad("exec overrun max_excess must be non-negative");
+                }
+            }
+        }
+        if let Some(l) = self.token_loss {
+            if l.permille > 1000 {
+                return bad("token_loss.permille must be <= 1000");
+            }
+        }
+        if let Some(s) = self.stall {
+            if !s.interval.is_positive() {
+                return bad("stall.interval must be positive");
+            }
+            if s.duration.is_negative() {
+                return bad("stall.duration must be non-negative");
+            }
+            if s.duration >= s.interval {
+                return bad("stall.duration must be shorter than stall.interval");
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws the jitter to add to one nominal release. Returns
+    /// [`Duration::ZERO`] when the release is unaffected.
+    pub(crate) fn draw_release_jitter<R: RngCore + ?Sized>(&self, rng: &mut R) -> Duration {
+        let Some(j) = self.release_jitter else {
+            return Duration::ZERO;
+        };
+        if j.permille == 0 || !j.max.is_positive() || !hit(rng, j.permille) {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(rng.gen_range(1..=j.max.as_nanos()))
+    }
+
+    /// Applies the execution-time fault to a drawn execution time.
+    /// Returns the perturbed time and whether it deliberately exceeds
+    /// the declared WCET.
+    pub(crate) fn perturb_exec<R: RngCore + ?Sized>(
+        &self,
+        task: &Task,
+        drawn: Duration,
+        rng: &mut R,
+    ) -> (Duration, bool) {
+        match self.exec {
+            ExecFault::None => (drawn, false),
+            ExecFault::Scale { permille } => {
+                let scaled = Duration::from_nanos(
+                    (i128::from(drawn.as_nanos()) * i128::from(permille) / 1000)
+                        .clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64,
+                );
+                (scaled.clamp(task.bcet(), task.wcet()), false)
+            }
+            ExecFault::OverrunBeyondWcet {
+                permille,
+                max_excess,
+            } => {
+                if permille > 0 && max_excess.is_positive() && hit(rng, permille) {
+                    let excess = Duration::from_nanos(rng.gen_range(1..=max_excess.as_nanos()));
+                    (task.wcet() + excess, true)
+                } else {
+                    (drawn, false)
+                }
+            }
+        }
+    }
+
+    /// Whether one token write is dropped.
+    pub(crate) fn drop_token<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        self.token_loss
+            .is_some_and(|l| l.permille > 0 && hit(rng, l.permille))
+    }
+}
+
+fn hit<R: RngCore + ?Sized>(rng: &mut R, permille: u32) -> bool {
+    permille >= 1000 || rng.gen_range(0u32..1000) < permille
+}
+
+/// What fault injection actually did during a run.
+///
+/// A plan with non-zero probabilities may still inject nothing on a
+/// short horizon; soundness tooling should consult both the plan's
+/// [`FaultPlan::is_model_preserving`] (what *could* happen) and this
+/// summary (what *did* happen).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Releases delayed by jitter.
+    pub jittered_releases: u64,
+    /// Jobs forced beyond their declared WCET.
+    pub overruns_beyond_wcet: u64,
+    /// Tokens discarded on write.
+    pub dropped_tokens: u64,
+    /// Dispatch opportunities deferred by an ECU stall window.
+    pub stalled_dispatches: u64,
+}
+
+impl FaultSummary {
+    /// Whether any model-violating fault actually fired.
+    #[must_use]
+    pub fn any_model_violation(&self) -> bool {
+        self.jittered_releases > 0
+            || self.overruns_beyond_wcet > 0
+            || self.dropped_tokens > 0
+            || self.stalled_dispatches > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::task::TaskSpec;
+    use disparity_rng::StdRng;
+
+    fn task(bcet_ms: i64, wcet_ms: i64) -> Task {
+        let mut b = disparity_model::builder::SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let id = b.add_task(
+            TaskSpec::periodic("t", Duration::from_millis(10))
+                .execution(
+                    Duration::from_millis(bcet_ms),
+                    Duration::from_millis(wcet_ms),
+                )
+                .on_ecu(e),
+        );
+        b.build().expect("valid single-task system").task(id).clone()
+    }
+
+    #[test]
+    fn default_plan_is_model_preserving_and_valid() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_model_preserving());
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan, FaultPlan::none());
+    }
+
+    #[test]
+    fn scale_is_model_preserving_and_clamped() {
+        let plan = FaultPlan {
+            exec: ExecFault::Scale { permille: 5000 },
+            ..FaultPlan::default()
+        };
+        assert!(plan.is_model_preserving());
+        let t = task(1, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (exec, overrun) = plan.perturb_exec(&t, Duration::from_millis(2), &mut rng);
+        assert_eq!(exec, t.wcet(), "5x of 2ms clamps to 3ms WCET");
+        assert!(!overrun);
+        let plan = FaultPlan {
+            exec: ExecFault::Scale { permille: 100 },
+            ..FaultPlan::default()
+        };
+        let (exec, _) = plan.perturb_exec(&t, Duration::from_millis(2), &mut rng);
+        assert_eq!(exec, t.bcet(), "0.1x of 2ms clamps to 1ms BCET");
+    }
+
+    #[test]
+    fn overrun_exceeds_wcet_and_is_flagged() {
+        let plan = FaultPlan {
+            exec: ExecFault::OverrunBeyondWcet {
+                permille: 1000,
+                max_excess: Duration::from_millis(4),
+            },
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_model_preserving());
+        let t = task(1, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..32 {
+            let (exec, overrun) = plan.perturb_exec(&t, Duration::from_millis(2), &mut rng);
+            assert!(overrun);
+            assert!(exec > t.wcet());
+            assert!(exec <= t.wcet() + Duration::from_millis(4));
+        }
+    }
+
+    #[test]
+    fn zero_probability_faults_are_inert() {
+        let plan = FaultPlan {
+            release_jitter: Some(ReleaseJitter {
+                max: Duration::from_millis(1),
+                permille: 0,
+            }),
+            token_loss: Some(TokenLoss { permille: 0 }),
+            exec: ExecFault::OverrunBeyondWcet {
+                permille: 0,
+                max_excess: Duration::from_millis(1),
+            },
+            stall: None,
+        };
+        assert!(plan.is_model_preserving());
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(plan.draw_release_jitter(&mut rng), Duration::ZERO);
+        assert!(!plan.drop_token(&mut rng));
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let plan = FaultPlan {
+            release_jitter: Some(ReleaseJitter {
+                max: Duration::from_micros(500),
+                permille: 1000,
+            }),
+            ..FaultPlan::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..64 {
+            let j = plan.draw_release_jitter(&mut rng);
+            assert!(j.is_positive());
+            assert!(j <= Duration::from_micros(500));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let bad_plans = [
+            FaultPlan {
+                release_jitter: Some(ReleaseJitter {
+                    max: Duration::from_millis(1),
+                    permille: 1001,
+                }),
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                exec: ExecFault::Scale { permille: 0 },
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                token_loss: Some(TokenLoss { permille: 2000 }),
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                stall: Some(StallPlan {
+                    interval: Duration::from_millis(5),
+                    duration: Duration::from_millis(5),
+                }),
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                stall: Some(StallPlan {
+                    interval: Duration::ZERO,
+                    duration: Duration::ZERO,
+                }),
+                ..FaultPlan::default()
+            },
+        ];
+        for plan in bad_plans {
+            assert!(
+                matches!(plan.validate(), Err(SimError::InvalidFaultPlan { .. })),
+                "{plan:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_flags_violations() {
+        assert!(!FaultSummary::default().any_model_violation());
+        assert!(FaultSummary {
+            dropped_tokens: 1,
+            ..FaultSummary::default()
+        }
+        .any_model_violation());
+    }
+}

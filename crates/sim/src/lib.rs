@@ -9,6 +9,8 @@
 //!
 //! * [`engine`] — the simulator itself ([`engine::Simulator`]).
 //! * [`exec`] — execution-time models (worst/best/uniform/alternating).
+//! * [`fault`] — adversarial fault injection (jitter, overruns, token
+//!   loss, ECU stalls) with model-preserving/violating classification.
 //! * [`token`] — data tokens and provenance (source-stamp intervals).
 //! * [`trace`] — recorded job lifecycles and read-links.
 //! * [`metrics`] — streamed observations and trace-based reconstruction.
@@ -44,6 +46,7 @@ pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod export;
+pub mod fault;
 pub mod metrics;
 pub mod token;
 pub mod trace;
@@ -55,9 +58,12 @@ pub mod prelude {
     pub use crate::error::SimError;
     pub use crate::exec::ExecutionTimeModel;
     pub use crate::export::{to_ascii_gantt, to_chrome_trace};
+    pub use crate::fault::{
+        ExecFault, FaultPlan, FaultSummary, ReleaseJitter, StallPlan, TokenLoss,
+    };
     pub use crate::metrics::{
-        backward_extrema_from_trace, backward_time_from_trace, ChainObservation,
-        DisparityObservation, ObservedMetrics,
+        backward_extrema_from_trace, backward_time_from_trace, try_backward_extrema_from_trace,
+        try_backward_time_from_trace, ChainObservation, DisparityObservation, ObservedMetrics,
     };
     pub use crate::token::{JobRef, SourceStamp, Token};
     pub use crate::trace::{JobRecord, ReadRecord, Trace};

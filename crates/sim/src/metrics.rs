@@ -11,6 +11,7 @@ use disparity_model::graph::CauseEffectGraph;
 use disparity_model::ids::TaskId;
 use disparity_model::time::Duration;
 
+use crate::error::SimError;
 use crate::token::JobRef;
 use crate::trace::Trace;
 
@@ -143,18 +144,25 @@ impl ObservedMetrics {
     /// # Panics
     ///
     /// Panics if `other` was produced for a different graph or chain set
-    /// (mismatched dimensions).
+    /// (mismatched dimensions); see [`ObservedMetrics::try_merge`].
     pub fn merge(&mut self, other: &ObservedMetrics) {
-        assert_eq!(
-            self.disparity.len(),
-            other.disparity.len(),
-            "task count mismatch"
-        );
-        assert_eq!(
-            self.chains.len(),
-            other.chains.len(),
-            "chain count mismatch"
-        );
+        self.try_merge(other).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`ObservedMetrics::merge`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MetricsShapeMismatch`] when `other` was produced for a
+    /// different graph or chain set; `self` is left untouched.
+    pub fn try_merge(&mut self, other: &ObservedMetrics) -> Result<(), SimError> {
+        if self.disparity.len() != other.disparity.len() || self.chains.len() != other.chains.len()
+        {
+            return Err(SimError::MetricsShapeMismatch {
+                left: (self.disparity.len(), self.chains.len()),
+                right: (other.disparity.len(), other.chains.len()),
+            });
+        }
         for (a, b) in self.disparity.iter_mut().zip(&other.disparity) {
             a.max = a.max.max(b.max);
             a.samples += b.samples;
@@ -177,6 +185,7 @@ impl ObservedMetrics {
         for (a, b) in self.max_start_delay.iter_mut().zip(&other.max_start_delay) {
             *a = (*a).max(*b);
         }
+        Ok(())
     }
 }
 
@@ -197,8 +206,29 @@ pub fn backward_time_from_trace(
     chain: &Chain,
     index: u64,
 ) -> Option<Duration> {
+    try_backward_time_from_trace(trace, graph, chain, index).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`backward_time_from_trace`]: `Ok(None)` means the
+/// walk is incomplete (job missing, empty channel), `Err` a structural
+/// problem.
+///
+/// # Errors
+///
+/// [`SimError::Model`] wrapping
+/// [`NotAChain`](disparity_model::error::ModelError::NotAChain) when an
+/// edge of `chain` is not an edge of `graph` (the chain belongs to a
+/// different graph than the trace).
+pub fn try_backward_time_from_trace(
+    trace: &Trace,
+    graph: &CauseEffectGraph,
+    chain: &Chain,
+    index: u64,
+) -> Result<Option<Duration>, SimError> {
     let tail = chain.tail();
-    let tail_record = trace.job(JobRef { task: tail, index })?;
+    let Some(tail_record) = trace.job(JobRef { task: tail, index }) else {
+        return Ok(None);
+    };
     let mut current = tail_record;
     // Walk edges from the tail back to the head.
     for pos in (1..chain.len()).rev() {
@@ -207,13 +237,22 @@ pub fn backward_time_from_trace(
         debug_assert_eq!(current.job.task, consumer);
         let ch = graph
             .channel_between(producer_task, consumer)
-            .unwrap_or_else(|| panic!("{producer_task} -> {consumer} is not an edge"))
+            .ok_or(SimError::Model(
+                disparity_model::error::ModelError::NotAChain {
+                    from: producer_task,
+                    to: consumer,
+                },
+            ))?
             .id();
-        let read = current.read_on(ch)?;
-        let producer = read.producer?;
-        current = trace.job(producer)?;
+        let Some(producer) = current.read_on(ch).and_then(|read| read.producer) else {
+            return Ok(None);
+        };
+        let Some(record) = trace.job(producer) else {
+            return Ok(None);
+        };
+        current = record;
     }
-    Some(tail_record.release - current.release)
+    Ok(Some(tail_record.release - current.release))
 }
 
 /// Reconstructs every observable backward time of `chain` from a trace and
@@ -229,17 +268,30 @@ pub fn backward_extrema_from_trace(
     graph: &CauseEffectGraph,
     chain: &Chain,
 ) -> (Option<Duration>, Option<Duration>, u64) {
+    try_backward_extrema_from_trace(trace, graph, chain).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`backward_extrema_from_trace`].
+///
+/// # Errors
+///
+/// Same conditions as [`try_backward_time_from_trace`].
+pub fn try_backward_extrema_from_trace(
+    trace: &Trace,
+    graph: &CauseEffectGraph,
+    chain: &Chain,
+) -> Result<(Option<Duration>, Option<Duration>, u64), SimError> {
     let mut min = None;
     let mut max = None;
     let mut samples = 0u64;
     for k in 0..trace.jobs_of(chain.tail()).len() as u64 {
-        if let Some(len) = backward_time_from_trace(trace, graph, chain, k) {
+        if let Some(len) = try_backward_time_from_trace(trace, graph, chain, k)? {
             min = Some(min.map_or(len, |m: Duration| m.min(len)));
             max = Some(max.map_or(len, |m: Duration| m.max(len)));
             samples += 1;
         }
     }
-    (min, max, samples)
+    Ok((min, max, samples))
 }
 
 #[cfg(test)]
@@ -316,6 +368,26 @@ mod tests {
     }
 
     #[test]
+    fn try_merge_rejects_shape_mismatch() {
+        let t0 = TaskId::from_index(0);
+        let mut a = ObservedMetrics::new(1, 1);
+        a.record_disparity(t0, ms(3));
+        let mut b = ObservedMetrics::new(2, 1);
+        b.record_disparity(t0, ms(9));
+        let err = a.try_merge(&b).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::MetricsShapeMismatch {
+                left: (1, 1),
+                right: (2, 1),
+            }
+        ));
+        // The receiver is untouched on error.
+        assert_eq!(a.max_disparity(t0), Some(ms(3)));
+        assert_eq!(a.disparity(t0).samples, 1);
+    }
+
+    #[test]
     fn streaming_and_trace_backward_times_agree() {
         // Three-stage pipeline with jitter.
         let mut b = SystemBuilder::new();
@@ -357,6 +429,171 @@ mod tests {
         // in flight at the horizon, but never by more than one.
         assert!(streamed.samples >= n_t);
         assert!(streamed.samples - n_t <= 1);
+    }
+
+    #[test]
+    fn streaming_and_trace_agree_under_every_fault_kind() {
+        use crate::fault::{ExecFault, FaultPlan, ReleaseJitter, StallPlan, TokenLoss};
+
+        // One plan per fault kind, plus a combined plan, mirroring the
+        // soak catalog. Each must keep the streamed extrema identical to
+        // the trace-reconstructed ones.
+        let plans: [(&str, FaultPlan); 7] = [
+            ("none", FaultPlan::none()),
+            (
+                "jitter",
+                FaultPlan {
+                    release_jitter: Some(ReleaseJitter {
+                        max: ms(2),
+                        permille: 500,
+                    }),
+                    ..FaultPlan::none()
+                },
+            ),
+            (
+                "scale",
+                FaultPlan {
+                    exec: ExecFault::Scale { permille: 2000 },
+                    ..FaultPlan::none()
+                },
+            ),
+            (
+                "overrun",
+                FaultPlan {
+                    exec: ExecFault::OverrunBeyondWcet {
+                        permille: 200,
+                        max_excess: ms(2),
+                    },
+                    ..FaultPlan::none()
+                },
+            ),
+            (
+                "token-loss",
+                FaultPlan {
+                    token_loss: Some(TokenLoss { permille: 100 }),
+                    ..FaultPlan::none()
+                },
+            ),
+            (
+                "stall",
+                FaultPlan {
+                    stall: Some(StallPlan {
+                        interval: ms(40),
+                        duration: ms(3),
+                    }),
+                    ..FaultPlan::none()
+                },
+            ),
+            (
+                "combined",
+                FaultPlan {
+                    release_jitter: Some(ReleaseJitter {
+                        max: ms(1),
+                        permille: 300,
+                    }),
+                    exec: ExecFault::Scale { permille: 1500 },
+                    token_loss: Some(TokenLoss { permille: 50 }),
+                    stall: Some(StallPlan {
+                        interval: ms(60),
+                        duration: ms(2),
+                    }),
+                },
+            ),
+        ];
+
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let a = b.add_task(
+            TaskSpec::periodic("a", ms(10))
+                .execution(ms(1), ms(3))
+                .on_ecu(e),
+        );
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(20))
+                .execution(ms(1), ms(4))
+                .on_ecu(e),
+        );
+        b.connect(s, a);
+        b.connect(a, t);
+        let g = b.build().unwrap();
+        let chain = Chain::new(&g, vec![s, a, t]).unwrap();
+
+        for (name, fault) in plans {
+            let mut sim = Simulator::new(
+                &g,
+                SimConfig {
+                    horizon: ms(2000),
+                    exec_model: ExecutionTimeModel::Uniform,
+                    seed: 7,
+                    record_trace: true,
+                    fault,
+                    ..Default::default()
+                },
+            );
+            sim.monitor_chain(chain.clone());
+            let out = sim.run().unwrap();
+            let trace = out.trace.unwrap();
+            let (min_t, max_t, n_t) = backward_extrema_from_trace(&trace, &g, &chain);
+            let streamed = out.metrics.chain(0);
+            assert_eq!(streamed.min_backward, min_t, "min mismatch under {name}");
+            assert_eq!(streamed.max_backward, max_t, "max mismatch under {name}");
+            assert!(
+                streamed.samples >= n_t && streamed.samples - n_t <= 1,
+                "sample drift under {name}: streamed {} vs trace {}",
+                streamed.samples,
+                n_t
+            );
+            // Every tail start is accounted for: either it contributed a
+            // backward sample or it was counted as a missing read.
+            let tail_jobs = trace.jobs_of(chain.tail()).len() as u64;
+            assert!(
+                streamed.samples + streamed.missing_reads >= tail_jobs,
+                "{name}: unaccounted tail jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_reconstruction_rejects_foreign_chains() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("s", ms(10)));
+        let t = b.add_task(
+            TaskSpec::periodic("t", ms(10))
+                .execution(ms(1), ms(1))
+                .on_ecu(e),
+        );
+        b.connect(s, t);
+        let g = b.build().unwrap();
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(50),
+                record_trace: true,
+                ..Default::default()
+            },
+        );
+        let out = sim.run().unwrap();
+        let trace = out.trace.unwrap();
+
+        // A chain that is valid on its own graph but, by task index, walks
+        // the edge 1 -> 0 — the reverse of the only edge `g` has. The tail
+        // (index 0) has trace records, so the walk reaches the edge lookup
+        // and must report `NotAChain` instead of panicking.
+        let mut b2 = SystemBuilder::new();
+        let e2 = b2.add_ecu("e");
+        let x = b2.add_task(
+            TaskSpec::periodic("x", ms(10))
+                .execution(ms(1), ms(1))
+                .on_ecu(e2),
+        );
+        let y = b2.add_task(TaskSpec::periodic("y", ms(10)));
+        b2.connect(y, x);
+        let g2 = b2.build().unwrap();
+        let foreign = Chain::new(&g2, vec![y, x]).unwrap();
+        assert!(try_backward_time_from_trace(&trace, &g, &foreign, 0).is_err());
+        assert!(try_backward_extrema_from_trace(&trace, &g, &foreign).is_err());
     }
 
     #[test]

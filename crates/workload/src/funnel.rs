@@ -18,7 +18,7 @@ use disparity_model::graph::CauseEffectGraph;
 use disparity_model::ids::{EcuId, TaskId};
 use disparity_model::task::TaskSpec;
 use disparity_sched::schedulability::analyze;
-use rand::Rng;
+use disparity_rng::Rng;
 
 use crate::error::WorkloadError;
 use crate::graphgen::scale_to_utilization;
@@ -95,9 +95,9 @@ impl FunnelConfig {
 ///
 /// ```
 /// use disparity_workload::funnel::{funnel_system, FunnelConfig};
-/// use rand::SeedableRng;
+/// use disparity_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = disparity_rng::rngs::StdRng::seed_from_u64(1);
 /// let g = funnel_system(&FunnelConfig::default(), &mut rng)?;
 /// assert_eq!(g.sources().len(), 4);
 /// assert_eq!(g.sinks().len(), 1);
@@ -197,8 +197,7 @@ pub fn schedulable_funnel_system<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use disparity_rng::rngs::StdRng;
 
     #[test]
     fn funnel_shape_is_respected() {

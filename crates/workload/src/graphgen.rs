@@ -25,7 +25,7 @@ use disparity_model::graph::CauseEffectGraph;
 use disparity_model::ids::EcuId;
 use disparity_model::task::TaskSpec;
 use disparity_sched::schedulability::analyze;
-use rand::Rng;
+use disparity_rng::Rng;
 
 use crate::error::WorkloadError;
 use crate::waters::{paper_bins, sample_bin, sample_execution};
@@ -92,9 +92,9 @@ impl GraphGenConfig {
 ///
 /// ```
 /// use disparity_workload::graphgen::{random_system, GraphGenConfig};
-/// use rand::SeedableRng;
+/// use disparity_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = disparity_rng::rngs::StdRng::seed_from_u64(1);
 /// let g = random_system(GraphGenConfig { n_tasks: 12, ..Default::default() }, &mut rng)?;
 /// assert_eq!(g.task_count(), 12);
 /// assert_eq!(g.sinks().len(), 1);
@@ -270,8 +270,7 @@ pub fn schedulable_random_system<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use disparity_rng::rngs::StdRng;
 
     #[test]
     fn generated_graph_is_a_single_sink_dag() {

@@ -13,9 +13,9 @@
 //!
 //! ```
 //! use disparity_workload::prelude::*;
-//! use rand::SeedableRng;
+//! use disparity_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let mut rng = disparity_rng::rngs::StdRng::seed_from_u64(42);
 //! let graph = schedulable_random_system(
 //!     GraphGenConfig { n_tasks: 15, ..Default::default() },
 //!     &mut rng,

@@ -8,7 +8,7 @@
 
 use disparity_model::graph::CauseEffectGraph;
 use disparity_model::time::Duration;
-use rand::Rng;
+use disparity_rng::Rng;
 
 /// Returns a clone of `graph` whose every task has a fresh uniformly random
 /// offset in `[0, T_i)`.
@@ -21,12 +21,12 @@ use rand::Rng;
 /// ```
 /// use disparity_model::prelude::*;
 /// use disparity_workload::offsets::randomize_offsets;
-/// use rand::SeedableRng;
+/// use disparity_rng::SeedableRng;
 ///
 /// let mut b = SystemBuilder::new();
 /// let t = b.add_task(TaskSpec::periodic("t", Duration::from_millis(10)));
 /// let g = b.build()?;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let mut rng = disparity_rng::rngs::StdRng::seed_from_u64(5);
 /// let shifted = randomize_offsets(&g, &mut rng);
 /// assert!(shifted.task(t).offset() < Duration::from_millis(10));
 /// # Ok::<(), disparity_model::error::ModelError>(())
@@ -63,8 +63,7 @@ mod tests {
     use super::*;
     use disparity_model::builder::SystemBuilder;
     use disparity_model::task::TaskSpec;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use disparity_rng::rngs::StdRng;
 
     fn sample_graph() -> CauseEffectGraph {
         let mut b = SystemBuilder::new();

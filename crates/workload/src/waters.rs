@@ -18,7 +18,7 @@
 //! same sampled tasks.
 
 use disparity_model::time::Duration;
-use rand::Rng;
+use disparity_rng::Rng;
 
 /// One row of the WATERS tables: a period bin with its sampling metadata.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -152,8 +152,7 @@ pub fn sample_execution<R: Rng + ?Sized>(bin: &PeriodBin, rng: &mut R) -> (Durat
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use disparity_rng::rngs::StdRng;
 
     #[test]
     fn paper_subset_has_eight_bins_in_order() {

@@ -45,9 +45,8 @@ fn build(t3_period: Duration) -> Result<(CauseEffectGraph, [TaskId; 5]), ModelEr
 }
 
 fn observed_disparity(graph: &CauseEffectGraph, fuse: TaskId, warmup: Duration) -> Duration {
-    use rand::SeedableRng as _;
     use time_disparity::workload::offsets::randomize_offsets;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut rng = disparity_rng::rngs::StdRng::seed_from_u64(3);
     let mut worst = Duration::ZERO;
     for seed in 0..8 {
         let instance = randomize_offsets(graph, &mut rng);

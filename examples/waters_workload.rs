@@ -7,7 +7,6 @@
 //!
 //! Run with: `cargo run --example waters_workload [n_tasks] [seed]`
 
-use rand::SeedableRng as _;
 use time_disparity::core::prelude::*;
 use time_disparity::model::dot::to_dot;
 use time_disparity::model::prelude::*;
@@ -20,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n_tasks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(15);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2024);
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = disparity_rng::rngs::StdRng::seed_from_u64(seed);
     let graph = schedulable_random_system(
         GraphGenConfig {
             n_tasks,

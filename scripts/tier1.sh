@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Tier-1 gate: everything must pass offline (the workspace has no
+# external crate dependencies). Mirrors .github/workflows/ci.yml.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
+
+echo "==> soak smoke (fault-injection soundness sweep, quick profile)"
+cargo run -p disparity-experiments --release --bin soak -- --quick
+
+echo "tier1: all gates passed"

@@ -1,8 +1,8 @@
 //! Validates the end-to-end latency bounds (data age, reaction time)
 //! against trace-based observations on randomized pipelines.
 
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
+use disparity_rng::rngs::StdRng;
+use disparity_rng::Rng as _;
 use time_disparity::core::prelude::*;
 use time_disparity::model::prelude::*;
 use time_disparity::sched::prelude::*;

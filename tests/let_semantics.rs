@@ -2,8 +2,8 @@
 //! LET simulator against the LET analytical bounds, and the determinism /
 //! latency trade-off against implicit communication.
 
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
+use disparity_rng::rngs::StdRng;
+use disparity_rng::Rng as _;
 use time_disparity::core::letmodel::{let_backward_bounds, let_worst_case_disparity};
 use time_disparity::core::prelude::*;
 use time_disparity::model::prelude::*;

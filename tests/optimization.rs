@@ -1,8 +1,8 @@
 //! End-to-end validation of the §IV buffer optimization: Algorithm 1,
 //! Lemma 6 and Theorem 3 against the simulator.
 
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
+use disparity_rng::rngs::StdRng;
+use disparity_rng::Rng as _;
 use time_disparity::core::prelude::*;
 use time_disparity::model::prelude::*;
 use time_disparity::sched::prelude::*;

@@ -1,158 +1,173 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized property tests over the core data structures and invariants.
+//!
+//! These used to run under `proptest`; to keep the workspace building with
+//! no external dependencies they are now seeded exhaustive/randomized
+//! loops driven by the in-tree [`disparity_rng`] PRNG. Failures print the
+//! offending inputs, so a reported case can be replayed by pinning the
+//! loop to that draw.
 
-use proptest::prelude::*;
+use disparity_rng::{Rng, StdRng};
 use time_disparity::core::prelude::*;
 use time_disparity::model::prelude::*;
 use time_disparity::model::time::{div_ceil, div_floor};
 use time_disparity::sched::prelude::*;
 
-proptest! {
-    /// Exact signed floor/ceiling division agrees with the f64 reference
-    /// (away from precision limits) and brackets the rational quotient.
-    #[test]
-    fn floor_ceil_division_properties(a in -1_000_000_000i64..1_000_000_000, b in 1i64..1_000_000) {
+const CASES: u64 = 256;
+
+#[test]
+fn floor_ceil_division_properties() {
+    let mut rng = StdRng::seed_from_u64(0xD1F0);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-1_000_000_000i64..1_000_000_000);
+        let b = rng.gen_range(1i64..1_000_000);
         let f = div_floor(a, b);
         let c = div_ceil(a, b);
-        prop_assert!(f * b <= a, "floor too high");
-        prop_assert!((f + 1) * b > a, "floor too low");
-        prop_assert!(c * b >= a, "ceil too low");
-        prop_assert!((c - 1) * b < a, "ceil too high");
-        prop_assert!(c - f <= 1);
-        prop_assert_eq!(c == f, a % b == 0);
-        prop_assert_eq!(div_floor(-a, b), -div_ceil(a, b));
+        assert!(f * b <= a, "floor too high: {a}/{b}");
+        assert!((f + 1) * b > a, "floor too low: {a}/{b}");
+        assert!(c * b >= a, "ceil too low: {a}/{b}");
+        assert!((c - 1) * b < a, "ceil too high: {a}/{b}");
+        assert!(c - f <= 1, "{a}/{b}");
+        assert_eq!(c == f, a % b == 0, "{a}/{b}");
+        assert_eq!(div_floor(-a, b), -div_ceil(a, b), "{a}/{b}");
     }
+}
 
-    /// Duration arithmetic is a commutative group under addition.
-    #[test]
-    fn duration_group_laws(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+#[test]
+fn duration_group_laws() {
+    let mut rng = StdRng::seed_from_u64(0xD1F1);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-1_000_000i64..1_000_000);
+        let b = rng.gen_range(-1_000_000i64..1_000_000);
         let da = Duration::from_nanos(a);
         let db = Duration::from_nanos(b);
-        prop_assert_eq!(da + db, db + da);
-        prop_assert_eq!((da + db) - db, da);
-        prop_assert_eq!(da + Duration::ZERO, da);
-        prop_assert_eq!(da + (-da), Duration::ZERO);
+        assert_eq!(da + db, db + da);
+        assert_eq!((da + db) - db, da);
+        assert_eq!(da + Duration::ZERO, da);
+        assert_eq!(da + (-da), Duration::ZERO);
     }
+}
 
-    /// Instant/Duration affine laws.
-    #[test]
-    fn instant_affine_laws(t in -1_000_000i64..1_000_000, d in -1_000_000i64..1_000_000) {
+#[test]
+fn instant_affine_laws() {
+    let mut rng = StdRng::seed_from_u64(0xD1F2);
+    for _ in 0..CASES {
+        let t = rng.gen_range(-1_000_000i64..1_000_000);
+        let d = rng.gen_range(-1_000_000i64..1_000_000);
         let at = Instant::from_nanos(t);
         let dd = Duration::from_nanos(d);
-        prop_assert_eq!((at + dd) - at, dd);
-        prop_assert_eq!((at + dd) - dd, at);
-        prop_assert_eq!(at.elapsed_since(at + dd), -dd);
+        assert_eq!((at + dd) - at, dd);
+        assert_eq!((at + dd) - dd, at);
+        assert_eq!(at.elapsed_since(at + dd), -dd);
     }
+}
 
-    /// Sampling-window algebra: shifting preserves width; separation is
-    /// symmetric and at least the midpoint distance.
-    #[test]
-    fn window_algebra(
-        a1 in -1_000_000i64..1_000_000,
-        w1 in 0i64..1_000_000,
-        a2 in -1_000_000i64..1_000_000,
-        w2 in 0i64..1_000_000,
-        shift in -1_000_000i64..1_000_000,
-    ) {
+#[test]
+fn window_algebra() {
+    let mut rng = StdRng::seed_from_u64(0xD1F3);
+    for _ in 0..CASES {
+        let a1 = rng.gen_range(-1_000_000i64..1_000_000);
+        let w1 = rng.gen_range(0i64..1_000_000);
+        let a2 = rng.gen_range(-1_000_000i64..1_000_000);
+        let w2 = rng.gen_range(0i64..1_000_000);
+        let shift = rng.gen_range(-1_000_000i64..1_000_000);
         let x = SamplingWindow::new(Duration::from_nanos(a1), Duration::from_nanos(a1 + w1));
         let y = SamplingWindow::new(Duration::from_nanos(a2), Duration::from_nanos(a2 + w2));
         let s = Duration::from_nanos(shift);
-        prop_assert_eq!(x.shifted(s).width(), x.width());
-        prop_assert_eq!(x.max_separation(y), y.max_separation(x));
+        assert_eq!(x.shifted(s).width(), x.width());
+        assert_eq!(x.max_separation(y), y.max_separation(x));
         let mid_gap = (x.midpoint() - y.midpoint()).abs();
-        prop_assert!(x.max_separation(y) >= mid_gap);
+        assert!(x.max_separation(y) >= mid_gap);
         // Shifting both windows together preserves separation.
-        prop_assert_eq!(x.shifted(s).max_separation(y.shifted(s)), x.max_separation(y));
+        assert_eq!(x.shifted(s).max_separation(y.shifted(s)), x.max_separation(y));
     }
 }
 
-/// Strategy: a random small pipeline-with-forks graph plus its parameters.
-fn arbitrary_line_graph() -> impl Strategy<Value = (CauseEffectGraph, TaskId)> {
-    // (#stages, period selector seeds, wcet per stage in 100µs units)
-    (
-        2usize..7,
-        proptest::collection::vec((0usize..4, 1i64..20, 1i64..10), 2..7),
-    )
-        .prop_map(|(_, stages)| {
-            let periods = [10i64, 20, 50, 100];
-            let mut b = SystemBuilder::new();
-            let e = b.add_ecu("e");
-            let src = b.add_task(TaskSpec::periodic("src", Duration::from_millis(10)));
-            let mut prev = src;
-            let mut last = src;
-            for (i, &(p, wc, bc)) in stages.iter().enumerate() {
-                let period = Duration::from_millis(periods[p]);
-                let wcet = Duration::from_micros(wc * 100);
-                let bcet = Duration::from_micros((bc * 100).min(wc * 100));
-                let t = b.add_task(
-                    TaskSpec::periodic(format!("s{i}"), period)
-                        .execution(bcet, wcet)
-                        .on_ecu(e),
-                );
-                b.connect(prev, t);
-                prev = t;
-                last = t;
-            }
-            (b.build().expect("valid line graph"), last)
-        })
+/// A random small pipeline graph plus the id of its last stage.
+fn random_line_graph(rng: &mut StdRng) -> (CauseEffectGraph, TaskId) {
+    let periods = [10i64, 20, 50, 100];
+    let n_stages = rng.gen_range(2usize..7);
+    let mut b = SystemBuilder::new();
+    let e = b.add_ecu("e");
+    let src = b.add_task(TaskSpec::periodic("src", Duration::from_millis(10)));
+    let mut prev = src;
+    let mut last = src;
+    for i in 0..n_stages {
+        let period = Duration::from_millis(periods[rng.gen_range(0usize..4)]);
+        let wc = rng.gen_range(1i64..20);
+        let bc = rng.gen_range(1i64..10);
+        let wcet = Duration::from_micros(wc * 100);
+        let bcet = Duration::from_micros((bc * 100).min(wc * 100));
+        let t = b.add_task(
+            TaskSpec::periodic(format!("s{i}"), period)
+                .execution(bcet, wcet)
+                .on_ecu(e),
+        );
+        b.connect(prev, t);
+        prev = t;
+        last = t;
+    }
+    (b.build().expect("valid line graph"), last)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// On arbitrary pipelines: WCBT ≥ BCBT, the baseline dominates
-    /// Lemma 4, and chain enumeration finds exactly one chain per task of
-    /// a line.
-    #[test]
-    fn backward_bounds_invariants((graph, tail) in arbitrary_line_graph()) {
+#[test]
+fn backward_bounds_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xD1F4);
+    for case in 0..64 {
+        let (graph, tail) = random_line_graph(&mut rng);
         let report = analyze(&graph).expect("analysis runs");
-        prop_assume!(report.all_schedulable());
+        if !report.all_schedulable() {
+            continue;
+        }
         let rt = report.into_response_times();
         let chains = graph.chains_to(tail, 64).expect("line graph has one chain");
-        prop_assert_eq!(chains.len(), 1);
+        assert_eq!(chains.len(), 1, "case {case}");
         let chain = &chains[0];
         let b = backward_bounds(&graph, chain, &rt);
-        prop_assert!(b.bcbt <= b.wcbt);
-        prop_assert!(baseline_wcbt(&graph, chain, &rt) >= b.wcbt);
+        assert!(b.bcbt <= b.wcbt, "case {case}");
+        assert!(baseline_wcbt(&graph, chain, &rt) >= b.wcbt, "case {case}");
         // Each hop contributes at most T + R (the scheduler-agnostic hop).
         let loose: Duration = chain
             .edges()
             .map(|(a, _)| graph.task(a).period() + rt.wcrt(a))
             .sum();
-        prop_assert!(b.wcbt <= loose);
-    }
-
-    /// Chain splitting reassembles: `split_at` at any cut set covers the
-    /// chain with overlapping endpoints.
-    #[test]
-    fn chain_split_reassembles((graph, tail) in arbitrary_line_graph()) {
-        let chain = &graph.chains_to(tail, 8).expect("one chain")[0];
-        prop_assume!(chain.len() >= 3);
-        let cuts: Vec<TaskId> =
-            vec![chain.get(chain.len() / 2).expect("mid"), chain.tail()];
-        let parts = chain.split_at(&cuts);
-        prop_assert_eq!(parts.len(), 2);
-        prop_assert_eq!(parts[0].head(), chain.head());
-        prop_assert_eq!(parts[0].tail(), parts[1].head());
-        prop_assert_eq!(parts[1].tail(), chain.tail());
-        let total: usize = parts.iter().map(Chain::len).sum();
-        prop_assert_eq!(total, chain.len() + 1); // cut task counted twice
+        assert!(b.wcbt <= loose, "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+#[test]
+fn chain_split_reassembles() {
+    let mut rng = StdRng::seed_from_u64(0xD1F5);
+    for case in 0..64 {
+        let (graph, tail) = random_line_graph(&mut rng);
+        let chain = &graph.chains_to(tail, 8).expect("one chain")[0];
+        if chain.len() < 3 {
+            continue;
+        }
+        let cuts: Vec<TaskId> = vec![chain.get(chain.len() / 2).expect("mid"), chain.tail()];
+        let parts = chain.split_at(&cuts);
+        assert_eq!(parts.len(), 2, "case {case}");
+        assert_eq!(parts[0].head(), chain.head(), "case {case}");
+        assert_eq!(parts[0].tail(), parts[1].head(), "case {case}");
+        assert_eq!(parts[1].tail(), chain.tail(), "case {case}");
+        let total: usize = parts.iter().map(Chain::len).sum();
+        assert_eq!(total, chain.len() + 1, "case {case}"); // cut task counted twice
+    }
+}
 
-    /// The backward-time bounds hold on arbitrary pipelines under
-    /// arbitrary seeds — a randomized end-to-end soundness property
-    /// spanning workload, scheduling analysis, core bounds and simulator.
-    #[test]
-    fn simulated_backward_times_within_bounds(
-        (graph, tail) in arbitrary_line_graph(),
-        seed in 0u64..1_000,
-    ) {
-        use time_disparity::sim::prelude::*;
+/// The backward-time bounds hold on arbitrary pipelines under arbitrary
+/// seeds — a randomized end-to-end soundness property spanning workload,
+/// scheduling analysis, core bounds and simulator.
+#[test]
+fn simulated_backward_times_within_bounds() {
+    use time_disparity::sim::prelude::*;
+    let mut rng = StdRng::seed_from_u64(0xD1F6);
+    for case in 0..16 {
+        let (graph, tail) = random_line_graph(&mut rng);
+        let seed = rng.gen_range(0u64..1_000);
         let report = analyze(&graph).expect("analysis runs");
-        prop_assume!(report.all_schedulable());
+        if !report.all_schedulable() {
+            continue;
+        }
         let rt = report.into_response_times();
         let chain = graph.chains_to(tail, 8).expect("line graph")[0].clone();
         let bounds = backward_bounds(&graph, &chain, &rt);
@@ -168,31 +183,41 @@ proptest! {
         let out = sim.run().expect("valid simulation");
         let obs = out.metrics.chain(0);
         if let (Some(lo), Some(hi)) = (obs.min_backward, obs.max_backward) {
-            prop_assert!(bounds.bcbt <= lo, "BCBT {} > {lo}", bounds.bcbt);
-            prop_assert!(hi <= bounds.wcbt, "{hi} > WCBT {}", bounds.wcbt);
+            assert!(bounds.bcbt <= lo, "case {case}: BCBT {} > {lo}", bounds.bcbt);
+            assert!(hi <= bounds.wcbt, "case {case}: {hi} > WCBT {}", bounds.wcbt);
         }
     }
+}
 
-    /// Response times are monotone in WCET: growing one task's WCET never
-    /// shrinks anybody's response time.
-    #[test]
-    fn wcrt_monotone_in_wcet(
-        w1 in 1i64..5, w2 in 1i64..5, w3 in 1i64..5, grow in 1i64..5,
-    ) {
-        let build = |w1: i64, w2: i64, w3: i64| {
-            let ms = Duration::from_millis;
-            let mut b = SystemBuilder::new();
-            let e = b.add_ecu("e");
-            b.add_task(TaskSpec::periodic("a", ms(20)).wcet(ms(w1)).on_ecu(e));
-            b.add_task(TaskSpec::periodic("b", ms(50)).wcet(ms(w2)).on_ecu(e));
-            b.add_task(TaskSpec::periodic("c", ms(100)).wcet(ms(w3)).on_ecu(e));
-            b.build().expect("valid")
-        };
-        let base = response_times(&build(w1, w2, w3)).expect("light load");
-        let grown = response_times(&build(w1 + grow, w2, w3)).expect("light load");
-        for i in 0..3 {
-            let id = TaskId::from_index(i);
-            prop_assert!(grown.wcrt(id) >= base.wcrt(id));
+/// Response times are monotone in WCET: growing one task's WCET never
+/// shrinks anybody's response time.
+#[test]
+fn wcrt_monotone_in_wcet() {
+    let build = |w1: i64, w2: i64, w3: i64| {
+        let ms = Duration::from_millis;
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        b.add_task(TaskSpec::periodic("a", ms(20)).wcet(ms(w1)).on_ecu(e));
+        b.add_task(TaskSpec::periodic("b", ms(50)).wcet(ms(w2)).on_ecu(e));
+        b.add_task(TaskSpec::periodic("c", ms(100)).wcet(ms(w3)).on_ecu(e));
+        b.build().expect("valid")
+    };
+    // Small enough to sweep exhaustively instead of sampling.
+    for w1 in 1i64..5 {
+        for w2 in 1i64..5 {
+            for w3 in 1i64..5 {
+                for grow in 1i64..5 {
+                    let base = response_times(&build(w1, w2, w3)).expect("light load");
+                    let grown = response_times(&build(w1 + grow, w2, w3)).expect("light load");
+                    for i in 0..3 {
+                        let id = TaskId::from_index(i);
+                        assert!(
+                            grown.wcrt(id) >= base.wcrt(id),
+                            "w=({w1},{w2},{w3}) grow={grow} task {i}"
+                        );
+                    }
+                }
+            }
         }
     }
 }

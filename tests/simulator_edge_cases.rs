@@ -146,8 +146,7 @@ fn bus_hops_respect_bounds() {
 /// P-diff at the task level (the structured-topology regime).
 #[test]
 fn funnel_systems_show_forkjoin_advantage() {
-    use rand::SeedableRng as _;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let mut rng = disparity_rng::rngs::StdRng::seed_from_u64(21);
     let mut s_strictly_tighter = 0;
     // Deep funnels (long shared suffixes) are where truncation pays off.
     let cfg = FunnelConfig::with_approximate_size(15);

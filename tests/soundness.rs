@@ -11,8 +11,8 @@
 //! * the scheduler-agnostic baseline WCBT dominates Lemma 4's;
 //! * observed sink disparity ≤ P-diff, S-diff and Combined bounds.
 
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
+use disparity_rng::rngs::StdRng;
+use disparity_rng::Rng as _;
 use time_disparity::core::prelude::*;
 use time_disparity::model::prelude::*;
 use time_disparity::sched::prelude::*;
