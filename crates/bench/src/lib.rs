@@ -4,9 +4,15 @@
 //! crate ships its own tiny wall-clock harness exposing the subset of the
 //! `criterion` API the benches use (`benchmark_group`, `bench_function`,
 //! `bench_with_input`, `Bencher::iter`, the `criterion_group!` /
-//! `criterion_main!` macros). Results are min/mean nanoseconds per
+//! `criterion_main!` macros). Results are min/median/max nanoseconds per
 //! iteration printed to stdout — enough to compare orders of magnitude
 //! and catch regressions, without statistical machinery.
+//!
+//! When `DISPARITY_BENCH_JSON` names a file, every bench binary also
+//! appends its per-iteration timings there as a `disparity-obs` metrics
+//! report (histogram `bench.<name>` per benchmark, merged on write so the
+//! sequential bench binaries accumulate into one file). See
+//! `scripts/perf_snapshot.sh` and EXPERIMENTS.md, "Observability".
 //!
 //! All content lives in `benches/`:
 //!
@@ -23,7 +29,12 @@
 //! measurements.
 
 use std::fmt;
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+use disparity_model::json::Value;
+use disparity_obs::{Histogram, HistogramSummary, MetricsSnapshot};
 
 /// Measurement budget per benchmark.
 #[derive(Debug, Clone, Copy)]
@@ -197,27 +208,114 @@ impl Criterion {
     }
 }
 
+/// Per-benchmark timing summaries accumulated for [`finalize`].
+static RESULTS: Mutex<Vec<(String, HistogramSummary)>> = Mutex::new(Vec::new());
+
 fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
     if samples.is_empty() {
         println!("{name:<55} (no samples)");
         return;
     }
-    let min = samples.iter().min().copied().unwrap_or_default();
-    let total: Duration = samples.iter().sum();
-    let mean = total / samples.len() as u32;
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let max = *sorted.last().expect("non-empty");
     let mut line = format!(
-        "{name:<55} min {:>12}  mean {:>12}  ({} iters)",
+        "{name:<55} min {:>12}  median {:>12}  max {:>12}  ({} iters)",
         fmt_ns(min),
-        fmt_ns(mean),
+        fmt_ns(median),
+        fmt_ns(max),
         samples.len()
     );
     if let Some(Throughput::Elements(n)) = throughput {
-        if n > 0 && mean.as_nanos() > 0 {
-            let rate = n as f64 / mean.as_secs_f64();
+        if n > 0 && median.as_nanos() > 0 {
+            let rate = n as f64 / median.as_secs_f64();
             line.push_str(&format!("  {rate:.0} elem/s"));
         }
     }
     println!("{line}");
+    let mut hist = Histogram::new();
+    for s in samples {
+        hist.record(i64::try_from(s.as_nanos()).unwrap_or(i64::MAX));
+    }
+    RESULTS
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push((name.to_string(), hist.summary()));
+}
+
+/// Writes the accumulated per-benchmark timings to the file named by
+/// `DISPARITY_BENCH_JSON` (no-op when unset), merging with any report
+/// already there so the sequential bench binaries share one file.
+///
+/// `criterion_main!` calls this after every group has run.
+pub fn finalize() {
+    let Some(path) = std::env::var_os("DISPARITY_BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    if let Err(e) = write_bench_report(Path::new(&path), &results) {
+        eprintln!("disparity-bench: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Merges `results` into the metrics report at `path` (histogram
+/// `bench.<name>` per benchmark, nanoseconds per iteration).
+fn write_bench_report(path: &Path, results: &[(String, HistogramSummary)]) -> Result<(), String> {
+    let mut snap = read_existing_report(path);
+    for (name, summary) in results {
+        let key = format!("bench.{name}");
+        match snap.histograms.iter_mut().find(|(n, _)| *n == key) {
+            Some(slot) => slot.1 = *summary,
+            None => snap.histograms.push((key, *summary)),
+        }
+    }
+    snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    let text = disparity_obs::export::metrics_report(&snap).to_pretty();
+    Value::parse(&text).map_err(|e| format!("bench report does not round-trip: {e}"))?;
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Best-effort parse of an existing metrics report; anything missing or
+/// malformed degrades to an empty snapshot (the file is then rebuilt).
+fn read_existing_report(path: &Path) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return snap;
+    };
+    let Ok(root) = Value::parse(&text) else {
+        return snap;
+    };
+    if let Some(counters) = root.get("counters").and_then(Value::as_object) {
+        for (name, v) in counters {
+            if let Some(n) = v.as_i64() {
+                snap.counters.push((name.clone(), n.max(0) as u64));
+            }
+        }
+    }
+    if let Some(hists) = root.get("histograms").and_then(Value::as_object) {
+        for (name, h) in hists {
+            let field = |k: &str| h.get(k).and_then(Value::as_i64).unwrap_or(0);
+            snap.histograms.push((
+                name.clone(),
+                HistogramSummary {
+                    count: field("count").max(0) as u64,
+                    sum: field("sum"),
+                    min: field("min"),
+                    max: field("max"),
+                    p50: field("p50"),
+                    p95: field("p95"),
+                    p99: field("p99"),
+                },
+            ));
+        }
+    }
+    snap
 }
 
 fn fmt_ns(d: Duration) -> String {
@@ -246,12 +344,14 @@ macro_rules! criterion_group {
 }
 
 /// Mirrors `criterion::criterion_main!`: defines `main` invoking each
-/// group function.
+/// group function, then flushing the JSON timing report (see
+/// [`finalize`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
@@ -283,6 +383,45 @@ mod tests {
     fn benchmark_ids_format() {
         assert_eq!(BenchmarkId::new("p_diff", 10).label, "p_diff/10");
         assert_eq!(BenchmarkId::from_parameter(35).label, "35");
+    }
+
+    #[test]
+    fn json_report_merges_across_writes() {
+        let path = std::env::temp_dir().join(format!(
+            "disparity-bench-report-{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let summary = |min: i64| HistogramSummary {
+            count: 3,
+            sum: min * 3,
+            min,
+            max: min,
+            p50: min,
+            p95: min,
+            p99: min,
+        };
+        write_bench_report(&path, &[("a/1".to_string(), summary(10))]).unwrap();
+        // A second binary's results merge in; re-running a benchmark
+        // replaces its previous entry.
+        write_bench_report(
+            &path,
+            &[("b/2".to_string(), summary(20)), ("a/1".to_string(), summary(30))],
+        )
+        .unwrap();
+        let root = Value::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let hists = root.get("histograms").and_then(Value::as_object).unwrap();
+        assert_eq!(hists.len(), 2);
+        let min_of = |name: &str| {
+            root.get("histograms")
+                .and_then(|h| h.get(name))
+                .and_then(|h| h.get("min"))
+                .and_then(Value::as_i64)
+                .unwrap()
+        };
+        assert_eq!(min_of("bench.a/1"), 30, "rerun replaces the old entry");
+        assert_eq!(min_of("bench.b/2"), 20, "other binaries' entries survive");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

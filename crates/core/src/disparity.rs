@@ -145,6 +145,8 @@ pub fn worst_case_disparity(
     config: AnalysisConfig,
 ) -> Result<DisparityReport, AnalysisError> {
     let chains = graph.chains_to(task, config.chain_limit)?;
+    let mut span = disparity_obs::span("disparity.worst_case");
+    span.attr("chains", chains.len());
     let mut pairs = Vec::new();
     let mut bound = Duration::ZERO;
     for i in 0..chains.len() {
@@ -160,6 +162,8 @@ pub fn worst_case_disparity(
             });
         }
     }
+    span.attr("pairs", pairs.len());
+    span.attr("bound_ns", bound);
     Ok(DisparityReport {
         task,
         method: config.method,
@@ -199,6 +203,18 @@ fn pair_bound_for_method(
         Method::Combined => {
             let (p, _) = pair_bound_for_method(graph, lambda, nu, rt, Method::Independent)?;
             let (s, at) = pair_bound_for_method(graph, lambda, nu, rt, Method::ForkJoin)?;
+            if disparity_obs::is_enabled() {
+                // Attribute which theorem wins and by how much: the gap
+                // between P-diff and S-diff is the pessimism one theorem
+                // carries over the other for this pair.
+                let winner = match s.cmp(&p) {
+                    core::cmp::Ordering::Less => "pairwise.sdiff_tighter",
+                    core::cmp::Ordering::Greater => "pairwise.pdiff_tighter",
+                    core::cmp::Ordering::Equal => "pairwise.tie",
+                };
+                disparity_obs::counter_add(winner, 1);
+                disparity_obs::observe("pairwise.gap_ns", (p - s).abs().as_nanos());
+            }
             Ok((p.min(s), at))
         }
     }

@@ -259,6 +259,16 @@ pub fn decompose_with(
         y[j] = div_floor(num_y.as_nanos(), t_j.as_nanos());
     }
 
+    if disparity_obs::is_enabled() {
+        disparity_obs::counter_add("sdiff.decompositions", 1);
+        disparity_obs::counter_add("sdiff.recursion_steps", c.saturating_sub(1) as u64);
+        disparity_obs::observe("sdiff.common_tasks", i64::try_from(c).unwrap_or(i64::MAX));
+        for j in 0..c {
+            // The paper's job-index window width `y_j − x_j` (Theorem 2).
+            disparity_obs::observe("sdiff.window_span", y[j].saturating_sub(x[j]));
+        }
+    }
+
     Ok(ForkJoinDecomposition {
         commons,
         alphas,

@@ -194,6 +194,11 @@ pub fn check_run_with(
     degraded: bool,
     bounds_of: &dyn Fn(&Chain) -> BackwardBounds,
 ) -> Result<SentinelReport, AnalysisError> {
+    let _span = disparity_obs::span!(
+        "sentinel.check_run",
+        chains = evidence.chains.len(),
+        tasks = evidence.tasks.len(),
+    );
     let mut checks = 0usize;
     let mut violations = Vec::new();
 
@@ -214,12 +219,14 @@ pub fn check_run_with(
     // the only sound move is to flag the run and stop here.
     let enforced = evidence.model_preserving || !evidence.faults_fired;
     if !enforced {
-        return Ok(SentinelReport {
+        let report = SentinelReport {
             enforced,
             degraded,
             checks,
             violations,
-        });
+        };
+        record_verdict(&report);
+        return Ok(report);
     }
 
     for ev in &evidence.chains {
@@ -233,6 +240,7 @@ pub fn check_run_with(
         };
         if let Some(hi) = ev.max_backward {
             checks += 1;
+            observe_slack(upper - hi);
             if hi > upper {
                 violations.push(Violation {
                     kind: CheckKind::Wcbt,
@@ -252,6 +260,7 @@ pub fn check_run_with(
         if let Some(lo) = ev.min_backward {
             let bcbt = bounds_of(&chain).bcbt;
             checks += 1;
+            observe_slack(lo - bcbt);
             if lo < bcbt {
                 violations.push(Violation {
                     kind: CheckKind::Bcbt,
@@ -270,6 +279,7 @@ pub fn check_run_with(
             if let Some(r) = ev.max_response {
                 checks += 1;
                 let wcrt = rt.wcrt(ev.task);
+                observe_slack(wcrt - r);
                 if r > wcrt {
                     violations.push(Violation {
                         kind: CheckKind::Response,
@@ -293,6 +303,7 @@ pub fn check_run_with(
         }
         let p_diff = p_diff_with(evidence.graph, &chains, bounds_of)?;
         checks += 1;
+        observe_slack(p_diff - observed);
         if observed > p_diff {
             violations.push(Violation {
                 kind: CheckKind::PDiff,
@@ -304,6 +315,7 @@ pub fn check_run_with(
         }
         let s_diff = s_diff_with(evidence.graph, &chains, bounds_of)?;
         checks += 1;
+        observe_slack(s_diff - observed);
         if observed > s_diff {
             violations.push(Violation {
                 kind: CheckKind::SDiff,
@@ -315,17 +327,45 @@ pub fn check_run_with(
         }
     }
 
-    Ok(SentinelReport {
+    let report = SentinelReport {
         enforced,
         degraded,
         checks,
         violations,
-    })
+    };
+    record_verdict(&report);
+    Ok(report)
 }
 
 /// Chain-enumeration budget for the disparity checks; generous for the
 /// WATERS-style workloads the soak harness generates.
 const DISPARITY_CHAIN_LIMIT: usize = 4096;
+
+/// Feeds the sentinel's verdict counters: runs judged, checks evaluated,
+/// violations found, plus flagged (bound checks skipped after fired
+/// model-violating faults) and degraded (baseline fallback) runs.
+fn record_verdict(report: &SentinelReport) {
+    if !disparity_obs::is_enabled() {
+        return;
+    }
+    disparity_obs::counter_add("sentinel.runs", 1);
+    disparity_obs::counter_add("sentinel.checks", report.checks as u64);
+    disparity_obs::counter_add("sentinel.violations", report.violations.len() as u64);
+    if !report.enforced {
+        disparity_obs::counter_add("sentinel.flagged", 1);
+    }
+    if report.degraded {
+        disparity_obs::counter_add("sentinel.degraded", 1);
+    }
+}
+
+/// Records the observed-vs-bound slack (`bound − observed`, negative on a
+/// violation) of one passed-or-failed bound check.
+fn observe_slack(slack: Duration) {
+    if disparity_obs::is_enabled() {
+        disparity_obs::observe("sentinel.slack_ns", slack.as_nanos());
+    }
+}
 
 /// Theorem 1 over every unordered chain pair.
 fn p_diff_with(

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! audit <spec.json> [--budget-ms N] [--optimize] [--dot FILE] [--sim-secs S]
+//!       [--trace-out FILE] [--metrics-out FILE]
 //! ```
 //!
 //! Reads a [`disparity_model::spec::SystemSpec`], then prints:
@@ -17,11 +18,15 @@
 //!
 //! Exits non-zero if a `--budget-ms` disparity budget is violated by any
 //! sink, making the tool usable as a CI gate for timing requirements.
+//!
+//! `--trace-out`/`--metrics-out` record the analysis and the simulation
+//! cross-check with `disparity-obs` (see EXPERIMENTS.md, "Observability").
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use disparity_core::prelude::*;
+use disparity_experiments::obscli::ObsArgs;
 use disparity_model::prelude::*;
 use disparity_model::spec::SystemSpec;
 use disparity_sched::prelude::*;
@@ -35,6 +40,7 @@ struct Args {
     let_mode: bool,
     dot: Option<PathBuf>,
     sim_secs: i64,
+    obs: ObsArgs,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,8 +50,12 @@ fn parse_args() -> Result<Args, String> {
     let mut let_mode = false;
     let mut dot = None;
     let mut sim_secs = 5;
+    let mut obs = ObsArgs::default();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        if obs.try_parse(&arg, &mut || it.next())? {
+            continue;
+        }
         match arg.as_str() {
             "--budget-ms" => {
                 let v = it.next().ok_or("--budget-ms needs a value")?;
@@ -73,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         let_mode,
         dot,
         sim_secs,
+        obs,
     })
 }
 
@@ -260,12 +271,27 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: audit <spec.json> [--budget-ms N] [--optimize] [--let] [--dot FILE] [--sim-secs S]"
+                "usage: audit <spec.json> [--budget-ms N] [--optimize] [--let] [--dot FILE] \
+                 [--sim-secs S] [--trace-out FILE] [--metrics-out FILE]"
             );
             return ExitCode::FAILURE;
         }
     };
-    match run(&args) {
+    args.obs.enable_if_requested();
+    let outcome = run(&args);
+    // Flush even on audit failures so the recording survives for diagnosis.
+    match args.obs.flush() {
+        Ok(lines) => {
+            for line in lines {
+                eprintln!("audit: {line}");
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match outcome {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! fig6 [a|b|c|d|ab|cd|funnel|all] [--full] [--seed N] [--out DIR] [--horizon-secs S]
+//!      [--trace-out FILE] [--metrics-out FILE]
 //! ```
 //!
 //! * `a`/`b` share one sweep (absolute values vs. incremental ratios), as
@@ -11,12 +12,15 @@
 //!   10 offsets per point (hours of wall-clock time). The default is a
 //!   quick profile whose qualitative shape matches.
 //! * CSV lands in `--out` (default `results/`); markdown goes to stdout.
+//! * `--trace-out`/`--metrics-out` record the sweeps with `disparity-obs`
+//!   (see EXPERIMENTS.md, "Observability").
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use disparity_experiments::fig6ab::{self, Fig6abConfig};
 use disparity_experiments::fig6cd::{self, Fig6cdConfig};
+use disparity_experiments::obscli::ObsArgs;
 use disparity_model::time::Duration;
 
 #[derive(Debug)]
@@ -28,6 +32,7 @@ struct Args {
     seed: Option<u64>,
     out: PathBuf,
     horizon_secs: Option<i64>,
+    obs: ObsArgs,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,10 +44,14 @@ fn parse_args() -> Result<Args, String> {
         seed: None,
         out: PathBuf::from("results"),
         horizon_secs: None,
+        obs: ObsArgs::default(),
     };
     let mut saw_selector = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        if args.obs.try_parse(&arg, &mut || it.next())? {
+            continue;
+        }
         match arg.as_str() {
             "a" | "b" | "ab" => {
                 args.run_ab = true;
@@ -91,12 +100,30 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: fig6 [a|b|c|d|ab|cd|funnel|all] [--full] [--seed N] [--out DIR] [--horizon-secs S]"
+                "usage: fig6 [a|b|c|d|ab|cd|funnel|all] [--full] [--seed N] [--out DIR] \
+                 [--horizon-secs S] [--trace-out FILE] [--metrics-out FILE]"
             );
             return ExitCode::FAILURE;
         }
     };
+    args.obs.enable_if_requested();
+    let code = run_sweeps(&args);
+    // Flush even when a sweep failed so partial runs stay inspectable.
+    match args.obs.flush() {
+        Ok(lines) => {
+            for line in lines {
+                eprintln!("fig6: {line}");
+            }
+            code
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
+fn run_sweeps(args: &Args) -> ExitCode {
     let horizon = |quick: i64| {
         Duration::from_secs(
             args.horizon_secs

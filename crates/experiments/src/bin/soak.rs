@@ -17,20 +17,29 @@
 //! * `--seeds N` — seeds per (system, plan) combination.
 //! * `--horizon-ms N` — simulated horizon per run.
 //! * `--base-seed N` — derivation seed for the whole sweep.
+//! * `--trace-out FILE` / `--metrics-out FILE` — record the sweep with
+//!   `disparity-obs` and write a Chrome trace / metrics report. Both are
+//!   flushed even when the sweep fails (see EXPERIMENTS.md,
+//!   "Observability").
 
 use std::process::ExitCode;
 
+use disparity_experiments::obscli::ObsArgs;
 use disparity_experiments::soak::{fault_catalog, run_soak, SoakConfig};
 use disparity_model::time::Duration;
 
-const USAGE: &str =
-    "usage: soak [--quick] [--systems N] [--seeds N] [--horizon-ms N] [--base-seed N]";
+const USAGE: &str = "usage: soak [--quick] [--systems N] [--seeds N] [--horizon-ms N] \
+     [--base-seed N] [--trace-out FILE] [--metrics-out FILE]";
 
 /// `Ok(None)` means help was requested (print usage, exit zero).
-fn parse_args() -> Result<Option<SoakConfig>, String> {
+fn parse_args() -> Result<Option<(SoakConfig, ObsArgs)>, String> {
     let mut config = SoakConfig::default();
+    let mut obs = ObsArgs::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        if obs.try_parse(&arg, &mut || args.next())? {
+            continue;
+        }
         let mut take = |name: &str| -> Result<u64, String> {
             args.next()
                 .ok_or_else(|| format!("{name} needs a value"))?
@@ -54,11 +63,11 @@ fn parse_args() -> Result<Option<SoakConfig>, String> {
             other => return Err(format!("unknown option {other} (try --help)")),
         }
     }
-    Ok(Some(config))
+    Ok(Some((config, obs)))
 }
 
 fn main() -> ExitCode {
-    let config = match parse_args() {
+    let (config, obs) = match parse_args() {
         Ok(Some(c)) => c,
         Ok(None) => {
             println!("{USAGE}");
@@ -70,6 +79,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    obs.enable_if_requested();
     eprintln!(
         "soak: {} fault plans x {} combos planned (horizon {}, base seed {:#x})",
         fault_catalog().len(),
@@ -87,6 +97,19 @@ fn main() -> ExitCode {
         summary.skipped,
         summary.degraded_warnings,
     );
+    // Flush before the exit-code decision so a failing sweep still leaves
+    // its trace and metrics behind for diagnosis.
+    match obs.flush() {
+        Ok(lines) => {
+            for line in lines {
+                eprintln!("soak: {line}");
+            }
+        }
+        Err(e) => {
+            eprintln!("soak: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if summary.checks == 0 {
         // Every run was skipped (e.g. a horizon at or below the warm-up):
         // nothing was verified, so a green exit would be vacuous.

@@ -170,6 +170,8 @@ fn sweep_point<F>(config: &Fig6abConfig, point: usize, n_tasks: usize, generate:
 where
     F: Fn(usize, &Fig6abConfig, &mut StdRng) -> Option<disparity_model::graph::CauseEffectGraph>,
 {
+    let mut span = disparity_obs::span("fig6ab.point");
+    span.attr("n_tasks", n_tasks);
     let mut rng = StdRng::seed_from_u64(config.seed ^ ((point as u64) << 32));
     let mut p_values = Vec::new();
     let mut s_values = Vec::new();
@@ -180,20 +182,31 @@ where
     let mut attempts = 0usize;
     while produced < config.graphs_per_point && attempts < config.graphs_per_point * 20 {
         attempts += 1;
-        let Some(graph) = generate(n_tasks, config, &mut rng) else {
+        let generated = {
+            let _span = disparity_obs::span!("fig6ab.generate", n_tasks = n_tasks);
+            generate(n_tasks, config, &mut rng)
+        };
+        let Some(graph) = generated else {
             continue;
         };
         let sink = graph.sinks()[0];
-        let Some(bounds) = analyze_sink(&graph, sink, config.chain_limit) else {
+        let bounds = {
+            let _span = disparity_obs::span!("fig6ab.analyze", n_tasks = n_tasks);
+            analyze_sink(&graph, sink, config.chain_limit)
+        };
+        let Some(bounds) = bounds else {
             continue; // chain explosion: redraw
         };
-        let sim_ms = simulate_max_disparity(
-            &graph,
-            sink,
-            config.offsets_per_graph,
-            config.sim_horizon,
-            &mut rng,
-        );
+        let sim_ms = {
+            let _span = disparity_obs::span!("fig6ab.simulate", n_tasks = n_tasks);
+            simulate_max_disparity(
+                &graph,
+                sink,
+                config.offsets_per_graph,
+                config.sim_horizon,
+                &mut rng,
+            )
+        };
         p_values.push(bounds.p_ms);
         s_values.push(bounds.s_ms);
         p_pair_values.push(bounds.p_pair_mean_ms);
@@ -201,6 +214,8 @@ where
         sim_values.push(sim_ms);
         produced += 1;
     }
+    span.attr("graphs", produced);
+    span.attr("attempts", attempts);
     let p_diff_ms = mean(&p_values).unwrap_or(0.0);
     let s_diff_ms = mean(&s_values).unwrap_or(0.0);
     let sim_ms = mean(&sim_values).unwrap_or(0.0);

@@ -104,6 +104,8 @@ pub fn run(config: &Fig6cdConfig) -> Vec<Fig6cdRow> {
 
 fn sweep_point(config: &Fig6cdConfig, point: usize, chain_len: usize) -> Fig6cdRow {
     {
+        let mut span = disparity_obs::span("fig6cd.point");
+        span.attr("chain_len", chain_len);
         let mut rng = StdRng::seed_from_u64(config.seed ^ ((point as u64) << 32));
         let mut s_vals = Vec::new();
         let mut sb_vals = Vec::new();
@@ -113,10 +115,14 @@ fn sweep_point(config: &Fig6cdConfig, point: usize, chain_len: usize) -> Fig6cdR
         let mut attempts = 0usize;
         while produced < config.systems_per_point && attempts < config.systems_per_point * 20 {
             attempts += 1;
-            let Ok(sys) = schedulable_two_chain_system(chain_len, config.n_ecus, &mut rng, 50)
-            else {
+            let generated = {
+                let _span = disparity_obs::span!("fig6cd.generate", chain_len = chain_len);
+                schedulable_two_chain_system(chain_len, config.n_ecus, &mut rng, 50)
+            };
+            let Ok(sys) = generated else {
                 continue;
             };
+            let _analyze_span = disparity_obs::span!("fig6cd.analyze", chain_len = chain_len);
             let Ok(report) = analyze(&sys.graph) else {
                 continue;
             };
@@ -127,6 +133,7 @@ fn sweep_point(config: &Fig6cdConfig, point: usize, chain_len: usize) -> Fig6cdR
             let Ok(plan) = design_buffer(&sys.graph, &sys.lambda, &sys.nu, &rt) else {
                 continue;
             };
+            drop(_analyze_span);
             let mut buffered = sys.graph.clone();
             if plan.apply(&mut buffered).is_err() {
                 continue;
@@ -134,6 +141,7 @@ fn sweep_point(config: &Fig6cdConfig, point: usize, chain_len: usize) -> Fig6cdR
             // Warm-up long enough for the FIFO to fill plus slack.
             let warmup = (plan.shift * 2 + Duration::from_millis(400)).min(config.sim_horizon / 2);
             let sink = sys.sink();
+            let _simulate_span = disparity_obs::span!("fig6cd.simulate", chain_len = chain_len);
             let sim = simulate_max(
                 &sys.graph,
                 sink,
@@ -150,6 +158,7 @@ fn sweep_point(config: &Fig6cdConfig, point: usize, chain_len: usize) -> Fig6cdR
                 warmup,
                 &mut rng,
             );
+            drop(_simulate_span);
             s_vals.push(s_diff.as_millis_f64());
             sb_vals.push(plan.bound_after.as_millis_f64());
             sim_vals.push(sim);

@@ -6,6 +6,8 @@
 //! * [`soak`] — fault-injection soundness soak over seeds × plans ×
 //!   workloads (the `soak` binary).
 //! * [`table`] / [`stats`] — CSV/markdown emission and aggregation.
+//! * [`obscli`] — shared `--trace-out`/`--metrics-out` flag handling (see
+//!   the "Observability" section of EXPERIMENTS.md).
 //!
 //! The `fig6` binary drives these sweeps
 //! (`cargo run -p disparity-experiments --release --bin fig6 -- all`);
@@ -16,6 +18,7 @@
 
 pub mod fig6ab;
 pub mod fig6cd;
+pub mod obscli;
 pub mod soak;
 pub mod stats;
 pub mod table;

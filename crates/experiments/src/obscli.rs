@@ -1,0 +1,102 @@
+//! Shared `--trace-out` / `--metrics-out` plumbing for the experiment
+//! binaries.
+//!
+//! Every binary that supports observability output parses the two flags
+//! into an [`ObsArgs`], calls [`ObsArgs::enable_if_requested`] before the
+//! workload runs, and [`ObsArgs::flush`] once it is done — including on
+//! failure exits, so a sweep that dies early still leaves its trace and
+//! metrics behind.
+
+use std::path::PathBuf;
+
+/// Optional observability output paths, parsed from the command line.
+#[derive(Debug, Clone, Default)]
+pub struct ObsArgs {
+    /// Destination of the Chrome trace-event file (`--trace-out`).
+    pub trace_out: Option<PathBuf>,
+    /// Destination of the flat metrics report (`--metrics-out`).
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl ObsArgs {
+    /// Returns `true` when at least one output was requested.
+    #[must_use]
+    pub fn requested(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Tries to consume `arg` as one of the two flags, pulling the value
+    /// from `next`. Returns `Ok(true)` when the flag was recognized.
+    pub fn try_parse(
+        &mut self,
+        arg: &str,
+        next: &mut dyn FnMut() -> Option<String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--trace-out" => {
+                self.trace_out = Some(PathBuf::from(next().ok_or("--trace-out needs a value")?));
+                Ok(true)
+            }
+            "--metrics-out" => {
+                self.metrics_out =
+                    Some(PathBuf::from(next().ok_or("--metrics-out needs a value")?));
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Turns the recorder on when any output was requested. Must run
+    /// before the instrumented workload.
+    pub fn enable_if_requested(&self) {
+        if self.requested() {
+            disparity_obs::enable();
+        }
+    }
+
+    /// Writes every requested output, draining the recorder. Returns one
+    /// human-readable line per file written.
+    pub fn flush(&self) -> Result<Vec<String>, String> {
+        let mut written = Vec::new();
+        if let Some(path) = &self.trace_out {
+            disparity_obs::export::write_chrome_trace(path)
+                .map_err(|e| format!("failed to write trace {}: {e}", path.display()))?;
+            written.push(format!("trace written to {}", path.display()));
+        }
+        if let Some(path) = &self.metrics_out {
+            disparity_obs::export::write_metrics_report(path)
+                .map_err(|e| format!("failed to write metrics {}: {e}", path.display()))?;
+            written.push(format!("metrics written to {}", path.display()));
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_flags_and_ignores_others() {
+        let mut args = ObsArgs::default();
+        let mut vals = vec!["t.json".to_string(), "m.json".to_string()].into_iter();
+        let mut next = || vals.next();
+        assert!(args.try_parse("--trace-out", &mut next).unwrap());
+        assert!(args.try_parse("--metrics-out", &mut next).unwrap());
+        assert!(!args.try_parse("--seed", &mut next).unwrap());
+        assert_eq!(args.trace_out.as_deref(), Some(std::path::Path::new("t.json")));
+        assert_eq!(
+            args.metrics_out.as_deref(),
+            Some(std::path::Path::new("m.json"))
+        );
+        assert!(args.requested());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let mut args = ObsArgs::default();
+        let mut next = || None;
+        assert!(args.try_parse("--trace-out", &mut next).is_err());
+        assert!(!ObsArgs::default().requested());
+    }
+}

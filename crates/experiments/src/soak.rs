@@ -379,12 +379,34 @@ fn run_one(
     Ok((report, artifact))
 }
 
+/// Wall-clock gap between progress heartbeats on long sweeps.
+const HEARTBEAT_PERIOD: std::time::Duration = std::time::Duration::from_secs(2);
+
+/// One `progress:` heartbeat line: combos done, violations, elapsed time.
+fn progress_line(summary: &SoakSummary, total: usize, started: std::time::Instant) -> String {
+    format!(
+        "progress: {}/{} combos, {} violations, {:.1}s elapsed",
+        summary.runs,
+        total,
+        summary.violations.len(),
+        started.elapsed().as_secs_f64()
+    )
+}
+
 /// Runs the full sweep. `log` receives progress and warning lines (the
 /// binary routes them to stderr; tests capture them).
+///
+/// Long sweeps emit a `progress:` heartbeat through `log` at least every
+/// [`HEARTBEAT_PERIOD`], and one final heartbeat is always flushed before
+/// returning — including sweeps that end early because every system was
+/// skipped.
 pub fn run_soak(config: &SoakConfig, log: &mut dyn FnMut(String)) -> SoakSummary {
     let systems = build_systems(config, log);
     let catalog = fault_catalog();
     let mut summary = SoakSummary::default();
+    let total = config.combos();
+    let started = std::time::Instant::now();
+    let mut last_beat = started;
     for system in &systems {
         for (plan_name, plan) in &catalog {
             for s in 0..config.seeds_per_combo {
@@ -394,6 +416,17 @@ pub fn run_soak(config: &SoakConfig, log: &mut dyn FnMut(String)) -> SoakSummary
                     .wrapping_add((summary.runs as u64) << 17)
                     .wrapping_add(s as u64);
                 summary.runs += 1;
+                let _span = disparity_obs::span!(
+                    "soak.run",
+                    system = system.name.as_str(),
+                    plan = *plan_name,
+                    seed = seed,
+                );
+                disparity_obs::counter_add("soak.runs", 1);
+                if last_beat.elapsed() >= HEARTBEAT_PERIOD {
+                    last_beat = std::time::Instant::now();
+                    log(progress_line(&summary, total, started));
+                }
                 match run_one(system, *plan, seed, config) {
                     Ok((report, artifact)) => {
                         summary.checks += report.checks;
@@ -439,6 +472,7 @@ pub fn run_soak(config: &SoakConfig, log: &mut dyn FnMut(String)) -> SoakSummary
             }
         }
     }
+    log(progress_line(&summary, total, started));
     summary
 }
 
@@ -478,6 +512,16 @@ mod tests {
             lines.iter().any(|l| l.contains("Dürr-style baseline")),
             "degradation warns: {lines:?}"
         );
+        let beat = lines
+            .iter()
+            .find(|l| l.starts_with("progress: "))
+            .expect("final heartbeat is always flushed");
+        assert!(
+            beat.contains(&format!("{}/{} combos", summary.runs, config.combos())),
+            "heartbeat reports completion: {beat}"
+        );
+        assert!(beat.contains("0 violations"), "heartbeat: {beat}");
+        assert!(beat.contains("s elapsed"), "heartbeat: {beat}");
     }
 
     #[test]

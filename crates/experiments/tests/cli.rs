@@ -86,6 +86,55 @@ fn audit_writes_dot_output() {
 }
 
 #[test]
+fn audit_emits_trace_and_metrics_on_request() {
+    let spec = write_spec("audit_cli_obs.json");
+    let trace = std::env::temp_dir().join("audit_cli_obs_trace.json");
+    let metrics = std::env::temp_dir().join("audit_cli_obs_metrics.json");
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&metrics);
+    let out = Command::new(audit_bin())
+        .arg(&spec)
+        .args(["--sim-secs", "1", "--trace-out"])
+        .arg(&trace)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .output()
+        .expect("audit runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("trace written to"), "stderr: {stderr}");
+    assert!(stderr.contains("metrics written to"), "stderr: {stderr}");
+    let trace_json = disparity_model::json::Value::parse(
+        &std::fs::read_to_string(&trace).expect("trace exists"),
+    )
+    .expect("trace parses");
+    assert!(
+        !trace_json
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents")
+            .is_empty(),
+        "audit recorded spans"
+    );
+    let report = disparity_model::json::Value::parse(
+        &std::fs::read_to_string(&metrics).expect("metrics exist"),
+    )
+    .expect("metrics parse");
+    assert!(
+        report
+            .get("counters")
+            .and_then(|c| c.get("sim.events"))
+            .and_then(|v| v.as_i64())
+            .is_some_and(|n| n > 0),
+        "the simulation cross-check was counted"
+    );
+}
+
+#[test]
 fn fig6_rejects_unknown_selector() {
     let out = Command::new(env!("CARGO_BIN_EXE_fig6"))
         .arg("bogus")

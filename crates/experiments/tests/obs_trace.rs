@@ -1,0 +1,162 @@
+//! Golden observability test: records a tiny Fig. 6(a)/(b) sweep and
+//! checks that the exported Chrome trace is parseable and well-nested and
+//! that the metrics report carries the headline instrumentation.
+//!
+//! This lives in its own integration-test binary because the recorder is
+//! global per process: other tests enabling/draining it concurrently
+//! would race with the golden run.
+
+use disparity_experiments::fig6ab::{self, Fig6abConfig};
+use disparity_model::json::Value;
+use disparity_model::time::Duration;
+
+fn scratch_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("disparity-obs-{}-{name}", std::process::id()));
+    p
+}
+
+/// One trace event, reduced to the fields the nesting check needs.
+struct Event {
+    name: String,
+    tid: i64,
+    start_ns: i64,
+    end_ns: i64,
+}
+
+fn events_of(trace: &Value) -> Vec<Event> {
+    trace
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array")
+        .iter()
+        .map(|e| {
+            assert_eq!(e.get("ph").and_then(Value::as_str), Some("X"));
+            assert!(e.get("ts").and_then(Value::as_f64).is_some(), "ts present");
+            assert!(e.get("dur").and_then(Value::as_f64).is_some(), "dur");
+            let args = e.get("args").expect("args object");
+            let start_ns = args.get("start_ns").and_then(Value::as_i64).unwrap();
+            let dur_ns = args.get("dur_ns").and_then(Value::as_i64).unwrap();
+            assert!(dur_ns >= 0, "span durations are non-negative");
+            Event {
+                name: e.get("name").and_then(Value::as_str).unwrap().to_string(),
+                tid: e.get("tid").and_then(Value::as_i64).unwrap(),
+                start_ns,
+                end_ns: start_ns + dur_ns,
+            }
+        })
+        .collect()
+}
+
+/// Within one thread, any two spans must either nest or be disjoint —
+/// partial overlap would mean the RAII guards closed out of order.
+fn assert_well_nested(events: &[Event]) {
+    for (i, a) in events.iter().enumerate() {
+        for b in &events[i + 1..] {
+            if a.tid != b.tid {
+                continue;
+            }
+            let disjoint = a.end_ns <= b.start_ns || b.end_ns <= a.start_ns;
+            let a_in_b = b.start_ns <= a.start_ns && a.end_ns <= b.end_ns;
+            let b_in_a = a.start_ns <= b.start_ns && b.end_ns <= a.end_ns;
+            assert!(
+                disjoint || a_in_b || b_in_a,
+                "spans `{}` [{}, {}] and `{}` [{}, {}] partially overlap on tid {}",
+                a.name,
+                a.start_ns,
+                a.end_ns,
+                b.name,
+                b.start_ns,
+                b.end_ns,
+                a.tid
+            );
+        }
+    }
+}
+
+fn counter(report: &Value, name: &str) -> i64 {
+    report
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_i64)
+        .unwrap_or_else(|| panic!("counter `{name}` missing from report"))
+}
+
+fn histogram<'a>(report: &'a Value, name: &str) -> &'a Value {
+    report
+        .get("histograms")
+        .and_then(|h| h.get(name))
+        .unwrap_or_else(|| panic!("histogram `{name}` missing from report"))
+}
+
+#[test]
+fn fig6ab_run_exports_nested_trace_and_headline_metrics() {
+    disparity_obs::reset();
+    disparity_obs::enable();
+    let rows = fig6ab::run(&Fig6abConfig {
+        task_counts: vec![5, 8],
+        graphs_per_point: 2,
+        offsets_per_graph: 2,
+        sim_horizon: Duration::from_millis(1_500),
+        ..Default::default()
+    });
+    assert!(rows.iter().all(|r| r.graphs > 0), "sweep produced graphs");
+
+    let trace_path = scratch_path("trace.json");
+    let metrics_path = scratch_path("metrics.json");
+    disparity_obs::export::write_chrome_trace(&trace_path).expect("trace writes");
+    disparity_obs::export::write_metrics_report(&metrics_path).expect("metrics write");
+    disparity_obs::disable();
+
+    let trace = Value::parse(&std::fs::read_to_string(&trace_path).unwrap())
+        .expect("trace re-parses with the in-tree JSON parser");
+    let events = events_of(&trace);
+    assert!(!events.is_empty(), "the sweep recorded spans");
+    assert_well_nested(&events);
+    // The sweep phases all appear, and every point span contains at least
+    // its own thread's generate/analyze/simulate children.
+    for phase in ["fig6ab.point", "fig6ab.generate", "fig6ab.analyze", "fig6ab.simulate"] {
+        assert!(
+            events.iter().any(|e| e.name == phase),
+            "phase `{phase}` missing from trace"
+        );
+    }
+    // WCRT analysis runs inside the sweep's analyze phase.
+    assert!(events.iter().any(|e| e.name == "wcrt.response_times"));
+
+    let report = Value::parse(&std::fs::read_to_string(&metrics_path).unwrap())
+        .expect("metrics report re-parses");
+    assert_eq!(
+        report.get("schema").and_then(Value::as_str),
+        Some("disparity-obs/metrics-v1")
+    );
+    // Headline counters from every instrumented layer.
+    assert!(counter(&report, "sdiff.decompositions") > 0, "S-diff ran");
+    assert!(
+        counter(&report, "wcrt.fixed_point_iterations") > 0,
+        "WCRT fixed point iterated"
+    );
+    assert!(counter(&report, "sim.events") > 0, "simulator dispatched");
+    assert!(counter(&report, "sim.tokens_produced") > 0, "tokens flowed");
+    // Phase-timing histograms come from the span auto-histograms.
+    for h in ["span.fig6ab.point", "span.fig6ab.analyze", "span.wcrt.response_times"] {
+        let hist = histogram(&report, h);
+        let count = hist.get("count").and_then(Value::as_i64).unwrap();
+        assert!(count > 0, "{h} recorded");
+        let p50 = hist.get("p50").and_then(Value::as_i64).unwrap();
+        let p99 = hist.get("p99").and_then(Value::as_i64).unwrap();
+        let max = hist.get("max").and_then(Value::as_i64).unwrap();
+        assert!(p50 <= p99 && p99 <= max, "{h} quantiles are ordered");
+    }
+    // The S-diff window width `y_j − x_j` (Theorem 2) is observed.
+    assert!(
+        histogram(&report, "sdiff.window_span")
+            .get("count")
+            .and_then(Value::as_i64)
+            .unwrap()
+            > 0
+    );
+
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_file(&metrics_path).ok();
+}

@@ -1,0 +1,139 @@
+//! Exporters: Chrome trace-event JSON and the flat metrics report.
+//!
+//! Both render through the in-tree [`disparity_model::json`] module and
+//! are written with [`write_chrome_trace`] / [`write_metrics_report`],
+//! which also round-trip-parse what they wrote so a corrupt file fails
+//! loudly at the producer instead of inside `chrome://tracing`.
+
+use std::io;
+use std::path::Path;
+
+use disparity_model::json::{self, Value};
+
+use crate::metrics::MetricsSnapshot;
+use crate::recorder::{AttrValue, SpanRecord};
+
+/// Schema tag stamped into metrics reports (and `BENCH_*.json` files).
+pub const METRICS_SCHEMA: &str = "disparity-obs/metrics-v1";
+
+/// Schema tag stamped into Chrome trace files (in `otherData`).
+pub const TRACE_SCHEMA: &str = "disparity-obs/trace-v1";
+
+fn attr_value(attr: &AttrValue) -> Value {
+    match attr {
+        AttrValue::Int(n) => Value::Int(*n),
+        AttrValue::Float(x) => Value::Float(*x),
+        AttrValue::Text(s) => Value::Str(s.clone()),
+    }
+}
+
+/// Render spans as a Chrome trace-event document (`chrome://tracing` /
+/// Perfetto "JSON object format"): complete `"X"` events with
+/// microsecond `ts`/`dur`, one `tid` per recording thread, and the exact
+/// nanosecond timing plus user attributes under `args`.
+#[must_use]
+pub fn chrome_trace(spans: &[SpanRecord]) -> Value {
+    let events: Vec<Value> = spans
+        .iter()
+        .map(|span| {
+            let mut args = vec![
+                ("start_ns".to_string(), Value::Int(span.start_ns)),
+                ("dur_ns".to_string(), Value::Int(span.dur_ns)),
+                ("depth".to_string(), Value::Int(i64::from(span.depth))),
+            ];
+            for (key, value) in &span.attrs {
+                args.push(((*key).to_string(), attr_value(value)));
+            }
+            json::object(vec![
+                ("name", Value::from(span.name)),
+                ("cat", Value::from("span")),
+                ("ph", Value::from("X")),
+                ("ts", Value::Float(span.start_ns as f64 / 1_000.0)),
+                ("dur", Value::Float(span.dur_ns as f64 / 1_000.0)),
+                ("pid", Value::Int(0)),
+                ("tid", Value::Int(i64::try_from(span.thread).unwrap_or(i64::MAX))),
+                ("args", Value::Object(args)),
+            ])
+        })
+        .collect();
+    json::object(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::from("ms")),
+        (
+            "otherData",
+            json::object(vec![("schema", Value::from(TRACE_SCHEMA))]),
+        ),
+    ])
+}
+
+/// Render a metrics snapshot as the flat report: a `counters` object
+/// (name → value) and a `histograms` object (name → count/sum/min/max/
+/// p50/p95/p99), both sorted by name for diff-friendly output.
+#[must_use]
+pub fn metrics_report(snapshot: &MetricsSnapshot) -> Value {
+    let counters: Vec<(String, Value)> = snapshot
+        .counters
+        .iter()
+        .map(|(name, value)| {
+            (
+                name.clone(),
+                Value::Int(i64::try_from(*value).unwrap_or(i64::MAX)),
+            )
+        })
+        .collect();
+    let histograms: Vec<(String, Value)> = snapshot
+        .histograms
+        .iter()
+        .map(|(name, h)| {
+            (
+                name.clone(),
+                json::object(vec![
+                    ("count", Value::Int(i64::try_from(h.count).unwrap_or(i64::MAX))),
+                    ("sum", Value::Int(h.sum)),
+                    ("min", Value::Int(h.min)),
+                    ("max", Value::Int(h.max)),
+                    ("p50", Value::Int(h.p50)),
+                    ("p95", Value::Int(h.p95)),
+                    ("p99", Value::Int(h.p99)),
+                ]),
+            )
+        })
+        .collect();
+    json::object(vec![
+        ("schema", Value::from(METRICS_SCHEMA)),
+        ("counters", Value::Object(counters)),
+        ("histograms", Value::Object(histograms)),
+    ])
+}
+
+fn write_validated(path: &Path, value: &Value) -> io::Result<()> {
+    let text = value.to_pretty();
+    Value::parse(&text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("obs export does not round-trip: {e}"),
+        )
+    })?;
+    std::fs::write(path, text)
+}
+
+/// Drain all recorded spans and write them to `path` as a Chrome trace.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; fails with [`io::ErrorKind::InvalidData`]
+/// if the rendered JSON does not round-trip through the in-tree parser.
+pub fn write_chrome_trace(path: &Path) -> io::Result<()> {
+    let spans = crate::recorder::take_spans();
+    write_validated(path, &chrome_trace(&spans))
+}
+
+/// Snapshot the metrics registry and write the report to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; fails with [`io::ErrorKind::InvalidData`]
+/// if the rendered JSON does not round-trip through the in-tree parser.
+pub fn write_metrics_report(path: &Path) -> io::Result<()> {
+    write_validated(path, &metrics_report(&crate::metrics::snapshot()))
+}

@@ -1,0 +1,250 @@
+//! Global span recorder: default-off, thread-safe, RAII-based.
+//!
+//! The recorder is a process-wide singleton. [`enable`] switches it on;
+//! while off, [`span`] returns an inert guard and the only cost paid by
+//! instrumented code is one relaxed atomic load. Closed spans accumulate
+//! in a global buffer until drained with [`take_spans`].
+//!
+//! Nesting is tracked per thread: guards created on the same thread form
+//! a stack (enforced by RAII scoping), and each record carries the stack
+//! depth at creation so exported traces are well-nested by construction.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::metrics;
+
+/// Master switch. Relaxed loads are enough: a span that narrowly misses
+/// an `enable()` is simply not recorded, which is acceptable.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Wall-clock origin for span timestamps; fixed at first `enable()` so
+/// timestamps are comparable across threads for the process lifetime.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Closed spans awaiting export.
+static SPANS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+/// Source of dense per-thread track ids for trace export.
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Turn recording on. Idempotent; fixes the timestamp epoch on first call.
+pub fn enable() {
+    epoch();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn recording off. Spans already open keep recording until dropped.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether the recorder is currently on. This is the ~one-atomic-load
+/// gate instrumented hot paths may use to skip attribute computation.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Drain and return every span closed since the last drain.
+pub fn take_spans() -> Vec<SpanRecord> {
+    std::mem::take(&mut *SPANS.lock().expect("obs span buffer poisoned"))
+}
+
+/// Discard all recorded spans and metrics (recording stays on/off as-is).
+pub fn reset() {
+    take_spans();
+    metrics::clear();
+}
+
+/// An attribute value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Signed integer attribute (counts, nanoseconds, indices).
+    Int(i64),
+    /// Floating-point attribute (ratios, utilizations).
+    Float(f64),
+    /// Free-form text attribute.
+    Text(String),
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::Int(i64::from(v))
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Text(v.to_owned())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Text(v)
+    }
+}
+impl From<disparity_model::time::Duration> for AttrValue {
+    fn from(v: disparity_model::time::Duration) -> Self {
+        AttrValue::Int(v.as_nanos())
+    }
+}
+
+/// A closed span, ready for export.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (static so instrumentation never allocates for names).
+    pub name: &'static str,
+    /// Start offset in nanoseconds since the recording epoch.
+    pub start_ns: i64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: i64,
+    /// Dense per-thread track id (maps to `tid` in Chrome traces).
+    pub thread: u64,
+    /// Nesting depth on that thread when the span opened (0 = root).
+    pub depth: u32,
+    /// Key-value attributes attached while the span was open.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    start: Instant,
+    start_ns: i64,
+    thread: u64,
+    depth: u32,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// RAII guard returned by [`span`]. Records a [`SpanRecord`] on drop if
+/// the recorder was enabled when the guard was created.
+#[must_use = "a span guard records its duration when dropped; binding it to `_` closes it immediately"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl std::fmt::Debug for ActiveSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActiveSpan")
+            .field("name", &self.name)
+            .field("depth", &self.depth)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Open a span. Inert (and nearly free) when recording is disabled.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { active: None };
+    }
+    let start = Instant::now();
+    let start_ns = i64::try_from(start.saturating_duration_since(epoch()).as_nanos())
+        .unwrap_or(i64::MAX);
+    let thread = THREAD_ID.with(|t| *t);
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    SpanGuard {
+        active: Some(ActiveSpan {
+            name,
+            start,
+            start_ns,
+            thread,
+            depth,
+            attrs: Vec::new(),
+        }),
+    }
+}
+
+impl SpanGuard {
+    /// Whether this guard will record on drop. Use to skip computing
+    /// expensive attribute values when recording is off.
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Attach a key-value attribute. No-op on an inert guard.
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(active) = &mut self.active {
+            active.attrs.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let dur_ns =
+            i64::try_from(active.start.elapsed().as_nanos()).unwrap_or(i64::MAX);
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        metrics::observe_span_duration(active.name, dur_ns);
+        let record = SpanRecord {
+            name: active.name,
+            start_ns: active.start_ns,
+            dur_ns,
+            thread: active.thread,
+            depth: active.depth,
+            attrs: active.attrs,
+        };
+        SPANS.lock().expect("obs span buffer poisoned").push(record);
+    }
+}
+
+/// Open a span with attributes in one expression.
+///
+/// Attribute value expressions are only evaluated when recording is
+/// enabled, so `span!("x", detail = expensive())` stays free when off.
+///
+/// ```
+/// let _guard = disparity_obs::span!("phase");
+/// let n = 3usize;
+/// let _guard2 = disparity_obs::span!("phase.step", items = n, label = "warm");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        let mut guard = $crate::span($name);
+        if guard.is_recording() {
+            $(guard.attr(stringify!($key), $value);)+
+        }
+        guard
+    }};
+}

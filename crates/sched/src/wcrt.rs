@@ -114,6 +114,8 @@ impl ResponseTimes {
 /// * [`SchedError::NonConvergence`] if a fixed point is not reached within
 ///   the iteration budget.
 pub fn response_times(graph: &CauseEffectGraph) -> Result<ResponseTimes, SchedError> {
+    let _span = disparity_obs::span!("wcrt.response_times", tasks = graph.task_count());
+    disparity_obs::counter_add("wcrt.analyses", 1);
     for ecu in graph.ecus() {
         let u = ecu_utilization(graph, ecu.id());
         if u >= 1.0 {
@@ -168,9 +170,14 @@ fn task_response(
         }
     }
 
+    // Fixed-point iterations spent on this task, across the busy-period
+    // loop and every per-instance loop; fed to the obs layer at the end.
+    let mut iterations: u64 = 0;
+
     // Length of the level-i busy period.
     let mut busy = blocking + c;
     for _ in 0..MAX_ITERATIONS {
+        iterations += 1;
         let mut next = blocking + busy.div_ceil(t).max(1) * c;
         for &(cj, tj) in &hp {
             next += busy.div_ceil(tj).max(1) * cj;
@@ -195,6 +202,7 @@ fn task_response(
         let mut w = blocking + c * q;
         let mut converged = false;
         for _ in 0..MAX_ITERATIONS {
+            iterations += 1;
             let mut next = blocking + c * q;
             for &(cj, tj) in &hp {
                 next += (next_release_count(w, tj)) * cj;
@@ -216,6 +224,13 @@ fn task_response(
                 max_start_delay: start_delay,
             };
         }
+    }
+    if disparity_obs::is_enabled() {
+        disparity_obs::counter_add("wcrt.fixed_point_iterations", iterations);
+        disparity_obs::observe(
+            "wcrt.iterations",
+            i64::try_from(iterations).unwrap_or(i64::MAX),
+        );
     }
     Ok(worst)
 }

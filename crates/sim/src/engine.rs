@@ -262,6 +262,11 @@ struct Engine<'g> {
     /// Pending stall-resume event per ECU, to avoid duplicates.
     resume_scheduled: Vec<Option<Instant>>,
     faults: FaultSummary,
+    /// Events dispatched from the heap (local tally, flushed to the obs
+    /// layer at the end of the run when recording is enabled).
+    events: u64,
+    /// Tokens actually written into channel buffers.
+    tokens_produced: u64,
 }
 
 impl<'g> Engine<'g> {
@@ -323,6 +328,8 @@ impl<'g> Engine<'g> {
             nominal_next: vec![Instant::ZERO; n_tasks],
             resume_scheduled: vec![None; graph.ecus().len().max(1)],
             faults: FaultSummary::default(),
+            events: 0,
+            tokens_produced: 0,
         }
     }
 
@@ -355,6 +362,9 @@ impl<'g> Engine<'g> {
     }
 
     fn run(&mut self) -> SimOutcome {
+        let mut span = disparity_obs::span("sim.run");
+        span.attr("horizon_ns", self.config.horizon);
+        span.attr("seed", self.config.seed);
         let end = Instant::ZERO + self.config.horizon;
         for id in 0..self.graph.task_count() {
             let task_id = TaskId::from_index(id);
@@ -373,6 +383,7 @@ impl<'g> Engine<'g> {
                     break;
                 }
                 self.heap.pop();
+                self.events += 1;
                 match ev.kind {
                     EventKind::Finish(ecu) => self.handle_finish(ecu, now),
                     EventKind::Publish(_, task) => {
@@ -390,11 +401,34 @@ impl<'g> Engine<'g> {
                 self.dispatch(ecu, now);
             }
         }
+        if disparity_obs::is_enabled() {
+            self.flush_obs_counters();
+        }
         SimOutcome {
             metrics: std::mem::take(&mut self.metrics),
             trace: self.trace.take(),
             faults: self.faults,
         }
+    }
+
+    /// Publishes the run's tallies: engine events dispatched, tokens
+    /// produced/dropped, and fault injections by kind.
+    fn flush_obs_counters(&self) {
+        disparity_obs::counter_add("sim.events", self.events);
+        disparity_obs::counter_add("sim.tokens_produced", self.tokens_produced);
+        disparity_obs::counter_add("sim.tokens_dropped", self.faults.dropped_tokens);
+        disparity_obs::counter_add(
+            "sim.faults.jittered_releases",
+            self.faults.jittered_releases,
+        );
+        disparity_obs::counter_add(
+            "sim.faults.overruns_beyond_wcet",
+            self.faults.overruns_beyond_wcet,
+        );
+        disparity_obs::counter_add(
+            "sim.faults.stalled_dispatches",
+            self.faults.stalled_dispatches,
+        );
     }
 
     fn handle_release(&mut self, task_id: TaskId, now: Instant, end: Instant) {
@@ -608,6 +642,7 @@ impl<'g> Engine<'g> {
                 buf.pop_front();
             }
             buf.push_back(token);
+            self.tokens_produced += 1;
         }
     }
 

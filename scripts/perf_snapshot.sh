@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Capture a benchmark snapshot as a disparity-obs metrics report.
+#
+# Runs every bench binary with DISPARITY_BENCH_JSON pointed at one file;
+# the in-tree criterion shim merges each binary's min/median/max timings
+# into it (histogram `bench.<name>`, nanoseconds per iteration).
+#
+#   scripts/perf_snapshot.sh [OUT.json]
+#
+# Default output: BENCH_obs_baseline.json at the repo root — the
+# committed baseline used to eyeball perf drift across PRs. Absolute
+# numbers are machine-dependent; compare shapes and ratios, not raw ns.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_obs_baseline.json}"
+# Cargo runs bench binaries from the package directory, so anchor a
+# relative OUT to the repo root before handing it over.
+case "$out" in
+    /*) ;;
+    *) out="$(pwd)/$out" ;;
+esac
+rm -f "$out"
+
+DISPARITY_BENCH_JSON="$out" cargo bench -p disparity-bench
+
+test -s "$out"
+echo "perf snapshot written to $out"

@@ -17,7 +17,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
-echo "==> soak smoke (fault-injection soundness sweep, quick profile)"
-cargo run -p disparity-experiments --release --bin soak -- --quick
+echo "==> soak smoke (fault-injection soundness sweep, quick profile, obs recording)"
+cargo run -p disparity-experiments --release --bin soak -- --quick \
+    --trace-out target/obs-trace.json --metrics-out target/obs-metrics.json
+
+echo "==> obs smoke (trace + metrics emitted and non-empty)"
+test -s target/obs-trace.json
+test -s target/obs-metrics.json
+grep -q '"disparity-obs/trace-v1"' target/obs-trace.json
+grep -q '"disparity-obs/metrics-v1"' target/obs-metrics.json
 
 echo "tier1: all gates passed"
