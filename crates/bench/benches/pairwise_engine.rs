@@ -1,0 +1,100 @@
+//! Benchmarks the memoized [`AnalysisEngine`] against the direct
+//! (uncached) pairwise analysis on the default Fig. 6(a)/(b) workload.
+//!
+//! `cached` runs `AnalysisEngine::worst_case_disparity` — one hop-bound
+//! per graph edge, one prefix table per enumerated chain, O(1) lookups
+//! per pair. `uncached` runs `worst_case_disparity_direct`, which refolds
+//! the backward bounds of both chains from scratch for every pair. Before
+//! any timing, the two paths are asserted to produce bit-identical
+//! reports, so the speedup is measured between observationally equal
+//! implementations.
+
+use disparity_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disparity_core::disparity::{worst_case_disparity_direct, AnalysisConfig};
+use disparity_core::engine::AnalysisEngine;
+use disparity_core::pairwise::Method;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_sched::schedulability::analyze;
+use disparity_sched::wcrt::ResponseTimes;
+use disparity_workload::graphgen::{schedulable_random_system, GraphGenConfig};
+use disparity_rng::rngs::StdRng;
+use std::hint::black_box;
+
+/// Mirrors the default `Fig6abConfig` generator parameters (4 ECUs,
+/// `2.5 × n` edges, ≤ 3 sources, 0.45 per-ECU utilization).
+fn fig6ab_system(n_tasks: usize, seed: u64) -> (CauseEffectGraph, ResponseTimes) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = schedulable_random_system(
+        GraphGenConfig {
+            n_tasks,
+            n_ecus: 4,
+            n_edges: Some((n_tasks as f64 * 2.5) as usize),
+            max_sources: Some(3),
+            target_utilization: Some(0.45),
+        },
+        &mut rng,
+        200,
+    )
+    .expect("generator finds a schedulable system");
+    let rt = analyze(&graph).expect("schedulable").into_response_times();
+    (graph, rt)
+}
+
+const CONFIG: AnalysisConfig = AnalysisConfig {
+    method: Method::Combined,
+    chain_limit: 4096,
+};
+
+fn bench_engine_vs_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise_engine/sink_analysis");
+    for &n in &[20usize, 35] {
+        let (graph, rt) = fig6ab_system(n, 42);
+        let sink = *graph.sinks().first().expect("finite DAG has a sink");
+
+        // Consistency gate: the cached and uncached paths must agree
+        // bit-for-bit before either is worth timing.
+        let cached = AnalysisEngine::new(&graph, &rt)
+            .worst_case_disparity(sink, CONFIG)
+            .expect("engine analysis");
+        let uncached =
+            worst_case_disparity_direct(&graph, sink, &rt, CONFIG).expect("direct analysis");
+        assert_eq!(cached.bound, uncached.bound, "bound mismatch at n={n}");
+        assert_eq!(cached.chains, uncached.chains, "chain set mismatch at n={n}");
+        assert_eq!(cached.pairs.len(), uncached.pairs.len());
+        for (a, b) in cached.pairs.iter().zip(&uncached.pairs) {
+            assert_eq!(
+                (a.lambda, a.nu, a.analyzed_at, a.bound),
+                (b.lambda, b.nu, b.analyzed_at, b.bound),
+                "pair mismatch at n={n}",
+            );
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("cached", n),
+            &(&graph, &rt),
+            |b, (graph, rt)| {
+                b.iter(|| {
+                    AnalysisEngine::new(black_box(graph), rt)
+                        .worst_case_disparity(sink, CONFIG)
+                        .expect("analysis succeeds")
+                        .bound
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("uncached", n),
+            &(&graph, &rt),
+            |b, (graph, rt)| {
+                b.iter(|| {
+                    worst_case_disparity_direct(black_box(graph), sink, rt, CONFIG)
+                        .expect("analysis succeeds")
+                        .bound
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_vs_direct);
+criterion_main!(benches);

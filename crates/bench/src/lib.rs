@@ -278,7 +278,22 @@ fn write_bench_report(path: &Path, results: &[(String, HistogramSummary)]) -> Re
     snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
     let text = disparity_obs::export::metrics_report(&snap).to_pretty();
     Value::parse(&text).map_err(|e| format!("bench report does not round-trip: {e}"))?;
-    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    // Write-to-temp + rename so a concurrently running bench binary (or a
+    // reader like perf_snapshot.sh) never observes a half-written file.
+    // The temp file lives in the target directory so the rename stays on
+    // one filesystem and is atomic.
+    let tmp = path.with_file_name(format!(
+        "{}.tmp.{}",
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "bench-report".to_string()),
+        std::process::id()
+    ));
+    std::fs::write(&tmp, text).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot move {} into place: {e}", tmp.display())
+    })
 }
 
 /// Best-effort parse of an existing metrics report; anything missing or
@@ -422,6 +437,39 @@ mod tests {
         assert_eq!(min_of("bench.a/1"), 30, "rerun replaces the old entry");
         assert_eq!(min_of("bench.b/2"), 20, "other binaries' entries survive");
         std::fs::remove_file(&path).ok();
+    }
+
+    /// The merge-under-existing-report path goes through a temp file that
+    /// is renamed into place: the target is never truncated in place, and
+    /// no `.tmp.` litter survives the write.
+    #[test]
+    fn report_write_is_atomic_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join(format!("disparity-bench-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let summary = |min: i64| HistogramSummary {
+            count: 1,
+            sum: min,
+            min,
+            max: min,
+            p50: min,
+            p95: min,
+            p99: min,
+        };
+        // Seed an existing report, then merge a second write into it.
+        write_bench_report(&path, &[("seed/1".to_string(), summary(1))]).unwrap();
+        write_bench_report(&path, &[("merge/2".to_string(), summary(2))]).unwrap();
+        let root = Value::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let hists = root.get("histograms").and_then(Value::as_object).unwrap();
+        assert_eq!(hists.len(), 2, "existing entries survive the merge");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

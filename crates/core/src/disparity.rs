@@ -20,6 +20,7 @@ use disparity_model::time::Duration;
 use disparity_sched::schedulability::analyze;
 use disparity_sched::wcrt::ResponseTimes;
 
+use crate::engine::AnalysisEngine;
 use crate::error::AnalysisError;
 use crate::pairwise::{pairwise_bound, Method};
 
@@ -144,8 +145,29 @@ pub fn worst_case_disparity(
     rt: &ResponseTimes,
     config: AnalysisConfig,
 ) -> Result<DisparityReport, AnalysisError> {
+    AnalysisEngine::new(graph, rt).worst_case_disparity(task, config)
+}
+
+/// The uncached reference path of [`worst_case_disparity`]: every pair
+/// recomputes its backward bounds from scratch via
+/// [`pairwise_bound`].
+///
+/// The memoized [`AnalysisEngine`] is bit-identical to this function (the
+/// `engine_consistency` test suite pins that); it exists as the oracle
+/// for those tests and as the "uncached" side of the `pairwise_engine`
+/// bench.
+///
+/// # Errors
+///
+/// Same conditions as [`worst_case_disparity`].
+pub fn worst_case_disparity_direct(
+    graph: &CauseEffectGraph,
+    task: TaskId,
+    rt: &ResponseTimes,
+    config: AnalysisConfig,
+) -> Result<DisparityReport, AnalysisError> {
     let chains = graph.chains_to(task, config.chain_limit)?;
-    let mut span = disparity_obs::span("disparity.worst_case");
+    let mut span = disparity_obs::span("disparity.worst_case_direct");
     span.attr("chains", chains.len());
     let mut pairs = Vec::new();
     let mut bound = Duration::ZERO;
@@ -240,7 +262,7 @@ pub fn analyze_task(
             violations: report.violations(),
         });
     }
-    worst_case_disparity(graph, task, report.response_times(), config)
+    AnalysisEngine::new(graph, report.response_times()).worst_case_disparity(task, config)
 }
 
 /// Bounds the worst-case time disparity of **every** task with at least
@@ -259,22 +281,9 @@ pub fn analyze_all_tasks(
     rt: &ResponseTimes,
     config: AnalysisConfig,
 ) -> Result<(Vec<DisparityReport>, Vec<TaskId>), AnalysisError> {
-    let mut reports = Vec::new();
-    let mut skipped = Vec::new();
-    for task in graph.tasks() {
-        match worst_case_disparity(graph, task.id(), rt, config) {
-            Ok(report) => {
-                if report.chains.len() >= 2 {
-                    reports.push(report);
-                }
-            }
-            Err(AnalysisError::Model(disparity_model::error::ModelError::ChainLimitExceeded {
-                ..
-            })) => skipped.push(task.id()),
-            Err(e) => return Err(e),
-        }
-    }
-    Ok((reports, skipped))
+    // One engine for the whole audit: the hop-bound cache is shared
+    // across every analyzed task of the graph.
+    AnalysisEngine::new(graph, rt).analyze_all_tasks(config)
 }
 
 #[cfg(test)]

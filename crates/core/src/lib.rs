@@ -11,6 +11,8 @@
 //! * [`window`] — sampling-window arithmetic (Lemmas 1–2);
 //! * [`pairwise`] — Theorem 1 (**P-diff**) and Theorem 2 (**S-diff**);
 //! * [`disparity`] — per-task worst-case disparity via pair enumeration;
+//! * [`engine`] — the memoized (and optionally parallel) form of that
+//!   enumeration: per-graph hop-bound cache + per-chain prefix tables;
 //! * [`buffering`] — Algorithm 1 buffer design, Theorem 3, and a greedy
 //!   multi-pair extension.
 //!
@@ -48,6 +50,7 @@ pub mod backward;
 pub mod baseline;
 pub mod buffering;
 pub mod disparity;
+pub mod engine;
 pub mod error;
 pub mod latency;
 pub mod letmodel;
@@ -67,9 +70,10 @@ pub mod prelude {
         design_buffer, optimize_task, BufferPlan, BufferedSide, OptimizationOutcome,
     };
     pub use crate::disparity::{
-        analyze_all_tasks, analyze_task, worst_case_disparity, AnalysisConfig, DisparityReport,
-        PairBound,
+        analyze_all_tasks, analyze_task, worst_case_disparity, worst_case_disparity_direct,
+        AnalysisConfig, DisparityReport, PairBound,
     };
+    pub use crate::engine::AnalysisEngine;
     pub use crate::error::AnalysisError;
     pub use crate::latency::{data_age_bound, reaction_time_bound};
     pub use crate::letmodel::{let_backward_bounds, let_pairwise_bound, let_worst_case_disparity};

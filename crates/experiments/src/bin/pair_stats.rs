@@ -31,7 +31,11 @@ fn main() {
             100,
         )
         .expect("generation succeeds");
-        let sink = graph.sinks()[0];
+        let Some(&sink) = graph.sinks().first() else {
+            disparity_obs::counter_add("pair_stats.sink_missing", 1);
+            println!("graph {g_idx}: no sink, skipped");
+            continue;
+        };
         let rt = analyze(&graph).expect("schedulable").into_response_times();
         let chains = match graph.chains_to(sink, 4096) {
             Ok(c) => c,

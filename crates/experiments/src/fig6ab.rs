@@ -9,7 +9,8 @@
 //! Fig. 6(a) plots the absolute values, Fig. 6(b) the incremental ratios
 //! `(bound − Sim)/Sim`.
 
-use disparity_core::disparity::{worst_case_disparity, AnalysisConfig};
+use disparity_core::disparity::AnalysisConfig;
+use disparity_core::engine::AnalysisEngine;
 use disparity_core::pairwise::Method;
 use disparity_model::graph::CauseEffectGraph;
 use disparity_model::ids::TaskId;
@@ -22,6 +23,7 @@ use disparity_workload::graphgen::{schedulable_random_system, GraphGenConfig};
 use disparity_workload::offsets::randomize_offsets;
 use disparity_rng::rngs::StdRng;
 
+use crate::par::{attempt_seed, attempt_workers, run_indexed};
 use crate::stats::{incremental_ratio, mean};
 use crate::table::{fmt_ms, fmt_pct, Table};
 
@@ -99,6 +101,17 @@ pub struct Fig6abRow {
     pub graphs: usize,
 }
 
+impl Fig6abRow {
+    /// Whether the point's attempt budget exhausted without producing a
+    /// single graph. An empty row carries no data — its means are
+    /// placeholders, not measurements — and is excluded from the rendered
+    /// tables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.graphs == 0
+    }
+}
+
 /// Runs the sweep on G(n, m) graphs (the paper's generator family) and
 /// returns one row per task count.
 ///
@@ -140,9 +153,12 @@ pub fn run_funnel(config: &Fig6abConfig) -> Vec<Fig6abRow> {
 
 /// Shared sweep driver over an arbitrary graph generator.
 ///
-/// Points are independent (each has its own derived RNG seed), so they are
-/// computed on one thread per point; results are deterministic per
-/// configuration regardless of scheduling.
+/// Parallelism is two-level: one thread per X-axis point, and inside each
+/// point the graph *attempts* fan out over a worker pool at per-graph
+/// granularity. Every attempt derives its own RNG seed from
+/// `(seed, point, attempt)` (see [`attempt_seed`]), and results are
+/// reduced in attempt-index order, so rows are deterministic per
+/// configuration regardless of worker count or scheduling.
 fn run_with<F>(config: &Fig6abConfig, generate: F) -> Vec<Fig6abRow>
 where
     F: Fn(usize, &Fig6abConfig, &mut StdRng) -> Option<disparity_model::graph::CauseEffectGraph>
@@ -168,57 +184,49 @@ where
 
 fn sweep_point<F>(config: &Fig6abConfig, point: usize, n_tasks: usize, generate: &F) -> Fig6abRow
 where
-    F: Fn(usize, &Fig6abConfig, &mut StdRng) -> Option<disparity_model::graph::CauseEffectGraph>,
+    F: Fn(usize, &Fig6abConfig, &mut StdRng) -> Option<disparity_model::graph::CauseEffectGraph>
+        + Sync,
 {
     let mut span = disparity_obs::span("fig6ab.point");
     span.attr("n_tasks", n_tasks);
-    let mut rng = StdRng::seed_from_u64(config.seed ^ ((point as u64) << 32));
-    let mut p_values = Vec::new();
-    let mut s_values = Vec::new();
-    let mut p_pair_values = Vec::new();
-    let mut s_pair_values = Vec::new();
-    let mut sim_values = Vec::new();
-    let mut produced = 0usize;
+    let budget = config.graphs_per_point * 20;
+    let workers = attempt_workers();
+    let mut samples: Vec<Sample> = Vec::with_capacity(config.graphs_per_point);
     let mut attempts = 0usize;
-    while produced < config.graphs_per_point && attempts < config.graphs_per_point * 20 {
-        attempts += 1;
-        let generated = {
-            let _span = disparity_obs::span!("fig6ab.generate", n_tasks = n_tasks);
-            generate(n_tasks, config, &mut rng)
-        };
-        let Some(graph) = generated else {
-            continue;
-        };
-        let sink = graph.sinks()[0];
-        let bounds = {
-            let _span = disparity_obs::span!("fig6ab.analyze", n_tasks = n_tasks);
-            analyze_sink(&graph, sink, config.chain_limit)
-        };
-        let Some(bounds) = bounds else {
-            continue; // chain explosion: redraw
-        };
-        let sim_ms = {
-            let _span = disparity_obs::span!("fig6ab.simulate", n_tasks = n_tasks);
-            simulate_max_disparity(
-                &graph,
-                sink,
-                config.offsets_per_graph,
-                config.sim_horizon,
-                &mut rng,
-            )
-        };
-        p_values.push(bounds.p_ms);
-        s_values.push(bounds.s_ms);
-        p_pair_values.push(bounds.p_pair_mean_ms);
-        s_pair_values.push(bounds.s_pair_mean_ms);
-        sim_values.push(sim_ms);
-        produced += 1;
+    while samples.len() < config.graphs_per_point && attempts < budget {
+        // Wave size = graphs still needed: the wave boundaries depend only
+        // on per-attempt outcomes (seeded by index), never on how many
+        // workers happen to be available, so the attempt sequence — and
+        // with it the row — is identical on every machine.
+        let wave = (config.graphs_per_point - samples.len()).min(budget - attempts);
+        let results = run_indexed(wave, workers, |i| {
+            sweep_attempt(config, point, n_tasks, attempts + i, generate)
+        });
+        attempts += wave;
+        samples.extend(results.into_iter().flatten());
     }
-    span.attr("graphs", produced);
+    span.attr("graphs", samples.len());
     span.attr("attempts", attempts);
-    let p_diff_ms = mean(&p_values).unwrap_or(0.0);
-    let s_diff_ms = mean(&s_values).unwrap_or(0.0);
-    let sim_ms = mean(&sim_values).unwrap_or(0.0);
+    if samples.is_empty() {
+        // Budget exhausted with nothing produced: emit an explicitly
+        // empty row instead of all-zero "measurements".
+        disparity_obs::counter_add("fig6ab.point_exhausted", 1);
+        return Fig6abRow {
+            n_tasks,
+            p_diff_ms: 0.0,
+            s_diff_ms: 0.0,
+            sim_ms: 0.0,
+            p_ratio: None,
+            s_ratio: None,
+            p_pair_mean_ms: 0.0,
+            s_pair_mean_ms: 0.0,
+            graphs: 0,
+        };
+    }
+    let collect = |f: fn(&Sample) -> f64| samples.iter().map(f).collect::<Vec<f64>>();
+    let p_diff_ms = mean(&collect(|s| s.p_ms)).unwrap_or(0.0);
+    let s_diff_ms = mean(&collect(|s| s.s_ms)).unwrap_or(0.0);
+    let sim_ms = mean(&collect(|s| s.sim_ms)).unwrap_or(0.0);
     Fig6abRow {
         n_tasks,
         p_diff_ms,
@@ -226,10 +234,67 @@ where
         sim_ms,
         p_ratio: incremental_ratio(p_diff_ms, sim_ms),
         s_ratio: incremental_ratio(s_diff_ms, sim_ms),
-        p_pair_mean_ms: mean(&p_pair_values).unwrap_or(0.0),
-        s_pair_mean_ms: mean(&s_pair_values).unwrap_or(0.0),
-        graphs: produced,
+        p_pair_mean_ms: mean(&collect(|s| s.p_pair_mean_ms)).unwrap_or(0.0),
+        s_pair_mean_ms: mean(&collect(|s| s.s_pair_mean_ms)).unwrap_or(0.0),
+        graphs: samples.len(),
     }
+}
+
+/// One attempt: generate, analyze and simulate a single graph with an RNG
+/// seeded from the attempt index alone.
+fn sweep_attempt<F>(
+    config: &Fig6abConfig,
+    point: usize,
+    n_tasks: usize,
+    attempt: usize,
+    generate: &F,
+) -> Option<Sample>
+where
+    F: Fn(usize, &Fig6abConfig, &mut StdRng) -> Option<disparity_model::graph::CauseEffectGraph>,
+{
+    let mut rng = StdRng::seed_from_u64(attempt_seed(config.seed, point, attempt));
+    let generated = {
+        let _span = disparity_obs::span!("fig6ab.generate", n_tasks = n_tasks);
+        generate(n_tasks, config, &mut rng)
+    };
+    let graph = generated?;
+    let Some(&sink) = graph.sinks().first() else {
+        // A generator can hand back a sinkless graph (e.g. one whose only
+        // terminal is also a source); count it and redraw rather than
+        // indexing into an empty Vec.
+        disparity_obs::counter_add("fig6ab.sink_missing", 1);
+        return None;
+    };
+    let bounds = {
+        let _span = disparity_obs::span!("fig6ab.analyze", n_tasks = n_tasks);
+        analyze_sink(&graph, sink, config.chain_limit)
+    }?;
+    let sim_ms = {
+        let _span = disparity_obs::span!("fig6ab.simulate", n_tasks = n_tasks);
+        simulate_max_disparity(
+            &graph,
+            sink,
+            config.offsets_per_graph,
+            config.sim_horizon,
+            &mut rng,
+        )
+    };
+    Some(Sample {
+        p_ms: bounds.p_ms,
+        s_ms: bounds.s_ms,
+        p_pair_mean_ms: bounds.p_pair_mean_ms,
+        s_pair_mean_ms: bounds.s_pair_mean_ms,
+        sim_ms,
+    })
+}
+
+/// One attempt's measurements.
+struct Sample {
+    p_ms: f64,
+    s_ms: f64,
+    p_pair_mean_ms: f64,
+    s_pair_mean_ms: f64,
+    sim_ms: f64,
 }
 
 /// Per-graph analysis results.
@@ -248,26 +313,28 @@ fn analyze_sink(graph: &CauseEffectGraph, sink: TaskId, chain_limit: usize) -> O
         return None;
     }
     let rt = report.into_response_times();
-    let p = worst_case_disparity(
-        graph,
-        sink,
-        &rt,
-        AnalysisConfig {
-            method: Method::Independent,
-            chain_limit,
-        },
-    )
-    .ok()?;
-    let s = worst_case_disparity(
-        graph,
-        sink,
-        &rt,
-        AnalysisConfig {
-            method: Method::ForkJoin,
-            chain_limit,
-        },
-    )
-    .ok()?;
+    // One engine for both methods: the hop-bound cache warmed by the
+    // P-diff pass is reused wholesale by the S-diff pass. The pair loop
+    // stays serial — the sweep already parallelizes per attempt.
+    let engine = AnalysisEngine::new(graph, &rt).with_workers(1);
+    let p = engine
+        .worst_case_disparity(
+            sink,
+            AnalysisConfig {
+                method: Method::Independent,
+                chain_limit,
+            },
+        )
+        .ok()?;
+    let s = engine
+        .worst_case_disparity(
+            sink,
+            AnalysisConfig {
+                method: Method::ForkJoin,
+                chain_limit,
+            },
+        )
+        .ok()?;
     let pair_mean = |r: &disparity_core::disparity::DisparityReport| {
         let vals: Vec<f64> = r.pairs.iter().map(|p| p.bound.as_millis_f64()).collect();
         mean(&vals).unwrap_or(0.0)
@@ -316,7 +383,8 @@ fn rng_seed(rng: &mut StdRng, salt: usize) -> u64 {
     rng.gen::<u64>() ^ (salt as u64)
 }
 
-/// Renders the Fig. 6(a) view (absolute values).
+/// Renders the Fig. 6(a) view (absolute values). Empty rows (points whose
+/// attempt budget exhausted) carry no data and are skipped.
 #[must_use]
 pub fn table_a(rows: &[Fig6abRow]) -> Table {
     let mut t = Table::new([
@@ -328,7 +396,7 @@ pub fn table_a(rows: &[Fig6abRow]) -> Table {
         "S-pair-mean_ms",
         "graphs",
     ]);
-    for r in rows {
+    for r in rows.iter().filter(|r| !r.is_empty()) {
         t.push_row([
             r.n_tasks.to_string(),
             fmt_ms(r.p_diff_ms),
@@ -342,11 +410,12 @@ pub fn table_a(rows: &[Fig6abRow]) -> Table {
     t
 }
 
-/// Renders the Fig. 6(b) view (incremental ratios vs. Sim).
+/// Renders the Fig. 6(b) view (incremental ratios vs. Sim). Empty rows
+/// are skipped, matching [`table_a`].
 #[must_use]
 pub fn table_b(rows: &[Fig6abRow]) -> Table {
     let mut t = Table::new(["n_tasks", "P-diff_ratio", "S-diff_ratio"]);
-    for r in rows {
+    for r in rows.iter().filter(|r| !r.is_empty()) {
         t.push_row([
             r.n_tasks.to_string(),
             fmt_pct(r.p_ratio),
@@ -412,6 +481,26 @@ mod tests {
             assert_eq!(x.s_diff_ms, y.s_diff_ms);
             assert_eq!(x.sim_ms, y.sim_ms);
         }
+    }
+
+    /// A generator that never produces marks the point as empty instead of
+    /// emitting a silent all-zero row, and the tables drop it.
+    #[test]
+    fn exhausted_point_yields_empty_row_excluded_from_tables() {
+        let cfg = Fig6abConfig {
+            task_counts: vec![5],
+            graphs_per_point: 2,
+            ..Default::default()
+        };
+        let rows = run_with(&cfg, |_, _, _| None);
+        assert_eq!(rows.len(), 1, "one row per point, even when empty");
+        let r = &rows[0];
+        assert!(r.is_empty());
+        assert_eq!(r.graphs, 0);
+        assert_eq!(r.p_ratio, None);
+        assert_eq!(r.s_ratio, None);
+        assert_eq!(table_a(&rows).len(), 0, "empty rows are not rendered");
+        assert_eq!(table_b(&rows).len(), 0);
     }
 
     #[test]

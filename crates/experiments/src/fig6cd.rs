@@ -28,6 +28,7 @@ use disparity_workload::offsets::randomize_offsets;
 use disparity_rng::rngs::StdRng;
 use disparity_rng::Rng as _;
 
+use crate::par::{attempt_seed, attempt_workers, run_indexed};
 use crate::stats::{incremental_ratio, mean};
 use crate::table::{fmt_ms, fmt_pct, Table};
 
@@ -82,8 +83,19 @@ pub struct Fig6cdRow {
     pub systems: usize,
 }
 
-/// Runs the sweep and returns one row per chain length. Points run on one
-/// thread each (independent derived seeds keep the result deterministic).
+impl Fig6cdRow {
+    /// Whether the point's attempt budget exhausted without producing a
+    /// single system (see [`Fig6abRow::is_empty`](crate::fig6ab::Fig6abRow::is_empty)).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.systems == 0
+    }
+}
+
+/// Runs the sweep and returns one row per chain length. Parallelism is
+/// two-level — one thread per point, plus a per-system worker pool inside
+/// each point with seeds derived per attempt — and stays deterministic for
+/// any worker count (results reduce in attempt order).
 #[must_use]
 pub fn run(config: &Fig6cdConfig) -> Vec<Fig6cdRow> {
     let mut rows: Vec<Option<Fig6cdRow>> = vec![None; config.chain_lengths.len()];
@@ -103,83 +115,111 @@ pub fn run(config: &Fig6cdConfig) -> Vec<Fig6cdRow> {
 }
 
 fn sweep_point(config: &Fig6cdConfig, point: usize, chain_len: usize) -> Fig6cdRow {
-    {
-        let mut span = disparity_obs::span("fig6cd.point");
-        span.attr("chain_len", chain_len);
-        let mut rng = StdRng::seed_from_u64(config.seed ^ ((point as u64) << 32));
-        let mut s_vals = Vec::new();
-        let mut sb_vals = Vec::new();
-        let mut sim_vals = Vec::new();
-        let mut simb_vals = Vec::new();
-        let mut produced = 0usize;
-        let mut attempts = 0usize;
-        while produced < config.systems_per_point && attempts < config.systems_per_point * 20 {
-            attempts += 1;
-            let generated = {
-                let _span = disparity_obs::span!("fig6cd.generate", chain_len = chain_len);
-                schedulable_two_chain_system(chain_len, config.n_ecus, &mut rng, 50)
-            };
-            let Ok(sys) = generated else {
-                continue;
-            };
-            let _analyze_span = disparity_obs::span!("fig6cd.analyze", chain_len = chain_len);
-            let Ok(report) = analyze(&sys.graph) else {
-                continue;
-            };
-            let rt = report.into_response_times();
-            let Ok(s_diff) = theorem2_bound(&sys.graph, &sys.lambda, &sys.nu, &rt) else {
-                continue;
-            };
-            let Ok(plan) = design_buffer(&sys.graph, &sys.lambda, &sys.nu, &rt) else {
-                continue;
-            };
-            drop(_analyze_span);
-            let mut buffered = sys.graph.clone();
-            if plan.apply(&mut buffered).is_err() {
-                continue;
-            }
-            // Warm-up long enough for the FIFO to fill plus slack.
-            let warmup = (plan.shift * 2 + Duration::from_millis(400)).min(config.sim_horizon / 2);
-            let sink = sys.sink();
-            let _simulate_span = disparity_obs::span!("fig6cd.simulate", chain_len = chain_len);
-            let sim = simulate_max(
-                &sys.graph,
-                sink,
-                config.offsets_per_system,
-                config.sim_horizon,
-                warmup,
-                &mut rng,
-            );
-            let sim_b = simulate_max(
-                &buffered,
-                sink,
-                config.offsets_per_system,
-                config.sim_horizon,
-                warmup,
-                &mut rng,
-            );
-            drop(_simulate_span);
-            s_vals.push(s_diff.as_millis_f64());
-            sb_vals.push(plan.bound_after.as_millis_f64());
-            sim_vals.push(sim);
-            simb_vals.push(sim_b);
-            produced += 1;
-        }
-        let s_diff_ms = mean(&s_vals).unwrap_or(0.0);
-        let s_diff_b_ms = mean(&sb_vals).unwrap_or(0.0);
-        let sim_ms = mean(&sim_vals).unwrap_or(0.0);
-        let sim_b_ms = mean(&simb_vals).unwrap_or(0.0);
-        Fig6cdRow {
-            chain_len,
-            s_diff_ms,
-            s_diff_b_ms,
-            sim_ms,
-            sim_b_ms,
-            ratio_unopt: incremental_ratio(s_diff_ms, sim_ms),
-            ratio_opt: incremental_ratio(s_diff_b_ms, sim_b_ms),
-            systems: produced,
-        }
+    let mut span = disparity_obs::span("fig6cd.point");
+    span.attr("chain_len", chain_len);
+    let budget = config.systems_per_point * 20;
+    let workers = attempt_workers();
+    let mut samples: Vec<Sample> = Vec::with_capacity(config.systems_per_point);
+    let mut attempts = 0usize;
+    while samples.len() < config.systems_per_point && attempts < budget {
+        // Wave size = systems still needed; boundaries depend only on
+        // per-attempt outcomes, keeping the row machine-independent.
+        let wave = (config.systems_per_point - samples.len()).min(budget - attempts);
+        let results = run_indexed(wave, workers, |i| {
+            sweep_attempt(config, point, chain_len, attempts + i)
+        });
+        attempts += wave;
+        samples.extend(results.into_iter().flatten());
     }
+    span.attr("systems", samples.len());
+    span.attr("attempts", attempts);
+    if samples.is_empty() {
+        disparity_obs::counter_add("fig6cd.point_exhausted", 1);
+        return Fig6cdRow {
+            chain_len,
+            s_diff_ms: 0.0,
+            s_diff_b_ms: 0.0,
+            sim_ms: 0.0,
+            sim_b_ms: 0.0,
+            ratio_unopt: None,
+            ratio_opt: None,
+            systems: 0,
+        };
+    }
+    let collect = |f: fn(&Sample) -> f64| samples.iter().map(f).collect::<Vec<f64>>();
+    let s_diff_ms = mean(&collect(|s| s.s_ms)).unwrap_or(0.0);
+    let s_diff_b_ms = mean(&collect(|s| s.sb_ms)).unwrap_or(0.0);
+    let sim_ms = mean(&collect(|s| s.sim_ms)).unwrap_or(0.0);
+    let sim_b_ms = mean(&collect(|s| s.sim_b_ms)).unwrap_or(0.0);
+    Fig6cdRow {
+        chain_len,
+        s_diff_ms,
+        s_diff_b_ms,
+        sim_ms,
+        sim_b_ms,
+        ratio_unopt: incremental_ratio(s_diff_ms, sim_ms),
+        ratio_opt: incremental_ratio(s_diff_b_ms, sim_b_ms),
+        systems: samples.len(),
+    }
+}
+
+/// One attempt's measurements.
+struct Sample {
+    s_ms: f64,
+    sb_ms: f64,
+    sim_ms: f64,
+    sim_b_ms: f64,
+}
+
+/// One attempt: generate, analyze, buffer-design and simulate a single
+/// two-chain system with an RNG seeded from the attempt index alone.
+fn sweep_attempt(
+    config: &Fig6cdConfig,
+    point: usize,
+    chain_len: usize,
+    attempt: usize,
+) -> Option<Sample> {
+    let mut rng = StdRng::seed_from_u64(attempt_seed(config.seed, point, attempt));
+    let generated = {
+        let _span = disparity_obs::span!("fig6cd.generate", chain_len = chain_len);
+        schedulable_two_chain_system(chain_len, config.n_ecus, &mut rng, 50)
+    };
+    let sys = generated.ok()?;
+    let _analyze_span = disparity_obs::span!("fig6cd.analyze", chain_len = chain_len);
+    let report = analyze(&sys.graph).ok()?;
+    let rt = report.into_response_times();
+    let s_diff = theorem2_bound(&sys.graph, &sys.lambda, &sys.nu, &rt).ok()?;
+    let plan = design_buffer(&sys.graph, &sys.lambda, &sys.nu, &rt).ok()?;
+    drop(_analyze_span);
+    let mut buffered = sys.graph.clone();
+    plan.apply(&mut buffered).ok()?;
+    // Warm-up long enough for the FIFO to fill plus slack.
+    let warmup = (plan.shift * 2 + Duration::from_millis(400)).min(config.sim_horizon / 2);
+    let sink = sys.sink();
+    let _simulate_span = disparity_obs::span!("fig6cd.simulate", chain_len = chain_len);
+    let sim = simulate_max(
+        &sys.graph,
+        sink,
+        config.offsets_per_system,
+        config.sim_horizon,
+        warmup,
+        &mut rng,
+    );
+    let sim_b = simulate_max(
+        &buffered,
+        sink,
+        config.offsets_per_system,
+        config.sim_horizon,
+        warmup,
+        &mut rng,
+    );
+    drop(_simulate_span);
+    Some(Sample {
+        s_ms: s_diff.as_millis_f64(),
+        sb_ms: plan.bound_after.as_millis_f64(),
+        sim_ms: sim,
+        sim_b_ms: sim_b,
+    })
 }
 
 fn simulate_max(
@@ -213,7 +253,8 @@ fn simulate_max(
     best
 }
 
-/// Renders the Fig. 6(c) view (absolute values).
+/// Renders the Fig. 6(c) view (absolute values). Empty rows (points whose
+/// attempt budget exhausted) are skipped.
 #[must_use]
 pub fn table_c(rows: &[Fig6cdRow]) -> Table {
     let mut t = Table::new([
@@ -224,7 +265,7 @@ pub fn table_c(rows: &[Fig6cdRow]) -> Table {
         "Sim-B_ms",
         "systems",
     ]);
-    for r in rows {
+    for r in rows.iter().filter(|r| !r.is_empty()) {
         t.push_row([
             r.chain_len.to_string(),
             fmt_ms(r.s_diff_ms),
@@ -237,11 +278,12 @@ pub fn table_c(rows: &[Fig6cdRow]) -> Table {
     t
 }
 
-/// Renders the Fig. 6(d) view (incremental ratios).
+/// Renders the Fig. 6(d) view (incremental ratios). Empty rows are
+/// skipped, matching [`table_c`].
 #[must_use]
 pub fn table_d(rows: &[Fig6cdRow]) -> Table {
     let mut t = Table::new(["chain_len", "S-diff_ratio", "S-diff-B_ratio"]);
-    for r in rows {
+    for r in rows.iter().filter(|r| !r.is_empty()) {
         t.push_row([
             r.chain_len.to_string(),
             fmt_pct(r.ratio_unopt),
@@ -254,6 +296,28 @@ pub fn table_d(rows: &[Fig6cdRow]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Per-attempt seeding keeps the sweep deterministic even with the
+    /// attempts fanned out over a worker pool.
+    #[test]
+    fn sweep_is_deterministic_across_runs() {
+        let cfg = Fig6cdConfig {
+            chain_lengths: vec![5],
+            systems_per_point: 2,
+            offsets_per_system: 1,
+            sim_horizon: Duration::from_millis(1_500),
+            ..Default::default()
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.chain_len, y.chain_len);
+            assert_eq!(x.s_diff_ms, y.s_diff_ms);
+            assert_eq!(x.s_diff_b_ms, y.s_diff_b_ms);
+            assert_eq!(x.sim_ms, y.sim_ms);
+            assert_eq!(x.sim_b_ms, y.sim_b_ms);
+        }
+    }
 
     #[test]
     fn sweep_shows_optimization_effect() {

@@ -19,6 +19,7 @@
 pub mod fig6ab;
 pub mod fig6cd;
 pub mod obscli;
+pub mod par;
 pub mod soak;
 pub mod stats;
 pub mod table;

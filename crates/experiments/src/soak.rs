@@ -221,7 +221,11 @@ fn build_systems(config: &SoakConfig, log: &mut dyn FnMut(String)) -> Vec<SoakSy
         };
         match schedulable_random_system(gen, &mut rng, 50) {
             Ok(graph) => {
-                let sink = graph.sinks()[0];
+                let Some(&sink) = graph.sinks().first() else {
+                    disparity_obs::counter_add("soak.sink_missing", 1);
+                    log(format!("warning: skipping random system {i}: no sink"));
+                    continue;
+                };
                 let mut chains = graph
                     .chains_to(sink, 4096)
                     .expect("generated DAG within budget");

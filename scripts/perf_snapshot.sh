@@ -1,20 +1,25 @@
 #!/usr/bin/env sh
 # Capture a benchmark snapshot as a disparity-obs metrics report.
 #
-# Runs every bench binary with DISPARITY_BENCH_JSON pointed at one file;
+# Runs bench binaries with DISPARITY_BENCH_JSON pointed at one file;
 # the in-tree criterion shim merges each binary's min/median/max timings
 # into it (histogram `bench.<name>`, nanoseconds per iteration).
 #
-#   scripts/perf_snapshot.sh [OUT.json]
+#   scripts/perf_snapshot.sh [OUT.json] [BENCH_NAME]
 #
 # Default output: BENCH_obs_baseline.json at the repo root — the
 # committed baseline used to eyeball perf drift across PRs. Absolute
 # numbers are machine-dependent; compare shapes and ratios, not raw ns.
+#
+# With BENCH_NAME, only that bench binary runs (e.g.
+# `scripts/perf_snapshot.sh BENCH_engine_baseline.json pairwise_engine`
+# refreshes the committed engine-vs-direct baseline).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_obs_baseline.json}"
+bench="${2:-}"
 # Cargo runs bench binaries from the package directory, so anchor a
 # relative OUT to the repo root before handing it over.
 case "$out" in
@@ -23,7 +28,11 @@ case "$out" in
 esac
 rm -f "$out"
 
-DISPARITY_BENCH_JSON="$out" cargo bench -p disparity-bench
+if [ -n "$bench" ]; then
+    DISPARITY_BENCH_JSON="$out" cargo bench -p disparity-bench --bench "$bench"
+else
+    DISPARITY_BENCH_JSON="$out" cargo bench -p disparity-bench
+fi
 
 test -s "$out"
 echo "perf snapshot written to $out"

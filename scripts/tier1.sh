@@ -17,6 +17,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
+echo "==> engine cache-consistency (memoized engine vs direct theorems)"
+cargo test -p disparity-core --release --test engine_consistency -q
+
+echo "==> pairwise_engine bench smoke (cached vs uncached, bit-identical reports)"
+# Bench binaries run from the package directory, so the report path must
+# be absolute (see scripts/perf_snapshot.sh).
+DISPARITY_BENCH_JSON="$(pwd)/target/bench-engine.json" \
+    cargo bench -p disparity-bench --bench pairwise_engine
+test -s target/bench-engine.json
+grep -q 'pairwise_engine/sink_analysis/cached' target/bench-engine.json
+grep -q 'pairwise_engine/sink_analysis/uncached' target/bench-engine.json
+
 echo "==> soak smoke (fault-injection soundness sweep, quick profile, obs recording)"
 cargo run -p disparity-experiments --release --bin soak -- --quick \
     --trace-out target/obs-trace.json --metrics-out target/obs-metrics.json
