@@ -1,0 +1,92 @@
+//! `diag` — run the `D0xx` model diagnostics on a `SystemSpec` JSON file.
+//!
+//! Prints every diagnostic with its stable code and severity. Exit codes:
+//! 0 clean (or only warnings), 1 when `--deny-lints` is set and any
+//! `Error`-severity diagnostic fired, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use disparity_analyzer::{analyze_spec, DiagConfig, Severity};
+use disparity_model::spec::SystemSpec;
+
+const USAGE: &str = "\
+diag: static model diagnostics (D001..D010) for a system spec
+
+USAGE:
+    diag <spec.json> [--deny-lints] [--lints-out <path>] [--chain-limit <n>]
+
+OPTIONS:
+    --deny-lints        exit non-zero if any Error-severity diagnostic fires
+    --lints-out <path>  write the diagnostic set as JSON
+    --chain-limit <n>   chain enumeration budget per sink (default: 4096)
+    -h, --help          show this help
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("diag: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut spec_path: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut lints_out: Option<PathBuf> = None;
+    let mut config = DiagConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-lints" => deny = true,
+            "--lints-out" => {
+                lints_out = Some(PathBuf::from(
+                    args.next().ok_or("--lints-out needs a value")?,
+                ));
+            }
+            "--chain-limit" => {
+                config.chain_limit = args
+                    .next()
+                    .ok_or("--chain-limit needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--chain-limit: {e}"))?;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(true);
+            }
+            other if !other.starts_with('-') && spec_path.is_none() => {
+                spec_path = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+    }
+
+    let spec_path = spec_path.ok_or_else(|| format!("missing <spec.json>\n\n{USAGE}"))?;
+    let text = std::fs::read_to_string(&spec_path)
+        .map_err(|e| format!("{}: {e}", spec_path.display()))?;
+    let spec = SystemSpec::from_json_str(&text).map_err(|e| format!("invalid spec: {e}"))?;
+    let set = analyze_spec(&spec, &config).map_err(|e| format!("spec does not build: {e}"))?;
+
+    for diag in set.as_slice() {
+        println!("{diag}");
+    }
+    println!(
+        "diag: {} diagnostics ({} error, {} warn, {} info)",
+        set.len(),
+        set.with_severity(Severity::Error).count(),
+        set.with_severity(Severity::Warn).count(),
+        set.with_severity(Severity::Info).count()
+    );
+
+    if let Some(path) = lints_out {
+        std::fs::write(&path, set.to_json().to_pretty())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    Ok(!(deny && set.has_errors()))
+}

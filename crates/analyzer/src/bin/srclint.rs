@@ -1,0 +1,135 @@
+//! `srclint` — the workspace source lint gate.
+//!
+//! Walks `crates/*/src`, denies banned patterns (panicking constructs,
+//! unchecked time casts, wall-clock reads in deterministic crates), and
+//! honors the committed allowlist. Exit codes: 0 clean, 1 denied findings,
+//! 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use disparity_analyzer::srclint::{scan_workspace, Allowlist, Report};
+use disparity_model::json::Value;
+
+const USAGE: &str = "\
+srclint: deny banned source patterns in workspace library code
+
+USAGE:
+    srclint [--root <dir>] [--allowlist <file>] [--json <path>] [--quiet]
+
+OPTIONS:
+    --root <dir>        workspace root to scan (default: .)
+    --allowlist <file>  exception list (default: <root>/srclint.allow)
+    --json <path>       also write the report as JSON
+    --quiet             suppress per-finding output
+    -h, --help          show this help
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("srclint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(args.next().ok_or("--root needs a value")?),
+            "--allowlist" => {
+                allow_path = Some(PathBuf::from(
+                    args.next().ok_or("--allowlist needs a value")?,
+                ));
+            }
+            "--json" => json_out = Some(PathBuf::from(args.next().ok_or("--json needs a value")?)),
+            "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+    }
+
+    let allow_path = allow_path.unwrap_or_else(|| root.join("srclint.allow"));
+    let allow = if allow_path.is_file() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| format!("{}: {e}", allow_path.display()))?;
+        Allowlist::parse(&text)?
+    } else {
+        Allowlist::default()
+    };
+
+    let report = scan_workspace(&root, &allow).map_err(|e| format!("scan failed: {e}"))?;
+
+    if !quiet {
+        for finding in &report.denied {
+            println!("deny  {finding}");
+        }
+        for finding in &report.allowed {
+            println!("allow {finding}");
+        }
+    }
+    for entry in &report.unused_allow {
+        eprintln!(
+            "srclint: note: unused allowlist entry: {} {} # {}",
+            entry.path, entry.rule, entry.reason
+        );
+    }
+    println!(
+        "srclint: {} files scanned, {} denied, {} allowed ({} allowlist entries)",
+        report.files_scanned,
+        report.denied.len(),
+        report.allowed.len(),
+        allow.entries().len()
+    );
+
+    if let Some(path) = json_out {
+        let json = report_json(&report);
+        std::fs::write(&path, json.to_pretty())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    Ok(report.is_clean())
+}
+
+fn report_json(report: &Report) -> Value {
+    let findings = |list: &[disparity_analyzer::srclint::Finding]| {
+        Value::Array(
+            list.iter()
+                .map(|f| {
+                    Value::Object(vec![
+                        ("path".to_string(), Value::Str(f.path.clone())),
+                        (
+                            "line".to_string(),
+                            Value::Int(i64::try_from(f.line).unwrap_or(i64::MAX)),
+                        ),
+                        ("rule".to_string(), Value::Str(f.rule.to_string())),
+                        ("snippet".to_string(), Value::Str(f.snippet.clone())),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    Value::Object(vec![
+        (
+            "schema".to_string(),
+            Value::Str("disparity-analyzer/srclint-v1".to_string()),
+        ),
+        (
+            "files_scanned".to_string(),
+            Value::Int(i64::try_from(report.files_scanned).unwrap_or(i64::MAX)),
+        ),
+        ("denied".to_string(), findings(&report.denied)),
+        ("allowed".to_string(), findings(&report.allowed)),
+    ])
+}

@@ -1,0 +1,306 @@
+//! The diagnostic checks: every `D0xx` rule evaluated over a
+//! [`CauseEffectGraph`] or a [`SystemSpec`].
+//!
+//! [`analyze_graph`] is the workhorse: it never fails, it only reports.
+//! [`analyze_spec`] adds the one check that must run *before* graph
+//! construction ([`DiagCode::DuplicatePriority`], which the builder would
+//! otherwise reject with a hard error) and then defers to [`analyze_graph`].
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use disparity_core::pairwise::decompose;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::TaskId;
+use disparity_model::lints::{lint_graph, Lint};
+use disparity_model::spec::{SpecError, SystemSpec};
+use disparity_sched::error::SchedError;
+use disparity_sched::utilization::ecu_utilization;
+use disparity_sched::wcrt::{response_times, ResponseTimes};
+
+use crate::diag::{DiagCode, Diagnostic, DiagnosticSet, Subject};
+
+/// Tuning knobs for [`analyze_graph`].
+#[derive(Debug, Clone)]
+pub struct DiagConfig {
+    /// Budget for chain enumeration per sink (mirrors the experiment
+    /// binaries' `chain_limit`). Sinks whose chain set exceeds the budget
+    /// are skipped by the pairwise checks (D006/D007) and counted on the
+    /// `analyzer.chains_skipped` obs counter.
+    pub chain_limit: usize,
+}
+
+impl Default for DiagConfig {
+    fn default() -> Self {
+        DiagConfig { chain_limit: 4096 }
+    }
+}
+
+/// Runs every graph-level check and returns the canonical diagnostic set.
+///
+/// The pass is read-only and deterministic: diagnostics come back sorted by
+/// `(code, subject, message)` regardless of graph-construction order, and
+/// nothing about the graph (including its RNG-driven surroundings) is
+/// touched, so running it before an experiment sweep cannot perturb the
+/// sweep's results.
+#[must_use]
+pub fn analyze_graph(graph: &CauseEffectGraph, config: &DiagConfig) -> DiagnosticSet {
+    let _span = disparity_obs::span!("analyzer.diagnose", tasks = graph.task_count());
+    let mut out = Vec::new();
+
+    check_utilization(graph, &mut out);
+    let rt = check_wcrt(graph, &mut out);
+    check_blocking(graph, &mut out);
+    if let Some(rt) = &rt {
+        check_pairwise(graph, rt, config, &mut out);
+    }
+    check_sampling(graph, &mut out);
+
+    let set = DiagnosticSet::from_vec(out);
+    disparity_obs::counter_add("analyzer.diagnostics", set.len() as u64);
+    disparity_obs::counter_add("analyzer.errors", set.error_count() as u64);
+    set
+}
+
+/// Runs the spec-level checks, then builds the graph and runs
+/// [`analyze_graph`].
+///
+/// Duplicate explicit priorities (D004) are reported as diagnostics instead
+/// of surfacing as the builder's hard [`SpecError`]; any *other* build
+/// failure (unknown names, duplicate names, …) is returned as `Err` since
+/// those are malformed inputs, not analyzable models.
+///
+/// # Errors
+///
+/// Returns the underlying [`SpecError`] when the spec cannot be turned into
+/// a graph for a reason other than duplicate priorities.
+pub fn analyze_spec(spec: &SystemSpec, config: &DiagConfig) -> Result<DiagnosticSet, SpecError> {
+    let _span = disparity_obs::span!("analyzer.diagnose_spec", tasks = spec.tasks.len());
+    let mut dups = Vec::new();
+    let mut seen: BTreeMap<(&str, u32), usize> = BTreeMap::new();
+    for (i, task) in spec.tasks.iter().enumerate() {
+        let (Some(ecu), Some(priority)) = (task.ecu.as_deref(), task.priority) else {
+            continue;
+        };
+        match seen.get(&(ecu, priority)) {
+            Some(&first) => dups.push(Diagnostic::new(
+                DiagCode::DuplicatePriority,
+                Subject::Task(TaskId::from_index(i)),
+                format!(
+                    "task '{}' reuses explicit priority {} already held by task '{}' on ecu '{}'; fixed-priority analysis needs a total order",
+                    task.name, priority, spec.tasks[first].name, ecu
+                ),
+            )),
+            None => {
+                seen.insert((ecu, priority), i);
+            }
+        }
+    }
+    if !dups.is_empty() {
+        // The builder would reject this spec outright; report instead.
+        return Ok(DiagnosticSet::from_vec(dups));
+    }
+    let graph = spec.build()?;
+    Ok(analyze_graph(&graph, config))
+}
+
+/// D001: per-ECU utilization must stay below 1 for the level-i busy period
+/// (and with it Lemmas 4/5) to be bounded.
+fn check_utilization(graph: &CauseEffectGraph, out: &mut Vec<Diagnostic>) {
+    for ecu in graph.ecus() {
+        let u = ecu_utilization(graph, ecu.id());
+        if u >= 1.0 {
+            out.push(Diagnostic::new(
+                DiagCode::EcuOverloaded,
+                Subject::Ecu(ecu.id()),
+                format!(
+                    "utilization {:.6} >= 1 on '{}'; the busy period is unbounded, so no WCRT (Lemmas 4/5) exists — shed load or remap tasks",
+                    u,
+                    ecu.name()
+                ),
+            ));
+        }
+    }
+}
+
+/// D002 (fixed-point divergence) and D003 (deadline misses): the WCRT
+/// analysis underpinning every backward-time bound.
+fn check_wcrt(graph: &CauseEffectGraph, out: &mut Vec<Diagnostic>) -> Option<ResponseTimes> {
+    match response_times(graph) {
+        Ok(rt) => {
+            for task in graph.tasks() {
+                let Some(resp) = rt.get(task.id()) else {
+                    continue;
+                };
+                if resp.wcrt > task.period() {
+                    out.push(Diagnostic::new(
+                        DiagCode::DeadlineMiss,
+                        Subject::Task(task.id()),
+                        format!(
+                            "WCRT {} exceeds period {} for '{}'; Lemma 4's R(i) <= T(i) premise fails — raise the period or the task's priority",
+                            resp.wcrt,
+                            task.period(),
+                            task.name()
+                        ),
+                    ));
+                }
+            }
+            Some(rt)
+        }
+        Err(SchedError::NonConvergence { task }) => {
+            out.push(Diagnostic::new(
+                DiagCode::WcrtDivergence,
+                Subject::Task(task),
+                format!(
+                    "WCRT fixed point for '{}' did not converge within the iteration budget; utilization is pathologically close to 1 — add slack",
+                    graph.task(task).name()
+                ),
+            ));
+            None
+        }
+        // Overload is already reported per-ECU by D001 with more detail.
+        Err(_) => None,
+    }
+}
+
+/// D005: a non-preemptive blocking term so large it dominates the task's
+/// own slack makes the WCRT bound valid but uselessly pessimistic.
+fn check_blocking(graph: &CauseEffectGraph, out: &mut Vec<Diagnostic>) {
+    for task in graph.tasks() {
+        let id = task.id();
+        let Some(ecu) = task.ecu() else { continue };
+        let mut blocking = disparity_model::time::Duration::ZERO;
+        for other_id in graph.tasks_on_ecu(ecu) {
+            if other_id == id {
+                continue;
+            }
+            let other = graph.task(other_id);
+            if !graph.in_hp(other_id, id) {
+                blocking = blocking.max(other.wcet());
+            }
+        }
+        let slack = task.period() - task.wcet();
+        if blocking > disparity_model::time::Duration::ZERO && blocking * 2 > slack {
+            out.push(Diagnostic::new(
+                DiagCode::BlockingDominated,
+                Subject::Task(id),
+                format!(
+                    "non-preemptive blocking term {} exceeds half of '{}''s slack {} (period - wcet); lower-priority WCETs dominate the response time — split the long job or re-prioritize",
+                    blocking,
+                    task.name(),
+                    slack
+                ),
+            ));
+        }
+    }
+}
+
+/// D006 (chain budget exceeded) and D007 (over-buffered channels): the
+/// Theorem 2 fork-join decomposition checks, evaluated per chain pair.
+fn check_pairwise(
+    graph: &CauseEffectGraph,
+    rt: &ResponseTimes,
+    config: &DiagConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    let _span = disparity_obs::span!("analyzer.pairwise");
+    let mut over_buffered = BTreeSet::new();
+    for sink in graph.sinks() {
+        let Ok(chains) = graph.chains_to(sink, config.chain_limit) else {
+            disparity_obs::counter_add("analyzer.chains_skipped", 1);
+            out.push(Diagnostic::new(
+                DiagCode::ChainBudgetExceeded,
+                Subject::Task(sink),
+                format!(
+                    "more than {} chains reach '{}'; the Theorem 2 fork-join preconditions are unverified for this sink — raise the chain budget or prune the graph",
+                    config.chain_limit,
+                    graph.task(sink).name()
+                ),
+            ));
+            continue;
+        };
+        for i in 0..chains.len() {
+            for j in (i + 1)..chains.len() {
+                let Some((lambda, nu)) = chains[i].truncate_to_last_joint(&chains[j]) else {
+                    continue;
+                };
+                if lambda == nu {
+                    continue;
+                }
+                let Ok(d) = decompose(graph, &lambda, &nu, rt) else {
+                    continue;
+                };
+                let w_lambda = d.lambda_source_window();
+                let w_nu = d.nu_source_window(graph);
+                for (chain, mid, other_mid) in [
+                    (&lambda, w_lambda.midpoint(), w_nu.midpoint()),
+                    (&nu, w_nu.midpoint(), w_lambda.midpoint()),
+                ] {
+                    let Some(second) = chain.get(1) else { continue };
+                    let Some(channel) = graph.channel_between(chain.head(), second) else {
+                        continue;
+                    };
+                    // Algorithm 1 shifts the *fresher* window down by whole
+                    // source periods via floor, so a designed buffer leaves
+                    // this side's midpoint >= the other side's. A buffered
+                    // side that ends up strictly older overshot the design.
+                    if channel.capacity() > 1 && mid < other_mid && over_buffered.insert(channel.id())
+                    {
+                        out.push(Diagnostic::new(
+                            DiagCode::OverBuffered,
+                            Subject::Channel(channel.id()),
+                            format!(
+                                "capacity {} shifts '{}''s sampling window below its peer's for the pair ({} | {}); the buffer exceeds Algorithm 1's design and now worsens alignment — reduce the capacity",
+                                channel.capacity(),
+                                graph.task(chain.head()).name(),
+                                lambda,
+                                nu
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// D008/D009/D010: the sampling-rate lints from `disparity-model`, migrated
+/// into the diagnostic framework.
+fn check_sampling(graph: &CauseEffectGraph, out: &mut Vec<Diagnostic>) {
+    for lint in lint_graph(graph) {
+        let diag = match lint {
+            Lint::OversampledChannel {
+                channel,
+                producer_jobs_per_consumer_job,
+            } => Diagnostic::new(
+                DiagCode::OversampledChannel,
+                Subject::Channel(channel),
+                format!(
+                    "producer publishes {producer_jobs_per_consumer_job} samples per consumer job; all but the last are never read — slow the producer or batch"
+                ),
+            ),
+            Lint::UndersampledChannel {
+                channel,
+                consumer_jobs_per_producer_job,
+            } => Diagnostic::new(
+                DiagCode::UndersampledChannel,
+                Subject::Channel(channel),
+                format!(
+                    "consumer re-reads each sample {consumer_jobs_per_producer_job} times before it refreshes; staleness grows with the ratio — speed up the producer"
+                ),
+            ),
+            Lint::NonHarmonicChannel { channel } => Diagnostic::new(
+                DiagCode::NonHarmonicChannel,
+                Subject::Channel(channel),
+                "producer and consumer periods are non-harmonic; the sampling pattern drifts over the hyperperiod, which widens disparity windows".to_string(),
+            ),
+            // `Lint` is non_exhaustive; unknown future lints are skipped
+            // rather than guessed at.
+            _ => {
+                disparity_obs::counter_add("analyzer.unknown_lints", 1);
+                continue;
+            }
+        };
+        out.push(diag);
+    }
+}

@@ -1,0 +1,528 @@
+//! Diagnostic vocabulary: severities, stable error codes, subjects and the
+//! ordered diagnostic set with its JSON form.
+//!
+//! Every check of the analyzer reports through this module so that output
+//! is uniform: a [`Diagnostic`] carries a stable [`DiagCode`] (`D001`…),
+//! a [`Severity`], the entity it refers to ([`Subject`]) and a rendered
+//! message. A [`DiagnosticSet`] keeps them in a *canonical order* — sorted
+//! by `(code, subject, message)` — so JSON output and test snapshots are
+//! deterministic regardless of graph-construction or check-execution
+//! order.
+
+use core::fmt;
+
+use disparity_model::ids::{ChannelId, EcuId, TaskId};
+use disparity_model::json::Value;
+
+/// Error returned when a diagnostics JSON document cannot be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagParseError(String);
+
+impl fmt::Display for DiagParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid diagnostics document: {}", self.0)
+    }
+}
+
+impl std::error::Error for DiagParseError {}
+
+/// How bad a diagnostic is.
+///
+/// `Error` means a theorem precondition is violated and analysis results
+/// on this model would be unsound or unavailable; `Warn` flags designs
+/// that are legal but degenerate (pessimistic bounds, wasted computation);
+/// `Info` is advisory only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory observation; no impact on soundness.
+    Info,
+    /// Legal but suspicious; bounds stay sound but may be degenerate.
+    Warn,
+    /// A precondition of the paper's analysis is violated.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase name used in JSON output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses the JSON name back into a severity.
+    #[must_use]
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warn" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable diagnostic codes. The numeric part never changes meaning across
+/// releases; retired codes are not reused.
+///
+/// See EXPERIMENTS.md, "Static analysis & diagnostics", for the full table
+/// with paper references and example fixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// `D001`: an ECU's utilization is ≥ 1 (Lemmas 4/5 need a bounded
+    /// busy period).
+    EcuOverloaded,
+    /// `D002`: the WCRT fixed-point iteration failed to converge within
+    /// its budget (utilization pathologically close to 1).
+    WcrtDivergence,
+    /// `D003`: a task's worst-case response time exceeds its period,
+    /// violating the paper's standing assumption `R(τ) ≤ T(τ)` (§II.B).
+    DeadlineMiss,
+    /// `D004`: two tasks on one ECU share an explicit priority level, so
+    /// the fixed-priority order is ambiguous.
+    DuplicatePriority,
+    /// `D005`: a task's non-preemptive blocking term consumes more than
+    /// half its slack (`2·B > T − C`), so one lower-priority job dominates
+    /// its response time.
+    BlockingDominated,
+    /// `D006`: a sink's chain set exceeded the enumeration budget, so the
+    /// Theorem 2 fork-join preconditions (common-prefix well-formedness,
+    /// buffer-shift validity) could not be verified for that sink.
+    ChainBudgetExceeded,
+    /// `D007`: a channel FIFO is larger than Algorithm 1's design: the
+    /// Lemma 6 shift `L = (n−1)·T` overshoots the window alignment and
+    /// re-widens the disparity on the other side.
+    OverBuffered,
+    /// `D008`: a producer fires two or more times per consumer job; most
+    /// of its outputs are overwritten unread (§IV's "wasted computation").
+    OversampledChannel,
+    /// `D009`: a consumer fires two or more times per producer job and
+    /// re-processes the same token.
+    UndersampledChannel,
+    /// `D010`: neither period divides the other; the sampling phase
+    /// drifts, so backward times vary job to job.
+    NonHarmonicChannel,
+}
+
+impl DiagCode {
+    /// All codes, in ascending numeric order.
+    pub const ALL: [DiagCode; 10] = [
+        DiagCode::EcuOverloaded,
+        DiagCode::WcrtDivergence,
+        DiagCode::DeadlineMiss,
+        DiagCode::DuplicatePriority,
+        DiagCode::BlockingDominated,
+        DiagCode::ChainBudgetExceeded,
+        DiagCode::OverBuffered,
+        DiagCode::OversampledChannel,
+        DiagCode::UndersampledChannel,
+        DiagCode::NonHarmonicChannel,
+    ];
+
+    /// The stable `D0xx` string.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::EcuOverloaded => "D001",
+            DiagCode::WcrtDivergence => "D002",
+            DiagCode::DeadlineMiss => "D003",
+            DiagCode::DuplicatePriority => "D004",
+            DiagCode::BlockingDominated => "D005",
+            DiagCode::ChainBudgetExceeded => "D006",
+            DiagCode::OverBuffered => "D007",
+            DiagCode::OversampledChannel => "D008",
+            DiagCode::UndersampledChannel => "D009",
+            DiagCode::NonHarmonicChannel => "D010",
+        }
+    }
+
+    /// Parses a `D0xx` string back into a code.
+    #[must_use]
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        DiagCode::ALL.iter().copied().find(|c| c.as_str() == s)
+    }
+
+    /// The severity this code is always reported at.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::EcuOverloaded
+            | DiagCode::WcrtDivergence
+            | DiagCode::DeadlineMiss
+            | DiagCode::DuplicatePriority => Severity::Error,
+            DiagCode::BlockingDominated
+            | DiagCode::ChainBudgetExceeded
+            | DiagCode::OverBuffered
+            | DiagCode::OversampledChannel
+            | DiagCode::UndersampledChannel => Severity::Warn,
+            DiagCode::NonHarmonicChannel => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The model entity a diagnostic refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Subject {
+    /// The whole system (no narrower anchor).
+    System,
+    /// A processing resource.
+    Ecu(EcuId),
+    /// A task.
+    Task(TaskId),
+    /// A register/FIFO channel.
+    Channel(ChannelId),
+}
+
+impl Subject {
+    /// `(kind, index)` used for JSON output; `System` has index 0.
+    #[must_use]
+    fn parts(self) -> (&'static str, usize) {
+        match self {
+            Subject::System => ("system", 0),
+            Subject::Ecu(e) => ("ecu", e.index()),
+            Subject::Task(t) => ("task", t.index()),
+            Subject::Channel(c) => ("channel", c.index()),
+        }
+    }
+
+    /// Rebuilds a subject from its JSON `(kind, index)` pair.
+    #[must_use]
+    fn from_parts(kind: &str, index: usize) -> Option<Self> {
+        match kind {
+            "system" => Some(Subject::System),
+            "ecu" => Some(Subject::Ecu(EcuId::from_index(index))),
+            "task" => Some(Subject::Task(TaskId::from_index(index))),
+            "channel" => Some(Subject::Channel(ChannelId::from_index(index))),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subject::System => f.write_str("system"),
+            Subject::Ecu(e) => write!(f, "{e}"),
+            Subject::Task(t) => write!(f, "{t}"),
+            Subject::Channel(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// One finding of the model-diagnostics layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: DiagCode,
+    /// The severity ([`DiagCode::severity`] of `code`).
+    pub severity: Severity,
+    /// What the finding is about.
+    pub subject: Subject,
+    /// Human-readable explanation with concrete numbers.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic; the severity is derived from the code.
+    #[must_use]
+    pub fn new(code: DiagCode, subject: Subject, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            subject,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.code, self.severity, self.subject, self.message
+        )
+    }
+}
+
+/// Schema tag of the JSON export, bumped on breaking layout changes.
+pub const DIAGNOSTICS_SCHEMA: &str = "disparity-analyzer/diagnostics-v1";
+
+/// An ordered collection of diagnostics.
+///
+/// The set is always kept in canonical order — ascending by
+/// `(code, subject, message)` — which is what makes the JSON export and
+/// test snapshots deterministic across graph-construction order (the
+/// `lint_graph` ordering guarantee is subsumed by this).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiagnosticSet {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl DiagnosticSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        DiagnosticSet::default()
+    }
+
+    /// Builds a set from raw findings, establishing canonical order.
+    #[must_use]
+    pub fn from_vec(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| {
+            (a.code, a.subject, &a.message).cmp(&(b.code, b.subject, &b.message))
+        });
+        DiagnosticSet { diagnostics }
+    }
+
+    /// The findings, in canonical order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of findings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Whether the set holds no findings at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings of exactly `severity`.
+    pub fn with_severity(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.severity == severity)
+    }
+
+    /// Number of `Error`-severity findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.with_severity(Severity::Error).count()
+    }
+
+    /// Whether any finding is an `Error`.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Number of findings carrying `code`.
+    #[must_use]
+    pub fn count_of(&self, code: DiagCode) -> usize {
+        self.diagnostics.iter().filter(|d| d.code == code).count()
+    }
+
+    /// The machine-readable JSON form (see [`DIAGNOSTICS_SCHEMA`]).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut items = Vec::with_capacity(self.diagnostics.len());
+        for d in &self.diagnostics {
+            let (kind, index) = d.subject.parts();
+            items.push(Value::Object(vec![
+                ("code".to_string(), Value::Str(d.code.as_str().to_string())),
+                (
+                    "severity".to_string(),
+                    Value::Str(d.severity.as_str().to_string()),
+                ),
+                ("subject_kind".to_string(), Value::Str(kind.to_string())),
+                (
+                    "subject_index".to_string(),
+                    Value::Int(i64::try_from(index).unwrap_or(i64::MAX)),
+                ),
+                ("message".to_string(), Value::Str(d.message.clone())),
+            ]));
+        }
+        Value::Object(vec![
+            (
+                "schema".to_string(),
+                Value::Str(DIAGNOSTICS_SCHEMA.to_string()),
+            ),
+            (
+                "counts".to_string(),
+                Value::Object(vec![
+                    (
+                        "error".to_string(),
+                        Value::Int(self.with_severity(Severity::Error).count() as i64),
+                    ),
+                    (
+                        "warn".to_string(),
+                        Value::Int(self.with_severity(Severity::Warn).count() as i64),
+                    ),
+                    (
+                        "info".to_string(),
+                        Value::Int(self.with_severity(Severity::Info).count() as i64),
+                    ),
+                ]),
+            ),
+            ("diagnostics".to_string(), Value::Array(items)),
+        ])
+    }
+
+    /// Parses a value produced by [`DiagnosticSet::to_json`] back.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagParseError`] if the schema tag, a code, a severity or a
+    /// subject is missing or unknown.
+    pub fn from_json(value: &Value) -> Result<Self, DiagParseError> {
+        let bad = |msg: &str| DiagParseError(msg.to_string());
+        let schema = value
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("missing schema tag"))?;
+        if schema != DIAGNOSTICS_SCHEMA {
+            return Err(bad("unknown diagnostics schema"));
+        }
+        let items = value
+            .get("diagnostics")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("missing diagnostics array"))?;
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let code = item
+                .get("code")
+                .and_then(Value::as_str)
+                .and_then(DiagCode::from_str_opt)
+                .ok_or_else(|| bad("bad diagnostic code"))?;
+            let severity = item
+                .get("severity")
+                .and_then(Value::as_str)
+                .and_then(Severity::from_str_opt)
+                .ok_or_else(|| bad("bad diagnostic severity"))?;
+            let kind = item
+                .get("subject_kind")
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad("missing subject kind"))?;
+            let index = item
+                .get("subject_index")
+                .and_then(Value::as_i64)
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| bad("missing subject index"))?;
+            let subject =
+                Subject::from_parts(kind, index).ok_or_else(|| bad("unknown subject kind"))?;
+            let message = item
+                .get("message")
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad("missing message"))?
+                .to_string();
+            out.push(Diagnostic {
+                code,
+                severity,
+                subject,
+                message,
+            });
+        }
+        Ok(DiagnosticSet::from_vec(out))
+    }
+}
+
+impl fmt::Display for DiagnosticSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_are_ordered() {
+        let mut last = None;
+        for code in DiagCode::ALL {
+            assert_eq!(DiagCode::from_str_opt(code.as_str()), Some(code));
+            if let Some(prev) = last {
+                assert!(prev < code, "ALL must be ascending");
+            }
+            last = Some(code);
+        }
+        assert_eq!(DiagCode::from_str_opt("D999"), None);
+    }
+
+    #[test]
+    fn severity_round_trips() {
+        for s in [Severity::Info, Severity::Warn, Severity::Error] {
+            assert_eq!(Severity::from_str_opt(s.as_str()), Some(s));
+        }
+        assert!(Severity::Info < Severity::Warn && Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn set_is_canonically_ordered() {
+        let set = DiagnosticSet::from_vec(vec![
+            Diagnostic::new(
+                DiagCode::NonHarmonicChannel,
+                Subject::Channel(ChannelId::from_index(7)),
+                "b",
+            ),
+            Diagnostic::new(
+                DiagCode::EcuOverloaded,
+                Subject::Ecu(EcuId::from_index(1)),
+                "a",
+            ),
+            Diagnostic::new(
+                DiagCode::NonHarmonicChannel,
+                Subject::Channel(ChannelId::from_index(2)),
+                "a",
+            ),
+        ]);
+        let codes: Vec<&str> = set.as_slice().iter().map(|d| d.code.as_str()).collect();
+        assert_eq!(codes, ["D001", "D010", "D010"]);
+        assert_eq!(
+            set.as_slice()[1].subject,
+            Subject::Channel(ChannelId::from_index(2))
+        );
+        assert!(set.has_errors());
+        assert_eq!(set.error_count(), 1);
+        assert_eq!(set.count_of(DiagCode::NonHarmonicChannel), 2);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let set = DiagnosticSet::from_vec(vec![
+            Diagnostic::new(
+                DiagCode::DeadlineMiss,
+                Subject::Task(TaskId::from_index(3)),
+                "task3 misses its deadline",
+            ),
+            Diagnostic::new(DiagCode::BlockingDominated, Subject::System, "whole system"),
+        ]);
+        let json = set.to_json();
+        let back = DiagnosticSet::from_json(&json).unwrap();
+        assert_eq!(set, back);
+        // And via text, through the in-tree parser.
+        let text = json.to_string();
+        let reparsed = Value::parse(&text).unwrap();
+        assert_eq!(DiagnosticSet::from_json(&reparsed).unwrap(), set);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        let v = Value::parse("{\"schema\":\"nope\"}").unwrap();
+        assert!(DiagnosticSet::from_json(&v).is_err());
+    }
+}

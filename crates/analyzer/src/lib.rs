@@ -1,0 +1,44 @@
+//! Two-layer static analysis for the time-disparity workspace.
+//!
+//! **Layer 1 — model diagnostics** ([`diag`], [`checks`]): a severity-graded
+//! diagnostic engine with stable `D001…D010` error codes that statically
+//! verifies the paper's theorem preconditions over a [`SystemSpec`] or
+//! [`CauseEffectGraph`] *before* any bound is computed — per-ECU
+//! utilization (D001), WCRT fixed-point convergence for Lemmas 4/5
+//! (D002/D003), priority uniqueness (D004), non-preemptive blocking-term
+//! validity (D005), Theorem 2 fork-join well-formedness (D006), Lemma 6 /
+//! Algorithm 1 buffer-shift bounds (D007), and the sampling-rate lints
+//! migrated from `disparity-model` (D008–D010). Diagnostics are
+//! deterministic (sorted by code, subject, message) and export to JSON via
+//! the in-tree encoder.
+//!
+//! **Layer 2 — source lint** ([`srclint`]): a lightweight line/token
+//! scanner over `crates/*/src` that denies panicking constructs, unchecked
+//! time casts, and wall-clock reads in deterministic crates, with a
+//! committed allowlist for the few justified sites. Shipped as the
+//! `srclint` binary and wired into tier-1 CI.
+//!
+//! The full error-code table (severity, paper reference, example fix)
+//! lives in `EXPERIMENTS.md` under "Static analysis & diagnostics".
+//!
+//! [`SystemSpec`]: disparity_model::spec::SystemSpec
+//! [`CauseEffectGraph`]: disparity_model::graph::CauseEffectGraph
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checks;
+pub mod diag;
+pub mod srclint;
+
+/// The commonly used names in one import.
+pub mod prelude {
+    pub use crate::checks::{analyze_graph, analyze_spec, DiagConfig};
+    pub use crate::diag::{
+        DiagCode, DiagParseError, Diagnostic, DiagnosticSet, Severity, Subject,
+    };
+    pub use crate::srclint::{scan_source, scan_workspace, Allowlist, Finding, Report, Rule};
+}
+
+pub use checks::{analyze_graph, analyze_spec, DiagConfig};
+pub use diag::{DiagCode, DiagParseError, Diagnostic, DiagnosticSet, Severity, Subject};

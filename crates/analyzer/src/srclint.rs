@@ -1,0 +1,557 @@
+//! Layer 2: the in-tree source lint.
+//!
+//! A deliberately lightweight line/token scanner (no parser, no external
+//! deps) that walks `crates/*/src` and denies patterns the workspace bans
+//! in library code:
+//!
+//! * **`panic`** — `.unwrap()` / `.expect(` / `panic!(` / `todo!(` /
+//!   `unimplemented!(` outside `#[cfg(test)]` blocks and `src/bin/`
+//!   binaries. Library code must return typed errors.
+//! * **`time-cast`** — `as i64` / `as u64` on lines that also mention time
+//!   quantities (`period`, `wcet`, `nanos`, …). Time arithmetic must go
+//!   through the checked `Duration`/`Instant` ops.
+//! * **`wall-clock`** — `Instant::now` / `SystemTime` inside the
+//!   deterministic crates (model, sched, core, sim, workload, rng,
+//!   analyzer). Determinism is a correctness property here; only obs,
+//!   bench, and the experiment binaries may read real time.
+//!
+//! Justified exceptions live in a committed allowlist file
+//! ([`Allowlist::parse`]); every entry must carry a written reason.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The lint rules the scanner knows about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Panicking constructs in library code.
+    Panic,
+    /// Unchecked integer casts adjacent to time arithmetic.
+    TimeCast,
+    /// Wall-clock reads in deterministic crates.
+    WallClock,
+}
+
+impl Rule {
+    /// All rules, in report order.
+    pub const ALL: [Rule; 3] = [Rule::Panic, Rule::TimeCast, Rule::WallClock];
+
+    /// The stable rule name used in reports and allowlist entries.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::TimeCast => "time-cast",
+            Rule::WallClock => "wall-clock",
+        }
+    }
+
+    /// Parses a rule name as written in an allowlist entry.
+    #[must_use]
+    pub fn from_str_opt(s: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One banned-pattern occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the scan root, with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// The offending line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.snippet
+        )
+    }
+}
+
+/// One committed exception: a `(path, rule)` pair with a mandatory reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Path relative to the scan root.
+    pub path: String,
+    /// The rule this entry silences in that file.
+    pub rule: Rule,
+    /// Why the exception is justified (required).
+    pub reason: String,
+}
+
+/// The parsed allowlist file.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format: one `path rule # reason` entry per
+    /// line; blank lines and lines starting with `#` are comments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line when an entry is
+    /// malformed, names an unknown rule, or omits its reason.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let lineno = idx + 1;
+            let (entry, reason) = line
+                .split_once('#')
+                .ok_or_else(|| format!("allowlist line {lineno}: missing `# reason`"))?;
+            let reason = reason.trim();
+            if reason.is_empty() {
+                return Err(format!("allowlist line {lineno}: empty reason"));
+            }
+            let mut parts = entry.split_whitespace();
+            let (Some(path), Some(rule_name), None) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "allowlist line {lineno}: expected `path rule # reason`"
+                ));
+            };
+            let rule = Rule::from_str_opt(rule_name).ok_or_else(|| {
+                format!("allowlist line {lineno}: unknown rule '{rule_name}'")
+            })?;
+            entries.push(AllowEntry {
+                path: path.to_string(),
+                rule,
+                reason: reason.to_string(),
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// The parsed entries.
+    #[must_use]
+    pub fn entries(&self) -> &[AllowEntry] {
+        &self.entries
+    }
+
+    fn covers(&self, finding: &Finding) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.rule == finding.rule && e.path == finding.path)
+    }
+}
+
+/// The outcome of a workspace scan.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Findings not covered by the allowlist — these fail the gate.
+    pub denied: Vec<Finding>,
+    /// Findings silenced by an allowlist entry.
+    pub allowed: Vec<Finding>,
+    /// Allowlist entries that matched nothing (stale; worth pruning).
+    pub unused_allow: Vec<AllowEntry>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the gate passes.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.denied.is_empty()
+    }
+}
+
+/// Crates whose `src` trees must stay wall-clock free.
+const DETERMINISTIC_CRATES: [&str; 7] = [
+    "model",
+    "sched",
+    "core",
+    "sim",
+    "workload",
+    "rng",
+    "analyzer",
+];
+
+// The scanner's own pattern table is assembled from split literals so that
+// scanning this file does not flag the table itself.
+fn panic_patterns() -> [String; 5] {
+    [
+        [".unw", "rap()"].concat(),
+        [".exp", "ect("].concat(),
+        ["pan", "ic!("].concat(),
+        ["to", "do!("].concat(),
+        ["unimple", "mented!("].concat(),
+    ]
+}
+
+fn cast_patterns() -> [String; 2] {
+    [["as i6", "4"].concat(), ["as u6", "4"].concat()]
+}
+
+fn wall_clock_patterns() -> [String; 2] {
+    [["Instant::", "now"].concat(), ["System", "Time"].concat()]
+}
+
+const TIME_MARKERS: [&str; 7] = [
+    "_ns", "nanos", "period", "duration", "instant", "wcet", "bcet",
+];
+
+/// Scans one source file's text. `rel_path` is the forward-slash path
+/// relative to the scan root; it selects which rules apply (wall-clock only
+/// fires inside the deterministic crates).
+///
+/// Lines inside `#[cfg(test)]`-gated blocks and comment lines are skipped;
+/// trailing `//` comments are stripped before matching.
+#[must_use]
+pub fn scan_source(rel_path: &str, text: &str) -> Vec<Finding> {
+    let panic_pats = panic_patterns();
+    let cast_pats = cast_patterns();
+    let clock_pats = wall_clock_patterns();
+    let deterministic = crate_of(rel_path)
+        .map(|name| DETERMINISTIC_CRATES.contains(&name))
+        .unwrap_or(false);
+
+    let mut findings = Vec::new();
+    let mut depth: i64 = 0;
+    // Depth at which the innermost #[cfg(test)] block was entered.
+    let mut test_entry: Option<i64> = None;
+    let mut pending_cfg_test = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let blanked = blank_literals(raw);
+        let code = strip_line_comment(&blanked);
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+
+        if let Some(entry) = test_entry {
+            depth += opens - closes;
+            if depth <= entry {
+                test_entry = None;
+            }
+            continue;
+        }
+
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            if trimmed.starts_with("#[") {
+                // Further attributes on the same gated item.
+                depth += opens - closes;
+                continue;
+            }
+            pending_cfg_test = false;
+            if opens > 0 {
+                let entry = depth;
+                depth += opens - closes;
+                if depth > entry {
+                    test_entry = Some(entry);
+                }
+            }
+            continue;
+        }
+
+        let mut check = |rule: Rule, hit: bool| {
+            if hit {
+                findings.push(Finding {
+                    path: rel_path.to_string(),
+                    line: idx + 1,
+                    rule,
+                    snippet: trimmed.to_string(),
+                });
+            }
+        };
+        check(Rule::Panic, panic_pats.iter().any(|p| code.contains(&**p)));
+        let lower = code.to_ascii_lowercase();
+        check(
+            Rule::TimeCast,
+            cast_pats.iter().any(|p| code.contains(&**p))
+                && TIME_MARKERS.iter().any(|m| lower.contains(m)),
+        );
+        if deterministic {
+            check(
+                Rule::WallClock,
+                clock_pats.iter().any(|p| code.contains(&**p)),
+            );
+        }
+
+        depth += opens - closes;
+    }
+    findings
+}
+
+/// Walks `crates/*/src` under `root`, scans every `.rs` file outside
+/// `src/bin/`, and splits the findings by the allowlist.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk.
+pub fn scan_workspace(root: &Path, allow: &Allowlist) -> io::Result<Report> {
+    let _span = disparity_obs::span!("srclint.scan");
+    let mut report = Report::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = fs::read_dir(&crates_dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut findings = Vec::new();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            walk_rs(&src, root, &mut findings, &mut report.files_scanned)?;
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    for finding in findings {
+        if allow.covers(&finding) {
+            report.allowed.push(finding);
+        } else {
+            report.denied.push(finding);
+        }
+    }
+    for entry in allow.entries() {
+        let used = report
+            .allowed
+            .iter()
+            .any(|f| f.rule == entry.rule && f.path == entry.path);
+        if !used {
+            report.unused_allow.push(entry.clone());
+        }
+    }
+    disparity_obs::counter_add("srclint.files", report.files_scanned as u64);
+    disparity_obs::counter_add("srclint.denied", report.denied.len() as u64);
+    disparity_obs::counter_add("srclint.allowed", report.allowed.len() as u64);
+    Ok(report)
+}
+
+fn walk_rs(
+    dir: &Path,
+    root: &Path,
+    findings: &mut Vec<Finding>,
+    files_scanned: &mut usize,
+) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            // Binaries may panic on CLI misuse; they are exempt.
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            walk_rs(&path, root, findings, files_scanned)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = fs::read_to_string(&path)?;
+            *files_scanned += 1;
+            findings.extend(scan_source(&rel, &text));
+        }
+    }
+    Ok(())
+}
+
+fn crate_of(rel_path: &str) -> Option<&str> {
+    let rest = rel_path.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+/// Strips a trailing `//` comment. Runs on [`blank_literals`] output, so a
+/// `//` inside a string literal never truncates real code.
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Replaces the *contents* of string and char literals with nothing,
+/// keeping the delimiters. Braces and banned tokens inside literal text
+/// would otherwise corrupt the depth tracking (think generated `"}"`
+/// output) or invent findings from message strings. Lifetimes (`'a`) pass
+/// through untouched; multi-line literals are out of scope for a
+/// line-based scanner and merely hide text, never invent it.
+fn blank_literals(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                out.push('"');
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' => {
+                            chars.next();
+                        }
+                        '"' => break,
+                        _ => {}
+                    }
+                }
+                out.push('"');
+            }
+            '\'' => {
+                // Char literal ('x', '\n', '\u{7f}') or a lifetime ('a).
+                let mut ahead = chars.clone();
+                let is_char_literal = match ahead.next() {
+                    Some('\\') => true,
+                    Some(_) => ahead.next() == Some('\''),
+                    None => false,
+                };
+                if is_char_literal {
+                    out.push('\'');
+                    let mut escaped = false;
+                    for c in chars.by_ref() {
+                        if escaped {
+                            escaped = false;
+                        } else if c == '\\' {
+                            escaped = true;
+                        } else if c == '\'' {
+                            break;
+                        }
+                    }
+                    out.push('\'');
+                } else {
+                    out.push('\'');
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(parts: [&str; 2]) -> String {
+        parts.concat()
+    }
+
+    #[test]
+    fn flags_panicking_constructs_in_library_code() {
+        let src = format!("fn f(x: Option<u8>) -> u8 {{\n    x{}\n}}\n", pat([".unw", "rap()"]));
+        let findings = scan_source("crates/model/src/x.rs", &src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::Panic);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn skips_cfg_test_blocks_and_comments() {
+        let src = format!(
+            "fn ok() {{}}\n// comment with x{u}\n#[cfg(test)]\nmod tests {{\n    fn t() {{ None::<u8>{u}; }}\n}}\nfn also_ok() {{}}\n",
+            u = pat([".unw", "rap()"])
+        );
+        assert!(scan_source("crates/model/src/x.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn code_after_a_test_block_is_still_scanned() {
+        let src = format!(
+            "#[cfg(test)]\nmod tests {{\n    fn t() {{}}\n}}\nfn bad() {{ {p}\"x\"); }}\n",
+            p = pat(["pan", "ic!("])
+        );
+        let findings = scan_source("crates/model/src/x.rs", &src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn braces_inside_string_literals_do_not_corrupt_test_tracking() {
+        // The '}' in the emitted string must not close `mod tests` early.
+        let src = format!(
+            "fn emit() -> String {{\n    \"}}\".to_string()\n}}\n#[cfg(test)]\nmod tests {{\n    fn t() {{ \"{{\"; None::<u8>{u}; }}\n}}\n",
+            u = pat([".unw", "rap()"])
+        );
+        assert!(scan_source("crates/model/src/x.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn banned_tokens_inside_strings_and_chars_are_ignored() {
+        let src = format!(
+            "fn f() {{ let s = \"call {u} here\"; let c = '{{'; let l: &'static str = s; }}\n",
+            u = pat([".unw", "rap()"])
+        );
+        assert!(scan_source("crates/model/src/x.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn time_cast_needs_a_time_marker_on_the_line() {
+        let cast = pat(["as i6", "4"]);
+        let plain = format!("let x = count {cast};\n");
+        assert!(scan_source("crates/model/src/x.rs", &plain).is_empty());
+        let timed = format!("let x = period_ns {cast};\n");
+        let findings = scan_source("crates/model/src/x.rs", &timed);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::TimeCast);
+    }
+
+    #[test]
+    fn wall_clock_only_fires_in_deterministic_crates() {
+        let src = format!("let t = std::time::{};\n", pat(["Instant::", "now"]));
+        assert_eq!(scan_source("crates/sim/src/x.rs", &src).len(), 1);
+        assert!(scan_source("crates/obs/src/x.rs", &src).is_empty());
+        assert!(scan_source("crates/bench/src/x.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_requires_reasons_and_silences_exact_pairs() {
+        assert!(Allowlist::parse("crates/a/src/x.rs panic").is_err());
+        assert!(Allowlist::parse("crates/a/src/x.rs panic #   ").is_err());
+        assert!(Allowlist::parse("crates/a/src/x.rs nonsense # why").is_err());
+        let allow =
+            Allowlist::parse("# header comment\ncrates/a/src/x.rs panic # poison recovery\n")
+                .ok()
+                .filter(|a| a.entries().len() == 1);
+        assert!(allow.is_some(), "well-formed entry must parse");
+        let allow = Allowlist::parse("crates/a/src/x.rs panic # r").ok();
+        let Some(allow) = allow else {
+            return;
+        };
+        let hit = Finding {
+            path: "crates/a/src/x.rs".into(),
+            line: 1,
+            rule: Rule::Panic,
+            snippet: String::new(),
+        };
+        let miss = Finding {
+            rule: Rule::TimeCast,
+            ..hit.clone()
+        };
+        assert!(allow.covers(&hit));
+        assert!(!allow.covers(&miss));
+    }
+}

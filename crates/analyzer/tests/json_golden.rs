@@ -1,0 +1,84 @@
+//! Golden-file and round-trip coverage of the diagnostics JSON layout:
+//! the compact serialization of a hand-built set is pinned byte-for-byte,
+//! and both hand-built and analyzer-produced sets must survive
+//! `to_json` → text → parse → `from_json` unchanged.
+
+use disparity_analyzer::{
+    analyze_graph, DiagCode, DiagConfig, Diagnostic, DiagnosticSet, Subject,
+};
+use disparity_model::builder::SystemBuilder;
+use disparity_model::ids::{ChannelId, EcuId};
+use disparity_model::json::Value;
+use disparity_model::task::TaskSpec;
+use disparity_model::time::Duration;
+
+fn golden_set() -> DiagnosticSet {
+    DiagnosticSet::from_vec(vec![
+        Diagnostic::new(
+            DiagCode::NonHarmonicChannel,
+            Subject::Channel(ChannelId::from_index(2)),
+            "periods 20ms and 50ms are non-harmonic",
+        ),
+        Diagnostic::new(
+            DiagCode::EcuOverloaded,
+            Subject::Ecu(EcuId::from_index(0)),
+            "utilization 1.400000 >= 1 on 'e'",
+        ),
+    ])
+}
+
+/// The exact compact serialization. Changing this string is a breaking
+/// change to `disparity-analyzer/diagnostics-v1` and needs a schema bump.
+const GOLDEN: &str = concat!(
+    "{\"schema\":\"disparity-analyzer/diagnostics-v1\",",
+    "\"counts\":{\"error\":1,\"warn\":0,\"info\":1},",
+    "\"diagnostics\":[",
+    "{\"code\":\"D001\",\"severity\":\"error\",\"subject_kind\":\"ecu\",",
+    "\"subject_index\":0,\"message\":\"utilization 1.400000 >= 1 on 'e'\"},",
+    "{\"code\":\"D010\",\"severity\":\"info\",\"subject_kind\":\"channel\",",
+    "\"subject_index\":2,\"message\":\"periods 20ms and 50ms are non-harmonic\"}",
+    "]}"
+);
+
+#[test]
+fn compact_serialization_matches_golden() {
+    assert_eq!(golden_set().to_json().to_string(), GOLDEN);
+}
+
+#[test]
+fn golden_text_parses_back_to_the_same_set() {
+    let value = Value::parse(GOLDEN).expect("golden text parses");
+    let parsed = DiagnosticSet::from_json(&value).expect("golden text decodes");
+    assert_eq!(parsed, golden_set());
+}
+
+#[test]
+fn pretty_round_trip_preserves_analyzer_output() {
+    // A real analyzer run (one D008 lint) through the pretty printer.
+    let mut b = SystemBuilder::new();
+    let e = b.add_ecu("e");
+    let ms = Duration::from_millis;
+    let fast = b.add_task(TaskSpec::periodic("fast", ms(10)));
+    let slow = b.add_task(TaskSpec::periodic("slow", ms(30)).wcet(ms(1)).on_ecu(e));
+    b.connect(fast, slow);
+    let set = analyze_graph(&b.build().expect("builds"), &DiagConfig::default());
+    assert!(!set.is_empty(), "fixture should lint");
+
+    let text = set.to_json().to_pretty();
+    let value = Value::parse(&text).expect("pretty output parses");
+    let parsed = DiagnosticSet::from_json(&value).expect("round-trips");
+    assert_eq!(parsed, set);
+}
+
+#[test]
+fn malformed_documents_are_rejected() {
+    for bad in [
+        r#"{"schema":"other/v9","diagnostics":[]}"#,
+        r#"{"diagnostics":[]}"#,
+        r#"{"schema":"disparity-analyzer/diagnostics-v1"}"#,
+        r#"{"schema":"disparity-analyzer/diagnostics-v1","diagnostics":[{"code":"D099","severity":"warn","subject_kind":"task","subject_index":0,"message":"x"}]}"#,
+    ] {
+        let value = Value::parse(bad).expect("test input is valid JSON");
+        assert!(DiagnosticSet::from_json(&value).is_err(), "accepted: {bad}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Property: seeded schedulable WATERS-style graphs never carry
+//! Error-severity diagnostics — the generators' acceptance test
+//! (schedulability) implies every theorem precondition the analyzer
+//! grades as an error.
+
+use disparity_analyzer::{analyze_graph, DiagConfig, Severity};
+use disparity_rng::rngs::StdRng;
+use disparity_workload::chains::schedulable_two_chain_system;
+use disparity_workload::graphgen::{schedulable_random_system, GraphGenConfig};
+
+#[test]
+fn schedulable_random_graphs_have_no_error_diagnostics() {
+    let config = DiagConfig::default();
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0xD1A6 ^ seed);
+        let gen = GraphGenConfig {
+            n_tasks: 8 + (seed as usize % 5) * 4,
+            n_ecus: 3,
+            max_sources: Some(3),
+            target_utilization: Some(0.5),
+            ..GraphGenConfig::default()
+        };
+        let Ok(graph) = schedulable_random_system(gen, &mut rng, 50) else {
+            continue;
+        };
+        let set = analyze_graph(&graph, &config);
+        assert_eq!(
+            set.error_count(),
+            0,
+            "seed {seed}: schedulable graph reported errors: {}",
+            set.with_severity(Severity::Error)
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+}
+
+#[test]
+fn schedulable_two_chain_systems_have_no_error_diagnostics() {
+    let config = DiagConfig::default();
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0x2CAB ^ seed);
+        let len = 4 + (seed as usize % 4) * 2;
+        let Ok(sys) = schedulable_two_chain_system(len, 3, &mut rng, 50) else {
+            continue;
+        };
+        let set = analyze_graph(&sys.graph, &config);
+        assert_eq!(set.error_count(), 0, "seed {seed}: {set}");
+    }
+}

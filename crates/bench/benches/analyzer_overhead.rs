@@ -1,0 +1,58 @@
+//! Measures the cost of a full `disparity-analyzer` diagnostic pass on
+//! the default Fig. 6(a)/(b) workload, so the `--deny-lints` probe gate
+//! in the experiment binaries has a known price tag.
+//!
+//! `full_pass` times [`analyze_graph`] end to end (utilization, WCRT,
+//! blocking, pairwise fork-join, sampling lints); `sans_pairwise` times
+//! the same pass with a chain budget of zero, isolating how much of the
+//! total the Theorem 2 chain-pair decomposition accounts for.
+
+use disparity_analyzer::{analyze_graph, DiagConfig};
+use disparity_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disparity_model::graph::CauseEffectGraph;
+use disparity_rng::rngs::StdRng;
+use disparity_workload::graphgen::{schedulable_random_system, GraphGenConfig};
+use std::hint::black_box;
+
+/// Mirrors the default `Fig6abConfig` generator parameters (4 ECUs,
+/// `2.5 × n` edges, ≤ 3 sources, 0.45 per-ECU utilization).
+fn fig6ab_system(n_tasks: usize, seed: u64) -> CauseEffectGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    schedulable_random_system(
+        GraphGenConfig {
+            n_tasks,
+            n_ecus: 4,
+            n_edges: Some((n_tasks as f64 * 2.5) as usize),
+            max_sources: Some(3),
+            target_utilization: Some(0.45),
+        },
+        &mut rng,
+        200,
+    )
+    .expect("generator finds a schedulable system")
+}
+
+fn bench_analyzer_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyzer_overhead/diagnose");
+    for &n in &[20usize, 35] {
+        let graph = fig6ab_system(n, 42);
+        let config = DiagConfig::default();
+
+        // A schedulable generator graph must be free of Error diagnostics
+        // before its analysis cost is worth reporting.
+        let set = analyze_graph(&graph, &config);
+        assert_eq!(set.error_count(), 0, "probe graph has errors at n={n}");
+
+        group.bench_with_input(BenchmarkId::new("full_pass", n), &graph, |b, graph| {
+            b.iter(|| analyze_graph(black_box(graph), &config).len())
+        });
+        let no_chains = DiagConfig { chain_limit: 0 };
+        group.bench_with_input(BenchmarkId::new("sans_pairwise", n), &graph, |b, graph| {
+            b.iter(|| analyze_graph(black_box(graph), &no_chains).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyzer_overhead);
+criterion_main!(benches);

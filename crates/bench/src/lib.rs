@@ -22,6 +22,8 @@
 //! * `ablation_backward_bounds` — Lemma 4 vs the scheduler-agnostic
 //!   baseline, cost and tightness.
 //! * `let_analysis` — LET bounds vs the implicit-communication path.
+//! * `analyzer_overhead` — the `disparity-analyzer` diagnostic pass, full
+//!   vs without the pairwise fork-join checks.
 //!
 //! Run with `cargo bench -p disparity-bench`. The default is a quick
 //! pass (≤ 30 iterations or ~100 ms per benchmark) suitable for CI
@@ -220,7 +222,7 @@ fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
     sorted.sort();
     let min = sorted[0];
     let median = sorted[sorted.len() / 2];
-    let max = *sorted.last().expect("non-empty");
+    let max = sorted.last().copied().unwrap_or(min);
     let mut line = format!(
         "{name:<55} min {:>12}  median {:>12}  max {:>12}  ({} iters)",
         fmt_ns(min),

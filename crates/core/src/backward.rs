@@ -244,7 +244,7 @@ pub fn try_backward_bounds(
 #[must_use]
 pub fn buffer_shift(capacity: usize, producer_period: Duration) -> Duration {
     debug_assert!(capacity >= 1);
-    producer_period * (capacity as i64 - 1)
+    producer_period * (i64::try_from(capacity).unwrap_or(i64::MAX) - 1)
 }
 
 #[cfg(test)]

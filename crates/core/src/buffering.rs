@@ -129,10 +129,11 @@ pub fn design_buffer(
     let steps = gap.div_floor(source_period);
     debug_assert!(steps >= 0, "midpoint gap is non-negative by construction");
     let shift = source_period * steps;
-    let channel = graph
-        .channel_between(chain.head(), second)
-        .expect("consecutive chain tasks are connected")
-        .id();
+    let channel = match graph.channel_between(chain.head(), second) {
+        Some(ch) => ch.id(),
+        // Chain construction validates every consecutive edge.
+        None => unreachable!("consecutive chain tasks are connected"),
+    };
     let bound_before = theorem2_bound(graph, lambda, nu, rt)?;
     Ok(BufferPlan {
         side,
@@ -221,9 +222,9 @@ pub fn optimize_task(
         }
         let lambda = &report.chains[critical.lambda];
         let nu = &report.chains[critical.nu];
-        let (lam_t, nu_t) = lambda
-            .truncate_to_last_joint(nu)
-            .expect("chains ending at the same task share a suffix");
+        let Some((lam_t, nu_t)) = lambda.truncate_to_last_joint(nu) else {
+            break; // chains with disjoint suffixes cannot be buffered against each other
+        };
         let plan = match design_buffer(&current, &lam_t, &nu_t, &rt) {
             Ok(p) => p,
             // A trivial critical chain cannot be buffered; stop greedily.

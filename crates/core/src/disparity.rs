@@ -217,9 +217,13 @@ fn pair_bound_for_method(
         )),
         Method::ForkJoin => {
             // Both chains end at the same task, so a common suffix exists.
-            let (lam, nu_t) = lambda
-                .truncate_to_last_joint(nu)
-                .expect("chains ending at the same task share a suffix");
+            let (lam, nu_t) =
+                lambda
+                    .truncate_to_last_joint(nu)
+                    .ok_or(AnalysisError::TailMismatch {
+                        lambda_tail: lambda.tail(),
+                        nu_tail: nu.tail(),
+                    })?;
             Ok((pairwise_bound(graph, &lam, &nu_t, rt, method)?, lam.tail()))
         }
         Method::Combined => {

@@ -192,7 +192,9 @@ impl<'a> AnalysisEngine<'a> {
     }
 
     fn lock_edges(&self) -> std::sync::MutexGuard<'_, HashMap<(TaskId, TaskId), EdgeBounds>> {
-        self.edges.lock().expect("engine edge cache poisoned")
+        self.edges
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Backward bounds of an arbitrary chain through the cached hop
@@ -236,18 +238,24 @@ impl<'a> AnalysisEngine<'a> {
         shift_prefix.push(Duration::ZERO);
         bcet_prefix.push(Duration::ZERO);
         let mut pos = HashMap::with_capacity(tasks.len());
+        let mut bcet_total = Duration::ZERO;
+        let mut hop_total = Duration::ZERO;
+        let mut shift_total = Duration::ZERO;
         for (i, &t) in tasks.iter().enumerate() {
             let bcet = self
                 .graph
                 .get_task(t)
                 .ok_or(AnalysisError::Model(ModelError::UnknownTask(t)))?
                 .bcet();
-            bcet_prefix.push(*bcet_prefix.last().expect("non-empty") + bcet);
+            bcet_total += bcet;
+            bcet_prefix.push(bcet_total);
             pos.insert(t, i);
             if let Some(&next) = tasks.get(i + 1) {
                 let e = self.edge_bounds(t, next)?;
-                hop_prefix.push(*hop_prefix.last().expect("non-empty") + e.hop);
-                shift_prefix.push(*shift_prefix.last().expect("non-empty") + e.shift);
+                hop_total += e.hop;
+                hop_prefix.push(hop_total);
+                shift_total += e.shift;
+                shift_prefix.push(shift_total);
             }
         }
         Ok(ChainTable {
@@ -259,7 +267,7 @@ impl<'a> AnalysisEngine<'a> {
     }
 
     /// Bounds the worst-case time disparity of `task`, memoized and
-    /// (above [`PAR_THRESHOLD`] pairs) parallel.
+    /// (above `PAR_THRESHOLD` = 64 pairs) parallel.
     ///
     /// The report is bit-identical to
     /// [`worst_case_disparity_direct`](crate::disparity::worst_case_disparity_direct)
@@ -351,7 +359,10 @@ impl<'a> AnalysisEngine<'a> {
                 })
                 .collect();
             for handle in handles {
-                pairs.extend(handle.join().expect("pair worker never panics"));
+                match handle.join() {
+                    Ok(chunk) => pairs.extend(chunk),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
         disparity_obs::counter_add("engine.par_batches", self.workers as u64);

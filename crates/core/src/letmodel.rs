@@ -123,9 +123,9 @@ pub fn let_worst_case_disparity(
             let pair = match method {
                 Method::Independent => let_pairwise_bound(graph, &chains[i], &chains[j], method)?,
                 Method::ForkJoin | Method::Combined => {
-                    let (lam, nu) = chains[i]
-                        .truncate_to_last_joint(&chains[j])
-                        .expect("chains ending at the same task share a suffix");
+                    let Some((lam, nu)) = chains[i].truncate_to_last_joint(&chains[j]) else {
+                        continue; // disjoint suffixes: nothing to compare
+                    };
                     let s = let_pairwise_bound(graph, &lam, &nu, Method::ForkJoin)?;
                     if method == Method::Combined {
                         s.min(let_pairwise_bound(

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fig6 [a|b|c|d|ab|cd|funnel|all] [--full] [--seed N] [--out DIR] [--horizon-secs S]
-//!      [--trace-out FILE] [--metrics-out FILE]
+//!      [--trace-out FILE] [--metrics-out FILE] [--deny-lints] [--lints-out FILE]
 //! ```
 //!
 //! * `a`/`b` share one sweep (absolute values vs. incremental ratios), as
@@ -14,12 +14,18 @@
 //! * CSV lands in `--out` (default `results/`); markdown goes to stdout.
 //! * `--trace-out`/`--metrics-out` record the sweeps with `disparity-obs`
 //!   (see EXPERIMENTS.md, "Observability").
+//! * `--deny-lints`/`--lints-out` run the `disparity-analyzer` diagnostic
+//!   gate over probe graphs regenerated from the sweep's own seeds before
+//!   sweeping (see EXPERIMENTS.md, "Static analysis & diagnostics"). The
+//!   probe pass uses fresh RNGs, so the sweep output is byte-identical
+//!   with or without the gate.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use disparity_experiments::fig6ab::{self, Fig6abConfig};
 use disparity_experiments::fig6cd::{self, Fig6cdConfig};
+use disparity_experiments::lintcli::LintArgs;
 use disparity_experiments::obscli::ObsArgs;
 use disparity_model::time::Duration;
 
@@ -33,6 +39,7 @@ struct Args {
     out: PathBuf,
     horizon_secs: Option<i64>,
     obs: ObsArgs,
+    lint: LintArgs,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,11 +52,15 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("results"),
         horizon_secs: None,
         obs: ObsArgs::default(),
+        lint: LintArgs::default(),
     };
     let mut saw_selector = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         if args.obs.try_parse(&arg, &mut || it.next())? {
+            continue;
+        }
+        if args.lint.try_parse(&arg, &mut || it.next())? {
             continue;
         }
         match arg.as_str() {
@@ -101,13 +112,24 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: fig6 [a|b|c|d|ab|cd|funnel|all] [--full] [--seed N] [--out DIR] \
-                 [--horizon-secs S] [--trace-out FILE] [--metrics-out FILE]"
+                 [--horizon-secs S] [--trace-out FILE] [--metrics-out FILE] \
+                 [--deny-lints] [--lints-out FILE]"
             );
             return ExitCode::FAILURE;
         }
     };
     args.obs.enable_if_requested();
-    let code = run_sweeps(&args);
+    let code = match run_lint_gate(&args) {
+        Ok(true) => run_sweeps(&args),
+        Ok(false) => {
+            eprintln!("fig6: --deny-lints: error diagnostics on probe graphs; not sweeping");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    };
     // Flush even when a sweep failed so partial runs stay inspectable.
     match args.obs.flush() {
         Ok(lines) => {
@@ -123,26 +145,66 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_sweeps(args: &Args) -> ExitCode {
-    let horizon = |quick: i64| {
-        Duration::from_secs(
-            args.horizon_secs
-                .unwrap_or(if args.full { 600 } else { quick }),
-        )
+/// The Fig. 6(a)/(b) (and funnel) configuration implied by the CLI args.
+fn ab_config(args: &Args) -> Fig6abConfig {
+    let mut cfg = Fig6abConfig {
+        sim_horizon: Duration::from_secs(
+            args.horizon_secs.unwrap_or(if args.full { 600 } else { 10 }),
+        ),
+        ..Default::default()
     };
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+    if !args.full {
+        cfg.graphs_per_point = 5;
+        cfg.offsets_per_graph = 3;
+    }
+    cfg
+}
 
+/// The Fig. 6(c)/(d) configuration implied by the CLI args.
+fn cd_config(args: &Args) -> Fig6cdConfig {
+    let mut cfg = Fig6cdConfig {
+        sim_horizon: Duration::from_secs(
+            args.horizon_secs.unwrap_or(if args.full { 600 } else { 10 }),
+        ),
+        ..Default::default()
+    };
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+    if !args.full {
+        cfg.systems_per_point = 5;
+        cfg.offsets_per_system = 3;
+    }
+    cfg
+}
+
+/// Runs the `--deny-lints`/`--lints-out` diagnostic gate over probe graphs
+/// for every selected sweep. Returns `Ok(false)` when `--deny-lints` is set
+/// and a probe reported an Error-severity diagnostic.
+fn run_lint_gate(args: &Args) -> Result<bool, String> {
+    if !args.lint.requested() {
+        return Ok(true);
+    }
+    let mut probes = Vec::new();
     if args.run_ab {
-        let mut cfg = Fig6abConfig {
-            sim_horizon: horizon(10),
-            ..Default::default()
-        };
-        if let Some(seed) = args.seed {
-            cfg.seed = seed;
-        }
-        if !args.full {
-            cfg.graphs_per_point = 5;
-            cfg.offsets_per_graph = 3;
-        }
+        probes.extend(fig6ab::probe_graphs(&ab_config(args)));
+    }
+    if args.run_funnel {
+        probes.extend(fig6ab::probe_funnel_graphs(&ab_config(args)));
+    }
+    if args.run_cd {
+        probes.extend(fig6cd::probe_graphs(&cd_config(args)));
+    }
+    let errors = args.lint.gate("fig6", &probes)?;
+    Ok(!(args.lint.deny_lints && errors > 0))
+}
+
+fn run_sweeps(args: &Args) -> ExitCode {
+    if args.run_ab {
+        let cfg = ab_config(args);
         eprintln!("fig6(a,b): sweeping n_tasks={:?} ...", cfg.task_counts);
         let rows = fig6ab::run(&cfg);
         let ta = fig6ab::table_a(&rows);
@@ -161,17 +223,7 @@ fn run_sweeps(args: &Args) -> ExitCode {
     }
 
     if args.run_funnel {
-        let mut cfg = Fig6abConfig {
-            sim_horizon: horizon(10),
-            ..Default::default()
-        };
-        if let Some(seed) = args.seed {
-            cfg.seed = seed;
-        }
-        if !args.full {
-            cfg.graphs_per_point = 5;
-            cfg.offsets_per_graph = 3;
-        }
+        let cfg = ab_config(args);
         eprintln!(
             "fig6(a') funnel variant: sweeping n_tasks={:?} ...",
             cfg.task_counts
@@ -193,17 +245,7 @@ fn run_sweeps(args: &Args) -> ExitCode {
     }
 
     if args.run_cd {
-        let mut cfg = Fig6cdConfig {
-            sim_horizon: horizon(10),
-            ..Default::default()
-        };
-        if let Some(seed) = args.seed {
-            cfg.seed = seed;
-        }
-        if !args.full {
-            cfg.systems_per_point = 5;
-            cfg.offsets_per_system = 3;
-        }
+        let cfg = cd_config(args);
         eprintln!(
             "fig6(c,d): sweeping chain_lengths={:?} ...",
             cfg.chain_lengths

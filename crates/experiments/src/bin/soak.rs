@@ -21,23 +21,33 @@
 //!   `disparity-obs` and write a Chrome trace / metrics report. Both are
 //!   flushed even when the sweep fails (see EXPERIMENTS.md,
 //!   "Observability").
+//! * `--deny-lints` / `--lints-out FILE` — run the `disparity-analyzer`
+//!   diagnostic gate over the sweep's systems (minus the deliberately
+//!   unschedulable degradation probe) before soaking (see EXPERIMENTS.md,
+//!   "Static analysis & diagnostics").
 
 use std::process::ExitCode;
 
+use disparity_experiments::lintcli::LintArgs;
 use disparity_experiments::obscli::ObsArgs;
-use disparity_experiments::soak::{fault_catalog, run_soak, SoakConfig};
+use disparity_experiments::soak::{fault_catalog, probe_graphs, run_soak, SoakConfig};
 use disparity_model::time::Duration;
 
 const USAGE: &str = "usage: soak [--quick] [--systems N] [--seeds N] [--horizon-ms N] \
-     [--base-seed N] [--trace-out FILE] [--metrics-out FILE]";
+     [--base-seed N] [--trace-out FILE] [--metrics-out FILE] \
+     [--deny-lints] [--lints-out FILE]";
 
 /// `Ok(None)` means help was requested (print usage, exit zero).
-fn parse_args() -> Result<Option<(SoakConfig, ObsArgs)>, String> {
+fn parse_args() -> Result<Option<(SoakConfig, ObsArgs, LintArgs)>, String> {
     let mut config = SoakConfig::default();
     let mut obs = ObsArgs::default();
+    let mut lint = LintArgs::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if obs.try_parse(&arg, &mut || args.next())? {
+            continue;
+        }
+        if lint.try_parse(&arg, &mut || args.next())? {
             continue;
         }
         let mut take = |name: &str| -> Result<u64, String> {
@@ -63,11 +73,11 @@ fn parse_args() -> Result<Option<(SoakConfig, ObsArgs)>, String> {
             other => return Err(format!("unknown option {other} (try --help)")),
         }
     }
-    Ok(Some((config, obs)))
+    Ok(Some((config, obs, lint)))
 }
 
 fn main() -> ExitCode {
-    let (config, obs) = match parse_args() {
+    let (config, obs, lint) = match parse_args() {
         Ok(Some(c)) => c,
         Ok(None) => {
             println!("{USAGE}");
@@ -80,6 +90,21 @@ fn main() -> ExitCode {
         }
     };
     obs.enable_if_requested();
+    if lint.requested() {
+        // The probe pass rebuilds the sweep's systems on its own RNG, so
+        // gating never perturbs the soak results that follow.
+        match lint.gate("soak", &probe_graphs(&config)) {
+            Ok(errors) if lint.deny_lints && errors > 0 => {
+                eprintln!("soak: --deny-lints: error diagnostics on sweep systems; not soaking");
+                return ExitCode::FAILURE;
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("soak: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     eprintln!(
         "soak: {} fault plans x {} combos planned (horizon {}, base seed {:#x})",
         fault_catalog().len(),

@@ -151,6 +151,59 @@ pub fn run_funnel(config: &Fig6abConfig) -> Vec<Fig6abRow> {
     })
 }
 
+/// Regenerates one representative G(n, m) graph per sweep point for the
+/// `--deny-lints` diagnostic gate.
+///
+/// Probes replay the sweep's own `(seed, point, attempt)` derivation on
+/// fresh RNGs, so they see exactly the graphs the sweep will analyze while
+/// leaving every sweep RNG untouched — running the gate cannot change the
+/// sweep's output.
+#[must_use]
+pub fn probe_graphs(config: &Fig6abConfig) -> Vec<(String, CauseEffectGraph)> {
+    probe_with(config, "fig6ab", |n_tasks, cfg, rng| {
+        schedulable_random_system(
+            GraphGenConfig {
+                n_tasks,
+                n_ecus: cfg.n_ecus,
+                n_edges: Some((n_tasks as f64 * cfg.edge_factor) as usize),
+                max_sources: cfg.max_sources,
+                target_utilization: cfg.target_utilization,
+            },
+            rng,
+            50,
+        )
+        .ok()
+    })
+}
+
+/// [`probe_graphs`] for the funnel variant of the sweep.
+#[must_use]
+pub fn probe_funnel_graphs(config: &Fig6abConfig) -> Vec<(String, CauseEffectGraph)> {
+    probe_with(config, "funnel", |n_tasks, cfg, rng| {
+        let mut funnel_cfg = FunnelConfig::with_approximate_size(n_tasks);
+        funnel_cfg.n_ecus = cfg.n_ecus;
+        funnel_cfg.target_utilization = cfg.target_utilization;
+        schedulable_funnel_system(&funnel_cfg, rng, 50).ok()
+    })
+}
+
+fn probe_with<F>(config: &Fig6abConfig, family: &str, generate: F) -> Vec<(String, CauseEffectGraph)>
+where
+    F: Fn(usize, &Fig6abConfig, &mut StdRng) -> Option<CauseEffectGraph>,
+{
+    let mut probes = Vec::new();
+    for (point, &n_tasks) in config.task_counts.iter().enumerate() {
+        for attempt in 0..config.graphs_per_point * 20 {
+            let mut rng = StdRng::seed_from_u64(attempt_seed(config.seed, point, attempt));
+            if let Some(graph) = generate(n_tasks, config, &mut rng) {
+                probes.push((format!("{family}-n{n_tasks}"), graph));
+                break;
+            }
+        }
+    }
+    probes
+}
+
 /// Shared sweep driver over an arbitrary graph generator.
 ///
 /// Parallelism is two-level: one thread per X-axis point, and inside each
@@ -173,12 +226,18 @@ where
                 .push(scope.spawn(move || (point, sweep_point(config, point, n_tasks, generate))));
         }
         for handle in handles {
-            let (point, row) = handle.join().expect("sweep worker never panics");
+            let (point, row) = match handle.join() {
+                Ok(result) => result,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
             rows[point] = Some(row);
         }
     });
     rows.into_iter()
-        .map(|r| r.expect("every point computed"))
+        .map(|r| match r {
+            Some(row) => row,
+            None => unreachable!("every point computed"),
+        })
         .collect()
 }
 
@@ -370,7 +429,10 @@ fn simulate_max_disparity(
                 fault: disparity_sim::fault::FaultPlan::none(),
             },
         );
-        let outcome = sim.run().expect("valid configuration");
+        let Ok(outcome) = sim.run() else {
+            disparity_obs::counter_add("fig6ab.sim_rejected", 1);
+            continue;
+        };
         if let Some(d) = outcome.metrics.max_disparity(sink) {
             best = best.max(d.as_millis_f64());
         }

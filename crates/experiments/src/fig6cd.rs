@@ -105,12 +105,18 @@ pub fn run(config: &Fig6cdConfig) -> Vec<Fig6cdRow> {
             handles.push(scope.spawn(move || (point, sweep_point(config, point, chain_len))));
         }
         for handle in handles {
-            let (point, row) = handle.join().expect("sweep worker never panics");
+            let (point, row) = match handle.join() {
+                Ok(result) => result,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
             rows[point] = Some(row);
         }
     });
     rows.into_iter()
-        .map(|r| r.expect("every point computed"))
+        .map(|r| match r {
+            Some(row) => row,
+            None => unreachable!("every point computed"),
+        })
         .collect()
 }
 
@@ -161,6 +167,27 @@ fn sweep_point(config: &Fig6cdConfig, point: usize, chain_len: usize) -> Fig6cdR
         ratio_opt: incremental_ratio(s_diff_b_ms, sim_b_ms),
         systems: samples.len(),
     }
+}
+
+/// Regenerates one representative two-chain system per sweep point for
+/// the `--deny-lints` diagnostic gate.
+///
+/// Probes replay the sweep's own `(seed, point, attempt)` derivation on
+/// fresh RNGs (see [`crate::fig6ab::probe_graphs`]); running the gate
+/// cannot change the sweep's output.
+#[must_use]
+pub fn probe_graphs(config: &Fig6cdConfig) -> Vec<(String, CauseEffectGraph)> {
+    let mut probes = Vec::new();
+    for (point, &chain_len) in config.chain_lengths.iter().enumerate() {
+        for attempt in 0..config.systems_per_point * 20 {
+            let mut rng = StdRng::seed_from_u64(attempt_seed(config.seed, point, attempt));
+            if let Ok(sys) = schedulable_two_chain_system(chain_len, config.n_ecus, &mut rng, 50) {
+                probes.push((format!("fig6cd-len{chain_len}"), sys.graph));
+                break;
+            }
+        }
+    }
+    probes
 }
 
 /// One attempt's measurements.
@@ -245,7 +272,10 @@ fn simulate_max(
                 fault: disparity_sim::fault::FaultPlan::none(),
             },
         );
-        let outcome = sim.run().expect("valid configuration");
+        let Ok(outcome) = sim.run() else {
+            disparity_obs::counter_add("fig6cd.sim_rejected", 1);
+            continue;
+        };
         if let Some(d) = outcome.metrics.max_disparity(sink) {
             best = best.max(d.as_millis_f64());
         }

@@ -18,6 +18,7 @@
 
 pub mod fig6ab;
 pub mod fig6cd;
+pub mod lintcli;
 pub mod obscli;
 pub mod par;
 pub mod soak;

@@ -1,0 +1,193 @@
+//! Shared `--deny-lints` / `--lints-out` plumbing for the experiment
+//! binaries.
+//!
+//! The gate runs `disparity-analyzer`'s diagnostic pass over *probe*
+//! graphs — representative systems regenerated from the sweep's own seed
+//! derivation on fresh RNGs — so enabling it cannot perturb the sweep
+//! itself: every sweep attempt reseeds its own RNG from
+//! `(seed, point, attempt)`, and the probe pass only reads.
+//!
+//! * `--lints-out FILE` writes every probe's diagnostics as JSON
+//!   (schema [`LINT_GATE_SCHEMA`]).
+//! * `--deny-lints` fails the run when any probe reports an
+//!   Error-severity diagnostic.
+
+use std::path::PathBuf;
+
+use disparity_analyzer::{analyze_graph, DiagConfig};
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::json::{object, Value};
+
+/// Schema tag of the `--lints-out` JSON document.
+pub const LINT_GATE_SCHEMA: &str = "disparity-analyzer/lint-gate-v1";
+
+/// Optional diagnostic-gate arguments, parsed from the command line.
+#[derive(Debug, Clone, Default)]
+pub struct LintArgs {
+    /// Fail the run on Error-severity diagnostics (`--deny-lints`).
+    pub deny_lints: bool,
+    /// Destination of the JSON diagnostics report (`--lints-out`).
+    pub lints_out: Option<PathBuf>,
+}
+
+impl LintArgs {
+    /// Returns `true` when the gate should run at all.
+    #[must_use]
+    pub fn requested(&self) -> bool {
+        self.deny_lints || self.lints_out.is_some()
+    }
+
+    /// Tries to consume `arg` as one of the two flags, pulling a value
+    /// from `next` where needed. Returns `Ok(true)` when recognized.
+    pub fn try_parse(
+        &mut self,
+        arg: &str,
+        next: &mut dyn FnMut() -> Option<String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--deny-lints" => {
+                self.deny_lints = true;
+                Ok(true)
+            }
+            "--lints-out" => {
+                self.lints_out = Some(PathBuf::from(next().ok_or("--lints-out needs a value")?));
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Runs the diagnostic pass over the named probe graphs, writes the
+    /// JSON report when requested and prints every diagnostic to stderr.
+    ///
+    /// Returns the number of Error-severity diagnostics found across all
+    /// probes.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on I/O problems writing `--lints-out`; diagnostics
+    /// themselves never error here (the caller decides via
+    /// [`LintArgs::deny_lints`] and the returned count).
+    pub fn gate(
+        &self,
+        binary: &str,
+        probes: &[(String, CauseEffectGraph)],
+    ) -> Result<usize, String> {
+        let _span = disparity_obs::span!("lintgate.run", probes = probes.len());
+        let config = DiagConfig::default();
+        let mut errors = 0usize;
+        let mut probe_values = Vec::with_capacity(probes.len());
+        for (name, graph) in probes {
+            let set = analyze_graph(graph, &config);
+            for diag in set.as_slice() {
+                eprintln!("{binary}: lint [{name}] {diag}");
+            }
+            errors += set.error_count();
+            probe_values.push(object(vec![
+                ("name", Value::Str(name.clone())),
+                ("diagnostics", set.to_json()),
+            ]));
+        }
+        disparity_obs::counter_add("lintgate.errors", errors as u64);
+        if let Some(path) = &self.lints_out {
+            let doc = object(vec![
+                ("schema", Value::Str(LINT_GATE_SCHEMA.to_string())),
+                ("binary", Value::Str(binary.to_string())),
+                ("probes", Value::Array(probe_values)),
+            ]);
+            std::fs::write(path, doc.to_pretty())
+                .map_err(|e| format!("failed to write lints {}: {e}", path.display()))?;
+            eprintln!("{binary}: lint report written to {}", path.display());
+        }
+        eprintln!(
+            "{binary}: lint gate: {} probe graph(s), {errors} error(s)",
+            probes.len()
+        );
+        Ok(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::builder::SystemBuilder;
+    use disparity_model::task::TaskSpec;
+    use disparity_model::time::Duration;
+
+    fn clean_graph() -> CauseEffectGraph {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let ms = Duration::from_millis;
+        let src = b.add_task(TaskSpec::periodic("src", ms(10)).wcet(ms(1)).on_ecu(e));
+        let snk = b.add_task(TaskSpec::periodic("snk", ms(10)).wcet(ms(1)).on_ecu(e));
+        b.connect(src, snk);
+        b.build().unwrap()
+    }
+
+    fn overloaded_graph() -> CauseEffectGraph {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let ms = Duration::from_millis;
+        let src = b.add_task(TaskSpec::periodic("src", ms(10)).wcet(ms(9)).on_ecu(e));
+        let snk = b.add_task(TaskSpec::periodic("snk", ms(10)).wcet(ms(9)).on_ecu(e));
+        b.connect(src, snk);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parses_flags_and_ignores_others() {
+        let mut args = LintArgs::default();
+        let mut vals = vec!["l.json".to_string()].into_iter();
+        let mut next = || vals.next();
+        assert!(args.try_parse("--deny-lints", &mut next).unwrap());
+        assert!(args.try_parse("--lints-out", &mut next).unwrap());
+        assert!(!args.try_parse("--seed", &mut next).unwrap());
+        assert!(args.deny_lints);
+        assert_eq!(args.lints_out.as_deref(), Some(std::path::Path::new("l.json")));
+        assert!(args.requested());
+        assert!(!LintArgs::default().requested());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let mut args = LintArgs::default();
+        let mut next = || None;
+        assert!(args.try_parse("--lints-out", &mut next).is_err());
+    }
+
+    #[test]
+    fn gate_counts_errors_and_writes_report() {
+        let dir = std::env::temp_dir().join("disparity-lintcli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lints.json");
+        let args = LintArgs {
+            deny_lints: true,
+            lints_out: Some(path.clone()),
+        };
+        let probes = vec![
+            ("clean".to_string(), clean_graph()),
+            ("overloaded".to_string(), overloaded_graph()),
+        ];
+        let errors = args.gate("test", &probes).unwrap();
+        assert!(errors > 0, "the overloaded probe must report D001");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = Value::parse(&text).unwrap();
+        let Value::Object(members) = &doc else {
+            panic!("report must be an object")
+        };
+        assert!(members
+            .iter()
+            .any(|(k, v)| k == "schema" && *v == Value::Str(LINT_GATE_SCHEMA.to_string())));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn clean_probes_report_zero_errors() {
+        let args = LintArgs {
+            deny_lints: true,
+            lints_out: None,
+        };
+        let probes = vec![("clean".to_string(), clean_graph())];
+        assert_eq!(args.gate("test", &probes).unwrap(), 0);
+    }
+}

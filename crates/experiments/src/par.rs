@@ -40,19 +40,26 @@ where
                         return;
                     }
                     let value = f(i);
-                    slots.lock().expect("pool slots poisoned")[i] = Some(value);
+                    slots
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(value);
                 })
             })
             .collect();
         for handle in handles {
-            handle.join().expect("sweep worker never panics");
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
     });
     slots
         .into_inner()
-        .expect("pool slots poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
-        .map(|slot| slot.expect("every index computed"))
+        .map(|slot| match slot {
+            Some(value) => value,
+            None => unreachable!("every index computed"),
+        })
         .collect()
 }
 

@@ -208,6 +208,23 @@ struct SoakSystem {
     focus: TaskId,
 }
 
+/// Regenerates the soak sweep's systems for the `--deny-lints` diagnostic
+/// gate.
+///
+/// The builder reseeds its own RNG from `base_seed`, so this sees exactly
+/// the graphs [`run_soak`] will exercise without touching any sweep state.
+/// The deliberately unschedulable degradation probe — a negative control,
+/// *supposed* to miss deadlines — is excluded so `--deny-lints` gates the
+/// sweep's real systems only.
+#[must_use]
+pub fn probe_graphs(config: &SoakConfig) -> Vec<(String, CauseEffectGraph)> {
+    build_systems(config, &mut |_| {})
+        .into_iter()
+        .filter(|sys| sys.name != "degradation-probe")
+        .map(|sys| (sys.name, sys.graph))
+        .collect()
+}
+
 fn build_systems(config: &SoakConfig, log: &mut dyn FnMut(String)) -> Vec<SoakSystem> {
     let mut rng = StdRng::seed_from_u64(config.base_seed);
     let mut systems = Vec::new();
@@ -226,9 +243,16 @@ fn build_systems(config: &SoakConfig, log: &mut dyn FnMut(String)) -> Vec<SoakSy
                     log(format!("warning: skipping random system {i}: no sink"));
                     continue;
                 };
-                let mut chains = graph
-                    .chains_to(sink, 4096)
-                    .expect("generated DAG within budget");
+                let mut chains = match graph.chains_to(sink, 4096) {
+                    Ok(chains) => chains,
+                    Err(_) => {
+                        disparity_obs::counter_add("soak.chain_budget_exceeded", 1);
+                        log(format!(
+                            "warning: skipping random system {i}: chain budget exceeded"
+                        ));
+                        continue;
+                    }
+                };
                 chains.truncate(config.max_monitored_chains);
                 systems.push(SoakSystem {
                     name: format!("waters-dag-{}", gen.n_tasks),
@@ -298,8 +322,12 @@ fn degradation_probe() -> SoakSystem {
     );
     b.connect(s, a);
     b.connect(a, t);
-    let graph = b.build().expect("probe system is well-formed");
-    let chain = Chain::new(&graph, vec![s, a, t]).expect("probe chain is a path");
+    let Ok(graph) = b.build() else {
+        unreachable!("probe system is well-formed")
+    };
+    let Ok(chain) = Chain::new(&graph, vec![s, a, t]) else {
+        unreachable!("probe chain is a path")
+    };
     SoakSystem {
         name: "degradation-probe".to_string(),
         graph,
@@ -401,7 +429,7 @@ fn progress_line(summary: &SoakSummary, total: usize, started: std::time::Instan
 /// binary routes them to stderr; tests capture them).
 ///
 /// Long sweeps emit a `progress:` heartbeat through `log` at least every
-/// [`HEARTBEAT_PERIOD`], and one final heartbeat is always flushed before
+/// `HEARTBEAT_PERIOD` (2 s), and one final heartbeat is always flushed before
 /// returning — including sweeps that end early because every system was
 /// skipped.
 pub fn run_soak(config: &SoakConfig, log: &mut dyn FnMut(String)) -> SoakSummary {

@@ -244,7 +244,7 @@ impl SystemBuilder {
                 period: spec.period,
                 offset: spec.offset,
                 ecu: spec.ecu,
-                priority: priorities[i].expect("all priorities assigned"),
+                priority: priorities[i].unwrap_or(Priority::HIGHEST),
             })
             .collect();
 

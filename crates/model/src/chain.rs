@@ -86,7 +86,10 @@ impl Chain {
     /// The tail task `π^{|π|}`.
     #[must_use]
     pub fn tail(&self) -> TaskId {
-        *self.tasks.last().expect("chains are non-empty")
+        match self.tasks.last() {
+            Some(&t) => t,
+            None => unreachable!("chains are non-empty"),
+        }
     }
 
     /// Number of tasks `|π|`.
@@ -177,7 +180,9 @@ impl Chain {
         let mut out = Vec::with_capacity(cuts.len());
         let mut start = 0usize;
         for &cut in cuts {
-            let end = self.position(cut).expect("cut task must be on the chain");
+            let Some(end) = self.position(cut) else {
+                unreachable!("cut task must be on the chain")
+            };
             assert!(end >= start, "cut tasks must be in chain order");
             out.push(self.slice(start, end));
             start = end;

@@ -431,7 +431,7 @@ impl CauseEffectGraph {
         if self.is_source(current) {
             if chains.len() >= limit {
                 return Err(ModelError::ChainLimitExceeded {
-                    task: *stack.first().expect("stack holds the analyzed task"),
+                    task: *stack.first().unwrap_or(&current),
                     limit,
                 });
             }

@@ -143,10 +143,7 @@ impl Value {
         match self {
             Value::Null => out.push_str("null"),
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Value::Int(n) => {
-                let mut buf = itoa_buffer();
-                out.push_str(format_into(&mut buf, *n));
-            }
+            Value::Int(n) => write_i64(out, *n),
             Value::Float(x) => write_f64(out, *x),
             Value::Str(s) => write_escaped(out, s),
             Value::Array(items) => {
@@ -283,11 +280,8 @@ fn push_indent(out: &mut String, indent: usize) {
 }
 
 // i64::MIN is 20 digits plus sign.
-fn itoa_buffer() -> [u8; 24] {
-    [0; 24]
-}
-
-fn format_into(buf: &mut [u8; 24], mut n: i64) -> &str {
+fn write_i64(out: &mut String, mut n: i64) {
+    let mut buf = [0u8; 24];
     let negative = n < 0;
     let mut i = buf.len();
     loop {
@@ -303,7 +297,9 @@ fn format_into(buf: &mut [u8; 24], mut n: i64) -> &str {
         i -= 1;
         buf[i] = b'-';
     }
-    core::str::from_utf8(&buf[i..]).expect("ascii digits")
+    for &b in &buf[i..] {
+        out.push(char::from(b));
+    }
 }
 
 fn write_f64(out: &mut String, x: f64) {
@@ -424,7 +420,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -458,7 +454,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object_value(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -469,7 +465,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let value = self.value()?;
             members.push((key, value));
             self.skip_ws();
@@ -482,7 +478,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array_value(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -501,7 +497,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -612,7 +608,7 @@ impl<'a> Parser<'a> {
             }
         }
         let text = core::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number chars are ascii");
+            .map_err(|_| self.err("invalid number"))?;
         if is_float {
             text.parse::<f64>()
                 .map(Value::Float)

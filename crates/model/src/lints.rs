@@ -128,7 +128,20 @@ pub fn lint_graph(graph: &CauseEffectGraph) -> Vec<Lint> {
             lints.push(Lint::NonHarmonicChannel { channel: ch.id() });
         }
     }
+    // Deterministic output regardless of graph-construction order: sort by
+    // (lint kind, channel id) so JSON exports and snapshots are stable.
+    lints.sort_by_key(|l| (kind_rank(l), l.channel()));
     lints
+}
+
+/// Stable report order of the lint kinds (matches the `D008..D010`
+/// diagnostic codes in `disparity-analyzer`).
+fn kind_rank(lint: &Lint) -> u8 {
+    match lint {
+        Lint::OversampledChannel { .. } => 0,
+        Lint::UndersampledChannel { .. } => 1,
+        Lint::NonHarmonicChannel { .. } => 2,
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +194,27 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn lints_sort_by_kind_then_channel_not_construction_order() {
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        // Channel 0 (built first) is non-harmonic; channel 1 is oversampled.
+        let a = b.add_task(TaskSpec::periodic("a", ms(20)));
+        let bb = b.add_task(TaskSpec::periodic("b", ms(50)).wcet(ms(1)).on_ecu(e));
+        b.connect(a, bb);
+        let c = b.add_task(TaskSpec::periodic("c", ms(10)));
+        let d = b.add_task(TaskSpec::periodic("d", ms(30)).wcet(ms(1)).on_ecu(e));
+        b.connect(c, d);
+        let lints = lint_graph(&b.build().unwrap());
+        assert_eq!(lints.len(), 2);
+        // Oversampled (kind 0) reports before NonHarmonic (kind 2) even
+        // though its channel was created later.
+        assert!(matches!(lints[0], Lint::OversampledChannel { .. }));
+        assert_eq!(lints[0].channel(), ChannelId::from_index(1));
+        assert!(matches!(lints[1], Lint::NonHarmonicChannel { .. }));
+        assert_eq!(lints[1].channel(), ChannelId::from_index(0));
     }
 
     #[test]

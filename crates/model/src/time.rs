@@ -58,6 +58,27 @@ impl Duration {
         Duration(nanos)
     }
 
+    /// Creates a span from a (possibly fractional) nanosecond count,
+    /// rounding to the nearest integer with the saturating float→int
+    /// conversion (`NaN` maps to zero).
+    ///
+    /// This is the workspace's single blessed float→time cast site; all
+    /// other code must route float scaling through here or [`scale`]
+    /// (enforced by `srclint`'s `time-cast` rule, see `srclint.allow`).
+    ///
+    /// [`scale`]: Duration::scale
+    #[must_use]
+    pub fn from_nanos_f64(nanos: f64) -> Self {
+        Duration(nanos.round() as i64)
+    }
+
+    /// Scales the span by a float factor, rounding to the nearest
+    /// nanosecond and saturating at the representable range.
+    #[must_use]
+    pub fn scale(self, factor: f64) -> Self {
+        Duration::from_nanos_f64(self.0 as f64 * factor)
+    }
+
     /// Creates a span from a signed microsecond count.
     #[must_use]
     pub const fn from_micros(micros: i64) -> Self {

@@ -4,7 +4,7 @@
 //! **default-off** recorder so instrumented hot paths cost roughly a
 //! single relaxed atomic load when recording is disabled:
 //!
-//! 1. **Spans** ([`span`] / [`span!`]) — RAII guards with nanosecond
+//! 1. **Spans** ([`span()`] / [`span!`]) — RAII guards with nanosecond
 //!    wall-clock timing, per-thread nesting, and key-value attributes.
 //!    Every closed span also feeds a duration histogram named
 //!    `span.<name>`, so phase timings get p50/p95/p99 summaries for free.

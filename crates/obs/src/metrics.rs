@@ -26,7 +26,9 @@ static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
 });
 
 fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
-    f(&mut REGISTRY.lock().expect("obs metrics registry poisoned"))
+    f(&mut REGISTRY
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner))
 }
 
 /// Add `delta` to the monotonic counter `name`, creating it at zero

@@ -59,7 +59,11 @@ pub fn is_enabled() -> bool {
 
 /// Drain and return every span closed since the last drain.
 pub fn take_spans() -> Vec<SpanRecord> {
-    std::mem::take(&mut *SPANS.lock().expect("obs span buffer poisoned"))
+    std::mem::take(
+        &mut *SPANS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    )
 }
 
 /// Discard all recorded spans and metrics (recording stays on/off as-is).
@@ -221,7 +225,10 @@ impl Drop for SpanGuard {
             depth: active.depth,
             attrs: active.attrs,
         };
-        SPANS.lock().expect("obs span buffer poisoned").push(record);
+        SPANS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(record);
     }
 }
 

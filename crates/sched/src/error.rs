@@ -24,6 +24,9 @@ pub enum SchedError {
     },
     /// A response time was requested for a task id that was not analyzed.
     UnknownTask(TaskId),
+    /// A costly task carries no ECU mapping, so no response-time analysis
+    /// is possible (the builder normally rejects such systems).
+    UnmappedTask(TaskId),
 }
 
 impl fmt::Display for SchedError {
@@ -36,6 +39,7 @@ impl fmt::Display for SchedError {
                 write!(f, "response-time iteration for {task} did not converge")
             }
             SchedError::UnknownTask(t) => write!(f, "no response time computed for {t}"),
+            SchedError::UnmappedTask(t) => write!(f, "costly task {t} is not mapped to an ECU"),
         }
     }
 }

@@ -136,9 +136,9 @@ pub fn response_times(graph: &CauseEffectGraph) -> Result<ResponseTimes, SchedEr
         if task.is_zero_cost() {
             continue; // off-CPU stimulus: R = 0
         }
-        let ecu = task
-            .ecu()
-            .expect("costly tasks are mapped (validated at build)");
+        let Some(ecu) = task.ecu() else {
+            return Err(SchedError::UnmappedTask(task.id()));
+        };
         per_task[task.id().index()] = task_response(graph, task.id(), ecu)?;
     }
     Ok(ResponseTimes { per_task })

@@ -61,14 +61,12 @@ pub fn max_data_age(trace: &Trace, graph: &CauseEffectGraph, chain: &Chain) -> O
 fn traced_sources(trace: &Trace, graph: &CauseEffectGraph, chain: &Chain) -> Vec<Option<Instant>> {
     (0..trace.jobs_of(chain.tail()).len() as u64)
         .map(|k| {
-            backward_time_from_trace(trace, graph, chain, k).map(|len| {
-                let tail = trace
-                    .job(JobRef {
-                        task: chain.tail(),
-                        index: k,
-                    })
-                    .expect("backward walk succeeded, so the tail record exists");
-                tail.release - len
+            backward_time_from_trace(trace, graph, chain, k).and_then(|len| {
+                let tail = trace.job(JobRef {
+                    task: chain.tail(),
+                    index: k,
+                })?;
+                Some(tail.release - len)
             })
         })
         .collect()

@@ -118,7 +118,7 @@ pub fn to_ascii_gantt(
             out,
             "{:>12} |{}|",
             task.name(),
-            String::from_utf8(row).expect("ascii art is valid utf-8")
+            String::from_utf8_lossy(&row)
         );
     }
     out

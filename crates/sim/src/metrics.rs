@@ -232,8 +232,10 @@ pub fn try_backward_time_from_trace(
     let mut current = tail_record;
     // Walk edges from the tail back to the head.
     for pos in (1..chain.len()).rev() {
-        let consumer = chain.get(pos).expect("position in range");
-        let producer_task = chain.get(pos - 1).expect("position in range");
+        let (Some(consumer), Some(producer_task)) = (chain.get(pos), chain.get(pos - 1))
+        else {
+            return Ok(None);
+        };
         debug_assert_eq!(current.job.task, consumer);
         let ch = graph
             .channel_between(producer_task, consumer)

@@ -214,11 +214,9 @@ pub fn scale_to_utilization(specs: &mut [TaskSpec], target: f64) {
         if util <= 0.0 {
             continue;
         }
-        let min_period = members
-            .iter()
-            .map(|&i| specs[i].period)
-            .min()
-            .expect("non-empty group");
+        let Some(min_period) = members.iter().map(|&i| specs[i].period).min() else {
+            continue;
+        };
         let cap = min_period / 3;
         let factor = target / util;
         for &i in members {
@@ -228,11 +226,14 @@ pub fn scale_to_utilization(specs: &mut [TaskSpec], target: f64) {
             } else {
                 0.0
             };
-            let scaled = (spec.wcet.as_nanos() as f64 * factor).round() as i64;
-            let wcet = Duration::from_nanos(scaled.max(1))
+            let wcet = spec
+                .wcet
+                .scale(factor)
+                .max(Duration::from_nanos(1))
                 .min(cap)
                 .min(spec.period);
-            let bcet = Duration::from_nanos(((wcet.as_nanos() as f64) * ratio).round() as i64)
+            let bcet = wcet
+                .scale(ratio)
                 .max(Duration::from_nanos(1))
                 .min(wcet);
             spec.wcet = wcet;

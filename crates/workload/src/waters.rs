@@ -128,13 +128,16 @@ pub fn sample_bin<'b, R: Rng + ?Sized>(bins: &'b [PeriodBin], rng: &mut R) -> &'
     assert!(!bins.is_empty(), "need at least one period bin");
     let total: f64 = bins.iter().map(|b| b.share).sum();
     let mut point = rng.gen_range(0.0..total);
-    for bin in bins {
+    let Some((last, head)) = bins.split_last() else {
+        unreachable!("guarded by the assert above")
+    };
+    for bin in head {
         if point < bin.share {
             return bin;
         }
         point -= bin.share;
     }
-    bins.last().expect("bins is non-empty")
+    last
 }
 
 /// Draws `(BCET, WCET)` for a task of the given bin: factors are sampled
@@ -144,8 +147,8 @@ pub fn sample_execution<R: Rng + ?Sized>(bin: &PeriodBin, rng: &mut R) -> (Durat
     let fb = rng.gen_range(bin.bcet_factor.0..=bin.bcet_factor.1);
     let fw = rng.gen_range(bin.wcet_factor.0..=bin.wcet_factor.1);
     let acet = bin.acet.as_nanos() as f64;
-    let bcet = Duration::from_nanos((acet * fb).round().max(1.0) as i64);
-    let wcet = Duration::from_nanos((acet * fw).round().max(1.0) as i64);
+    let bcet = Duration::from_nanos_f64((acet * fb).round().max(1.0));
+    let wcet = Duration::from_nanos_f64((acet * fw).round().max(1.0));
     (bcet.min(wcet), wcet.max(bcet))
 }
 

@@ -29,6 +29,15 @@ test -s target/bench-engine.json
 grep -q 'pairwise_engine/sink_analysis/cached' target/bench-engine.json
 grep -q 'pairwise_engine/sink_analysis/uncached' target/bench-engine.json
 
+echo "==> srclint gate (workspace source lint, committed allowlist)"
+cargo run -p disparity-analyzer --release --bin srclint
+
+echo "==> diag smoke (D0xx diagnostics, known-clean WATERS spec, deny errors)"
+cargo run -p disparity-analyzer --release --bin diag -- specs/waters_clean.json --deny-lints
+
+echo "==> rustdoc gate (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> soak smoke (fault-injection soundness sweep, quick profile, obs recording)"
 cargo run -p disparity-experiments --release --bin soak -- --quick \
     --trace-out target/obs-trace.json --metrics-out target/obs-metrics.json
