@@ -1,0 +1,114 @@
+//! Benchmarks the serving hot path of `disparity-service` against the
+//! equivalent from-scratch pipeline.
+//!
+//! `warm_cache` runs [`Service::process`] on a disparity request whose
+//! spec is already cached: the graph, response times, and hop-bound cache
+//! are shared, so each request pays only canonical hashing, a cache
+//! lookup, and the memoized engine run. `uncached_pipeline` rebuilds the
+//! graph, re-runs schedulability, and analyzes with a fresh engine — the
+//! work a one-shot CLI (or a cache miss) pays per request. `parse` and
+//! `ping` isolate codec and dispatch overhead. Before any timing, the
+//! service response is asserted byte-identical to encoding a direct
+//! engine run.
+//!
+//! [`Service::process`]: disparity_service::service::Service::process
+
+use disparity_bench::{criterion_group, criterion_main, Criterion};
+use disparity_core::disparity::AnalysisConfig;
+use disparity_core::engine::AnalysisEngine;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::TaskId;
+use disparity_model::json::Value;
+use disparity_model::spec::SystemSpec;
+use disparity_rng::rngs::StdRng;
+use disparity_sched::schedulability::analyze;
+use disparity_service::proto::{
+    encode_disparity_result, response_line, Request, ResponseBody, Status,
+};
+use disparity_service::service::{Service, ServiceConfig};
+use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
+use std::hint::black_box;
+
+/// A seeded fusion workload (WATERS period bins) and its fusion sink.
+fn seeded_workload(seed: u64) -> (CauseEffectGraph, TaskId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = schedulable_funnel_system(&FunnelConfig::default(), &mut rng, 64)
+        .expect("funnel workload generates");
+    let sink = *graph.sinks().first().expect("funnel has a sink");
+    (graph, sink)
+}
+
+fn disparity_line(graph: &CauseEffectGraph, sink: TaskId) -> String {
+    let spec = SystemSpec::from_graph(graph);
+    format!(
+        "{{\"id\":1,\"op\":\"disparity\",\"task\":{},\"spec\":{}}}",
+        Value::from(graph.task(sink).name()),
+        spec.to_json()
+    )
+}
+
+fn bench_service_requests(c: &mut Criterion) {
+    let (graph, sink) = seeded_workload(42);
+    let line = disparity_line(&graph, sink);
+    let request = Request::parse(&line).expect("request parses");
+    let ping = Request::parse("{\"id\":2,\"op\":\"ping\"}").expect("ping parses");
+    let spec = SystemSpec::from_graph(&graph);
+
+    let service = Service::start(ServiceConfig::default());
+
+    // Consistency gate: the served bytes must equal encoding a direct
+    // engine run before either path is worth timing.
+    let rt = analyze(&graph)
+        .expect("schedulable workload")
+        .into_response_times();
+    let report = AnalysisEngine::new(&graph, &rt)
+        .worst_case_disparity(sink, AnalysisConfig::default())
+        .expect("direct analysis");
+    let expected = response_line(
+        &Value::Int(1),
+        Status::Ok,
+        ResponseBody::Result(encode_disparity_result(&graph, &report)),
+    );
+    assert_eq!(
+        service.process(&request),
+        expected,
+        "service response matches direct engine bytes"
+    );
+
+    let mut group = c.benchmark_group("service_requests/disparity");
+    group.bench_function("warm_cache", |b| {
+        b.iter(|| service.process(black_box(&request)))
+    });
+    group.bench_function("uncached_pipeline", |b| {
+        b.iter(|| {
+            let spec = black_box(&spec);
+            let _hash = spec.canonical_hash();
+            let graph = spec.build().expect("spec builds");
+            let rt = analyze(&graph)
+                .expect("schedulable workload")
+                .into_response_times();
+            let sink = *graph.sinks().first().expect("sink");
+            let report = AnalysisEngine::new(&graph, &rt)
+                .worst_case_disparity(sink, AnalysisConfig::default())
+                .expect("analysis succeeds");
+            response_line(
+                &Value::Int(1),
+                Status::Ok,
+                ResponseBody::Result(encode_disparity_result(&graph, &report)),
+            )
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("service_requests/overhead");
+    group.bench_function("parse", |b| {
+        b.iter(|| Request::parse(black_box(&line)).expect("parses"))
+    });
+    group.bench_function("ping", |b| b.iter(|| service.process(black_box(&ping))));
+    group.finish();
+
+    service.shutdown();
+}
+
+criterion_group!(benches, bench_service_requests);
+criterion_main!(benches);

@@ -28,8 +28,9 @@
 //! every shared term looked up instead of recomputed (a property pinned
 //! by `tests/engine_consistency.rs`).
 
+use core::fmt;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use disparity_model::chain::Chain;
 use disparity_model::error::ModelError;
@@ -54,6 +55,61 @@ const PAR_THRESHOLD: usize = 64;
 struct EdgeBounds {
     hop: Duration,
     shift: Duration,
+}
+
+/// A shareable, thread-safe hop-bound cache: the memoized Lemma 4/6
+/// per-edge terms of **one graph under one response-time assignment**.
+///
+/// [`AnalysisEngine::new`] creates a fresh private cache; long-lived
+/// callers (the analysis service keeps one engine's worth of state per
+/// cached graph) can instead keep a `HopCache` alongside the graph and
+/// hand clones of it to every engine built over that graph via
+/// [`AnalysisEngine::with_hop_cache`], so the per-edge terms amortize
+/// across engines, requests and threads. Clones share storage.
+///
+/// **Invariant:** a cache must only ever be attached to engines over the
+/// same graph and the same [`ResponseTimes`]. Task ids are per-graph
+/// indices, so feeding one graph's cache to another graph would silently
+/// return stale bounds. The engine cannot check this; the owner of the
+/// cache must key it by graph identity (the service keys caches by a
+/// canonical content hash of the spec).
+#[derive(Clone, Default)]
+pub struct HopCache {
+    inner: Arc<Mutex<HashMap<(TaskId, TaskId), EdgeBounds>>>,
+}
+
+impl HopCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        HopCache::default()
+    }
+
+    /// Number of memoized edges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when no edge has been memoized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<(TaskId, TaskId), EdgeBounds>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl fmt::Debug for HopCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HopCache")
+            .field("entries", &self.len())
+            .finish()
+    }
 }
 
 /// Prefix tables of one enumerated chain: every sub-chain's backward
@@ -119,17 +175,37 @@ impl ChainTable {
 /// assert!(report.bound > Duration::ZERO);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
 pub struct AnalysisEngine<'a> {
     graph: &'a CauseEffectGraph,
     rt: &'a ResponseTimes,
     /// Lazily filled hop-bound cache keyed by `(from, to)` channel. A
     /// `Mutex` (not `RefCell`) so the engine stays `Sync` for the scoped
     /// worker pool; the pair loop itself only reads the prefix tables, so
-    /// the lock is never contended.
-    edges: Mutex<HashMap<(TaskId, TaskId), EdgeBounds>>,
+    /// the lock is never contended. Shareable across engines over the
+    /// same graph via [`with_hop_cache`](Self::with_hop_cache).
+    edges: HopCache,
     workers: usize,
+    /// Optional cooperative budget hook (`true` = keep going). Checked
+    /// between chains and every [`BUDGET_STRIDE`] pairs; when it returns
+    /// `false` the analysis stops with
+    /// [`AnalysisError::BudgetExhausted`]. Long-running callers use this
+    /// to enforce soft deadlines without tearing down worker threads.
+    budget: Option<&'a (dyn Fn() -> bool + Sync)>,
 }
+
+impl fmt::Debug for AnalysisEngine<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnalysisEngine")
+            .field("tasks", &self.graph.task_count())
+            .field("edges", &self.edges)
+            .field("workers", &self.workers)
+            .field("budget_hook", &self.budget.is_some())
+            .finish()
+    }
+}
+
+/// How many pairs the pair loops process between budget-hook checks.
+const BUDGET_STRIDE: usize = 64;
 
 impl<'a> AnalysisEngine<'a> {
     /// Creates an engine over `graph` with response times `rt`.
@@ -142,8 +218,9 @@ impl<'a> AnalysisEngine<'a> {
         AnalysisEngine {
             graph,
             rt,
-            edges: Mutex::new(HashMap::new()),
+            edges: HopCache::new(),
             workers,
+            budget: None,
         }
     }
 
@@ -155,6 +232,45 @@ impl<'a> AnalysisEngine<'a> {
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
         self
+    }
+
+    /// Attaches a shared hop-bound cache, replacing the engine's private
+    /// one. See [`HopCache`] for the graph-identity invariant the caller
+    /// must uphold.
+    #[must_use]
+    pub fn with_hop_cache(mut self, cache: HopCache) -> Self {
+        self.edges = cache;
+        self
+    }
+
+    /// A handle to this engine's hop-bound cache (clones share storage),
+    /// for reuse by a later engine over the same graph.
+    #[must_use]
+    pub fn hop_cache(&self) -> HopCache {
+        self.edges.clone()
+    }
+
+    /// Installs a cooperative budget hook. The hook is polled between
+    /// chain-table builds and every 64 analyzed pairs; returning `false`
+    /// aborts the analysis with [`AnalysisError::BudgetExhausted`]. The
+    /// hook must be cheap (an atomic load or a deadline comparison) and
+    /// is called from worker threads, hence `Sync`.
+    #[must_use]
+    pub fn with_budget_hook(mut self, hook: &'a (dyn Fn() -> bool + Sync)) -> Self {
+        self.budget = Some(hook);
+        self
+    }
+
+    /// Errors with [`AnalysisError::BudgetExhausted`] once the budget
+    /// hook (if any) reports exhaustion.
+    fn check_budget(&self) -> Result<(), AnalysisError> {
+        match self.budget {
+            Some(hook) if !hook() => {
+                disparity_obs::counter_add("engine.budget_stops", 1);
+                Err(AnalysisError::BudgetExhausted)
+            }
+            _ => Ok(()),
+        }
     }
 
     /// The graph this engine analyzes.
@@ -175,7 +291,7 @@ impl<'a> AnalysisEngine<'a> {
     ///
     /// [`AnalysisError::Model`] when `(from, to)` is not an edge.
     fn edge_bounds(&self, from: TaskId, to: TaskId) -> Result<EdgeBounds, AnalysisError> {
-        if let Some(&e) = self.lock_edges().get(&(from, to)) {
+        if let Some(&e) = self.edges.lock().get(&(from, to)) {
             disparity_obs::counter_add("engine.hop_cache.hits", 1);
             return Ok(e);
         }
@@ -187,14 +303,8 @@ impl<'a> AnalysisEngine<'a> {
             .ok_or(AnalysisError::Model(ModelError::NotAChain { from, to }))?;
         let shift = buffer_shift(channel.capacity(), self.graph.task(from).period());
         let e = EdgeBounds { hop, shift };
-        self.lock_edges().insert((from, to), e);
+        self.edges.lock().insert((from, to), e);
         Ok(e)
-    }
-
-    fn lock_edges(&self) -> std::sync::MutexGuard<'_, HashMap<(TaskId, TaskId), EdgeBounds>> {
-        self.edges
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Backward bounds of an arbitrary chain through the cached hop
@@ -282,23 +392,30 @@ impl<'a> AnalysisEngine<'a> {
         task: TaskId,
         config: AnalysisConfig,
     ) -> Result<DisparityReport, AnalysisError> {
+        self.check_budget()?;
         let chains = self.graph.chains_to(task, config.chain_limit)?;
         let mut span = disparity_obs::span("disparity.worst_case");
         span.attr("chains", chains.len());
         span.attr("engine", 1usize);
         let tables: Vec<ChainTable> = chains
             .iter()
-            .map(|c| self.table(c))
+            .map(|c| {
+                self.check_budget()?;
+                self.table(c)
+            })
             .collect::<Result<_, _>>()?;
         disparity_obs::counter_add("engine.chain_tables", tables.len() as u64);
         let n = chains.len();
         let n_pairs = n * (n - 1) / 2;
         let pairs = if self.workers > 1 && n_pairs >= PAR_THRESHOLD {
-            self.pairs_parallel(&chains, &tables, config.method, n_pairs)
+            self.pairs_parallel(&chains, &tables, config.method, n_pairs)?
         } else {
             let mut pairs = Vec::with_capacity(n_pairs);
             for i in 0..n {
                 for j in (i + 1)..n {
+                    if pairs.len() % BUDGET_STRIDE == 0 {
+                        self.check_budget()?;
+                    }
                     pairs.push(self.pair_bound(&chains, &tables, i, j, config.method));
                 }
             }
@@ -331,7 +448,7 @@ impl<'a> AnalysisEngine<'a> {
         tables: &[ChainTable],
         method: Method,
         n_pairs: usize,
-    ) -> Vec<PairBound> {
+    ) -> Result<Vec<PairBound>, AnalysisError> {
         let mut index: Vec<(usize, usize)> = Vec::with_capacity(n_pairs);
         for i in 0..chains.len() {
             for j in (i + 1)..chains.len() {
@@ -342,6 +459,7 @@ impl<'a> AnalysisEngine<'a> {
         // up front so workers never touch the RefCell.
         let chunk = index.len().div_ceil(self.workers);
         let mut pairs = Vec::with_capacity(index.len());
+        let mut exhausted = false;
         std::thread::scope(|scope| {
             let handles: Vec<_> = index
                 .chunks(chunk)
@@ -351,22 +469,30 @@ impl<'a> AnalysisEngine<'a> {
                         let mut span = disparity_obs::span("engine.pair_batch");
                         span.attr("batch", batch);
                         span.attr("pairs", slice.len());
-                        slice
-                            .iter()
-                            .map(|&(i, j)| self.pair_bound(chains, tables, i, j, method))
-                            .collect::<Vec<_>>()
+                        let mut out = Vec::with_capacity(slice.len());
+                        for (k, &(i, j)) in slice.iter().enumerate() {
+                            if k % BUDGET_STRIDE == 0 && self.check_budget().is_err() {
+                                return Err(AnalysisError::BudgetExhausted);
+                            }
+                            out.push(self.pair_bound(chains, tables, i, j, method));
+                        }
+                        Ok(out)
                     })
                 })
                 .collect();
             for handle in handles {
                 match handle.join() {
-                    Ok(chunk) => pairs.extend(chunk),
+                    Ok(Ok(chunk)) => pairs.extend(chunk),
+                    Ok(Err(_)) => exhausted = true,
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
         });
+        if exhausted {
+            return Err(AnalysisError::BudgetExhausted);
+        }
         disparity_obs::counter_add("engine.par_batches", self.workers as u64);
-        pairs
+        Ok(pairs)
     }
 
     /// One pair's bound, from the prefix tables. Mirrors
@@ -720,6 +846,94 @@ mod tests {
         for (a, b) in reports.iter().zip(&free_reports) {
             assert_reports_identical(a, b);
         }
+    }
+
+    #[test]
+    fn shared_hop_cache_amortizes_across_engines() {
+        let (g, t6) = fig2();
+        let rt = response_times(&g).unwrap();
+        let cache = HopCache::new();
+        assert!(cache.is_empty());
+        let first = AnalysisEngine::new(&g, &rt)
+            .with_hop_cache(cache.clone())
+            .worst_case_disparity(t6, AnalysisConfig::default())
+            .unwrap();
+        let warmed = cache.len();
+        assert!(warmed > 0, "the first engine fills the shared cache");
+        // A second engine over the same graph reuses the warmed cache and
+        // produces the identical report.
+        let second = AnalysisEngine::new(&g, &rt)
+            .with_hop_cache(cache.clone())
+            .worst_case_disparity(t6, AnalysisConfig::default())
+            .unwrap();
+        assert_eq!(cache.len(), warmed, "no new edges on the warm path");
+        assert_reports_identical(&first, &second);
+        let direct = worst_case_disparity_direct(&g, t6, &rt, AnalysisConfig::default()).unwrap();
+        assert_reports_identical(&direct, &second);
+    }
+
+    #[test]
+    fn hop_cache_handle_shares_storage() {
+        let (g, t6) = fig2();
+        let rt = response_times(&g).unwrap();
+        let engine = AnalysisEngine::new(&g, &rt);
+        let handle = engine.hop_cache();
+        engine
+            .worst_case_disparity(t6, AnalysisConfig::default())
+            .unwrap();
+        assert!(!handle.is_empty(), "handle observes the engine's fills");
+        assert!(format!("{handle:?}").contains("entries"));
+    }
+
+    #[test]
+    fn budget_hook_stops_serial_and_parallel_loops() {
+        let (g, sink) = wide(13); // 78 pairs: the parallel path engages
+        let rt = response_times(&g).unwrap();
+        let stop = || false;
+        for workers in [1, 4] {
+            let err = AnalysisEngine::new(&g, &rt)
+                .with_workers(workers)
+                .with_budget_hook(&stop)
+                .worst_case_disparity(sink, AnalysisConfig::default())
+                .unwrap_err();
+            assert!(
+                matches!(err, AnalysisError::BudgetExhausted),
+                "workers={workers}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn generous_budget_hook_changes_nothing() {
+        let (g, sink) = wide(13);
+        let rt = response_times(&g).unwrap();
+        let keep_going = || true;
+        let config = AnalysisConfig::default();
+        let plain = AnalysisEngine::new(&g, &rt)
+            .worst_case_disparity(sink, config)
+            .unwrap();
+        let hooked = AnalysisEngine::new(&g, &rt)
+            .with_budget_hook(&keep_going)
+            .worst_case_disparity(sink, config)
+            .unwrap();
+        assert_reports_identical(&plain, &hooked);
+    }
+
+    #[test]
+    fn budget_hook_can_fire_mid_analysis() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (g, sink) = wide(13);
+        let rt = response_times(&g).unwrap();
+        // Allow a few checks, then cut the budget: exercises the
+        // mid-loop stride checks rather than the entry check.
+        let calls = AtomicUsize::new(0);
+        let hook = move || calls.fetch_add(1, Ordering::Relaxed) < 3;
+        let err = AnalysisEngine::new(&g, &rt)
+            .with_workers(1)
+            .with_budget_hook(&hook)
+            .worst_case_disparity(sink, AnalysisConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, AnalysisError::BudgetExhausted));
     }
 
     #[test]

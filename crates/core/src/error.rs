@@ -41,6 +41,10 @@ pub enum AnalysisError {
         /// The offending head task.
         head: TaskId,
     },
+    /// The engine's cooperative budget hook requested a stop before the
+    /// analysis completed (a soft deadline or work budget ran out). The
+    /// partial results are discarded; re-run with a larger budget.
+    BudgetExhausted,
 }
 
 impl fmt::Display for AnalysisError {
@@ -71,6 +75,9 @@ impl fmt::Display for AnalysisError {
             }
             AnalysisError::HeadNotSource { head } => {
                 write!(f, "chain head {head} is not a source task")
+            }
+            AnalysisError::BudgetExhausted => {
+                write!(f, "analysis budget exhausted before completion")
             }
         }
     }

@@ -73,7 +73,7 @@ pub mod prelude {
         analyze_all_tasks, analyze_task, worst_case_disparity, worst_case_disparity_direct,
         AnalysisConfig, DisparityReport, PairBound,
     };
-    pub use crate::engine::AnalysisEngine;
+    pub use crate::engine::{AnalysisEngine, HopCache};
     pub use crate::error::AnalysisError;
     pub use crate::latency::{data_age_bound, reaction_time_bound};
     pub use crate::letmodel::{let_backward_bounds, let_pairwise_bound, let_worst_case_disparity};

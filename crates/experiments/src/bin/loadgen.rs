@@ -1,0 +1,450 @@
+//! `loadgen` — replay a spec against a running `serve` daemon and report
+//! throughput/latency.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--spec FILE] [--task NAME] [--requests N]
+//!         [--rps N] [--connections C] [--out FILE]
+//!         [--require-cache-hit] [--probe-overload N] [--shutdown]
+//! ```
+//!
+//! Each connection runs a synchronous request/response loop over the
+//! NDJSON protocol, paced so the aggregate send rate approximates
+//! `--rps` (0 = as fast as possible). The report (one JSON object on
+//! stdout, optionally also written to `--out`) carries client-side
+//! status counts, latency percentiles, and the server's own `stats`
+//! counters, so CI can assert cache hit-rate and overload accounting.
+//!
+//! Exit is non-zero on protocol errors (unparsable responses, missing
+//! ids), on `--require-cache-hit` without a server-side cache hit, and
+//! on `--probe-overload N` when a burst of N slow requests down one
+//! extra connection fails to exercise the queue-full path.
+//!
+//! `--shutdown` sends the `shutdown` op once the run (and its stats
+//! query) is complete, so a scripted smoke can let the daemon drain and
+//! flush its obs artifacts instead of killing it.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use disparity_model::json::{self, Value};
+use disparity_model::spec::SystemSpec;
+use disparity_obs::Histogram;
+
+struct Args {
+    addr: String,
+    spec: String,
+    task: Option<String>,
+    requests: usize,
+    rps: u64,
+    connections: usize,
+    out: Option<String>,
+    require_cache_hit: bool,
+    probe_overload: usize,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7414".to_string(),
+        spec: "specs/waters_clean.json".to_string(),
+        task: None,
+        requests: 100,
+        rps: 0,
+        connections: 4,
+        out: None,
+        require_cache_hit: false,
+        probe_overload: 0,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--spec" => args.spec = value("--spec")?,
+            "--task" => args.task = Some(value("--task")?),
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--rps" => args.rps = value("--rps")?.parse().map_err(|e| format!("--rps: {e}"))?,
+            "--connections" => {
+                args.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?;
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--require-cache-hit" => args.require_cache_hit = true,
+            "--probe-overload" => {
+                args.probe_overload = value("--probe-overload")?
+                    .parse()
+                    .map_err(|e| format!("--probe-overload: {e}"))?;
+            }
+            "--shutdown" => args.shutdown = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    overloaded: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+fn load(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+/// One synchronous request over an open connection; records latency and
+/// status. Returns `false` on connection failure.
+fn one_request(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+    tally: &Tally,
+    latency: &Mutex<Histogram>,
+) -> bool {
+    let started = Instant::now();
+    if stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .is_err()
+    {
+        bump(&tally.protocol_errors);
+        return false;
+    }
+    let mut response = String::new();
+    match reader.read_line(&mut response) {
+        Ok(n) if n > 0 => {}
+        _ => {
+            bump(&tally.protocol_errors);
+            return false;
+        }
+    }
+    let micros = i64::try_from(started.elapsed().as_micros()).unwrap_or(i64::MAX);
+    if let Ok(mut hist) = latency.lock() {
+        hist.record(micros);
+    }
+    match Value::parse(response.trim_end()) {
+        Ok(v) => match v.get("status").and_then(Value::as_str) {
+            Some("ok") => bump(&tally.ok),
+            Some("overloaded") => bump(&tally.overloaded),
+            Some("timeout") => bump(&tally.timeouts),
+            Some("error" | "rejected" | "shutting_down") => bump(&tally.errors),
+            _ => bump(&tally.protocol_errors),
+        },
+        Err(_) => bump(&tally.protocol_errors),
+    }
+    true
+}
+
+fn run_load(args: &Args, request_line: &str) -> Result<(Tally, Histogram, Duration), String> {
+    let tally = Tally::default();
+    let latency = Mutex::new(Histogram::new());
+    let connections = args.connections.max(1);
+    let per_conn = args.requests.div_ceil(connections);
+    // Pace each connection at its share of the aggregate target rate.
+    let pause = if args.rps == 0 {
+        Duration::ZERO
+    } else {
+        Duration::from_micros(1_000_000 * connections as u64 / args.rps.max(1))
+    };
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..connections {
+            scope.spawn(|| {
+                let Ok(mut stream) = TcpStream::connect(&args.addr) else {
+                    bump(&tally.protocol_errors);
+                    return;
+                };
+                let Ok(read_half) = stream.try_clone() else {
+                    bump(&tally.protocol_errors);
+                    return;
+                };
+                let mut reader = BufReader::new(read_half);
+                for _ in 0..per_conn {
+                    if !one_request(&mut stream, &mut reader, request_line, &tally, &latency) {
+                        break;
+                    }
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let hist = latency
+        .into_inner()
+        .map_err(|_| "latency histogram poisoned".to_string())?;
+    Ok((tally, hist, elapsed))
+}
+
+/// Queries the server's own `stats` op.
+fn server_stats(addr: &str) -> Result<Value, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .write_all(b"{\"id\":\"loadgen-stats\",\"op\":\"stats\"}\n")
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("stats write: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("stats read: {e}"))?;
+    let v = Value::parse(line.trim_end()).map_err(|e| format!("stats parse: {e}"))?;
+    v.get("result")
+        .cloned()
+        .ok_or_else(|| "stats response has no result".to_string())
+}
+
+/// Fires `n` slow `sleep` requests down one connection as fast as
+/// possible; returns how many were bounced `overloaded`.
+fn probe_overload(addr: &str, n: usize) -> Result<u64, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let read_half = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    for i in 0..n {
+        stream
+            .write_all(format!("{{\"id\":\"probe-{i}\",\"op\":\"sleep\",\"millis\":25}}\n").as_bytes())
+            .map_err(|e| format!("probe write: {e}"))?;
+    }
+    stream.flush().map_err(|e| format!("probe flush: {e}"))?;
+    let mut overloaded = 0u64;
+    let mut seen = 0usize;
+    for line in BufReader::new(read_half).lines() {
+        let line = line.map_err(|e| format!("probe read: {e}"))?;
+        let v = Value::parse(&line).map_err(|e| format!("probe parse: {e}"))?;
+        if v.get("status").and_then(Value::as_str) == Some("overloaded") {
+            overloaded += 1;
+        }
+        seen += 1;
+        if seen == n {
+            break;
+        }
+    }
+    if seen != n {
+        return Err(format!("overload probe: sent {n} requests, got {seen} responses"));
+    }
+    Ok(overloaded)
+}
+
+/// Sends the `shutdown` op and waits for its `ok` ack, letting the
+/// daemon drain and flush obs artifacts.
+fn send_shutdown(addr: &str) -> Result<(), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .write_all(b"{\"id\":\"loadgen-shutdown\",\"op\":\"shutdown\"}\n")
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("shutdown write: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("shutdown read: {e}"))?;
+    let v = Value::parse(line.trim_end()).map_err(|e| format!("shutdown parse: {e}"))?;
+    match v.get("status").and_then(Value::as_str) {
+        Some("ok") => Ok(()),
+        other => Err(format!("shutdown not acknowledged: {other:?}")),
+    }
+}
+
+fn uint(v: u64) -> Value {
+    Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Build the request from the spec file: parse, build the graph, and
+    // aim at the requested task (default: the first sink).
+    let text = match std::fs::read_to_string(&args.spec) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("loadgen: reading {}: {e}", args.spec);
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match SystemSpec::from_json_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("loadgen: parsing {}: {e}", args.spec);
+            return ExitCode::FAILURE;
+        }
+    };
+    let graph = match spec.build() {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("loadgen: building {}: {e}", args.spec);
+            return ExitCode::FAILURE;
+        }
+    };
+    let task = match &args.task {
+        Some(name) => name.clone(),
+        None => match graph.sinks().first() {
+            Some(&sink) => graph.task(sink).name().to_string(),
+            None => {
+                eprintln!("loadgen: {} has no sink task", args.spec);
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let request_line = format!(
+        "{{\"id\":\"load\",\"op\":\"disparity\",\"task\":{},\"spec\":{}}}",
+        Value::from(task.as_str()),
+        spec.to_json()
+    );
+
+    let (tally, hist, elapsed) = match run_load(&args, &request_line) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let probe = if args.probe_overload > 0 {
+        match probe_overload(&args.addr, args.probe_overload) {
+            Ok(n) => Some(n),
+            Err(msg) => {
+                eprintln!("loadgen: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    let stats = match server_stats(&args.addr) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.shutdown {
+        if let Err(msg) = send_shutdown(&args.addr) {
+            eprintln!("loadgen: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let elapsed_ms = elapsed.as_millis();
+    let ok = load(&tally.ok);
+    let throughput = if elapsed_ms == 0 {
+        0.0
+    } else {
+        #[allow(clippy::cast_precision_loss)]
+        let rps = ok as f64 * 1000.0 / elapsed_ms as f64;
+        rps
+    };
+    let s = hist.summary();
+    let mut report_members = vec![
+        ("addr", Value::from(args.addr.as_str())),
+        ("spec", Value::from(args.spec.as_str())),
+        ("task", Value::from(task.as_str())),
+        ("requests", Value::from(args.requests)),
+        ("connections", Value::from(args.connections)),
+        ("ok", uint(ok)),
+        ("overloaded", uint(load(&tally.overloaded))),
+        ("timeouts", uint(load(&tally.timeouts))),
+        ("errors", uint(load(&tally.errors))),
+        ("protocol_errors", uint(load(&tally.protocol_errors))),
+        (
+            "elapsed_ms",
+            Value::Int(i64::try_from(elapsed_ms).unwrap_or(i64::MAX)),
+        ),
+        ("throughput_rps", Value::Float(throughput)),
+        (
+            "latency_us",
+            json::object(vec![
+                ("count", uint(s.count)),
+                ("p50", Value::Int(s.p50)),
+                ("p95", Value::Int(s.p95)),
+                ("p99", Value::Int(s.p99)),
+                ("max", Value::Int(s.max)),
+            ]),
+        ),
+        ("server_stats", stats.clone()),
+    ];
+    if let Some(overloaded) = probe {
+        report_members.push((
+            "overload_probe",
+            json::object(vec![
+                ("sent", Value::from(args.probe_overload)),
+                ("overloaded", uint(overloaded)),
+            ]),
+        ));
+    }
+    let report = json::object(report_members);
+    println!("{}", report.to_pretty());
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, format!("{}\n", report.to_pretty())) {
+            eprintln!("loadgen: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Gate the exit code on the contract CI asserts.
+    let mut failed = false;
+    if load(&tally.protocol_errors) > 0 {
+        eprintln!("loadgen: FAIL: protocol errors observed");
+        failed = true;
+    }
+    if ok == 0 {
+        eprintln!("loadgen: FAIL: zero successful requests");
+        failed = true;
+    }
+    if args.require_cache_hit {
+        let hits = stats
+            .get("counters")
+            .and_then(|c| c.get("cache_hits"))
+            .and_then(Value::as_i64)
+            .unwrap_or(0);
+        if hits == 0 {
+            eprintln!("loadgen: FAIL: --require-cache-hit but server reports zero cache hits");
+            failed = true;
+        }
+    }
+    if let Some(overloaded) = probe {
+        if overloaded == 0 {
+            eprintln!("loadgen: FAIL: overload probe never saw `overloaded`");
+            failed = true;
+        }
+        let reported = stats
+            .get("counters")
+            .and_then(|c| c.get("overloaded"))
+            .and_then(Value::as_i64)
+            .unwrap_or(0);
+        // The server counted the bounces *before* the probe's stats query.
+        if u64::try_from(reported).unwrap_or(0) < overloaded {
+            eprintln!(
+                "loadgen: FAIL: server reports {reported} overloads, probe saw {overloaded}"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

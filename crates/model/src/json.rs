@@ -687,6 +687,27 @@ mod tests {
     }
 
     #[test]
+    fn every_control_character_escapes_and_round_trips() {
+        // Service request logs embed user-supplied strings; a raw control
+        // byte in the encoded output would make the log line invalid JSON.
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let original = Value::Str(format!("a{c}b"));
+            let text = original.to_string();
+            assert!(
+                text.chars().all(|ch| ch >= '\u{20}'),
+                "U+{code:04X} leaked into encoded text {text:?}"
+            );
+            assert_eq!(Value::parse(&text).unwrap(), original, "U+{code:04X}");
+        }
+        // Embedded newlines and tabs in one string, as in a task name.
+        let messy = Value::Str("row\n\tcol\r\n".into());
+        let text = messy.to_string();
+        assert_eq!(text, r#""row\n\tcol\r\n""#);
+        assert_eq!(Value::parse(&text).unwrap(), messy);
+    }
+
+    #[test]
     fn rejects_malformed_input() {
         for bad in [
             "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "01x", "\"\\q\"", "1 2",

@@ -1,0 +1,158 @@
+//! `serve` — the disparity analysis daemon.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!       [--engine-workers N] [--diag-gate] [--stdin]
+//!       [--obs] [--trace-out FILE] [--metrics-out FILE]
+//! ```
+//!
+//! Default mode listens on `--addr` (default `127.0.0.1:7414`, port 0
+//! picks an ephemeral port, printed on stdout as `listening on ...`) and
+//! serves until a client sends `{"op":"shutdown"}`. With `--stdin` the
+//! daemon instead answers every request on standard input and exits
+//! (batch mode; responses come back in input order).
+//!
+//! `--obs` enables the in-process recorder; on shutdown the trace and
+//! metrics report are flushed to `--trace-out` / `--metrics-out`.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+
+use disparity_service::server::{run_batch, serve};
+use disparity_service::service::{Service, ServiceConfig};
+
+struct Args {
+    addr: String,
+    stdin_mode: bool,
+    obs: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    config: ServiceConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7414".to_string(),
+        stdin_mode: false,
+        obs: false,
+        trace_out: None,
+        metrics_out: None,
+        config: ServiceConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue" => {
+                args.config.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?;
+            }
+            "--cache" => {
+                args.config.cache_capacity = value("--cache")?
+                    .parse()
+                    .map_err(|e| format!("--cache: {e}"))?;
+            }
+            "--engine-workers" => {
+                args.config.engine_workers = value("--engine-workers")?
+                    .parse()
+                    .map_err(|e| format!("--engine-workers: {e}"))?;
+            }
+            "--diag-gate" => args.config.diag_gate = true,
+            "--stdin" => args.stdin_mode = true,
+            "--obs" => args.obs = true,
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--help" | "-h" => {
+                return Err("usage: serve [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--cache N] [--engine-workers N] [--diag-gate] [--stdin] \
+                     [--obs] [--trace-out FILE] [--metrics-out FILE]"
+                    .to_string());
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn flush_obs(args: &Args) {
+    if !args.obs {
+        return;
+    }
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = disparity_obs::export::write_chrome_trace(std::path::Path::new(path)) {
+            eprintln!("serve: writing {path}: {e}");
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = disparity_obs::export::write_metrics_report(std::path::Path::new(path)) {
+            eprintln!("serve: writing {path}: {e}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.obs {
+        disparity_obs::enable();
+    }
+
+    let service = Service::start(args.config.clone());
+
+    let code = if args.stdin_mode {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let result = run_batch(&service, &mut stdin.lock(), &mut stdout.lock());
+        service.shutdown();
+        match result {
+            Ok(n) => {
+                eprintln!("serve: answered {n} request(s) from stdin");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("serve: batch I/O error: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let handle = match serve(&args.addr, Arc::clone(&service)) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("serve: cannot bind {}: {e}", args.addr);
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("listening on {}", handle.addr());
+        let _ = std::io::stdout().flush();
+        // Park until a client sends the shutdown op; the worker hook
+        // signals this channel and the main thread runs the drain.
+        let (tx, rx) = channel::<()>();
+        service.set_shutdown_hook(move || {
+            let _ = tx.send(());
+        });
+        let _ = rx.recv();
+        handle.shutdown();
+        eprintln!("serve: drained and stopped");
+        ExitCode::SUCCESS
+    };
+
+    flush_obs(&args);
+    code
+}

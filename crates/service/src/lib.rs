@@ -1,0 +1,61 @@
+//! A long-running analysis server for worst-case time disparity queries.
+//!
+//! The one-shot CLIs rebuild the memoized [`AnalysisEngine`] per process;
+//! this crate serves it: a daemon answering P-diff/S-diff
+//! ([`Op::Disparity`]), WCBT/BCBT ([`Op::Backward`]), and Algorithm 1
+//! buffer sizing ([`Op::Buffer`]) over newline-delimited JSON, on TCP and
+//! on stdin (batch mode). Zero external dependencies, matching the
+//! workspace's offline-build rule.
+//!
+//! * [`proto`] — the request/response schema and the deterministic result
+//!   encoders (server responses are byte-identical to encoding a direct
+//!   engine run);
+//! * [`queue`] — bounded MPMC intake with explicit admission control
+//!   (queue-full answers `overloaded` immediately, never blocks a client);
+//! * [`cache`] — sharded LRU of analyzed graphs keyed by
+//!   [`SystemSpec::canonical_hash`], so repeated queries against one spec
+//!   share a graph, its response times, and the engine's hop-bound cache;
+//! * [`service`] — the worker pool, soft deadlines via the engine's
+//!   budget hook, optional diag gating, stats;
+//! * [`server`] — the TCP listener and the stdin batch runner, with a
+//!   graceful drain that answers every accepted request.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::mpsc::channel;
+//! use disparity_service::prelude::*;
+//!
+//! let service = Service::start(ServiceConfig::default());
+//! let (tx, rx) = channel();
+//! let request = Request::parse(r#"{"id":1,"op":"ping"}"#)?;
+//! assert!(service.submit(request, 1, &tx));
+//! let reply = rx.recv()?;
+//! assert!(reply.line.contains("\"pong\":true"));
+//! service.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`AnalysisEngine`]: disparity_core::engine::AnalysisEngine
+//! [`Op::Disparity`]: crate::proto::Op::Disparity
+//! [`Op::Backward`]: crate::proto::Op::Backward
+//! [`Op::Buffer`]: crate::proto::Op::Buffer
+//! [`SystemSpec::canonical_hash`]: disparity_model::spec::SystemSpec::canonical_hash
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod service;
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::cache::{GraphEntry, ShardedCache};
+    pub use crate::proto::{Op, Request, Status};
+    pub use crate::queue::{BoundedQueue, PushError};
+    pub use crate::server::{run_batch, serve, ServerHandle};
+    pub use crate::service::{Reply, Service, ServiceConfig};
+}

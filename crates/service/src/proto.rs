@@ -1,0 +1,486 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request is one JSON object on one line; the server answers with
+//! exactly one JSON object on one line, echoing the request's `id`.
+//! Encoding goes through the in-tree codec ([`disparity_model::json`]),
+//! which escapes control characters, so a response line is always valid
+//! JSON and always exactly one line.
+//!
+//! The result encoders ([`encode_disparity_result`] and friends) are pure
+//! functions of the analysis output. The byte-identity tests call them on
+//! reports produced by a direct [`AnalysisEngine`] run and compare against
+//! server bytes — nothing request-scoped (cache hits, queue position,
+//! timing) may leak into them.
+//!
+//! [`AnalysisEngine`]: disparity_core::engine::AnalysisEngine
+
+use disparity_core::buffering::{BufferedSide, OptimizationOutcome};
+use disparity_core::disparity::DisparityReport;
+use disparity_core::pairwise::Method;
+use disparity_model::chain::Chain;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::json::{self, Value};
+use disparity_model::spec::SystemSpec;
+
+/// Default chain-enumeration budget (mirrors
+/// [`disparity_core::disparity::AnalysisConfig`]).
+pub const DEFAULT_CHAIN_LIMIT: usize = 4096;
+
+/// Default greedy-buffering round budget.
+pub const DEFAULT_MAX_ROUNDS: usize = 4;
+
+/// What a request asks the server to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Worst-case time disparity of one task (Theorem 1/2, §III).
+    Disparity {
+        /// The analyzed spec.
+        spec: SystemSpec,
+        /// Name of the task to analyze.
+        task: String,
+        /// Which pairwise theorem to apply.
+        method: Method,
+        /// Chain-enumeration budget.
+        chain_limit: usize,
+    },
+    /// WCBT/BCBT of one explicit chain (Lemmas 4–6).
+    Backward {
+        /// The analyzed spec.
+        spec: SystemSpec,
+        /// Task names along the chain, head to tail.
+        chain: Vec<String>,
+    },
+    /// Algorithm 1 buffer sizing (greedy multi-round extension).
+    Buffer {
+        /// The analyzed spec.
+        spec: SystemSpec,
+        /// Name of the fusion task to optimize.
+        task: String,
+        /// Which pairwise theorem scores each round.
+        method: Method,
+        /// Chain-enumeration budget.
+        chain_limit: usize,
+        /// Greedy round budget.
+        max_rounds: usize,
+    },
+    /// Server statistics (counters, queue depth, latency percentiles).
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Hold a worker for the given number of milliseconds (testing aid:
+    /// saturates the queue deterministically).
+    Sleep {
+        /// How long the worker sleeps.
+        millis: u64,
+    },
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
+/// A parsed request: the echoed `id` plus the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation value, echoed verbatim in the response.
+    pub id: Value,
+    /// Optional soft deadline in milliseconds; the analysis is abandoned
+    /// (status `timeout`) once it expires.
+    pub deadline_ms: Option<u64>,
+    /// The operation.
+    pub op: Op,
+}
+
+/// Why a request could not be parsed into a [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtoError {
+    message: String,
+    /// The request `id`, when it could at least be extracted.
+    pub id: Value,
+}
+
+impl ProtoError {
+    fn new(id: &Value, message: impl Into<String>) -> Self {
+        ProtoError {
+            message: message.into(),
+            id: id.clone(),
+        }
+    }
+}
+
+impl core::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Terminal status of a response. Every accepted request line gets exactly
+/// one response carrying one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The operation succeeded; `result` holds the payload.
+    Ok,
+    /// The request was malformed or the analysis failed.
+    Error,
+    /// Admission control bounced the request (queue full). Retry later.
+    Overloaded,
+    /// The soft deadline expired before the analysis finished.
+    Timeout,
+    /// The diag gate rejected the spec (D-level errors).
+    Rejected,
+    /// The server is draining; the request was not accepted.
+    ShuttingDown,
+}
+
+impl Status {
+    /// The wire spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Error => "error",
+            Status::Overloaded => "overloaded",
+            Status::Timeout => "timeout",
+            Status::Rejected => "rejected",
+            Status::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+fn parse_method(v: Option<&Value>) -> Result<Method, String> {
+    match v {
+        None => Ok(Method::ForkJoin),
+        Some(v) => match v.as_str() {
+            Some("independent" | "pdiff") => Ok(Method::Independent),
+            Some("fork_join" | "sdiff") => Ok(Method::ForkJoin),
+            Some("combined") => Ok(Method::Combined),
+            _ => Err(format!(
+                "\"method\" must be \"independent\", \"fork_join\", or \"combined\", got {v}"
+            )),
+        },
+    }
+}
+
+/// The wire spelling of a [`Method`].
+#[must_use]
+pub fn method_str(method: Method) -> &'static str {
+    match method {
+        Method::Independent => "independent",
+        Method::ForkJoin => "fork_join",
+        Method::Combined => "combined",
+    }
+}
+
+fn usize_field(obj: &Value, key: &str, default: usize) -> Result<usize, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_i64()
+            .and_then(|n| usize::try_from(n).ok())
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("\"{key}\" must be a positive integer")),
+    }
+}
+
+fn u64_field(obj: &Value, key: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_i64()
+            .and_then(|n| u64::try_from(n).ok())
+            .map(Some)
+            .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
+fn spec_field(obj: &Value, id: &Value) -> Result<SystemSpec, ProtoError> {
+    let spec = obj
+        .get("spec")
+        .ok_or_else(|| ProtoError::new(id, "missing \"spec\""))?;
+    SystemSpec::from_json(spec).map_err(|e| ProtoError::new(id, format!("bad \"spec\": {e}")))
+}
+
+fn task_field(obj: &Value, id: &Value) -> Result<String, ProtoError> {
+    obj.get("task")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ProtoError::new(id, "missing or non-string \"task\""))
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] (carrying the extracted `id` when present) for
+    /// malformed JSON, an unknown `op`, or missing/mistyped fields.
+    pub fn parse(line: &str) -> Result<Request, ProtoError> {
+        let value = Value::parse(line)
+            .map_err(|e| ProtoError::new(&Value::Null, format!("malformed JSON: {e}")))?;
+        Request::from_value(&value)
+    }
+
+    /// Parses an already-decoded request object.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Request::parse`].
+    pub fn from_value(value: &Value) -> Result<Request, ProtoError> {
+        let id = value.get("id").cloned().unwrap_or(Value::Null);
+        if value.as_object().is_none() {
+            return Err(ProtoError::new(&id, "request must be a JSON object"));
+        }
+        let op_name = value
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ProtoError::new(&id, "missing or non-string \"op\""))?;
+        let deadline_ms = u64_field(value, "deadline_ms").map_err(|m| ProtoError::new(&id, m))?;
+        let op = match op_name {
+            "disparity" => Op::Disparity {
+                spec: spec_field(value, &id)?,
+                task: task_field(value, &id)?,
+                method: parse_method(value.get("method")).map_err(|m| ProtoError::new(&id, m))?,
+                chain_limit: usize_field(value, "chain_limit", DEFAULT_CHAIN_LIMIT)
+                    .map_err(|m| ProtoError::new(&id, m))?,
+            },
+            "backward" => {
+                let chain = value
+                    .get("chain")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| ProtoError::new(&id, "missing or non-array \"chain\""))?;
+                let names: Option<Vec<String>> = chain
+                    .iter()
+                    .map(|v| v.as_str().map(str::to_string))
+                    .collect();
+                Op::Backward {
+                    spec: spec_field(value, &id)?,
+                    chain: names
+                        .ok_or_else(|| ProtoError::new(&id, "\"chain\" must hold task names"))?,
+                }
+            }
+            "buffer" => Op::Buffer {
+                spec: spec_field(value, &id)?,
+                task: task_field(value, &id)?,
+                method: parse_method(value.get("method")).map_err(|m| ProtoError::new(&id, m))?,
+                chain_limit: usize_field(value, "chain_limit", DEFAULT_CHAIN_LIMIT)
+                    .map_err(|m| ProtoError::new(&id, m))?,
+                max_rounds: usize_field(value, "max_rounds", DEFAULT_MAX_ROUNDS)
+                    .map_err(|m| ProtoError::new(&id, m))?,
+            },
+            "stats" => Op::Stats,
+            "ping" => Op::Ping,
+            "sleep" => Op::Sleep {
+                millis: u64_field(value, "millis")
+                    .map_err(|m| ProtoError::new(&id, m))?
+                    .unwrap_or(10),
+            },
+            "shutdown" => Op::Shutdown,
+            other => {
+                return Err(ProtoError::new(&id, format!("unknown op {other:?}")));
+            }
+        };
+        Ok(Request {
+            id,
+            deadline_ms,
+            op,
+        })
+    }
+
+    /// The endpoint label used for metrics (one per op kind).
+    #[must_use]
+    pub fn endpoint(&self) -> &'static str {
+        match self.op {
+            Op::Disparity { .. } => "disparity",
+            Op::Backward { .. } => "backward",
+            Op::Buffer { .. } => "buffer",
+            Op::Stats => "stats",
+            Op::Ping => "ping",
+            Op::Sleep { .. } => "sleep",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Builds a response line (no trailing newline): `id` echo, `status`, and
+/// either a `result` payload or an `error` message.
+#[must_use]
+pub fn response_line(id: &Value, status: Status, body: ResponseBody) -> String {
+    let mut members = vec![
+        ("id", id.clone()),
+        ("status", Value::from(status.as_str())),
+    ];
+    match body {
+        ResponseBody::Result(v) => members.push(("result", v)),
+        ResponseBody::Error(msg) => members.push(("error", Value::from(msg))),
+        ResponseBody::None => {}
+    }
+    json::object(members).to_string()
+}
+
+/// The payload half of a response.
+#[derive(Debug, Clone)]
+pub enum ResponseBody {
+    /// Success payload for the `result` member.
+    Result(Value),
+    /// Failure message for the `error` member.
+    Error(String),
+    /// Neither (bare terminal statuses like `shutting_down`).
+    None,
+}
+
+fn chain_names(graph: &CauseEffectGraph, chain: &Chain) -> Value {
+    Value::Array(
+        chain
+            .tasks()
+            .iter()
+            .map(|&t| Value::from(graph.task(t).name()))
+            .collect(),
+    )
+}
+
+/// Encodes a [`DisparityReport`] as the `disparity` result payload.
+///
+/// Deterministic: depends only on the report and the graph it was computed
+/// against, so a direct engine run encodes to the same bytes the server
+/// returns.
+#[must_use]
+pub fn encode_disparity_result(graph: &CauseEffectGraph, report: &DisparityReport) -> Value {
+    let critical = report.critical_pair().map_or(Value::Null, |p| {
+        json::object(vec![
+            ("lambda", chain_names(graph, &report.chains[p.lambda])),
+            ("nu", chain_names(graph, &report.chains[p.nu])),
+            ("analyzed_at", Value::from(graph.task(p.analyzed_at).name())),
+            ("bound_ns", Value::Int(p.bound.as_nanos())),
+        ])
+    });
+    json::object(vec![
+        ("task", Value::from(graph.task(report.task).name())),
+        ("method", Value::from(method_str(report.method))),
+        ("bound_ns", Value::Int(report.bound.as_nanos())),
+        ("chains", Value::from(report.chains.len())),
+        ("pairs", Value::from(report.pairs.len())),
+        ("critical", critical),
+    ])
+}
+
+/// Encodes WCBT/BCBT bounds as the `backward` result payload.
+#[must_use]
+pub fn encode_backward_result(
+    graph: &CauseEffectGraph,
+    chain: &Chain,
+    bounds: disparity_core::backward::BackwardBounds,
+) -> Value {
+    json::object(vec![
+        ("chain", chain_names(graph, chain)),
+        ("wcbt_ns", Value::Int(bounds.wcbt.as_nanos())),
+        ("bcbt_ns", Value::Int(bounds.bcbt.as_nanos())),
+    ])
+}
+
+/// Encodes an [`OptimizationOutcome`] as the `buffer` result payload.
+#[must_use]
+pub fn encode_buffer_result(graph: &CauseEffectGraph, outcome: &OptimizationOutcome) -> Value {
+    let steps = outcome
+        .steps
+        .iter()
+        .map(|s| {
+            json::object(vec![
+                (
+                    "side",
+                    Value::from(match s.plan.side {
+                        BufferedSide::Lambda => "lambda",
+                        BufferedSide::Nu => "nu",
+                    }),
+                ),
+                ("capacity", Value::from(s.plan.capacity)),
+                ("shift_ns", Value::Int(s.plan.shift.as_nanos())),
+                ("bound_after_ns", Value::Int(s.bound_after_step.as_nanos())),
+            ])
+        })
+        .collect();
+    json::object(vec![
+        (
+            "task",
+            Value::from(graph.task(outcome.final_report.task).name()),
+        ),
+        ("initial_bound_ns", Value::Int(outcome.initial_bound.as_nanos())),
+        ("final_bound_ns", Value::Int(outcome.final_bound().as_nanos())),
+        ("improvement_ns", Value::Int(outcome.improvement().as_nanos())),
+        ("rounds", Value::from(outcome.steps.len())),
+        ("steps", Value::Array(steps)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_disparity_request() {
+        let line = r#"{"id":"r1","op":"disparity","task":"fuse","spec":{"tasks":[{"name":"fuse","period":1000000}]}}"#;
+        let req = Request::parse(line).unwrap();
+        assert_eq!(req.id, Value::Str("r1".into()));
+        assert_eq!(req.endpoint(), "disparity");
+        match req.op {
+            Op::Disparity {
+                task,
+                method,
+                chain_limit,
+                ..
+            } => {
+                assert_eq!(task, "fuse");
+                assert_eq!(method, Method::ForkJoin);
+                assert_eq!(chain_limit, DEFAULT_CHAIN_LIMIT);
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_the_id() {
+        let err = Request::parse(r#"{"id":42,"op":"nope"}"#).unwrap_err();
+        assert_eq!(err.id, Value::Int(42));
+        assert!(err.to_string().contains("unknown op"));
+
+        let err = Request::parse("not json").unwrap_err();
+        assert_eq!(err.id, Value::Null);
+    }
+
+    #[test]
+    fn method_spellings() {
+        for (text, want) in [
+            ("independent", Method::Independent),
+            ("pdiff", Method::Independent),
+            ("fork_join", Method::ForkJoin),
+            ("sdiff", Method::ForkJoin),
+            ("combined", Method::Combined),
+        ] {
+            let got = parse_method(Some(&Value::from(text))).unwrap();
+            assert_eq!(got, want, "{text}");
+        }
+        assert!(parse_method(Some(&Value::from("p_diff"))).is_err());
+        assert_eq!(parse_method(None).unwrap(), Method::ForkJoin);
+    }
+
+    #[test]
+    fn response_line_is_single_line_json() {
+        let line = response_line(
+            &Value::from("x\ny"),
+            Status::Error,
+            ResponseBody::Error("bad\tinput".into()),
+        );
+        assert!(!line.contains('\n'));
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(v.get("id").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn deadline_and_sleep_fields() {
+        let req = Request::parse(r#"{"op":"sleep","millis":5,"deadline_ms":100}"#).unwrap();
+        assert_eq!(req.deadline_ms, Some(100));
+        assert_eq!(req.op, Op::Sleep { millis: 5 });
+        let req = Request::parse(r#"{"op":"sleep"}"#).unwrap();
+        assert_eq!(req.op, Op::Sleep { millis: 10 });
+    }
+}

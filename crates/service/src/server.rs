@@ -1,0 +1,280 @@
+//! Transports: the TCP listener and the stdin batch runner.
+//!
+//! Both speak the NDJSON protocol from [`crate::proto`] and feed the
+//! shared [`Service`]. TCP connections get a reader thread (parse +
+//! admission) and a writer thread (responses in completion order, `id`
+//! echo correlates); batch mode reads every line, submits with
+//! backpressure, and restores input order before printing.
+//!
+//! Graceful shutdown ([`ServerHandle::shutdown`]) runs the drain
+//! sequence: stop admissions → wake the accept loop → half-close client
+//! read sides → drain the queue through the workers → join writers, so
+//! every accepted request still gets its terminal response.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use crate::proto::Request;
+use crate::service::{Reply, Service};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct ServerShared {
+    service: Arc<Service>,
+    closing: AtomicBool,
+    /// Read-half clones of live client sockets, for shutdown half-close.
+    client_reads: Mutex<Vec<TcpStream>>,
+    /// Reader/writer threads of every connection ever accepted.
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running TCP server; dropping the handle does *not* stop it — call
+/// [`ServerHandle::shutdown`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl core::fmt::Debug for ServerShared {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ServerShared")
+            .field("closing", &self.closing.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and starts accepting.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve(addr: &str, service: Arc<Service>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shared = Arc::new(ServerShared {
+        service,
+        closing: AtomicBool::new(false),
+        client_reads: Mutex::new(Vec::new()),
+        conn_threads: Mutex::new(Vec::new()),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        accept_thread: Mutex::new(Some(accept_thread)),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (the actual port when bound to port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served service (for stats and shutdown hooks).
+    #[must_use]
+    pub fn service(&self) -> Arc<Service> {
+        Arc::clone(&self.shared.service)
+    }
+
+    /// Graceful shutdown: drains every accepted request, then stops.
+    /// Safe to call more than once; later calls are no-ops.
+    pub fn shutdown(&self) {
+        if self.shared.closing.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // 1. Wake the accept loop (it checks `closing` per connection).
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = lock(&self.accept_thread).take() {
+            let _ = h.join();
+        }
+        // 2. Half-close client read sides: readers see EOF, stop feeding
+        //    the queue; anything already read is in flight and will drain.
+        for stream in lock(&self.shared.client_reads).drain(..) {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        // 3. Close the intake and let the workers finish accepted jobs.
+        self.shared.service.shutdown();
+        // 4. Writers exit once the last reply sender drops; join them.
+        let threads = std::mem::take(&mut *lock(&self.shared.conn_threads));
+        for h in threads {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    for stream in listener.incoming() {
+        if shared.closing.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        disparity_obs::counter_add("service.connections", 1);
+        spawn_connection(stream, shared);
+    }
+}
+
+fn spawn_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    lock(&shared.client_reads).push(read_half);
+    let (tx, rx) = channel::<Reply>();
+    let reader_shared = Arc::clone(shared);
+    let reader =
+        std::thread::spawn(move || connection_reader(stream, &reader_shared.service, &tx));
+    let writer = std::thread::spawn(move || connection_writer(write_half, &rx));
+    let mut threads = lock(&shared.conn_threads);
+    threads.push(reader);
+    threads.push(writer);
+}
+
+/// Reads request lines until EOF: parse, then admission-controlled
+/// submit. Malformed lines and refused requests are answered immediately
+/// — exactly one response per line, always.
+fn connection_reader(stream: TcpStream, service: &Arc<Service>, tx: &Sender<Reply>) {
+    let reader = BufReader::new(stream);
+    let mut seq = 0u64;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        seq += 1;
+        match Request::parse(&line) {
+            Ok(request) => {
+                let _ = service.submit(request, seq, tx);
+            }
+            Err(e) => Service::reply_parse_error(&e, seq, tx),
+        }
+    }
+}
+
+/// Writes replies in completion order, one line each, flushing per line
+/// so single-request clients never wait on a buffer.
+fn connection_writer(stream: TcpStream, rx: &Receiver<Reply>) {
+    let mut out = std::io::BufWriter::new(stream);
+    while let Ok(reply) = rx.recv() {
+        if out
+            .write_all(reply.line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+/// Batch mode: reads NDJSON requests from `input`, submits them with
+/// backpressure, and writes responses to `output` in **input order**.
+///
+/// Returns the number of request lines handled.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `input`/`output`.
+pub fn run_batch(
+    service: &Arc<Service>,
+    input: &mut dyn BufRead,
+    output: &mut dyn Write,
+) -> std::io::Result<usize> {
+    let (tx, rx) = channel::<Reply>();
+    let mut submitted = 0u64;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        submitted += 1;
+        match Request::parse(&line) {
+            Ok(request) => {
+                let _ = service.submit_blocking(request, submitted, &tx);
+            }
+            Err(e) => Service::reply_parse_error(&e, submitted, &tx),
+        }
+    }
+    drop(tx);
+    let mut replies: Vec<Reply> = Vec::with_capacity(usize::try_from(submitted).unwrap_or(0));
+    for _ in 0..submitted {
+        match rx.recv() {
+            Ok(reply) => replies.push(reply),
+            Err(_) => break,
+        }
+    }
+    replies.sort_by_key(|r| r.seq);
+    for reply in &replies {
+        output.write_all(reply.line.as_bytes())?;
+        output.write_all(b"\n")?;
+    }
+    output.flush()?;
+    Ok(replies.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use disparity_model::json::Value;
+
+    #[test]
+    fn batch_restores_input_order() {
+        let service = Service::start(ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        });
+        let mut input: Vec<u8> = Vec::new();
+        for i in 0..20 {
+            input.extend_from_slice(
+                format!("{{\"id\":{i},\"op\":\"ping\"}}\n").as_bytes(),
+            );
+        }
+        let mut out = Vec::new();
+        let n = run_batch(&service, &mut input.as_slice(), &mut out).unwrap();
+        assert_eq!(n, 20);
+        let text = String::from_utf8(out).unwrap();
+        let ids: Vec<i64> = text
+            .lines()
+            .map(|l| Value::parse(l).unwrap().get("id").unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+        service.shutdown();
+    }
+
+    #[test]
+    fn batch_answers_malformed_lines_in_place() {
+        let service = Service::start(ServiceConfig::default());
+        let input = b"{\"id\":1,\"op\":\"ping\"}\nnot json\n{\"id\":3,\"op\":\"ping\"}\n";
+        let mut out = Vec::new();
+        let n = run_batch(&service, &mut input.as_slice(), &mut out).unwrap();
+        assert_eq!(n, 3);
+        let text = String::from_utf8(out).unwrap();
+        let statuses: Vec<String> = text
+            .lines()
+            .map(|l| {
+                Value::parse(l)
+                    .unwrap()
+                    .get("status")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(statuses, ["ok", "error", "ok"]);
+        service.shutdown();
+    }
+}

@@ -1,0 +1,563 @@
+//! The analysis service: a fixed worker pool over the bounded intake
+//! queue, the content-addressed graph cache, and per-request processing.
+//!
+//! [`Service`] is transport-agnostic: the TCP server and the stdin batch
+//! runner both feed it [`Job`]s via [`Service::submit`] (admission
+//! control) or [`Service::submit_blocking`] (backpressure). Every accepted
+//! job produces exactly one [`Reply`] on its channel; refused jobs are
+//! answered inline by `submit` itself, so no request line is ever dropped
+//! silently.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use disparity_analyzer::checks::{analyze_spec, DiagConfig};
+use disparity_core::buffering::optimize_task;
+use disparity_core::disparity::AnalysisConfig;
+use disparity_core::engine::AnalysisEngine;
+use disparity_core::error::AnalysisError;
+use disparity_model::chain::Chain;
+use disparity_model::json::{self, Value};
+use disparity_model::spec::SystemSpec;
+use disparity_obs::Histogram;
+use disparity_sched::schedulability::analyze;
+
+use crate::cache::{GraphEntry, ShardedCache};
+use crate::proto::{
+    encode_backward_result, encode_buffer_result, encode_disparity_result, response_line, Op,
+    ProtoError, Request, ResponseBody, Status,
+};
+use crate::queue::{BoundedQueue, PushError};
+
+/// Tuning knobs for [`Service::start`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Intake queue capacity (admission limit).
+    pub queue_capacity: usize,
+    /// Graph cache capacity (number of analyzed specs kept).
+    pub cache_capacity: usize,
+    /// Reject specs carrying D-level diagnostics
+    /// (via [`disparity_analyzer::checks::analyze_spec`]).
+    pub diag_gate: bool,
+    /// Worker threads *inside* each analysis engine. Keep at 1 unless the
+    /// service runs fewer workers than cores; the engine's reduction is
+    /// byte-identical for any value.
+    pub engine_workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 32,
+            diag_gate: false,
+            engine_workers: 1,
+        }
+    }
+}
+
+/// One response on its way back to a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The submitter's sequence number, echoed for reordering (batch mode
+    /// restores input order; the TCP writer sends in completion order).
+    pub seq: u64,
+    /// The full response line, without trailing newline.
+    pub line: String,
+}
+
+/// An accepted unit of work.
+#[derive(Debug)]
+pub struct Job {
+    /// The parsed request.
+    pub request: Request,
+    /// Submitter sequence number, echoed in [`Reply::seq`].
+    pub seq: u64,
+    /// Where the response line goes.
+    pub reply: Sender<Reply>,
+}
+
+/// Monotonic counters exposed via the `stats` op.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests handed to `submit`/`submit_blocking` (including refused).
+    pub received: AtomicU64,
+    /// Requests that produced an `ok` response.
+    pub completed: AtomicU64,
+    /// Requests bounced by admission control.
+    pub overloaded: AtomicU64,
+    /// Requests refused because the service is draining.
+    pub shutting_down: AtomicU64,
+    /// Requests rejected by the diag gate.
+    pub rejected: AtomicU64,
+    /// Requests abandoned at their soft deadline.
+    pub timeouts: AtomicU64,
+    /// Requests answered with `error`.
+    pub errors: AtomicU64,
+    /// Graph-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Graph-cache misses (spec built and analyzed from scratch).
+    pub cache_misses: AtomicU64,
+}
+
+/// A snapshot of one counter (relaxed load; the counters are gauges).
+fn load(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The service. Construct with [`Service::start`]; share via `Arc`.
+pub struct Service {
+    config: ServiceConfig,
+    queue: Arc<BoundedQueue<Job>>,
+    cache: ShardedCache,
+    /// Public so transports and tests can read hit/miss counts.
+    pub counters: Counters,
+    latency: Mutex<HashMap<&'static str, Histogram>>,
+    on_shutdown: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl core::fmt::Debug for Service {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Service")
+            .field("config", &self.config)
+            .field("queue_depth", &self.queue.len())
+            .field("cached_graphs", &self.cache.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Service {
+    /// Starts the worker pool and returns the shared service handle.
+    #[must_use]
+    pub fn start(config: ServiceConfig) -> Arc<Service> {
+        let service = Arc::new(Service {
+            queue: Arc::new(BoundedQueue::new(config.queue_capacity)),
+            cache: ShardedCache::new(config.cache_capacity),
+            counters: Counters::default(),
+            latency: Mutex::new(HashMap::new()),
+            on_shutdown: Mutex::new(None),
+            workers: Mutex::new(Vec::new()),
+            config,
+        });
+        let n = service.config.workers.max(1);
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let svc = Arc::clone(&service);
+            handles.push(std::thread::spawn(move || svc.worker_loop()));
+        }
+        *lock(&service.workers) = handles;
+        service
+    }
+
+    /// Registers the hook invoked when a client sends the `shutdown` op.
+    /// The hook runs on a worker thread *after* the shutdown request has
+    /// been answered; it must not join the workers itself (hand off to
+    /// another thread, as [`serve`'s main loop] does).
+    ///
+    /// [`serve`'s main loop]: crate::server
+    pub fn set_shutdown_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
+        *lock(&self.on_shutdown) = Some(Box::new(hook));
+    }
+
+    /// Admission-controlled submit: a full queue answers `overloaded`
+    /// immediately on `reply`, a draining service answers
+    /// `shutting_down`. Returns `true` when the job was accepted.
+    pub fn submit(&self, request: Request, seq: u64, reply: &Sender<Reply>) -> bool {
+        bump(&self.counters.received);
+        self.observe_queue_depth();
+        let job = Job {
+            request,
+            seq,
+            reply: reply.clone(),
+        };
+        match self.queue.try_push(job) {
+            Ok(()) => true,
+            Err((job, reason)) => {
+                self.refuse(job, reason);
+                false
+            }
+        }
+    }
+
+    /// Backpressure submit for batch mode: blocks while the queue is
+    /// full; only a draining service refuses (answered inline).
+    pub fn submit_blocking(&self, request: Request, seq: u64, reply: &Sender<Reply>) -> bool {
+        bump(&self.counters.received);
+        self.observe_queue_depth();
+        let job = Job {
+            request,
+            seq,
+            reply: reply.clone(),
+        };
+        match self.queue.push_blocking(job) {
+            Ok(()) => true,
+            Err((job, reason)) => {
+                self.refuse(job, reason);
+                false
+            }
+        }
+    }
+
+    /// Answers a malformed request line on behalf of a transport. The
+    /// error never enters the queue, so parse failures cannot displace
+    /// analyzable work.
+    pub fn reply_parse_error(err: &ProtoError, seq: u64, reply: &Sender<Reply>) {
+        disparity_obs::counter_add("service.parse_errors", 1);
+        let line = response_line(
+            &err.id,
+            Status::Error,
+            ResponseBody::Error(err.to_string()),
+        );
+        let _ = reply.send(Reply { seq, line });
+    }
+
+    fn refuse(&self, job: Job, reason: PushError) {
+        let status = match reason {
+            PushError::Full => {
+                bump(&self.counters.overloaded);
+                disparity_obs::counter_add("service.overloaded", 1);
+                Status::Overloaded
+            }
+            PushError::Closed => {
+                bump(&self.counters.shutting_down);
+                Status::ShuttingDown
+            }
+        };
+        let line = response_line(
+            &job.request.id,
+            status,
+            ResponseBody::Error(match reason {
+                PushError::Full => "queue full".into(),
+                PushError::Closed => "server is shutting down".into(),
+            }),
+        );
+        let _ = job.reply.send(Reply {
+            seq: job.seq,
+            line,
+        });
+    }
+
+    /// Drains and stops: closes the intake (late submissions get
+    /// `shutting_down`), lets the workers finish every accepted job, and
+    /// joins them. Idempotent.
+    pub fn shutdown(&self) {
+        self.queue.close();
+        let handles = std::mem::take(&mut *lock(&self.workers));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Current intake depth (gauge).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn observe_queue_depth(&self) {
+        if disparity_obs::is_enabled() {
+            let depth = i64::try_from(self.queue.len()).unwrap_or(i64::MAX);
+            disparity_obs::observe("service.queue.depth", depth);
+        }
+    }
+
+    fn worker_loop(&self) {
+        while let Some(job) = self.queue.pop() {
+            let started = Instant::now();
+            let mut span = disparity_obs::span("service.request");
+            span.attr("endpoint", job.request.endpoint());
+            let is_shutdown = matches!(job.request.op, Op::Shutdown);
+            let line = self.process(&job.request);
+            drop(span);
+            self.record_latency(job.request.endpoint(), started);
+            let _ = job.reply.send(Reply {
+                seq: job.seq,
+                line,
+            });
+            if is_shutdown {
+                if let Some(hook) = lock(&self.on_shutdown).as_ref() {
+                    hook();
+                }
+            }
+        }
+    }
+
+    fn record_latency(&self, endpoint: &'static str, started: Instant) {
+        let elapsed = started.elapsed();
+        let micros = i64::try_from(elapsed.as_micros()).unwrap_or(i64::MAX);
+        lock(&self.latency)
+            .entry(endpoint)
+            .or_default()
+            .record(micros);
+        if disparity_obs::is_enabled() {
+            let nanos = i64::try_from(elapsed.as_nanos()).unwrap_or(i64::MAX);
+            disparity_obs::observe_duration(
+                "service.latency",
+                disparity_model::time::Duration::from_nanos(nanos),
+            );
+        }
+    }
+
+    /// Processes one request to a complete response line. Pure with
+    /// respect to the transport: the line depends on the request and the
+    /// analysis result, never on cache or queue state (`stats` excepted).
+    #[must_use]
+    pub fn process(&self, request: &Request) -> String {
+        let outcome = self.dispatch(request);
+        let (status, body) = match outcome {
+            Ok(result) => {
+                bump(&self.counters.completed);
+                (Status::Ok, ResponseBody::Result(result))
+            }
+            Err(Refusal::Timeout) => {
+                bump(&self.counters.timeouts);
+                disparity_obs::counter_add("service.timeouts", 1);
+                (
+                    Status::Timeout,
+                    ResponseBody::Error("soft deadline exceeded".into()),
+                )
+            }
+            Err(Refusal::DiagGate(detail)) => {
+                bump(&self.counters.rejected);
+                disparity_obs::counter_add("service.diag_rejects", 1);
+                (Status::Rejected, ResponseBody::Error(detail))
+            }
+            Err(Refusal::Failed(detail)) => {
+                bump(&self.counters.errors);
+                disparity_obs::counter_add("service.errors", 1);
+                (Status::Error, ResponseBody::Error(detail))
+            }
+        };
+        response_line(&request.id, status, body)
+    }
+
+    fn dispatch(&self, request: &Request) -> Result<Value, Refusal> {
+        let deadline = request
+            .deadline_ms
+            .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
+        match &request.op {
+            Op::Ping => Ok(json::object(vec![("pong", Value::Bool(true))])),
+            Op::Stats => Ok(self.stats_json()),
+            Op::Sleep { millis } => {
+                std::thread::sleep(std::time::Duration::from_millis(*millis));
+                Ok(json::object(vec![(
+                    "slept_ms",
+                    Value::Int(i64::try_from(*millis).unwrap_or(i64::MAX)),
+                )]))
+            }
+            Op::Shutdown => Ok(json::object(vec![("shutting_down", Value::Bool(true))])),
+            Op::Disparity {
+                spec,
+                task,
+                method,
+                chain_limit,
+            } => {
+                let entry = self.graph_entry(spec, *chain_limit)?;
+                let task = find_task(&entry, task)?;
+                let config = AnalysisConfig {
+                    method: *method,
+                    chain_limit: *chain_limit,
+                };
+                run_with_deadline(deadline, |budget| {
+                    let engine = self.engine(&entry, budget);
+                    let report = engine.worst_case_disparity(task, config)?;
+                    Ok(encode_disparity_result(&entry.graph, &report))
+                })
+            }
+            Op::Backward { spec, chain } => {
+                let entry = self.graph_entry(spec, crate::proto::DEFAULT_CHAIN_LIMIT)?;
+                let ids = chain
+                    .iter()
+                    .map(|name| find_task(&entry, name))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let chain = Chain::new(&entry.graph, ids)
+                    .map_err(|e| Refusal::Failed(format!("bad chain: {e}")))?;
+                run_with_deadline(deadline, |budget| {
+                    let engine = self.engine(&entry, budget);
+                    let bounds = engine.backward_bounds(&chain)?;
+                    Ok(encode_backward_result(&entry.graph, &chain, bounds))
+                })
+            }
+            Op::Buffer {
+                spec,
+                task,
+                method,
+                chain_limit,
+                max_rounds,
+            } => {
+                let entry = self.graph_entry(spec, *chain_limit)?;
+                let task = find_task(&entry, task)?;
+                let config = AnalysisConfig {
+                    method: *method,
+                    chain_limit: *chain_limit,
+                };
+                // Algorithm 1 re-analyzes mutated graphs internally, so it
+                // cannot reuse the cached engine (nor the soft deadline's
+                // budget hook) — the cache still saves the schedulability
+                // precheck via the cached entry.
+                let outcome = optimize_task(&entry.graph, task, config, *max_rounds)
+                    .map_err(refusal_of)?;
+                Ok(encode_buffer_result(&entry.graph, &outcome))
+            }
+        }
+    }
+
+    fn engine<'a>(
+        &self,
+        entry: &'a GraphEntry,
+        budget: Option<&'a (dyn Fn() -> bool + Sync)>,
+    ) -> AnalysisEngine<'a> {
+        let mut engine = AnalysisEngine::new(&entry.graph, &entry.rt)
+            .with_hop_cache(entry.hops.clone())
+            .with_workers(self.config.engine_workers.max(1));
+        if let Some(hook) = budget {
+            engine = engine.with_budget_hook(hook);
+        }
+        engine
+    }
+
+    /// Cache lookup / build of the analyzed-graph entry for `spec`.
+    fn graph_entry(
+        &self,
+        spec: &SystemSpec,
+        chain_limit: usize,
+    ) -> Result<Arc<GraphEntry>, Refusal> {
+        let key = spec.canonical_hash();
+        let canonical = spec.canonical_text();
+        if let Some(entry) = self.cache.get(key, &canonical) {
+            bump(&self.counters.cache_hits);
+            disparity_obs::counter_add("service.cache.hits", 1);
+            return Ok(entry);
+        }
+        bump(&self.counters.cache_misses);
+        disparity_obs::counter_add("service.cache.misses", 1);
+        if self.config.diag_gate {
+            let diags = analyze_spec(spec, &DiagConfig { chain_limit })
+                .map_err(|e| Refusal::Failed(format!("bad spec: {e}")))?;
+            if diags.has_errors() {
+                let mut detail = format!("diag gate: {} error(s):", diags.error_count());
+                for d in diags.with_severity(disparity_analyzer::diag::Severity::Error) {
+                    detail.push(' ');
+                    detail.push_str(d.code.as_str());
+                }
+                return Err(Refusal::DiagGate(detail));
+            }
+        }
+        let graph = spec
+            .build()
+            .map_err(|e| Refusal::Failed(format!("bad spec: {e}")))?;
+        let sched = analyze(&graph).map_err(|e| Refusal::Failed(format!("analysis failed: {e}")))?;
+        if !sched.all_schedulable() {
+            return Err(Refusal::Failed(format!(
+                "unschedulable: {} task(s) miss their deadline",
+                sched.violations().len()
+            )));
+        }
+        let rt = sched.into_response_times();
+        let entry = GraphEntry::new(spec, graph, rt);
+        Ok(self.cache.insert(key, entry))
+    }
+
+    /// The `stats` payload: counters, gauges, and per-endpoint latency
+    /// percentiles (microseconds).
+    #[must_use]
+    pub fn stats_json(&self) -> Value {
+        let c = &self.counters;
+        let counters = json::object(vec![
+            ("received", uint(load(&c.received))),
+            ("completed", uint(load(&c.completed))),
+            ("overloaded", uint(load(&c.overloaded))),
+            ("shutting_down", uint(load(&c.shutting_down))),
+            ("rejected", uint(load(&c.rejected))),
+            ("timeouts", uint(load(&c.timeouts))),
+            ("errors", uint(load(&c.errors))),
+            ("cache_hits", uint(load(&c.cache_hits))),
+            ("cache_misses", uint(load(&c.cache_misses))),
+        ]);
+        let mut latency: Vec<(String, Value)> = lock(&self.latency)
+            .iter()
+            .map(|(endpoint, hist)| {
+                let s = hist.summary();
+                (
+                    (*endpoint).to_string(),
+                    json::object(vec![
+                        ("count", uint(s.count)),
+                        ("p50_us", Value::Int(s.p50)),
+                        ("p95_us", Value::Int(s.p95)),
+                        ("p99_us", Value::Int(s.p99)),
+                        ("max_us", Value::Int(s.max)),
+                    ]),
+                )
+            })
+            .collect();
+        latency.sort_by(|a, b| a.0.cmp(&b.0));
+        json::object(vec![
+            ("counters", counters),
+            ("queue_depth", Value::from(self.queue.len())),
+            ("queue_capacity", Value::from(self.queue.capacity())),
+            ("cached_graphs", Value::from(self.cache.len())),
+            ("latency_us", Value::Object(latency)),
+        ])
+    }
+}
+
+fn uint(v: u64) -> Value {
+    Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+/// Why a request did not produce an `ok` result.
+enum Refusal {
+    Timeout,
+    DiagGate(String),
+    Failed(String),
+}
+
+fn refusal_of(e: AnalysisError) -> Refusal {
+    match e {
+        AnalysisError::BudgetExhausted => Refusal::Timeout,
+        other => Refusal::Failed(format!("analysis failed: {other}")),
+    }
+}
+
+impl From<AnalysisError> for Refusal {
+    fn from(e: AnalysisError) -> Self {
+        refusal_of(e)
+    }
+}
+
+fn find_task(entry: &GraphEntry, name: &str) -> Result<disparity_model::ids::TaskId, Refusal> {
+    entry
+        .graph
+        .find_task(name)
+        .ok_or_else(|| Refusal::Failed(format!("unknown task {name:?}")))
+}
+
+/// Runs `body` with a budget hook derived from the optional deadline.
+fn run_with_deadline<F>(deadline: Option<Instant>, body: F) -> Result<Value, Refusal>
+where
+    F: FnOnce(Option<&(dyn Fn() -> bool + Sync)>) -> Result<Value, Refusal>,
+{
+    match deadline {
+        None => body(None),
+        Some(deadline) => {
+            let hook = move || Instant::now() < deadline;
+            body(Some(&hook))
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}

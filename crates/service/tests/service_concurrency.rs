@@ -1,0 +1,294 @@
+//! Concurrency contract of the service: responses are byte-identical to
+//! encoding a direct [`AnalysisEngine`] run, identical specs share one
+//! cached graph, and queue saturation loses no responses.
+//!
+//! Obs stays disabled here; the recorder-asserting shutdown test lives in
+//! its own binary (the recorder is global per process).
+//!
+//! [`AnalysisEngine`]: disparity_core::engine::AnalysisEngine
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use disparity_core::disparity::AnalysisConfig;
+use disparity_core::engine::AnalysisEngine;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::TaskId;
+use disparity_model::json::Value;
+use disparity_model::spec::SystemSpec;
+use disparity_rng::rngs::StdRng;
+use disparity_sched::wcrt::response_times;
+use disparity_service::proto::{
+    encode_disparity_result, response_line, ResponseBody, Status,
+};
+use disparity_service::server::{serve, ServerHandle};
+use disparity_service::service::{Service, ServiceConfig};
+use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
+
+/// A seeded fusion workload (WATERS period bins) and its fusion sink.
+fn seeded_workload(seed: u64) -> (CauseEffectGraph, TaskId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = schedulable_funnel_system(&FunnelConfig::default(), &mut rng, 64)
+        .expect("funnel workload generates");
+    let sink = *graph.sinks().first().expect("funnel has a sink");
+    (graph, sink)
+}
+
+/// The exact response line a correct server must produce for a disparity
+/// request `{"id":<id>,"op":"disparity","task":<sink>,"spec":<spec>}`.
+fn expected_line(graph: &CauseEffectGraph, sink: TaskId, id: i64) -> String {
+    let rt = response_times(graph).expect("schedulable workload");
+    let report = AnalysisEngine::new(graph, &rt)
+        .worst_case_disparity(sink, AnalysisConfig::default())
+        .expect("direct analysis succeeds");
+    response_line(
+        &Value::Int(id),
+        Status::Ok,
+        ResponseBody::Result(encode_disparity_result(graph, &report)),
+    )
+}
+
+fn disparity_request(graph: &CauseEffectGraph, sink: TaskId, id: i64) -> String {
+    let spec = SystemSpec::from_graph(graph);
+    format!(
+        "{{\"id\":{id},\"op\":\"disparity\",\"task\":{},\"spec\":{}}}",
+        Value::from(graph.task(sink).name()),
+        spec.to_json()
+    )
+}
+
+/// Sends `lines` over one TCP connection, reads one response per line.
+fn roundtrip(handle: &ServerHandle, lines: &[String]) -> Vec<String> {
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    for line in lines {
+        stream.write_all(line.as_bytes()).expect("write");
+        stream.write_all(b"\n").expect("write newline");
+    }
+    stream.flush().expect("flush");
+    let reader = BufReader::new(stream);
+    reader
+        .lines()
+        .take(lines.len())
+        .map(|l| l.expect("read response"))
+        .collect()
+}
+
+fn start_server(config: ServiceConfig) -> ServerHandle {
+    let service = Service::start(config);
+    serve("127.0.0.1:0", service).expect("bind loopback")
+}
+
+#[test]
+fn serial_responses_match_direct_engine_bytes() {
+    let handle = start_server(ServiceConfig::default());
+    for seed in [1u64, 7, 42, 1234] {
+        let (graph, sink) = seeded_workload(seed);
+        let want = expected_line(&graph, sink, i64::try_from(seed).unwrap());
+        let got = roundtrip(
+            &handle,
+            &[disparity_request(&graph, sink, i64::try_from(seed).unwrap())],
+        );
+        assert_eq!(got, std::slice::from_ref(&want), "seed {seed}");
+        // A second round over the now-cached graph must not change a byte.
+        let again = roundtrip(
+            &handle,
+            &[disparity_request(&graph, sink, i64::try_from(seed).unwrap())],
+        );
+        assert_eq!(again, [want], "seed {seed} (cached)");
+    }
+    let service = handle.service();
+    assert!(
+        service
+            .counters
+            .cache_hits
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 4,
+        "second rounds hit the cache"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_identical_specs_share_cache_and_bytes() {
+    let handle = start_server(ServiceConfig {
+        workers: 4,
+        ..ServiceConfig::default()
+    });
+    let (graph, sink) = seeded_workload(99);
+    let want = expected_line(&graph, sink, 5);
+    let request = disparity_request(&graph, sink, 5);
+
+    let responses: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..8)
+            .map(|_| {
+                let handle = &handle;
+                let request = request.clone();
+                scope.spawn(move || roundtrip(handle, &[request]))
+            })
+            .collect();
+        clients.into_iter().map(|c| c.join().unwrap()).collect()
+    });
+    for got in responses {
+        assert_eq!(got, std::slice::from_ref(&want));
+    }
+    let service = handle.service();
+    let hits = service
+        .counters
+        .cache_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let misses = service
+        .counters
+        .cache_misses
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(hits + misses, 8, "every request consulted the cache");
+    assert!(hits >= 1, "identical specs produce cache hits (got {hits})");
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_distinct_specs_each_match_their_direct_run() {
+    let handle = start_server(ServiceConfig {
+        workers: 4,
+        ..ServiceConfig::default()
+    });
+    let seeds: Vec<u64> = (10..18).collect();
+    let results: Vec<(String, Vec<String>)> = std::thread::scope(|scope| {
+        let clients: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let handle = &handle;
+                scope.spawn(move || {
+                    let (graph, sink) = seeded_workload(seed);
+                    let id = i64::try_from(seed).unwrap();
+                    let want = expected_line(&graph, sink, id);
+                    let got = roundtrip(handle, &[disparity_request(&graph, sink, id)]);
+                    (want, got)
+                })
+            })
+            .collect();
+        clients.into_iter().map(|c| c.join().unwrap()).collect()
+    });
+    for (want, got) in results {
+        assert_eq!(got, [want]);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn queue_saturation_answers_every_request_exactly_once() {
+    // One slow worker and a 2-deep queue: a burst must split into `ok`
+    // (admitted) and `overloaded` (bounced), with zero lost or duplicated
+    // responses.
+    let handle = start_server(ServiceConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..ServiceConfig::default()
+    });
+    let n = 30;
+    let lines: Vec<String> = (0..n)
+        .map(|i| format!("{{\"id\":{i},\"op\":\"sleep\",\"millis\":15}}"))
+        .collect();
+    let responses = roundtrip(&handle, &lines);
+    assert_eq!(responses.len(), n, "one response per request");
+
+    let mut ids = Vec::new();
+    let mut ok = 0usize;
+    let mut overloaded = 0usize;
+    for line in &responses {
+        let v = Value::parse(line).expect("response is valid JSON");
+        ids.push(v.get("id").and_then(Value::as_i64).expect("id echoed"));
+        match v.get("status").and_then(Value::as_str) {
+            Some("ok") => ok += 1,
+            Some("overloaded") => {
+                overloaded += 1;
+                assert_eq!(
+                    v.get("error").and_then(Value::as_str),
+                    Some("queue full"),
+                    "overload is reported as such"
+                );
+            }
+            other => panic!("unexpected status {other:?} in {line}"),
+        }
+    }
+    ids.sort_unstable();
+    assert_eq!(
+        ids,
+        (0..i64::try_from(n).unwrap()).collect::<Vec<_>>(),
+        "every id answered exactly once"
+    );
+    assert!(ok >= 1, "admitted requests completed");
+    assert!(overloaded >= 1, "admission control fired under the burst");
+
+    let service = handle.service();
+    assert_eq!(
+        service
+            .counters
+            .overloaded
+            .load(std::sync::atomic::Ordering::Relaxed),
+        u64::try_from(overloaded).unwrap(),
+        "overload counter matches observed responses"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn soft_deadline_times_out_instead_of_hanging() {
+    // deadline_ms: 0 expires before the engine starts; the request must
+    // come back `timeout`, not `ok`.
+    let handle = start_server(ServiceConfig::default());
+    let (graph, sink) = seeded_workload(3);
+    let spec = SystemSpec::from_graph(&graph);
+    let line = format!(
+        "{{\"id\":\"d\",\"op\":\"disparity\",\"task\":{},\"deadline_ms\":0,\"spec\":{}}}",
+        Value::from(graph.task(sink).name()),
+        spec.to_json()
+    );
+    let got = roundtrip(&handle, &[line]);
+    let v = Value::parse(&got[0]).unwrap();
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("timeout"));
+    handle.shutdown();
+}
+
+#[test]
+fn stats_op_reports_counters_and_latency() {
+    let handle = start_server(ServiceConfig::default());
+    let (graph, sink) = seeded_workload(21);
+    let _ = roundtrip(&handle, &[disparity_request(&graph, sink, 1)]);
+    let got = roundtrip(&handle, &["{\"id\":2,\"op\":\"stats\"}".to_string()]);
+    let v = Value::parse(&got[0]).unwrap();
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+    let result = v.get("result").expect("stats payload");
+    let counters = result.get("counters").expect("counters object");
+    assert_eq!(counters.get("cache_misses").and_then(Value::as_i64), Some(1));
+    assert!(result.get("queue_depth").is_some());
+    let latency = result.get("latency_us").expect("latency object");
+    let disparity = latency.get("disparity").expect("disparity endpoint histogram");
+    assert_eq!(disparity.get("count").and_then(Value::as_i64), Some(1));
+    assert!(disparity.get("p50_us").and_then(Value::as_i64).is_some());
+    assert!(disparity.get("p99_us").and_then(Value::as_i64).is_some());
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_and_unknown_inputs_answer_with_errors() {
+    let handle = start_server(ServiceConfig::default());
+    let (graph, sink) = seeded_workload(8);
+    let spec = SystemSpec::from_graph(&graph);
+    let lines = vec![
+        "this is not json".to_string(),
+        "{\"id\":1,\"op\":\"frobnicate\"}".to_string(),
+        format!(
+            "{{\"id\":2,\"op\":\"disparity\",\"task\":\"no_such_task\",\"spec\":{}}}",
+            spec.to_json()
+        ),
+    ];
+    let got = roundtrip(&handle, &lines);
+    assert_eq!(got.len(), 3);
+    for line in &got {
+        let v = Value::parse(line).expect("error responses are valid JSON");
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+        assert!(v.get("error").and_then(Value::as_str).is_some());
+    }
+    let _ = (graph, sink);
+    handle.shutdown();
+}

@@ -1,0 +1,203 @@
+//! Graceful-shutdown contract: every accepted request gets a terminal
+//! response, late arrivals are refused (never dropped), and the obs trace
+//! recorded across the drain is well-nested (the golden checker from the
+//! observability suite).
+//!
+//! Lives in its own test binary because the obs recorder is global per
+//! process.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::channel;
+
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::TaskId;
+use disparity_model::json::Value;
+use disparity_model::spec::SystemSpec;
+use disparity_rng::rngs::StdRng;
+use disparity_service::server::serve;
+use disparity_service::service::{Service, ServiceConfig};
+use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
+
+fn seeded_workload(seed: u64) -> (CauseEffectGraph, TaskId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = schedulable_funnel_system(&FunnelConfig::default(), &mut rng, 64)
+        .expect("funnel workload generates");
+    let sink = *graph.sinks().first().expect("funnel has a sink");
+    (graph, sink)
+}
+
+/// One exported trace event, reduced to what the nesting check needs.
+struct Event {
+    name: String,
+    tid: i64,
+    start_ns: i64,
+    end_ns: i64,
+}
+
+fn events_of(trace: &Value) -> Vec<Event> {
+    trace
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array")
+        .iter()
+        .map(|e| {
+            let args = e.get("args").expect("args object");
+            let start_ns = args.get("start_ns").and_then(Value::as_i64).unwrap();
+            let dur_ns = args.get("dur_ns").and_then(Value::as_i64).unwrap();
+            assert!(dur_ns >= 0, "span durations are non-negative");
+            Event {
+                name: e.get("name").and_then(Value::as_str).unwrap().to_string(),
+                tid: e.get("tid").and_then(Value::as_i64).unwrap(),
+                start_ns,
+                end_ns: start_ns + dur_ns,
+            }
+        })
+        .collect()
+}
+
+/// Within one thread, any two spans must either nest or be disjoint —
+/// partial overlap would mean the RAII guards closed out of order.
+fn assert_well_nested(events: &[Event]) {
+    for (i, a) in events.iter().enumerate() {
+        for b in &events[i + 1..] {
+            if a.tid != b.tid {
+                continue;
+            }
+            let disjoint = a.end_ns <= b.start_ns || b.end_ns <= a.start_ns;
+            let a_in_b = b.start_ns <= a.start_ns && a.end_ns <= b.end_ns;
+            let b_in_a = a.start_ns <= b.start_ns && b.end_ns <= a.end_ns;
+            assert!(
+                disjoint || a_in_b || b_in_a,
+                "spans `{}` [{}, {}] and `{}` [{}, {}] partially overlap on tid {}",
+                a.name,
+                a.start_ns,
+                a.end_ns,
+                b.name,
+                b.start_ns,
+                b.end_ns,
+                a.tid
+            );
+        }
+    }
+}
+
+#[test]
+fn drain_answers_every_accepted_request_and_trace_is_well_nested() {
+    disparity_obs::reset();
+    disparity_obs::enable();
+
+    let service = Service::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 32,
+        ..ServiceConfig::default()
+    });
+    let (tx, shutdown_signal) = channel::<()>();
+    service.set_shutdown_hook(move || {
+        let _ = tx.send(());
+    });
+    let handle = serve("127.0.0.1:0", service).expect("bind loopback");
+
+    // A busy client: slow sleeps to keep the queue non-empty at shutdown,
+    // plus real analysis requests so engine spans land in the trace.
+    let (graph, sink) = seeded_workload(5);
+    let spec = SystemSpec::from_graph(&graph);
+    let mut lines: Vec<String> = (0..6)
+        .map(|i| format!("{{\"id\":{i},\"op\":\"sleep\",\"millis\":30}}"))
+        .collect();
+    lines.push(format!(
+        "{{\"id\":100,\"op\":\"disparity\",\"task\":{},\"spec\":{}}}",
+        Value::from(graph.task(sink).name()),
+        spec.to_json()
+    ));
+    lines.push("{\"id\":101,\"op\":\"ping\"}".to_string());
+
+    let mut busy = TcpStream::connect(handle.addr()).expect("connect");
+    for line in &lines {
+        busy.write_all(line.as_bytes()).expect("write");
+        busy.write_all(b"\n").expect("newline");
+    }
+    busy.flush().expect("flush");
+    let busy_reader = std::thread::spawn(move || {
+        // Read to EOF: the drain closes the connection after the last
+        // reply, so collecting until EOF sees every terminal response.
+        BufReader::new(busy)
+            .lines()
+            .map_while(Result::ok)
+            .collect::<Vec<String>>()
+    });
+
+    // A second client asks for shutdown mid-burst.
+    let controller = TcpStream::connect(handle.addr()).expect("connect");
+    {
+        let mut c = &controller;
+        c.write_all(b"{\"id\":\"ctl\",\"op\":\"shutdown\"}\n")
+            .expect("write shutdown");
+        c.flush().expect("flush");
+    }
+    let ctl_reader = std::thread::spawn(move || {
+        BufReader::new(controller)
+            .lines()
+            .map_while(Result::ok)
+            .collect::<Vec<String>>()
+    });
+
+    // Run the same drain sequence the serve binary runs.
+    shutdown_signal.recv().expect("shutdown op fires the hook");
+    handle.shutdown();
+
+    let busy_replies = busy_reader.join().expect("busy client finishes");
+    let ctl_replies = ctl_reader.join().expect("controller finishes");
+
+    // The controller got its shutdown ack.
+    assert_eq!(ctl_replies.len(), 1);
+    let ack = Value::parse(&ctl_replies[0]).expect("ack parses");
+    assert_eq!(ack.get("status").and_then(Value::as_str), Some("ok"));
+
+    // Every busy-client request got exactly one terminal response, and
+    // each id appears exactly once.
+    assert_eq!(busy_replies.len(), lines.len(), "no lost or extra replies");
+    let mut ids: Vec<i64> = busy_replies
+        .iter()
+        .map(|l| {
+            let v = Value::parse(l).expect("reply parses");
+            let status = v.get("status").and_then(Value::as_str).expect("status");
+            assert!(
+                ["ok", "shutting_down", "overloaded", "timeout", "error"].contains(&status),
+                "terminal status, got {status}"
+            );
+            v.get("id").and_then(Value::as_i64).expect("id echoed")
+        })
+        .collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 100, 101]);
+
+    // The disparity request either completed or was refused while
+    // draining — never silently dropped.
+    let disparity_status = busy_replies
+        .iter()
+        .map(|l| Value::parse(l).unwrap())
+        .find(|v| v.get("id").and_then(Value::as_i64) == Some(100))
+        .and_then(|v| v.get("status").and_then(Value::as_str).map(String::from))
+        .expect("disparity reply present");
+    assert!(["ok", "shutting_down"].contains(&disparity_status.as_str()));
+
+    // The trace recorded across the drain is well-nested per thread.
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "disparity-service-shutdown-{}.trace.json",
+        std::process::id()
+    ));
+    disparity_obs::export::write_chrome_trace(&path).expect("trace export");
+    let text = std::fs::read_to_string(&path).expect("trace readable");
+    let trace = Value::parse(&text).expect("trace parses");
+    let events = events_of(&trace);
+    assert!(
+        events.iter().any(|e| e.name == "service.request"),
+        "request spans recorded"
+    );
+    assert_well_nested(&events);
+    let _ = std::fs::remove_file(&path);
+    disparity_obs::reset();
+    disparity_obs::disable();
+}

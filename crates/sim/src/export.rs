@@ -125,7 +125,23 @@ pub fn to_ascii_gantt(
 }
 
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if c < '\u{20}' => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -180,6 +196,42 @@ mod tests {
         assert_eq!(json.matches("\"ph\":\"X\"").count(), 15);
         assert!(!json.contains("\"s#"));
         assert!(json.contains("\"hi#0\""));
+    }
+
+    #[test]
+    fn chrome_trace_escapes_control_characters_in_names() {
+        // A task name with embedded newline/tab/quote must still yield
+        // parseable JSON: the exporter escapes U+0000–U+001F like the
+        // in-tree codec does.
+        let mut b = SystemBuilder::new();
+        let e = b.add_ecu("e");
+        let s = b.add_task(TaskSpec::periodic("stim", ms(10)));
+        let t = b.add_task(
+            TaskSpec::periodic("na\nme\t\"x\"\u{1}", ms(10))
+                .execution(ms(1), ms(2))
+                .on_ecu(e),
+        );
+        b.connect(s, t);
+        let g = b.build().unwrap();
+        let sim = Simulator::new(
+            &g,
+            SimConfig {
+                horizon: ms(20),
+                record_trace: true,
+                ..Default::default()
+            },
+        );
+        let trace = sim.run().unwrap().trace.unwrap();
+        let json = to_chrome_trace(&trace, &g);
+        assert!(
+            json.chars().all(|c| c == '\n' || c >= '\u{20}'),
+            "control character leaked into trace JSON"
+        );
+        let parsed = disparity_model::json::Value::parse(&json).unwrap();
+        let events = parsed.as_array().unwrap();
+        assert!(!events.is_empty());
+        let name = events[0].get("name").unwrap().as_str().unwrap();
+        assert!(name.starts_with("na\nme\t\"x\"\u{1}"));
     }
 
     #[test]

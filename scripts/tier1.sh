@@ -5,6 +5,20 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# Staleness guard: gates below invoke release binaries directly, so a
+# binary older than any source or manifest must be rebuilt first —
+# smoking stale bits would green-light code that no longer exists.
+ensure_fresh() {
+    bin="target/release/$1"
+    pkg="$2"
+    if [ ! -x "$bin" ] || [ -n "$(find crates Cargo.toml \
+            \( -name '*.rs' -o -name 'Cargo.toml' \) \
+            -newer "$bin" -print -quit)" ]; then
+        echo "==> $bin missing or stale; rebuilding $pkg"
+        cargo build --release -p "$pkg"
+    fi
+}
+
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
 
@@ -30,16 +44,19 @@ grep -q 'pairwise_engine/sink_analysis/cached' target/bench-engine.json
 grep -q 'pairwise_engine/sink_analysis/uncached' target/bench-engine.json
 
 echo "==> srclint gate (workspace source lint, committed allowlist)"
-cargo run -p disparity-analyzer --release --bin srclint
+ensure_fresh srclint disparity-analyzer
+./target/release/srclint
 
 echo "==> diag smoke (D0xx diagnostics, known-clean WATERS spec, deny errors)"
-cargo run -p disparity-analyzer --release --bin diag -- specs/waters_clean.json --deny-lints
+ensure_fresh diag disparity-analyzer
+./target/release/diag specs/waters_clean.json --deny-lints
 
 echo "==> rustdoc gate (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> soak smoke (fault-injection soundness sweep, quick profile, obs recording)"
-cargo run -p disparity-experiments --release --bin soak -- --quick \
+ensure_fresh soak disparity-experiments
+./target/release/soak --quick \
     --trace-out target/obs-trace.json --metrics-out target/obs-metrics.json
 
 echo "==> obs smoke (trace + metrics emitted and non-empty)"
@@ -47,5 +64,37 @@ test -s target/obs-trace.json
 test -s target/obs-metrics.json
 grep -q '"disparity-obs/trace-v1"' target/obs-trace.json
 grep -q '"disparity-obs/metrics-v1"' target/obs-metrics.json
+
+echo "==> service smoke (serve + loadgen burst: cache hits, overload path, clean drain)"
+ensure_fresh serve disparity-service
+ensure_fresh loadgen disparity-experiments
+rm -f target/service-load.json target/service-metrics.json
+# Small worker pool and queue so the overload probe reliably bounces.
+./target/release/serve --addr 127.0.0.1:7414 --workers 2 --queue 4 \
+    --obs --metrics-out target/service-metrics.json &
+SERVE_PID=$!
+# The daemon binds before printing; give it a moment, then let loadgen's
+# own retry-free connect be the readiness check.
+tries=0
+until ./target/release/loadgen --addr 127.0.0.1:7414 \
+        --spec specs/waters_clean.json --requests 1 --connections 1 \
+        >/dev/null 2>&1; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 25 ]; then
+        echo "tier1: serve did not come up on 127.0.0.1:7414" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.2
+done
+./target/release/loadgen --addr 127.0.0.1:7414 \
+    --spec specs/waters_clean.json --requests 40 --connections 4 \
+    --require-cache-hit --probe-overload 20 --shutdown \
+    --out target/service-load.json
+wait "$SERVE_PID"
+test -s target/service-load.json
+test -s target/service-metrics.json
+grep -q '"disparity-obs/metrics-v1"' target/service-metrics.json
+grep -q 'service.cache' target/service-metrics.json
 
 echo "tier1: all gates passed"
