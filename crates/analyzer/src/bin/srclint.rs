@@ -1,9 +1,10 @@
 //! `srclint` — the workspace source lint gate.
 //!
 //! Walks `crates/*/src`, denies banned patterns (panicking constructs,
-//! unchecked time casts, wall-clock reads in deterministic crates), and
-//! honors the committed allowlist. Exit codes: 0 clean, 1 denied findings,
-//! 2 usage or I/O error.
+//! unchecked time casts, wall-clock reads in deterministic crates,
+//! panic-swallowing `catch_unwind` boundaries), and honors the committed
+//! allowlist. Exit codes: 0 clean, 1 denied findings, 2 usage or I/O
+//! error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;

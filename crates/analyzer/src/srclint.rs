@@ -14,6 +14,11 @@
 //!   deterministic crates (model, sched, core, sim, workload, rng,
 //!   analyzer). Determinism is a correctness property here; only obs,
 //!   bench, and the experiment binaries may read real time.
+//! * **`catch-unwind`** — `catch_unwind` in library code. Swallowing
+//!   panics hides bugs; the one sanctioned site is the service's
+//!   per-request isolation boundary, which re-surfaces the payload as a
+//!   structured `internal_error` and feeds the quarantine ledger. Any
+//!   new site needs the same story and an allowlist entry.
 //!
 //! Justified exceptions live in a committed allowlist file
 //! ([`Allowlist::parse`]); every entry must carry a written reason.
@@ -32,11 +37,18 @@ pub enum Rule {
     TimeCast,
     /// Wall-clock reads in deterministic crates.
     WallClock,
+    /// Panic-swallowing `catch_unwind` boundaries in library code.
+    CatchUnwind,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 3] = [Rule::Panic, Rule::TimeCast, Rule::WallClock];
+    pub const ALL: [Rule; 4] = [
+        Rule::Panic,
+        Rule::TimeCast,
+        Rule::WallClock,
+        Rule::CatchUnwind,
+    ];
 
     /// The stable rule name used in reports and allowlist entries.
     #[must_use]
@@ -45,6 +57,7 @@ impl Rule {
             Rule::Panic => "panic",
             Rule::TimeCast => "time-cast",
             Rule::WallClock => "wall-clock",
+            Rule::CatchUnwind => "catch-unwind",
         }
     }
 
@@ -208,6 +221,10 @@ fn wall_clock_patterns() -> [String; 2] {
     [["Instant::", "now"].concat(), ["System", "Time"].concat()]
 }
 
+fn unwind_catch_patterns() -> [String; 1] {
+    [["catch_un", "wind"].concat()]
+}
+
 const TIME_MARKERS: [&str; 7] = [
     "_ns", "nanos", "period", "duration", "instant", "wcet", "bcet",
 ];
@@ -223,6 +240,7 @@ pub fn scan_source(rel_path: &str, text: &str) -> Vec<Finding> {
     let panic_pats = panic_patterns();
     let cast_pats = cast_patterns();
     let clock_pats = wall_clock_patterns();
+    let unwind_pats = unwind_catch_patterns();
     let deterministic = crate_of(rel_path)
         .map(|name| DETERMINISTIC_CRATES.contains(&name))
         .unwrap_or(false);
@@ -295,6 +313,10 @@ pub fn scan_source(rel_path: &str, text: &str) -> Vec<Finding> {
                 clock_pats.iter().any(|p| code.contains(&**p)),
             );
         }
+        check(
+            Rule::CatchUnwind,
+            unwind_pats.iter().any(|p| code.contains(&**p)),
+        );
 
         depth += opens - closes;
     }
@@ -525,6 +547,20 @@ mod tests {
         assert_eq!(scan_source("crates/sim/src/x.rs", &src).len(), 1);
         assert!(scan_source("crates/obs/src/x.rs", &src).is_empty());
         assert!(scan_source("crates/bench/src/x.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_is_flagged_in_any_library_crate() {
+        let src = format!(
+            "fn f() {{ let r = std::panic::{}(|| 1); drop(r); }}\n",
+            pat(["catch_un", "wind"])
+        );
+        for path in ["crates/service/src/x.rs", "crates/model/src/x.rs"] {
+            let findings = scan_source(path, &src);
+            assert_eq!(findings.len(), 1, "{path}");
+            assert_eq!(findings[0].rule, Rule::CatchUnwind);
+        }
+        assert_eq!(Rule::from_str_opt("catch-unwind"), Some(Rule::CatchUnwind));
     }
 
     #[test]

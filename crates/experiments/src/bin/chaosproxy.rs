@@ -1,0 +1,235 @@
+//! `chaosproxy` — a deterministic fault-injecting TCP proxy for wire-level
+//! chaos testing of `serve`.
+//!
+//! ```text
+//! chaosproxy --listen HOST:PORT --upstream HOST:PORT --kind KIND [--seed N]
+//! ```
+//!
+//! Sits between `loadgen` and `serve` and mangles traffic per `--kind`:
+//!
+//! | kind       | injection                                                 |
+//! |------------|-----------------------------------------------------------|
+//! | `none`     | transparent pass-through (baseline)                       |
+//! | `delay`    | random 1–40 ms stalls before forwarding a chunk           |
+//! | `split`    | chunks forwarded in 1–7-byte slices with micro-stalls     |
+//! | `garbage`  | random bytes injected ahead of real traffic               |
+//! | `truncate` | a chunk is cut short and the connection torn down         |
+//! | `reset`    | the connection is reset mid-chunk                         |
+//! | `mix`      | each chunk independently draws one of the kinds above     |
+//!
+//! Every random decision flows from `--seed` through per-connection,
+//! per-direction `StdRng` streams (xoshiro256** keyed by
+//! `splitmix64_mix`), so a failing run replays byte-for-byte. The proxy
+//! injects faults in *both* directions: garbage toward the server
+//! exercises its protocol hardening, garbage toward the client exercises
+//! loadgen's response verification and retry.
+//!
+//! Prints `listening on ADDR` once ready, then serves until killed
+//! (scripted smokes background it and kill by PID).
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use disparity_rng::rngs::StdRng;
+use disparity_rng::{splitmix64_mix, Rng};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    None,
+    Delay,
+    Split,
+    Garbage,
+    Truncate,
+    Reset,
+    Mix,
+}
+
+impl Kind {
+    fn parse(s: &str) -> Result<Kind, String> {
+        Ok(match s {
+            "none" => Kind::None,
+            "delay" => Kind::Delay,
+            "split" => Kind::Split,
+            "garbage" => Kind::Garbage,
+            "truncate" => Kind::Truncate,
+            "reset" => Kind::Reset,
+            "mix" => Kind::Mix,
+            other => {
+                return Err(format!(
+                    "unknown --kind {other:?} (none|delay|split|garbage|truncate|reset|mix)"
+                ))
+            }
+        })
+    }
+}
+
+struct Args {
+    listen: String,
+    upstream: String,
+    kind: Kind,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut listen = None;
+    let mut upstream = None;
+    let mut kind = Kind::Mix;
+    let mut seed = 1u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--listen" => listen = Some(value("--listen")?),
+            "--upstream" => upstream = Some(value("--upstream")?),
+            "--kind" => kind = Kind::parse(&value("--kind")?)?,
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: chaosproxy --listen HOST:PORT --upstream HOST:PORT \
+                     --kind none|delay|split|garbage|truncate|reset|mix [--seed N]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Args {
+        listen: listen.ok_or("--listen is required")?,
+        upstream: upstream.ok_or("--upstream is required")?,
+        kind,
+        seed,
+    })
+}
+
+/// Forwards `from` → `to`, injecting faults per `kind`. Returning tears
+/// both streams down so the opposite pump unblocks too.
+fn pump(mut from: TcpStream, mut to: TcpStream, mut rng: StdRng, kind: Kind) {
+    let mut buf = [0u8; 2048];
+    'outer: loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let chunk = &buf[..n];
+        let effective = if kind == Kind::Mix {
+            match rng.gen_range(0..6u64) {
+                0 => Kind::None,
+                1 => Kind::Delay,
+                2 => Kind::Split,
+                3 => Kind::Garbage,
+                4 => Kind::Truncate,
+                _ => Kind::Reset,
+            }
+        } else {
+            kind
+        };
+        let failed = match effective {
+            Kind::None | Kind::Mix => to.write_all(chunk).is_err(),
+            Kind::Delay => {
+                if rng.gen_range(0..100u64) < 30 {
+                    std::thread::sleep(Duration::from_millis(rng.gen_range(1..=40u64)));
+                }
+                to.write_all(chunk).is_err()
+            }
+            Kind::Split => {
+                let mut rest = chunk;
+                while !rest.is_empty() {
+                    let take = (rng.gen_range(1..=7u64) as usize).min(rest.len());
+                    if to.write_all(&rest[..take]).and_then(|()| to.flush()).is_err() {
+                        break 'outer;
+                    }
+                    rest = &rest[take..];
+                    let stall = rng.gen_range(0..=2u64);
+                    if stall > 0 {
+                        std::thread::sleep(Duration::from_millis(stall));
+                    }
+                }
+                false
+            }
+            Kind::Garbage => {
+                if rng.gen_range(0..100u64) < 15 {
+                    let n_junk = rng.gen_range(1..=12u64) as usize;
+                    let junk: Vec<u8> =
+                        (0..n_junk).map(|_| (rng.gen_range(0..=255u64)) as u8).collect();
+                    if to.write_all(&junk).is_err() {
+                        break;
+                    }
+                }
+                to.write_all(chunk).is_err()
+            }
+            Kind::Truncate => {
+                if rng.gen_range(0..100u64) < 10 {
+                    // Forward a prefix, then kill the connection: the
+                    // peer sees a cleanly truncated stream.
+                    let keep = rng.gen_range(0..chunk.len() as u64) as usize;
+                    let _ = to.write_all(&chunk[..keep]);
+                    let _ = to.flush();
+                    break;
+                }
+                to.write_all(chunk).is_err()
+            }
+            Kind::Reset => {
+                if rng.gen_range(0..100u64) < 7 {
+                    // Mid-chunk reset: a few bytes escape, then both
+                    // directions drop.
+                    let keep = rng.gen_range(0..=(chunk.len() as u64 / 2)) as usize;
+                    let _ = to.write_all(&chunk[..keep]);
+                    break;
+                }
+                to.write_all(chunk).is_err()
+            }
+        };
+        if failed {
+            break;
+        }
+    }
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("chaosproxy: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("chaosproxy: cannot bind {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => println!("listening on {addr}"),
+        Err(_) => println!("listening on {}", args.listen),
+    }
+    let _ = std::io::stdout().flush();
+
+    let mut conn_index = 0u64;
+    for client in listener.incoming() {
+        let Ok(client) = client else { continue };
+        let upstream = match TcpStream::connect(&args.upstream) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("chaosproxy: upstream {} unreachable: {e}", args.upstream);
+                continue;
+            }
+        };
+        let (Ok(client_r), Ok(upstream_r)) = (client.try_clone(), upstream.try_clone()) else {
+            continue;
+        };
+        // Distinct deterministic streams per connection and direction.
+        let fwd_rng = StdRng::seed_from_u64(splitmix64_mix(args.seed ^ (conn_index << 1)));
+        let rev_rng = StdRng::seed_from_u64(splitmix64_mix(args.seed ^ ((conn_index << 1) | 1)));
+        let kind = args.kind;
+        std::thread::spawn(move || pump(client_r, upstream, fwd_rng, kind));
+        std::thread::spawn(move || pump(upstream_r, client, rev_rng, kind));
+        conn_index += 1;
+    }
+    ExitCode::SUCCESS
+}

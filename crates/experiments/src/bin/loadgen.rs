@@ -4,7 +4,9 @@
 //! ```text
 //! loadgen --addr HOST:PORT [--spec FILE] [--task NAME] [--requests N]
 //!         [--rps N] [--connections C] [--out FILE]
+//!         [--retries N] [--backoff-ms N] [--seed N]
 //!         [--require-cache-hit] [--probe-overload N] [--shutdown]
+//!         [--chaos-soak] [--soak-tag TAG] [--direct-addr HOST:PORT]
 //! ```
 //!
 //! Each connection runs a synchronous request/response loop over the
@@ -14,15 +16,40 @@
 //! status counts, latency percentiles, and the server's own `stats`
 //! counters, so CI can assert cache hit-rate and overload accounting.
 //!
+//! # Retry
+//!
+//! Analysis requests are idempotent (the response is a pure function of
+//! the spec), so transport failures are safely retried: `--retries N`
+//! gives each request a budget of N extra attempts over fresh
+//! connections, spaced by jittered exponential backoff starting at
+//! `--backoff-ms` (jitter is seeded by `--seed`; runs are reproducible).
+//!
+//! # Chaos soak
+//!
+//! `--chaos-soak` flips loadgen from a throughput tool into a
+//! correctness harness for runs behind `chaosproxy`: every request gets
+//! a unique id and is only accepted when the response is **byte-identical**
+//! to encoding a direct engine run — anything else (garbage, truncation,
+//! a mangled request answered `error`, an id mismatch) drops the
+//! connection and retries. The soak also runs a quarantine probe — a
+//! deliberately panicking spec (derived from `--soak-tag`, so repeated
+//! runs against one server use distinct specs) must be quarantined after
+//! two processed attempts — concurrently with healthy traffic, then
+//! asserts via `--direct-addr` (default `--addr`) that the server ends
+//! with every worker alive. The soak fails on any lost, duplicated, or
+//! corrupted-and-accepted response.
+//!
 //! Exit is non-zero on protocol errors (unparsable responses, missing
-//! ids), on `--require-cache-hit` without a server-side cache hit, and
-//! on `--probe-overload N` when a burst of N slow requests down one
-//! extra connection fails to exercise the queue-full path.
+//! ids, exhausted retry budgets), on `--require-cache-hit` without a
+//! server-side cache hit, on `--probe-overload N` when a burst of N slow
+//! requests down one extra connection fails to exercise the queue-full
+//! path, and on any failed chaos-soak assertion.
 //!
 //! `--shutdown` sends the `shutdown` op once the run (and its stats
 //! query) is complete, so a scripted smoke can let the daemon drain and
 //! flush its obs artifacts instead of killing it.
 
+use std::collections::HashSet;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
@@ -30,9 +57,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use disparity_core::disparity::AnalysisConfig;
+use disparity_core::engine::AnalysisEngine;
+use disparity_model::graph::CauseEffectGraph;
 use disparity_model::json::{self, Value};
 use disparity_model::spec::SystemSpec;
+use disparity_model::time::Duration as SpecDuration;
 use disparity_obs::Histogram;
+use disparity_rng::rngs::StdRng;
+use disparity_rng::{splitmix64_mix, Rng};
+use disparity_sched::wcrt::response_times;
+use disparity_service::proto::{encode_disparity_result, response_line, ResponseBody, Status};
 
 struct Args {
     addr: String,
@@ -42,9 +77,15 @@ struct Args {
     rps: u64,
     connections: usize,
     out: Option<String>,
+    retries: u32,
+    backoff_ms: u64,
+    seed: u64,
     require_cache_hit: bool,
     probe_overload: usize,
     shutdown: bool,
+    chaos_soak: bool,
+    soak_tag: String,
+    direct_addr: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,9 +97,15 @@ fn parse_args() -> Result<Args, String> {
         rps: 0,
         connections: 4,
         out: None,
+        retries: 0,
+        backoff_ms: 10,
+        seed: 42,
         require_cache_hit: false,
         probe_overload: 0,
         shutdown: false,
+        chaos_soak: false,
+        soak_tag: "soak".to_string(),
+        direct_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -79,6 +126,19 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--connections: {e}"))?;
             }
             "--out" => args.out = Some(value("--out")?),
+            "--retries" => {
+                args.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--backoff-ms" => {
+                args.backoff_ms = value("--backoff-ms")?
+                    .parse()
+                    .map_err(|e| format!("--backoff-ms: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
             "--require-cache-hit" => args.require_cache_hit = true,
             "--probe-overload" => {
                 args.probe_overload = value("--probe-overload")?
@@ -86,6 +146,9 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--probe-overload: {e}"))?;
             }
             "--shutdown" => args.shutdown = true,
+            "--chaos-soak" => args.chaos_soak = true,
+            "--soak-tag" => args.soak_tag = value("--soak-tag")?,
+            "--direct-addr" => args.direct_addr = Some(value("--direct-addr")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -99,6 +162,7 @@ struct Tally {
     timeouts: AtomicU64,
     errors: AtomicU64,
     protocol_errors: AtomicU64,
+    retried: AtomicU64,
 }
 
 fn bump(c: &AtomicU64) {
@@ -109,8 +173,16 @@ fn load(c: &AtomicU64) -> u64 {
     c.load(Ordering::Relaxed)
 }
 
+/// Jittered exponential backoff: `base * 2^(attempt-1)`, scaled by a
+/// random 50–150% factor, capped at ~3.2s worth of doublings.
+fn backoff_delay(rng: &mut StdRng, base_ms: u64, attempt: u32) -> Duration {
+    let exp = base_ms.saturating_mul(1 << attempt.saturating_sub(1).min(6));
+    Duration::from_millis(exp * rng.gen_range(50..=150u64) / 100)
+}
+
 /// One synchronous request over an open connection; records latency and
-/// status. Returns `false` on connection failure.
+/// status. Returns `false` on transport failure (nothing recorded — the
+/// caller decides whether to retry over a fresh connection).
 fn one_request(
     stream: &mut TcpStream,
     reader: &mut BufReader<TcpStream>,
@@ -125,16 +197,12 @@ fn one_request(
         .and_then(|()| stream.flush())
         .is_err()
     {
-        bump(&tally.protocol_errors);
         return false;
     }
     let mut response = String::new();
     match reader.read_line(&mut response) {
         Ok(n) if n > 0 => {}
-        _ => {
-            bump(&tally.protocol_errors);
-            return false;
-        }
+        _ => return false,
     }
     let micros = i64::try_from(started.elapsed().as_micros()).unwrap_or(i64::MAX);
     if let Ok(mut hist) = latency.lock() {
@@ -145,12 +213,20 @@ fn one_request(
             Some("ok") => bump(&tally.ok),
             Some("overloaded") => bump(&tally.overloaded),
             Some("timeout") => bump(&tally.timeouts),
-            Some("error" | "rejected" | "shutting_down") => bump(&tally.errors),
+            Some("error" | "rejected" | "shutting_down" | "internal_error") => {
+                bump(&tally.errors);
+            }
             _ => bump(&tally.protocol_errors),
         },
         Err(_) => bump(&tally.protocol_errors),
     }
     true
+}
+
+fn open_conn(addr: &str) -> Option<(TcpStream, BufReader<TcpStream>)> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let read_half = stream.try_clone().ok()?;
+    Some((stream, BufReader::new(read_half)))
 }
 
 fn run_load(args: &Args, request_line: &str) -> Result<(Tally, Histogram, Duration), String> {
@@ -166,20 +242,36 @@ fn run_load(args: &Args, request_line: &str) -> Result<(Tally, Histogram, Durati
     };
     let started = Instant::now();
     std::thread::scope(|scope| {
-        for _ in 0..connections {
-            scope.spawn(|| {
-                let Ok(mut stream) = TcpStream::connect(&args.addr) else {
-                    bump(&tally.protocol_errors);
-                    return;
-                };
-                let Ok(read_half) = stream.try_clone() else {
-                    bump(&tally.protocol_errors);
-                    return;
-                };
-                let mut reader = BufReader::new(read_half);
+        for conn_index in 0..connections {
+            let (tally, latency) = (&tally, &latency);
+            scope.spawn(move || {
+                let mut rng =
+                    StdRng::seed_from_u64(splitmix64_mix(args.seed ^ conn_index as u64));
+                let mut conn = open_conn(&args.addr);
                 for _ in 0..per_conn {
-                    if !one_request(&mut stream, &mut reader, request_line, &tally, &latency) {
-                        break;
+                    let mut attempt = 0u32;
+                    loop {
+                        if conn.is_none() {
+                            conn = open_conn(&args.addr);
+                        }
+                        let done = match &mut conn {
+                            Some((stream, reader)) => {
+                                one_request(stream, reader, request_line, tally, latency)
+                            }
+                            None => false,
+                        };
+                        if done {
+                            break;
+                        }
+                        // Transport failure: the connection is suspect.
+                        conn = None;
+                        attempt += 1;
+                        if attempt > args.retries {
+                            bump(&tally.protocol_errors);
+                            break;
+                        }
+                        bump(&tally.retried);
+                        std::thread::sleep(backoff_delay(&mut rng, args.backoff_ms, attempt));
                     }
                     if !pause.is_zero() {
                         std::thread::sleep(pause);
@@ -195,21 +287,35 @@ fn run_load(args: &Args, request_line: &str) -> Result<(Tally, Histogram, Durati
     Ok((tally, hist, elapsed))
 }
 
-/// Queries the server's own `stats` op.
-fn server_stats(addr: &str) -> Result<Value, String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+/// Sends one request over `addr` and reads one response line (3s read
+/// timeout so a chaos-stalled connection cannot wedge the client).
+fn send_and_read(addr: &str, line: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).ok()?;
     stream
-        .write_all(b"{\"id\":\"loadgen-stats\",\"op\":\"stats\"}\n")
+        .set_read_timeout(Some(Duration::from_secs(3)))
+        .ok()?;
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
         .and_then(|()| stream.flush())
-        .map_err(|e| format!("stats write: {e}"))?;
-    let mut line = String::new();
-    BufReader::new(stream)
-        .read_line(&mut line)
-        .map_err(|e| format!("stats read: {e}"))?;
-    let v = Value::parse(line.trim_end()).map_err(|e| format!("stats parse: {e}"))?;
+        .ok()?;
+    let mut response = String::new();
+    let n = BufReader::new(stream).read_line(&mut response).ok()?;
+    if n == 0 {
+        return None;
+    }
+    Some(response.trim_end().to_string())
+}
+
+/// Queries one server-side op (`stats`/`health`) and returns its result.
+fn server_query(addr: &str, op: &str) -> Result<Value, String> {
+    let line = format!("{{\"id\":\"loadgen-{op}\",\"op\":\"{op}\"}}");
+    let response =
+        send_and_read(addr, &line).ok_or_else(|| format!("{op} query got no response"))?;
+    let v = Value::parse(&response).map_err(|e| format!("{op} parse: {e}"))?;
     v.get("result")
         .cloned()
-        .ok_or_else(|| "stats response has no result".to_string())
+        .ok_or_else(|| format!("{op} response has no result"))
 }
 
 /// Fires `n` slow `sleep` requests down one connection as fast as
@@ -245,16 +351,9 @@ fn probe_overload(addr: &str, n: usize) -> Result<u64, String> {
 /// Sends the `shutdown` op and waits for its `ok` ack, letting the
 /// daemon drain and flush obs artifacts.
 fn send_shutdown(addr: &str) -> Result<(), String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
-    stream
-        .write_all(b"{\"id\":\"loadgen-shutdown\",\"op\":\"shutdown\"}\n")
-        .and_then(|()| stream.flush())
-        .map_err(|e| format!("shutdown write: {e}"))?;
-    let mut line = String::new();
-    BufReader::new(stream)
-        .read_line(&mut line)
-        .map_err(|e| format!("shutdown read: {e}"))?;
-    let v = Value::parse(line.trim_end()).map_err(|e| format!("shutdown parse: {e}"))?;
+    let response = send_and_read(addr, "{\"id\":\"loadgen-shutdown\",\"op\":\"shutdown\"}")
+        .ok_or_else(|| "shutdown got no response".to_string())?;
+    let v = Value::parse(&response).map_err(|e| format!("shutdown parse: {e}"))?;
     match v.get("status").and_then(Value::as_str) {
         Some("ok") => Ok(()),
         other => Err(format!("shutdown not acknowledged: {other:?}")),
@@ -263,6 +362,286 @@ fn send_shutdown(addr: &str) -> Result<(), String> {
 
 fn uint(v: u64) -> Value {
     Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct SoakTally {
+    accepted: AtomicU64,
+    lost: AtomicU64,
+    duplicated: AtomicU64,
+    /// Byte-corrupted-but-parseable responses the verifier *caught* (and
+    /// retried). Nonzero under garbage injection is the chaos working —
+    /// the gate is that none were ever *accepted*.
+    corruption_caught: AtomicU64,
+    retried_attempts: AtomicU64,
+}
+
+/// Sends `line` until the response is byte-identical to `want`, over
+/// fresh connections, within the retry budget. Returns attempts used.
+fn soak_request(
+    addr: &str,
+    line: &str,
+    want: &str,
+    id: &str,
+    args: &Args,
+    rng: &mut StdRng,
+    tally: &SoakTally,
+) -> Result<u32, ()> {
+    for attempt in 1..=args.retries.max(1) + 1 {
+        if attempt > 1 {
+            bump(&tally.retried_attempts);
+            std::thread::sleep(backoff_delay(rng, args.backoff_ms, attempt - 1));
+        }
+        match send_and_read(addr, line) {
+            Some(response) if response == want => return Ok(attempt),
+            Some(response) => {
+                // Parsed with our id and status ok but the wrong bytes?
+                // That is a corrupted response caught by verification.
+                if let Ok(v) = Value::parse(&response) {
+                    let id_matches = v.get("id").and_then(Value::as_str) == Some(id);
+                    if id_matches && v.get("status").and_then(Value::as_str) == Some("ok") {
+                        bump(&tally.corruption_caught);
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+    Err(())
+}
+
+/// Replays `count` uniquely-identified healthy requests (split across
+/// `--connections` threads), accepting only byte-identical responses.
+fn soak_healthy_batch(
+    args: &Args,
+    phase: &str,
+    count: usize,
+    request_for: &(dyn Fn(&str) -> String + Sync),
+    expected_for: &(dyn Fn(&str) -> String + Sync),
+    tally: &SoakTally,
+    completed: &Mutex<HashSet<String>>,
+) {
+    let connections = args.connections.max(1);
+    std::thread::scope(|scope| {
+        for conn_index in 0..connections {
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(splitmix64_mix(
+                    args.seed ^ (0xC0A5 + conn_index as u64),
+                ));
+                let mut i = conn_index;
+                while i < count {
+                    let id = format!("{}-{phase}-{i}", args.soak_tag);
+                    let line = request_for(&id);
+                    let want = expected_for(&id);
+                    match soak_request(&args.addr, &line, &want, &id, args, &mut rng, tally) {
+                        Ok(_) => {
+                            bump(&tally.accepted);
+                            if !completed.lock().is_ok_and(|mut s| s.insert(id)) {
+                                bump(&tally.duplicated);
+                            }
+                        }
+                        Err(()) => bump(&tally.lost),
+                    }
+                    i += connections;
+                }
+            });
+        }
+    });
+}
+
+/// Drives the deliberately panicking spec until the server quarantines
+/// it. Each send is one potential strike; `rejected` needs two processed
+/// strikes, so it can never appear before the third send.
+struct ProbeOutcome {
+    sends: u32,
+    internal_errors: u32,
+    noise: u32,
+    rejected: bool,
+}
+
+fn quarantine_probe(args: &Args, poison_spec_json: &str, rng: &mut StdRng) -> ProbeOutcome {
+    let mut outcome = ProbeOutcome {
+        sends: 0,
+        internal_errors: 0,
+        noise: 0,
+        rejected: false,
+    };
+    // Generous send cap: chaos may eat both a strike's response and a
+    // rejection several times over before one gets through intact.
+    while outcome.sends < 30 && !outcome.rejected {
+        outcome.sends += 1;
+        let id = format!("{}-poison-{}", args.soak_tag, outcome.sends);
+        let line = format!(
+            "{{\"id\":{},\"op\":\"panic\",\"spec\":{poison_spec_json}}}",
+            Value::from(id.as_str())
+        );
+        let status = send_and_read(&args.addr, &line)
+            .and_then(|r| Value::parse(&r).ok().filter(|v| {
+                v.get("id").and_then(Value::as_str) == Some(id.as_str())
+            }))
+            .and_then(|v| v.get("status").and_then(Value::as_str).map(str::to_string));
+        match status.as_deref() {
+            Some("internal_error") => outcome.internal_errors += 1,
+            Some("rejected") => outcome.rejected = true,
+            _ => outcome.noise += 1,
+        }
+        if !outcome.rejected {
+            std::thread::sleep(backoff_delay(rng, args.backoff_ms, 1));
+        }
+    }
+    outcome
+}
+
+/// The full chaos soak: healthy traffic under fault injection, the
+/// quarantine probe concurrent with more healthy traffic, then a direct
+/// (un-proxied) health check. Returns the report and whether any gate
+/// failed.
+fn run_chaos_soak(
+    args: &Args,
+    spec: &SystemSpec,
+    graph: &CauseEffectGraph,
+    task: &str,
+) -> Result<(Value, bool), String> {
+    let sink = graph
+        .find_task(task)
+        .ok_or_else(|| format!("task {task:?} not in spec"))?;
+    let rt = response_times(graph).map_err(|e| format!("response times: {e}"))?;
+    let report = AnalysisEngine::new(graph, &rt)
+        .worst_case_disparity(sink, AnalysisConfig::default())
+        .map_err(|e| format!("direct analysis: {e}"))?;
+    let result = encode_disparity_result(graph, &report);
+    let spec_json = spec.to_json().to_string();
+    let task_json = Value::from(task).to_string();
+    let request_for = move |id: &str| {
+        format!(
+            "{{\"id\":{},\"op\":\"disparity\",\"task\":{task_json},\"spec\":{spec_json}}}",
+            Value::from(id)
+        )
+    };
+    let expected_for = move |id: &str| {
+        response_line(
+            &Value::from(id),
+            Status::Ok,
+            ResponseBody::Result(result.clone()),
+        )
+    };
+
+    // The poison spec: same shape, but salted by the soak tag (a tweaked
+    // first-task offset) so each run quarantines a fresh canonical hash.
+    let mut poison = spec.clone();
+    let tag_hash = args
+        .soak_tag
+        .bytes()
+        .fold(args.seed, |h, b| splitmix64_mix(h ^ u64::from(b)));
+    let first = poison
+        .tasks
+        .first_mut()
+        .ok_or_else(|| "spec has no tasks".to_string())?;
+    first.offset = SpecDuration::from_nanos(
+        first.offset.as_nanos() + i64::try_from(tag_hash % 1_000_000).unwrap_or(0) + 1,
+    );
+    let poison_json = poison.to_json().to_string();
+
+    let tally = SoakTally::default();
+    let completed = Mutex::new(HashSet::new());
+
+    // Phase 1: healthy traffic under chaos.
+    let phase1 = args.requests;
+    soak_healthy_batch(args, "p1", phase1, &request_for, &expected_for, &tally, &completed);
+
+    // Phase 2+3: the quarantine probe runs *while* more healthy traffic
+    // flows — a poisoned spec must not disturb anyone else's answers.
+    let phase3 = (args.requests / 4).max(10);
+    let probe = std::thread::scope(|scope| {
+        let probe_handle = scope.spawn(|| {
+            let mut rng = StdRng::seed_from_u64(splitmix64_mix(args.seed ^ 0x90150));
+            quarantine_probe(args, &poison_json, &mut rng)
+        });
+        soak_healthy_batch(args, "p3", phase3, &request_for, &expected_for, &tally, &completed);
+        probe_handle.join().unwrap_or(ProbeOutcome {
+            sends: 0,
+            internal_errors: 0,
+            noise: 0,
+            rejected: false,
+        })
+    });
+
+    // Phase 4: the verdict, asked directly (past the proxy).
+    let direct = args.direct_addr.as_deref().unwrap_or(&args.addr);
+    let health = server_query(direct, "health")?;
+
+    let accepted = load(&tally.accepted);
+    let lost = load(&tally.lost);
+    let duplicated = load(&tally.duplicated);
+    let expected_total = u64::try_from(phase1 + phase3).unwrap_or(u64::MAX);
+    let workers_configured = health
+        .get("workers_configured")
+        .and_then(Value::as_i64)
+        .unwrap_or(-1);
+    let workers_alive = health.get("workers_alive").and_then(Value::as_i64).unwrap_or(-2);
+    let quarantined_specs = health
+        .get("quarantined_specs")
+        .and_then(Value::as_i64)
+        .unwrap_or(0);
+
+    let mut failed = false;
+    let mut fail = |cond: bool, msg: &str| {
+        if cond {
+            eprintln!("loadgen: FAIL: {msg}");
+            failed = true;
+        }
+    };
+    fail(lost > 0, &format!("{lost} response(s) lost (retry budget exhausted)"));
+    fail(duplicated > 0, &format!("{duplicated} duplicated response(s)"));
+    fail(
+        accepted != expected_total,
+        &format!("accepted {accepted} of {expected_total} healthy responses"),
+    );
+    fail(!probe.rejected, "panicking spec was never quarantined");
+    fail(
+        probe.rejected && probe.sends < 3,
+        &format!("quarantine after only {} attempt(s) — needs two strikes first", probe.sends),
+    );
+    fail(
+        probe.internal_errors > 2,
+        &format!("{} internal_error responses for one spec — quarantine leak", probe.internal_errors),
+    );
+    fail(
+        workers_alive != workers_configured,
+        &format!("{workers_alive} of {workers_configured} workers alive at end of soak"),
+    );
+    fail(quarantined_specs < 1, "health reports no quarantined specs");
+
+    let report = json::object(vec![
+        ("mode", Value::from("chaos-soak")),
+        ("addr", Value::from(args.addr.as_str())),
+        ("direct_addr", Value::from(direct)),
+        ("soak_tag", Value::from(args.soak_tag.as_str())),
+        ("seed", uint(args.seed)),
+        ("retries", Value::from(args.retries as usize)),
+        ("healthy_requests", uint(expected_total)),
+        ("accepted", uint(accepted)),
+        ("lost", uint(lost)),
+        ("duplicated", uint(duplicated)),
+        ("corruption_caught", uint(load(&tally.corruption_caught))),
+        ("retried_attempts", uint(load(&tally.retried_attempts))),
+        (
+            "panic_probe",
+            json::object(vec![
+                ("sends", uint(u64::from(probe.sends))),
+                ("internal_errors", uint(u64::from(probe.internal_errors))),
+                ("noise", uint(u64::from(probe.noise))),
+                ("rejected_seen", Value::Bool(probe.rejected)),
+            ]),
+        ),
+        ("health", health),
+        ("passed", Value::Bool(!failed)),
+    ]);
+    Ok((report, failed))
 }
 
 fn main() -> ExitCode {
@@ -307,6 +686,32 @@ fn main() -> ExitCode {
             }
         },
     };
+
+    if args.chaos_soak {
+        let (report, failed) = match run_chaos_soak(&args, &spec, &graph, &task) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("loadgen: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", report.to_pretty());
+        if let Some(path) = &args.out {
+            if let Err(e) = std::fs::write(path, format!("{}\n", report.to_pretty())) {
+                eprintln!("loadgen: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if args.shutdown {
+            let direct = args.direct_addr.as_deref().unwrap_or(&args.addr);
+            if let Err(msg) = send_shutdown(direct) {
+                eprintln!("loadgen: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+
     let request_line = format!(
         "{{\"id\":\"load\",\"op\":\"disparity\",\"task\":{},\"spec\":{}}}",
         Value::from(task.as_str()),
@@ -333,7 +738,7 @@ fn main() -> ExitCode {
         None
     };
 
-    let stats = match server_stats(&args.addr) {
+    let stats = match server_query(&args.addr, "stats") {
         Ok(s) => s,
         Err(msg) => {
             eprintln!("loadgen: {msg}");
@@ -369,6 +774,7 @@ fn main() -> ExitCode {
         ("timeouts", uint(load(&tally.timeouts))),
         ("errors", uint(load(&tally.errors))),
         ("protocol_errors", uint(load(&tally.protocol_errors))),
+        ("retried", uint(load(&tally.retried))),
         (
             "elapsed_ms",
             Value::Int(i64::try_from(elapsed_ms).unwrap_or(i64::MAX)),

@@ -371,9 +371,18 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting the parser accepts.
+///
+/// The parser is recursive-descent, so unbounded nesting turns attacker
+/// input (a request line of 100 000 `[`s) into a stack overflow — an
+/// abort, not a catchable error. No legitimate spec or request comes
+/// close to this depth; exceeding it is a parse error like any other.
+pub const MAX_DEPTH: usize = 256;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -381,6 +390,7 @@ impl<'a> Parser<'a> {
         Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         }
     }
 
@@ -453,12 +463,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting deeper than the supported maximum"));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     fn object_value(&mut self) -> Result<Value, JsonError> {
         self.expect_byte(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(members));
         }
         loop {
@@ -471,7 +491,10 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b'}') => return Ok(Value::Object(members)),
+                Some(b'}') => {
+                    self.depth -= 1;
+                    return Ok(Value::Object(members));
+                }
                 _ => return Err(self.err("expected ',' or '}' in object")),
             }
         }
@@ -479,10 +502,12 @@ impl<'a> Parser<'a> {
 
     fn array_value(&mut self) -> Result<Value, JsonError> {
         self.expect_byte(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -490,7 +515,10 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b']') => return Ok(Value::Array(items)),
+                Some(b']') => {
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
                 _ => return Err(self.err("expected ',' or ']' in array")),
             }
         }
@@ -730,6 +758,36 @@ mod tests {
         let pretty = v.to_pretty();
         assert!(pretty.contains("  \"tasks\": [\n"));
         assert_eq!(Value::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn deeply_nested_input_is_a_parse_error_not_a_stack_overflow() {
+        // A hostile request line: 100k-deep nesting used to overflow the
+        // recursive-descent parser's stack and abort the process.
+        for open in ["[", "{\"k\":"] {
+            let deep = open.repeat(100_000);
+            let err = Value::parse(&deep).unwrap_err();
+            assert!(
+                err.to_string().contains("nesting"),
+                "wanted a depth error, got: {err}"
+            );
+        }
+        // A fully-closed 100k-deep array fails the same way.
+        let mut closed = "[".repeat(100_000);
+        closed.push_str(&"]".repeat(100_000));
+        assert!(Value::parse(&closed).is_err());
+    }
+
+    #[test]
+    fn nesting_at_the_limit_parses_and_depth_resets_between_siblings() {
+        let deep_ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Value::parse(&deep_ok).is_ok());
+        let too_deep = format!("{}0{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(Value::parse(&too_deep).is_err());
+        // Depth is released on the way out: many sibling containers at the
+        // same level never accumulate.
+        let siblings = format!("[{}]", vec!["[[[]]]"; 200].join(","));
+        assert!(Value::parse(&siblings).is_ok());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!       [--engine-workers N] [--diag-gate] [--stdin]
+//!       [--max-request-bytes N] [--read-deadline-ms N]
 //!       [--obs] [--trace-out FILE] [--metrics-out FILE]
 //! ```
 //!
@@ -20,7 +21,7 @@ use std::process::ExitCode;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 
-use disparity_service::server::{run_batch, serve};
+use disparity_service::server::{run_batch, serve_with, ServeOptions};
 use disparity_service::service::{Service, ServiceConfig};
 
 struct Args {
@@ -30,6 +31,7 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     config: ServiceConfig,
+    options: ServeOptions,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         metrics_out: None,
         config: ServiceConfig::default(),
+        options: ServeOptions::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -69,6 +72,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--engine-workers: {e}"))?;
             }
+            "--max-request-bytes" => {
+                args.options.max_request_bytes = value("--max-request-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--max-request-bytes: {e}"))?;
+            }
+            "--read-deadline-ms" => {
+                let ms: u64 = value("--read-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--read-deadline-ms: {e}"))?;
+                // 0 disables the deadline (trusted clients, debugging).
+                args.options.read_deadline =
+                    (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
             "--diag-gate" => args.config.diag_gate = true,
             "--stdin" => args.stdin_mode = true,
             "--obs" => args.obs = true,
@@ -77,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: serve [--addr HOST:PORT] [--workers N] [--queue N] \
                      [--cache N] [--engine-workers N] [--diag-gate] [--stdin] \
+                     [--max-request-bytes N] [--read-deadline-ms N (0 disables)] \
                      [--obs] [--trace-out FILE] [--metrics-out FILE]"
                     .to_string());
             }
@@ -132,7 +149,7 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        let handle = match serve(&args.addr, Arc::clone(&service)) {
+        let handle = match serve_with(&args.addr, Arc::clone(&service), args.options.clone()) {
             Ok(h) => h,
             Err(e) => {
                 eprintln!("serve: cannot bind {}: {e}", args.addr);

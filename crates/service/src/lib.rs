@@ -56,6 +56,6 @@ pub mod prelude {
     pub use crate::cache::{GraphEntry, ShardedCache};
     pub use crate::proto::{Op, Request, Status};
     pub use crate::queue::{BoundedQueue, PushError};
-    pub use crate::server::{run_batch, serve, ServerHandle};
+    pub use crate::server::{run_batch, serve, serve_with, ServeOptions, ServerHandle};
     pub use crate::service::{Reply, Service, ServiceConfig};
 }

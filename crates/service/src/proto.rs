@@ -65,6 +65,9 @@ pub enum Op {
     },
     /// Server statistics (counters, queue depth, latency percentiles).
     Stats,
+    /// Worker-pool health: configured vs. alive workers, respawns,
+    /// quarantine size, drain flag.
+    Health,
     /// Liveness probe.
     Ping,
     /// Hold a worker for the given number of milliseconds (testing aid:
@@ -73,8 +76,43 @@ pub enum Op {
         /// How long the worker sleeps.
         millis: u64,
     },
+    /// Panic while processing (testing aid: exercises panic isolation,
+    /// the worker supervisor, and spec quarantine deterministically).
+    Panic {
+        /// The spec whose hash takes the quarantine strike.
+        spec: SystemSpec,
+        /// How the panic is delivered.
+        kind: PanicKind,
+    },
     /// Ask the server to shut down gracefully.
     Shutdown,
+}
+
+/// How an [`Op::Panic`] request panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// Panic inside the per-request isolation boundary: the client gets a
+    /// structured `internal_error` response and the worker survives.
+    Unwind,
+    /// Panic *outside* the boundary, killing the worker thread: the
+    /// request goes unanswered and the supervisor must respawn the
+    /// worker. Models a bug the isolation layer failed to contain.
+    Worker,
+}
+
+impl Op {
+    /// The spec a request carries, when its op analyzes one. Drives the
+    /// quarantine check and the `internal_error` hash echo.
+    #[must_use]
+    pub fn spec(&self) -> Option<&SystemSpec> {
+        match self {
+            Op::Disparity { spec, .. }
+            | Op::Backward { spec, .. }
+            | Op::Buffer { spec, .. }
+            | Op::Panic { spec, .. } => Some(spec),
+            Op::Stats | Op::Health | Op::Ping | Op::Sleep { .. } | Op::Shutdown => None,
+        }
+    }
 }
 
 /// A parsed request: the echoed `id` plus the operation.
@@ -126,10 +164,15 @@ pub enum Status {
     Overloaded,
     /// The soft deadline expired before the analysis finished.
     Timeout,
-    /// The diag gate rejected the spec (D-level errors).
+    /// The diag gate rejected the spec (D-level errors), or the spec is
+    /// quarantined after repeated panics.
     Rejected,
     /// The server is draining; the request was not accepted.
     ShuttingDown,
+    /// The request panicked inside the server; the panic was contained
+    /// and the worker survived. The error message carries the spec's
+    /// `canonical_hash` (when the op had a spec) and the panic payload.
+    InternalError,
 }
 
 impl Status {
@@ -143,6 +186,7 @@ impl Status {
             Status::Timeout => "timeout",
             Status::Rejected => "rejected",
             Status::ShuttingDown => "shutting_down",
+            Status::InternalError => "internal_error",
         }
     }
 }
@@ -268,11 +312,25 @@ impl Request {
                     .map_err(|m| ProtoError::new(&id, m))?,
             },
             "stats" => Op::Stats,
+            "health" => Op::Health,
             "ping" => Op::Ping,
             "sleep" => Op::Sleep {
                 millis: u64_field(value, "millis")
                     .map_err(|m| ProtoError::new(&id, m))?
                     .unwrap_or(10),
+            },
+            "panic" => Op::Panic {
+                spec: spec_field(value, &id)?,
+                kind: match value.get("mode").and_then(Value::as_str) {
+                    None | Some("unwind") => PanicKind::Unwind,
+                    Some("worker") => PanicKind::Worker,
+                    Some(other) => {
+                        return Err(ProtoError::new(
+                            &id,
+                            format!("\"mode\" must be \"unwind\" or \"worker\", got {other:?}"),
+                        ));
+                    }
+                },
             },
             "shutdown" => Op::Shutdown,
             other => {
@@ -294,8 +352,10 @@ impl Request {
             Op::Backward { .. } => "backward",
             Op::Buffer { .. } => "buffer",
             Op::Stats => "stats",
+            Op::Health => "health",
             Op::Ping => "ping",
             Op::Sleep { .. } => "sleep",
+            Op::Panic { .. } => "panic",
             Op::Shutdown => "shutdown",
         }
     }
@@ -473,6 +533,54 @@ mod tests {
         let v = Value::parse(&line).unwrap();
         assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
         assert_eq!(v.get("id").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn parses_panic_and_health_ops() {
+        let spec = r#"{"tasks":[{"name":"boom","period":1000000}]}"#;
+        let req =
+            Request::parse(&format!(r#"{{"id":1,"op":"panic","spec":{spec}}}"#)).unwrap();
+        assert_eq!(req.endpoint(), "panic");
+        match &req.op {
+            Op::Panic { kind, spec } => {
+                assert_eq!(*kind, PanicKind::Unwind);
+                assert!(req.op.spec().is_some());
+                assert_eq!(spec.canonical_hash(), req.op.spec().unwrap().canonical_hash());
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+        let req = Request::parse(&format!(
+            r#"{{"id":1,"op":"panic","mode":"worker","spec":{spec}}}"#
+        ))
+        .unwrap();
+        assert!(matches!(
+            req.op,
+            Op::Panic {
+                kind: PanicKind::Worker,
+                ..
+            }
+        ));
+        assert!(Request::parse(
+            &format!(r#"{{"id":1,"op":"panic","mode":"abort","spec":{spec}}}"#)
+        )
+        .is_err());
+        assert!(Request::parse(r#"{"id":1,"op":"panic"}"#).is_err());
+
+        let req = Request::parse(r#"{"id":2,"op":"health"}"#).unwrap();
+        assert_eq!(req.op, Op::Health);
+        assert!(req.op.spec().is_none());
+    }
+
+    #[test]
+    fn internal_error_status_spelling() {
+        assert_eq!(Status::InternalError.as_str(), "internal_error");
+        let line = response_line(
+            &Value::Int(9),
+            Status::InternalError,
+            ResponseBody::Error("panic while processing".into()),
+        );
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("internal_error"));
     }
 
     #[test]

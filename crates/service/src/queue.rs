@@ -10,6 +10,15 @@
 //! fail with [`PushError::Closed`], pops keep returning queued items until
 //! the queue is empty, then return `None`. Every accepted item is
 //! therefore popped by exactly one consumer before the workers exit.
+//!
+//! Capacity-leak audit (robustness PR): a "permit" here is simply an
+//! occupied `VecDeque` slot — there is no separate semaphore to leak. A
+//! push either lands the item (slot freed by the worker's pop, even when
+//! the submitting connection has since died: replies to a dead client go
+//! to a closed channel and are dropped) or returns it to the caller in
+//! the `Err` payload. A connection handler that dies *before* `try_push`
+//! never touched the queue. The regression test lives in
+//! `tests/server_hardening.rs::vanishing_clients_leak_no_queue_capacity`.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};

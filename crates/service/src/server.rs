@@ -6,32 +6,80 @@
 //! echo correlates); batch mode reads every line, submits with
 //! backpressure, and restores input order before printing.
 //!
+//! The reader is hardened against hostile or broken clients
+//! ([`ServeOptions`]): a request line larger than the byte cap is
+//! answered with an error and discarded without buffering it, a line
+//! that stays incomplete past the read deadline closes the connection
+//! (slow-loris defense), and malformed bytes — including invalid UTF-8 —
+//! get an error response while the connection stays alive. A line left
+//! unterminated at EOF is treated as truncated and dropped, never
+//! parsed. Write failures and connection resets tear the connection
+//! down without leaking queue slots: accepted jobs always drain through
+//! the workers, replies to a dead client are simply discarded.
+//!
 //! Graceful shutdown ([`ServerHandle::shutdown`]) runs the drain
 //! sequence: stop admissions → wake the accept loop → half-close client
 //! read sides → drain the queue through the workers → join writers, so
 //! every accepted request still gets its terminal response.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crate::proto::Request;
+use disparity_model::json::Value;
+
+use crate::proto::{response_line, Request, ResponseBody, Status};
 use crate::service::{Reply, Service};
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Transport hardening knobs for [`serve_with`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Maximum bytes in one request line. Longer lines are answered with
+    /// an error and discarded as they stream in (never buffered whole);
+    /// the connection stays alive. Specs are a few KiB, so the default
+    /// (1 MiB) is generous.
+    pub max_request_bytes: usize,
+    /// Maximum wall time between the first byte of a request line and
+    /// its terminating newline. A client that dribbles bytes slower than
+    /// this (slow loris) gets an error response and the connection is
+    /// closed. Idle connections (no partial line pending) are unaffected.
+    /// `None` disables the deadline.
+    pub read_deadline: Option<Duration>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_request_bytes: 1 << 20,
+            read_deadline: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Poll granularity of the reader's timeout loop: how often a blocked
+/// read wakes to check the line deadline and the drain flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
 struct ServerShared {
     service: Arc<Service>,
+    options: ServeOptions,
     closing: AtomicBool,
-    /// Read-half clones of live client sockets, for shutdown half-close.
-    client_reads: Mutex<Vec<TcpStream>>,
-    /// Reader/writer threads of every connection ever accepted.
+    /// Read-half clones of live client sockets keyed by connection id,
+    /// for shutdown half-close. Readers remove their entry on exit, so
+    /// the map tracks only live connections.
+    client_reads: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    /// Reader/writer threads of live connections; finished handles are
+    /// reaped on each accept.
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    next_conn_id: AtomicU64,
 }
 
 /// A running TCP server; dropping the handle does *not* stop it — call
@@ -51,19 +99,35 @@ impl core::fmt::Debug for ServerShared {
     }
 }
 
-/// Binds `addr` (use port 0 for an ephemeral port) and starts accepting.
+/// Binds `addr` (use port 0 for an ephemeral port) and starts accepting
+/// with default [`ServeOptions`].
 ///
 /// # Errors
 ///
 /// Propagates the bind failure.
 pub fn serve(addr: &str, service: Arc<Service>) -> std::io::Result<ServerHandle> {
+    serve_with(addr, service, ServeOptions::default())
+}
+
+/// [`serve`] with explicit transport-hardening options.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve_with(
+    addr: &str,
+    service: Arc<Service>,
+    options: ServeOptions,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let shared = Arc::new(ServerShared {
         service,
+        options,
         closing: AtomicBool::new(false),
-        client_reads: Mutex::new(Vec::new()),
+        client_reads: Mutex::new(std::collections::HashMap::new()),
         conn_threads: Mutex::new(Vec::new()),
+        next_conn_id: AtomicU64::new(0),
     });
     let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
@@ -100,7 +164,7 @@ impl ServerHandle {
         }
         // 2. Half-close client read sides: readers see EOF, stop feeding
         //    the queue; anything already read is in flight and will drain.
-        for stream in lock(&self.shared.client_reads).drain(..) {
+        for (_, stream) in lock(&self.shared.client_reads).drain() {
             let _ = stream.shutdown(Shutdown::Read);
         }
         // 3. Close the intake and let the workers finish accepted jobs.
@@ -131,40 +195,146 @@ fn spawn_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    lock(&shared.client_reads).push(read_half);
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+    lock(&shared.client_reads).insert(conn_id, read_half);
     let (tx, rx) = channel::<Reply>();
     let reader_shared = Arc::clone(shared);
-    let reader =
-        std::thread::spawn(move || connection_reader(stream, &reader_shared.service, &tx));
+    let reader = std::thread::spawn(move || {
+        connection_reader(&stream, &reader_shared, &tx);
+        lock(&reader_shared.client_reads).remove(&conn_id);
+    });
     let writer = std::thread::spawn(move || connection_writer(write_half, &rx));
     let mut threads = lock(&shared.conn_threads);
+    // Reap handles of connections that already finished so a long-lived
+    // server doesn't accumulate one pair per past connection.
+    threads.retain(|h| !h.is_finished());
     threads.push(reader);
     threads.push(writer);
 }
 
+/// One full line was assembled (newline seen): parse and submit, or
+/// answer the parse error in place. Blank lines get no response, matching
+/// batch mode. Invalid UTF-8 is replaced lossily so it fails in the JSON
+/// parser with an ordinary error response instead of killing the
+/// connection.
+fn handle_line(bytes: &[u8], seq: &mut u64, service: &Arc<Service>, tx: &Sender<Reply>) {
+    let line = String::from_utf8_lossy(bytes);
+    if line.trim().is_empty() {
+        return;
+    }
+    *seq += 1;
+    match Request::parse(&line) {
+        Ok(request) => {
+            let _ = service.submit(request, *seq, tx);
+        }
+        Err(e) => Service::reply_parse_error(&e, *seq, tx),
+    }
+}
+
+/// Sends an out-of-band transport error (no request id is available —
+/// the offending line never parsed) without going through the queue.
+fn transport_error(seq: &mut u64, tx: &Sender<Reply>, message: &str) {
+    *seq += 1;
+    let line = response_line(&Value::Null, Status::Error, ResponseBody::Error(message.into()));
+    let _ = tx.send(Reply { seq: *seq, line });
+}
+
 /// Reads request lines until EOF: parse, then admission-controlled
 /// submit. Malformed lines and refused requests are answered immediately
-/// — exactly one response per line, always.
-fn connection_reader(stream: TcpStream, service: &Arc<Service>, tx: &Sender<Reply>) {
-    let reader = BufReader::new(stream);
+/// — exactly one response per non-blank line, always.
+///
+/// Hardened per [`ServeOptions`]: oversized lines are discarded as they
+/// stream in (one error response, connection stays alive), a line that
+/// stays unterminated past the read deadline gets an error response and
+/// the connection is closed, and a partial line at EOF is dropped as
+/// truncated rather than parsed.
+fn connection_reader(stream: &TcpStream, shared: &Arc<ServerShared>, tx: &Sender<Reply>) {
+    let service = &shared.service;
+    let options = &shared.options;
+    // A finite timeout turns blocking reads into a poll loop so the
+    // line deadline and shutdown are observed even when no bytes arrive.
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let mut stream = stream;
+    let mut chunk = [0u8; 8192];
+    let mut line: Vec<u8> = Vec::new();
     let mut seq = 0u64;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        seq += 1;
-        match Request::parse(&line) {
-            Ok(request) => {
-                let _ = service.submit(request, seq, tx);
+    // True while skipping the rest of an oversized line; the error
+    // response has already been sent.
+    let mut discarding = false;
+    // Set when the first byte of a line arrives, cleared at its newline;
+    // the read deadline measures this span.
+    let mut line_started: Option<Instant> = None;
+    loop {
+        match stream.read(&mut chunk) {
+            // EOF: a pending partial line is truncated — drop it, never
+            // parse a line the client did not finish.
+            Ok(0) => break,
+            Ok(n) => {
+                for &byte in &chunk[..n] {
+                    if byte == b'\n' {
+                        if discarding {
+                            discarding = false;
+                        } else {
+                            handle_line(&line, &mut seq, service, tx);
+                        }
+                        line.clear();
+                        line_started = None;
+                        continue;
+                    }
+                    if discarding {
+                        continue;
+                    }
+                    if line_started.is_none() {
+                        line_started = Some(Instant::now());
+                    }
+                    line.push(byte);
+                    if line.len() > options.max_request_bytes {
+                        disparity_obs::counter_add("service.oversized_lines", 1);
+                        transport_error(
+                            &mut seq,
+                            tx,
+                            &format!(
+                                "request line exceeds the {}-byte cap and was discarded",
+                                options.max_request_bytes
+                            ),
+                        );
+                        line.clear();
+                        discarding = true;
+                    }
+                }
             }
-            Err(e) => Service::reply_parse_error(&e, seq, tx),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            // Reset or other hard error: tear down; in-flight jobs still
+            // drain through the workers (their replies go nowhere).
+            Err(_) => break,
+        }
+        if let (Some(deadline), Some(started)) = (options.read_deadline, line_started) {
+            if started.elapsed() >= deadline {
+                disparity_obs::counter_add("service.read_deadline_closes", 1);
+                transport_error(
+                    &mut seq,
+                    tx,
+                    &format!(
+                        "request line not completed within {}ms; closing connection",
+                        deadline.as_millis()
+                    ),
+                );
+                let _ = stream.shutdown(Shutdown::Read);
+                break;
+            }
         }
     }
 }
 
 /// Writes replies in completion order, one line each, flushing per line
-/// so single-request clients never wait on a buffer.
+/// so single-request clients never wait on a buffer. A write failure
+/// (client reset) shuts the socket down so the reader exits promptly;
+/// remaining replies drain into the closed channel and are discarded.
 fn connection_writer(stream: TcpStream, rx: &Receiver<Reply>) {
     let mut out = std::io::BufWriter::new(stream);
     while let Ok(reply) = rx.recv() {
@@ -174,6 +344,7 @@ fn connection_writer(stream: TcpStream, rx: &Receiver<Reply>) {
             .and_then(|()| out.flush())
             .is_err()
         {
+            let _ = out.get_ref().shutdown(Shutdown::Both);
             break;
         }
     }
@@ -182,7 +353,9 @@ fn connection_writer(stream: TcpStream, rx: &Receiver<Reply>) {
 /// Batch mode: reads NDJSON requests from `input`, submits them with
 /// backpressure, and writes responses to `output` in **input order**.
 ///
-/// Returns the number of request lines handled.
+/// Returns the number of request lines handled. Invalid UTF-8 in a line
+/// is decoded lossily so it fails in the JSON parser with an ordinary
+/// error response rather than aborting the whole batch.
 ///
 /// # Errors
 ///
@@ -194,13 +367,19 @@ pub fn run_batch(
 ) -> std::io::Result<usize> {
     let (tx, rx) = channel::<Reply>();
     let mut submitted = 0u64;
-    for line in input.lines() {
-        let line = line?;
+    let mut raw: Vec<u8> = Vec::new();
+    loop {
+        raw.clear();
+        if input.read_until(b'\n', &mut raw)? == 0 {
+            break;
+        }
+        let line = String::from_utf8_lossy(&raw);
+        let line = line.trim_end_matches('\n');
         if line.trim().is_empty() {
             continue;
         }
         submitted += 1;
-        match Request::parse(&line) {
+        match Request::parse(line) {
             Ok(request) => {
                 let _ = service.submit_blocking(request, submitted, &tx);
             }

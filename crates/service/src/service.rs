@@ -7,8 +7,25 @@
 //! job produces exactly one [`Reply`] on its channel; refused jobs are
 //! answered inline by `submit` itself, so no request line is ever dropped
 //! silently.
+//!
+//! # Panic isolation, supervision, quarantine
+//!
+//! A panic while processing a request must not take a worker (or the
+//! fleet) down. Three layers enforce that:
+//!
+//! 1. every request runs inside [`Service::process_isolated`]'s
+//!    `catch_unwind` boundary — a panic becomes a structured
+//!    `internal_error` response carrying the spec's `canonical_hash` and
+//!    the panic payload, and the worker keeps serving;
+//! 2. a supervisor thread respawns any worker that dies anyway (a panic
+//!    that escapes the boundary), counted in `worker_respawns`;
+//! 3. a spec whose requests have panicked [`QUARANTINE_AFTER`] times is
+//!    quarantined by hash: further requests carrying it are answered
+//!    `rejected` immediately, so one poisonous spec cannot grind the pool
+//!    down while healthy traffic flows.
 
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -29,7 +46,7 @@ use disparity_sched::schedulability::analyze;
 use crate::cache::{GraphEntry, ShardedCache};
 use crate::proto::{
     encode_backward_result, encode_buffer_result, encode_disparity_result, response_line, Op,
-    ProtoError, Request, ResponseBody, Status,
+    PanicKind, ProtoError, Request, ResponseBody, Status,
 };
 use crate::queue::{BoundedQueue, PushError};
 
@@ -105,6 +122,48 @@ pub struct Counters {
     pub cache_hits: AtomicU64,
     /// Graph-cache misses (spec built and analyzed from scratch).
     pub cache_misses: AtomicU64,
+    /// Panics contained by the per-request isolation boundary (answered
+    /// `internal_error`) plus worker deaths (unanswered).
+    pub panics: AtomicU64,
+    /// Requests bounced because their spec is quarantined.
+    pub quarantined: AtomicU64,
+    /// Dead workers the supervisor replaced.
+    pub worker_respawns: AtomicU64,
+}
+
+/// Panics charged to one spec hash before it is quarantined.
+pub const QUARANTINE_AFTER: u32 = 2;
+
+/// Panic bookkeeping: how many times each spec hash has panicked. A spec
+/// at [`QUARANTINE_AFTER`] strikes is quarantined — requests carrying it
+/// are answered `rejected` without touching a worker's analysis path.
+#[derive(Debug, Default)]
+struct Quarantine {
+    strikes: Mutex<HashMap<u64, u32>>,
+}
+
+impl Quarantine {
+    fn is_quarantined(&self, hash: u64) -> bool {
+        lock(&self.strikes)
+            .get(&hash)
+            .is_some_and(|&n| n >= QUARANTINE_AFTER)
+    }
+
+    /// Records one panic; `true` when this strike quarantines the spec.
+    fn record(&self, hash: u64) -> bool {
+        let mut strikes = lock(&self.strikes);
+        let n = strikes.entry(hash).or_insert(0);
+        *n += 1;
+        *n == QUARANTINE_AFTER
+    }
+
+    /// Number of quarantined specs.
+    fn len(&self) -> usize {
+        lock(&self.strikes)
+            .values()
+            .filter(|&&n| n >= QUARANTINE_AFTER)
+            .count()
+    }
 }
 
 /// A snapshot of one counter (relaxed load; the counters are gauges).
@@ -126,6 +185,8 @@ pub struct Service {
     latency: Mutex<HashMap<&'static str, Histogram>>,
     on_shutdown: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+    quarantine: Quarantine,
 }
 
 impl core::fmt::Debug for Service {
@@ -139,7 +200,8 @@ impl core::fmt::Debug for Service {
 }
 
 impl Service {
-    /// Starts the worker pool and returns the shared service handle.
+    /// Starts the worker pool (and its supervisor) and returns the shared
+    /// service handle.
     #[must_use]
     pub fn start(config: ServiceConfig) -> Arc<Service> {
         let service = Arc::new(Service {
@@ -149,6 +211,8 @@ impl Service {
             latency: Mutex::new(HashMap::new()),
             on_shutdown: Mutex::new(None),
             workers: Mutex::new(Vec::new()),
+            supervisor: Mutex::new(None),
+            quarantine: Quarantine::default(),
             config,
         });
         let n = service.config.workers.max(1);
@@ -158,7 +222,49 @@ impl Service {
             handles.push(std::thread::spawn(move || svc.worker_loop()));
         }
         *lock(&service.workers) = handles;
+        let svc = Arc::clone(&service);
+        *lock(&service.supervisor) = Some(std::thread::spawn(move || svc.supervisor_loop()));
         service
+    }
+
+    /// The supervisor: polls the worker pool and replaces any thread that
+    /// died (a panic that escaped the per-request isolation boundary).
+    /// Exits once the drain starts — workers then finish on their own.
+    fn supervisor_loop(self: &Arc<Service>) {
+        const POLL: std::time::Duration = std::time::Duration::from_millis(20);
+        loop {
+            if self.queue.is_closed() {
+                return;
+            }
+            std::thread::sleep(POLL);
+            let mut dead = Vec::new();
+            {
+                let mut workers = lock(&self.workers);
+                let mut i = 0;
+                while i < workers.len() {
+                    if workers[i].is_finished() {
+                        dead.push(workers.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+                for _ in 0..dead.len() {
+                    // Racing a drain: finished workers may simply have
+                    // exited normally; never respawn into a closed queue.
+                    if self.queue.is_closed() {
+                        break;
+                    }
+                    bump(&self.counters.worker_respawns);
+                    disparity_obs::counter_add("service.worker.respawns", 1);
+                    let svc = Arc::clone(self);
+                    workers.push(std::thread::spawn(move || svc.worker_loop()));
+                }
+            }
+            // Collect the corpses (and their panic payloads) off-lock.
+            for handle in dead {
+                let _ = handle.join();
+            }
+        }
     }
 
     /// Registers the hook invoked when a client sends the `shutdown` op.
@@ -250,10 +356,15 @@ impl Service {
     }
 
     /// Drains and stops: closes the intake (late submissions get
-    /// `shutting_down`), lets the workers finish every accepted job, and
-    /// joins them. Idempotent.
+    /// `shutting_down`), retires the supervisor, lets the workers finish
+    /// every accepted job, and joins them. Idempotent.
     pub fn shutdown(&self) {
         self.queue.close();
+        // The supervisor exits on its next poll once the queue is closed;
+        // join it first so it cannot respawn into the drain.
+        if let Some(h) = lock(&self.supervisor).take() {
+            let _ = h.join();
+        }
         let handles = std::mem::take(&mut *lock(&self.workers));
         for h in handles {
             let _ = h.join();
@@ -275,11 +386,31 @@ impl Service {
 
     fn worker_loop(&self) {
         while let Some(job) = self.queue.pop() {
+            // The worker-kill test op escapes the isolation boundary by
+            // design: take the quarantine strike, then die. The request
+            // goes unanswered (its reply sender drops with the job) and
+            // the supervisor must replace this thread. Once the spec is
+            // quarantined, `process_isolated` answers `rejected` instead
+            // and no further workers die for it.
+            if let Op::Panic {
+                kind: PanicKind::Worker,
+                spec,
+            } = &job.request.op
+            {
+                let hash = spec.canonical_hash();
+                if !self.quarantine.is_quarantined(hash) {
+                    bump(&self.counters.panics);
+                    disparity_obs::counter_add("service.panics", 1);
+                    self.quarantine.record(hash);
+                    drop(job);
+                    panic!("deliberate worker death (op \"panic\", mode \"worker\")");
+                }
+            }
             let started = Instant::now();
             let mut span = disparity_obs::span("service.request");
             span.attr("endpoint", job.request.endpoint());
             let is_shutdown = matches!(job.request.op, Op::Shutdown);
-            let line = self.process(&job.request);
+            let line = self.process_isolated(&job.request);
             drop(span);
             self.record_latency(job.request.endpoint(), started);
             let _ = job.reply.send(Reply {
@@ -307,6 +438,56 @@ impl Service {
                 "service.latency",
                 disparity_model::time::Duration::from_nanos(nanos),
             );
+        }
+    }
+
+    /// [`Service::process`] behind the panic-isolation boundary: the
+    /// quarantine gate in front, `catch_unwind` around the processing.
+    /// A panic yields a structured `internal_error` response (spec
+    /// `canonical_hash` + panic payload in the message) instead of a dead
+    /// worker; the panicking spec takes a quarantine strike.
+    ///
+    /// Workers route every job through here. `AssertUnwindSafe` is sound
+    /// because all of the service's shared state is panic-tolerant: every
+    /// mutex acquisition recovers from poisoning (`lock`), counters are
+    /// atomics, and the graph cache only ever holds fully-built entries.
+    #[must_use]
+    pub fn process_isolated(&self, request: &Request) -> String {
+        let hash = request.op.spec().map(SystemSpec::canonical_hash);
+        if let Some(hash) = hash {
+            if self.quarantine.is_quarantined(hash) {
+                bump(&self.counters.quarantined);
+                disparity_obs::counter_add("service.quarantine.rejected", 1);
+                return response_line(
+                    &request.id,
+                    Status::Rejected,
+                    ResponseBody::Error(format!(
+                        "spec {hash:016x} is quarantined after repeated panics"
+                    )),
+                );
+            }
+        }
+        match std::panic::catch_unwind(AssertUnwindSafe(|| self.process(request))) {
+            Ok(line) => line,
+            Err(payload) => {
+                bump(&self.counters.panics);
+                disparity_obs::counter_add("service.panics", 1);
+                if let Some(hash) = hash {
+                    if self.quarantine.record(hash) {
+                        disparity_obs::counter_add("service.quarantine.added", 1);
+                    }
+                }
+                let spec_text =
+                    hash.map_or_else(|| "none".to_string(), |h| format!("{h:016x}"));
+                response_line(
+                    &request.id,
+                    Status::InternalError,
+                    ResponseBody::Error(format!(
+                        "panic while processing (spec {spec_text}): {}",
+                        panic_message(payload.as_ref())
+                    )),
+                )
+            }
         }
     }
 
@@ -350,6 +531,15 @@ impl Service {
         match &request.op {
             Op::Ping => Ok(json::object(vec![("pong", Value::Bool(true))])),
             Op::Stats => Ok(self.stats_json()),
+            Op::Health => Ok(self.health_json()),
+            Op::Panic { kind, spec } => {
+                // Testing aid for the isolation layer; the panic is caught
+                // by `process_isolated` (mode "unwind") or already handled
+                // in `worker_loop` (mode "worker" — reaching this arm via
+                // a direct `process` call still panics, by design).
+                let hash = spec.canonical_hash();
+                panic!("deliberate panic (op \"panic\", mode {kind:?}, spec {hash:016x})");
+            }
             Op::Sleep { millis } => {
                 std::thread::sleep(std::time::Duration::from_millis(*millis));
                 Ok(json::object(vec![(
@@ -485,6 +675,9 @@ impl Service {
             ("errors", uint(load(&c.errors))),
             ("cache_hits", uint(load(&c.cache_hits))),
             ("cache_misses", uint(load(&c.cache_misses))),
+            ("panics", uint(load(&c.panics))),
+            ("quarantined", uint(load(&c.quarantined))),
+            ("worker_respawns", uint(load(&c.worker_respawns))),
         ]);
         let mut latency: Vec<(String, Value)> = lock(&self.latency)
             .iter()
@@ -508,8 +701,51 @@ impl Service {
             ("queue_depth", Value::from(self.queue.len())),
             ("queue_capacity", Value::from(self.queue.capacity())),
             ("cached_graphs", Value::from(self.cache.len())),
+            ("workers_configured", Value::from(self.config.workers.max(1))),
+            ("workers_alive", Value::from(self.workers_alive())),
+            ("quarantined_specs", Value::from(self.quarantine.len())),
             ("latency_us", Value::Object(latency)),
         ])
+    }
+
+    /// Workers currently running (a gauge; a respawn in flight may
+    /// briefly read one low).
+    #[must_use]
+    pub fn workers_alive(&self) -> usize {
+        lock(&self.workers)
+            .iter()
+            .filter(|h| !h.is_finished())
+            .count()
+    }
+
+    /// The `health` payload: pool liveness, supervision and quarantine
+    /// state. Everything a fleet probe needs, nothing request-scoped.
+    #[must_use]
+    pub fn health_json(&self) -> Value {
+        json::object(vec![
+            ("workers_configured", Value::from(self.config.workers.max(1))),
+            ("workers_alive", Value::from(self.workers_alive())),
+            (
+                "worker_respawns",
+                uint(load(&self.counters.worker_respawns)),
+            ),
+            ("panics", uint(load(&self.counters.panics))),
+            ("quarantined_specs", Value::from(self.quarantine.len())),
+            ("queue_depth", Value::from(self.queue.len())),
+            ("draining", Value::Bool(self.queue.is_closed())),
+        ])
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// string literal or a formatted message; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
     }
 }
 

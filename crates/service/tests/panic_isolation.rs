@@ -1,0 +1,234 @@
+//! Panic isolation, worker supervision, and spec quarantine.
+//!
+//! The `panic` op is the deterministic trigger: `mode:"unwind"` panics
+//! inside the per-request `catch_unwind` boundary (structured
+//! `internal_error`, worker survives), `mode:"worker"` kills the worker
+//! thread itself (no response for that request; the supervisor respawns).
+//! Either way the spec takes a quarantine strike; after two strikes every
+//! further request naming that spec is answered `rejected` immediately.
+//!
+//! Obs stays disabled here; the recorder-asserting shutdown test lives in
+//! its own binary (the recorder is global per process).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use disparity_core::disparity::AnalysisConfig;
+use disparity_core::engine::AnalysisEngine;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::TaskId;
+use disparity_model::json::Value;
+use disparity_model::spec::SystemSpec;
+use disparity_rng::rngs::StdRng;
+use disparity_sched::wcrt::response_times;
+use disparity_service::proto::{
+    encode_disparity_result, response_line, ResponseBody, Status,
+};
+use disparity_service::server::{serve, ServerHandle};
+use disparity_service::service::{Service, ServiceConfig, QUARANTINE_AFTER};
+use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
+
+fn seeded_workload(seed: u64) -> (CauseEffectGraph, TaskId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = schedulable_funnel_system(&FunnelConfig::default(), &mut rng, 64)
+        .expect("funnel workload generates");
+    let sink = *graph.sinks().first().expect("funnel has a sink");
+    (graph, sink)
+}
+
+fn expected_line(graph: &CauseEffectGraph, sink: TaskId, id: i64) -> String {
+    let rt = response_times(graph).expect("schedulable workload");
+    let report = AnalysisEngine::new(graph, &rt)
+        .worst_case_disparity(sink, AnalysisConfig::default())
+        .expect("direct analysis succeeds");
+    response_line(
+        &Value::Int(id),
+        Status::Ok,
+        ResponseBody::Result(encode_disparity_result(graph, &report)),
+    )
+}
+
+fn disparity_request(graph: &CauseEffectGraph, sink: TaskId, id: i64) -> String {
+    let spec = SystemSpec::from_graph(graph);
+    format!(
+        "{{\"id\":{id},\"op\":\"disparity\",\"task\":{},\"spec\":{}}}",
+        Value::from(graph.task(sink).name()),
+        spec.to_json()
+    )
+}
+
+fn panic_request(graph: &CauseEffectGraph, mode: &str, id: i64) -> String {
+    let spec = SystemSpec::from_graph(graph);
+    format!(
+        "{{\"id\":{id},\"op\":\"panic\",\"mode\":\"{mode}\",\"spec\":{}}}",
+        spec.to_json()
+    )
+}
+
+fn roundtrip(handle: &ServerHandle, lines: &[String]) -> Vec<String> {
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    for line in lines {
+        stream.write_all(line.as_bytes()).expect("write");
+        stream.write_all(b"\n").expect("write newline");
+    }
+    stream.flush().expect("flush");
+    let reader = BufReader::new(stream);
+    reader
+        .lines()
+        .take(lines.len())
+        .map(|l| l.expect("read response"))
+        .collect()
+}
+
+fn start_server(config: ServiceConfig) -> ServerHandle {
+    let service = Service::start(config);
+    serve("127.0.0.1:0", service).expect("bind loopback")
+}
+
+fn status_of(line: &str) -> String {
+    Value::parse(line)
+        .expect("response is valid JSON")
+        .get("status")
+        .and_then(Value::as_str)
+        .expect("status field")
+        .to_string()
+}
+
+fn error_of(line: &str) -> String {
+    Value::parse(line)
+        .expect("response is valid JSON")
+        .get("error")
+        .and_then(Value::as_str)
+        .expect("error field")
+        .to_string()
+}
+
+#[test]
+fn unwind_panic_answers_internal_error_and_quarantines_after_two() {
+    let handle = start_server(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let (poison, _) = seeded_workload(51);
+    let hash = SystemSpec::from_graph(&poison).canonical_hash();
+    let hash_hex = format!("{hash:016x}");
+
+    // Strikes 1..=QUARANTINE_AFTER: contained panics, structured errors.
+    for strike in 1..=QUARANTINE_AFTER {
+        let got = roundtrip(&handle, &[panic_request(&poison, "unwind", 1)]);
+        assert_eq!(status_of(&got[0]), "internal_error", "strike {strike}");
+        let err = error_of(&got[0]);
+        assert!(
+            err.contains(&hash_hex),
+            "error names the spec hash (strike {strike}): {err}"
+        );
+        assert!(
+            err.contains("deliberate panic"),
+            "error carries the panic payload (strike {strike}): {err}"
+        );
+    }
+
+    // Strike threshold reached: the spec is quarantined, and every
+    // further request naming it — panic op or real analysis — bounces
+    // without reaching the engine (or the panic site).
+    let got = roundtrip(&handle, &[panic_request(&poison, "unwind", 2)]);
+    assert_eq!(status_of(&got[0]), "rejected");
+    assert!(error_of(&got[0]).contains("quarantined"));
+    let poison_sink = *poison.sinks().first().unwrap();
+    let got = roundtrip(&handle, &[disparity_request(&poison, poison_sink, 3)]);
+    assert_eq!(status_of(&got[0]), "rejected", "analysis of a quarantined spec bounces");
+
+    // A healthy spec is unaffected: byte-identical to the direct run.
+    let (healthy, sink) = seeded_workload(52);
+    let want = expected_line(&healthy, sink, 4);
+    let got = roundtrip(&handle, &[disparity_request(&healthy, sink, 4)]);
+    assert_eq!(got, [want]);
+
+    // The panics never killed a worker.
+    let service = handle.service();
+    assert_eq!(service.workers_alive(), 2, "both workers alive");
+
+    // Counters and stats surface all of it.
+    let got = roundtrip(&handle, &["{\"id\":9,\"op\":\"stats\"}".to_string()]);
+    let v = Value::parse(&got[0]).unwrap();
+    let result = v.get("result").expect("stats payload");
+    let counters = result.get("counters").expect("counters object");
+    assert_eq!(
+        counters.get("panics").and_then(Value::as_i64),
+        Some(i64::from(QUARANTINE_AFTER)),
+    );
+    assert!(counters.get("quarantined").and_then(Value::as_i64).unwrap() >= 2);
+    assert_eq!(result.get("quarantined_specs").and_then(Value::as_i64), Some(1));
+    assert_eq!(result.get("workers_alive").and_then(Value::as_i64), Some(2));
+    handle.shutdown();
+}
+
+#[test]
+fn dead_worker_is_respawned_and_spec_quarantined() {
+    let handle = start_server(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let service = handle.service();
+    let (poison, _) = seeded_workload(61);
+
+    // Two worker-killing requests. A killed worker takes the in-flight
+    // job with it, so no response comes back — read with a timeout and
+    // expect silence, then wait for the supervisor to restore the pool.
+    for strike in 1..=QUARANTINE_AFTER {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        stream
+            .write_all(format!("{}\n", panic_request(&poison, "worker", 1)).as_bytes())
+            .unwrap();
+        let mut buf = [0u8; 64];
+        match std::io::Read::read(&mut stream, &mut buf) {
+            Ok(0) => {}
+            Ok(n) => panic!(
+                "worker-death request must go unanswered, got {:?}",
+                String::from_utf8_lossy(&buf[..n])
+            ),
+            Err(e) => assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ),
+                "unexpected read error: {e}"
+            ),
+        }
+
+        // Supervisor notices the corpse and respawns within its poll loop.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while service.workers_alive() < 2 {
+            assert!(
+                Instant::now() < deadline,
+                "supervisor did not respawn the worker (strike {strike})"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    // Quarantined now: the same op is answered `rejected` — and answered
+    // at all, proving the pool survived two worker deaths.
+    let got = roundtrip(&handle, &[panic_request(&poison, "worker", 2)]);
+    assert_eq!(status_of(&got[0]), "rejected");
+    assert!(error_of(&got[0]).contains("quarantined"));
+
+    // Health reflects the supervision history.
+    let got = roundtrip(&handle, &["{\"id\":7,\"op\":\"health\"}".to_string()]);
+    let v = Value::parse(&got[0]).unwrap();
+    assert_eq!(status_of(&got[0]), "ok");
+    let health = v.get("result").expect("health payload");
+    assert_eq!(health.get("workers_configured").and_then(Value::as_i64), Some(2));
+    assert_eq!(health.get("workers_alive").and_then(Value::as_i64), Some(2));
+    assert_eq!(
+        health.get("worker_respawns").and_then(Value::as_i64),
+        Some(i64::from(QUARANTINE_AFTER)),
+    );
+    assert_eq!(health.get("quarantined_specs").and_then(Value::as_i64), Some(1));
+    assert_eq!(health.get("draining"), Some(&Value::Bool(false)));
+    handle.shutdown();
+}

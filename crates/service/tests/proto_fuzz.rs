@@ -1,0 +1,224 @@
+//! Deterministic protocol fuzzing: seeded byte mutations of valid NDJSON
+//! requests must never panic the service — every non-blank line is
+//! answered (a parse error is an answer) or the connection closes
+//! cleanly, and the worker pool survives untouched.
+//!
+//! Determinism: all randomness flows from fixed `StdRng` seeds
+//! (xoshiro256**), so a failure here reproduces byte-for-byte. Crashing
+//! inputs graduate into `tests/corpus/` (see its README) and are
+//! replayed by `corpus_replays_cleanly`.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+
+use disparity_model::json::Value;
+use disparity_model::spec::SystemSpec;
+use disparity_rng::rngs::StdRng;
+use disparity_rng::Rng;
+use disparity_service::proto::{Op, Request};
+use disparity_service::server::{run_batch, serve_with, ServeOptions};
+use disparity_service::service::{Service, ServiceConfig};
+use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
+
+/// Valid request lines the mutator starts from: every op family except
+/// the ones that stall or stop the service (`sleep`, `shutdown`,
+/// `panic`), which the mutator also filters out post-mutation.
+fn base_lines() -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(17);
+    let graph = schedulable_funnel_system(&FunnelConfig::default(), &mut rng, 64)
+        .expect("funnel workload generates");
+    let sink = *graph.sinks().first().expect("funnel has a sink");
+    let task = Value::from(graph.task(sink).name());
+    let spec = SystemSpec::from_graph(&graph).to_json();
+    vec![
+        "{\"id\":1,\"op\":\"ping\"}".to_string(),
+        "{\"id\":\"fuzz\",\"op\":\"stats\"}".to_string(),
+        "{\"id\":null,\"op\":\"health\"}".to_string(),
+        "{\"id\":2,\"op\":\"ping\",\"deadline_ms\":5}".to_string(),
+        format!("{{\"id\":3,\"op\":\"disparity\",\"task\":{task},\"spec\":{spec}}}"),
+        format!("{{\"id\":4,\"op\":\"backward\",\"task\":{task},\"spec\":{spec}}}"),
+        format!("{{\"id\":5,\"op\":\"buffer\",\"spec\":{spec}}}"),
+    ]
+}
+
+/// Applies 1–4 random byte-level mutations: flips, insertions,
+/// deletions, truncations, slice duplications, and random overwrites.
+fn mutate(rng: &mut StdRng, base: &str) -> Vec<u8> {
+    let mut bytes = base.as_bytes().to_vec();
+    let n_mutations = rng.gen_range(1..=4u64);
+    for _ in 0..n_mutations {
+        if bytes.is_empty() {
+            bytes.push(b'{');
+        }
+        let len = bytes.len();
+        match rng.gen_range(0..6u64) {
+            0 => {
+                let i = rng.gen_range(0..len as u64) as usize;
+                bytes[i] ^= (rng.gen_range(1..=255u64)) as u8;
+            }
+            1 => {
+                let i = rng.gen_range(0..=len as u64) as usize;
+                bytes.insert(i, (rng.gen_range(0..=255u64)) as u8);
+            }
+            2 => {
+                let i = rng.gen_range(0..len as u64) as usize;
+                let cut = rng.gen_range(1..=16u64) as usize;
+                bytes.drain(i..(i + cut).min(len));
+            }
+            3 => {
+                let i = rng.gen_range(0..=len as u64) as usize;
+                bytes.truncate(i);
+            }
+            4 => {
+                let i = rng.gen_range(0..len as u64) as usize;
+                let span = rng.gen_range(1..=32u64) as usize;
+                let slice: Vec<u8> = bytes[i..(i + span).min(len)].to_vec();
+                let at = rng.gen_range(0..=bytes.len() as u64) as usize;
+                for (k, b) in slice.into_iter().enumerate() {
+                    bytes.insert(at + k, b);
+                }
+            }
+            _ => {
+                let i = rng.gen_range(0..len as u64) as usize;
+                let span = (rng.gen_range(1..=8u64) as usize).min(len - i);
+                for b in &mut bytes[i..i + span] {
+                    *b = (rng.gen_range(0..=255u64)) as u8;
+                }
+            }
+        }
+        if bytes.len() > 4096 {
+            bytes.truncate(4096);
+        }
+    }
+    bytes
+}
+
+/// `true` when the (lossily decoded) line parses to an op that would
+/// stall the fuzz run or stop the service — those ops have their own
+/// dedicated tests; fuzzing is about hostile bytes, not valid control
+/// requests.
+fn is_control_op(bytes: &[u8]) -> bool {
+    let text = String::from_utf8_lossy(bytes);
+    match Request::parse(&text) {
+        Ok(req) => matches!(
+            req.op,
+            Op::Sleep { .. } | Op::Shutdown | Op::Panic { .. }
+        ),
+        Err(_) => false,
+    }
+}
+
+fn assert_batch_survives(service: &Arc<Service>, input: &[u8], context: &str) {
+    let mut out = Vec::new();
+    let answered =
+        run_batch(service, &mut &input[..], &mut out).unwrap_or_else(|e| {
+            panic!("batch I/O must not fail ({context}): {e}");
+        });
+    let text = String::from_utf8(out).expect("responses are valid UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), answered, "one response line per answer ({context})");
+    for line in lines {
+        let v = Value::parse(line)
+            .unwrap_or_else(|e| panic!("response must be valid JSON ({context}): {e} in {line}"));
+        assert!(
+            v.get("status").and_then(Value::as_str).is_some(),
+            "response carries a status ({context}): {line}"
+        );
+    }
+}
+
+#[test]
+fn ten_thousand_seeded_mutations_never_panic_the_service() {
+    let service = Service::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let bases = base_lines();
+    let mut rng = StdRng::seed_from_u64(0xF022_DEAD_BEEF);
+    const ITERATIONS: usize = 10_000;
+    const CHUNK: usize = 500;
+    let mut produced = 0usize;
+    let mut skipped = 0usize;
+    while produced + skipped < ITERATIONS {
+        let mut input: Vec<u8> = Vec::new();
+        for _ in 0..CHUNK {
+            if produced + skipped >= ITERATIONS {
+                break;
+            }
+            let base = &bases[rng.gen_range(0..bases.len() as u64) as usize];
+            let mutant = mutate(&mut rng, base);
+            if is_control_op(&mutant) {
+                skipped += 1;
+                continue;
+            }
+            input.extend_from_slice(&mutant);
+            input.push(b'\n');
+            produced += 1;
+        }
+        assert_batch_survives(&service, &input, &format!("chunk ending at {produced}"));
+    }
+    assert!(
+        skipped < ITERATIONS / 100,
+        "mutations almost never produce valid control ops (got {skipped})"
+    );
+    // The pool survived all of it.
+    assert_eq!(service.workers_alive(), 2, "fuzzing never killed a worker");
+    assert_batch_survives(&service, b"{\"id\":\"post\",\"op\":\"ping\"}\n", "post-fuzz ping");
+    service.shutdown();
+}
+
+#[test]
+fn corpus_replays_cleanly() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let service = Service::start(ServiceConfig::default());
+    let mut replayed = 0usize;
+    for entry in std::fs::read_dir(&corpus).expect("corpus dir exists") {
+        let path = entry.expect("dir entry").path();
+        let is_input = matches!(
+            path.extension().and_then(|e| e.to_str()),
+            Some("txt" | "bin")
+        );
+        if !is_input {
+            continue;
+        }
+        let bytes = std::fs::read(&path).expect("read corpus file");
+        assert_batch_survives(&service, &bytes, &path.display().to_string());
+        replayed += 1;
+    }
+    assert!(replayed >= 3, "corpus files are present and replayed");
+    assert_eq!(service.workers_alive(), 4, "corpus never killed a worker");
+    service.shutdown();
+}
+
+#[test]
+fn seeded_tcp_garbage_leaves_the_server_healthy() {
+    let service = Service::start(ServiceConfig::default());
+    let handle = serve_with("127.0.0.1:0", service, ServeOptions::default())
+        .expect("bind loopback");
+    let mut rng = StdRng::seed_from_u64(0xBAD_B17E5);
+    for conn in 0..50 {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        let n = rng.gen_range(1..=256u64) as usize;
+        let mut junk: Vec<u8> = (0..n).map(|_| (rng.gen_range(0..=255u64)) as u8).collect();
+        if conn % 2 == 0 {
+            junk.push(b'\n');
+        }
+        stream.write_all(&junk).expect("write junk");
+        stream.shutdown(Shutdown::Write).expect("half-close");
+        // Whatever comes back (error responses or nothing), the server
+        // must close our side cleanly rather than wedge or die.
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+    }
+    // Still serving, pool intact.
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.write_all(b"{\"id\":\"alive\",\"op\":\"ping\"}\n").expect("write ping");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let v = Value::parse(response.trim()).expect("valid JSON response");
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(handle.service().workers_alive(), 4);
+    handle.shutdown();
+}

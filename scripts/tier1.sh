@@ -97,4 +97,61 @@ test -s target/service-metrics.json
 grep -q '"disparity-obs/metrics-v1"' target/service-metrics.json
 grep -q 'service.cache' target/service-metrics.json
 
+echo "==> protocol fuzz smoke (10k seeded mutations + corpus replay)"
+cargo test -p disparity-service --release --test proto_fuzz -q
+
+echo "==> chaos smoke (chaosproxy + retrying loadgen, every fault kind once)"
+ensure_fresh chaosproxy disparity-experiments
+rm -f target/chaos-*.json
+./target/release/serve --addr 127.0.0.1:7416 --workers 2 --queue 16 &
+CHAOS_SERVE_PID=$!
+tries=0
+until ./target/release/loadgen --addr 127.0.0.1:7416 \
+        --spec specs/waters_clean.json --requests 1 --connections 1 \
+        >/dev/null 2>&1; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 25 ]; then
+        echo "tier1: serve did not come up on 127.0.0.1:7416" >&2
+        kill "$CHAOS_SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.2
+done
+port=7420
+for kind in none delay split garbage truncate reset; do
+    ./target/release/chaosproxy --listen "127.0.0.1:$port" \
+        --upstream 127.0.0.1:7416 --kind "$kind" --seed 7 \
+        > "target/chaosproxy-$kind.log" &
+    PROXY_PID=$!
+    tries=0
+    until grep -q 'listening on' "target/chaosproxy-$kind.log"; do
+        tries=$((tries + 1))
+        if [ "$tries" -ge 25 ]; then
+            echo "tier1: chaosproxy ($kind) did not come up" >&2
+            kill "$PROXY_PID" "$CHAOS_SERVE_PID" 2>/dev/null || true
+            exit 1
+        fi
+        sleep 0.2
+    done
+    # Distinct --soak-tag per kind -> distinct poison spec, so the
+    # quarantine-after-two gate re-proves itself under every fault kind.
+    if ! ./target/release/loadgen --addr "127.0.0.1:$port" \
+            --spec specs/waters_clean.json --requests 24 --connections 3 \
+            --chaos-soak --retries 6 --backoff-ms 5 --soak-tag "$kind" \
+            --direct-addr 127.0.0.1:7416 --out "target/chaos-$kind.json"; then
+        echo "tier1: chaos soak failed under kind '$kind'" >&2
+        kill "$PROXY_PID" "$CHAOS_SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    kill "$PROXY_PID" 2>/dev/null || true
+    wait "$PROXY_PID" 2>/dev/null || true
+    test -s "target/chaos-$kind.json"
+    grep -q '"passed": *true' "target/chaos-$kind.json"
+    port=$((port + 1))
+done
+./target/release/loadgen --addr 127.0.0.1:7416 \
+    --spec specs/waters_clean.json --requests 1 --connections 1 \
+    --shutdown >/dev/null
+wait "$CHAOS_SERVE_PID"
+
 echo "tier1: all gates passed"
