@@ -19,6 +19,13 @@
 //!   per-request isolation boundary, which re-surfaces the payload as a
 //!   structured `internal_error` and feeds the quarantine ledger. Any
 //!   new site needs the same story and an allowlist entry.
+//! * **`hot-path`** — lock acquisition (`Mutex`/`RwLock`/`.lock(`) and
+//!   heap-allocating calls (`Box::new`, `Vec::new`, `vec![`, `format!`,
+//!   `.to_string(`, …) inside regions bracketed by the comment markers
+//!   `// srclint: hot-path-begin` and `// srclint: hot-path-end`. The
+//!   flight recorder's wait-free record path declares such a region: its
+//!   "never locks, never allocates" guarantee is load-bearing (a worker
+//!   records mid-request) and this rule keeps it honest.
 //!
 //! Justified exceptions live in a committed allowlist file
 //! ([`Allowlist::parse`]); every entry must carry a written reason.
@@ -39,15 +46,18 @@ pub enum Rule {
     WallClock,
     /// Panic-swallowing `catch_unwind` boundaries in library code.
     CatchUnwind,
+    /// Locks or heap allocation inside a declared hot-path region.
+    HotPath,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 5] = [
         Rule::Panic,
         Rule::TimeCast,
         Rule::WallClock,
         Rule::CatchUnwind,
+        Rule::HotPath,
     ];
 
     /// The stable rule name used in reports and allowlist entries.
@@ -58,6 +68,7 @@ impl Rule {
             Rule::TimeCast => "time-cast",
             Rule::WallClock => "wall-clock",
             Rule::CatchUnwind => "catch-unwind",
+            Rule::HotPath => "hot-path",
         }
     }
 
@@ -225,6 +236,37 @@ fn unwind_catch_patterns() -> [String; 1] {
     [["catch_un", "wind"].concat()]
 }
 
+/// Locking and allocating constructs banned between hot-path markers.
+/// Coarse on purpose: a hot-path region is a handful of lines, and a
+/// false positive there is a prompt to justify the call in review, not
+/// a nuisance.
+fn hot_path_patterns() -> [String; 13] {
+    [
+        [".lo", "ck("].concat(),
+        ["Mut", "ex"].concat(),
+        ["RwL", "ock"].concat(),
+        ["Box::", "new"].concat(),
+        ["Vec::", "new"].concat(),
+        ["ve", "c!["].concat(),
+        ["for", "mat!("].concat(),
+        [".to_st", "ring("].concat(),
+        [".to_ow", "ned("].concat(),
+        ["Str", "ing::"].concat(),
+        [".clo", "ne("].concat(),
+        [".coll", "ect("].concat(),
+        [".pu", "sh("].concat(),
+    ]
+}
+
+/// Comment markers opening/closing a hot-path region. Assembled from
+/// split literals so the scanner never sees its own markers as a region.
+fn hot_path_markers() -> (String, String) {
+    (
+        ["// srclint: hot-path-", "begin"].concat(),
+        ["// srclint: hot-path-", "end"].concat(),
+    )
+}
+
 const TIME_MARKERS: [&str; 7] = [
     "_ns", "nanos", "period", "duration", "instant", "wcet", "bcet",
 ];
@@ -234,13 +276,17 @@ const TIME_MARKERS: [&str; 7] = [
 /// fires inside the deterministic crates).
 ///
 /// Lines inside `#[cfg(test)]`-gated blocks and comment lines are skipped;
-/// trailing `//` comments are stripped before matching.
+/// trailing `//` comments are stripped before matching. Hot-path marker
+/// comments are recognized *before* the comment skip, since the markers
+/// are themselves comment lines.
 #[must_use]
 pub fn scan_source(rel_path: &str, text: &str) -> Vec<Finding> {
     let panic_pats = panic_patterns();
     let cast_pats = cast_patterns();
     let clock_pats = wall_clock_patterns();
     let unwind_pats = unwind_catch_patterns();
+    let hot_pats = hot_path_patterns();
+    let (hot_begin, hot_end) = hot_path_markers();
     let deterministic = crate_of(rel_path)
         .map(|name| DETERMINISTIC_CRATES.contains(&name))
         .unwrap_or(false);
@@ -250,9 +296,19 @@ pub fn scan_source(rel_path: &str, text: &str) -> Vec<Finding> {
     // Depth at which the innermost #[cfg(test)] block was entered.
     let mut test_entry: Option<i64> = None;
     let mut pending_cfg_test = false;
+    let mut hot_path = false;
 
     for (idx, raw) in text.lines().enumerate() {
         let trimmed = raw.trim();
+        // Markers may carry trailing prose ("— wait-free, no locks").
+        if trimmed.starts_with(&*hot_begin) {
+            hot_path = true;
+            continue;
+        }
+        if trimmed.starts_with(&*hot_end) {
+            hot_path = false;
+            continue;
+        }
         if trimmed.starts_with("//") {
             continue;
         }
@@ -317,6 +373,9 @@ pub fn scan_source(rel_path: &str, text: &str) -> Vec<Finding> {
             Rule::CatchUnwind,
             unwind_pats.iter().any(|p| code.contains(&**p)),
         );
+        if hot_path {
+            check(Rule::HotPath, hot_pats.iter().any(|p| code.contains(&**p)));
+        }
 
         depth += opens - closes;
     }
@@ -561,6 +620,33 @@ mod tests {
             assert_eq!(findings[0].rule, Rule::CatchUnwind);
         }
         assert_eq!(Rule::from_str_opt("catch-unwind"), Some(Rule::CatchUnwind));
+    }
+
+    #[test]
+    fn hot_path_regions_deny_locks_and_allocation() {
+        let lock = pat([".lo", "ck("]);
+        let push = pat([".pu", "sh("]);
+        let (begin, end) = hot_path_markers();
+        let src = format!(
+            "fn ok(v: &mut Vec<u8>) {{ v{push}1); }}\n\
+             {begin} — wait-free region\n\
+             fn hot(m: &std::sync::Mutex<Vec<u8>>) {{\n\
+                 let mut g = m{lock}).unwrap_or_else(|e| e.into_inner());\n\
+                 g{push}2);\n\
+             }}\n\
+             {end}\n\
+             fn also_ok(v: &mut Vec<u8>) {{ v{push}3); }}\n"
+        );
+        let findings = scan_source("crates/obs/src/x.rs", &src);
+        // Outside the markers nothing fires; inside, the signature's
+        // `Mutex`, the `.lock(`, and the `.push(` each flag their line.
+        let hot: Vec<_> = findings.iter().filter(|f| f.rule == Rule::HotPath).collect();
+        assert_eq!(
+            hot.iter().map(|f| f.line).collect::<Vec<_>>(),
+            vec![3, 4, 5],
+            "{findings:?}"
+        );
+        assert_eq!(Rule::from_str_opt("hot-path"), Some(Rule::HotPath));
     }
 
     #[test]

@@ -4,8 +4,13 @@
 //! one relaxed atomic load — single-digit nanoseconds, invisible next to
 //! the analysis and simulation work it annotates. The enabled numbers
 //! quantify what turning recording on costs per span.
+//!
+//! The flight recorder has no off switch, so its `record` cost is paid
+//! on every request the service handles; `obs_flight` pins it (with and
+//! without an active trace context) under the benchgate regression gate.
 
 use disparity_bench::{criterion_group, criterion_main, Criterion};
+use disparity_obs::flight::{self, EventKind};
 
 fn bench_disabled_probes(c: &mut Criterion) {
     disparity_obs::disable();
@@ -36,5 +41,18 @@ fn bench_enabled_probes(c: &mut Criterion) {
     disparity_obs::reset();
 }
 
-criterion_group!(obs, bench_disabled_probes, bench_enabled_probes);
+fn bench_flight_recorder(c: &mut Criterion) {
+    flight::init();
+    let mut group = c.benchmark_group("obs_flight");
+    group.bench_function("record", |b| {
+        b.iter(|| flight::record(EventKind::Accept, 0))
+    });
+    group.bench_function("record_traced", |b| {
+        let _scope = disparity_obs::trace_scope(0x1234_5678_9abc_def0);
+        b.iter(|| flight::record(EventKind::Accept, 0));
+    });
+    group.finish();
+}
+
+criterion_group!(obs, bench_disabled_probes, bench_enabled_probes, bench_flight_recorder);
 criterion_main!(obs);

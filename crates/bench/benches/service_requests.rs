@@ -11,6 +11,14 @@
 //! service response is asserted byte-identical to encoding a direct
 //! engine run.
 //!
+//! The `warm_cache_live` / `ping_live` variants run the same requests
+//! against a service with the live-telemetry machinery fully armed: the
+//! `--metrics-interval` window-rotation thread ticking every 50 ms and
+//! the (always-on) flight recorder absorbing lifecycle events. The
+//! `benchgate` comparison of `_live` against the plain variants is the
+//! committed proof that telemetry costs < 5% on the warm serving path
+//! (see `BENCH_telemetry_baseline.json`).
+//!
 //! [`Service::process`]: disparity_service::service::Service::process
 
 use disparity_bench::{criterion_group, criterion_main, Criterion};
@@ -108,6 +116,27 @@ fn bench_service_requests(c: &mut Criterion) {
     group.finish();
 
     service.shutdown();
+
+    // Telemetry-armed service: identical requests, window rotator live.
+    let live = Service::start(ServiceConfig {
+        metrics_interval: Some(std::time::Duration::from_millis(50)),
+        ..ServiceConfig::default()
+    });
+    assert_eq!(
+        live.process(&request),
+        expected,
+        "telemetry-armed response matches direct engine bytes"
+    );
+    let mut group = c.benchmark_group("service_requests/disparity");
+    group.bench_function("warm_cache_live", |b| {
+        b.iter(|| live.process(black_box(&request)))
+    });
+    group.finish();
+    let mut group = c.benchmark_group("service_requests/overhead");
+    group.bench_function("ping_live", |b| b.iter(|| live.process(black_box(&ping))));
+    group.finish();
+
+    live.shutdown();
 }
 
 criterion_group!(benches, bench_service_requests);

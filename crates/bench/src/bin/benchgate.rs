@@ -1,0 +1,217 @@
+//! `benchgate` — compare two `disparity-obs/metrics-v1` bench reports
+//! and fail on regressions.
+//!
+//! ```text
+//! benchgate --baseline FILE --current FILE [--threshold-pct F]
+//!           [--floor-ns N] [--stat mean|min] [--prefix P]...
+//!           [--metric CUR=BASE]...
+//! ```
+//!
+//! Both files are bench reports as written by `DISPARITY_BENCH_JSON`
+//! (see `disparity-bench`): histogram `bench.<name>` per benchmark,
+//! nanoseconds per iteration. The gate compares the **mean**
+//! (`sum / count`) of each histogram by default: the histograms are
+//! log-bucketed, so `p50` sits on a power-of-two bucket edge and cannot
+//! resolve a 5–10% shift, while the sum is exact. `--stat min` compares
+//! the per-iteration minimum instead — the right statistic when the
+//! current file is a fresh run on a possibly noisy machine, since a
+//! real regression adds work to *every* iteration (raising the min)
+//! while scheduler noise only inflates the tail (and the mean).
+//!
+//! With no `--metric` pairs, every histogram name present in both files
+//! is compared (optionally restricted to names starting with a
+//! `--prefix`). `--metric CUR=BASE` instead compares the `CUR` histogram
+//! of `--current` against the `BASE` histogram of `--baseline` — e.g.
+//! the telemetry-on serving path against the plain one from the same
+//! run. Metrics whose baseline mean is below `--floor-ns` (default
+//! 1000) are reported but never fail the gate: at sub-microsecond
+//! scales the quick CI pass is dominated by timer noise.
+//!
+//! Exit is non-zero when any compared metric's current mean exceeds the
+//! baseline mean by more than `--threshold-pct` (default 10), or when a
+//! requested metric is missing from either file.
+
+use std::process::ExitCode;
+
+use disparity_model::json::Value;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Stat {
+    Mean,
+    Min,
+}
+
+struct Args {
+    baseline: String,
+    current: String,
+    threshold_pct: f64,
+    floor_ns: f64,
+    stat: Stat,
+    prefixes: Vec<String>,
+    metrics: Vec<(String, String)>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut args = Args {
+        baseline: String::new(),
+        current: String::new(),
+        threshold_pct: 10.0,
+        floor_ns: 1000.0,
+        stat: Stat::Mean,
+        prefixes: Vec::new(),
+        metrics: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--current" => current = Some(value("--current")?),
+            "--threshold-pct" => {
+                args.threshold_pct = value("--threshold-pct")?
+                    .parse()
+                    .map_err(|e| format!("--threshold-pct: {e}"))?;
+            }
+            "--floor-ns" => {
+                args.floor_ns = value("--floor-ns")?
+                    .parse()
+                    .map_err(|e| format!("--floor-ns: {e}"))?;
+            }
+            "--stat" => {
+                args.stat = match value("--stat")?.as_str() {
+                    "mean" => Stat::Mean,
+                    "min" => Stat::Min,
+                    other => return Err(format!("--stat expects mean|min, got {other:?}")),
+                };
+            }
+            "--prefix" => args.prefixes.push(value("--prefix")?),
+            "--metric" => {
+                let pair = value("--metric")?;
+                let (cur, base) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("--metric expects CUR=BASE, got {pair:?}"))?;
+                args.metrics.push((cur.to_string(), base.to_string()));
+            }
+            "--help" | "-h" => {
+                return Err("usage: benchgate --baseline FILE --current FILE \
+                     [--threshold-pct F] [--floor-ns N] [--stat mean|min] \
+                     [--prefix P]... [--metric CUR=BASE]..."
+                    .to_string());
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    args.baseline = baseline.ok_or("--baseline is required")?;
+    args.current = current.ok_or("--current is required")?;
+    Ok(args)
+}
+
+/// The chosen statistic per histogram name, from one metrics-v1 report.
+fn read_stats(path: &str, stat: Stat) -> Result<Vec<(String, f64)>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let root = Value::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let hists = root
+        .get("histograms")
+        .and_then(Value::as_object)
+        .ok_or_else(|| format!("{path}: no histograms object"))?;
+    let mut stats = Vec::new();
+    for (name, h) in hists {
+        let field = |k: &str| h.get(k).and_then(Value::as_i64).unwrap_or(0);
+        let count = field("count");
+        if count == 0 {
+            continue;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let v = match stat {
+            Stat::Mean => field("sum") as f64 / count as f64,
+            Stat::Min => field("min") as f64,
+        };
+        stats.push((name.clone(), v));
+    }
+    Ok(stats)
+}
+
+fn lookup(means: &[(String, f64)], name: &str) -> Option<f64> {
+    means.iter().find(|(n, _)| n == name).map(|(_, m)| *m)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("benchgate: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (base, cur) = match (
+        read_stats(&args.baseline, args.stat),
+        read_stats(&args.current, args.stat),
+    ) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(msg), _) | (_, Err(msg)) => {
+            eprintln!("benchgate: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Resolve the comparison pairs: explicit --metric mappings, or every
+    // name present in both files (prefix-filtered when asked).
+    let pairs: Vec<(String, String)> = if args.metrics.is_empty() {
+        base.iter()
+            .map(|(name, _)| name)
+            .filter(|name| {
+                args.prefixes.is_empty() || args.prefixes.iter().any(|p| name.starts_with(&**p))
+            })
+            .filter(|name| lookup(&cur, name).is_some())
+            .map(|name| (name.clone(), name.clone()))
+            .collect()
+    } else {
+        args.metrics.clone()
+    };
+    if pairs.is_empty() {
+        eprintln!("benchgate: no metrics to compare (prefix filtered everything out?)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for (cur_name, base_name) in &pairs {
+        let (Some(b), Some(c)) = (lookup(&base, base_name), lookup(&cur, cur_name)) else {
+            eprintln!(
+                "benchgate: FAIL: metric missing — {base_name} in {} or {cur_name} in {}",
+                args.baseline, args.current
+            );
+            failed = true;
+            continue;
+        };
+        let delta_pct = (c - b) / b * 100.0;
+        let over = delta_pct > args.threshold_pct;
+        let noise = b < args.floor_ns;
+        let verdict = match (over, noise) {
+            (true, false) => "FAIL",
+            (true, true) => "noise",
+            _ => "ok",
+        };
+        let label = if cur_name == base_name {
+            cur_name.clone()
+        } else {
+            format!("{cur_name} vs {base_name}")
+        };
+        println!(
+            "{verdict:<5} {label:<60} base {b:>12.0} ns  cur {c:>12.0} ns  {delta_pct:>+7.1}%"
+        );
+        if over && !noise {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!(
+            "benchgate: regression over {}% against {}",
+            args.threshold_pct, args.baseline
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

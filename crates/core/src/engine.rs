@@ -460,12 +460,17 @@ impl<'a> AnalysisEngine<'a> {
         let chunk = index.len().div_ceil(self.workers);
         let mut pairs = Vec::with_capacity(index.len());
         let mut exhausted = false;
+        // Scoped workers are fresh threads: carry the caller's request
+        // trace context across the spawn so batch spans stay attributable
+        // to the request that triggered the sweep.
+        let trace = disparity_obs::current_trace();
         std::thread::scope(|scope| {
             let handles: Vec<_> = index
                 .chunks(chunk)
                 .enumerate()
                 .map(|(batch, slice)| {
                     scope.spawn(move || {
+                        let _trace = disparity_obs::trace_scope(trace);
                         let mut span = disparity_obs::span("engine.pair_batch");
                         span.attr("batch", batch);
                         span.attr("pairs", slice.len());

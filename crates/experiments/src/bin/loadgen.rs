@@ -7,6 +7,7 @@
 //!         [--retries N] [--backoff-ms N] [--seed N]
 //!         [--require-cache-hit] [--probe-overload N] [--shutdown]
 //!         [--chaos-soak] [--soak-tag TAG] [--direct-addr HOST:PORT]
+//!         [--latency-series FILE] [--series-interval-ms N] [--dump]
 //! ```
 //!
 //! Each connection runs a synchronous request/response loop over the
@@ -47,14 +48,25 @@
 //!
 //! `--shutdown` sends the `shutdown` op once the run (and its stats
 //! query) is complete, so a scripted smoke can let the daemon drain and
-//! flush its obs artifacts instead of killing it.
+//! flush its obs artifacts instead of killing it. `--dump` sends the
+//! `dump` op after the run, making the server write its flight-recorder
+//! postmortem (requires the server to run with `--postmortem-dir`).
+//!
+//! # Latency series
+//!
+//! `--latency-series FILE` samples the server's `metrics` op every
+//! `--series-interval-ms` (default 100) for the duration of the run and
+//! writes one NDJSON line per sample —
+//! `{"t_ms":..,"queue_depth":..,"window":{..}}` — a machine-readable
+//! timeline of the sliding-window latency view under load. Works in both
+//! throughput and chaos-soak modes.
 
 use std::collections::HashSet;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use disparity_core::disparity::AnalysisConfig;
@@ -67,7 +79,9 @@ use disparity_obs::Histogram;
 use disparity_rng::rngs::StdRng;
 use disparity_rng::{splitmix64_mix, Rng};
 use disparity_sched::wcrt::response_times;
-use disparity_service::proto::{encode_disparity_result, response_line, ResponseBody, Status};
+use disparity_service::proto::{
+    encode_disparity_result, is_trace_id, response_line, split_trace, ResponseBody, Status,
+};
 
 struct Args {
     addr: String,
@@ -86,6 +100,9 @@ struct Args {
     chaos_soak: bool,
     soak_tag: String,
     direct_addr: Option<String>,
+    latency_series: Option<String>,
+    series_interval_ms: u64,
+    dump: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -106,6 +123,9 @@ fn parse_args() -> Result<Args, String> {
         chaos_soak: false,
         soak_tag: "soak".to_string(),
         direct_addr: None,
+        latency_series: None,
+        series_interval_ms: 100,
+        dump: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -149,6 +169,13 @@ fn parse_args() -> Result<Args, String> {
             "--chaos-soak" => args.chaos_soak = true,
             "--soak-tag" => args.soak_tag = value("--soak-tag")?,
             "--direct-addr" => args.direct_addr = Some(value("--direct-addr")?),
+            "--latency-series" => args.latency_series = Some(value("--latency-series")?),
+            "--dump" => args.dump = true,
+            "--series-interval-ms" => {
+                args.series_interval_ms = value("--series-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--series-interval-ms: {e}"))?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -365,6 +392,106 @@ fn uint(v: u64) -> Value {
 }
 
 // ---------------------------------------------------------------------------
+// Latency series
+// ---------------------------------------------------------------------------
+
+/// One `metrics` poll rendered as a series line. `None` when the server
+/// is unreachable or the response is malformed — the sampler just skips
+/// that tick rather than aborting the run.
+fn sample_metrics(addr: &str, started: Instant) -> Option<String> {
+    let response = send_and_read(addr, "{\"id\":\"loadgen-series\",\"op\":\"metrics\"}")?;
+    let v = Value::parse(&response).ok()?;
+    let result = v.get("result")?;
+    Some(
+        json::object(vec![
+            (
+                "t_ms",
+                Value::Int(i64::try_from(started.elapsed().as_millis()).unwrap_or(i64::MAX)),
+            ),
+            (
+                "queue_depth",
+                result.get("queue_depth").cloned().unwrap_or(Value::Int(-1)),
+            ),
+            (
+                "window",
+                result
+                    .get("window")
+                    .cloned()
+                    .unwrap_or_else(|| json::object(vec![])),
+            ),
+        ])
+        .to_string(),
+    )
+}
+
+/// Background sampler for `--latency-series`: polls the `metrics` op on
+/// an interval while the load runs, then writes the NDJSON timeline.
+struct SeriesSampler {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<Vec<String>>,
+    path: String,
+}
+
+impl SeriesSampler {
+    /// Starts the sampler when `--latency-series` was given.
+    fn start(args: &Args) -> Option<Self> {
+        let path = args.latency_series.clone()?;
+        // The series describes the *server*: in chaos-soak runs, sample
+        // past the proxy so fault injection cannot garble the timeline.
+        let addr = args
+            .direct_addr
+            .clone()
+            .unwrap_or_else(|| args.addr.clone());
+        let interval = Duration::from_millis(args.series_interval_ms.max(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let started = Instant::now();
+            let mut lines = Vec::new();
+            loop {
+                // Observe the flag *before* sampling so a stop request
+                // still gets one final sample covering the run's tail.
+                let done = stop_flag.load(Ordering::Relaxed);
+                if let Some(line) = sample_metrics(&addr, started) {
+                    lines.push(line);
+                }
+                if done {
+                    return lines;
+                }
+                // Sleep in short slices so the final sample is prompt.
+                let mut slept = Duration::ZERO;
+                while slept < interval && !stop_flag.load(Ordering::Relaxed) {
+                    let step = (interval - slept).min(Duration::from_millis(10));
+                    std::thread::sleep(step);
+                    slept += step;
+                }
+            }
+        });
+        Some(Self { stop, handle, path })
+    }
+
+    /// Stops the sampler (after one final sample) and writes the series.
+    fn finish(self) -> Result<(), String> {
+        self.stop.store(true, Ordering::Relaxed);
+        let lines = self
+            .handle
+            .join()
+            .map_err(|_| "latency-series sampler panicked".to_string())?;
+        let mut text = lines.join("\n");
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        std::fs::write(&self.path, text).map_err(|e| format!("writing {}: {e}", self.path))?;
+        eprintln!(
+            "loadgen: {} latency sample(s) written to {}",
+            lines.len(),
+            self.path
+        );
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Chaos soak
 // ---------------------------------------------------------------------------
 
@@ -380,8 +507,11 @@ struct SoakTally {
     retried_attempts: AtomicU64,
 }
 
-/// Sends `line` until the response is byte-identical to `want`, over
-/// fresh connections, within the retry budget. Returns attempts used.
+/// Sends `line` until the response carries a well-formed `trace_id`
+/// stamp and, after peeling it, is byte-identical to `want` — over fresh
+/// connections, within the retry budget. A missing or malformed stamp is
+/// itself treated as corruption: the server stamps every response, so a
+/// bare line can only be chaos damage. Returns attempts used.
 fn soak_request(
     addr: &str,
     line: &str,
@@ -396,19 +526,23 @@ fn soak_request(
             bump(&tally.retried_attempts);
             std::thread::sleep(backoff_delay(rng, args.backoff_ms, attempt - 1));
         }
-        match send_and_read(addr, line) {
-            Some(response) if response == want => return Ok(attempt),
-            Some(response) => {
-                // Parsed with our id and status ok but the wrong bytes?
-                // That is a corrupted response caught by verification.
-                if let Ok(v) = Value::parse(&response) {
-                    let id_matches = v.get("id").and_then(Value::as_str) == Some(id);
-                    if id_matches && v.get("status").and_then(Value::as_str) == Some("ok") {
-                        bump(&tally.corruption_caught);
+        if let Some(response) = send_and_read(addr, line) {
+            match split_trace(&response) {
+                Some((pure, tid)) if is_trace_id(&tid) && pure == want => {
+                    return Ok(attempt);
+                }
+                _ => {
+                    // Parsed with our id and status ok but the wrong
+                    // bytes? That is a corrupted response caught by
+                    // verification.
+                    if let Ok(v) = Value::parse(&response) {
+                        let id_matches = v.get("id").and_then(Value::as_str) == Some(id);
+                        if id_matches && v.get("status").and_then(Value::as_str) == Some("ok") {
+                            bump(&tally.corruption_caught);
+                        }
                     }
                 }
             }
-            None => {}
         }
     }
     Err(())
@@ -687,6 +821,8 @@ fn main() -> ExitCode {
         },
     };
 
+    let sampler = SeriesSampler::start(&args);
+
     if args.chaos_soak {
         let (report, failed) = match run_chaos_soak(&args, &spec, &graph, &task) {
             Ok(r) => r,
@@ -695,6 +831,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if let Some(sampler) = sampler {
+            if let Err(msg) = sampler.finish() {
+                eprintln!("loadgen: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
         println!("{}", report.to_pretty());
         if let Some(path) = &args.out {
             if let Err(e) = std::fs::write(path, format!("{}\n", report.to_pretty())) {
@@ -726,6 +868,13 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(sampler) = sampler {
+        if let Err(msg) = sampler.finish() {
+            eprintln!("loadgen: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     let probe = if args.probe_overload > 0 {
         match probe_overload(&args.addr, args.probe_overload) {
             Ok(n) => Some(n),
@@ -745,6 +894,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.dump {
+        match server_query(&args.addr, "dump") {
+            Ok(result) => eprintln!("loadgen: dump: {result}"),
+            Err(msg) => {
+                eprintln!("loadgen: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if args.shutdown {
         if let Err(msg) = send_shutdown(&args.addr) {

@@ -1,11 +1,16 @@
-//! Shared `--trace-out` / `--metrics-out` plumbing for the experiment
-//! binaries.
+//! Shared `--trace-out` / `--metrics-out` / `--flight-out` plumbing for
+//! the experiment binaries.
 //!
-//! Every binary that supports observability output parses the two flags
+//! Every binary that supports observability output parses the flags
 //! into an [`ObsArgs`], calls [`ObsArgs::enable_if_requested`] before the
 //! workload runs, and [`ObsArgs::flush`] once it is done — including on
 //! failure exits, so a sweep that dies early still leaves its trace and
 //! metrics behind.
+//!
+//! `--flight-out` dumps the always-on flight recorder (see
+//! [`disparity_obs::flight`]) as a `postmortem-v1` NDJSON document with
+//! reason `exit`; unlike the other two outputs it does not require the
+//! span recorder to be enabled.
 
 use std::path::PathBuf;
 
@@ -16,10 +21,14 @@ pub struct ObsArgs {
     pub trace_out: Option<PathBuf>,
     /// Destination of the flat metrics report (`--metrics-out`).
     pub metrics_out: Option<PathBuf>,
+    /// Destination of the flight-recorder NDJSON dump (`--flight-out`).
+    pub flight_out: Option<PathBuf>,
 }
 
 impl ObsArgs {
-    /// Returns `true` when at least one output was requested.
+    /// Returns `true` when an output needing the span recorder was
+    /// requested (`--flight-out` alone does not: the flight recorder is
+    /// always on).
     #[must_use]
     pub fn requested(&self) -> bool {
         self.trace_out.is_some() || self.metrics_out.is_some()
@@ -40,6 +49,11 @@ impl ObsArgs {
             "--metrics-out" => {
                 self.metrics_out =
                     Some(PathBuf::from(next().ok_or("--metrics-out needs a value")?));
+                Ok(true)
+            }
+            "--flight-out" => {
+                self.flight_out =
+                    Some(PathBuf::from(next().ok_or("--flight-out needs a value")?));
                 Ok(true)
             }
             _ => Ok(false),
@@ -68,6 +82,11 @@ impl ObsArgs {
                 .map_err(|e| format!("failed to write metrics {}: {e}", path.display()))?;
             written.push(format!("metrics written to {}", path.display()));
         }
+        if let Some(path) = &self.flight_out {
+            std::fs::write(path, disparity_obs::flight::postmortem("exit", 0))
+                .map_err(|e| format!("failed to write flight dump {}: {e}", path.display()))?;
+            written.push(format!("flight dump written to {}", path.display()));
+        }
         Ok(written)
     }
 }
@@ -77,17 +96,27 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_both_flags_and_ignores_others() {
+    fn parses_all_flags_and_ignores_others() {
         let mut args = ObsArgs::default();
-        let mut vals = vec!["t.json".to_string(), "m.json".to_string()].into_iter();
+        let mut vals = vec![
+            "t.json".to_string(),
+            "m.json".to_string(),
+            "f.ndjson".to_string(),
+        ]
+        .into_iter();
         let mut next = || vals.next();
         assert!(args.try_parse("--trace-out", &mut next).unwrap());
         assert!(args.try_parse("--metrics-out", &mut next).unwrap());
+        assert!(args.try_parse("--flight-out", &mut next).unwrap());
         assert!(!args.try_parse("--seed", &mut next).unwrap());
         assert_eq!(args.trace_out.as_deref(), Some(std::path::Path::new("t.json")));
         assert_eq!(
             args.metrics_out.as_deref(),
             Some(std::path::Path::new("m.json"))
+        );
+        assert_eq!(
+            args.flight_out.as_deref(),
+            Some(std::path::Path::new("f.ndjson"))
         );
         assert!(args.requested());
     }

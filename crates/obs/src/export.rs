@@ -41,6 +41,12 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> Value {
                 ("dur_ns".to_string(), Value::Int(span.dur_ns)),
                 ("depth".to_string(), Value::Int(i64::from(span.depth))),
             ];
+            if span.trace != 0 {
+                args.push((
+                    "trace_id".to_string(),
+                    Value::Str(crate::recorder::format_trace_id(span.trace)),
+                ));
+            }
             for (key, value) in &span.attrs {
                 args.push(((*key).to_string(), attr_value(value)));
             }
@@ -104,6 +110,78 @@ pub fn metrics_report(snapshot: &MetricsSnapshot) -> Value {
         ("counters", Value::Object(counters)),
         ("histograms", Value::Object(histograms)),
     ])
+}
+
+/// Builder for Prometheus-style text exposition (`text/plain` format:
+/// `# TYPE` comment lines plus `name{label="value"} sample` lines).
+///
+/// Only the subset the disparity-service `metrics` op needs: counters,
+/// gauges, and summary-style quantile samples, all with integer values.
+/// Label values are escaped per the exposition format (backslash, quote,
+/// newline). Output is deterministic in call order, which is what lets
+/// the telemetry golden test pin it byte-for-byte.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+fn escape_label_value(value: &str) -> String {
+    let mut escaped = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => escaped.push_str("\\\\"),
+            '"' => escaped.push_str("\\\""),
+            '\n' => escaped.push_str("\\n"),
+            _ => escaped.push(c),
+        }
+    }
+    escaped
+}
+
+impl PromText {
+    /// An empty exposition document.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emit a `# TYPE name kind` metadata line (`kind` is `counter`,
+    /// `gauge`, or `summary`).
+    pub fn type_line(&mut self, name: &str, kind: &str) {
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Emit one sample line: `name{labels} value`. Pass an empty label
+    /// slice for unlabelled samples.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: i64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (key, val)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(key);
+                self.out.push_str("=\"");
+                self.out.push_str(&escape_label_value(val));
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&value.to_string());
+        self.out.push('\n');
+    }
+
+    /// Finish the document and return the exposition text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
 }
 
 fn write_validated(path: &Path, value: &Value) -> io::Result<()> {

@@ -1,0 +1,331 @@
+//! Always-on flight recorder: fixed-capacity ring journals of request
+//! lifecycle events, dumped as NDJSON postmortems after a failure.
+//!
+//! Unlike spans and metrics (default-off, see [`crate::recorder`]), the
+//! flight recorder is *always* recording: when a worker panics or a spec
+//! is quarantined, the events leading up to the failure must already be
+//! in the buffer — there is no second chance to capture them. That
+//! forces a wait-free write path:
+//!
+//! - storage is a fixed set of per-journal rings of atomic slots,
+//!   allocated once on first use and never grown or freed afterwards;
+//! - [`record`] claims a slot with one relaxed `fetch_add` and fills it
+//!   with relaxed stores plus a release publish — no `Mutex`/`RwLock`,
+//!   no heap allocation, enforced by the srclint `hot-path` rule on the
+//!   marked region below;
+//! - readers ([`snapshot`]) are best-effort: a slot overwritten mid-read
+//!   is detected via its publication tag and skipped. Losing an event to
+//!   a torn read is acceptable for a debugging aid; blocking a worker's
+//!   request path is not.
+//!
+//! Threads are distributed across [`JOURNALS`] rings by their dense
+//! recorder track id, so each service worker effectively owns a journal
+//! and a chatty connection thread cannot evict a quiet worker's history.
+//! Each event carries the thread's request trace context (see
+//! [`crate::recorder::trace_scope`]), which is what ties a postmortem
+//! line back to the `trace_id` echoed in service responses.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use disparity_model::json::{self, Value};
+
+use crate::recorder;
+
+/// Schema tag stamped into the header line of every postmortem dump.
+pub const POSTMORTEM_SCHEMA: &str = "disparity-obs/postmortem-v1";
+
+/// Number of independent ring journals (threads hash across them).
+pub const JOURNALS: usize = 8;
+
+/// Slots per journal. Power of two so the ring index is a mask.
+pub const JOURNAL_CAPACITY: usize = 1024;
+
+/// A request lifecycle event kind. The numeric codes are stable wire
+/// values (they appear in postmortem dumps only via [`as_str`], but the
+/// codes order the glossary in EXPERIMENTS.md).
+///
+/// [`as_str`]: EventKind::as_str
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A request line was parsed and is about to be submitted.
+    Accept = 1,
+    /// The request was admitted to the worker queue.
+    Admit = 2,
+    /// The request was refused because the queue was full.
+    Overload = 3,
+    /// The request was refused because the service is draining.
+    ShuttingDown = 4,
+    /// The request line failed to parse (the arg is its byte length).
+    ParseError = 5,
+    /// A worker dequeued the request (the arg is queue-wait nanos).
+    Dequeue = 6,
+    /// Analysis graph served from the content-addressed cache.
+    CacheHit = 7,
+    /// Analysis graph built from scratch (cache miss).
+    CacheMiss = 8,
+    /// The request exceeded its soft deadline (the arg is the budget ms).
+    Deadline = 9,
+    /// The request completed and a response was handed to the writer.
+    Completed = 10,
+    /// The request completed with an `error` status.
+    Error = 11,
+    /// A worker panic was caught while processing (the arg is the spec hash).
+    Panic = 12,
+    /// A spec crossed the strike threshold and was quarantined (arg = hash).
+    Quarantine = 13,
+    /// A worker thread died and the supervisor respawned it.
+    WorkerDeath = 14,
+    /// A postmortem dump was requested via the `dump` op.
+    Dump = 15,
+}
+
+impl EventKind {
+    /// Wire name used in postmortem NDJSON lines.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Accept => "accept",
+            EventKind::Admit => "admit",
+            EventKind::Overload => "overload",
+            EventKind::ShuttingDown => "shutting_down",
+            EventKind::ParseError => "parse_error",
+            EventKind::Dequeue => "dequeue",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheMiss => "cache_miss",
+            EventKind::Deadline => "deadline",
+            EventKind::Completed => "completed",
+            EventKind::Error => "error",
+            EventKind::Panic => "panic",
+            EventKind::Quarantine => "quarantine",
+            EventKind::WorkerDeath => "worker_death",
+            EventKind::Dump => "dump",
+        }
+    }
+
+    fn from_code(code: u64) -> Option<Self> {
+        Some(match code {
+            1 => EventKind::Accept,
+            2 => EventKind::Admit,
+            3 => EventKind::Overload,
+            4 => EventKind::ShuttingDown,
+            5 => EventKind::ParseError,
+            6 => EventKind::Dequeue,
+            7 => EventKind::CacheHit,
+            8 => EventKind::CacheMiss,
+            9 => EventKind::Deadline,
+            10 => EventKind::Completed,
+            11 => EventKind::Error,
+            12 => EventKind::Panic,
+            13 => EventKind::Quarantine,
+            14 => EventKind::WorkerDeath,
+            15 => EventKind::Dump,
+            _ => return None,
+        })
+    }
+}
+
+/// One slot of a journal ring. `tag` is the publication word: 0 means
+/// empty or mid-write; a published slot holds its claim ticket + 1, so a
+/// reader can detect overwrites by re-checking the tag after reading.
+struct Slot {
+    tag: AtomicU64,
+    ts_ns: AtomicU64,
+    trace: AtomicU64,
+    thread: AtomicU64,
+    kind: AtomicU64,
+    arg: AtomicU64,
+}
+
+impl Slot {
+    const fn empty() -> Self {
+        Slot {
+            tag: AtomicU64::new(0),
+            ts_ns: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+            thread: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            arg: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Journal {
+    /// Next claim ticket; monotonically increasing, never reset.
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+struct FlightRecorder {
+    journals: Vec<Journal>,
+}
+
+static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+
+/// Monotonic dump counter: makes postmortem filenames unique within a
+/// process even when several failures share a reason and trace id.
+static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn flight() -> &'static FlightRecorder {
+    RECORDER.get_or_init(|| FlightRecorder {
+        journals: (0..JOURNALS)
+            .map(|_| Journal {
+                head: AtomicU64::new(0),
+                slots: (0..JOURNAL_CAPACITY).map(|_| Slot::empty()).collect(),
+            })
+            .collect(),
+    })
+}
+
+/// Pre-allocate the journals and pin the timestamp epoch. Optional —
+/// the first [`record`] does the same — but calling it at process start
+/// keeps the "no allocation after startup" guarantee literal.
+pub fn init() {
+    let _ = flight();
+    let _ = recorder::epoch();
+}
+
+/// Record one lifecycle event on the calling thread's journal, tagged
+/// with the thread's current trace context. Wait-free: one ticket
+/// `fetch_add` plus six atomic stores; never locks, never allocates.
+pub fn record(kind: EventKind, arg: u64) {
+    let flight = flight();
+    let now = Instant::now();
+    let ts_ns = u64::try_from(now.saturating_duration_since(recorder::epoch()).as_nanos())
+        .unwrap_or(u64::MAX);
+    let thread = recorder::thread_track();
+    let trace = recorder::current_trace();
+    // srclint: hot-path-begin — wait-free record path: no locks, no heap.
+    let journal = &flight.journals[(thread as usize) % JOURNALS];
+    let ticket = journal.head.fetch_add(1, Ordering::Relaxed);
+    let slot = &journal.slots[(ticket as usize) & (JOURNAL_CAPACITY - 1)];
+    slot.tag.store(0, Ordering::Release);
+    slot.ts_ns.store(ts_ns, Ordering::Relaxed);
+    slot.trace.store(trace, Ordering::Relaxed);
+    slot.thread.store(thread, Ordering::Relaxed);
+    slot.kind.store(kind as u64, Ordering::Relaxed);
+    slot.arg.store(arg, Ordering::Relaxed);
+    slot.tag.store(ticket + 1, Ordering::Release);
+    // srclint: hot-path-end
+}
+
+/// A decoded flight-recorder event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Nanoseconds since the obs epoch.
+    pub ts_ns: u64,
+    /// Dense track id of the thread that recorded the event.
+    pub thread: u64,
+    /// Request trace id active at record time (0 = no request context).
+    pub trace: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Event-specific argument (see [`EventKind`] docs).
+    pub arg: u64,
+}
+
+/// Read every published event currently in the journals, oldest first
+/// (by timestamp, then thread). Best-effort: slots overwritten while
+/// being read are skipped, and recording continues concurrently.
+#[must_use]
+pub fn snapshot() -> Vec<EventRecord> {
+    let flight = flight();
+    let mut events = Vec::new();
+    for journal in &flight.journals {
+        for slot in journal.slots.iter() {
+            let tag = slot.tag.load(Ordering::Acquire);
+            if tag == 0 {
+                continue;
+            }
+            let record = EventRecord {
+                ts_ns: slot.ts_ns.load(Ordering::Relaxed),
+                thread: slot.thread.load(Ordering::Relaxed),
+                trace: slot.trace.load(Ordering::Relaxed),
+                kind: match EventKind::from_code(slot.kind.load(Ordering::Relaxed)) {
+                    Some(kind) => kind,
+                    None => continue,
+                },
+                arg: slot.arg.load(Ordering::Relaxed),
+            };
+            // Order the tag re-check after the field reads; a writer that
+            // reclaimed the slot meanwhile zeroed or bumped the tag.
+            fence(Ordering::Acquire);
+            if slot.tag.load(Ordering::Relaxed) != tag {
+                continue;
+            }
+            events.push(record);
+        }
+    }
+    events.sort_by_key(|e| (e.ts_ns, e.thread));
+    events
+}
+
+/// Render one event as its postmortem NDJSON object.
+fn event_json(event: &EventRecord) -> Value {
+    json::object(vec![
+        ("ts_ns", Value::Int(i64::try_from(event.ts_ns).unwrap_or(i64::MAX))),
+        ("thread", Value::Int(i64::try_from(event.thread).unwrap_or(i64::MAX))),
+        (
+            "trace_id",
+            Value::from(recorder::format_trace_id(event.trace)),
+        ),
+        ("event", Value::from(event.kind.as_str())),
+        ("arg", Value::Int(i64::try_from(event.arg).unwrap_or(i64::MAX))),
+    ])
+}
+
+/// Render a postmortem document from an explicit event list: one header
+/// object (schema, reason, triggering trace id, event count) followed by
+/// one object per event, newline-delimited. Deterministic given its
+/// inputs — pinned byte-for-byte by the telemetry golden test.
+#[must_use]
+pub fn render_postmortem(reason: &str, trace: u64, events: &[EventRecord]) -> String {
+    let header = json::object(vec![
+        ("schema", Value::from(POSTMORTEM_SCHEMA)),
+        ("reason", Value::from(reason)),
+        ("trace_id", Value::from(recorder::format_trace_id(trace))),
+        (
+            "events",
+            Value::Int(i64::try_from(events.len()).unwrap_or(i64::MAX)),
+        ),
+    ]);
+    let mut out = header.to_string();
+    out.push('\n');
+    for event in events {
+        out.push_str(&event_json(event).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Snapshot the journals and render a postmortem document. `reason` is
+/// a short machine token (`panic`, `quarantine`, `dump`); `trace` is the
+/// trace id of the triggering request (0 for process-level dumps).
+#[must_use]
+pub fn postmortem(reason: &str, trace: u64) -> String {
+    render_postmortem(reason, trace, &snapshot())
+}
+
+/// Write a postmortem dump into `dir` (created if missing) and return
+/// its path. Filenames are `postmortem-<seq>-<reason>-<trace_id>.ndjson`
+/// with a process-wide sequence number, so repeated failures never
+/// clobber each other.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the write.
+pub fn write_postmortem(dir: &Path, reason: &str, trace: u64) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let seq = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = format!(
+        "postmortem-{seq:04}-{reason}-{}.ndjson",
+        recorder::format_trace_id(trace)
+    );
+    let path = dir.join(name);
+    std::fs::write(&path, postmortem(reason, trace))?;
+    Ok(path)
+}

@@ -14,6 +14,14 @@
 //!    trace-event file and a flat metrics report, both rendered through
 //!    the in-tree [`disparity_model::json`] module. No external crates.
 //!
+//! Two live-telemetry companions sit beside the default-off recorder:
+//! the **flight recorder** ([`flight`]) — always-on, wait-free ring
+//! journals of request lifecycle events, dumped as NDJSON postmortems —
+//! and **sliding-window histograms** ([`window`]) for "now" views that
+//! the cumulative-since-start metrics cannot provide. Request
+//! correlation across all three comes from [`trace_scope`], a
+//! thread-local trace id stamped onto every span and flight event.
+//!
 //! # Usage
 //!
 //! ```
@@ -35,13 +43,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod recorder;
+pub mod window;
 
 pub use metrics::{
     counter_add, observe, observe_duration, snapshot, Histogram, HistogramSummary,
     MetricsSnapshot,
 };
 pub use recorder::{
-    disable, enable, is_enabled, reset, span, take_spans, AttrValue, SpanGuard, SpanRecord,
+    current_trace, disable, enable, format_trace_id, is_enabled, record_span, reset, span,
+    take_spans, trace_scope, AttrValue, SpanGuard, SpanRecord, TraceScope, VIRTUAL_TRACK_BASE,
 };
+pub use window::WindowedHistogram;

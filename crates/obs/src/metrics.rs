@@ -5,6 +5,15 @@
 //! load when recording is off. Histograms use power-of-two buckets, so
 //! percentile estimates are exact at bucket boundaries and within a
 //! factor of two elsewhere (min/max/count/sum are always exact).
+//!
+//! **Percentiles are cumulative-since-start.** A [`Histogram`] never
+//! forgets: every sample since process start (or the last reset) weighs
+//! on `p50/p95/p99` forever, so a latency regression that begins after a
+//! long healthy run is averaged away and can stay invisible in the
+//! cumulative view for a long time. Live monitoring should read the
+//! sliding-window view ([`crate::window::WindowedHistogram`]) alongside
+//! the cumulative one; the window-vs-cumulative divergence regression
+//! test in `crates/obs/tests` pins down exactly this failure mode.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -193,6 +202,21 @@ impl Histogram {
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Fold another histogram into this one (bucket-wise sum; min/max
+    /// widen, `sum` saturates). Used by the sliding-window view to
+    /// combine its interval buckets into one summarisable histogram.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
     }
 
     /// Estimate the `q`-quantile (`0.0 ..= 1.0`).

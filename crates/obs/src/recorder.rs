@@ -33,10 +33,17 @@ static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
 thread_local! {
     static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
     static DEPTH: Cell<u32> = const { Cell::new(0) };
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
 }
 
-fn epoch() -> Instant {
+pub(crate) fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
+}
+
+/// Dense track id of the calling thread (also used by the flight
+/// recorder to attribute events to worker journals).
+pub(crate) fn thread_track() -> u64 {
+    THREAD_ID.with(|t| *t)
 }
 
 /// Turn recording on. Idempotent; fixes the timestamp epoch on first call.
@@ -70,6 +77,49 @@ pub fn take_spans() -> Vec<SpanRecord> {
 pub fn reset() {
     take_spans();
     metrics::clear();
+}
+
+/// Render a trace id in the canonical wire format: two dash-separated
+/// 32-bit lowercase-hex halves (`HHHHHHHH-HHHHHHHH`). The split mirrors
+/// how disparity-service derives ids (connection id, request sequence),
+/// but the recorder treats the value as an opaque 64-bit token.
+#[must_use]
+pub fn format_trace_id(trace: u64) -> String {
+    format!("{:08x}-{:08x}", trace >> 32, trace & 0xffff_ffff)
+}
+
+/// The trace id installed on this thread by the innermost live
+/// [`TraceScope`], or 0 when no request context is active.
+#[must_use]
+pub fn current_trace() -> u64 {
+    CURRENT_TRACE.with(Cell::get)
+}
+
+/// RAII guard installing a request trace id as this thread's span
+/// context. Every span opened on the thread while the guard is live is
+/// stamped with the id, so a whole request's span tree can be pulled out
+/// of the exported trace by `trace_id`. Restores the previous context on
+/// drop, so scopes nest correctly (e.g. tests driving a service inline).
+#[must_use = "the trace context is uninstalled when the scope guard drops"]
+#[derive(Debug)]
+pub struct TraceScope {
+    previous: u64,
+}
+
+/// Install `trace` as the current thread's span trace context.
+///
+/// Unlike [`span`], this is *not* gated on [`is_enabled`]: the cost is a
+/// thread-local store, and the flight recorder (always-on) also reads
+/// the context, so it must be installed even when span recording is off.
+pub fn trace_scope(trace: u64) -> TraceScope {
+    let previous = CURRENT_TRACE.with(|t| t.replace(trace));
+    TraceScope { previous }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|t| t.set(self.previous));
+    }
 }
 
 /// An attribute value attached to a span.
@@ -137,6 +187,9 @@ pub struct SpanRecord {
     pub thread: u64,
     /// Nesting depth on that thread when the span opened (0 = root).
     pub depth: u32,
+    /// Request trace id active when the span opened (0 = none). See
+    /// [`trace_scope`] and [`format_trace_id`].
+    pub trace: u64,
     /// Key-value attributes attached while the span was open.
     pub attrs: Vec<(&'static str, AttrValue)>,
 }
@@ -147,6 +200,7 @@ struct ActiveSpan {
     start_ns: i64,
     thread: u64,
     depth: u32,
+    trace: u64,
     attrs: Vec<(&'static str, AttrValue)>,
 }
 
@@ -188,9 +242,62 @@ pub fn span(name: &'static str) -> SpanGuard {
             start_ns,
             thread,
             depth,
+            trace: current_trace(),
             attrs: Vec::new(),
         }),
     }
+}
+
+/// Base of the virtual track range used by [`record_span`]. Real thread
+/// tracks are small dense integers; virtual tracks have this bit set, so
+/// the two ranges can never collide (and the value still fits in the
+/// `i64` tid of a Chrome trace event).
+pub const VIRTUAL_TRACK_BASE: u64 = 1 << 62;
+
+/// Record an already-measured interval as a closed span, without the
+/// RAII guard. Used for phases whose start was captured on a different
+/// thread than the one that observes their end — e.g. queue wait, where
+/// the enqueue timestamp is taken by the acceptor and the dequeue by a
+/// worker.
+///
+/// Such an interval is not any single thread's work, and concurrent
+/// requests' waits genuinely overlap in wall time, so placing the record
+/// on the calling thread's track would break the per-track
+/// disjoint-or-nested invariant. Instead, when a [`trace_scope`] context
+/// is active the record lands on a *virtual track* derived from the
+/// trace id ([`VIRTUAL_TRACK_BASE`]`| trace`), one track per request,
+/// at depth 0 — mirroring Chrome tracing's async events. With no trace
+/// context it falls back to the calling thread's track and depth.
+/// Callers must pass `start <= end` (the duration saturates to zero
+/// otherwise).
+pub fn record_span(name: &'static str, start: Instant, end: Instant) {
+    if !is_enabled() {
+        return;
+    }
+    let start_ns = i64::try_from(start.saturating_duration_since(epoch()).as_nanos())
+        .unwrap_or(i64::MAX);
+    let dur_ns =
+        i64::try_from(end.saturating_duration_since(start).as_nanos()).unwrap_or(i64::MAX);
+    metrics::observe_span_duration(name, dur_ns);
+    let trace = current_trace();
+    let (thread, depth) = if trace == 0 {
+        (THREAD_ID.with(|t| *t), DEPTH.with(Cell::get))
+    } else {
+        (VIRTUAL_TRACK_BASE | (trace & (VIRTUAL_TRACK_BASE - 1)), 0)
+    };
+    let record = SpanRecord {
+        name,
+        start_ns,
+        dur_ns,
+        thread,
+        depth,
+        trace,
+        attrs: Vec::new(),
+    };
+    SPANS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(record);
 }
 
 impl SpanGuard {
@@ -223,6 +330,7 @@ impl Drop for SpanGuard {
             dur_ns,
             thread: active.thread,
             depth: active.depth,
+            trace: active.trace,
             attrs: active.attrs,
         };
         SPANS

@@ -1,0 +1,135 @@
+//! Sliding-window histograms: a ring of interval buckets over
+//! [`Histogram`], for live views that forget old load.
+//!
+//! The cumulative histograms in [`crate::metrics`] answer "how has this
+//! process behaved since start"; they cannot answer "how is it behaving
+//! *now*", because early samples dominate the percentile ranks forever.
+//! A [`WindowedHistogram`] holds the last `N` rotation intervals: samples
+//! land in the current interval, [`rotate`](WindowedHistogram::rotate)
+//! (driven by an external clock, e.g. the serve binary's
+//! `--metrics-interval-ms` thread) advances the ring and evicts the
+//! oldest interval, and [`merged`](WindowedHistogram::merged) folds the
+//! surviving intervals into one summarisable histogram covering roughly
+//! `N x interval` of trailing wall-clock time.
+//!
+//! Rotation granularity is deliberately coarse: the window edge moves in
+//! whole intervals, so the covered duration breathes between `(N-1)` and
+//! `N` intervals. That is the standard Prometheus-style trade-off — it
+//! keeps both record and rotate O(1) in the number of samples.
+
+use crate::metrics::{Histogram, HistogramSummary};
+
+/// Default number of interval buckets a window keeps (the serve binary
+/// rotates one per `--metrics-interval-ms`, so the default window spans
+/// eight intervals).
+pub const DEFAULT_INTERVALS: usize = 8;
+
+/// A ring of per-interval [`Histogram`]s forming one sliding window.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    intervals: Vec<Histogram>,
+    current: usize,
+    rotations: u64,
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> Self {
+        Self::new(DEFAULT_INTERVALS)
+    }
+}
+
+impl WindowedHistogram {
+    /// A window of `intervals` buckets (clamped to at least 1).
+    #[must_use]
+    pub fn new(intervals: usize) -> Self {
+        WindowedHistogram {
+            intervals: vec![Histogram::new(); intervals.max(1)],
+            current: 0,
+            rotations: 0,
+        }
+    }
+
+    /// Record one sample into the current interval.
+    pub fn record(&mut self, value: i64) {
+        self.intervals[self.current].record(value);
+    }
+
+    /// Advance the window one interval: the oldest interval is evicted
+    /// (its slot becomes the new, empty current interval).
+    pub fn rotate(&mut self) {
+        self.current = (self.current + 1) % self.intervals.len();
+        self.intervals[self.current] = Histogram::new();
+        self.rotations += 1;
+    }
+
+    /// Number of interval buckets in the ring.
+    #[must_use]
+    pub fn intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// How many times the window has rotated since construction.
+    #[must_use]
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Fold every surviving interval into one histogram covering the
+    /// whole window.
+    #[must_use]
+    pub fn merged(&self) -> Histogram {
+        let mut merged = Histogram::new();
+        for interval in &self.intervals {
+            merged.merge(interval);
+        }
+        merged
+    }
+
+    /// Summary statistics over the whole window (see
+    /// [`Histogram::summary`]).
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        self.merged().summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::WindowedHistogram;
+
+    #[test]
+    fn samples_survive_until_their_interval_is_evicted() {
+        let mut w = WindowedHistogram::new(3);
+        w.record(100);
+        assert_eq!(w.summary().count, 1);
+        // Two rotations: the sample's interval is still in the ring.
+        w.rotate();
+        w.rotate();
+        assert_eq!(w.summary().count, 1);
+        // Third rotation reclaims its slot.
+        w.rotate();
+        assert_eq!(w.summary().count, 0);
+        assert_eq!(w.rotations(), 3);
+    }
+
+    #[test]
+    fn merged_spans_multiple_intervals() {
+        let mut w = WindowedHistogram::new(4);
+        w.record(10);
+        w.rotate();
+        w.record(1000);
+        let s = w.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn zero_interval_request_is_clamped_to_one() {
+        let mut w = WindowedHistogram::new(0);
+        assert_eq!(w.intervals(), 1);
+        w.record(5);
+        w.rotate(); // with one bucket, rotate clears everything
+        assert_eq!(w.summary().count, 0);
+    }
+}

@@ -1,0 +1,361 @@
+//! Live-telemetry integration coverage: trace-context propagation into
+//! spans and exports, the always-on flight recorder (wrap-around,
+//! concurrency, panic survival), the windowed-vs-cumulative divergence
+//! regression promised by the `metrics` module docs, and the byte-pinned
+//! goldens for the Prometheus exposition and postmortem NDJSON schemas.
+//!
+//! The span recorder and the flight journals are process-wide state, so
+//! every test that touches them serialises on one lock.
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+use disparity_model::json::Value;
+use disparity_obs::export::PromText;
+use disparity_obs::flight::{
+    self, EventKind, EventRecord, JOURNAL_CAPACITY, POSTMORTEM_SCHEMA,
+};
+use disparity_obs::{
+    disable, enable, format_trace_id, record_span, reset, span, take_spans, trace_scope,
+    Histogram, WindowedHistogram, VIRTUAL_TRACK_BASE,
+};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn clean_slate() {
+    disable();
+    reset();
+}
+
+#[test]
+fn trace_scope_stamps_spans_and_restores_on_drop() {
+    let _guard = exclusive();
+    clean_slate();
+    enable();
+
+    {
+        let _outer = trace_scope(0xaabb_ccdd_0000_0011);
+        let _a = span("traced.outer");
+        {
+            let _inner = trace_scope(0x0000_0001_0000_0002);
+            let _b = span("traced.inner");
+        }
+        let _c = span("traced.restored");
+    }
+    let _d = span("untraced");
+    drop(_d);
+
+    let spans = take_spans();
+    clean_slate();
+    let trace_of = |name: &str| {
+        spans
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("span {name} recorded"))
+            .trace
+    };
+    assert_eq!(trace_of("traced.outer"), 0xaabb_ccdd_0000_0011);
+    assert_eq!(trace_of("traced.inner"), 0x0000_0001_0000_0002);
+    assert_eq!(
+        trace_of("traced.restored"),
+        0xaabb_ccdd_0000_0011,
+        "inner scope restores the outer trace on drop"
+    );
+    assert_eq!(trace_of("untraced"), 0, "no context outside every scope");
+    assert_eq!(format_trace_id(0xaabb_ccdd_0000_0011), "aabbccdd-00000011");
+}
+
+#[test]
+fn chrome_trace_carries_trace_id_only_for_traced_spans() {
+    let _guard = exclusive();
+    clean_slate();
+    enable();
+
+    {
+        let _scope = trace_scope(0x0000_0003_0000_0007);
+        let _s = span("traced");
+    }
+    {
+        let _s = span("untraced");
+    }
+    let trace = disparity_obs::export::chrome_trace(&take_spans());
+    clean_slate();
+
+    let trace = Value::parse(&trace.to_pretty()).expect("trace parses");
+    let events = trace
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    let args_of = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("event {name}"))
+            .get("args")
+            .expect("args object")
+            .clone()
+    };
+    assert_eq!(
+        args_of("traced").get("trace_id").and_then(Value::as_str),
+        Some("00000003-00000007")
+    );
+    assert!(args_of("untraced").get("trace_id").is_none());
+}
+
+#[test]
+fn record_span_rides_a_virtual_track_under_a_trace() {
+    let _guard = exclusive();
+    clean_slate();
+    enable();
+
+    let t0 = Instant::now();
+    let t1 = Instant::now();
+    {
+        let _scope = trace_scope(42);
+        record_span("manual.traced", t0, t1);
+    }
+    record_span("manual.untraced", t0, t1);
+
+    let spans = take_spans();
+    let snap = disparity_obs::snapshot();
+    clean_slate();
+
+    let traced = spans.iter().find(|s| s.name == "manual.traced").expect("traced span");
+    assert_eq!(traced.trace, 42);
+    assert_eq!(traced.thread, VIRTUAL_TRACK_BASE | 42, "one virtual track per request");
+    assert_eq!(traced.depth, 0);
+    let untraced = spans.iter().find(|s| s.name == "manual.untraced").expect("untraced span");
+    assert_eq!(untraced.trace, 0);
+    assert!(untraced.thread < VIRTUAL_TRACK_BASE, "no context: the calling thread's track");
+    // Manual spans feed the same auto duration histograms as RAII spans.
+    let names: Vec<&str> = snap.histograms.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(names.contains(&"span.manual.traced"));
+}
+
+#[test]
+fn flight_events_are_stamped_ordered_and_survive_panics() {
+    let _guard = exclusive();
+
+    {
+        let _scope = trace_scope(0x0000_0009_0000_0001);
+        flight::record(EventKind::Accept, 0xaa00_0001);
+        flight::record(EventKind::Admit, 0xaa00_0002);
+    }
+    // A panic through `catch_unwind` (the service's isolation boundary)
+    // must not wedge the recorder.
+    let caught = std::panic::catch_unwind(|| {
+        flight::record(EventKind::Panic, 0xaa00_0003);
+        panic!("deliberate");
+    });
+    assert!(caught.is_err());
+    flight::record(EventKind::Completed, 0xaa00_0004);
+
+    let events: Vec<EventRecord> = flight::snapshot()
+        .into_iter()
+        .filter(|e| (0xaa00_0001..=0xaa00_0004).contains(&e.arg))
+        .collect();
+    assert_eq!(events.len(), 4, "all four sentinel events present");
+    // snapshot() sorts by timestamp: record order is preserved.
+    let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        [EventKind::Accept, EventKind::Admit, EventKind::Panic, EventKind::Completed]
+    );
+    assert_eq!(events[0].trace, 0x0000_0009_0000_0001, "trace context stamped");
+    assert_eq!(events[2].trace, 0, "no context inside catch_unwind closure");
+}
+
+#[test]
+fn flight_journal_wraps_keeping_the_latest_events() {
+    let _guard = exclusive();
+
+    let trace = 0x0000_000b_0000_0001;
+    let _scope = trace_scope(trace);
+    let total = u64::try_from(JOURNAL_CAPACITY).unwrap() * 2;
+    for i in 0..total {
+        flight::record(EventKind::CacheHit, 0xbb00_0000 + i);
+    }
+    let mut args: Vec<u64> = flight::snapshot()
+        .into_iter()
+        .filter(|e| e.trace == trace)
+        .map(|e| e.arg - 0xbb00_0000)
+        .collect();
+    args.sort_unstable();
+    // The ring holds exactly the newest JOURNAL_CAPACITY events; the
+    // first half was overwritten. Single-threaded, so no torn slots.
+    let expect: Vec<u64> = (total - u64::try_from(JOURNAL_CAPACITY).unwrap()..total).collect();
+    assert_eq!(args, expect);
+}
+
+#[test]
+fn concurrent_flight_writers_lose_nothing_within_capacity() {
+    let _guard = exclusive();
+
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 64;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                let _scope = trace_scope(0xcc00_0000 + t);
+                for i in 0..PER_THREAD {
+                    flight::record(EventKind::Dequeue, i);
+                }
+            });
+        }
+    });
+    let events = flight::snapshot();
+    for t in 0..THREADS {
+        let mut args: Vec<u64> = events
+            .iter()
+            .filter(|e| e.trace == 0xcc00_0000 + t)
+            .map(|e| e.arg)
+            .collect();
+        args.sort_unstable();
+        assert_eq!(
+            args,
+            (0..PER_THREAD).collect::<Vec<u64>>(),
+            "writer {t} lost events"
+        );
+    }
+}
+
+/// The regression test promised by the `metrics` module docs: cumulative
+/// percentiles are since-start, so after a load shift they keep telling
+/// yesterday's story while the windowed view tracks the live one.
+#[test]
+fn windowed_and_cumulative_views_disagree_after_a_load_shift() {
+    let mut cumulative = Histogram::new();
+    let mut window = WindowedHistogram::new(4);
+
+    // Phase one: a long, fast regime — 100 us latencies.
+    for _ in 0..10_000 {
+        cumulative.record(100);
+        window.record(100);
+    }
+    assert_eq!(cumulative.summary().p50, window.summary().p50, "views agree in steady state");
+
+    // The load shifts: every interval of the window rotates out the old
+    // regime while a slow 10 ms regime arrives.
+    for _ in 0..4 {
+        window.rotate();
+        for _ in 0..100 {
+            cumulative.record(10_000);
+            window.record(10_000);
+        }
+    }
+
+    let live = window.summary();
+    let since_start = cumulative.summary();
+    assert!(
+        live.p50 >= 10_000 / 2,
+        "windowed p50 ({}) tracks the new regime",
+        live.p50
+    );
+    assert!(
+        since_start.p50 <= 200,
+        "cumulative p50 ({}) is still dominated by the 10k old samples",
+        since_start.p50
+    );
+    assert!(
+        live.p50 > since_start.p50 * 10,
+        "the two views must visibly disagree after the shift (window {}, cumulative {})",
+        live.p50,
+        since_start.p50
+    );
+    assert_eq!(window.rotations(), 4);
+    // The cumulative count keeps everything; the window forgot phase one.
+    assert_eq!(since_start.count, 10_400);
+    assert_eq!(window.merged().count(), 400);
+}
+
+/// Byte-pinned golden for the Prometheus-style exposition builder.
+/// Changing this string is a breaking change to the `metrics` op's
+/// exposition output and needs a schema/consumer review.
+const EXPOSITION_GOLDEN: &str = concat!(
+    "# TYPE disparity_requests_total counter\n",
+    "disparity_requests_total{outcome=\"completed\"} 7\n",
+    "disparity_requests_total{outcome=\"overloaded\"} 2\n",
+    "# TYPE disparity_queue_depth gauge\n",
+    "disparity_queue_depth 3\n",
+    "# TYPE disparity_request_latency_us summary\n",
+    "disparity_request_latency_us{endpoint=\"disparity\",view=\"window\",quantile=\"0.5\"} 120\n",
+    "disparity_request_latency_us_sum{endpoint=\"disparity\",view=\"window\"} 840\n",
+    "disparity_request_latency_us_count{endpoint=\"disparity\",view=\"window\"} 7\n",
+    "escaped_label{name=\"a\\\\b\\\"c\\nd\"} 1\n",
+);
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let mut prom = PromText::new();
+    prom.type_line("disparity_requests_total", "counter");
+    prom.sample("disparity_requests_total", &[("outcome", "completed")], 7);
+    prom.sample("disparity_requests_total", &[("outcome", "overloaded")], 2);
+    prom.type_line("disparity_queue_depth", "gauge");
+    prom.sample("disparity_queue_depth", &[], 3);
+    prom.type_line("disparity_request_latency_us", "summary");
+    prom.sample(
+        "disparity_request_latency_us",
+        &[("endpoint", "disparity"), ("view", "window"), ("quantile", "0.5")],
+        120,
+    );
+    prom.sample(
+        "disparity_request_latency_us_sum",
+        &[("endpoint", "disparity"), ("view", "window")],
+        840,
+    );
+    prom.sample(
+        "disparity_request_latency_us_count",
+        &[("endpoint", "disparity"), ("view", "window")],
+        7,
+    );
+    prom.sample("escaped_label", &[("name", "a\\b\"c\nd")], 1);
+    assert_eq!(prom.finish(), EXPOSITION_GOLDEN);
+}
+
+/// Byte-pinned golden for the postmortem NDJSON document. Changing these
+/// bytes is a breaking change to `disparity-obs/postmortem-v1` and needs
+/// a schema bump.
+const POSTMORTEM_GOLDEN: &str = concat!(
+    "{\"schema\":\"disparity-obs/postmortem-v1\",\"reason\":\"panic\",",
+    "\"trace_id\":\"00000002-00000005\",\"events\":2}\n",
+    "{\"ts_ns\":1500,\"thread\":3,\"trace_id\":\"00000002-00000005\",",
+    "\"event\":\"accept\",\"arg\":0}\n",
+    "{\"ts_ns\":2500,\"thread\":3,\"trace_id\":\"00000002-00000005\",",
+    "\"event\":\"panic\",\"arg\":81985529216486895}\n",
+);
+
+#[test]
+fn postmortem_ndjson_matches_golden() {
+    let trace = 0x0000_0002_0000_0005;
+    let events = [
+        EventRecord {
+            ts_ns: 1500,
+            thread: 3,
+            trace,
+            kind: EventKind::Accept,
+            arg: 0,
+        },
+        EventRecord {
+            ts_ns: 2500,
+            thread: 3,
+            trace,
+            kind: EventKind::Panic,
+            arg: 0x0123_4567_89ab_cdef,
+        },
+    ];
+    let doc = flight::render_postmortem("panic", trace, &events);
+    assert_eq!(doc, POSTMORTEM_GOLDEN);
+    // Every line of the document is independently parseable JSON, and
+    // the header names the schema.
+    let mut lines = doc.lines();
+    let header = Value::parse(lines.next().unwrap()).expect("header parses");
+    assert_eq!(header.get("schema").and_then(Value::as_str), Some(POSTMORTEM_SCHEMA));
+    assert_eq!(header.get("events").and_then(Value::as_i64), Some(2));
+    for line in lines {
+        Value::parse(line).expect("event line parses");
+    }
+}

@@ -5,6 +5,7 @@
 //!       [--engine-workers N] [--diag-gate] [--stdin]
 //!       [--max-request-bytes N] [--read-deadline-ms N]
 //!       [--obs] [--trace-out FILE] [--metrics-out FILE]
+//!       [--metrics-interval-ms N] [--postmortem-dir DIR]
 //! ```
 //!
 //! Default mode listens on `--addr` (default `127.0.0.1:7414`, port 0
@@ -15,6 +16,11 @@
 //!
 //! `--obs` enables the in-process recorder; on shutdown the trace and
 //! metrics report are flushed to `--trace-out` / `--metrics-out`.
+//!
+//! `--metrics-interval-ms` turns on the sliding-window latency view
+//! served by the `metrics` op (the window advances one interval per
+//! tick); `--postmortem-dir` makes panics, quarantines, and `dump` ops
+//! write flight-recorder NDJSON postmortems into the directory.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -85,6 +91,18 @@ fn parse_args() -> Result<Args, String> {
                 args.options.read_deadline =
                     (ms > 0).then(|| std::time::Duration::from_millis(ms));
             }
+            "--metrics-interval-ms" => {
+                let ms: u64 = value("--metrics-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--metrics-interval-ms: {e}"))?;
+                // 0 disables the window rotator (cumulative stats only).
+                args.config.metrics_interval =
+                    (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--postmortem-dir" => {
+                args.config.postmortem_dir =
+                    Some(std::path::PathBuf::from(value("--postmortem-dir")?));
+            }
             "--diag-gate" => args.config.diag_gate = true,
             "--stdin" => args.stdin_mode = true,
             "--obs" => args.obs = true,
@@ -94,7 +112,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: serve [--addr HOST:PORT] [--workers N] [--queue N] \
                      [--cache N] [--engine-workers N] [--diag-gate] [--stdin] \
                      [--max-request-bytes N] [--read-deadline-ms N (0 disables)] \
-                     [--obs] [--trace-out FILE] [--metrics-out FILE]"
+                     [--obs] [--trace-out FILE] [--metrics-out FILE] \
+                     [--metrics-interval-ms N (0 disables)] [--postmortem-dir DIR]"
                     .to_string());
             }
             other => return Err(format!("unknown flag {other:?}")),

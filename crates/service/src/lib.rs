@@ -20,6 +20,18 @@
 //! * [`server`] — the TCP listener and the stdin batch runner, with a
 //!   graceful drain that answers every accepted request.
 //!
+//! # Live telemetry
+//!
+//! Every response line carries a trailing `trace_id` (connection id +
+//! request sequence, stamped by the transport via
+//! [`proto::attach_trace`] so the body bytes stay identical to a direct
+//! engine run). The same id is installed as the worker's span context
+//! ([`disparity_obs::trace_scope`]) and tagged onto the always-on flight
+//! recorder's lifecycle events ([`disparity_obs::flight`]), which are
+//! dumped as NDJSON postmortems on panics, quarantines, or the `dump`
+//! op. Sliding-window latency percentiles and a Prometheus-style text
+//! exposition are served by the `metrics` op.
+//!
 //! # Examples
 //!
 //! ```
@@ -29,9 +41,10 @@
 //! let service = Service::start(ServiceConfig::default());
 //! let (tx, rx) = channel();
 //! let request = Request::parse(r#"{"id":1,"op":"ping"}"#)?;
-//! assert!(service.submit(request, 1, &tx));
+//! assert!(service.submit(request, 1, TraceId::new(0, 1), &tx));
 //! let reply = rx.recv()?;
 //! assert!(reply.line.contains("\"pong\":true"));
+//! assert!(reply.line.contains("\"trace_id\":\"00000000-00000001\""));
 //! service.shutdown();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -54,7 +67,7 @@ pub mod service;
 /// Convenient glob-import of the most used items.
 pub mod prelude {
     pub use crate::cache::{GraphEntry, ShardedCache};
-    pub use crate::proto::{Op, Request, Status};
+    pub use crate::proto::{Op, Request, Status, TraceId};
     pub use crate::queue::{BoundedQueue, PushError};
     pub use crate::server::{run_batch, serve, serve_with, ServeOptions, ServerHandle};
     pub use crate::service::{Reply, Service, ServiceConfig};

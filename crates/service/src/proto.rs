@@ -12,6 +12,12 @@
 //! server bytes — nothing request-scoped (cache hits, queue position,
 //! timing) may leak into them.
 //!
+//! The one request-scoped member a wire response *does* carry is the
+//! `trace_id`: transports stamp it onto the already-encoded line with
+//! [`attach_trace`] as the very last step, and verifiers peel it back off
+//! with [`split_trace`] to recover the pure bytes. The encoders and
+//! [`response_line`] itself never see it.
+//!
 //! [`AnalysisEngine`]: disparity_core::engine::AnalysisEngine
 
 use disparity_core::buffering::{BufferedSide, OptimizationOutcome};
@@ -65,6 +71,12 @@ pub enum Op {
     },
     /// Server statistics (counters, queue depth, latency percentiles).
     Stats,
+    /// Live metrics: Prometheus-style text exposition plus sliding-window
+    /// latency percentiles per endpoint.
+    Metrics,
+    /// Flight-recorder dump: write a postmortem NDJSON artifact (when the
+    /// server has a postmortem directory configured) and report its path.
+    Dump,
     /// Worker-pool health: configured vs. alive workers, respawns,
     /// quarantine size, drain flag.
     Health,
@@ -110,9 +122,83 @@ impl Op {
             | Op::Backward { spec, .. }
             | Op::Buffer { spec, .. }
             | Op::Panic { spec, .. } => Some(spec),
-            Op::Stats | Op::Health | Op::Ping | Op::Sleep { .. } | Op::Shutdown => None,
+            Op::Stats
+            | Op::Metrics
+            | Op::Dump
+            | Op::Health
+            | Op::Ping
+            | Op::Sleep { .. }
+            | Op::Shutdown => None,
         }
     }
+}
+
+/// A request-scoped trace id: connection id in the high 32 bits, the
+/// connection's request sequence number in the low 32 bits. Echoed as
+/// `trace_id` in every response line and installed as the worker's span
+/// context (see [`disparity_obs::trace_scope`]), so a wire response, its
+/// span tree in the Chrome trace, and its flight-recorder events all
+/// correlate on the same token. Batch mode uses connection id 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// Compose from a connection id and that connection's request
+    /// sequence number (both truncated to 32 bits).
+    #[must_use]
+    pub fn new(conn: u64, seq: u64) -> Self {
+        TraceId(((conn & 0xffff_ffff) << 32) | (seq & 0xffff_ffff))
+    }
+
+    /// The raw 64-bit token (what [`disparity_obs::trace_scope`] takes).
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&disparity_obs::format_trace_id(self.0))
+    }
+}
+
+/// Stamp `trace` onto an already-encoded response line as its trailing
+/// `trace_id` member. Must be the transport's last step before the bytes
+/// hit the wire: everything before the stamp stays byte-identical to a
+/// direct engine run, which is what the byte-identity oracles compare.
+#[must_use]
+pub fn attach_trace(line: &str, trace: TraceId) -> String {
+    let Some(body) = line.strip_suffix('}') else {
+        // Not a JSON object (can't happen for lines we build); pass through.
+        return line.to_string();
+    };
+    let sep = if body.ends_with('{') { "" } else { "," };
+    format!("{body}{sep}\"trace_id\":\"{trace}\"}}")
+}
+
+/// Undo [`attach_trace`]: split a wire response into its pure line (the
+/// bytes a direct engine run encodes to) and the `trace_id` text.
+/// Returns `None` when the line carries no trailing trace stamp.
+#[must_use]
+pub fn split_trace(line: &str) -> Option<(String, String)> {
+    let marker = ",\"trace_id\":\"";
+    let start = line.rfind(marker)?;
+    let id = line[start + marker.len()..].strip_suffix("\"}")?;
+    Some((format!("{}}}", &line[..start]), id.to_string()))
+}
+
+/// Whether `id` spells a well-formed trace id: two dash-separated
+/// 8-digit lowercase-hex halves (`HHHHHHHH-HHHHHHHH`).
+#[must_use]
+pub fn is_trace_id(id: &str) -> bool {
+    let bytes = id.as_bytes();
+    bytes.len() == 17
+        && bytes[8] == b'-'
+        && bytes
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| i == 8 || b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
 }
 
 /// A parsed request: the echoed `id` plus the operation.
@@ -312,6 +398,8 @@ impl Request {
                     .map_err(|m| ProtoError::new(&id, m))?,
             },
             "stats" => Op::Stats,
+            "metrics" => Op::Metrics,
+            "dump" => Op::Dump,
             "health" => Op::Health,
             "ping" => Op::Ping,
             "sleep" => Op::Sleep {
@@ -352,6 +440,8 @@ impl Request {
             Op::Backward { .. } => "backward",
             Op::Buffer { .. } => "buffer",
             Op::Stats => "stats",
+            Op::Metrics => "metrics",
+            Op::Dump => "dump",
             Op::Health => "health",
             Op::Ping => "ping",
             Op::Sleep { .. } => "sleep",
@@ -581,6 +671,52 @@ mod tests {
         );
         let v = Value::parse(&line).unwrap();
         assert_eq!(v.get("status").unwrap().as_str(), Some("internal_error"));
+    }
+
+    #[test]
+    fn parses_metrics_and_dump_ops() {
+        let req = Request::parse(r#"{"id":1,"op":"metrics"}"#).unwrap();
+        assert_eq!(req.op, Op::Metrics);
+        assert_eq!(req.endpoint(), "metrics");
+        assert!(req.op.spec().is_none());
+        let req = Request::parse(r#"{"id":2,"op":"dump"}"#).unwrap();
+        assert_eq!(req.op, Op::Dump);
+        assert_eq!(req.endpoint(), "dump");
+    }
+
+    #[test]
+    fn trace_id_round_trips_through_attach_and_split() {
+        let trace = TraceId::new(3, 17);
+        assert_eq!(trace.to_string(), "00000003-00000011");
+        assert!(is_trace_id(&trace.to_string()));
+        assert!(!is_trace_id("0000000300000011"));
+        assert!(!is_trace_id("0000000G-00000011"));
+
+        let line = response_line(&Value::Int(7), Status::Ok, ResponseBody::None);
+        let stamped = attach_trace(&line, trace);
+        assert!(stamped.ends_with(r#""trace_id":"00000003-00000011"}"#));
+        let v = Value::parse(&stamped).unwrap();
+        assert_eq!(v.get("trace_id").unwrap().as_str(), Some("00000003-00000011"));
+        let (core, id) = split_trace(&stamped).unwrap();
+        assert_eq!(core, line);
+        assert_eq!(id, "00000003-00000011");
+        assert!(split_trace(&line).is_none());
+    }
+
+    #[test]
+    fn attach_trace_handles_error_and_refusal_lines() {
+        for (status, body) in [
+            (Status::Overloaded, ResponseBody::Error("queue full".into())),
+            (Status::InternalError, ResponseBody::Error("panic".into())),
+            (Status::Error, ResponseBody::Error("trace_id\":\"decoy".into())),
+        ] {
+            let line = response_line(&Value::Null, status, body);
+            let stamped = attach_trace(&line, TraceId::new(1, 1));
+            let v = Value::parse(&stamped).expect("stamped line stays valid JSON");
+            assert_eq!(v.get("trace_id").unwrap().as_str(), Some("00000001-00000001"));
+            let (core, _) = split_trace(&stamped).unwrap();
+            assert_eq!(core, line, "split recovers the pure bytes");
+        }
     }
 
     #[test]

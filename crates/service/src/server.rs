@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use disparity_model::json::Value;
 
-use crate::proto::{response_line, Request, ResponseBody, Status};
+use crate::proto::{attach_trace, response_line, Request, ResponseBody, Status, TraceId};
 use crate::service::{Reply, Service};
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -127,7 +127,9 @@ pub fn serve_with(
         closing: AtomicBool::new(false),
         client_reads: Mutex::new(std::collections::HashMap::new()),
         conn_threads: Mutex::new(Vec::new()),
-        next_conn_id: AtomicU64::new(0),
+        // Connection ids start at 1: id 0 is reserved for batch mode, so
+        // a trace id's high half distinguishes the two transports.
+        next_conn_id: AtomicU64::new(1),
     });
     let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
@@ -200,7 +202,7 @@ fn spawn_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
     let (tx, rx) = channel::<Reply>();
     let reader_shared = Arc::clone(shared);
     let reader = std::thread::spawn(move || {
-        connection_reader(&stream, &reader_shared, &tx);
+        connection_reader(&stream, conn_id, &reader_shared, &tx);
         lock(&reader_shared.client_reads).remove(&conn_id);
     });
     let writer = std::thread::spawn(move || connection_writer(write_half, &rx));
@@ -217,26 +219,42 @@ fn spawn_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
 /// batch mode. Invalid UTF-8 is replaced lossily so it fails in the JSON
 /// parser with an ordinary error response instead of killing the
 /// connection.
-fn handle_line(bytes: &[u8], seq: &mut u64, service: &Arc<Service>, tx: &Sender<Reply>) {
+///
+/// The request's trace id is derived here — connection id high half,
+/// this connection's line sequence low half — so every response on the
+/// wire carries one, parse errors included.
+fn handle_line(
+    bytes: &[u8],
+    seq: &mut u64,
+    conn_id: u64,
+    service: &Arc<Service>,
+    tx: &Sender<Reply>,
+) {
     let line = String::from_utf8_lossy(bytes);
     if line.trim().is_empty() {
         return;
     }
     *seq += 1;
+    let trace = TraceId::new(conn_id, *seq);
     match Request::parse(&line) {
         Ok(request) => {
-            let _ = service.submit(request, *seq, tx);
+            let _ = service.submit(request, *seq, trace, tx);
         }
-        Err(e) => Service::reply_parse_error(&e, *seq, tx),
+        Err(e) => Service::reply_parse_error(&e, *seq, trace, tx),
     }
 }
 
 /// Sends an out-of-band transport error (no request id is available —
 /// the offending line never parsed) without going through the queue.
-fn transport_error(seq: &mut u64, tx: &Sender<Reply>, message: &str) {
+/// Transport errors consume a sequence number, so they too get a unique
+/// trace id.
+fn transport_error(seq: &mut u64, conn_id: u64, tx: &Sender<Reply>, message: &str) {
     *seq += 1;
     let line = response_line(&Value::Null, Status::Error, ResponseBody::Error(message.into()));
-    let _ = tx.send(Reply { seq: *seq, line });
+    let _ = tx.send(Reply {
+        seq: *seq,
+        line: attach_trace(&line, TraceId::new(conn_id, *seq)),
+    });
 }
 
 /// Reads request lines until EOF: parse, then admission-controlled
@@ -248,7 +266,12 @@ fn transport_error(seq: &mut u64, tx: &Sender<Reply>, message: &str) {
 /// stays unterminated past the read deadline gets an error response and
 /// the connection is closed, and a partial line at EOF is dropped as
 /// truncated rather than parsed.
-fn connection_reader(stream: &TcpStream, shared: &Arc<ServerShared>, tx: &Sender<Reply>) {
+fn connection_reader(
+    stream: &TcpStream,
+    conn_id: u64,
+    shared: &Arc<ServerShared>,
+    tx: &Sender<Reply>,
+) {
     let service = &shared.service;
     let options = &shared.options;
     // A finite timeout turns blocking reads into a poll loop so the
@@ -277,7 +300,7 @@ fn connection_reader(stream: &TcpStream, shared: &Arc<ServerShared>, tx: &Sender
                         if discarding {
                             discarding = false;
                         } else {
-                            handle_line(&line, &mut seq, service, tx);
+                            handle_line(&line, &mut seq, conn_id, service, tx);
                         }
                         line.clear();
                         line_started = None;
@@ -294,6 +317,7 @@ fn connection_reader(stream: &TcpStream, shared: &Arc<ServerShared>, tx: &Sender
                         disparity_obs::counter_add("service.oversized_lines", 1);
                         transport_error(
                             &mut seq,
+                            conn_id,
                             tx,
                             &format!(
                                 "request line exceeds the {}-byte cap and was discarded",
@@ -318,6 +342,7 @@ fn connection_reader(stream: &TcpStream, shared: &Arc<ServerShared>, tx: &Sender
                 disparity_obs::counter_add("service.read_deadline_closes", 1);
                 transport_error(
                     &mut seq,
+                    conn_id,
                     tx,
                     &format!(
                         "request line not completed within {}ms; closing connection",
@@ -379,11 +404,13 @@ pub fn run_batch(
             continue;
         }
         submitted += 1;
+        // Batch mode is connection 0; the line number is the sequence.
+        let trace = TraceId::new(0, submitted);
         match Request::parse(line) {
             Ok(request) => {
-                let _ = service.submit_blocking(request, submitted, &tx);
+                let _ = service.submit_blocking(request, submitted, trace, &tx);
             }
-            Err(e) => Service::reply_parse_error(&e, submitted, &tx),
+            Err(e) => Service::reply_parse_error(&e, submitted, trace, &tx),
         }
     }
     drop(tx);

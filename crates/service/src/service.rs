@@ -26,11 +26,12 @@
 
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use disparity_analyzer::checks::{analyze_spec, DiagConfig};
 use disparity_core::buffering::optimize_task;
@@ -40,13 +41,14 @@ use disparity_core::error::AnalysisError;
 use disparity_model::chain::Chain;
 use disparity_model::json::{self, Value};
 use disparity_model::spec::SystemSpec;
-use disparity_obs::Histogram;
+use disparity_obs::flight::{self, EventKind};
+use disparity_obs::{Histogram, WindowedHistogram};
 use disparity_sched::schedulability::analyze;
 
 use crate::cache::{GraphEntry, ShardedCache};
 use crate::proto::{
-    encode_backward_result, encode_buffer_result, encode_disparity_result, response_line, Op,
-    PanicKind, ProtoError, Request, ResponseBody, Status,
+    attach_trace, encode_backward_result, encode_buffer_result, encode_disparity_result,
+    response_line, Op, PanicKind, ProtoError, Request, ResponseBody, Status, TraceId,
 };
 use crate::queue::{BoundedQueue, PushError};
 
@@ -66,6 +68,18 @@ pub struct ServiceConfig {
     /// service runs fewer workers than cores; the engine's reduction is
     /// byte-identical for any value.
     pub engine_workers: usize,
+    /// Rotation period of the sliding latency windows. `Some` spawns a
+    /// rotation thread in [`Service::start`]; `None` leaves the windows
+    /// frozen on their first interval (rotate manually via
+    /// [`Service::rotate_windows`], as tests do).
+    pub metrics_interval: Option<Duration>,
+    /// Interval buckets per sliding window (the live view spans roughly
+    /// `window_intervals x metrics_interval` of trailing time).
+    pub window_intervals: usize,
+    /// Where flight-recorder postmortems are written on a panic, a
+    /// quarantine, or the `dump` op. `None` disables dump files (the
+    /// in-memory journals still record).
+    pub postmortem_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +90,9 @@ impl Default for ServiceConfig {
             cache_capacity: 32,
             diag_gate: false,
             engine_workers: 1,
+            metrics_interval: None,
+            window_intervals: disparity_obs::window::DEFAULT_INTERVALS,
+            postmortem_dir: None,
         }
     }
 }
@@ -97,6 +114,11 @@ pub struct Job {
     pub request: Request,
     /// Submitter sequence number, echoed in [`Reply::seq`].
     pub seq: u64,
+    /// Request trace id: stamped onto the response line, installed as
+    /// the worker's span context, tagged onto flight events.
+    pub trace: TraceId,
+    /// When admission accepted the job (start of its queue wait).
+    pub accepted: Instant,
     /// Where the response line goes.
     pub reply: Sender<Reply>,
 }
@@ -175,6 +197,15 @@ fn bump(c: &AtomicU64) {
     c.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Per-endpoint latency: the cumulative-since-start histogram the
+/// `stats` op has always reported, plus the sliding window behind the
+/// `metrics` op's live percentiles.
+#[derive(Debug)]
+struct EndpointLatency {
+    cumulative: Histogram,
+    window: WindowedHistogram,
+}
+
 /// The service. Construct with [`Service::start`]; share via `Arc`.
 pub struct Service {
     config: ServiceConfig,
@@ -182,10 +213,11 @@ pub struct Service {
     cache: ShardedCache,
     /// Public so transports and tests can read hit/miss counts.
     pub counters: Counters,
-    latency: Mutex<HashMap<&'static str, Histogram>>,
+    latency: Mutex<HashMap<&'static str, EndpointLatency>>,
     on_shutdown: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     supervisor: Mutex<Option<JoinHandle<()>>>,
+    rotator: Mutex<Option<JoinHandle<()>>>,
     quarantine: Quarantine,
 }
 
@@ -204,6 +236,9 @@ impl Service {
     /// service handle.
     #[must_use]
     pub fn start(config: ServiceConfig) -> Arc<Service> {
+        // The flight recorder allocates its journals on first use; doing
+        // it here keeps every later record call allocation-free.
+        flight::init();
         let service = Arc::new(Service {
             queue: Arc::new(BoundedQueue::new(config.queue_capacity)),
             cache: ShardedCache::new(config.cache_capacity),
@@ -212,6 +247,7 @@ impl Service {
             on_shutdown: Mutex::new(None),
             workers: Mutex::new(Vec::new()),
             supervisor: Mutex::new(None),
+            rotator: Mutex::new(None),
             quarantine: Quarantine::default(),
             config,
         });
@@ -224,7 +260,39 @@ impl Service {
         *lock(&service.workers) = handles;
         let svc = Arc::clone(&service);
         *lock(&service.supervisor) = Some(std::thread::spawn(move || svc.supervisor_loop()));
+        if let Some(interval) = service.config.metrics_interval {
+            let svc = Arc::clone(&service);
+            *lock(&service.rotator) =
+                Some(std::thread::spawn(move || svc.rotator_loop(interval)));
+        }
         service
+    }
+
+    /// The window-rotation thread: advances every sliding latency window
+    /// once per `interval`, so the `metrics` op's live percentiles cover
+    /// the last `window_intervals x interval` of traffic. Exits with the
+    /// drain (polls the queue's closed flag between short sleeps so
+    /// shutdown never waits a full interval).
+    fn rotator_loop(&self, interval: Duration) {
+        let poll = interval.min(Duration::from_millis(50));
+        let mut next = Instant::now() + interval;
+        loop {
+            if self.queue.is_closed() {
+                return;
+            }
+            std::thread::sleep(poll);
+            if Instant::now() >= next {
+                self.rotate_windows();
+                next += interval;
+            }
+        }
+    }
+
+    /// Advance every endpoint's sliding latency window one interval.
+    pub fn rotate_windows(&self) {
+        for latency in lock(&self.latency).values_mut() {
+            latency.window.rotate();
+        }
     }
 
     /// The supervisor: polls the worker pool and replaces any thread that
@@ -280,67 +348,107 @@ impl Service {
     /// Admission-controlled submit: a full queue answers `overloaded`
     /// immediately on `reply`, a draining service answers
     /// `shutting_down`. Returns `true` when the job was accepted.
-    pub fn submit(&self, request: Request, seq: u64, reply: &Sender<Reply>) -> bool {
+    pub fn submit(&self, request: Request, seq: u64, trace: TraceId, reply: &Sender<Reply>) -> bool {
         bump(&self.counters.received);
         self.observe_queue_depth();
+        let scope = disparity_obs::trace_scope(trace.as_u64());
+        flight::record(EventKind::Accept, 0);
         let job = Job {
             request,
             seq,
+            trace,
+            accepted: Instant::now(),
             reply: reply.clone(),
         };
-        match self.queue.try_push(job) {
-            Ok(()) => true,
+        let admitted = match self.queue.try_push(job) {
+            Ok(()) => {
+                flight::record(EventKind::Admit, 0);
+                true
+            }
             Err((job, reason)) => {
                 self.refuse(job, reason);
                 false
             }
-        }
+        };
+        drop(scope);
+        admitted
     }
 
     /// Backpressure submit for batch mode: blocks while the queue is
     /// full; only a draining service refuses (answered inline).
-    pub fn submit_blocking(&self, request: Request, seq: u64, reply: &Sender<Reply>) -> bool {
+    pub fn submit_blocking(
+        &self,
+        request: Request,
+        seq: u64,
+        trace: TraceId,
+        reply: &Sender<Reply>,
+    ) -> bool {
         bump(&self.counters.received);
         self.observe_queue_depth();
+        let scope = disparity_obs::trace_scope(trace.as_u64());
+        flight::record(EventKind::Accept, 0);
         let job = Job {
             request,
             seq,
+            trace,
+            accepted: Instant::now(),
             reply: reply.clone(),
         };
-        match self.queue.push_blocking(job) {
-            Ok(()) => true,
+        let admitted = match self.queue.push_blocking(job) {
+            Ok(()) => {
+                flight::record(EventKind::Admit, 0);
+                true
+            }
             Err((job, reason)) => {
                 self.refuse(job, reason);
                 false
             }
-        }
+        };
+        drop(scope);
+        admitted
     }
 
     /// Answers a malformed request line on behalf of a transport. The
     /// error never enters the queue, so parse failures cannot displace
     /// analyzable work.
-    pub fn reply_parse_error(err: &ProtoError, seq: u64, reply: &Sender<Reply>) {
+    pub fn reply_parse_error(err: &ProtoError, seq: u64, trace: TraceId, reply: &Sender<Reply>) {
         disparity_obs::counter_add("service.parse_errors", 1);
+        let scope = disparity_obs::trace_scope(trace.as_u64());
+        // The span is the request's whole trace: a parse failure never
+        // reaches the queue or a worker, so nothing else records for it.
+        let _span = disparity_obs::span("service.parse_error");
+        flight::record(EventKind::ParseError, 0);
+        drop(scope);
         let line = response_line(
             &err.id,
             Status::Error,
             ResponseBody::Error(err.to_string()),
         );
-        let _ = reply.send(Reply { seq, line });
+        let _ = reply.send(Reply {
+            seq,
+            line: attach_trace(&line, trace),
+        });
     }
 
     fn refuse(&self, job: Job, reason: PushError) {
+        // Refusals never reach a worker, so the refusal span (and its
+        // flight event) is the request's whole trace — recorded here on
+        // the submitting thread, inside the caller's trace scope.
+        let mut span = disparity_obs::span("service.refuse");
         let status = match reason {
             PushError::Full => {
                 bump(&self.counters.overloaded);
                 disparity_obs::counter_add("service.overloaded", 1);
+                flight::record(EventKind::Overload, 0);
                 Status::Overloaded
             }
             PushError::Closed => {
                 bump(&self.counters.shutting_down);
+                flight::record(EventKind::ShuttingDown, 0);
                 Status::ShuttingDown
             }
         };
+        span.attr("status", status.as_str());
         let line = response_line(
             &job.request.id,
             status,
@@ -351,7 +459,7 @@ impl Service {
         );
         let _ = job.reply.send(Reply {
             seq: job.seq,
-            line,
+            line: attach_trace(&line, job.trace),
         });
     }
 
@@ -361,8 +469,12 @@ impl Service {
     pub fn shutdown(&self) {
         self.queue.close();
         // The supervisor exits on its next poll once the queue is closed;
-        // join it first so it cannot respawn into the drain.
+        // join it first so it cannot respawn into the drain. The window
+        // rotator watches the same flag.
         if let Some(h) = lock(&self.supervisor).take() {
+            let _ = h.join();
+        }
+        if let Some(h) = lock(&self.rotator).take() {
             let _ = h.join();
         }
         let handles = std::mem::take(&mut *lock(&self.workers));
@@ -386,6 +498,19 @@ impl Service {
 
     fn worker_loop(&self) {
         while let Some(job) = self.queue.pop() {
+            // Install the request's trace context for the whole job:
+            // every span the processing opens (cache lookup, WCRT,
+            // pairwise sweep) and every flight event recorded below
+            // carries the id echoed in the response line.
+            let trace = job.trace;
+            let _scope = disparity_obs::trace_scope(trace.as_u64());
+            let dequeued = Instant::now();
+            let wait = dequeued.saturating_duration_since(job.accepted);
+            flight::record(
+                EventKind::Dequeue,
+                u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX),
+            );
+            disparity_obs::record_span("service.queue_wait", job.accepted, dequeued);
             // The worker-kill test op escapes the isolation boundary by
             // design: take the quarantine strike, then die. The request
             // goes unanswered (its reply sender drops with the job) and
@@ -401,7 +526,12 @@ impl Service {
                 if !self.quarantine.is_quarantined(hash) {
                     bump(&self.counters.panics);
                     disparity_obs::counter_add("service.panics", 1);
-                    self.quarantine.record(hash);
+                    flight::record(EventKind::Panic, hash);
+                    flight::record(EventKind::WorkerDeath, hash);
+                    if self.quarantine.record(hash) {
+                        flight::record(EventKind::Quarantine, hash);
+                        self.write_postmortem("quarantine", trace.as_u64());
+                    }
                     drop(job);
                     panic!("deliberate worker death (op \"panic\", mode \"worker\")");
                 }
@@ -415,7 +545,7 @@ impl Service {
             self.record_latency(job.request.endpoint(), started);
             let _ = job.reply.send(Reply {
                 seq: job.seq,
-                line,
+                line: attach_trace(&line, trace),
             });
             if is_shutdown {
                 if let Some(hook) = lock(&self.on_shutdown).as_ref() {
@@ -428,10 +558,14 @@ impl Service {
     fn record_latency(&self, endpoint: &'static str, started: Instant) {
         let elapsed = started.elapsed();
         let micros = i64::try_from(elapsed.as_micros()).unwrap_or(i64::MAX);
-        lock(&self.latency)
-            .entry(endpoint)
-            .or_default()
-            .record(micros);
+        let mut latency = lock(&self.latency);
+        let entry = latency.entry(endpoint).or_insert_with(|| EndpointLatency {
+            cumulative: Histogram::new(),
+            window: WindowedHistogram::new(self.config.window_intervals),
+        });
+        entry.cumulative.record(micros);
+        entry.window.record(micros);
+        drop(latency);
         if disparity_obs::is_enabled() {
             let nanos = i64::try_from(elapsed.as_nanos()).unwrap_or(i64::MAX);
             disparity_obs::observe_duration(
@@ -458,6 +592,7 @@ impl Service {
             if self.quarantine.is_quarantined(hash) {
                 bump(&self.counters.quarantined);
                 disparity_obs::counter_add("service.quarantine.rejected", 1);
+                flight::record(EventKind::Error, hash);
                 return response_line(
                     &request.id,
                     Status::Rejected,
@@ -472,11 +607,16 @@ impl Service {
             Err(payload) => {
                 bump(&self.counters.panics);
                 disparity_obs::counter_add("service.panics", 1);
+                let trace = disparity_obs::current_trace();
+                flight::record(EventKind::Panic, hash.unwrap_or(0));
                 if let Some(hash) = hash {
                     if self.quarantine.record(hash) {
                         disparity_obs::counter_add("service.quarantine.added", 1);
+                        flight::record(EventKind::Quarantine, hash);
+                        self.write_postmortem("quarantine", trace);
                     }
                 }
+                self.write_postmortem("panic", trace);
                 let spec_text =
                     hash.map_or_else(|| "none".to_string(), |h| format!("{h:016x}"));
                 response_line(
@@ -491,6 +631,15 @@ impl Service {
         }
     }
 
+    /// Best-effort postmortem dump: snapshot the flight journals into
+    /// `postmortem_dir` (when configured). Failures are swallowed — a
+    /// full disk must not turn a contained panic into a lost response.
+    fn write_postmortem(&self, reason: &str, trace: u64) {
+        if let Some(dir) = &self.config.postmortem_dir {
+            let _ = flight::write_postmortem(dir, reason, trace);
+        }
+    }
+
     /// Processes one request to a complete response line. Pure with
     /// respect to the transport: the line depends on the request and the
     /// analysis result, never on cache or queue state (`stats` excepted).
@@ -500,11 +649,13 @@ impl Service {
         let (status, body) = match outcome {
             Ok(result) => {
                 bump(&self.counters.completed);
+                flight::record(EventKind::Completed, 0);
                 (Status::Ok, ResponseBody::Result(result))
             }
             Err(Refusal::Timeout) => {
                 bump(&self.counters.timeouts);
                 disparity_obs::counter_add("service.timeouts", 1);
+                flight::record(EventKind::Deadline, request.deadline_ms.unwrap_or(0));
                 (
                     Status::Timeout,
                     ResponseBody::Error("soft deadline exceeded".into()),
@@ -513,11 +664,13 @@ impl Service {
             Err(Refusal::DiagGate(detail)) => {
                 bump(&self.counters.rejected);
                 disparity_obs::counter_add("service.diag_rejects", 1);
+                flight::record(EventKind::Error, 0);
                 (Status::Rejected, ResponseBody::Error(detail))
             }
             Err(Refusal::Failed(detail)) => {
                 bump(&self.counters.errors);
                 disparity_obs::counter_add("service.errors", 1);
+                flight::record(EventKind::Error, 0);
                 (Status::Error, ResponseBody::Error(detail))
             }
         };
@@ -531,6 +684,25 @@ impl Service {
         match &request.op {
             Op::Ping => Ok(json::object(vec![("pong", Value::Bool(true))])),
             Op::Stats => Ok(self.stats_json()),
+            Op::Metrics => Ok(self.metrics_json()),
+            Op::Dump => {
+                flight::record(EventKind::Dump, 0);
+                let trace = disparity_obs::current_trace();
+                let events = flight::snapshot().len();
+                let path = match &self.config.postmortem_dir {
+                    None => Value::Null,
+                    Some(dir) => {
+                        let path = flight::write_postmortem(dir, "dump", trace)
+                            .map_err(|e| Refusal::Failed(format!("postmortem dump failed: {e}")))?;
+                        Value::from(path.display().to_string())
+                    }
+                };
+                Ok(json::object(vec![
+                    ("dumped", Value::Bool(!matches!(path, Value::Null))),
+                    ("path", path),
+                    ("events", Value::from(events)),
+                ]))
+            }
             Op::Health => Ok(self.health_json()),
             Op::Panic { kind, spec } => {
                 // Testing aid for the isolation layer; the panic is caught
@@ -626,13 +798,19 @@ impl Service {
     ) -> Result<Arc<GraphEntry>, Refusal> {
         let key = spec.canonical_hash();
         let canonical = spec.canonical_text();
-        if let Some(entry) = self.cache.get(key, &canonical) {
+        let mut lookup = disparity_obs::span("service.cache.lookup");
+        let cached = self.cache.get(key, &canonical);
+        lookup.attr("hit", i64::from(cached.is_some()));
+        drop(lookup);
+        if let Some(entry) = cached {
             bump(&self.counters.cache_hits);
             disparity_obs::counter_add("service.cache.hits", 1);
+            flight::record(EventKind::CacheHit, key);
             return Ok(entry);
         }
         bump(&self.counters.cache_misses);
         disparity_obs::counter_add("service.cache.misses", 1);
+        flight::record(EventKind::CacheMiss, key);
         if self.config.diag_gate {
             let diags = analyze_spec(spec, &DiagConfig { chain_limit })
                 .map_err(|e| Refusal::Failed(format!("bad spec: {e}")))?;
@@ -679,10 +857,11 @@ impl Service {
             ("quarantined", uint(load(&c.quarantined))),
             ("worker_respawns", uint(load(&c.worker_respawns))),
         ]);
-        let mut latency: Vec<(String, Value)> = lock(&self.latency)
+        let guard = lock(&self.latency);
+        let mut latency: Vec<(String, Value)> = guard
             .iter()
-            .map(|(endpoint, hist)| {
-                let s = hist.summary();
+            .map(|(endpoint, lat)| {
+                let s = lat.cumulative.summary();
                 (
                     (*endpoint).to_string(),
                     json::object(vec![
@@ -696,6 +875,8 @@ impl Service {
             })
             .collect();
         latency.sort_by(|a, b| a.0.cmp(&b.0));
+        let windowed = Self::window_json(&guard);
+        drop(guard);
         json::object(vec![
             ("counters", counters),
             ("queue_depth", Value::from(self.queue.len())),
@@ -705,7 +886,126 @@ impl Service {
             ("workers_alive", Value::from(self.workers_alive())),
             ("quarantined_specs", Value::from(self.quarantine.len())),
             ("latency_us", Value::Object(latency)),
+            ("window_latency_us", windowed),
         ])
+    }
+
+    /// Per-endpoint sliding-window latency summaries, sorted by endpoint.
+    fn window_json(latency: &HashMap<&'static str, EndpointLatency>) -> Value {
+        let mut windowed: Vec<(String, Value)> = latency
+            .iter()
+            .map(|(endpoint, lat)| {
+                let s = lat.window.summary();
+                (
+                    (*endpoint).to_string(),
+                    json::object(vec![
+                        ("count", uint(s.count)),
+                        ("p50_us", Value::Int(s.p50)),
+                        ("p95_us", Value::Int(s.p95)),
+                        ("p99_us", Value::Int(s.p99)),
+                        ("max_us", Value::Int(s.max)),
+                    ]),
+                )
+            })
+            .collect();
+        windowed.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(windowed)
+    }
+
+    /// The `metrics` payload: Prometheus-style text exposition plus the
+    /// sliding-window latency summaries as structured JSON (what loadgen's
+    /// `--latency-series` samples).
+    #[must_use]
+    pub fn metrics_json(&self) -> Value {
+        let window = Self::window_json(&lock(&self.latency));
+        json::object(vec![
+            ("exposition", Value::from(self.metrics_exposition())),
+            ("window", window),
+            ("window_intervals", Value::from(self.config.window_intervals)),
+            ("queue_depth", Value::from(self.queue.len())),
+        ])
+    }
+
+    /// Prometheus-style text exposition of the service's counters,
+    /// gauges, and per-endpoint latency summaries. Every latency family
+    /// is emitted twice, labelled `view="cumulative"` (since start) and
+    /// `view="window"` (the sliding window) — the two views disagree
+    /// after a load shift, by design.
+    #[must_use]
+    pub fn metrics_exposition(&self) -> String {
+        let mut prom = disparity_obs::export::PromText::new();
+        let c = &self.counters;
+        prom.type_line("disparity_requests_total", "counter");
+        for (outcome, counter) in [
+            ("received", &c.received),
+            ("completed", &c.completed),
+            ("overloaded", &c.overloaded),
+            ("shutting_down", &c.shutting_down),
+            ("rejected", &c.rejected),
+            ("timeouts", &c.timeouts),
+            ("errors", &c.errors),
+            ("panics", &c.panics),
+            ("quarantined", &c.quarantined),
+        ] {
+            prom.sample(
+                "disparity_requests_total",
+                &[("outcome", outcome)],
+                i64::try_from(load(counter)).unwrap_or(i64::MAX),
+            );
+        }
+        prom.type_line("disparity_cache_total", "counter");
+        for (result, counter) in [("hit", &c.cache_hits), ("miss", &c.cache_misses)] {
+            prom.sample(
+                "disparity_cache_total",
+                &[("result", result)],
+                i64::try_from(load(counter)).unwrap_or(i64::MAX),
+            );
+        }
+        prom.type_line("disparity_worker_respawns_total", "counter");
+        prom.sample(
+            "disparity_worker_respawns_total",
+            &[],
+            i64::try_from(load(&c.worker_respawns)).unwrap_or(i64::MAX),
+        );
+        for (name, value) in [
+            ("disparity_queue_depth", self.queue.len()),
+            ("disparity_workers_alive", self.workers_alive()),
+            ("disparity_cached_graphs", self.cache.len()),
+            ("disparity_quarantined_specs", self.quarantine.len()),
+        ] {
+            prom.type_line(name, "gauge");
+            prom.sample(name, &[], i64::try_from(value).unwrap_or(i64::MAX));
+        }
+        let guard = lock(&self.latency);
+        let mut endpoints: Vec<&&'static str> = guard.keys().collect();
+        endpoints.sort();
+        prom.type_line("disparity_request_latency_us", "summary");
+        for endpoint in endpoints {
+            let lat = &guard[*endpoint];
+            for (view, s) in [
+                ("cumulative", lat.cumulative.summary()),
+                ("window", lat.window.summary()),
+            ] {
+                for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+                    prom.sample(
+                        "disparity_request_latency_us",
+                        &[("endpoint", endpoint), ("view", view), ("quantile", q)],
+                        v,
+                    );
+                }
+                prom.sample(
+                    "disparity_request_latency_us_sum",
+                    &[("endpoint", endpoint), ("view", view)],
+                    s.sum,
+                );
+                prom.sample(
+                    "disparity_request_latency_us_count",
+                    &[("endpoint", endpoint), ("view", view)],
+                    i64::try_from(s.count).unwrap_or(i64::MAX),
+                );
+            }
+        }
+        prom.finish()
     }
 
     /// Workers currently running (a gauge; a respawn in flight may

@@ -7,11 +7,17 @@
 //! Either way the spec takes a quarantine strike; after two strikes every
 //! further request naming that spec is answered `rejected` immediately.
 //!
-//! Obs stays disabled here; the recorder-asserting shutdown test lives in
-//! its own binary (the recorder is global per process).
+//! The unwind test also exercises the flight-recorder postmortem path:
+//! every contained panic must dump an NDJSON postmortem naming the
+//! poisoned request's `trace_id` and the lifecycle events that led up to
+//! it, and the recorder must keep accepting events afterwards.
+//!
+//! The span recorder stays disabled here (it is global per process); the
+//! flight recorder is always on by design.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use disparity_core::disparity::AnalysisConfig;
@@ -20,10 +26,11 @@ use disparity_model::graph::CauseEffectGraph;
 use disparity_model::ids::TaskId;
 use disparity_model::json::Value;
 use disparity_model::spec::SystemSpec;
+use disparity_obs::flight::{self, EventKind, POSTMORTEM_SCHEMA};
 use disparity_rng::rngs::StdRng;
 use disparity_sched::wcrt::response_times;
 use disparity_service::proto::{
-    encode_disparity_result, response_line, ResponseBody, Status,
+    encode_disparity_result, is_trace_id, response_line, split_trace, ResponseBody, Status,
 };
 use disparity_service::server::{serve, ServerHandle};
 use disparity_service::service::{Service, ServiceConfig, QUARANTINE_AFTER};
@@ -104,10 +111,45 @@ fn error_of(line: &str) -> String {
         .to_string()
 }
 
+/// Split a transport line into its pure body and its well-formed trace id.
+fn peel(line: &str) -> (String, String) {
+    let (pure, trace) = split_trace(line).expect("response carries a trace_id");
+    assert!(is_trace_id(&trace), "malformed trace id: {trace}");
+    (pure, trace)
+}
+
+/// Read the postmortem dump for `reason` + `trace` out of `dir`.
+fn read_postmortem(dir: &Path, reason: &str, trace: &str) -> String {
+    let suffix = format!("-{reason}-{trace}.ndjson");
+    let path = std::fs::read_dir(dir)
+        .expect("postmortem dir exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .find(|p| {
+            p.file_name()
+                .map(|n| n.to_string_lossy().ends_with(&suffix))
+                .unwrap_or(false)
+        })
+        .unwrap_or_else(|| panic!("no postmortem *-{reason}-{trace}.ndjson in {}", dir.display()));
+    std::fs::read_to_string(path).expect("postmortem is readable")
+}
+
+/// Event names in `dump` recorded under `trace`, in dump order.
+fn events_for_trace(dump: &str, trace: &str) -> Vec<String> {
+    dump.lines()
+        .skip(1) // header object
+        .map(|l| Value::parse(l).expect("postmortem line is valid JSON"))
+        .filter(|v| v.get("trace_id").and_then(Value::as_str) == Some(trace))
+        .map(|v| v.get("event").and_then(Value::as_str).expect("event field").to_string())
+        .collect()
+}
+
 #[test]
 fn unwind_panic_answers_internal_error_and_quarantines_after_two() {
+    let pm_dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("panic-postmortems");
+    let _ = std::fs::remove_dir_all(&pm_dir);
     let handle = start_server(ServiceConfig {
         workers: 2,
+        postmortem_dir: Some(pm_dir.clone()),
         ..ServiceConfig::default()
     });
     let (poison, _) = seeded_workload(51);
@@ -115,9 +157,11 @@ fn unwind_panic_answers_internal_error_and_quarantines_after_two() {
     let hash_hex = format!("{hash:016x}");
 
     // Strikes 1..=QUARANTINE_AFTER: contained panics, structured errors.
+    let mut strike_traces = Vec::new();
     for strike in 1..=QUARANTINE_AFTER {
         let got = roundtrip(&handle, &[panic_request(&poison, "unwind", 1)]);
         assert_eq!(status_of(&got[0]), "internal_error", "strike {strike}");
+        strike_traces.push(peel(&got[0]).1);
         let err = error_of(&got[0]);
         assert!(
             err.contains(&hash_hex),
@@ -129,6 +173,41 @@ fn unwind_panic_answers_internal_error_and_quarantines_after_two() {
         );
     }
 
+    // Satellite: every contained panic dumped a postmortem correlated to
+    // the poisoned request, holding the full lead-up to the failure.
+    for (strike, trace) in strike_traces.iter().enumerate() {
+        let dump = read_postmortem(&pm_dir, "panic", trace);
+        let header = Value::parse(dump.lines().next().expect("header line"))
+            .expect("header is valid JSON");
+        assert_eq!(header.get("schema").and_then(Value::as_str), Some(POSTMORTEM_SCHEMA));
+        assert_eq!(header.get("reason").and_then(Value::as_str), Some("panic"));
+        assert_eq!(header.get("trace_id").and_then(Value::as_str), Some(trace.as_str()));
+        let events = events_for_trace(&dump, trace);
+        for needed in ["accept", "admit", "dequeue", "panic"] {
+            assert!(
+                events.iter().any(|e| e == needed),
+                "strike {} postmortem records {needed} for {trace}: {events:?}",
+                strike + 1
+            );
+        }
+    }
+    // The threshold strike also dumped a quarantine postmortem.
+    let quarantine_trace = strike_traces.last().unwrap();
+    let dump = read_postmortem(&pm_dir, "quarantine", quarantine_trace);
+    assert!(
+        events_for_trace(&dump, quarantine_trace).iter().any(|e| e == "quarantine"),
+        "quarantine postmortem records the quarantine event"
+    );
+
+    // The panics did not wedge the recorder: it still accepts events.
+    flight::record(EventKind::Dump, 0xfee1_0001);
+    assert!(
+        flight::snapshot()
+            .iter()
+            .any(|e| e.kind == EventKind::Dump && e.arg == 0xfee1_0001),
+        "flight recorder keeps accepting events after panics"
+    );
+
     // Strike threshold reached: the spec is quarantined, and every
     // further request naming it — panic op or real analysis — bounces
     // without reaching the engine (or the panic site).
@@ -139,11 +218,13 @@ fn unwind_panic_answers_internal_error_and_quarantines_after_two() {
     let got = roundtrip(&handle, &[disparity_request(&poison, poison_sink, 3)]);
     assert_eq!(status_of(&got[0]), "rejected", "analysis of a quarantined spec bounces");
 
-    // A healthy spec is unaffected: byte-identical to the direct run.
+    // A healthy spec is unaffected: after peeling the transport's
+    // trace stamp, the body is byte-identical to the direct run.
     let (healthy, sink) = seeded_workload(52);
     let want = expected_line(&healthy, sink, 4);
     let got = roundtrip(&handle, &[disparity_request(&healthy, sink, 4)]);
-    assert_eq!(got, [want]);
+    let (pure, _) = peel(&got[0]);
+    assert_eq!(pure, want);
 
     // The panics never killed a worker.
     let service = handle.service();

@@ -1,6 +1,7 @@
 //! Concurrency contract of the service: responses are byte-identical to
-//! encoding a direct [`AnalysisEngine`] run, identical specs share one
-//! cached graph, and queue saturation loses no responses.
+//! encoding a direct [`AnalysisEngine`] run (after peeling the
+//! transport's `trace_id` stamp), identical specs share one cached
+//! graph, and queue saturation loses no responses.
 //!
 //! Obs stays disabled here; the recorder-asserting shutdown test lives in
 //! its own binary (the recorder is global per process).
@@ -19,7 +20,7 @@ use disparity_model::spec::SystemSpec;
 use disparity_rng::rngs::StdRng;
 use disparity_sched::wcrt::response_times;
 use disparity_service::proto::{
-    encode_disparity_result, response_line, ResponseBody, Status,
+    encode_disparity_result, is_trace_id, response_line, split_trace, ResponseBody, Status,
 };
 use disparity_service::server::{serve, ServerHandle};
 use disparity_service::service::{Service, ServiceConfig};
@@ -78,6 +79,13 @@ fn start_server(config: ServiceConfig) -> ServerHandle {
     serve("127.0.0.1:0", service).expect("bind loopback")
 }
 
+/// Split a transport line into its pure body and its well-formed trace id.
+fn peel(line: &str) -> (String, String) {
+    let (pure, trace) = split_trace(line).expect("response carries a trace_id");
+    assert!(is_trace_id(&trace), "malformed trace id: {trace}");
+    (pure, trace)
+}
+
 #[test]
 fn serial_responses_match_direct_engine_bytes() {
     let handle = start_server(ServiceConfig::default());
@@ -88,13 +96,13 @@ fn serial_responses_match_direct_engine_bytes() {
             &handle,
             &[disparity_request(&graph, sink, i64::try_from(seed).unwrap())],
         );
-        assert_eq!(got, std::slice::from_ref(&want), "seed {seed}");
+        assert_eq!(peel(&got[0]).0, want, "seed {seed}");
         // A second round over the now-cached graph must not change a byte.
         let again = roundtrip(
             &handle,
             &[disparity_request(&graph, sink, i64::try_from(seed).unwrap())],
         );
-        assert_eq!(again, [want], "seed {seed} (cached)");
+        assert_eq!(peel(&again[0]).0, want, "seed {seed} (cached)");
     }
     let service = handle.service();
     assert!(
@@ -128,9 +136,13 @@ fn concurrent_identical_specs_share_cache_and_bytes() {
             .collect();
         clients.into_iter().map(|c| c.join().unwrap()).collect()
     });
+    let mut traces = std::collections::BTreeSet::new();
     for got in responses {
-        assert_eq!(got, std::slice::from_ref(&want));
+        let (pure, trace) = peel(&got[0]);
+        assert_eq!(pure, want);
+        traces.insert(trace);
     }
+    assert_eq!(traces.len(), 8, "identical bodies, but each response has its own trace id");
     let service = handle.service();
     let hits = service
         .counters
@@ -169,7 +181,7 @@ fn concurrent_distinct_specs_each_match_their_direct_run() {
         clients.into_iter().map(|c| c.join().unwrap()).collect()
     });
     for (want, got) in results {
-        assert_eq!(got, [want]);
+        assert_eq!(peel(&got[0]).0, want);
     }
     handle.shutdown();
 }

@@ -1,0 +1,279 @@
+//! End-to-end live-telemetry contract: every response — ok, error,
+//! overloaded, parse failure — carries a `trace_id` that resolves to a
+//! complete, well-nested span tree in the exported trace; the `metrics`
+//! op serves the Prometheus-style exposition plus windowed percentiles;
+//! the `dump` op writes a valid flight-recorder postmortem.
+//!
+//! One test function: the obs span recorder is global per process, so
+//! splitting this into parallel `#[test]`s would interleave spans.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::TaskId;
+use disparity_model::json::Value;
+use disparity_model::spec::SystemSpec;
+use disparity_obs::flight::POSTMORTEM_SCHEMA;
+use disparity_obs::{SpanRecord, VIRTUAL_TRACK_BASE};
+use disparity_rng::rngs::StdRng;
+use disparity_service::proto::{is_trace_id, split_trace};
+use disparity_service::server::{serve, ServerHandle};
+use disparity_service::service::{Service, ServiceConfig};
+use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
+
+fn seeded_workload(seed: u64) -> (CauseEffectGraph, TaskId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = schedulable_funnel_system(&FunnelConfig::default(), &mut rng, 64)
+        .expect("funnel workload generates");
+    let sink = *graph.sinks().first().expect("funnel has a sink");
+    (graph, sink)
+}
+
+fn disparity_request(graph: &CauseEffectGraph, sink: TaskId, id: i64) -> String {
+    let spec = SystemSpec::from_graph(graph);
+    format!(
+        "{{\"id\":{id},\"op\":\"disparity\",\"task\":{},\"spec\":{}}}",
+        Value::from(graph.task(sink).name()),
+        spec.to_json()
+    )
+}
+
+fn roundtrip(handle: &ServerHandle, lines: &[String]) -> Vec<String> {
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    for line in lines {
+        stream.write_all(line.as_bytes()).expect("write");
+        stream.write_all(b"\n").expect("write newline");
+    }
+    stream.flush().expect("flush");
+    let reader = BufReader::new(stream);
+    reader
+        .lines()
+        .take(lines.len())
+        .map(|l| l.expect("read response"))
+        .collect()
+}
+
+/// Split a transport line into its pure body and its well-formed trace id.
+fn peel(line: &str) -> (String, String) {
+    let (pure, trace) = split_trace(line).expect("response carries a trace_id");
+    assert!(is_trace_id(&trace), "malformed trace id: {trace}");
+    (pure, trace)
+}
+
+fn status_of(line: &str) -> String {
+    Value::parse(line)
+        .expect("response is valid JSON")
+        .get("status")
+        .and_then(Value::as_str)
+        .expect("status field")
+        .to_string()
+}
+
+/// Decode the canonical `HHHHHHHH-HHHHHHHH` wire form back to the raw id.
+fn trace_u64(id: &str) -> u64 {
+    let (hi, lo) = id.split_once('-').expect("dash-separated trace id");
+    (u64::from_str_radix(hi, 16).expect("hex high half") << 32)
+        | u64::from_str_radix(lo, 16).expect("hex low half")
+}
+
+/// Within one track, any two spans must either nest or be disjoint.
+fn assert_well_nested(spans: &[SpanRecord]) {
+    for (i, a) in spans.iter().enumerate() {
+        for b in &spans[i + 1..] {
+            if a.thread != b.thread {
+                continue;
+            }
+            let (a0, a1) = (a.start_ns, a.start_ns + a.dur_ns);
+            let (b0, b1) = (b.start_ns, b.start_ns + b.dur_ns);
+            assert!(
+                a1 <= b0 || b1 <= a0 || (b0 <= a0 && a1 <= b1) || (a0 <= b0 && b1 <= a1),
+                "spans `{}` [{a0}, {a1}] and `{}` [{b0}, {b1}] partially overlap on track {}",
+                a.name,
+                b.name,
+                a.thread
+            );
+        }
+    }
+}
+
+/// Span names recorded under `trace`, in record order.
+fn names_for(spans: &[SpanRecord], trace: u64) -> Vec<&'static str> {
+    spans.iter().filter(|s| s.trace == trace).map(|s| s.name).collect()
+}
+
+#[test]
+fn every_response_resolves_to_a_span_tree_and_live_ops_serve_telemetry() {
+    disparity_obs::reset();
+    disparity_obs::enable();
+    let pm_dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("telemetry-postmortems");
+    let _ = std::fs::remove_dir_all(&pm_dir);
+
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        metrics_interval: Some(Duration::from_millis(50)),
+        window_intervals: 4,
+        postmortem_dir: Some(pm_dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let handle = serve("127.0.0.1:0", service).expect("bind loopback");
+
+    // Phase A — saturate the 1-worker, 1-deep service so the burst splits
+    // into completions and `overloaded` refusals, all stamped.
+    let burst: Vec<String> = (0..6)
+        .map(|i| format!("{{\"id\":{i},\"op\":\"sleep\",\"millis\":25}}"))
+        .collect();
+    let burst_replies = roundtrip(&handle, &burst);
+    assert_eq!(burst_replies.len(), burst.len());
+    // status -> trace ids, for the per-status span assertions below.
+    let mut by_status: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    for line in &burst_replies {
+        let (_, trace) = peel(line);
+        by_status.entry(status_of(line)).or_default().push(trace_u64(&trace));
+    }
+    assert!(by_status.contains_key("ok"), "some sleeps completed: {by_status:?}");
+    assert!(by_status.contains_key("overloaded"), "admission control fired: {by_status:?}");
+
+    // Phase B — an analysis request twice (cache miss, then hit), a ping,
+    // and a malformed line. One connection each, so none races the
+    // 1-deep queue; every reply is stamped, parse errors included.
+    let (graph, sink) = seeded_workload(17);
+    let replies: Vec<String> = [
+        disparity_request(&graph, sink, 100),
+        disparity_request(&graph, sink, 101),
+        "{\"id\":102,\"op\":\"ping\"}".to_string(),
+        "this is not json".to_string(),
+    ]
+    .into_iter()
+    .map(|line| roundtrip(&handle, &[line]).remove(0))
+    .collect();
+    let miss_trace = trace_u64(&peel(&replies[0]).1);
+    let hit_trace = trace_u64(&peel(&replies[1]).1);
+    let ping_trace = trace_u64(&peel(&replies[2]).1);
+    let parse_trace = trace_u64(&peel(&replies[3]).1);
+    assert_eq!(status_of(&replies[0]), "ok");
+    assert_eq!(status_of(&replies[1]), "ok");
+    assert_eq!(status_of(&replies[2]), "ok");
+    assert_eq!(status_of(&replies[3]), "error");
+
+    // Phase C — the `metrics` op: exposition text plus windowed view.
+    let got = roundtrip(&handle, &["{\"id\":200,\"op\":\"metrics\"}".to_string()]);
+    let (pure, _) = peel(&got[0]);
+    let v = Value::parse(&pure).expect("metrics reply parses");
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+    let result = v.get("result").expect("metrics payload");
+    let exposition = result
+        .get("exposition")
+        .and_then(Value::as_str)
+        .expect("exposition text");
+    for needle in [
+        "# TYPE disparity_requests_total counter",
+        "# TYPE disparity_queue_depth gauge",
+        "# TYPE disparity_request_latency_us summary",
+        "outcome=\"completed\"",
+        "outcome=\"overloaded\"",
+        "endpoint=\"disparity\"",
+        "view=\"cumulative\"",
+        "view=\"window\"",
+        "quantile=\"0.99\"",
+    ] {
+        assert!(exposition.contains(needle), "exposition lacks {needle:?}:\n{exposition}");
+    }
+    let window = result.get("window").expect("windowed latency object");
+    // The disparity runs finished well under one window (4 x 50 ms) ago,
+    // so the sliding view still holds them.
+    assert!(window.get("disparity").is_some(), "windowed view covers the disparity endpoint");
+    assert_eq!(
+        result.get("window_intervals").and_then(Value::as_i64),
+        Some(4),
+        "window depth is the configured one"
+    );
+
+    // Phase D — the `dump` op writes a postmortem and reports its path.
+    let got = roundtrip(&handle, &["{\"id\":201,\"op\":\"dump\"}".to_string()]);
+    let (pure, dump_trace) = peel(&got[0]);
+    let v = Value::parse(&pure).expect("dump reply parses");
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+    let result = v.get("result").expect("dump payload");
+    assert_eq!(result.get("dumped"), Some(&Value::Bool(true)));
+    assert!(result.get("events").and_then(Value::as_i64).unwrap() > 0);
+    let path = result.get("path").and_then(Value::as_str).expect("dump path");
+    assert!(path.contains(&dump_trace), "dump filename carries the requesting trace id");
+    let dump = std::fs::read_to_string(path).expect("dump file readable");
+    let header = Value::parse(dump.lines().next().expect("header line")).expect("header parses");
+    assert_eq!(header.get("schema").and_then(Value::as_str), Some(POSTMORTEM_SCHEMA));
+    assert_eq!(header.get("reason").and_then(Value::as_str), Some("dump"));
+
+    handle.shutdown();
+
+    // Every stamped response resolves to a complete span tree: queue wait
+    // on the request's virtual track, processing on the worker's track —
+    // and the whole export is well-nested per track.
+    let spans = disparity_obs::take_spans();
+    assert_well_nested(&spans);
+    for (status, traces) in &by_status {
+        for &trace in traces {
+            let names = names_for(&spans, trace);
+            match status.as_str() {
+                "ok" => {
+                    assert!(names.contains(&"service.queue_wait"), "{status} {trace:#x}: {names:?}");
+                    assert!(names.contains(&"service.request"), "{status} {trace:#x}: {names:?}");
+                }
+                "overloaded" => {
+                    assert!(names.contains(&"service.refuse"), "{status} {trace:#x}: {names:?}");
+                }
+                other => panic!("unexpected burst status {other}"),
+            }
+        }
+    }
+    for (what, trace, needed) in [
+        ("cache miss", miss_trace, "wcrt.response_times"),
+        ("cache miss", miss_trace, "service.cache.lookup"),
+        ("cache hit", hit_trace, "service.cache.lookup"),
+        ("ping", ping_trace, "service.request"),
+        ("parse error", parse_trace, "service.parse_error"),
+    ] {
+        let names = names_for(&spans, trace);
+        assert!(names.contains(&needed), "{what} trace {trace:#x} lacks {needed}: {names:?}");
+    }
+    // The queue-wait spans landed on per-request virtual tracks.
+    for span in spans.iter().filter(|s| s.name == "service.queue_wait") {
+        assert_eq!(
+            span.thread,
+            VIRTUAL_TRACK_BASE | span.trace,
+            "queue wait rides its request's virtual track"
+        );
+        assert_eq!(span.depth, 0);
+    }
+    // The cache-miss request's tree is complete and well-ordered: queue
+    // wait ends before processing starts, children inside the root.
+    let mut tree: Vec<&SpanRecord> = spans.iter().filter(|s| s.trace == miss_trace).collect();
+    tree.sort_by_key(|s| s.start_ns);
+    let root = tree
+        .iter()
+        .find(|s| s.name == "service.request")
+        .expect("processing root span");
+    let wait = tree
+        .iter()
+        .find(|s| s.name == "service.queue_wait")
+        .expect("queue wait span");
+    assert!(
+        wait.start_ns + wait.dur_ns <= root.start_ns,
+        "queue wait precedes processing"
+    );
+    for child in tree.iter().filter(|s| !["service.queue_wait", "service.request"].contains(&s.name)) {
+        assert!(
+            root.start_ns <= child.start_ns
+                && child.start_ns + child.dur_ns <= root.start_ns + root.dur_ns,
+            "span {} sits inside the processing root",
+            child.name
+        );
+    }
+
+    disparity_obs::reset();
+    disparity_obs::disable();
+}

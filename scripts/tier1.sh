@@ -43,6 +43,27 @@ test -s target/bench-engine.json
 grep -q 'pairwise_engine/sink_analysis/cached' target/bench-engine.json
 grep -q 'pairwise_engine/sink_analysis/uncached' target/bench-engine.json
 
+echo "==> benchgate (obs_overhead + service_requests vs committed baselines)"
+ensure_fresh benchgate disparity-bench
+rm -f target/bench-current.json
+# Full-budget runs so the per-iteration minimum is a steady statistic;
+# the gate compares min (not mean) because a fresh run on a busy machine
+# inflates the tail, while a real regression raises every iteration.
+DISPARITY_BENCH_FULL=1 DISPARITY_BENCH_JSON="$(pwd)/target/bench-current.json" \
+    cargo bench -p disparity-bench --bench obs_overhead
+DISPARITY_BENCH_FULL=1 DISPARITY_BENCH_JSON="$(pwd)/target/bench-current.json" \
+    cargo bench -p disparity-bench --bench service_requests
+./target/release/benchgate --baseline BENCH_obs_baseline.json \
+    --current target/bench-current.json --stat min --floor-ns 50 --prefix bench.obs
+./target/release/benchgate --baseline BENCH_service_baseline.json \
+    --current target/bench-current.json --stat min --prefix bench.service_requests
+
+echo "==> telemetry overhead proof (<5% on the warm serving path, committed baselines)"
+./target/release/benchgate --baseline BENCH_service_baseline.json \
+    --current BENCH_telemetry_baseline.json --threshold-pct 5 \
+    --metric "bench.service_requests/disparity/warm_cache_live=bench.service_requests/disparity/warm_cache" \
+    --metric "bench.service_requests/overhead/ping_live=bench.service_requests/overhead/ping"
+
 echo "==> srclint gate (workspace source lint, committed allowlist)"
 ensure_fresh srclint disparity-analyzer
 ./target/release/srclint
@@ -68,10 +89,12 @@ grep -q '"disparity-obs/metrics-v1"' target/obs-metrics.json
 echo "==> service smoke (serve + loadgen burst: cache hits, overload path, clean drain)"
 ensure_fresh serve disparity-service
 ensure_fresh loadgen disparity-experiments
-rm -f target/service-load.json target/service-metrics.json
+rm -rf target/service-load.json target/service-metrics.json \
+    target/service-latency-series.ndjson target/postmortems-service
 # Small worker pool and queue so the overload probe reliably bounces.
 ./target/release/serve --addr 127.0.0.1:7414 --workers 2 --queue 4 \
-    --obs --metrics-out target/service-metrics.json &
+    --obs --metrics-out target/service-metrics.json \
+    --metrics-interval-ms 50 --postmortem-dir target/postmortems-service &
 SERVE_PID=$!
 # The daemon binds before printing; give it a moment, then let loadgen's
 # own retry-free connect be the readiness check.
@@ -89,21 +112,28 @@ until ./target/release/loadgen --addr 127.0.0.1:7414 \
 done
 ./target/release/loadgen --addr 127.0.0.1:7414 \
     --spec specs/waters_clean.json --requests 40 --connections 4 \
-    --require-cache-hit --probe-overload 20 --shutdown \
+    --require-cache-hit --probe-overload 20 --dump --shutdown \
+    --latency-series target/service-latency-series.ndjson \
     --out target/service-load.json
 wait "$SERVE_PID"
 test -s target/service-load.json
 test -s target/service-metrics.json
 grep -q '"disparity-obs/metrics-v1"' target/service-metrics.json
 grep -q 'service.cache' target/service-metrics.json
+# Live-telemetry artifacts: the windowed latency timeline and the
+# flight-recorder postmortem the `dump` op wrote.
+test -s target/service-latency-series.ndjson
+grep -q '"window"' target/service-latency-series.ndjson
+grep -q '"disparity-obs/postmortem-v1"' target/postmortems-service/postmortem-*.ndjson
 
 echo "==> protocol fuzz smoke (10k seeded mutations + corpus replay)"
 cargo test -p disparity-service --release --test proto_fuzz -q
 
 echo "==> chaos smoke (chaosproxy + retrying loadgen, every fault kind once)"
 ensure_fresh chaosproxy disparity-experiments
-rm -f target/chaos-*.json
-./target/release/serve --addr 127.0.0.1:7416 --workers 2 --queue 16 &
+rm -rf target/chaos-*.json target/chaos-*-series.ndjson target/postmortems-chaos
+./target/release/serve --addr 127.0.0.1:7416 --workers 2 --queue 16 \
+    --metrics-interval-ms 50 --postmortem-dir target/postmortems-chaos &
 CHAOS_SERVE_PID=$!
 tries=0
 until ./target/release/loadgen --addr 127.0.0.1:7416 \
@@ -138,7 +168,8 @@ for kind in none delay split garbage truncate reset; do
     if ! ./target/release/loadgen --addr "127.0.0.1:$port" \
             --spec specs/waters_clean.json --requests 24 --connections 3 \
             --chaos-soak --retries 6 --backoff-ms 5 --soak-tag "$kind" \
-            --direct-addr 127.0.0.1:7416 --out "target/chaos-$kind.json"; then
+            --direct-addr 127.0.0.1:7416 --out "target/chaos-$kind.json" \
+            --latency-series "target/chaos-$kind-series.ndjson"; then
         echo "tier1: chaos soak failed under kind '$kind'" >&2
         kill "$PROXY_PID" "$CHAOS_SERVE_PID" 2>/dev/null || true
         exit 1
@@ -147,11 +178,16 @@ for kind in none delay split garbage truncate reset; do
     wait "$PROXY_PID" 2>/dev/null || true
     test -s "target/chaos-$kind.json"
     grep -q '"passed": *true' "target/chaos-$kind.json"
+    test -s "target/chaos-$kind-series.ndjson"
     port=$((port + 1))
 done
 ./target/release/loadgen --addr 127.0.0.1:7416 \
     --spec specs/waters_clean.json --requests 1 --connections 1 \
     --shutdown >/dev/null
 wait "$CHAOS_SERVE_PID"
+# Every kind's quarantine probe panicked a worker twice: the flight
+# recorder must have written panic + quarantine postmortems.
+grep -ql '"reason":"panic"' target/postmortems-chaos/postmortem-*.ndjson
+grep -ql '"reason":"quarantine"' target/postmortems-chaos/postmortem-*.ndjson
 
 echo "tier1: all gates passed"
