@@ -1,0 +1,140 @@
+//! Benchmarks the incremental (delta) re-analysis path against the cold
+//! pipeline it replaces.
+//!
+//! `cold_pipeline` is the full from-scratch cost of answering a
+//! disparity query on an edited spec: canonical hashing, graph build,
+//! WCRT fixpoints, a fresh engine run, and result encoding.
+//! `reanalyze_core` is the core-layer delta: [`AnalyzedSystem::apply`]
+//! rebasing a prior analysis across a single-field WCET edit (every
+//! fusion-task report refreshed, clean pairs copied). `patch_warm` is
+//! the served hot path: an `Op::Patch` request whose (base, edit)
+//! pair is already in the service's patch memo — the cost a client
+//! pays per repeated edit replay.
+//!
+//! Before any timing, the patch response is asserted byte-identical to
+//! the cold pipeline's line on the edited spec. The committed
+//! `BENCH_delta_baseline.json` plus `benchgate --metric
+//! patch_warm=cold_pipeline --threshold-pct -90` is the standing proof
+//! that a warm single-field edit is ≥10× cheaper than re-sending the
+//! spec (see `scripts/tier1.sh`).
+//!
+//! [`AnalyzedSystem::apply`]: disparity_core::delta::AnalyzedSystem::apply
+
+use disparity_bench::{criterion_group, criterion_main, Criterion};
+use disparity_core::delta::AnalyzedSystem;
+use disparity_core::disparity::AnalysisConfig;
+use disparity_core::engine::AnalysisEngine;
+use disparity_model::edit::SpecEdit;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::TaskId;
+use disparity_model::json::Value;
+use disparity_model::spec::SystemSpec;
+use disparity_model::time::Duration;
+use disparity_rng::rngs::StdRng;
+use disparity_sched::wcrt::response_times;
+use disparity_service::proto::{
+    encode_disparity_result, response_line, Request, ResponseBody, Status,
+};
+use disparity_service::service::{Service, ServiceConfig};
+use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
+use std::hint::black_box;
+
+/// A seeded fusion workload (WATERS period bins) and its fusion sink.
+fn seeded_workload(seed: u64) -> (CauseEffectGraph, TaskId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = schedulable_funnel_system(&FunnelConfig::default(), &mut rng, 64)
+        .expect("funnel workload generates");
+    let sink = *graph.sinks().first().expect("funnel has a sink");
+    (graph, sink)
+}
+
+fn bench_delta_requests(c: &mut Criterion) {
+    let (graph, sink) = seeded_workload(42);
+    let spec = SystemSpec::from_graph(&graph);
+    let task = graph.task(sink).name().to_string();
+    let base = spec.canonical_hash();
+
+    // A single-field WCET shrink: valid, schedulable, graph-preserving.
+    let victim = spec
+        .tasks
+        .iter()
+        .find(|t| t.wcet.as_nanos() > t.bcet.as_nanos() + 1)
+        .expect("workload has a shrinkable task");
+    let new_wcet = (victim.bcet.as_nanos() + victim.wcet.as_nanos()) / 2;
+    let edit = SpecEdit::SetWcet {
+        task: victim.name.clone(),
+        wcet: Duration::from_nanos(new_wcet),
+    };
+    let mut edited = spec.clone();
+    edit.apply(&mut edited).expect("edit applies");
+
+    let service = Service::start(ServiceConfig::default());
+
+    // Seat the base graph, then the derived entry + patch memo.
+    let warm_line = format!(
+        "{{\"id\":1,\"op\":\"disparity\",\"task\":{},\"spec\":{}}}",
+        Value::from(task.as_str()),
+        spec.to_json()
+    );
+    let warm = Request::parse(&warm_line).expect("warm request parses");
+    assert!(service.process(&warm).contains("\"status\":\"ok\""));
+    let patch_line = format!(
+        "{{\"id\":1,\"op\":\"patch\",\"base\":\"{base:016x}\",\"edits\":[{}],\"task\":{}}}",
+        edit.to_json(),
+        Value::from(task.as_str())
+    );
+    let patch = Request::parse(&patch_line).expect("patch request parses");
+
+    // Consistency gate: the patched bytes must equal the cold pipeline
+    // on the edited spec before either path is worth timing.
+    let graph2 = edited.build().expect("edited spec builds");
+    let rt2 = response_times(&graph2).expect("edited spec schedulable");
+    let sink2 = graph2.find_task(&task).expect("task survives the edit");
+    let report2 = AnalysisEngine::new(&graph2, &rt2)
+        .worst_case_disparity(sink2, AnalysisConfig::default())
+        .expect("direct analysis");
+    let expected = response_line(
+        &Value::Int(1),
+        Status::Ok,
+        ResponseBody::Result(encode_disparity_result(&graph2, &report2)),
+    );
+    assert_eq!(
+        service.process(&patch),
+        expected,
+        "patch response matches cold pipeline bytes"
+    );
+
+    let prev =
+        AnalyzedSystem::analyze(&spec, AnalysisConfig::default()).expect("base analyzes cold");
+
+    let mut group = c.benchmark_group("delta_requests/patch");
+    group.bench_function("cold_pipeline", |b| {
+        b.iter(|| {
+            let spec = black_box(&edited);
+            let _hash = spec.canonical_hash();
+            let graph = spec.build().expect("spec builds");
+            let rt = response_times(&graph).expect("schedulable workload");
+            let sink = graph.find_task(&task).expect("task");
+            let report = AnalysisEngine::new(&graph, &rt)
+                .worst_case_disparity(sink, AnalysisConfig::default())
+                .expect("analysis succeeds");
+            response_line(
+                &Value::Int(1),
+                Status::Ok,
+                ResponseBody::Result(encode_disparity_result(&graph, &report)),
+            )
+        })
+    });
+    group.bench_function("reanalyze_core", |b| {
+        b.iter(|| black_box(&prev).apply(black_box(&edit)).expect("delta applies"))
+    });
+    group.bench_function("patch_warm", |b| {
+        b.iter(|| service.process(black_box(&patch)))
+    });
+    group.finish();
+
+    service.shutdown();
+}
+
+criterion_group!(benches, bench_delta_requests);
+criterion_main!(benches);

@@ -1,0 +1,1061 @@
+//! Incremental (delta) re-analysis of an edited system.
+//!
+//! A cold analysis ([`AnalyzedSystem::analyze`]) runs the full pipeline:
+//! build the graph from the spec, compute every WCRT fixed point, and
+//! sweep every chain pair of every fusion task. A field-level edit —
+//! a WCET bump, a buffer resize — invalidates only a small slice of that
+//! work, and the slice is *provable* from the structure of the analysis:
+//!
+//! * WCRT under non-preemptive fixed-priority scheduling depends only on
+//!   the parameters of same-ECU tasks, so an execution-time or period
+//!   change re-runs the fixed points of **one ECU**
+//!   ([`response_times_partial`]);
+//! * the hop bound over an edge `(u, v)` depends on the parameters of
+//!   `u` and `v`, `R(u)`, and the channel's capacity, so only edges
+//!   **adjacent to a changed task** (or the resized channel itself) drop
+//!   out of the [`HopCache`];
+//! * a pair bound changes only when one of its two chains **contains** a
+//!   changed task or traverses a changed channel, so clean pairs are
+//!   copied verbatim from the previous report.
+//!
+//! [`reanalyze`] composes those three facts and is byte-identical to a
+//! cold re-run of the edited spec — the `delta_consistency` test suite
+//! pins that equality against randomized edit sequences, and the
+//! `engine_consistency` suite pins the engine against
+//! [`worst_case_disparity_direct`](crate::disparity::worst_case_disparity_direct),
+//! so the delta path is transitively identical to the uncached oracle.
+
+use std::collections::HashMap;
+
+use disparity_model::edit::{EditError, SpecEdit};
+use disparity_model::error::ModelError;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::{EcuId, TaskId};
+use disparity_model::spec::{SpecError, SubsystemHashes, SystemSpec};
+use disparity_sched::error::SchedError;
+use disparity_sched::wcrt::{response_times, response_times_partial, ResponseTimes};
+
+use crate::disparity::{AnalysisConfig, DisparityReport};
+use crate::engine::{AnalysisEngine, HopCache};
+use crate::error::AnalysisError;
+
+/// Why an incremental (or cold) analysis failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeltaError {
+    /// The edit itself was invalid for the base spec.
+    Edit(EditError),
+    /// The edited spec no longer builds (cycle, dangling name, ...).
+    Spec(SpecError),
+    /// The response-time analysis failed (overload, divergence).
+    Sched(SchedError),
+    /// The disparity analysis failed.
+    Analysis(AnalysisError),
+}
+
+impl core::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DeltaError::Edit(e) => write!(f, "edit error: {e}"),
+            DeltaError::Spec(e) => write!(f, "spec error: {e}"),
+            DeltaError::Sched(e) => write!(f, "scheduling error: {e}"),
+            DeltaError::Analysis(e) => write!(f, "analysis error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeltaError::Edit(e) => Some(e),
+            DeltaError::Spec(e) => Some(e),
+            DeltaError::Sched(e) => Some(e),
+            DeltaError::Analysis(e) => Some(e),
+        }
+    }
+}
+
+impl From<EditError> for DeltaError {
+    fn from(e: EditError) -> Self {
+        DeltaError::Edit(e)
+    }
+}
+
+impl From<SpecError> for DeltaError {
+    fn from(e: SpecError) -> Self {
+        DeltaError::Spec(e)
+    }
+}
+
+impl From<SchedError> for DeltaError {
+    fn from(e: SchedError) -> Self {
+        DeltaError::Sched(e)
+    }
+}
+
+impl From<AnalysisError> for DeltaError {
+    fn from(e: AnalysisError) -> Self {
+        DeltaError::Analysis(e)
+    }
+}
+
+/// The spec-level slice of an analyzed system: the built graph, its
+/// response times, and the warmed hop-bound cache — without any
+/// disparity reports.
+///
+/// This is exactly what a serving cache stores per spec, so a server can
+/// [`rebase`](Self::rebase) a cached basis under an edit and then analyze
+/// only the one task a request names, instead of paying [`reanalyze`]'s
+/// every-fusion-task sweep.
+///
+/// Invariant (relied upon by [`rebase`](Self::rebase)):
+/// `graph == spec.build()`, `rt == response_times(&graph)`, and every
+/// bound in `hops` was computed from `(graph, rt)`.
+#[derive(Debug, Clone)]
+pub struct DeltaBasis {
+    /// The spec the rest of the basis was derived from.
+    pub spec: SystemSpec,
+    /// Its built graph (`spec.build()`).
+    pub graph: CauseEffectGraph,
+    /// Response times of every task of `graph`.
+    pub rt: ResponseTimes,
+    /// Hop bounds warmed against `(graph, rt)` (clones share storage).
+    pub hops: HopCache,
+}
+
+impl DeltaBasis {
+    /// Runs the cold front half of the pipeline: build and WCRT, with an
+    /// empty hop cache.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeltaError::Spec`] when the spec does not build;
+    /// * [`DeltaError::Sched`] when response times cannot be computed.
+    pub fn analyze(spec: &SystemSpec) -> Result<Self, DeltaError> {
+        let graph = spec.build()?;
+        let rt = response_times(&graph)?;
+        Ok(DeltaBasis {
+            spec: spec.clone(),
+            graph,
+            rt,
+            hops: HopCache::new(),
+        })
+    }
+
+    /// Applies `edit` and returns the edited basis, recomputing only the
+    /// invalidated slice: the graph is mutated in place where provably
+    /// safe, WCRT fixed points re-run on dirty ECUs only, and every hop
+    /// bound whose inputs are untouched is carried over (into a fresh
+    /// cache — `self` is never mutated). The result is byte-identical to
+    /// [`DeltaBasis::analyze`] of the edited spec, modulo the carried hop
+    /// bounds, which the engine would recompute to the same values.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeltaError::Edit`] when the edit is invalid for this spec;
+    /// * [`DeltaError::Spec`] when the edited spec no longer builds;
+    /// * [`DeltaError::Sched`] when a dirty ECU overloads or diverges.
+    pub fn rebase(&self, edit: &SpecEdit) -> Result<DeltaBasis, DeltaError> {
+        rebase_impl(&self.spec, &self.graph, &self.rt, &self.hops, edit).map(|(basis, _)| basis)
+    }
+}
+
+/// Reverse index from model elements to the analysis artifacts they feed.
+///
+/// Built once per analyzed system; [`reanalyze`] consults it to translate
+/// a dirty task/channel set into the exact `(report, chain)` pairs whose
+/// bounds must be re-swept. Everything else is copied.
+#[derive(Debug, Clone, Default)]
+pub struct DependencyMap {
+    /// `chains_of_task[task.index()]` = every `(report_idx, chain_idx)`
+    /// whose chain contains the task.
+    chains_of_task: Vec<Vec<(usize, usize)>>,
+    /// Every `(report_idx, chain_idx)` whose chain traverses the edge.
+    chains_of_edge: HashMap<(TaskId, TaskId), Vec<(usize, usize)>>,
+}
+
+impl DependencyMap {
+    /// Indexes `reports` (their chains and chain edges) by task and edge.
+    fn build(task_count: usize, reports: &[DisparityReport]) -> Self {
+        let mut chains_of_task: Vec<Vec<(usize, usize)>> = vec![Vec::new(); task_count];
+        let mut chains_of_edge: HashMap<(TaskId, TaskId), Vec<(usize, usize)>> = HashMap::new();
+        for (r, report) in reports.iter().enumerate() {
+            for (c, chain) in report.chains.iter().enumerate() {
+                for &task in chain.tasks() {
+                    chains_of_task[task.index()].push((r, c));
+                }
+                for edge in chain.edges() {
+                    chains_of_edge.entry(edge).or_default().push((r, c));
+                }
+            }
+        }
+        DependencyMap {
+            chains_of_task,
+            chains_of_edge,
+        }
+    }
+
+    /// The `(report, chain)` pairs whose chain contains `task`.
+    #[must_use]
+    pub fn chains_of_task(&self, task: TaskId) -> &[(usize, usize)] {
+        self.chains_of_task
+            .get(task.index())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The `(report, chain)` pairs whose chain traverses `(from, to)`.
+    #[must_use]
+    pub fn chains_of_edge(&self, from: TaskId, to: TaskId) -> &[(usize, usize)] {
+        self.chains_of_edge
+            .get(&(from, to))
+            .map_or(&[], Vec::as_slice)
+    }
+}
+
+/// A fully analyzed system: the spec, every derived artifact of the cold
+/// pipeline, and the reverse index the delta engine re-analyzes through.
+///
+/// Invariant: `graph == spec.build()`, `rt == response_times(&graph)`,
+/// and `reports`/`skipped` are exactly what
+/// [`analyze_all_tasks`](crate::disparity::analyze_all_tasks) returns for
+/// `(graph, rt, config)`. [`reanalyze`] both relies on and maintains this
+/// invariant.
+#[derive(Debug, Clone)]
+pub struct AnalyzedSystem {
+    spec: SystemSpec,
+    hashes: SubsystemHashes,
+    graph: CauseEffectGraph,
+    rt: ResponseTimes,
+    hops: HopCache,
+    config: AnalysisConfig,
+    workers: Option<usize>,
+    reports: Vec<DisparityReport>,
+    skipped: Vec<TaskId>,
+    deps: DependencyMap,
+}
+
+impl AnalyzedSystem {
+    /// Runs the cold pipeline: build, WCRT, and a disparity report for
+    /// every fusion task (mirroring
+    /// [`analyze_all_tasks`](crate::disparity::analyze_all_tasks)).
+    ///
+    /// # Errors
+    ///
+    /// * [`DeltaError::Spec`] when the spec does not build;
+    /// * [`DeltaError::Sched`] when response times cannot be computed;
+    /// * [`DeltaError::Analysis`] from the disparity sweep.
+    pub fn analyze(spec: &SystemSpec, config: AnalysisConfig) -> Result<Self, DeltaError> {
+        Self::analyze_with(spec, config, None)
+    }
+
+    /// [`Self::analyze`] with an explicit engine worker count (`None`
+    /// keeps the engine default). Any worker count yields bit-identical
+    /// reports; the knob exists so tests can pin both the serial and the
+    /// parallel pair loop.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::analyze`].
+    pub fn analyze_with(
+        spec: &SystemSpec,
+        config: AnalysisConfig,
+        workers: Option<usize>,
+    ) -> Result<Self, DeltaError> {
+        let graph = spec.build()?;
+        let rt = response_times(&graph)?;
+        let (reports, skipped, hops) = {
+            let mut engine = AnalysisEngine::new(&graph, &rt);
+            if let Some(w) = workers {
+                engine = engine.with_workers(w);
+            }
+            let (reports, skipped) = engine.analyze_all_tasks(config)?;
+            (reports, skipped, engine.hop_cache())
+        };
+        let deps = DependencyMap::build(graph.task_count(), &reports);
+        Ok(AnalyzedSystem {
+            spec: spec.clone(),
+            hashes: spec.subsystem_hashes(),
+            graph,
+            rt,
+            hops,
+            config,
+            workers,
+            reports,
+            skipped,
+            deps,
+        })
+    }
+
+    /// Applies `edit` incrementally; shorthand for [`reanalyze`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`reanalyze`].
+    pub fn apply(&self, edit: &SpecEdit) -> Result<(AnalyzedSystem, ReanalyzeStats), DeltaError> {
+        reanalyze(self, edit)
+    }
+
+    /// The analyzed spec.
+    #[must_use]
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// Per-subsystem content hashes of [`Self::spec`].
+    #[must_use]
+    pub fn hashes(&self) -> &SubsystemHashes {
+        &self.hashes
+    }
+
+    /// The built graph (`spec.build()`).
+    #[must_use]
+    pub fn graph(&self) -> &CauseEffectGraph {
+        &self.graph
+    }
+
+    /// Response times of every task.
+    #[must_use]
+    pub fn response_times(&self) -> &ResponseTimes {
+        &self.rt
+    }
+
+    /// The hop-bound cache warmed by the analysis (clones share storage).
+    #[must_use]
+    pub fn hop_cache(&self) -> HopCache {
+        self.hops.clone()
+    }
+
+    /// The configuration every report was produced under.
+    #[must_use]
+    pub fn config(&self) -> AnalysisConfig {
+        self.config
+    }
+
+    /// Disparity reports of every fusion task, in task-id order.
+    #[must_use]
+    pub fn reports(&self) -> &[DisparityReport] {
+        &self.reports
+    }
+
+    /// Tasks skipped because their chain enumeration exceeded the budget.
+    #[must_use]
+    pub fn skipped(&self) -> &[TaskId] {
+        &self.skipped
+    }
+
+    /// The report of `task`, if it was analyzed.
+    #[must_use]
+    pub fn report_for(&self, task: TaskId) -> Option<&DisparityReport> {
+        self.reports.iter().find(|r| r.task == task)
+    }
+
+    /// The reverse dependency index of this system's reports.
+    #[must_use]
+    pub fn dependency_map(&self) -> &DependencyMap {
+        &self.deps
+    }
+}
+
+/// What [`reanalyze`] recomputed versus reused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ReanalyzeStats {
+    /// [`SpecEdit::kind`] of the applied edit.
+    pub edit_kind: &'static str,
+    /// `true` when the graph was rebuilt from the spec instead of being
+    /// mutated in place.
+    pub graph_rebuilt: bool,
+    /// Tasks whose WCRT fixed point was re-run (members of dirty ECUs).
+    pub wcrt_recomputed: usize,
+    /// Tasks whose response bounds were copied from the previous system.
+    pub wcrt_reused: usize,
+    /// Hop-cache entries invalidated by the edit.
+    pub hops_dropped: usize,
+    /// Hop-cache entries carried over to the new system.
+    pub hops_retained: usize,
+    /// Chain pairs whose bound was re-swept.
+    pub pairs_recomputed: usize,
+    /// Chain pairs copied verbatim from the previous reports.
+    pub pairs_reused: usize,
+    /// Reports rebuilt (at least one dirty pair, or a changed chain set).
+    pub reports_recomputed: usize,
+    /// Reports copied verbatim.
+    pub reports_reused: usize,
+}
+
+fn find_id(graph: &CauseEffectGraph, name: &str) -> Result<TaskId, DeltaError> {
+    graph
+        .find_task(name)
+        .ok_or_else(|| DeltaError::Edit(EditError::UnknownTask(name.to_string())))
+}
+
+/// Task indices reachable from `start` (inclusive) by forward edges.
+fn reachable_from(graph: &CauseEffectGraph, start: TaskId) -> Vec<bool> {
+    let mut seen = vec![false; graph.task_count()];
+    seen[start.index()] = true;
+    let mut stack = vec![start];
+    while let Some(t) = stack.pop() {
+        for s in graph.successors(t) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// The edited graph: mutated in place for edits whose rebuild is provably
+/// identical (execution-time and capacity changes touch one stored field
+/// and cannot perturb priorities, ids, or topology), rebuilt from the
+/// spec otherwise. Returns the graph and whether it was rebuilt.
+fn derive_graph(
+    prev_graph: &CauseEffectGraph,
+    spec2: &SystemSpec,
+    edit: &SpecEdit,
+) -> Result<(CauseEffectGraph, bool), DeltaError> {
+    let model = |e: ModelError| DeltaError::Spec(SpecError::from(e));
+    match edit {
+        SpecEdit::SetWcet { task, wcet } => {
+            let mut g = prev_graph.clone();
+            let id = find_id(&g, task)?;
+            g.set_task_wcet(id, *wcet).map_err(model)?;
+            Ok((g, false))
+        }
+        SpecEdit::SetBcet { task, bcet } => {
+            let mut g = prev_graph.clone();
+            let id = find_id(&g, task)?;
+            g.set_task_bcet(id, *bcet).map_err(model)?;
+            Ok((g, false))
+        }
+        SpecEdit::ResizeBuffer { from, to, capacity } => {
+            let mut g = prev_graph.clone();
+            let f = find_id(&g, from)?;
+            let t = find_id(&g, to)?;
+            let ch = g
+                .channel_between(f, t)
+                .ok_or_else(|| {
+                    DeltaError::Edit(EditError::UnknownChannel {
+                        from: from.clone(),
+                        to: to.clone(),
+                    })
+                })?
+                .id();
+            g.set_channel_capacity(ch, *capacity).map_err(model)?;
+            Ok((g, false))
+        }
+        // Period and priority edits perturb the per-ECU rate-monotonic
+        // assignment; channel edits change topology. Rebuild.
+        _ => Ok((spec2.build()?, true)),
+    }
+}
+
+/// The response times of the edited graph, recomputed only where the
+/// edit can reach: BCET and channel edits cannot move any WCRT (the
+/// fixed points never read either), everything else re-runs exactly the
+/// ECUs whose task sets changed parameters or priorities.
+fn derive_response_times(
+    prev_rt: &ResponseTimes,
+    graph2: &CauseEffectGraph,
+    edit: &SpecEdit,
+) -> Result<(ResponseTimes, Vec<EcuId>), DeltaError> {
+    match edit {
+        SpecEdit::SetBcet { .. }
+        | SpecEdit::ResizeBuffer { .. }
+        | SpecEdit::AddChannel { .. }
+        | SpecEdit::RemoveChannel { .. } => Ok((prev_rt.clone(), Vec::new())),
+        SpecEdit::SetWcet { task, .. } | SpecEdit::SetPeriod { task, .. } => {
+            let id = find_id(graph2, task)?;
+            let dirty: Vec<EcuId> = graph2.task(id).ecu().into_iter().collect();
+            let rt = response_times_partial(graph2, prev_rt, &dirty)?;
+            Ok((rt, dirty))
+        }
+        SpecEdit::SwapPriority { a, b } => {
+            let ia = find_id(graph2, a)?;
+            let ib = find_id(graph2, b)?;
+            let mut dirty: Vec<EcuId> = [ia, ib]
+                .iter()
+                .filter_map(|&t| graph2.task(t).ecu())
+                .collect();
+            dirty.sort_unstable();
+            dirty.dedup();
+            let rt = response_times_partial(graph2, prev_rt, &dirty)?;
+            Ok((rt, dirty))
+        }
+    }
+}
+
+/// What a basis rebase invalidated (feeds [`ReanalyzeStats`] and the
+/// report re-sweep).
+struct EditImpact {
+    graph_rebuilt: bool,
+    dirty_ecus: Vec<EcuId>,
+    dirty_task: Vec<bool>,
+    resized: Option<(TaskId, TaskId)>,
+}
+
+/// Shared core of [`DeltaBasis::rebase`] and [`reanalyze`]: the edited
+/// spec, graph, response times, and filtered hop cache, plus the dirty
+/// sets the report sweep needs.
+fn rebase_impl(
+    spec: &SystemSpec,
+    graph: &CauseEffectGraph,
+    rt: &ResponseTimes,
+    hops: &HopCache,
+    edit: &SpecEdit,
+) -> Result<(DeltaBasis, EditImpact), DeltaError> {
+    let mut spec2 = spec.clone();
+    edit.apply(&mut spec2)?;
+
+    let (graph2, graph_rebuilt) = derive_graph(graph, &spec2, edit)?;
+    let (rt2, dirty_ecus) = derive_response_times(rt, &graph2, edit)?;
+
+    // The dirty task set: spec-level parameter or priority changes
+    // (including rate-monotonic reassignments after a period change) plus
+    // every task whose response bounds moved. Hop bounds and chain
+    // bounds can only depend on a task through those fields.
+    let mut dirty_task = vec![false; graph2.task_count()];
+    for (a, b) in graph.tasks().iter().zip(graph2.tasks()) {
+        let i = a.id().index();
+        if a != b || rt.as_slice()[i] != rt2.as_slice()[i] {
+            dirty_task[i] = true;
+        }
+    }
+
+    let resized: Option<(TaskId, TaskId)> = match edit {
+        SpecEdit::ResizeBuffer { from, to, .. } => {
+            Some((find_id(&graph2, from)?, find_id(&graph2, to)?))
+        }
+        _ => None,
+    };
+
+    // Carry over every hop bound whose inputs are untouched: both
+    // endpoints clean, capacity unchanged, and the edge still exists.
+    let hops2 = hops.filtered(|a, b| {
+        !dirty_task[a.index()]
+            && !dirty_task[b.index()]
+            && resized != Some((a, b))
+            && graph2.channel_between(a, b).is_some()
+    });
+
+    Ok((
+        DeltaBasis {
+            spec: spec2,
+            graph: graph2,
+            rt: rt2,
+            hops: hops2,
+        },
+        EditImpact {
+            graph_rebuilt,
+            dirty_ecus,
+            dirty_task,
+            resized,
+        },
+    ))
+}
+
+/// Incrementally re-analyzes `prev` under `edit`.
+///
+/// The result is **byte-identical** to
+/// [`AnalyzedSystem::analyze`] of the edited spec — same graph, same
+/// response times, same reports down to every pair bound — while
+/// recomputing only the slice the edit actually reaches (see the module
+/// docs for the invalidation argument). The returned
+/// [`ReanalyzeStats`] quantifies the reuse.
+///
+/// # Errors
+///
+/// * [`DeltaError::Edit`] when the edit is invalid for `prev`'s spec;
+/// * [`DeltaError::Spec`] when the edited spec no longer builds (e.g. a
+///   channel insertion creates a cycle);
+/// * [`DeltaError::Sched`] when a dirty ECU overloads or diverges;
+/// * [`DeltaError::Analysis`] from the pair re-sweep.
+///
+/// # Examples
+///
+/// ```
+/// use disparity_model::prelude::*;
+/// use disparity_core::delta::{reanalyze, AnalyzedSystem};
+/// use disparity_core::disparity::AnalysisConfig;
+///
+/// let ms = |v| Duration::from_millis(v);
+/// let spec = SystemSpec {
+///     ecus: vec![EcuSpec::processor("e")],
+///     tasks: vec![
+///         TaskEntry::stimulus("cam", ms(33)),
+///         TaskEntry::stimulus("lidar", ms(100)),
+///         TaskEntry::computation("fuse", ms(33), ms(2), ms(5), "e"),
+///     ],
+///     channels: vec![
+///         ChannelSpec::register("cam", "fuse"),
+///         ChannelSpec::register("lidar", "fuse"),
+///     ],
+/// };
+/// let base = AnalyzedSystem::analyze(&spec, AnalysisConfig::default())?;
+/// let edit = SpecEdit::SetWcet { task: "fuse".into(), wcet: ms(6) };
+/// let (derived, stats) = reanalyze(&base, &edit)?;
+/// let mut spec2 = spec.clone();
+/// edit.apply(&mut spec2)?;
+/// let cold = AnalyzedSystem::analyze(&spec2, AnalysisConfig::default())?;
+/// assert_eq!(derived.reports()[0].bound, cold.reports()[0].bound);
+/// assert_eq!(stats.edit_kind, "set_wcet");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn reanalyze(
+    prev: &AnalyzedSystem,
+    edit: &SpecEdit,
+) -> Result<(AnalyzedSystem, ReanalyzeStats), DeltaError> {
+    let mut span = disparity_obs::span("delta.reanalyze");
+    span.attr("kind", edit.kind());
+    disparity_obs::counter_add("delta.reanalyses", 1);
+
+    let (basis2, impact) = rebase_impl(&prev.spec, &prev.graph, &prev.rt, &prev.hops, edit)?;
+    let DeltaBasis {
+        spec: spec2,
+        graph: graph2,
+        rt: rt2,
+        hops: hops2,
+    } = basis2;
+    let EditImpact {
+        graph_rebuilt,
+        dirty_ecus,
+        dirty_task,
+        resized,
+    } = impact;
+    let n = graph2.task_count();
+    let hops_retained = hops2.len();
+    let hops_dropped = prev.hops.len() - hops_retained;
+
+    // Channel edits reshape the chain sets of every task downstream of
+    // the edge's consumer; other tasks keep their enumeration verbatim.
+    let downstream: Option<Vec<bool>> = match edit {
+        SpecEdit::AddChannel { to, .. } => Some(reachable_from(&graph2, find_id(&graph2, to)?)),
+        SpecEdit::RemoveChannel { to, .. } => {
+            Some(reachable_from(&prev.graph, find_id(&prev.graph, to)?))
+        }
+        _ => None,
+    };
+
+    let mut stats = ReanalyzeStats {
+        edit_kind: edit.kind(),
+        graph_rebuilt,
+        wcrt_recomputed: graph2
+            .tasks()
+            .iter()
+            .filter(|t| !t.is_zero_cost() && t.ecu().is_some_and(|e| dirty_ecus.contains(&e)))
+            .count(),
+        hops_dropped,
+        hops_retained,
+        ..ReanalyzeStats::default()
+    };
+    stats.wcrt_reused = n - stats.wcrt_recomputed;
+
+    let (reports2, skipped2) = {
+        let mut engine = AnalysisEngine::new(&graph2, &rt2).with_hop_cache(hops2.clone());
+        if let Some(w) = prev.workers {
+            engine = engine.with_workers(w);
+        }
+        if let Some(affected) = &downstream {
+            resweep_topology(prev, &engine, affected, &mut stats)?
+        } else {
+            resweep_in_place(prev, &engine, &dirty_task, resized, &mut stats)?
+        }
+    };
+
+    let deps2 = if downstream.is_some() {
+        DependencyMap::build(n, &reports2)
+    } else {
+        // The chain sets are untouched, so the reverse index is too.
+        prev.deps.clone()
+    };
+
+    span.attr("pairs_recomputed", stats.pairs_recomputed);
+    span.attr("pairs_reused", stats.pairs_reused);
+    let hashes2 = spec2.subsystem_hashes();
+    Ok((
+        AnalyzedSystem {
+            spec: spec2,
+            hashes: hashes2,
+            graph: graph2,
+            rt: rt2,
+            hops: hops2,
+            config: prev.config,
+            workers: prev.workers,
+            reports: reports2,
+            skipped: skipped2,
+            deps: deps2,
+        },
+        stats,
+    ))
+}
+
+/// Re-sweep for shape-preserving edits: every report keeps its chain set,
+/// so each one either copies verbatim (no dirty chain) or re-sweeps only
+/// the pairs touching a dirty chain.
+fn resweep_in_place(
+    prev: &AnalyzedSystem,
+    engine: &AnalysisEngine<'_>,
+    dirty_task: &[bool],
+    resized: Option<(TaskId, TaskId)>,
+    stats: &mut ReanalyzeStats,
+) -> Result<(Vec<DisparityReport>, Vec<TaskId>), DeltaError> {
+    let mut dirty_chains: Vec<Vec<bool>> = prev
+        .reports
+        .iter()
+        .map(|r| vec![false; r.chains.len()])
+        .collect();
+    for (i, &dirty) in dirty_task.iter().enumerate() {
+        if dirty {
+            for &(r, c) in &prev.deps.chains_of_task[i] {
+                dirty_chains[r][c] = true;
+            }
+        }
+    }
+    if let Some((from, to)) = resized {
+        for &(r, c) in prev.deps.chains_of_edge(from, to) {
+            dirty_chains[r][c] = true;
+        }
+    }
+
+    let mut reports = Vec::with_capacity(prev.reports.len());
+    for (r, report) in prev.reports.iter().enumerate() {
+        let dirty = &dirty_chains[r];
+        if dirty.iter().any(|&d| d) {
+            let m = dirty.len();
+            for i in 0..m {
+                for j in (i + 1)..m {
+                    if dirty[i] || dirty[j] {
+                        stats.pairs_recomputed += 1;
+                    } else {
+                        stats.pairs_reused += 1;
+                    }
+                }
+            }
+            stats.reports_recomputed += 1;
+            reports.push(engine.worst_case_disparity_partial(
+                report.task,
+                prev.config,
+                report.chains.clone(),
+                &report.pairs,
+                dirty,
+            )?);
+        } else {
+            stats.pairs_reused += report.pairs.len();
+            stats.reports_reused += 1;
+            reports.push(report.clone());
+        }
+    }
+    Ok((reports, prev.skipped.clone()))
+}
+
+/// Re-sweep for channel insertions/removals: tasks downstream of the
+/// edge's consumer re-enumerate and re-analyze from scratch (through the
+/// carried-over hop cache), everything else copies its previous outcome.
+/// The single task-order loop reproduces
+/// [`analyze_all_tasks`](AnalysisEngine::analyze_all_tasks) exactly.
+fn resweep_topology(
+    prev: &AnalyzedSystem,
+    engine: &AnalysisEngine<'_>,
+    affected: &[bool],
+    stats: &mut ReanalyzeStats,
+) -> Result<(Vec<DisparityReport>, Vec<TaskId>), DeltaError> {
+    let prev_by_task: HashMap<TaskId, &DisparityReport> =
+        prev.reports.iter().map(|r| (r.task, r)).collect();
+    let mut reports = Vec::new();
+    let mut skipped = Vec::new();
+    for task in engine.graph().tasks() {
+        let id = task.id();
+        if affected[id.index()] {
+            match engine.worst_case_disparity(id, prev.config) {
+                Ok(report) => {
+                    stats.pairs_recomputed += report.pairs.len();
+                    if report.chains.len() >= 2 {
+                        stats.reports_recomputed += 1;
+                        reports.push(report);
+                    }
+                }
+                Err(AnalysisError::Model(ModelError::ChainLimitExceeded { .. })) => {
+                    skipped.push(id);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        } else if let Some(&report) = prev_by_task.get(&id) {
+            stats.pairs_reused += report.pairs.len();
+            stats.reports_reused += 1;
+            reports.push(report.clone());
+        } else if prev.skipped.contains(&id) {
+            skipped.push(id);
+        }
+    }
+    Ok((reports, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disparity_model::spec::{ChannelSpec, EcuSpec, TaskEntry};
+    use disparity_model::time::Duration;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    /// Fig. 2 of the paper as a spec: two stimuli into a two-ECU diamond.
+    fn fig2_spec() -> SystemSpec {
+        SystemSpec {
+            ecus: vec![EcuSpec::processor("ecu1"), EcuSpec::processor("ecu2")],
+            tasks: vec![
+                TaskEntry::stimulus("t1", ms(10)),
+                TaskEntry::stimulus("t2", ms(20)),
+                TaskEntry::computation("t3", ms(10), ms(1), ms(2), "ecu1"),
+                TaskEntry::computation("t4", ms(20), ms(2), ms(4), "ecu1"),
+                TaskEntry::computation("t5", ms(30), ms(2), ms(5), "ecu2"),
+                TaskEntry::computation("t6", ms(30), ms(3), ms(6), "ecu2"),
+            ],
+            channels: vec![
+                ChannelSpec::register("t1", "t3"),
+                ChannelSpec::register("t2", "t3"),
+                ChannelSpec::register("t3", "t4"),
+                ChannelSpec::register("t3", "t5"),
+                ChannelSpec::register("t4", "t6"),
+                ChannelSpec::register("t5", "t6"),
+            ],
+        }
+    }
+
+    fn assert_systems_identical(a: &AnalyzedSystem, b: &AnalyzedSystem) {
+        assert_eq!(a.spec(), b.spec());
+        assert_eq!(a.graph(), b.graph());
+        assert_eq!(a.response_times(), b.response_times());
+        assert_eq!(a.skipped(), b.skipped());
+        assert_eq!(a.reports().len(), b.reports().len());
+        for (ra, rb) in a.reports().iter().zip(b.reports()) {
+            assert_eq!(ra.task, rb.task);
+            assert_eq!(ra.method, rb.method);
+            assert_eq!(ra.bound, rb.bound, "bound differs for {}", ra.task);
+            assert_eq!(ra.chains, rb.chains);
+            assert_eq!(ra.pairs.len(), rb.pairs.len());
+            for (pa, pb) in ra.pairs.iter().zip(&rb.pairs) {
+                assert_eq!((pa.lambda, pa.nu), (pb.lambda, pb.nu));
+                assert_eq!(pa.analyzed_at, pb.analyzed_at);
+                assert_eq!(pa.bound, pb.bound);
+            }
+        }
+    }
+
+    fn check_edit(edit: SpecEdit) -> ReanalyzeStats {
+        let spec = fig2_spec();
+        let base = AnalyzedSystem::analyze(&spec, AnalysisConfig::default()).unwrap();
+        let (derived, stats) = reanalyze(&base, &edit).unwrap();
+        let mut spec2 = spec;
+        edit.apply(&mut spec2).unwrap();
+        let cold = AnalyzedSystem::analyze(&spec2, AnalysisConfig::default()).unwrap();
+        assert_systems_identical(&derived, &cold);
+        stats
+    }
+
+    #[test]
+    fn wcet_edit_recomputes_one_ecu_and_matches_cold() {
+        let stats = check_edit(SpecEdit::SetWcet {
+            task: "t4".into(),
+            wcet: ms(5),
+        });
+        assert_eq!(stats.edit_kind, "set_wcet");
+        assert!(!stats.graph_rebuilt);
+        // Only ecu1's two tasks re-run their fixed points.
+        assert_eq!(stats.wcrt_recomputed, 2);
+        // t4's WCET enters the blocking term of every ecu1 task, so every
+        // chain through t3 is dirty — the sweep re-runs, it never stales.
+        assert!(stats.pairs_recomputed > 0);
+    }
+
+    #[test]
+    fn bcet_edit_skips_wcrt_entirely() {
+        let stats = check_edit(SpecEdit::SetBcet {
+            task: "t5".into(),
+            bcet: ms(1),
+        });
+        assert_eq!(stats.wcrt_recomputed, 0);
+        assert!(!stats.graph_rebuilt);
+    }
+
+    #[test]
+    fn buffer_resize_dirties_only_chains_through_the_edge() {
+        let stats = check_edit(SpecEdit::ResizeBuffer {
+            from: "t3".into(),
+            to: "t5".into(),
+            capacity: 3,
+        });
+        assert_eq!(stats.wcrt_recomputed, 0);
+        assert!(stats.pairs_reused > 0);
+        assert!(stats.pairs_recomputed > 0);
+    }
+
+    #[test]
+    fn period_edit_rebuilds_and_matches_cold() {
+        let stats = check_edit(SpecEdit::SetPeriod {
+            task: "t4".into(),
+            period: ms(40),
+        });
+        assert!(stats.graph_rebuilt);
+    }
+
+    #[test]
+    fn priority_swap_matches_cold() {
+        let stats = check_edit(SpecEdit::SwapPriority {
+            a: "t5".into(),
+            b: "t6".into(),
+        });
+        assert!(stats.graph_rebuilt);
+        assert_eq!(stats.wcrt_recomputed, 2);
+    }
+
+    #[test]
+    fn channel_add_and_remove_match_cold() {
+        let add = check_edit(SpecEdit::AddChannel {
+            from: "t1".into(),
+            to: "t4".into(),
+            capacity: 1,
+        });
+        assert!(add.graph_rebuilt);
+        assert!(add.reports_recomputed > 0);
+        let rm = check_edit(SpecEdit::RemoveChannel {
+            from: "t3".into(),
+            to: "t5".into(),
+        });
+        assert!(rm.graph_rebuilt);
+    }
+
+    #[test]
+    fn upstream_only_edit_reuses_untouched_reports() {
+        // t1 feeds everything in fig2, so pick a system with a side chain
+        // the edit cannot reach.
+        let mut spec = fig2_spec();
+        spec.tasks.push(TaskEntry::stimulus("s7", ms(10)));
+        spec.tasks
+            .push(TaskEntry::computation("t8", ms(20), ms(1), ms(1), "ecu1"));
+        spec.channels.push(ChannelSpec::register("s7", "t8"));
+        spec.channels.push(ChannelSpec::register("t1", "t8"));
+        let base = AnalyzedSystem::analyze(&spec, AnalysisConfig::default()).unwrap();
+        let edit = SpecEdit::SetBcet {
+            task: "t5".into(),
+            bcet: ms(1),
+        };
+        let (derived, stats) = reanalyze(&base, &edit).unwrap();
+        // t8 fuses chains untouched by the t5 edit: its report is reused.
+        assert!(stats.reports_reused >= 1, "stats: {stats:?}");
+        let mut spec2 = spec;
+        edit.apply(&mut spec2).unwrap();
+        let cold = AnalyzedSystem::analyze(&spec2, AnalysisConfig::default()).unwrap();
+        assert_systems_identical(&derived, &cold);
+    }
+
+    #[test]
+    fn invalid_edit_is_rejected_before_any_work() {
+        let spec = fig2_spec();
+        let base = AnalyzedSystem::analyze(&spec, AnalysisConfig::default()).unwrap();
+        let err = reanalyze(
+            &base,
+            &SpecEdit::SetWcet {
+                task: "nope".into(),
+                wcet: ms(1),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, DeltaError::Edit(EditError::UnknownTask(_))), "{err}");
+        let err = reanalyze(
+            &base,
+            &SpecEdit::SetPeriod {
+                task: "t3".into(),
+                period: ms(0),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, DeltaError::Edit(EditError::InvalidValue(_))), "{err}");
+    }
+
+    #[test]
+    fn overload_on_the_dirty_ecu_is_reported() {
+        let spec = fig2_spec();
+        let base = AnalyzedSystem::analyze(&spec, AnalysisConfig::default()).unwrap();
+        let err = reanalyze(
+            &base,
+            &SpecEdit::SetWcet {
+                task: "t3".into(),
+                wcet: ms(10),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, DeltaError::Sched(SchedError::Overloaded { .. })), "{err}");
+    }
+
+    #[test]
+    fn dependency_map_indexes_chains_both_ways() {
+        let spec = fig2_spec();
+        let base = AnalyzedSystem::analyze(&spec, AnalysisConfig::default()).unwrap();
+        let g = base.graph();
+        let t3 = g.find_task("t3").unwrap();
+        let t6 = g.find_task("t6").unwrap();
+        assert!(!base.dependency_map().chains_of_task(t3).is_empty());
+        // t3 -> t6 is not an edge; t4 -> t6 is.
+        assert!(base.dependency_map().chains_of_edge(t3, t6).is_empty());
+        let t4 = g.find_task("t4").unwrap();
+        assert!(!base.dependency_map().chains_of_edge(t4, t6).is_empty());
+        assert!(base.report_for(t6).is_some());
+        assert!(base.report_for(g.find_task("t1").unwrap()).is_none());
+    }
+
+    #[test]
+    fn rebased_basis_matches_a_cold_basis() {
+        let spec = fig2_spec();
+        let full = AnalyzedSystem::analyze(&spec, AnalysisConfig::default()).unwrap();
+        // Start from a warmed basis, as a serving cache would hold it.
+        let basis = DeltaBasis {
+            spec: spec.clone(),
+            graph: full.graph().clone(),
+            rt: full.response_times().clone(),
+            hops: full.hop_cache(),
+        };
+        for edit in [
+            SpecEdit::SetWcet {
+                task: "t4".into(),
+                wcet: ms(5),
+            },
+            SpecEdit::SetPeriod {
+                task: "t4".into(),
+                period: ms(40),
+            },
+            SpecEdit::RemoveChannel {
+                from: "t3".into(),
+                to: "t5".into(),
+            },
+        ] {
+            let rebased = basis.rebase(&edit).unwrap();
+            let mut spec2 = spec.clone();
+            edit.apply(&mut spec2).unwrap();
+            let cold = DeltaBasis::analyze(&spec2).unwrap();
+            assert_eq!(rebased.spec, cold.spec);
+            assert_eq!(rebased.graph, cold.graph);
+            assert_eq!(rebased.rt, cold.rt);
+        }
+        // The source basis is never mutated, and carried hop bounds are a
+        // subset of the warmed set.
+        assert_eq!(basis.spec, spec);
+        let rebased = basis
+            .rebase(&SpecEdit::SetBcet {
+                task: "t5".into(),
+                bcet: ms(1),
+            })
+            .unwrap();
+        assert!(rebased.hops.len() < basis.hops.len());
+        assert!(!rebased.hops.is_empty());
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error as _;
+        let e = DeltaError::from(EditError::UnknownTask("x".into()));
+        assert!(e.to_string().contains("edit error"));
+        assert!(e.source().is_some());
+    }
+}

@@ -97,6 +97,26 @@ impl HopCache {
         self.lock().is_empty()
     }
 
+    /// A new cache holding deep copies of the entries `keep` accepts.
+    ///
+    /// This is the delta engine's invalidation primitive: deriving a
+    /// system from an edited spec starts from the previous system's cache
+    /// with the dirty edges dropped, so every clean hop bound is reused
+    /// and every dirty one recomputes lazily on first touch. The result
+    /// shares no storage with `self`.
+    #[must_use]
+    pub fn filtered(&self, keep: impl Fn(TaskId, TaskId) -> bool) -> HopCache {
+        let retained: HashMap<(TaskId, TaskId), EdgeBounds> = self
+            .lock()
+            .iter()
+            .filter(|&(&(a, b), _)| keep(a, b))
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        HopCache {
+            inner: Arc::new(Mutex::new(retained)),
+        }
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<(TaskId, TaskId), EdgeBounds>> {
         self.inner
             .lock()
@@ -429,6 +449,82 @@ impl<'a> AnalysisEngine<'a> {
             .unwrap_or(Duration::ZERO);
         span.attr("pairs", pairs.len());
         span.attr("bound_ns", bound);
+        Ok(DisparityReport {
+            task,
+            method: config.method,
+            bound,
+            chains,
+            pairs,
+        })
+    }
+
+    /// Re-sweeps only the pairs that touch a dirty chain, copying every
+    /// clean pair from `prev_pairs`.
+    ///
+    /// Caller contract (upheld by the delta engine in `delta.rs`): the
+    /// `chains` are exactly what [`CauseEffectGraph::chains_to`] would
+    /// enumerate for `task` under `config`, `prev_pairs` is the pair list
+    /// of a report over those same chains in the same `(i, j)` order, and
+    /// `dirty[i]` is `true` for every chain whose bounds may have changed.
+    /// Under that contract the result is byte-identical to a full
+    /// [`Self::worst_case_disparity`] run: clean pairs were computed from
+    /// unchanged inputs by identical arithmetic, dirty pairs are
+    /// recomputed here through the (pre-invalidated) hop cache.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::worst_case_disparity`].
+    pub(crate) fn worst_case_disparity_partial(
+        &self,
+        task: TaskId,
+        config: AnalysisConfig,
+        chains: Vec<Chain>,
+        prev_pairs: &[PairBound],
+        dirty: &[bool],
+    ) -> Result<DisparityReport, AnalysisError> {
+        self.check_budget()?;
+        let n = chains.len();
+        let any_dirty = dirty.iter().any(|&d| d);
+        // Tables are only needed to recompute dirty pairs, and one dirty
+        // chain pairs with every other chain — so it is all tables or none.
+        let tables: Vec<ChainTable> = if any_dirty {
+            chains
+                .iter()
+                .map(|c| {
+                    self.check_budget()?;
+                    self.table(c)
+                })
+                .collect::<Result<_, _>>()?
+        } else {
+            Vec::new()
+        };
+        let mut pairs = Vec::with_capacity(prev_pairs.len());
+        let mut flat = 0usize;
+        let mut recomputed = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if dirty[i] || dirty[j] {
+                    if recomputed.is_multiple_of(BUDGET_STRIDE) {
+                        self.check_budget()?;
+                    }
+                    recomputed += 1;
+                    pairs.push(self.pair_bound(&chains, &tables, i, j, config.method));
+                } else {
+                    pairs.push(prev_pairs[flat].clone());
+                }
+                flat += 1;
+            }
+        }
+        disparity_obs::counter_add("engine.delta.pairs_recomputed", recomputed as u64);
+        disparity_obs::counter_add(
+            "engine.delta.pairs_reused",
+            (pairs.len() - recomputed) as u64,
+        );
+        let bound = pairs
+            .iter()
+            .map(|p| p.bound)
+            .max()
+            .unwrap_or(Duration::ZERO);
         Ok(DisparityReport {
             task,
             method: config.method,

@@ -14,7 +14,11 @@
 //! * [`engine`] — the memoized (and optionally parallel) form of that
 //!   enumeration: per-graph hop-bound cache + per-chain prefix tables;
 //! * [`buffering`] — Algorithm 1 buffer design, Theorem 3, and a greedy
-//!   multi-pair extension.
+//!   multi-pair extension;
+//! * [`delta`] — incremental (delta) re-analysis: apply a
+//!   [`SpecEdit`](disparity_model::edit::SpecEdit) to an analyzed system
+//!   and recompute only the invalidated slice, byte-identical to a cold
+//!   re-run.
 //!
 //! # Examples
 //!
@@ -49,6 +53,7 @@
 pub mod backward;
 pub mod baseline;
 pub mod buffering;
+pub mod delta;
 pub mod disparity;
 pub mod engine;
 pub mod error;
@@ -68,6 +73,9 @@ pub mod prelude {
     };
     pub use crate::buffering::{
         design_buffer, optimize_task, BufferPlan, BufferedSide, OptimizationOutcome,
+    };
+    pub use crate::delta::{
+        reanalyze, AnalyzedSystem, DeltaBasis, DeltaError, DependencyMap, ReanalyzeStats,
     };
     pub use crate::disparity::{
         analyze_all_tasks, analyze_task, worst_case_disparity, worst_case_disparity_direct,

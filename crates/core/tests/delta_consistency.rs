@@ -1,0 +1,271 @@
+//! Property tests: the incremental re-analysis engine ([`reanalyze`] via
+//! [`AnalyzedSystem::apply`]) is observationally identical to the cold
+//! pipeline after **every** step of a randomized edit sequence.
+//!
+//! Each sequence starts from a seeded schedulable workload, then draws
+//! edits uniformly across every [`SpecEdit`] kind — WCET/BCET/period
+//! changes, priority swaps, buffer resizes, channel adds and removes —
+//! and after each step compares the incrementally-derived
+//! [`AnalyzedSystem`] field by field (spec, subsystem hashes, graph,
+//! response times, skipped set, and every pairwise bound of every
+//! report) against `AnalyzedSystem::analyze_with` on the edited spec.
+//! All arithmetic is integer nanoseconds, so the comparison is exact
+//! equality, not a tolerance. Sequences run once with a serial engine
+//! (`workers = 1`) and once with the parallel pair loop pinned on
+//! (`workers = 8`), because the delta path re-enters the engine with a
+//! pre-seeded hop cache and both loops must agree with it.
+//!
+//! Edits that make the system invalid (an unschedulable period cut, a
+//! channel add that closes a cycle) are kept in the sequence: the
+//! property there is *error agreement* — the incremental path must fail
+//! exactly when the cold path fails, never diverge into a stale answer.
+//!
+//! [`reanalyze`]: disparity_core::delta::reanalyze
+//! [`AnalyzedSystem`]: disparity_core::delta::AnalyzedSystem
+//! [`AnalyzedSystem::apply`]: disparity_core::delta::AnalyzedSystem::apply
+//! [`SpecEdit`]: disparity_model::edit::SpecEdit
+
+use disparity_core::delta::AnalyzedSystem;
+use disparity_core::disparity::AnalysisConfig;
+use disparity_model::edit::SpecEdit;
+use disparity_model::spec::SystemSpec;
+use disparity_model::time::Duration;
+use disparity_rng::rngs::StdRng;
+use disparity_rng::Rng;
+use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
+use disparity_workload::graphgen::{schedulable_random_system, GraphGenConfig};
+
+/// Steps per sequence: enough for edits to compound (a resize on top of
+/// a swap on top of a WCET cut), small enough to keep the cold oracle
+/// cheap.
+const STEPS: usize = 10;
+
+fn waters_spec(n_tasks: usize, seed: u64) -> Option<SystemSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = schedulable_random_system(
+        GraphGenConfig {
+            n_tasks,
+            n_ecus: 4,
+            n_edges: Some((n_tasks as f64 * 2.5) as usize),
+            max_sources: Some(3),
+            target_utilization: Some(0.45),
+        },
+        &mut rng,
+        100,
+    )
+    .ok()?;
+    Some(SystemSpec::from_graph(&graph))
+}
+
+fn funnel_spec(n_tasks: usize, seed: u64) -> Option<SystemSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph =
+        schedulable_funnel_system(&FunnelConfig::with_approximate_size(n_tasks), &mut rng, 100)
+            .ok()?;
+    Some(SystemSpec::from_graph(&graph))
+}
+
+fn pick(rng: &mut StdRng, n: usize) -> usize {
+    usize::try_from(rng.gen_range(0..n as u64)).expect("index fits usize")
+}
+
+fn nanos_between(rng: &mut StdRng, lo: i64, hi: i64) -> Duration {
+    let lo = u64::try_from(lo.max(0)).unwrap_or(0);
+    let hi = u64::try_from(hi.max(0)).unwrap_or(0).max(lo);
+    Duration::from_nanos(i64::try_from(rng.gen_range(lo..=hi)).expect("nanos fit i64"))
+}
+
+/// Draws one spec-level-valid edit: the candidate is pre-checked with
+/// [`SpecEdit::apply`] on a scratch clone, so the sequence never stalls
+/// on a name-level rejection (duplicate channel, unknown task). System-
+/// level invalidity (unschedulable, cyclic) is deliberately let through.
+fn random_edit(spec: &SystemSpec, rng: &mut StdRng) -> Option<(SpecEdit, SystemSpec)> {
+    for _ in 0..32 {
+        let t = &spec.tasks[pick(rng, spec.tasks.len())];
+        let candidate = match rng.gen_range(0..7u64) {
+            0 => SpecEdit::SetWcet {
+                task: t.name.clone(),
+                // Mostly shrinks (always schedulable); the top of the
+                // range grows 25%, occasionally tipping a system over.
+                wcet: nanos_between(
+                    rng,
+                    t.bcet.as_nanos(),
+                    (t.wcet.as_nanos() * 5 / 4).max(t.bcet.as_nanos()),
+                ),
+            },
+            1 => SpecEdit::SetBcet {
+                task: t.name.clone(),
+                bcet: nanos_between(rng, 0, t.wcet.as_nanos()),
+            },
+            2 => SpecEdit::SetPeriod {
+                task: t.name.clone(),
+                period: nanos_between(
+                    rng,
+                    (t.period.as_nanos() / 2).max(1),
+                    t.period.as_nanos() * 2,
+                ),
+            },
+            3 => {
+                let u = &spec.tasks[pick(rng, spec.tasks.len())];
+                SpecEdit::SwapPriority {
+                    a: t.name.clone(),
+                    b: u.name.clone(),
+                }
+            }
+            4 => {
+                if spec.channels.is_empty() {
+                    continue;
+                }
+                let c = &spec.channels[pick(rng, spec.channels.len())];
+                SpecEdit::ResizeBuffer {
+                    from: c.from.clone(),
+                    to: c.to.clone(),
+                    capacity: pick(rng, 4) + 1,
+                }
+            }
+            5 => {
+                let u = &spec.tasks[pick(rng, spec.tasks.len())];
+                SpecEdit::AddChannel {
+                    from: t.name.clone(),
+                    to: u.name.clone(),
+                    capacity: pick(rng, 2) + 1,
+                }
+            }
+            _ => {
+                if spec.channels.is_empty() {
+                    continue;
+                }
+                let c = &spec.channels[pick(rng, spec.channels.len())];
+                SpecEdit::RemoveChannel {
+                    from: c.from.clone(),
+                    to: c.to.clone(),
+                }
+            }
+        };
+        let mut edited = spec.clone();
+        if candidate.apply(&mut edited).is_ok() {
+            return Some((candidate, edited));
+        }
+    }
+    None
+}
+
+/// Field-by-field equality of the derived and the cold system. Exact:
+/// any divergence, down to a single pairwise bound, is a failure.
+fn assert_systems_identical(derived: &AnalyzedSystem, cold: &AnalyzedSystem, what: &str) {
+    assert_eq!(derived.spec(), cold.spec(), "{what}: spec");
+    assert_eq!(derived.hashes(), cold.hashes(), "{what}: subsystem hashes");
+    assert_eq!(derived.graph(), cold.graph(), "{what}: graph");
+    assert_eq!(
+        derived.response_times(),
+        cold.response_times(),
+        "{what}: response times"
+    );
+    assert_eq!(derived.skipped(), cold.skipped(), "{what}: skipped set");
+    assert_eq!(
+        derived.reports().len(),
+        cold.reports().len(),
+        "{what}: report count"
+    );
+    for (ra, rb) in derived.reports().iter().zip(cold.reports()) {
+        assert_eq!(ra.task, rb.task, "{what}: report task");
+        assert_eq!(ra.method, rb.method, "{what}: method");
+        assert_eq!(ra.bound, rb.bound, "{what}: bound for {}", ra.task);
+        assert_eq!(ra.chains, rb.chains, "{what}: chain set for {}", ra.task);
+        assert_eq!(
+            ra.pairs.len(),
+            rb.pairs.len(),
+            "{what}: pair count for {}",
+            ra.task
+        );
+        for (pa, pb) in ra.pairs.iter().zip(&rb.pairs) {
+            assert_eq!(
+                (pa.lambda, pa.nu, pa.analyzed_at, pa.bound),
+                (pb.lambda, pb.nu, pb.analyzed_at, pb.bound),
+                "{what}: pair ({}, {}) for {}",
+                pa.lambda,
+                pa.nu,
+                ra.task,
+            );
+        }
+    }
+}
+
+/// Runs one randomized edit sequence, comparing incremental against cold
+/// after every step, under a fixed engine worker count.
+fn run_sequence(spec: SystemSpec, seq_seed: u64, workers: usize, what: &str) {
+    let config = AnalysisConfig::default();
+    let mut rng = StdRng::seed_from_u64(seq_seed);
+    let mut current = AnalyzedSystem::analyze_with(&spec, config, Some(workers))
+        .expect("seed workload analyzes cold");
+    let mut applied = 0usize;
+    for step in 0..STEPS {
+        let Some((edit, edited_spec)) = random_edit(current.spec(), &mut rng) else {
+            continue;
+        };
+        let label = format!("{what}: step {step} ({})", edit.kind());
+        let incremental = current.apply(&edit);
+        let cold = AnalyzedSystem::analyze_with(&edited_spec, config, Some(workers));
+        match (incremental, cold) {
+            (Ok((derived, _stats)), Ok(cold)) => {
+                assert_systems_identical(&derived, &cold, &label);
+                current = derived;
+                applied += 1;
+            }
+            (Err(_), Err(_)) => {
+                // Error agreement: both paths reject; the sequence keeps
+                // its last valid state.
+            }
+            (Ok(_), Err(e)) => {
+                panic!("{label}: incremental accepted an edit the cold pipeline rejects: {e}")
+            }
+            (Err(e), Ok(_)) => {
+                panic!("{label}: incremental rejected an edit the cold pipeline accepts: {e}")
+            }
+        }
+    }
+    assert!(
+        applied >= STEPS / 2,
+        "{what}: only {applied} of {STEPS} edits applied — generator too narrow to be a property test"
+    );
+}
+
+#[test]
+fn random_edit_sequences_match_cold_on_waters_graphs_serial() {
+    for seed in [11, 12, 13] {
+        let Some(spec) = waters_spec(16, seed) else {
+            continue;
+        };
+        run_sequence(spec, seed ^ 0xA5A5, 1, &format!("waters seed {seed} serial"));
+    }
+}
+
+#[test]
+fn random_edit_sequences_match_cold_on_waters_graphs_parallel() {
+    for seed in [11, 12, 13] {
+        let Some(spec) = waters_spec(16, seed) else {
+            continue;
+        };
+        run_sequence(spec, seed ^ 0xA5A5, 8, &format!("waters seed {seed} parallel"));
+    }
+}
+
+#[test]
+fn random_edit_sequences_match_cold_on_funnel_graphs_serial() {
+    for seed in [21, 22] {
+        let Some(spec) = funnel_spec(24, seed) else {
+            continue;
+        };
+        run_sequence(spec, seed ^ 0x5A5A, 1, &format!("funnel seed {seed} serial"));
+    }
+}
+
+#[test]
+fn random_edit_sequences_match_cold_on_funnel_graphs_parallel() {
+    for seed in [21, 22] {
+        let Some(spec) = funnel_spec(24, seed) else {
+            continue;
+        };
+        run_sequence(spec, seed ^ 0x5A5A, 8, &format!("funnel seed {seed} parallel"));
+    }
+}

@@ -8,6 +8,7 @@
 //!         [--require-cache-hit] [--probe-overload N] [--shutdown]
 //!         [--chaos-soak] [--soak-tag TAG] [--direct-addr HOST:PORT]
 //!         [--latency-series FILE] [--series-interval-ms N] [--dump]
+//!         [--edit-replay]
 //! ```
 //!
 //! Each connection runs a synchronous request/response loop over the
@@ -52,6 +53,19 @@
 //! `dump` op after the run, making the server write its flight-recorder
 //! postmortem (requires the server to run with `--postmortem-dir`).
 //!
+//! # Edit replay
+//!
+//! `--edit-replay` exercises the incremental (`patch`) path end to end:
+//! the full spec is sent once to seat the base graph in the server's
+//! cache, then `--requests` patch requests — each a seeded random
+//! single-field WCET edit against the base's canonical hash — are
+//! replayed, cycling through a small pool of distinct edits so later
+//! iterations land on the server's patch memo. Every response must be
+//! **byte-identical** to encoding a direct engine run on the locally
+//! edited spec; the run also asserts the server's `patched` /
+//! `patch_memo_hits` counters moved, so CI can prove both the derive and
+//! the warm path were exercised.
+//!
 //! # Latency series
 //!
 //! `--latency-series FILE` samples the server's `metrics` op every
@@ -71,6 +85,7 @@ use std::time::{Duration, Instant};
 
 use disparity_core::disparity::AnalysisConfig;
 use disparity_core::engine::AnalysisEngine;
+use disparity_model::edit::{apply_all, SpecEdit};
 use disparity_model::graph::CauseEffectGraph;
 use disparity_model::json::{self, Value};
 use disparity_model::spec::SystemSpec;
@@ -103,6 +118,7 @@ struct Args {
     latency_series: Option<String>,
     series_interval_ms: u64,
     dump: bool,
+    edit_replay: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -126,6 +142,7 @@ fn parse_args() -> Result<Args, String> {
         latency_series: None,
         series_interval_ms: 100,
         dump: false,
+        edit_replay: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -171,6 +188,7 @@ fn parse_args() -> Result<Args, String> {
             "--direct-addr" => args.direct_addr = Some(value("--direct-addr")?),
             "--latency-series" => args.latency_series = Some(value("--latency-series")?),
             "--dump" => args.dump = true,
+            "--edit-replay" => args.edit_replay = true,
             "--series-interval-ms" => {
                 args.series_interval_ms = value("--series-interval-ms")?
                     .parse()
@@ -778,6 +796,152 @@ fn run_chaos_soak(
     Ok((report, failed))
 }
 
+// ---------------------------------------------------------------------------
+// Edit replay
+// ---------------------------------------------------------------------------
+
+/// The expected `ok` response bytes for a disparity/patch answer on
+/// `spec`: the full cold pipeline, run locally.
+fn cold_answer(spec: &SystemSpec, task: &str) -> Result<Value, String> {
+    let graph = spec.build().map_err(|e| format!("building edited spec: {e}"))?;
+    let sink = graph
+        .find_task(task)
+        .ok_or_else(|| format!("task {task:?} not in edited spec"))?;
+    let rt = response_times(&graph).map_err(|e| format!("response times: {e}"))?;
+    let report = AnalysisEngine::new(&graph, &rt)
+        .worst_case_disparity(sink, AnalysisConfig::default())
+        .map_err(|e| format!("direct analysis: {e}"))?;
+    Ok(encode_disparity_result(&graph, &report))
+}
+
+/// Seeds the base spec into the server's cache, then replays patch
+/// requests (seeded random WCET edits against the base canonical hash),
+/// accepting only responses byte-identical to the local cold pipeline on
+/// the edited spec. Cycling through a small pool of distinct edits makes
+/// later iterations exercise the server's patch memo.
+fn run_edit_replay(
+    args: &Args,
+    spec: &SystemSpec,
+    task: &str,
+) -> Result<(Value, bool), String> {
+    let base = spec.canonical_hash();
+    let task_json = Value::from(task).to_string();
+    let tally = SoakTally::default();
+    let mut rng = StdRng::seed_from_u64(splitmix64_mix(args.seed ^ 0xED17));
+
+    // Warm request: the server must hold the base graph before any patch
+    // can rebase from it.
+    let warm_id = "edit-replay-warm";
+    let warm_line = format!(
+        "{{\"id\":{},\"op\":\"disparity\",\"task\":{task_json},\"spec\":{}}}",
+        Value::from(warm_id),
+        spec.to_json()
+    );
+    let warm_want = response_line(
+        &Value::from(warm_id),
+        Status::Ok,
+        ResponseBody::Result(cold_answer(spec, task)?),
+    );
+    soak_request(&args.addr, &warm_line, &warm_want, warm_id, args, &mut rng, &tally)
+        .map_err(|()| "edit-replay: warm request never matched the cold pipeline".to_string())?;
+
+    // A pool of distinct single-field WCET edits. Shrinking a WCET keeps
+    // every schedulability verdict intact, so each edit is admissible.
+    let candidates: Vec<&disparity_model::spec::TaskEntry> = spec
+        .tasks
+        .iter()
+        .filter(|t| t.wcet.as_nanos() > t.bcet.as_nanos() && t.wcet.as_nanos() > 1)
+        .collect();
+    if candidates.is_empty() {
+        return Err("edit-replay: no task has wcet > bcet to edit".to_string());
+    }
+    let distinct = args.requests.clamp(1, 8);
+    let mut pool = Vec::with_capacity(distinct);
+    for _ in 0..distinct {
+        let t = candidates[usize::try_from(rng.gen_range(0..candidates.len() as u64))
+            .unwrap_or(0)];
+        let lo = u64::try_from(t.bcet.as_nanos()).unwrap_or(0).max(1);
+        let hi = u64::try_from(t.wcet.as_nanos()).unwrap_or(1);
+        let wcet = SpecDuration::from_nanos(i64::try_from(rng.gen_range(lo..hi)).unwrap_or(1));
+        let edit = SpecEdit::SetWcet {
+            task: t.name.clone(),
+            wcet,
+        };
+        let mut edited = spec.clone();
+        apply_all(&mut edited, std::slice::from_ref(&edit))
+            .map_err(|(i, e)| format!("edit-replay: generated bad edit [{i}]: {e}"))?;
+        let answer = cold_answer(&edited, task)?;
+        pool.push((edit.to_json().to_string(), answer));
+    }
+
+    for i in 0..args.requests {
+        let (edit_json, answer) = &pool[i % distinct];
+        let id = format!("edit-replay-{i}");
+        let line = format!(
+            "{{\"id\":{},\"op\":\"patch\",\"base\":\"{base:016x}\",\"edits\":[{edit_json}],\"task\":{task_json}}}",
+            Value::from(id.as_str())
+        );
+        let want = response_line(
+            &Value::from(id.as_str()),
+            Status::Ok,
+            ResponseBody::Result(answer.clone()),
+        );
+        match soak_request(&args.addr, &line, &want, &id, args, &mut rng, &tally) {
+            Ok(_) => bump(&tally.accepted),
+            Err(()) => bump(&tally.lost),
+        }
+    }
+
+    let stats = server_query(&args.addr, "stats")?;
+    let counter = |name: &str| {
+        stats
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_i64)
+            .unwrap_or(0)
+    };
+    let patched = counter("patched");
+    let memo_hits = counter("patch_memo_hits");
+
+    let accepted = load(&tally.accepted);
+    let lost = load(&tally.lost);
+    let mut failed = false;
+    let mut fail = |cond: bool, msg: &str| {
+        if cond {
+            eprintln!("loadgen: FAIL: {msg}");
+            failed = true;
+        }
+    };
+    fail(lost > 0, &format!("{lost} patch response(s) never matched the cold pipeline"));
+    fail(
+        accepted != args.requests as u64,
+        &format!("accepted {accepted} of {} patch responses", args.requests),
+    );
+    fail(patched < 1, "server reports zero derived patch entries");
+    fail(
+        args.requests > distinct && memo_hits < 1,
+        "server reports zero patch memo hits despite repeated edits",
+    );
+
+    let report = json::object(vec![
+        ("mode", Value::from("edit-replay")),
+        ("addr", Value::from(args.addr.as_str())),
+        ("spec", Value::from(args.spec.as_str())),
+        ("task", Value::from(task)),
+        ("base", Value::from(format!("{base:016x}").as_str())),
+        ("seed", uint(args.seed)),
+        ("requests", Value::from(args.requests)),
+        ("distinct_edits", Value::from(distinct)),
+        ("accepted", uint(accepted)),
+        ("lost", uint(lost)),
+        ("retried_attempts", uint(load(&tally.retried_attempts))),
+        ("server_patched", Value::Int(patched)),
+        ("server_patch_memo_hits", Value::Int(memo_hits)),
+        ("passed", Value::Bool(!failed)),
+    ]);
+    Ok((report, failed))
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -847,6 +1011,36 @@ fn main() -> ExitCode {
         if args.shutdown {
             let direct = args.direct_addr.as_deref().unwrap_or(&args.addr);
             if let Err(msg) = send_shutdown(direct) {
+                eprintln!("loadgen: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+
+    if args.edit_replay {
+        let (report, failed) = match run_edit_replay(&args, &spec, &task) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("loadgen: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(sampler) = sampler {
+            if let Err(msg) = sampler.finish() {
+                eprintln!("loadgen: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("{}", report.to_pretty());
+        if let Some(path) = &args.out {
+            if let Err(e) = std::fs::write(path, format!("{}\n", report.to_pretty())) {
+                eprintln!("loadgen: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if args.shutdown {
+            if let Err(msg) = send_shutdown(&args.addr) {
                 eprintln!("loadgen: {msg}");
                 return ExitCode::FAILURE;
             }

@@ -1,0 +1,701 @@
+//! Typed, serializable edits over a [`SystemSpec`].
+//!
+//! A [`SpecEdit`] names one field-level change to a spec — the knobs the
+//! paper's sensitivity and buffer-tuning loops (§IV, Algorithm 1) turn —
+//! without re-stating the rest of the system. Edits validate the same
+//! invariants the graph builder enforces *before* mutating, so a failed
+//! [`SpecEdit::apply`] leaves the spec untouched.
+//!
+//! Edits round-trip through JSON ([`SpecEdit::to_json`] /
+//! [`SpecEdit::from_json`]) using the spec conventions: durations are
+//! integer nanoseconds, tasks and channels are addressed by name. This is
+//! the wire form the service's `patch` op and the loadgen edit-replay mode
+//! exchange.
+//!
+//! # Examples
+//!
+//! ```
+//! use disparity_model::edit::SpecEdit;
+//! use disparity_model::spec::{ChannelSpec, EcuSpec, SystemSpec, TaskEntry};
+//! use disparity_model::time::Duration;
+//!
+//! let ms = Duration::from_millis;
+//! let mut spec = SystemSpec {
+//!     ecus: vec![EcuSpec::processor("e0")],
+//!     tasks: vec![
+//!         TaskEntry::stimulus("cam", ms(33)),
+//!         TaskEntry::computation("det", ms(33), ms(2), ms(6), "e0"),
+//!     ],
+//!     channels: vec![ChannelSpec::register("cam", "det")],
+//! };
+//! SpecEdit::SetWcet { task: "det".into(), wcet: ms(7) }.apply(&mut spec)?;
+//! assert_eq!(spec.tasks[1].wcet, ms(7));
+//! # Ok::<(), disparity_model::edit::EditError>(())
+//! ```
+
+use core::fmt;
+
+use crate::json::{self, Value};
+use crate::spec::{ChannelSpec, SystemSpec, TaskEntry};
+use crate::time::Duration;
+
+/// One field-level change to a [`SystemSpec`].
+///
+/// The taxonomy covers every knob the incremental re-analysis engine
+/// understands: execution-time and period changes, priority swaps, buffer
+/// resizes, and channel (edge) insertion/removal. Tasks and channels are
+/// addressed by name so an edit stays valid across id reassignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecEdit {
+    /// Replace the worst-case execution time of a task.
+    SetWcet {
+        /// Task name.
+        task: String,
+        /// New WCET; must stay ≥ the task's BCET.
+        wcet: Duration,
+    },
+    /// Replace the best-case execution time of a task.
+    SetBcet {
+        /// Task name.
+        task: String,
+        /// New BCET; must stay ≤ the task's WCET and non-negative.
+        bcet: Duration,
+    },
+    /// Replace the activation period of a task.
+    SetPeriod {
+        /// Task name.
+        task: String,
+        /// New period; must be positive.
+        period: Duration,
+    },
+    /// Swap the explicit priority levels of two tasks.
+    ///
+    /// Swapping `None` priorities is a spec-level no-op (both tasks keep
+    /// rate-monotonic assignment); swapping `Some` with `None` moves the
+    /// explicit level to the other task.
+    SwapPriority {
+        /// First task name.
+        a: String,
+        /// Second task name.
+        b: String,
+    },
+    /// Resize the FIFO buffer of an existing channel (the §IV knob).
+    ResizeBuffer {
+        /// Producing task name.
+        from: String,
+        /// Consuming task name.
+        to: String,
+        /// New capacity; must be ≥ 1.
+        capacity: usize,
+    },
+    /// Add a channel between two existing tasks.
+    AddChannel {
+        /// Producing task name.
+        from: String,
+        /// Consuming task name.
+        to: String,
+        /// Capacity of the new channel; must be ≥ 1.
+        capacity: usize,
+    },
+    /// Remove an existing channel.
+    RemoveChannel {
+        /// Producing task name.
+        from: String,
+        /// Consuming task name.
+        to: String,
+    },
+}
+
+/// Why a [`SpecEdit`] could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EditError {
+    /// The edit names a task the spec does not contain.
+    UnknownTask(String),
+    /// The edit names a channel the spec does not contain.
+    UnknownChannel {
+        /// Producing task name.
+        from: String,
+        /// Consuming task name.
+        to: String,
+    },
+    /// `AddChannel` would duplicate an existing edge.
+    DuplicateChannel {
+        /// Producing task name.
+        from: String,
+        /// Consuming task name.
+        to: String,
+    },
+    /// The new value violates a model invariant (`BCET ≤ WCET`, positive
+    /// period, capacity ≥ 1, no self-loop).
+    InvalidValue(String),
+    /// The JSON was well-formed but did not describe an edit.
+    Schema(String),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::UnknownTask(n) => write!(f, "edit names unknown task {n:?}"),
+            EditError::UnknownChannel { from, to } => {
+                write!(f, "edit names unknown channel {from:?} -> {to:?}")
+            }
+            EditError::DuplicateChannel { from, to } => {
+                write!(f, "channel {from:?} -> {to:?} already exists")
+            }
+            EditError::InvalidValue(msg) => write!(f, "invalid edit value: {msg}"),
+            EditError::Schema(msg) => write!(f, "edit schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+impl SpecEdit {
+    /// A short stable label for the edit kind (metrics / logs).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SpecEdit::SetWcet { .. } => "set_wcet",
+            SpecEdit::SetBcet { .. } => "set_bcet",
+            SpecEdit::SetPeriod { .. } => "set_period",
+            SpecEdit::SwapPriority { .. } => "swap_priority",
+            SpecEdit::ResizeBuffer { .. } => "resize_buffer",
+            SpecEdit::AddChannel { .. } => "add_channel",
+            SpecEdit::RemoveChannel { .. } => "remove_channel",
+        }
+    }
+
+    /// `true` when the edit changes the edge set of the graph, which
+    /// invalidates chain enumerations (not just bounds along them).
+    #[must_use]
+    pub fn changes_topology(&self) -> bool {
+        matches!(
+            self,
+            SpecEdit::AddChannel { .. } | SpecEdit::RemoveChannel { .. }
+        )
+    }
+
+    /// Applies the edit in place.
+    ///
+    /// Validation happens before any mutation: on error the spec is
+    /// unchanged. The checks mirror the graph builder's invariants so an
+    /// edit that applies cleanly cannot introduce a *parameter-level*
+    /// violation (structural ones — cycles, duplicate explicit priorities
+    /// across a swap of mapped/unmapped tasks — remain the builder's job).
+    ///
+    /// # Errors
+    ///
+    /// See [`EditError`].
+    pub fn apply(&self, spec: &mut SystemSpec) -> Result<(), EditError> {
+        fn task_index(spec: &SystemSpec, name: &str) -> Result<usize, EditError> {
+            spec.tasks
+                .iter()
+                .position(|t| t.name == name)
+                .ok_or_else(|| EditError::UnknownTask(name.to_string()))
+        }
+        fn channel_index(spec: &SystemSpec, from: &str, to: &str) -> Result<usize, EditError> {
+            spec.channels
+                .iter()
+                .position(|c| c.from == from && c.to == to)
+                .ok_or_else(|| EditError::UnknownChannel {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                })
+        }
+
+        match self {
+            SpecEdit::SetWcet { task, wcet } => {
+                let i = task_index(spec, task)?;
+                if wcet.is_negative() || *wcet < spec.tasks[i].bcet {
+                    return Err(EditError::InvalidValue(format!(
+                        "wcet {} ns below bcet {} ns for task {task:?}",
+                        wcet.as_nanos(),
+                        spec.tasks[i].bcet.as_nanos()
+                    )));
+                }
+                spec.tasks[i].wcet = *wcet;
+            }
+            SpecEdit::SetBcet { task, bcet } => {
+                let i = task_index(spec, task)?;
+                if bcet.is_negative() || *bcet > spec.tasks[i].wcet {
+                    return Err(EditError::InvalidValue(format!(
+                        "bcet {} ns above wcet {} ns for task {task:?}",
+                        bcet.as_nanos(),
+                        spec.tasks[i].wcet.as_nanos()
+                    )));
+                }
+                spec.tasks[i].bcet = *bcet;
+            }
+            SpecEdit::SetPeriod { task, period } => {
+                let i = task_index(spec, task)?;
+                if !period.is_positive() {
+                    return Err(EditError::InvalidValue(format!(
+                        "non-positive period {} ns for task {task:?}",
+                        period.as_nanos()
+                    )));
+                }
+                spec.tasks[i].period = *period;
+            }
+            SpecEdit::SwapPriority { a, b } => {
+                let i = task_index(spec, a)?;
+                let j = task_index(spec, b)?;
+                if i != j {
+                    let pa = spec.tasks[i].priority;
+                    spec.tasks[i].priority = spec.tasks[j].priority;
+                    spec.tasks[j].priority = pa;
+                }
+            }
+            SpecEdit::ResizeBuffer { from, to, capacity } => {
+                let i = channel_index(spec, from, to)?;
+                if *capacity == 0 {
+                    return Err(EditError::InvalidValue(format!(
+                        "zero capacity for channel {from:?} -> {to:?}"
+                    )));
+                }
+                spec.channels[i].capacity = *capacity;
+            }
+            SpecEdit::AddChannel { from, to, capacity } => {
+                task_index(spec, from)?;
+                task_index(spec, to)?;
+                if from == to {
+                    return Err(EditError::InvalidValue(format!(
+                        "self-loop channel on {from:?}"
+                    )));
+                }
+                if *capacity == 0 {
+                    return Err(EditError::InvalidValue(format!(
+                        "zero capacity for channel {from:?} -> {to:?}"
+                    )));
+                }
+                if channel_index(spec, from, to).is_ok() {
+                    return Err(EditError::DuplicateChannel {
+                        from: from.clone(),
+                        to: to.clone(),
+                    });
+                }
+                spec.channels.push(ChannelSpec {
+                    from: from.clone(),
+                    to: to.clone(),
+                    capacity: *capacity,
+                });
+            }
+            SpecEdit::RemoveChannel { from, to } => {
+                let i = channel_index(spec, from, to)?;
+                spec.channels.remove(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// The task names whose *parameters* the edit touches (empty for pure
+    /// channel edits). Used by the delta engine to seed its dirty set.
+    #[must_use]
+    pub fn touched_tasks(&self) -> Vec<&str> {
+        match self {
+            SpecEdit::SetWcet { task, .. }
+            | SpecEdit::SetBcet { task, .. }
+            | SpecEdit::SetPeriod { task, .. } => vec![task],
+            SpecEdit::SwapPriority { a, b } => vec![a, b],
+            SpecEdit::ResizeBuffer { .. }
+            | SpecEdit::AddChannel { .. }
+            | SpecEdit::RemoveChannel { .. } => Vec::new(),
+        }
+    }
+
+    /// The `(from, to)` channel the edit addresses, if any.
+    #[must_use]
+    pub fn touched_channel(&self) -> Option<(&str, &str)> {
+        match self {
+            SpecEdit::ResizeBuffer { from, to, .. }
+            | SpecEdit::AddChannel { from, to, .. }
+            | SpecEdit::RemoveChannel { from, to } => Some((from, to)),
+            _ => None,
+        }
+    }
+
+    /// Encodes the edit as a JSON value (the `patch` wire form).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        match self {
+            SpecEdit::SetWcet { task, wcet } => json::object(vec![
+                ("kind", Value::from("set_wcet")),
+                ("task", Value::from(task.clone())),
+                ("wcet", Value::Int(wcet.as_nanos())),
+            ]),
+            SpecEdit::SetBcet { task, bcet } => json::object(vec![
+                ("kind", Value::from("set_bcet")),
+                ("task", Value::from(task.clone())),
+                ("bcet", Value::Int(bcet.as_nanos())),
+            ]),
+            SpecEdit::SetPeriod { task, period } => json::object(vec![
+                ("kind", Value::from("set_period")),
+                ("task", Value::from(task.clone())),
+                ("period", Value::Int(period.as_nanos())),
+            ]),
+            SpecEdit::SwapPriority { a, b } => json::object(vec![
+                ("kind", Value::from("swap_priority")),
+                ("a", Value::from(a.clone())),
+                ("b", Value::from(b.clone())),
+            ]),
+            SpecEdit::ResizeBuffer { from, to, capacity } => json::object(vec![
+                ("kind", Value::from("resize_buffer")),
+                ("from", Value::from(from.clone())),
+                ("to", Value::from(to.clone())),
+                ("capacity", Value::from(*capacity)),
+            ]),
+            SpecEdit::AddChannel { from, to, capacity } => json::object(vec![
+                ("kind", Value::from("add_channel")),
+                ("from", Value::from(from.clone())),
+                ("to", Value::from(to.clone())),
+                ("capacity", Value::from(*capacity)),
+            ]),
+            SpecEdit::RemoveChannel { from, to } => json::object(vec![
+                ("kind", Value::from("remove_channel")),
+                ("from", Value::from(from.clone())),
+                ("to", Value::from(to.clone())),
+            ]),
+        }
+    }
+
+    /// Decodes an edit from its JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::Schema`] when `kind` is missing/unknown or a field has
+    /// the wrong type.
+    pub fn from_json(value: &Value) -> Result<Self, EditError> {
+        fn schema(msg: impl Into<String>) -> EditError {
+            EditError::Schema(msg.into())
+        }
+        fn str_field(v: &Value, key: &str) -> Result<String, EditError> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| schema(format!("edit: missing or non-string \"{key}\"")))
+        }
+        fn nanos_field(v: &Value, key: &str) -> Result<Duration, EditError> {
+            v.get(key)
+                .and_then(Value::as_i64)
+                .map(Duration::from_nanos)
+                .ok_or_else(|| schema(format!("edit: \"{key}\" must be integer nanoseconds")))
+        }
+        fn capacity_field(v: &Value) -> Result<usize, EditError> {
+            v.get("capacity")
+                .and_then(Value::as_i64)
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| schema("edit: \"capacity\" must be a non-negative integer"))
+        }
+
+        let kind = value
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| schema("edit: missing or non-string \"kind\""))?;
+        match kind {
+            "set_wcet" => Ok(SpecEdit::SetWcet {
+                task: str_field(value, "task")?,
+                wcet: nanos_field(value, "wcet")?,
+            }),
+            "set_bcet" => Ok(SpecEdit::SetBcet {
+                task: str_field(value, "task")?,
+                bcet: nanos_field(value, "bcet")?,
+            }),
+            "set_period" => Ok(SpecEdit::SetPeriod {
+                task: str_field(value, "task")?,
+                period: nanos_field(value, "period")?,
+            }),
+            "swap_priority" => Ok(SpecEdit::SwapPriority {
+                a: str_field(value, "a")?,
+                b: str_field(value, "b")?,
+            }),
+            "resize_buffer" => Ok(SpecEdit::ResizeBuffer {
+                from: str_field(value, "from")?,
+                to: str_field(value, "to")?,
+                capacity: capacity_field(value)?,
+            }),
+            "add_channel" => Ok(SpecEdit::AddChannel {
+                from: str_field(value, "from")?,
+                to: str_field(value, "to")?,
+                capacity: capacity_field(value)?,
+            }),
+            "remove_channel" => Ok(SpecEdit::RemoveChannel {
+                from: str_field(value, "from")?,
+                to: str_field(value, "to")?,
+            }),
+            other => Err(schema(format!("edit: unknown kind {other:?}"))),
+        }
+    }
+}
+
+/// Applies a sequence of edits left to right, stopping at the first error.
+///
+/// On error the spec may hold a *prefix* of the sequence (each individual
+/// edit is atomic; the sequence is not). Callers that need all-or-nothing
+/// semantics should clone first — that is what the service's `patch` op
+/// does.
+///
+/// # Errors
+///
+/// The first [`EditError`] produced by [`SpecEdit::apply`], tagged with its
+/// index in the sequence.
+pub fn apply_all(spec: &mut SystemSpec, edits: &[SpecEdit]) -> Result<(), (usize, EditError)> {
+    for (i, edit) in edits.iter().enumerate() {
+        edit.apply(spec).map_err(|e| (i, e))?;
+    }
+    Ok(())
+}
+
+/// Looks up a task entry by name (helper shared with the delta engine).
+#[must_use]
+pub fn find_entry<'s>(spec: &'s SystemSpec, name: &str) -> Option<&'s TaskEntry> {
+    spec.tasks.iter().find(|t| t.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::EcuSpec;
+
+    fn ms(v: i64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn sample() -> SystemSpec {
+        SystemSpec {
+            ecus: vec![EcuSpec::processor("e0"), EcuSpec::processor("e1")],
+            tasks: vec![
+                TaskEntry::stimulus("cam", ms(33)),
+                TaskEntry::computation("det", ms(33), ms(2), ms(6), "e0"),
+                TaskEntry::computation("fuse", ms(66), ms(1), ms(3), "e1"),
+            ],
+            channels: vec![
+                ChannelSpec::register("cam", "det"),
+                ChannelSpec::fifo("det", "fuse", 2),
+            ],
+        }
+    }
+
+    #[test]
+    fn field_edits_apply() {
+        let mut spec = sample();
+        SpecEdit::SetWcet {
+            task: "det".into(),
+            wcet: ms(8),
+        }
+        .apply(&mut spec)
+        .unwrap();
+        SpecEdit::SetBcet {
+            task: "det".into(),
+            bcet: ms(3),
+        }
+        .apply(&mut spec)
+        .unwrap();
+        SpecEdit::SetPeriod {
+            task: "cam".into(),
+            period: ms(16),
+        }
+        .apply(&mut spec)
+        .unwrap();
+        assert_eq!(spec.tasks[1].wcet, ms(8));
+        assert_eq!(spec.tasks[1].bcet, ms(3));
+        assert_eq!(spec.tasks[0].period, ms(16));
+    }
+
+    #[test]
+    fn invalid_values_leave_spec_untouched() {
+        let mut spec = sample();
+        let before = spec.clone();
+        assert!(matches!(
+            SpecEdit::SetWcet {
+                task: "det".into(),
+                wcet: ms(1), // below bcet of 2
+            }
+            .apply(&mut spec),
+            Err(EditError::InvalidValue(_))
+        ));
+        assert!(matches!(
+            SpecEdit::SetBcet {
+                task: "det".into(),
+                bcet: ms(7), // above wcet of 6
+            }
+            .apply(&mut spec),
+            Err(EditError::InvalidValue(_))
+        ));
+        assert!(matches!(
+            SpecEdit::SetPeriod {
+                task: "cam".into(),
+                period: ms(0),
+            }
+            .apply(&mut spec),
+            Err(EditError::InvalidValue(_))
+        ));
+        assert!(matches!(
+            SpecEdit::ResizeBuffer {
+                from: "det".into(),
+                to: "fuse".into(),
+                capacity: 0,
+            }
+            .apply(&mut spec),
+            Err(EditError::InvalidValue(_))
+        ));
+        assert_eq!(spec, before);
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let mut spec = sample();
+        assert_eq!(
+            SpecEdit::SetWcet {
+                task: "nope".into(),
+                wcet: ms(1),
+            }
+            .apply(&mut spec),
+            Err(EditError::UnknownTask("nope".into()))
+        );
+        assert_eq!(
+            SpecEdit::ResizeBuffer {
+                from: "cam".into(),
+                to: "fuse".into(),
+                capacity: 2,
+            }
+            .apply(&mut spec),
+            Err(EditError::UnknownChannel {
+                from: "cam".into(),
+                to: "fuse".into()
+            })
+        );
+    }
+
+    #[test]
+    fn priority_swap_moves_explicit_levels() {
+        let mut spec = sample();
+        spec.tasks[1].priority = Some(3);
+        SpecEdit::SwapPriority {
+            a: "det".into(),
+            b: "fuse".into(),
+        }
+        .apply(&mut spec)
+        .unwrap();
+        assert_eq!(spec.tasks[1].priority, None);
+        assert_eq!(spec.tasks[2].priority, Some(3));
+    }
+
+    #[test]
+    fn channel_add_and_remove() {
+        let mut spec = sample();
+        SpecEdit::AddChannel {
+            from: "cam".into(),
+            to: "fuse".into(),
+            capacity: 1,
+        }
+        .apply(&mut spec)
+        .unwrap();
+        assert_eq!(spec.channels.len(), 3);
+        assert_eq!(
+            SpecEdit::AddChannel {
+                from: "cam".into(),
+                to: "fuse".into(),
+                capacity: 1,
+            }
+            .apply(&mut spec),
+            Err(EditError::DuplicateChannel {
+                from: "cam".into(),
+                to: "fuse".into()
+            })
+        );
+        SpecEdit::RemoveChannel {
+            from: "cam".into(),
+            to: "fuse".into(),
+        }
+        .apply(&mut spec)
+        .unwrap();
+        assert_eq!(spec.channels.len(), 2);
+        assert!(matches!(
+            SpecEdit::AddChannel {
+                from: "cam".into(),
+                to: "cam".into(),
+                capacity: 1,
+            }
+            .apply(&mut spec),
+            Err(EditError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn edits_round_trip_through_json() {
+        let edits = vec![
+            SpecEdit::SetWcet {
+                task: "det".into(),
+                wcet: ms(8),
+            },
+            SpecEdit::SetBcet {
+                task: "det".into(),
+                bcet: ms(1),
+            },
+            SpecEdit::SetPeriod {
+                task: "cam".into(),
+                period: ms(16),
+            },
+            SpecEdit::SwapPriority {
+                a: "det".into(),
+                b: "fuse".into(),
+            },
+            SpecEdit::ResizeBuffer {
+                from: "det".into(),
+                to: "fuse".into(),
+                capacity: 4,
+            },
+            SpecEdit::AddChannel {
+                from: "cam".into(),
+                to: "fuse".into(),
+                capacity: 1,
+            },
+            SpecEdit::RemoveChannel {
+                from: "det".into(),
+                to: "fuse".into(),
+            },
+        ];
+        for edit in edits {
+            let text = edit.to_json().to_string();
+            let back = SpecEdit::from_json(&Value::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, edit, "round-trip of {}", edit.kind());
+        }
+    }
+
+    #[test]
+    fn malformed_edit_json_is_rejected() {
+        for text in [
+            "{}",
+            "{\"kind\":\"warp_core\"}",
+            "{\"kind\":\"set_wcet\",\"task\":\"t\"}",
+            "{\"kind\":\"set_wcet\",\"task\":3,\"wcet\":1}",
+            "{\"kind\":\"resize_buffer\",\"from\":\"a\",\"to\":\"b\",\"capacity\":-1}",
+        ] {
+            let v = Value::parse(text).unwrap();
+            assert!(
+                matches!(SpecEdit::from_json(&v), Err(EditError::Schema(_))),
+                "{text} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_all_reports_failing_index() {
+        let mut spec = sample();
+        let edits = [
+            SpecEdit::SetWcet {
+                task: "det".into(),
+                wcet: ms(9),
+            },
+            SpecEdit::SetPeriod {
+                task: "nope".into(),
+                period: ms(5),
+            },
+        ];
+        let (idx, err) = apply_all(&mut spec, &edits).unwrap_err();
+        assert_eq!(idx, 1);
+        assert_eq!(err, EditError::UnknownTask("nope".into()));
+        // the valid prefix stuck
+        assert_eq!(spec.tasks[1].wcet, ms(9));
+    }
+}

@@ -348,6 +348,37 @@ impl CauseEffectGraph {
         Ok(())
     }
 
+    /// Replaces the best-case execution time of a task.
+    ///
+    /// BCET does not participate in priority assignment or response-time
+    /// analysis (only hop and backward bounds read it), so like
+    /// [`Self::set_task_wcet`] this is a permitted in-place mutation —
+    /// the incremental re-analysis engine's cheapest edit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownTask`] for a foreign id and
+    /// [`ModelError::ExecutionTimeOrder`] if `bcet` would exceed the
+    /// task's WCET (or be negative).
+    pub fn set_task_bcet(&mut self, id: TaskId, bcet: Duration) -> Result<(), ModelError> {
+        let task = self
+            .tasks
+            .get_mut(id.index())
+            .ok_or(ModelError::UnknownTask(id))?;
+        if bcet.is_negative() {
+            return Err(ModelError::NegativeExecutionTime { task: id });
+        }
+        if bcet > task.wcet {
+            return Err(ModelError::ExecutionTimeOrder {
+                task: id,
+                bcet_nanos: bcet.as_nanos(),
+                wcet_nanos: task.wcet.as_nanos(),
+            });
+        }
+        task.bcet = bcet;
+        Ok(())
+    }
+
     /// Resizes the buffer of a channel (the §IV optimization knob).
     ///
     /// # Errors

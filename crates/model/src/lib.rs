@@ -44,6 +44,7 @@ pub mod chain;
 pub mod channel;
 pub mod dot;
 pub mod ecu;
+pub mod edit;
 pub mod error;
 pub mod graph;
 pub mod ids;
@@ -60,6 +61,7 @@ pub mod prelude {
     pub use crate::chain::Chain;
     pub use crate::channel::Channel;
     pub use crate::ecu::{Ecu, EcuKind};
+    pub use crate::edit::{EditError, SpecEdit};
     pub use crate::error::ModelError;
     pub use crate::graph::CauseEffectGraph;
     pub use crate::ids::{ChannelId, EcuId, Priority, TaskId};

@@ -32,7 +32,7 @@
 //! ```
 
 use core::fmt;
-
+use std::collections::BTreeMap;
 
 use crate::builder::SystemBuilder;
 use crate::ecu::EcuKind;
@@ -490,54 +490,9 @@ impl SystemSpec {
         sorted
             .channels
             .sort_by(|a, b| (&a.from, &a.to, a.capacity).cmp(&(&b.from, &b.to, b.capacity)));
-        let ecus = sorted
-            .ecus
-            .iter()
-            .map(|e| {
-                json::object(vec![
-                    ("name", Value::from(e.name.clone())),
-                    (
-                        "kind",
-                        Value::from(match e.kind {
-                            EcuKind::Processor => "Processor",
-                            EcuKind::Bus => "Bus",
-                        }),
-                    ),
-                ])
-            })
-            .collect();
-        let tasks = sorted
-            .tasks
-            .iter()
-            .map(|t| {
-                json::object(vec![
-                    ("name", Value::from(t.name.clone())),
-                    ("period", Value::Int(t.period.as_nanos())),
-                    ("wcet", Value::Int(t.wcet.as_nanos())),
-                    ("bcet", Value::Int(t.bcet.as_nanos())),
-                    ("offset", Value::Int(t.offset.as_nanos())),
-                    (
-                        "ecu",
-                        t.ecu.clone().map_or(Value::Null, Value::from),
-                    ),
-                    (
-                        "priority",
-                        t.priority.map_or(Value::Null, Value::from),
-                    ),
-                ])
-            })
-            .collect();
-        let channels = sorted
-            .channels
-            .iter()
-            .map(|c| {
-                json::object(vec![
-                    ("from", Value::from(c.from.clone())),
-                    ("to", Value::from(c.to.clone())),
-                    ("capacity", Value::from(c.capacity)),
-                ])
-            })
-            .collect();
+        let ecus = sorted.ecus.iter().map(canonical_ecu_json).collect();
+        let tasks = sorted.tasks.iter().map(canonical_task_json).collect();
+        let channels = sorted.channels.iter().map(canonical_channel_json).collect();
         json::object(vec![
             ("ecus", Value::Array(ecus)),
             ("tasks", Value::Array(tasks)),
@@ -551,22 +506,71 @@ impl SystemSpec {
         self.canonical_json().to_string()
     }
 
+    /// One rendering of the canonical form together with its hash.
+    ///
+    /// Hot paths that need both the text (for collision verification) and
+    /// the hash (as a cache key) should call this once instead of paying
+    /// two canonical renderings via [`Self::canonical_text`] +
+    /// [`Self::canonical_hash`].
+    #[must_use]
+    pub fn canonical(&self) -> Canonical {
+        let text = self.canonical_text();
+        let hash = hash_canonical_text(&text);
+        Canonical { text, hash }
+    }
+
     /// A 64-bit FNV-1a content hash of [`Self::canonical_text`].
     ///
     /// Stable across processes and declaration order — the hash of a spec
     /// file equals the hash of the same system with its arrays permuted.
     /// Collision-sensitive callers (caches) should verify candidates by
-    /// comparing canonical texts.
+    /// comparing canonical texts; callers needing text *and* hash should
+    /// use [`Self::canonical`] to render only once.
     #[must_use]
     pub fn canonical_hash(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        for b in self.canonical_text().bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(PRIME);
+        hash_canonical_text(&self.canonical_text())
+    }
+
+    /// Per-subsystem content hashes: one per task entry, one per ECU task
+    /// set, one per channel. See [`SubsystemHashes`].
+    #[must_use]
+    pub fn subsystem_hashes(&self) -> SubsystemHashes {
+        let mut tasks = BTreeMap::new();
+        for t in &self.tasks {
+            tasks.insert(
+                t.name.clone(),
+                fnv1a(canonical_task_json(t).to_string().as_bytes()),
+            );
         }
-        h
+        let mut ecus = BTreeMap::new();
+        for e in &self.ecus {
+            // The ECU subsystem hash covers the resource record plus the
+            // fragment hash of every member task, in name order — exactly
+            // the inputs of that ECU's WCRT fixed points.
+            let mut bytes = canonical_ecu_json(e).to_string().into_bytes();
+            let mut members: Vec<&TaskEntry> = self
+                .tasks
+                .iter()
+                .filter(|t| t.ecu.as_deref() == Some(e.name.as_str()))
+                .collect();
+            members.sort_by(|a, b| a.name.cmp(&b.name));
+            for m in members {
+                bytes.extend_from_slice(&tasks[&m.name].to_le_bytes());
+            }
+            ecus.insert(e.name.clone(), fnv1a(&bytes));
+        }
+        let mut channels = BTreeMap::new();
+        for c in &self.channels {
+            channels.insert(
+                (c.from.clone(), c.to.clone()),
+                fnv1a(canonical_channel_json(c).to_string().as_bytes()),
+            );
+        }
+        SubsystemHashes {
+            tasks,
+            ecus,
+            channels,
+        }
     }
 
     /// Extracts a spec from an existing graph (names are preserved).
@@ -604,6 +608,160 @@ impl SystemSpec {
                 })
                 .collect(),
         }
+    }
+}
+
+/// One canonical rendering of a spec with its content hash.
+///
+/// Produced by [`SystemSpec::canonical`]; `hash` is always the FNV-1a 64
+/// hash of `text`, i.e. exactly [`SystemSpec::canonical_hash`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Canonical {
+    /// Compact canonical JSON text (see [`SystemSpec::canonical_text`]).
+    pub text: String,
+    /// FNV-1a 64 hash of `text`.
+    pub hash: u64,
+}
+
+/// FNV-1a 64 hash of the given canonical text.
+///
+/// `hash_canonical_text(&spec.canonical_text()) == spec.canonical_hash()`
+/// by construction; exposed so callers holding an already-rendered
+/// canonical string (caches, the service `patch` path) can key on it
+/// without a second rendering.
+#[must_use]
+pub fn hash_canonical_text(text: &str) -> u64 {
+    fnv1a(text.as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+fn canonical_ecu_json(e: &EcuSpec) -> Value {
+    json::object(vec![
+        ("name", Value::from(e.name.clone())),
+        (
+            "kind",
+            Value::from(match e.kind {
+                EcuKind::Processor => "Processor",
+                EcuKind::Bus => "Bus",
+            }),
+        ),
+    ])
+}
+
+fn canonical_task_json(t: &TaskEntry) -> Value {
+    json::object(vec![
+        ("name", Value::from(t.name.clone())),
+        ("period", Value::Int(t.period.as_nanos())),
+        ("wcet", Value::Int(t.wcet.as_nanos())),
+        ("bcet", Value::Int(t.bcet.as_nanos())),
+        ("offset", Value::Int(t.offset.as_nanos())),
+        ("ecu", t.ecu.clone().map_or(Value::Null, Value::from)),
+        ("priority", t.priority.map_or(Value::Null, Value::from)),
+    ])
+}
+
+fn canonical_channel_json(c: &ChannelSpec) -> Value {
+    json::object(vec![
+        ("from", Value::from(c.from.clone())),
+        ("to", Value::from(c.to.clone())),
+        ("capacity", Value::from(c.capacity)),
+    ])
+}
+
+/// Per-subsystem content hashes of a spec.
+///
+/// Each hash covers exactly the inputs of one analysis subsystem:
+///
+/// * `tasks[name]` — the task's canonical record (period, WCET, BCET,
+///   offset, ECU assignment, explicit priority);
+/// * `ecus[name]` — the resource record plus the fragment hashes of every
+///   task mapped to it (the inputs of that ECU's WCRT fixed points);
+/// * `channels[(from, to)]` — the channel's canonical record (the buffer
+///   term of the hop bound over that edge).
+///
+/// Diffing two hash sets ([`SubsystemHashes::diff`]) yields the dirty
+/// slice an edit actually touched — the ground truth the incremental
+/// re-analysis engine's per-edit invalidation is property-tested against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubsystemHashes {
+    /// Per-task fragment hash, keyed by task name.
+    pub tasks: BTreeMap<String, u64>,
+    /// Per-ECU task-set hash, keyed by resource name.
+    pub ecus: BTreeMap<String, u64>,
+    /// Per-channel hash, keyed by `(from, to)` task names.
+    pub channels: BTreeMap<(String, String), u64>,
+}
+
+impl SubsystemHashes {
+    /// The subsystems whose hashes differ between `self` (before) and
+    /// `after`.
+    #[must_use]
+    pub fn diff(&self, after: &SubsystemHashes) -> SpecDirt {
+        fn changed<K: Ord + Clone>(a: &BTreeMap<K, u64>, b: &BTreeMap<K, u64>) -> Vec<K> {
+            let mut out: Vec<K> = Vec::new();
+            for (k, v) in a {
+                if b.get(k) != Some(v) {
+                    out.push(k.clone());
+                }
+            }
+            for k in b.keys() {
+                if !a.contains_key(k) {
+                    out.push(k.clone());
+                }
+            }
+            out.sort();
+            out.dedup();
+            out
+        }
+        let tasks = changed(&self.tasks, &after.tasks);
+        let ecus = changed(&self.ecus, &after.ecus);
+        let channels = changed(&self.channels, &after.channels);
+        let shape_changed = self.tasks.len() != after.tasks.len()
+            || self.tasks.keys().ne(after.tasks.keys())
+            || self.channels.len() != after.channels.len()
+            || self.channels.keys().ne(after.channels.keys())
+            || self.ecus.keys().ne(after.ecus.keys());
+        SpecDirt {
+            tasks,
+            ecus,
+            channels,
+            shape_changed,
+        }
+    }
+}
+
+/// The dirty slice between two spec revisions, by subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpecDirt {
+    /// Names of tasks whose fragment hash changed (or appeared/vanished).
+    pub tasks: Vec<String>,
+    /// Names of ECUs whose task-set hash changed.
+    pub ecus: Vec<String>,
+    /// `(from, to)` channels whose hash changed (or appeared/vanished).
+    pub channels: Vec<(String, String)>,
+    /// `true` when the task/channel/ECU *sets* themselves differ — chain
+    /// enumerations cannot be reused across such a change.
+    pub shape_changed: bool,
+}
+
+impl SpecDirt {
+    /// `true` when nothing differs.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        !self.shape_changed
+            && self.tasks.is_empty()
+            && self.ecus.is_empty()
+            && self.channels.is_empty()
     }
 }
 
@@ -740,6 +898,60 @@ mod tests {
         h ^= u64::from(b'a');
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
         assert_eq!(h, 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn canonical_renders_once_and_matches_split_api() {
+        let spec = sample_spec();
+        let canon = spec.canonical();
+        assert_eq!(canon.text, spec.canonical_text());
+        assert_eq!(canon.hash, spec.canonical_hash());
+        assert_eq!(hash_canonical_text(&canon.text), canon.hash);
+    }
+
+    #[test]
+    fn subsystem_hashes_isolate_the_edited_slice() {
+        let spec = sample_spec();
+        let before = spec.subsystem_hashes();
+
+        // A WCET change dirties exactly that task and its ECU.
+        let mut edited = spec.clone();
+        edited.tasks[1].wcet = Duration::from_millis(7); // "detect" on ecu0
+        let dirt = before.diff(&edited.subsystem_hashes());
+        assert_eq!(dirt.tasks, vec!["detect".to_string()]);
+        assert_eq!(dirt.ecus, vec!["ecu0".to_string()]);
+        assert!(dirt.channels.is_empty());
+        assert!(!dirt.shape_changed);
+
+        // A buffer resize dirties exactly that channel.
+        let mut resized = spec.clone();
+        resized.channels[1].capacity = 4;
+        let dirt = before.diff(&resized.subsystem_hashes());
+        assert!(dirt.tasks.is_empty() && dirt.ecus.is_empty());
+        assert_eq!(
+            dirt.channels,
+            vec![("detect".to_string(), "msg".to_string())]
+        );
+        assert!(!dirt.shape_changed);
+
+        // Adding a channel changes the shape.
+        let mut grown = spec.clone();
+        grown.channels.push(ChannelSpec::register("camera", "msg"));
+        let dirt = before.diff(&grown.subsystem_hashes());
+        assert!(dirt.shape_changed);
+
+        // Reassigning a task to another ECU dirties both ECU hashes.
+        let mut moved = spec.clone();
+        moved.tasks[2].ecu = Some("ecu0".to_string()); // "msg" off can0
+        let dirt = before.diff(&moved.subsystem_hashes());
+        assert_eq!(dirt.tasks, vec!["msg".to_string()]);
+        assert_eq!(dirt.ecus, vec!["can0".to_string(), "ecu0".to_string()]);
+
+        // No edit, no dirt — including across declaration-order permutation.
+        let mut permuted = spec.clone();
+        permuted.tasks.reverse();
+        permuted.channels.reverse();
+        assert!(before.diff(&permuted.subsystem_hashes()).is_clean());
     }
 
     #[test]

@@ -144,6 +144,66 @@ pub fn response_times(graph: &CauseEffectGraph) -> Result<ResponseTimes, SchedEr
     Ok(ResponseTimes { per_task })
 }
 
+/// Recomputes response times only for tasks mapped to `dirty_ecus`,
+/// copying every other task's bounds from `prev`.
+///
+/// WCRT under non-preemptive fixed-priority scheduling depends *only* on
+/// the parameters of same-ECU tasks, so when an edit is confined to the
+/// ECUs in `dirty_ecus` this is exactly equal to a full
+/// [`response_times`] run — the incremental re-analysis engine asserts
+/// that equality property-style against the cold oracle.
+///
+/// # Caller contract
+///
+/// `graph` must have the same task set (count and ids) as the graph that
+/// produced `prev`, and differ from it only in parameters of tasks mapped
+/// to ECUs in `dirty_ecus`. Violating this silently yields stale bounds
+/// for the unlisted ECUs; it is not detectable here.
+///
+/// # Errors
+///
+/// Same as [`response_times`], evaluated for the dirty ECUs only:
+/// [`SchedError::Overloaded`] when a dirty ECU's utilization reaches 1,
+/// [`SchedError::NonConvergence`] on fixed-point divergence, and
+/// [`SchedError::UnmappedTask`] for a costly task without an ECU.
+pub fn response_times_partial(
+    graph: &CauseEffectGraph,
+    prev: &ResponseTimes,
+    dirty_ecus: &[EcuId],
+) -> Result<ResponseTimes, SchedError> {
+    let _span = disparity_obs::span!(
+        "wcrt.response_times_partial",
+        tasks = graph.task_count(),
+        dirty_ecus = dirty_ecus.len()
+    );
+    disparity_obs::counter_add("wcrt.partial_analyses", 1);
+    for &ecu in dirty_ecus {
+        let u = ecu_utilization(graph, ecu);
+        if u >= 1.0 {
+            return Err(SchedError::Overloaded { ecu, utilization: u });
+        }
+    }
+    let mut per_task = Vec::with_capacity(graph.task_count());
+    for task in graph.tasks() {
+        if task.is_zero_cost() {
+            per_task.push(TaskResponse {
+                wcrt: Duration::ZERO,
+                max_start_delay: Duration::ZERO,
+            });
+            continue;
+        }
+        let Some(ecu) = task.ecu() else {
+            return Err(SchedError::UnmappedTask(task.id()));
+        };
+        if dirty_ecus.contains(&ecu) {
+            per_task.push(task_response(graph, task.id(), ecu)?);
+        } else {
+            per_task.push(prev.per_task[task.id().index()]);
+        }
+    }
+    Ok(ResponseTimes { per_task })
+}
+
 fn task_response(
     graph: &CauseEffectGraph,
     id: TaskId,
@@ -373,6 +433,42 @@ mod tests {
         let rt = response_times(&g).unwrap();
         assert_eq!(rt.wcrt(slow), ms(1 + 5)); // blocked once by fast
         assert_eq!(rt.wcrt(fast), ms(5 + 1)); // interfered by slow
+    }
+
+    #[test]
+    fn partial_recompute_matches_full_run_after_an_edit() {
+        let mut b = SystemBuilder::new();
+        let e0 = b.add_ecu("e0");
+        let e1 = b.add_ecu("e1");
+        let a = b.add_task(TaskSpec::periodic("a", ms(10)).wcet(ms(2)).on_ecu(e0));
+        let c = b.add_task(TaskSpec::periodic("c", ms(50)).wcet(ms(5)).on_ecu(e0));
+        let d = b.add_task(TaskSpec::periodic("d", ms(20)).wcet(ms(4)).on_ecu(e1));
+        b.add_task(TaskSpec::periodic("stim", ms(5)));
+        let mut g = b.build().unwrap();
+        let prev = response_times(&g).unwrap();
+
+        g.set_task_wcet(c, ms(6)).unwrap();
+        let partial = response_times_partial(&g, &prev, &[e0]).unwrap();
+        let full = response_times(&g).unwrap();
+        assert_eq!(partial, full, "dirty-ECU recompute equals the cold run");
+        // The other ECU's entry really was copied, not recomputed to a
+        // different value.
+        assert_eq!(partial.wcrt(d), prev.wcrt(d));
+        assert_ne!(partial.wcrt(a), Duration::ZERO);
+    }
+
+    #[test]
+    fn partial_recompute_reports_dirty_overload() {
+        let mut b = SystemBuilder::new();
+        let e0 = b.add_ecu("e0");
+        let a = b.add_task(TaskSpec::periodic("a", ms(10)).wcet(ms(4)).on_ecu(e0));
+        let mut g = b.build().unwrap();
+        let prev = response_times(&g).unwrap();
+        g.set_task_wcet(a, ms(10)).unwrap();
+        assert!(matches!(
+            response_times_partial(&g, &prev, &[e0]),
+            Err(SchedError::Overloaded { .. })
+        ));
     }
 
     #[test]

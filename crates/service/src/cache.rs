@@ -17,7 +17,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use disparity_core::engine::HopCache;
 use disparity_model::graph::CauseEffectGraph;
-use disparity_model::spec::SystemSpec;
+use disparity_model::spec::{Canonical, SystemSpec};
 use disparity_sched::wcrt::ResponseTimes;
 
 /// Everything the service needs to answer queries about one spec.
@@ -30,21 +30,64 @@ pub struct GraphEntry {
     pub rt: ResponseTimes,
     /// Hop-bound cache shared by every engine built from this entry.
     pub hops: HopCache,
-    /// The spec's canonical text (collision verification).
-    canonical: String,
+    /// The spec the entry was built from (`patch` applies edits to it).
+    spec: SystemSpec,
+    /// The spec's canonical rendering: text for collision verification,
+    /// hash as the cache key.
+    canonical: Canonical,
 }
 
 impl GraphEntry {
-    /// Packs an analyzed graph for caching.
+    /// Packs an analyzed graph for caching. Takes the canonical form
+    /// pre-rendered so an insert path renders the spec exactly once (the
+    /// same [`Canonical`] serves the key, the verification text, and this
+    /// entry).
     #[must_use]
-    pub fn new(spec: &SystemSpec, graph: CauseEffectGraph, rt: ResponseTimes) -> Self {
+    pub fn new(
+        canonical: Canonical,
+        spec: SystemSpec,
+        graph: CauseEffectGraph,
+        rt: ResponseTimes,
+    ) -> Self {
         GraphEntry {
             graph,
             rt,
             hops: HopCache::new(),
-            canonical: spec.canonical_text(),
+            spec,
+            canonical,
         }
     }
+
+    /// The spec this entry was built from.
+    #[must_use]
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// The spec's canonical text.
+    #[must_use]
+    pub fn canonical_text(&self) -> &str {
+        &self.canonical.text
+    }
+
+    /// The cache key (`spec.canonical_hash()`).
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        self.canonical.hash
+    }
+}
+
+/// Outcome of a by-hash lookup ([`ShardedCache::get_by_key`]), where no
+/// canonical text is available to disambiguate 64-bit collisions.
+#[derive(Debug)]
+pub enum BaseLookup {
+    /// No entry under the key.
+    Miss,
+    /// Exactly one entry under the key.
+    Hit(Arc<GraphEntry>),
+    /// Two or more specs collide on the key; answering any one of them
+    /// would silently analyze the wrong system.
+    Ambiguous,
 }
 
 struct Slot {
@@ -60,6 +103,31 @@ struct Shard {
 }
 
 impl Shard {
+    /// Draws the next recency stamp.
+    ///
+    /// Invariant: stamps are **unique per shard**. The clock is strictly
+    /// increasing and each `get`/`insert` assigns its drawn stamp to at
+    /// most one slot. If the clock ever reaches `u64::MAX` (theoretical
+    /// at any realistic request rate, but cheap to rule out), the live
+    /// slots are renumbered compactly in recency order and the clock
+    /// restarts above them — LRU order and uniqueness survive instead of
+    /// wrapping to 0 and colliding with live stamps.
+    fn next_stamp(&mut self) -> u64 {
+        if self.clock == u64::MAX {
+            let mut order: Vec<u64> = self.slots.values().flatten().map(|s| s.stamp).collect();
+            order.sort_unstable();
+            for slot in self.slots.values_mut().flatten() {
+                let rank = match order.binary_search(&slot.stamp) {
+                    Ok(r) | Err(r) => r,
+                };
+                slot.stamp = rank as u64;
+            }
+            self.clock = order.len() as u64;
+        }
+        self.clock += 1;
+        self.clock
+    }
+
     fn evict_lru(&mut self) {
         let oldest = self
             .slots
@@ -68,11 +136,18 @@ impl Shard {
             .min();
         if let Some((stamp, key)) = oldest {
             if let Some(bucket) = self.slots.get_mut(&key) {
-                bucket.retain(|s| s.stamp != stamp);
+                // Remove exactly the slot that carries the minimal stamp.
+                // (A `retain` on stamp inequality would drop *every* slot
+                // sharing the stamp while `len` decrements once — latent
+                // desync guarded against even though `next_stamp` makes
+                // duplicates impossible.)
+                if let Some(at) = bucket.iter().position(|s| s.stamp == stamp) {
+                    bucket.remove(at);
+                    self.len -= 1;
+                }
                 if bucket.is_empty() {
                     self.slots.remove(&key);
                 }
-                self.len -= 1;
             }
         }
     }
@@ -142,12 +217,35 @@ impl ShardedCache {
     #[must_use]
     pub fn get(&self, key: u64, canonical: &str) -> Option<Arc<GraphEntry>> {
         let mut shard = self.shard(key);
-        shard.clock += 1;
-        let clock = shard.clock;
+        let clock = shard.next_stamp();
         let bucket = shard.slots.get_mut(&key)?;
-        let slot = bucket.iter_mut().find(|s| s.entry.canonical == canonical)?;
+        let slot = bucket
+            .iter_mut()
+            .find(|s| s.entry.canonical.text == canonical)?;
         slot.stamp = clock;
         Some(Arc::clone(&slot.entry))
+    }
+
+    /// Looks up an entry by key alone — the `patch` base lookup, where
+    /// the client names the base spec by its canonical hash and holds no
+    /// text to verify against. A hit bumps recency like [`Self::get`]; a
+    /// bucket holding several colliding specs answers
+    /// [`BaseLookup::Ambiguous`] rather than guessing.
+    #[must_use]
+    pub fn get_by_key(&self, key: u64) -> BaseLookup {
+        let mut shard = self.shard(key);
+        let clock = shard.next_stamp();
+        let Some(bucket) = shard.slots.get_mut(&key) else {
+            return BaseLookup::Miss;
+        };
+        match bucket.as_mut_slice() {
+            [] => BaseLookup::Miss,
+            [slot] => {
+                slot.stamp = clock;
+                BaseLookup::Hit(Arc::clone(&slot.entry))
+            }
+            _ => BaseLookup::Ambiguous,
+        }
     }
 
     /// Inserts `entry` under `key`, evicting the shard's least-recently
@@ -157,12 +255,11 @@ impl ShardedCache {
     /// `HopCache`).
     pub fn insert(&self, key: u64, entry: GraphEntry) -> Arc<GraphEntry> {
         let mut shard = self.shard(key);
-        shard.clock += 1;
-        let clock = shard.clock;
+        let clock = shard.next_stamp();
         if let Some(bucket) = shard.slots.get_mut(&key) {
             if let Some(slot) = bucket
                 .iter_mut()
-                .find(|s| s.entry.canonical == entry.canonical)
+                .find(|s| s.entry.canonical.text == entry.canonical.text)
             {
                 slot.stamp = clock;
                 return Arc::clone(&slot.entry);
@@ -203,7 +300,7 @@ mod tests {
         let graph = b.build().unwrap();
         let rt = response_times(&graph).unwrap();
         let spec = SystemSpec::from_graph(&graph);
-        let entry = GraphEntry::new(&spec, graph, rt);
+        let entry = GraphEntry::new(spec.canonical(), spec.clone(), graph, rt);
         (spec, entry)
     }
 
@@ -255,6 +352,123 @@ mod tests {
         assert!(cache
             .get(spec_b.canonical_hash(), &spec_b.canonical_text())
             .is_some());
+    }
+
+    #[test]
+    fn entry_exposes_spec_and_canonical() {
+        let (spec, entry) = spec_with_period(10);
+        assert_eq!(entry.key(), spec.canonical_hash());
+        assert_eq!(entry.canonical_text(), spec.canonical_text());
+        assert_eq!(entry.spec(), &spec);
+    }
+
+    #[test]
+    fn eviction_in_a_collision_bucket_removes_exactly_one_slot() {
+        // Regression: `evict_lru` used `retain(|s| s.stamp != stamp)` on
+        // the victim bucket while decrementing `len` once. Drive one
+        // shard to capacity through a forced-collision bucket and check
+        // the bookkeeping survives repeated evictions.
+        let cache = ShardedCache::new(16); // 2 per shard
+        let key = 5;
+        let (spec_a, a) = spec_with_period(10);
+        let (spec_b, b) = spec_with_period(20);
+        let (spec_c, c) = spec_with_period(30);
+        cache.insert(key, a);
+        cache.insert(key, b);
+        assert_eq!(cache.len(), 2);
+        // At capacity: the third insert evicts exactly the oldest slot.
+        cache.insert(key, c);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(key, &spec_a.canonical_text()).is_none());
+        assert!(cache.get(key, &spec_b.canonical_text()).is_some());
+        assert!(cache.get(key, &spec_c.canonical_text()).is_some());
+        // Refill and evict again: `len` still tracks the live slots.
+        let (spec_d, d) = spec_with_period(40);
+        cache.insert(key, d);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(key, &spec_b.canonical_text()).is_none());
+        assert!(cache.get(key, &spec_c.canonical_text()).is_some());
+        assert!(cache.get(key, &spec_d.canonical_text()).is_some());
+    }
+
+    #[test]
+    fn stamps_stay_unique_across_clock_wraparound() {
+        // Invariant under test: recency stamps are unique per shard, even
+        // across u64 clock exhaustion (`Shard::next_stamp` renumbers the
+        // live slots compactly instead of wrapping onto them).
+        let cache = ShardedCache::new(32); // 4 per shard
+        let shard_index = 2;
+        {
+            let mut shard = cache.shards[shard_index]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            shard.clock = u64::MAX - 2;
+        }
+        // Four keys landing on shard 2 (key % 8 == 2), distinct buckets;
+        // the inserts walk the clock across u64::MAX.
+        let specs: Vec<_> = [10, 20, 30, 40]
+            .iter()
+            .enumerate()
+            .map(|(i, &ms)| {
+                let (spec, entry) = spec_with_period(ms);
+                let key = 2 + 8 * (i as u64);
+                cache.insert(key, entry);
+                (key, spec)
+            })
+            .collect();
+        let shard = cache.shards[shard_index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut stamps: Vec<u64> = shard.slots.values().flatten().map(|s| s.stamp).collect();
+        assert_eq!(stamps.len(), 4);
+        let total = stamps.len();
+        stamps.sort_unstable();
+        stamps.dedup();
+        assert_eq!(stamps.len(), total, "duplicate stamps after wraparound");
+        assert!(shard.clock < u64::MAX);
+        drop(shard);
+        // LRU order survives the renumbering: at capacity, the oldest of
+        // the four is the one evicted next.
+        let (_, extra) = spec_with_period(50);
+        cache.insert(2 + 8 * 4, extra);
+        assert!(cache.get(specs[0].0, &specs[0].1.canonical_text()).is_none());
+        for (key, spec) in &specs[1..] {
+            assert!(cache.get(*key, &spec.canonical_text()).is_some());
+        }
+    }
+
+    #[test]
+    fn get_by_key_hits_misses_and_flags_collisions() {
+        let cache = ShardedCache::new(16);
+        let (spec, entry) = spec_with_period(10);
+        let key = spec.canonical_hash();
+        assert!(matches!(cache.get_by_key(key), BaseLookup::Miss));
+        let inserted = cache.insert(key, entry);
+        match cache.get_by_key(key) {
+            BaseLookup::Hit(hit) => assert!(Arc::ptr_eq(&hit, &inserted)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        // A second spec colliding on the same key makes it ambiguous.
+        let (_, other) = spec_with_period(20);
+        cache.insert(key, other);
+        assert!(matches!(cache.get_by_key(key), BaseLookup::Ambiguous));
+    }
+
+    #[test]
+    fn get_by_key_bumps_recency() {
+        let cache = ShardedCache::new(16); // 2 per shard
+        let key_a = 5;
+        let key_b = 13; // same shard (5 % 8 == 13 % 8)
+        let (spec_a, a) = spec_with_period(10);
+        let (spec_b, b) = spec_with_period(20);
+        cache.insert(key_a, a);
+        cache.insert(key_b, b);
+        // Touch A by key, then insert a third entry: B is now the LRU.
+        assert!(matches!(cache.get_by_key(key_a), BaseLookup::Hit(_)));
+        let (_, c) = spec_with_period(30);
+        cache.insert(21, c); // also shard 5
+        assert!(cache.get(key_a, &spec_a.canonical_text()).is_some());
+        assert!(cache.get(key_b, &spec_b.canonical_text()).is_none());
     }
 
     #[test]

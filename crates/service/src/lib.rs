@@ -2,10 +2,11 @@
 //!
 //! The one-shot CLIs rebuild the memoized [`AnalysisEngine`] per process;
 //! this crate serves it: a daemon answering P-diff/S-diff
-//! ([`Op::Disparity`]), WCBT/BCBT ([`Op::Backward`]), and Algorithm 1
-//! buffer sizing ([`Op::Buffer`]) over newline-delimited JSON, on TCP and
-//! on stdin (batch mode). Zero external dependencies, matching the
-//! workspace's offline-build rule.
+//! ([`Op::Disparity`]), WCBT/BCBT ([`Op::Backward`]), Algorithm 1
+//! buffer sizing ([`Op::Buffer`]), and incremental re-analysis of a
+//! cached spec under typed edits ([`Op::Patch`]) over newline-delimited
+//! JSON, on TCP and on stdin (batch mode). Zero external dependencies,
+//! matching the workspace's offline-build rule.
 //!
 //! * [`proto`] — the request/response schema and the deterministic result
 //!   encoders (server responses are byte-identical to encoding a direct
@@ -53,6 +54,7 @@
 //! [`Op::Disparity`]: crate::proto::Op::Disparity
 //! [`Op::Backward`]: crate::proto::Op::Backward
 //! [`Op::Buffer`]: crate::proto::Op::Buffer
+//! [`Op::Patch`]: crate::proto::Op::Patch
 //! [`SystemSpec::canonical_hash`]: disparity_model::spec::SystemSpec::canonical_hash
 
 #![warn(missing_docs)]
@@ -66,7 +68,7 @@ pub mod service;
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
-    pub use crate::cache::{GraphEntry, ShardedCache};
+    pub use crate::cache::{BaseLookup, GraphEntry, ShardedCache};
     pub use crate::proto::{Op, Request, Status, TraceId};
     pub use crate::queue::{BoundedQueue, PushError};
     pub use crate::server::{run_batch, serve, serve_with, ServeOptions, ServerHandle};

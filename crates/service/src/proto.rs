@@ -24,6 +24,7 @@ use disparity_core::buffering::{BufferedSide, OptimizationOutcome};
 use disparity_core::disparity::DisparityReport;
 use disparity_core::pairwise::Method;
 use disparity_model::chain::Chain;
+use disparity_model::edit::SpecEdit;
 use disparity_model::graph::CauseEffectGraph;
 use disparity_model::json::{self, Value};
 use disparity_model::spec::SystemSpec;
@@ -68,6 +69,23 @@ pub enum Op {
         chain_limit: usize,
         /// Greedy round budget.
         max_rounds: usize,
+    },
+    /// Incremental re-analysis: apply `edits` to an already-cached base
+    /// spec (named by its canonical hash) and answer the same query as
+    /// [`Op::Disparity`] would for the edited system — byte-identical
+    /// result, without resending or rebuilding the full spec.
+    Patch {
+        /// [`SystemSpec::canonical_hash`] of the base spec, which must
+        /// already be cached (send the full spec once first).
+        base: u64,
+        /// Edits applied to the base spec, in order.
+        edits: Vec<SpecEdit>,
+        /// Name of the task to analyze in the edited system.
+        task: String,
+        /// Which pairwise theorem to apply.
+        method: Method,
+        /// Chain-enumeration budget.
+        chain_limit: usize,
     },
     /// Server statistics (counters, queue depth, latency percentiles).
     Stats,
@@ -115,6 +133,11 @@ pub enum PanicKind {
 impl Op {
     /// The spec a request carries, when its op analyzes one. Drives the
     /// quarantine check and the `internal_error` hash echo.
+    ///
+    /// [`Op::Patch`] carries no spec (only a hash and edits), so — like
+    /// `ping`/`stats` — it is outside quarantine tracking; its derived
+    /// spec is admitted through the same diag/schedulability gates as a
+    /// full-spec request instead.
     #[must_use]
     pub fn spec(&self) -> Option<&SystemSpec> {
         match self {
@@ -122,7 +145,8 @@ impl Op {
             | Op::Backward { spec, .. }
             | Op::Buffer { spec, .. }
             | Op::Panic { spec, .. } => Some(spec),
-            Op::Stats
+            Op::Patch { .. }
+            | Op::Stats
             | Op::Metrics
             | Op::Dump
             | Op::Health
@@ -397,6 +421,33 @@ impl Request {
                 max_rounds: usize_field(value, "max_rounds", DEFAULT_MAX_ROUNDS)
                     .map_err(|m| ProtoError::new(&id, m))?,
             },
+            "patch" => {
+                let base = value.get("base").and_then(Value::as_str).ok_or_else(|| {
+                    ProtoError::new(&id, "missing or non-string \"base\" (16-hex canonical hash)")
+                })?;
+                let base = u64::from_str_radix(base, 16).map_err(|_| {
+                    ProtoError::new(&id, format!("bad \"base\": {base:?} is not a hex hash"))
+                })?;
+                let edit_values = value
+                    .get("edits")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| ProtoError::new(&id, "missing or non-array \"edits\""))?;
+                let mut edits = Vec::with_capacity(edit_values.len());
+                for (index, edit) in edit_values.iter().enumerate() {
+                    edits.push(SpecEdit::from_json(edit).map_err(|e| {
+                        ProtoError::new(&id, format!("bad edit [{index}]: {e}"))
+                    })?);
+                }
+                Op::Patch {
+                    base,
+                    edits,
+                    task: task_field(value, &id)?,
+                    method: parse_method(value.get("method"))
+                        .map_err(|m| ProtoError::new(&id, m))?,
+                    chain_limit: usize_field(value, "chain_limit", DEFAULT_CHAIN_LIMIT)
+                        .map_err(|m| ProtoError::new(&id, m))?,
+                }
+            }
             "stats" => Op::Stats,
             "metrics" => Op::Metrics,
             "dump" => Op::Dump,
@@ -439,6 +490,7 @@ impl Request {
             Op::Disparity { .. } => "disparity",
             Op::Backward { .. } => "backward",
             Op::Buffer { .. } => "buffer",
+            Op::Patch { .. } => "patch",
             Op::Stats => "stats",
             Op::Metrics => "metrics",
             Op::Dump => "dump",
@@ -465,6 +517,23 @@ pub fn response_line(id: &Value, status: Status, body: ResponseBody) -> String {
         ResponseBody::None => {}
     }
     json::object(members).to_string()
+}
+
+/// [`response_line`] for an `ok` outcome whose `result` payload is
+/// already rendered: splices the text in without re-encoding a [`Value`]
+/// tree. Byte-identical to
+/// `response_line(id, Status::Ok, ResponseBody::Result(v))` whenever
+/// `rendered_result == v.to_string()` — the `patch` memo's warm path
+/// relies on this, and `prerendered_line_matches_response_line` pins it.
+#[must_use]
+pub fn ok_line_prerendered(id: &Value, rendered_result: &str) -> String {
+    let mut line = String::with_capacity(rendered_result.len() + 40);
+    line.push_str("{\"id\":");
+    line.push_str(&id.to_string());
+    line.push_str(",\"status\":\"ok\",\"result\":");
+    line.push_str(rendered_result);
+    line.push('}');
+    line
 }
 
 /// The payload half of a response.
@@ -623,6 +692,60 @@ mod tests {
         let v = Value::parse(&line).unwrap();
         assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
         assert_eq!(v.get("id").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn parses_patch_requests() {
+        let line = r#"{"id":7,"op":"patch","base":"00ff00ff00ff00ff","edits":[{"kind":"set_wcet","task":"fuse","wcet":2000000}],"task":"fuse","method":"pdiff","chain_limit":64}"#;
+        let req = Request::parse(line).unwrap();
+        assert_eq!(req.endpoint(), "patch");
+        assert!(req.op.spec().is_none(), "patch carries no full spec");
+        match &req.op {
+            Op::Patch {
+                base,
+                edits,
+                task,
+                method,
+                chain_limit,
+            } => {
+                assert_eq!(*base, 0x00ff_00ff_00ff_00ff);
+                assert_eq!(edits.len(), 1);
+                assert_eq!(edits[0].kind(), "set_wcet");
+                assert_eq!(task, "fuse");
+                assert_eq!(*method, Method::Independent);
+                assert_eq!(*chain_limit, 64);
+            }
+            other => panic!("expected patch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn patch_parse_errors_name_the_field() {
+        let missing_base = r#"{"id":1,"op":"patch","edits":[],"task":"t"}"#;
+        let err = Request::parse(missing_base).unwrap_err();
+        assert!(err.to_string().contains("\"base\""), "{err}");
+        let bad_base = r#"{"id":1,"op":"patch","base":"zz","edits":[],"task":"t"}"#;
+        let err = Request::parse(bad_base).unwrap_err();
+        assert!(err.to_string().contains("not a hex hash"), "{err}");
+        let bad_edit =
+            r#"{"id":1,"op":"patch","base":"0f","edits":[{"kind":"warp"}],"task":"t"}"#;
+        let err = Request::parse(bad_edit).unwrap_err();
+        assert!(err.to_string().contains("bad edit [0]"), "{err}");
+    }
+
+    #[test]
+    fn prerendered_line_matches_response_line() {
+        let result = json::object(vec![
+            ("task", Value::from("fuse")),
+            ("bound_ns", Value::Int(123)),
+            ("critical", Value::Null),
+        ]);
+        for id in [Value::Int(42), Value::from("req \"x\"\n7"), Value::Null] {
+            let via_value =
+                response_line(&id, Status::Ok, ResponseBody::Result(result.clone()));
+            let via_text = ok_line_prerendered(&id, &result.to_string());
+            assert_eq!(via_value, via_text);
+        }
     }
 
     #[test]

@@ -35,20 +35,24 @@ use std::time::{Duration, Instant};
 
 use disparity_analyzer::checks::{analyze_spec, DiagConfig};
 use disparity_core::buffering::optimize_task;
+use disparity_core::delta::DeltaBasis;
 use disparity_core::disparity::AnalysisConfig;
 use disparity_core::engine::AnalysisEngine;
 use disparity_core::error::AnalysisError;
+use disparity_core::pairwise::Method;
 use disparity_model::chain::Chain;
+use disparity_model::edit::{apply_all, SpecEdit};
 use disparity_model::json::{self, Value};
-use disparity_model::spec::SystemSpec;
+use disparity_model::spec::{hash_canonical_text, Canonical, SystemSpec};
 use disparity_obs::flight::{self, EventKind};
 use disparity_obs::{Histogram, WindowedHistogram};
 use disparity_sched::schedulability::analyze;
 
-use crate::cache::{GraphEntry, ShardedCache};
+use crate::cache::{BaseLookup, GraphEntry, ShardedCache};
 use crate::proto::{
     attach_trace, encode_backward_result, encode_buffer_result, encode_disparity_result,
-    response_line, Op, PanicKind, ProtoError, Request, ResponseBody, Status, TraceId,
+    method_str, ok_line_prerendered, response_line, Op, PanicKind, ProtoError, Request,
+    ResponseBody, Status, TraceId,
 };
 use crate::queue::{BoundedQueue, PushError};
 
@@ -144,6 +148,11 @@ pub struct Counters {
     pub cache_hits: AtomicU64,
     /// Graph-cache misses (spec built and analyzed from scratch).
     pub cache_misses: AtomicU64,
+    /// `patch` requests whose derived entry came from the delta path
+    /// (rebase of a cached basis, not a cold rebuild).
+    pub patched: AtomicU64,
+    /// `patch` requests answered verbatim from the response memo.
+    pub patch_memo_hits: AtomicU64,
     /// Panics contained by the per-request isolation boundary (answered
     /// `internal_error`) plus worker deaths (unanswered).
     pub panics: AtomicU64,
@@ -219,6 +228,41 @@ pub struct Service {
     supervisor: Mutex<Option<JoinHandle<()>>>,
     rotator: Mutex<Option<JoinHandle<()>>>,
     quarantine: Quarantine,
+    /// Rendered `result` bodies of successful `patch` requests, keyed by
+    /// `(base, edits, task, method, chain_limit)`. Entries are pure
+    /// functions of content-addressed inputs, so they never go stale;
+    /// the map is bounded by a generational clear at
+    /// [`PATCH_MEMO_CAPACITY`].
+    patch_memo: Mutex<HashMap<PatchKey, Arc<str>>>,
+}
+
+/// Memo key of one `patch` query: base hash, FNV-1a of the edits' wire
+/// rendering, task name, method spelling, chain limit.
+type PatchKey = (u64, u64, String, &'static str, usize);
+
+/// Memoized `patch` responses kept before the map is cleared wholesale.
+const PATCH_MEMO_CAPACITY: usize = 1024;
+
+/// FNV-1a of the canonical wire rendering of an edit sequence.
+fn edits_fingerprint(edits: &[SpecEdit]) -> u64 {
+    let rendered = Value::Array(edits.iter().map(SpecEdit::to_json).collect()).to_string();
+    hash_canonical_text(&rendered)
+}
+
+fn patch_key(
+    base: u64,
+    edits: &[SpecEdit],
+    task: &str,
+    method: Method,
+    chain_limit: usize,
+) -> PatchKey {
+    (
+        base,
+        edits_fingerprint(edits),
+        task.to_string(),
+        method_str(method),
+        chain_limit,
+    )
 }
 
 impl core::fmt::Debug for Service {
@@ -249,6 +293,7 @@ impl Service {
             supervisor: Mutex::new(None),
             rotator: Mutex::new(None),
             quarantine: Quarantine::default(),
+            patch_memo: Mutex::new(HashMap::new()),
             config,
         });
         let n = service.config.workers.max(1);
@@ -587,7 +632,10 @@ impl Service {
     /// atomics, and the graph cache only ever holds fully-built entries.
     #[must_use]
     pub fn process_isolated(&self, request: &Request) -> String {
-        let hash = request.op.spec().map(SystemSpec::canonical_hash);
+        // Render the canonical form once; the quarantine gate consumes
+        // the hash here and the cache lookup reuses text + hash below.
+        let canonical = request.op.spec().map(SystemSpec::canonical);
+        let hash = canonical.as_ref().map(|c| c.hash);
         if let Some(hash) = hash {
             if self.quarantine.is_quarantined(hash) {
                 bump(&self.counters.quarantined);
@@ -602,7 +650,9 @@ impl Service {
                 );
             }
         }
-        match std::panic::catch_unwind(AssertUnwindSafe(|| self.process(request))) {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| {
+            self.process_with(request, canonical.as_ref())
+        })) {
             Ok(line) => line,
             Err(payload) => {
                 bump(&self.counters.panics);
@@ -645,7 +695,35 @@ impl Service {
     /// analysis result, never on cache or queue state (`stats` excepted).
     #[must_use]
     pub fn process(&self, request: &Request) -> String {
-        let outcome = self.dispatch(request);
+        self.process_with(request, None)
+    }
+
+    /// [`Self::process`] with an optionally pre-rendered canonical form
+    /// of the request's spec (threaded from [`Self::process_isolated`] so
+    /// each request renders the spec at most once).
+    fn process_with(&self, request: &Request, canonical: Option<&Canonical>) -> String {
+        // Warm `patch` fast path: an identical patch query was answered
+        // before, so splice its memoized `result` bytes around this
+        // request's id — no spec, graph, or engine work at all.
+        if let Op::Patch {
+            base,
+            edits,
+            task,
+            method,
+            chain_limit,
+        } = &request.op
+        {
+            let key = patch_key(*base, edits, task, *method, *chain_limit);
+            let memoized = lock(&self.patch_memo).get(&key).cloned();
+            if let Some(body) = memoized {
+                bump(&self.counters.completed);
+                bump(&self.counters.patch_memo_hits);
+                disparity_obs::counter_add("service.patch.memo_hits", 1);
+                flight::record(EventKind::Completed, 0);
+                return ok_line_prerendered(&request.id, &body);
+            }
+        }
+        let outcome = self.dispatch(request, canonical);
         let (status, body) = match outcome {
             Ok(result) => {
                 bump(&self.counters.completed);
@@ -677,7 +755,7 @@ impl Service {
         response_line(&request.id, status, body)
     }
 
-    fn dispatch(&self, request: &Request) -> Result<Value, Refusal> {
+    fn dispatch(&self, request: &Request, canonical: Option<&Canonical>) -> Result<Value, Refusal> {
         let deadline = request
             .deadline_ms
             .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
@@ -726,20 +804,18 @@ impl Service {
                 method,
                 chain_limit,
             } => {
-                let entry = self.graph_entry(spec, *chain_limit)?;
-                let task = find_task(&entry, task)?;
-                let config = AnalysisConfig {
-                    method: *method,
-                    chain_limit: *chain_limit,
-                };
-                run_with_deadline(deadline, |budget| {
-                    let engine = self.engine(&entry, budget);
-                    let report = engine.worst_case_disparity(task, config)?;
-                    Ok(encode_disparity_result(&entry.graph, &report))
-                })
+                let entry = self.graph_entry(spec, canonical, *chain_limit)?;
+                self.disparity_value(&entry, task, *method, *chain_limit, deadline)
             }
+            Op::Patch {
+                base,
+                edits,
+                task,
+                method,
+                chain_limit,
+            } => self.patch(*base, edits, task, *method, *chain_limit, deadline),
             Op::Backward { spec, chain } => {
-                let entry = self.graph_entry(spec, crate::proto::DEFAULT_CHAIN_LIMIT)?;
+                let entry = self.graph_entry(spec, canonical, crate::proto::DEFAULT_CHAIN_LIMIT)?;
                 let ids = chain
                     .iter()
                     .map(|name| find_task(&entry, name))
@@ -759,7 +835,7 @@ impl Service {
                 chain_limit,
                 max_rounds,
             } => {
-                let entry = self.graph_entry(spec, *chain_limit)?;
+                let entry = self.graph_entry(spec, canonical, *chain_limit)?;
                 let task = find_task(&entry, task)?;
                 let config = AnalysisConfig {
                     method: *method,
@@ -790,27 +866,153 @@ impl Service {
         engine
     }
 
-    /// Cache lookup / build of the analyzed-graph entry for `spec`.
-    fn graph_entry(
+    /// The shared tail of `disparity` and `patch`: analyze `task` against
+    /// an entry and encode the result. Keeping both ops on one code path
+    /// is what makes a patch response byte-identical to a full-spec
+    /// request for the edited system.
+    fn disparity_value(
         &self,
-        spec: &SystemSpec,
+        entry: &Arc<GraphEntry>,
+        task: &str,
+        method: Method,
+        chain_limit: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Value, Refusal> {
+        let task = find_task(entry, task)?;
+        let config = AnalysisConfig {
+            method,
+            chain_limit,
+        };
+        run_with_deadline(deadline, |budget| {
+            let engine = self.engine(entry, budget);
+            let report = engine.worst_case_disparity(task, config)?;
+            Ok(encode_disparity_result(&entry.graph, &report))
+        })
+    }
+
+    /// The `patch` op: look up the cached base by hash, apply the edits,
+    /// derive an entry for the edited spec (incrementally when possible),
+    /// and answer the disparity query against it. Successful results are
+    /// memoized by `(base, edits, task, method, chain_limit)`.
+    fn patch(
+        &self,
+        base: u64,
+        edits: &[SpecEdit],
+        task: &str,
+        method: Method,
+        chain_limit: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Value, Refusal> {
+        let base_entry = match self.cache.get_by_key(base) {
+            BaseLookup::Hit(entry) => entry,
+            BaseLookup::Miss => {
+                return Err(Refusal::Failed(format!(
+                    "unknown base {base:016x}: not cached (send the full spec once first)"
+                )));
+            }
+            BaseLookup::Ambiguous => {
+                return Err(Refusal::Failed(format!(
+                    "ambiguous base {base:016x}: several cached specs collide on this hash"
+                )));
+            }
+        };
+        let mut spec2 = base_entry.spec().clone();
+        if let Err((index, e)) = apply_all(&mut spec2, edits) {
+            return Err(Refusal::Failed(format!("bad edit [{index}]: {e}")));
+        }
+        let canonical2 = spec2.canonical();
+        let entry = self.derived_entry(&base_entry, edits, &spec2, &canonical2, chain_limit)?;
+        let value = self.disparity_value(&entry, task, method, chain_limit, deadline)?;
+        let mut memo = lock(&self.patch_memo);
+        if memo.len() >= PATCH_MEMO_CAPACITY {
+            memo.clear();
+        }
+        memo.insert(
+            patch_key(base, edits, task, method, chain_limit),
+            Arc::from(value.to_string()),
+        );
+        drop(memo);
+        Ok(value)
+    }
+
+    /// Cache lookup / incremental derivation of the entry for an edited
+    /// spec. The edited spec passes exactly the gates a full-spec request
+    /// would (diag gate, schedulability admission); any delta failure
+    /// falls back to the cold build so error responses stay
+    /// byte-identical too.
+    fn derived_entry(
+        &self,
+        base: &Arc<GraphEntry>,
+        edits: &[SpecEdit],
+        spec2: &SystemSpec,
+        canonical2: &Canonical,
         chain_limit: usize,
     ) -> Result<Arc<GraphEntry>, Refusal> {
-        let key = spec.canonical_hash();
-        let canonical = spec.canonical_text();
-        let mut lookup = disparity_obs::span("service.cache.lookup");
-        let cached = self.cache.get(key, &canonical);
-        lookup.attr("hit", i64::from(cached.is_some()));
-        drop(lookup);
-        if let Some(entry) = cached {
-            bump(&self.counters.cache_hits);
-            disparity_obs::counter_add("service.cache.hits", 1);
-            flight::record(EventKind::CacheHit, key);
+        if let Some(entry) = self.lookup_entry(canonical2) {
             return Ok(entry);
         }
-        bump(&self.counters.cache_misses);
-        disparity_obs::counter_add("service.cache.misses", 1);
-        flight::record(EventKind::CacheMiss, key);
+        self.diag_admit(spec2, chain_limit)?;
+        let mut basis = DeltaBasis {
+            spec: base.spec().clone(),
+            graph: base.graph.clone(),
+            rt: base.rt.clone(),
+            hops: base.hops.clone(),
+        };
+        for edit in edits {
+            match basis.rebase(edit) {
+                Ok(next) => basis = next,
+                // e.g. a dirty-ECU overload: rebuild cold so the error
+                // message matches a full-spec request exactly.
+                Err(_) => return self.cold_build(spec2, canonical2),
+            }
+        }
+        // The cold path's schedulability admission, from the
+        // incrementally computed response times (same count, same text).
+        let violations = basis
+            .graph
+            .tasks()
+            .iter()
+            .filter(|t| basis.rt.wcrt(t.id()) > t.period())
+            .count();
+        if violations > 0 {
+            return Err(Refusal::Failed(format!(
+                "unschedulable: {violations} task(s) miss their deadline"
+            )));
+        }
+        bump(&self.counters.patched);
+        disparity_obs::counter_add("service.patch.derived", 1);
+        let mut entry = GraphEntry::new(
+            canonical2.clone(),
+            spec2.clone(),
+            basis.graph,
+            basis.rt,
+        );
+        // Carry the surviving hop bounds into the derived entry.
+        entry.hops = basis.hops;
+        Ok(self.cache.insert(canonical2.hash, entry))
+    }
+
+    /// Cache lookup half of [`Self::graph_entry`] (hit/miss accounting).
+    fn lookup_entry(&self, canonical: &Canonical) -> Option<Arc<GraphEntry>> {
+        let mut lookup = disparity_obs::span("service.cache.lookup");
+        let cached = self.cache.get(canonical.hash, &canonical.text);
+        lookup.attr("hit", i64::from(cached.is_some()));
+        drop(lookup);
+        if cached.is_some() {
+            bump(&self.counters.cache_hits);
+            disparity_obs::counter_add("service.cache.hits", 1);
+            flight::record(EventKind::CacheHit, canonical.hash);
+        } else {
+            bump(&self.counters.cache_misses);
+            disparity_obs::counter_add("service.cache.misses", 1);
+            flight::record(EventKind::CacheMiss, canonical.hash);
+        }
+        cached
+    }
+
+    /// The optional diag admission gate, applied to cold and derived
+    /// specs alike.
+    fn diag_admit(&self, spec: &SystemSpec, chain_limit: usize) -> Result<(), Refusal> {
         if self.config.diag_gate {
             let diags = analyze_spec(spec, &DiagConfig { chain_limit })
                 .map_err(|e| Refusal::Failed(format!("bad spec: {e}")))?;
@@ -823,6 +1025,16 @@ impl Service {
                 return Err(Refusal::DiagGate(detail));
             }
         }
+        Ok(())
+    }
+
+    /// Cold build + schedulability admission + cache insert (the miss
+    /// path of [`Self::graph_entry`]; assumes the diag gate already ran).
+    fn cold_build(
+        &self,
+        spec: &SystemSpec,
+        canonical: &Canonical,
+    ) -> Result<Arc<GraphEntry>, Refusal> {
         let graph = spec
             .build()
             .map_err(|e| Refusal::Failed(format!("bad spec: {e}")))?;
@@ -834,8 +1046,33 @@ impl Service {
             )));
         }
         let rt = sched.into_response_times();
-        let entry = GraphEntry::new(spec, graph, rt);
-        Ok(self.cache.insert(key, entry))
+        let entry = GraphEntry::new(canonical.clone(), spec.clone(), graph, rt);
+        Ok(self.cache.insert(canonical.hash, entry))
+    }
+
+    /// Cache lookup / build of the analyzed-graph entry for `spec`.
+    /// `canonical` threads a pre-rendered canonical form through (from
+    /// [`Self::process_isolated`]); `None` renders it here — either way
+    /// the spec is rendered exactly once per request.
+    fn graph_entry(
+        &self,
+        spec: &SystemSpec,
+        canonical: Option<&Canonical>,
+        chain_limit: usize,
+    ) -> Result<Arc<GraphEntry>, Refusal> {
+        let rendered;
+        let canonical = match canonical {
+            Some(c) => c,
+            None => {
+                rendered = spec.canonical();
+                &rendered
+            }
+        };
+        if let Some(entry) = self.lookup_entry(canonical) {
+            return Ok(entry);
+        }
+        self.diag_admit(spec, chain_limit)?;
+        self.cold_build(spec, canonical)
     }
 
     /// The `stats` payload: counters, gauges, and per-endpoint latency
@@ -853,6 +1090,8 @@ impl Service {
             ("errors", uint(load(&c.errors))),
             ("cache_hits", uint(load(&c.cache_hits))),
             ("cache_misses", uint(load(&c.cache_misses))),
+            ("patched", uint(load(&c.patched))),
+            ("patch_memo_hits", uint(load(&c.patch_memo_hits))),
             ("panics", uint(load(&c.panics))),
             ("quarantined", uint(load(&c.quarantined))),
             ("worker_respawns", uint(load(&c.worker_respawns))),

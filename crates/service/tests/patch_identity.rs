@@ -1,0 +1,324 @@
+//! Byte-identity contract of the incremental `patch` op: a patch against
+//! a cached base must answer with **exactly** the bytes a full-spec
+//! `disparity` request on the edited spec would produce — success and
+//! failure alike — whether the answer comes from the delta rebase, the
+//! cold-build fallback, the derived-entry cache, or the patch memo.
+//!
+//! Everything here drives [`Service::process`] directly (no transport),
+//! so the comparisons are on raw response lines with no `trace_id` to
+//! peel.
+//!
+//! [`Service::process`]: disparity_service::service::Service::process
+
+use disparity_core::disparity::AnalysisConfig;
+use disparity_core::engine::AnalysisEngine;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::ids::TaskId;
+use disparity_model::json::Value;
+use disparity_model::spec::SystemSpec;
+use disparity_rng::rngs::StdRng;
+use disparity_sched::wcrt::response_times;
+use disparity_service::proto::{
+    encode_disparity_result, response_line, Request, ResponseBody, Status,
+};
+use disparity_service::service::{Service, ServiceConfig};
+use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
+
+/// A seeded fusion workload (WATERS period bins) and its fusion sink.
+fn seeded_workload(seed: u64) -> (CauseEffectGraph, TaskId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = schedulable_funnel_system(&FunnelConfig::default(), &mut rng, 64)
+        .expect("funnel workload generates");
+    let sink = *graph.sinks().first().expect("funnel has a sink");
+    (graph, sink)
+}
+
+fn process(service: &Service, line: &str) -> String {
+    let request = Request::parse(line).expect("request parses");
+    service.process(&request)
+}
+
+fn disparity_line(spec: &SystemSpec, task: &str, id: i64) -> String {
+    format!(
+        "{{\"id\":{id},\"op\":\"disparity\",\"task\":{},\"spec\":{}}}",
+        Value::from(task),
+        spec.to_json()
+    )
+}
+
+fn patch_line(base: u64, edits_json: &str, task: &str, id: i64) -> String {
+    format!(
+        "{{\"id\":{id},\"op\":\"patch\",\"base\":\"{base:016x}\",\"edits\":[{edits_json}],\"task\":{}}}",
+        Value::from(task)
+    )
+}
+
+/// The exact success line for a disparity answer on `spec`, from a
+/// direct engine run.
+fn direct_line(spec: &SystemSpec, task: &str, id: i64) -> String {
+    let graph = spec.build().expect("edited spec builds");
+    let sink = graph.find_task(task).expect("task in edited spec");
+    let rt = response_times(&graph).expect("edited spec schedulable");
+    let report = AnalysisEngine::new(&graph, &rt)
+        .worst_case_disparity(sink, AnalysisConfig::default())
+        .expect("direct analysis succeeds");
+    response_line(
+        &Value::Int(id),
+        Status::Ok,
+        ResponseBody::Result(encode_disparity_result(&graph, &report)),
+    )
+}
+
+fn counter(service: &Service, name: &str) -> i64 {
+    let stats = process(service, "{\"id\":99,\"op\":\"stats\"}");
+    Value::parse(&stats)
+        .expect("stats parse")
+        .get("result")
+        .and_then(|r| r.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_i64)
+        .unwrap_or(-1)
+}
+
+/// Warms the base spec into the cache and returns (spec, task name,
+/// base hash, a shrunk-WCET edit JSON, the edited spec).
+fn warmed_base(service: &Service) -> (SystemSpec, String, u64, String, SystemSpec) {
+    let (graph, sink) = seeded_workload(7);
+    let spec = SystemSpec::from_graph(&graph);
+    let task = graph.task(sink).name().to_string();
+    let base = spec.canonical_hash();
+
+    let warm = process(service, &disparity_line(&spec, &task, 1));
+    assert!(warm.contains("\"status\":\"ok\""), "warm request succeeds: {warm}");
+
+    // Shrink the WCET of a computation task (stays ≥ BCET, so the edit
+    // is valid and the system stays schedulable).
+    let victim = spec
+        .tasks
+        .iter()
+        .find(|t| t.wcet.as_nanos() > t.bcet.as_nanos() + 1)
+        .expect("workload has a shrinkable task");
+    let new_wcet = (victim.bcet.as_nanos() + victim.wcet.as_nanos()) / 2;
+    let edit = format!(
+        "{{\"kind\":\"set_wcet\",\"task\":{},\"wcet\":{new_wcet}}}",
+        Value::from(victim.name.as_str())
+    );
+    let mut edited = spec.clone();
+    let victim_name = victim.name.clone();
+    for t in &mut edited.tasks {
+        if t.name == victim_name {
+            t.wcet = disparity_model::time::Duration::from_nanos(new_wcet);
+        }
+    }
+    (spec, task, base, edit, edited)
+}
+
+#[test]
+fn patch_answer_is_byte_identical_to_cold_disparity_on_the_edited_spec() {
+    let service = Service::start(ServiceConfig::default());
+    let (_spec, task, base, edit, edited) = warmed_base(&service);
+
+    let got = process(&service, &patch_line(base, &edit, &task, 2));
+    assert_eq!(got, direct_line(&edited, &task, 2), "delta-derived bytes");
+    assert_eq!(counter(&service, "patched"), 1, "one derived entry");
+
+    // Same edit again: answered from the patch memo, still byte-equal.
+    let again = process(&service, &patch_line(base, &edit, &task, 3));
+    assert_eq!(again, direct_line(&edited, &task, 3), "memoized bytes");
+    assert!(counter(&service, "patch_memo_hits") >= 1, "memo was hit");
+    assert_eq!(counter(&service, "patched"), 1, "no second derive");
+
+    service.shutdown();
+}
+
+#[test]
+fn patch_with_an_edit_chain_matches_cold_on_the_final_spec() {
+    let service = Service::start(ServiceConfig::default());
+    let (spec, task, base, edit, edited) = warmed_base(&service);
+
+    // Chain a period change on top of the WCET cut: the second edit
+    // rebuilds the graph, so the rebase walks two different dirty paths.
+    let victim = spec
+        .tasks
+        .iter()
+        .find(|t| t.wcet.as_nanos() > 0)
+        .expect("computation task");
+    let new_period = victim.period.as_nanos() * 2;
+    let edits = format!(
+        "{edit},{{\"kind\":\"set_period\",\"task\":{},\"period\":{new_period}}}",
+        Value::from(victim.name.as_str())
+    );
+    let mut final_spec = edited.clone();
+    let victim_name = victim.name.clone();
+    for t in &mut final_spec.tasks {
+        if t.name == victim_name {
+            t.period = disparity_model::time::Duration::from_nanos(new_period);
+        }
+    }
+
+    let got = process(&service, &patch_line(base, &edits, &task, 4));
+    let want = direct_line(&final_spec, &task, 4);
+    assert_eq!(got, want, "two-edit patch matches cold pipeline");
+
+    service.shutdown();
+}
+
+#[test]
+fn patch_against_an_unknown_base_is_refused() {
+    let service = Service::start(ServiceConfig::default());
+    let line = patch_line(
+        0xdead_beef_dead_beef,
+        "{\"kind\":\"set_wcet\",\"task\":\"x\",\"wcet\":1}",
+        "x",
+        5,
+    );
+    let got = process(&service, &line);
+    assert!(got.contains("\"status\":\"error\""), "refused: {got}");
+    assert!(got.contains("unknown base deadbeefdeadbeef"), "names the base: {got}");
+    assert!(got.contains("send the full spec once first"), "explains the fix: {got}");
+    service.shutdown();
+}
+
+#[test]
+fn patch_with_an_invalid_edit_names_the_offending_index() {
+    let service = Service::start(ServiceConfig::default());
+    let (spec, task, base, _edit, _edited) = warmed_base(&service);
+
+    // WCET below BCET violates the edit's invariant at apply time.
+    let victim = spec
+        .tasks
+        .iter()
+        .find(|t| t.bcet.as_nanos() > 1)
+        .expect("task with a positive BCET");
+    let bad = format!(
+        "{{\"kind\":\"set_wcet\",\"task\":{},\"wcet\":{}}}",
+        Value::from(victim.name.as_str()),
+        victim.bcet.as_nanos() - 1
+    );
+    let got = process(&service, &patch_line(base, &bad, &task, 6));
+    assert!(got.contains("\"status\":\"error\""), "refused: {got}");
+    assert!(got.contains("bad edit [0]"), "names the index: {got}");
+    service.shutdown();
+}
+
+#[test]
+fn unschedulable_derived_spec_fails_with_the_same_bytes_as_a_full_request() {
+    let service = Service::start(ServiceConfig::default());
+    let (spec, task, base, _edit, _edited) = warmed_base(&service);
+
+    // Blow one WCET past its period: the derived system cannot be
+    // admitted and the patch must answer with the cold path's exact
+    // failure text (here the WCRT stage's utilization check, which runs
+    // before the deadline-miss verdict).
+    let victim = spec
+        .tasks
+        .iter()
+        .find(|t| t.wcet.as_nanos() > 0)
+        .expect("computation task");
+    let huge = victim.period.as_nanos() * 10;
+    let edit = format!(
+        "{{\"kind\":\"set_wcet\",\"task\":{},\"wcet\":{huge}}}",
+        Value::from(victim.name.as_str())
+    );
+    let mut broken = spec.clone();
+    let victim_name = victim.name.clone();
+    for t in &mut broken.tasks {
+        if t.name == victim_name {
+            t.wcet = disparity_model::time::Duration::from_nanos(huge);
+        }
+    }
+
+    let via_patch = process(&service, &patch_line(base, &edit, &task, 7));
+    let via_full_spec = process(&service, &disparity_line(&broken, &task, 7));
+    assert_eq!(
+        via_patch, via_full_spec,
+        "failure bytes match the full-spec path"
+    );
+    assert!(
+        via_patch.contains("\"status\":\"error\"")
+            && (via_patch.contains("unschedulable") || via_patch.contains("overloaded")),
+        "names the admission failure: {via_patch}"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn deadline_missing_derived_spec_pins_the_unschedulable_admission_text() {
+    use disparity_model::spec::{ChannelSpec, EcuSpec, TaskEntry};
+    use disparity_model::time::Duration;
+
+    // Handcrafted so the edit lands between over-utilization and a
+    // clean schedule: with `lo`'s WCET at 7 ms, ecu1 runs at 98.3%
+    // utilization but `lo`'s WCRT fixes at 15 ms > its 12 ms period —
+    // the admission failure is the deadline-miss verdict, not the WCRT
+    // stage's utilization check.
+    let ms = |v: i64| Duration::from_millis(v);
+    let spec = SystemSpec {
+        ecus: vec![EcuSpec::processor("ecu1")],
+        tasks: vec![
+            TaskEntry::stimulus("s1", ms(10)),
+            TaskEntry::computation("hi", ms(10), ms(1), ms(4), "ecu1"),
+            TaskEntry::computation("lo", ms(12), ms(1), ms(5), "ecu1"),
+        ],
+        channels: vec![
+            ChannelSpec::register("s1", "hi"),
+            ChannelSpec::register("hi", "lo"),
+        ],
+    };
+    let base = spec.canonical_hash();
+
+    let service = Service::start(ServiceConfig::default());
+    let warm = process(&service, &disparity_line(&spec, "lo", 1));
+    assert!(warm.contains("\"status\":\"ok\""), "base admits: {warm}");
+
+    let edit = "{\"kind\":\"set_wcet\",\"task\":\"lo\",\"wcet\":7000000}";
+    let mut broken = spec.clone();
+    broken.tasks[2].wcet = ms(7);
+
+    let via_patch = process(&service, &patch_line(base, edit, "lo", 2));
+    let via_full_spec = process(&service, &disparity_line(&broken, "lo", 2));
+    assert_eq!(via_patch, via_full_spec, "failure bytes match");
+    assert!(
+        via_patch.contains("unschedulable: 1 task(s) miss their deadline"),
+        "pins the admission text: {via_patch}"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn derived_entries_are_cached_and_usable_as_a_new_base() {
+    let service = Service::start(ServiceConfig::default());
+    let (_spec, task, base, edit, edited) = warmed_base(&service);
+
+    // Derive once via patch, then query the edited spec's hash directly:
+    // the derived entry must serve as a base for a follow-up patch.
+    let first = process(&service, &patch_line(base, &edit, &task, 8));
+    assert!(first.contains("\"status\":\"ok\""), "derive succeeds: {first}");
+
+    let derived_base = edited.canonical_hash();
+    let victim = edited
+        .tasks
+        .iter()
+        .find(|t| t.wcet.as_nanos() > t.bcet.as_nanos() + 1)
+        .expect("still a shrinkable task");
+    let newer = (victim.bcet.as_nanos() + victim.wcet.as_nanos()) / 2;
+    let second_edit = format!(
+        "{{\"kind\":\"set_wcet\",\"task\":{},\"wcet\":{newer}}}",
+        Value::from(victim.name.as_str())
+    );
+    let mut twice_edited = edited.clone();
+    let victim_name = victim.name.clone();
+    for t in &mut twice_edited.tasks {
+        if t.name == victim_name {
+            t.wcet = disparity_model::time::Duration::from_nanos(newer);
+        }
+    }
+
+    let got = process(&service, &patch_line(derived_base, &second_edit, &task, 9));
+    assert_eq!(
+        got,
+        direct_line(&twice_edited, &task, 9),
+        "stacked patch rebases from the derived entry"
+    );
+    service.shutdown();
+}

@@ -64,6 +64,23 @@ echo "==> telemetry overhead proof (<5% on the warm serving path, committed base
     --metric "bench.service_requests/disparity/warm_cache_live=bench.service_requests/disparity/warm_cache" \
     --metric "bench.service_requests/overhead/ping_live=bench.service_requests/overhead/ping"
 
+echo "==> delta re-analysis gate (incremental == cold after every random edit)"
+cargo test -p disparity-core --release --test delta_consistency -q
+cargo test -p disparity-service --release --test patch_identity -q
+
+echo "==> benchgate (delta_requests vs committed baseline + the >=10x warm-patch proof)"
+rm -f target/bench-current-delta.json
+DISPARITY_BENCH_FULL=1 DISPARITY_BENCH_JSON="$(pwd)/target/bench-current-delta.json" \
+    cargo bench -p disparity-bench --bench delta_requests
+./target/release/benchgate --baseline BENCH_delta_baseline.json \
+    --current target/bench-current-delta.json --stat min --prefix bench.delta_requests
+# The headline claim, re-proven on this machine's own run: a warm
+# single-field edit served via `patch` is at least 10x cheaper than the
+# cold pipeline (threshold -90% = current must be <=10% of the base).
+./target/release/benchgate --baseline target/bench-current-delta.json \
+    --current target/bench-current-delta.json --stat min --threshold-pct -90 \
+    --metric "bench.delta_requests/patch/patch_warm=bench.delta_requests/patch/cold_pipeline"
+
 echo "==> srclint gate (workspace source lint, committed allowlist)"
 ensure_fresh srclint disparity-analyzer
 ./target/release/srclint
@@ -125,6 +142,29 @@ grep -q 'service.cache' target/service-metrics.json
 test -s target/service-latency-series.ndjson
 grep -q '"window"' target/service-latency-series.ndjson
 grep -q '"disparity-obs/postmortem-v1"' target/postmortems-service/postmortem-*.ndjson
+
+echo "==> edit-replay smoke (patch op: seeded edits, byte-identical, memo hits)"
+rm -f target/edit-replay.json
+./target/release/serve --addr 127.0.0.1:7415 --workers 2 --queue 16 &
+SERVE_PID=$!
+tries=0
+until ./target/release/loadgen --addr 127.0.0.1:7415 \
+        --spec specs/waters_clean.json --requests 1 --connections 1 \
+        >/dev/null 2>&1; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 25 ]; then
+        echo "tier1: serve did not come up on 127.0.0.1:7415" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.2
+done
+./target/release/loadgen --addr 127.0.0.1:7415 \
+    --spec specs/waters_clean.json --requests 24 --edit-replay --shutdown \
+    --out target/edit-replay.json
+wait "$SERVE_PID"
+test -s target/edit-replay.json
+grep -q '"passed": *true' target/edit-replay.json
 
 echo "==> protocol fuzz smoke (10k seeded mutations + corpus replay)"
 cargo test -p disparity-service --release --test proto_fuzz -q
