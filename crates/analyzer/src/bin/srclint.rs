@@ -2,7 +2,8 @@
 //!
 //! Walks `crates/*/src`, denies banned patterns (panicking constructs,
 //! unchecked time casts, wall-clock reads in deterministic crates,
-//! panic-swallowing `catch_unwind` boundaries), and honors the committed
+//! panic-swallowing `catch_unwind` boundaries, unjustified
+//! `Relaxed`/`SeqCst` atomic orderings), and honors the committed
 //! allowlist. Exit codes: 0 clean, 1 denied findings, 2 usage or I/O
 //! error.
 

@@ -19,6 +19,16 @@
 //!   per-request isolation boundary, which re-surfaces the payload as a
 //!   structured `internal_error` and feeds the quarantine ledger. Any
 //!   new site needs the same story and an allowlist entry.
+//! * **`atomic-ordering`** — `Ordering::Relaxed` / `Ordering::SeqCst` in
+//!   library code. Both ends of the spectrum demand a written argument:
+//!   Relaxed because it drops synchronization, SeqCst because it usually
+//!   papers over not knowing which edge is needed. A site is exempt when
+//!   the line (or the comment line directly above it) carries a
+//!   `// conc:` justification — ideally citing the model-checking harness
+//!   that explores the protocol — or when the file has an allowlist
+//!   entry. `#[cfg(feature = "model")]` blocks are skipped like
+//!   `#[cfg(test)]`: they are checker-facing instrumentation, not
+//!   shipping code.
 //! * **`hot-path`** — lock acquisition (`Mutex`/`RwLock`/`.lock(`) and
 //!   heap-allocating calls (`Box::new`, `Vec::new`, `vec![`, `format!`,
 //!   `.to_string(`, …) inside regions bracketed by the comment markers
@@ -48,16 +58,19 @@ pub enum Rule {
     CatchUnwind,
     /// Locks or heap allocation inside a declared hot-path region.
     HotPath,
+    /// Unjustified `Ordering::Relaxed` / `Ordering::SeqCst` in library code.
+    AtomicOrdering,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::Panic,
         Rule::TimeCast,
         Rule::WallClock,
         Rule::CatchUnwind,
         Rule::HotPath,
+        Rule::AtomicOrdering,
     ];
 
     /// The stable rule name used in reports and allowlist entries.
@@ -69,6 +82,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::CatchUnwind => "catch-unwind",
             Rule::HotPath => "hot-path",
+            Rule::AtomicOrdering => "atomic-ordering",
         }
     }
 
@@ -267,6 +281,28 @@ fn hot_path_markers() -> (String, String) {
     )
 }
 
+/// The two orderings that demand a written argument: Relaxed drops
+/// synchronization, SeqCst usually papers over not knowing which edge is
+/// needed. Acquire/Release/AcqRel name their edge and pass freely.
+fn ordering_patterns() -> [String; 2] {
+    [
+        ["Ordering::Rel", "axed"].concat(),
+        ["Ordering::Seq", "Cst"].concat(),
+    ]
+}
+
+/// The justification marker exempting an atomic-ordering site: on the
+/// flagged line itself or on the comment line directly above it.
+fn conc_marker() -> String {
+    ["// co", "nc:"].concat()
+}
+
+/// The attribute gating model-checker instrumentation; blocks under it
+/// are skipped like `#[cfg(test)]` blocks.
+fn model_cfg_attr() -> String {
+    ["#[cfg(feature = \"mo", "del\")]"].concat()
+}
+
 const TIME_MARKERS: [&str; 7] = [
     "_ns", "nanos", "period", "duration", "instant", "wcet", "bcet",
 ];
@@ -287,16 +323,23 @@ pub fn scan_source(rel_path: &str, text: &str) -> Vec<Finding> {
     let unwind_pats = unwind_catch_patterns();
     let hot_pats = hot_path_patterns();
     let (hot_begin, hot_end) = hot_path_markers();
+    let ordering_pats = ordering_patterns();
+    let conc = conc_marker();
+    let model_cfg = model_cfg_attr();
     let deterministic = crate_of(rel_path)
         .map(|name| DETERMINISTIC_CRATES.contains(&name))
         .unwrap_or(false);
 
     let mut findings = Vec::new();
     let mut depth: i64 = 0;
-    // Depth at which the innermost #[cfg(test)] block was entered.
+    // Depth at which the innermost skipped (#[cfg(test)] or
+    // #[cfg(feature = "model")]) block was entered.
     let mut test_entry: Option<i64> = None;
     let mut pending_cfg_test = false;
     let mut hot_path = false;
+    // A `// conc:` comment line exempts the next code line from the
+    // atomic-ordering rule.
+    let mut pending_conc = false;
 
     for (idx, raw) in text.lines().enumerate() {
         let trimmed = raw.trim();
@@ -310,6 +353,9 @@ pub fn scan_source(rel_path: &str, text: &str) -> Vec<Finding> {
             continue;
         }
         if trimmed.starts_with("//") {
+            if trimmed.contains(&*conc) {
+                pending_conc = true;
+            }
             continue;
         }
         let blanked = blank_literals(raw);
@@ -325,7 +371,7 @@ pub fn scan_source(rel_path: &str, text: &str) -> Vec<Finding> {
             continue;
         }
 
-        if trimmed.starts_with("#[cfg(test)]") {
+        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with(&*model_cfg) {
             pending_cfg_test = true;
             continue;
         }
@@ -376,6 +422,15 @@ pub fn scan_source(rel_path: &str, text: &str) -> Vec<Finding> {
         if hot_path {
             check(Rule::HotPath, hot_pats.iter().any(|p| code.contains(&**p)));
         }
+        // The marker may sit in the stripped trailing comment, so test the
+        // blanked (but un-stripped) line; literal contents are blanked, so
+        // a string mentioning the marker never exempts anything.
+        let conc_justified = pending_conc || blanked.contains(&*conc);
+        check(
+            Rule::AtomicOrdering,
+            !conc_justified && ordering_pats.iter().any(|p| code.contains(&**p)),
+        );
+        pending_conc = false;
 
         depth += opens - closes;
     }
@@ -647,6 +702,48 @@ mod tests {
             "{findings:?}"
         );
         assert_eq!(Rule::from_str_opt("hot-path"), Some(Rule::HotPath));
+    }
+
+    #[test]
+    fn atomic_orderings_need_a_conc_justification() {
+        let relaxed = pat(["Ordering::Rel", "axed"]);
+        let seqcst = pat(["Ordering::Seq", "Cst"]);
+        let marker = pat(["// co", "nc:"]);
+        let bare = format!("fn f(c: &A) {{ c.load({relaxed}); c.store(1, {seqcst}); }}\n");
+        let findings = scan_source("crates/service/src/x.rs", &bare);
+        assert_eq!(findings.len(), 1, "one finding per line: {findings:?}");
+        assert_eq!(findings[0].rule, Rule::AtomicOrdering);
+        assert_eq!(Rule::from_str_opt("atomic-ordering"), Some(Rule::AtomicOrdering));
+
+        // A trailing `// conc:` justification exempts the line...
+        let inline = format!("fn f(c: &A) {{ c.load({relaxed}); {marker} counter\n}}\n");
+        assert!(scan_source("crates/service/src/x.rs", &inline).is_empty());
+        // ...as does a `// conc:` comment directly above it...
+        let above = format!("{marker} gate, checked by the model harness\nfn f(c: &A) {{ c.load({relaxed}); }}\n");
+        assert!(scan_source("crates/service/src/x.rs", &above).is_empty());
+        // ...but the comment justifies exactly one code line.
+        let stale = format!(
+            "{marker} only the next line\nlet a = x.load({relaxed});\nlet b = y.load({relaxed});\n"
+        );
+        let findings = scan_source("crates/service/src/x.rs", &stale);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+
+        // A marker inside a string literal is message text, not a waiver.
+        let in_string = format!("fn f(c: &A) {{ log(\"{marker}\"); c.load({relaxed}); }}\n");
+        assert_eq!(scan_source("crates/service/src/x.rs", &in_string).len(), 1);
+    }
+
+    #[test]
+    fn model_feature_blocks_are_skipped_like_test_blocks() {
+        let relaxed = pat(["Ordering::Rel", "axed"]);
+        let attr = pat(["#[cfg(feature = \"mo", "del\")]"]);
+        let src = format!(
+            "{attr}\npub mod probes {{\n    fn p(c: &A) {{ c.load({relaxed}); }}\n}}\nfn real(c: &A) {{ c.load({relaxed}); }}\n"
+        );
+        let findings = scan_source("crates/obs/src/x.rs", &src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 5, "only the ungated site fires");
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! `disparity-conc` — sync shim + deterministic concurrency model checker.
+//!
+//! The crate has two faces:
+//!
+//! * **Normal builds** (`model` feature off): [`sync`] is a transparent
+//!   re-export of `std::sync` primitives. Zero overhead, zero behavior
+//!   change — proven by benchgate against the committed BENCH baselines.
+//! * **Model builds** (`--features model`): [`sync`] swaps in instrumented
+//!   `AtomicU64` / `Mutex` / `Condvar` / `thread` types driven by a
+//!   deterministic turn-based scheduler (the `model` module, which only
+//!   exists under the feature). The checker explores
+//!   interleavings exhaustively (DFS with a DPOR-lite sleep-set reduction
+//!   and CHESS-style preemption bounding) or via seeded random schedules,
+//!   and models Release/Acquire/Relaxed orderings operationally: a
+//!   `Relaxed` load may return any value from a bounded per-location store
+//!   history unless ordered by Release/Acquire edges or fences.
+//!
+//! On an invariant violation (an assertion panic inside the checked
+//! closure, or a deadlock) the checker produces a serialized schedule
+//! trace (`disparity-conc/trace-v1` JSON) that `model::replay` re-runs
+//! byte-for-byte deterministically; traces are committed to per-crate
+//! regression corpora like `proto_fuzz`'s.
+//!
+//! Structures under check live in their home crates (`service::queue`,
+//! `service::cache`, `obs::flight`) and import from [`sync`], so the
+//! verified code is the shipped code, not a copy.
+
+pub mod sync;
+
+#[cfg(feature = "model")]
+pub mod model;

@@ -1,0 +1,82 @@
+//! Regression-corpus plumbing for harness tests.
+//!
+//! Every mutant a harness proves catchable commits the violating schedule
+//! trace under the crate's `tests/conc_corpus/` directory. [`verify`]
+//! wires the full loop: check the scenario, require a violation, pin the
+//! found trace byte-for-byte against the committed file, then replay the
+//! committed trace and require the byte-identical failure message.
+//!
+//! Exploration is deterministic (DFS order is a pure function of the
+//! program and config), so a drifting trace means the scenario or the
+//! checker changed — rerun the harness with `CONC_CORPUS_REGEN=1` to
+//! refresh the corpus and review the diff like any other golden file.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use super::{die, exec, trace, Config, Violation};
+
+/// Environment variable that switches [`verify`] from comparing against
+/// the committed trace to rewriting it.
+pub const REGEN_ENV: &str = "CONC_CORPUS_REGEN";
+
+/// Checks `f` under `cfg`, requires a violation, and round-trips its
+/// schedule trace through the committed corpus file `dir/name`:
+///
+/// 1. the freshly found trace must equal the committed bytes (or, with
+///    [`REGEN_ENV`] set, overwrites them);
+/// 2. replaying the committed trace must reproduce a violation whose
+///    message is byte-identical to the fresh one.
+///
+/// Returns the violation so callers can assert on its message.
+pub fn verify<F>(dir: &Path, name: &str, cfg: Config, f: F) -> Violation
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let out = exec::check_impl(cfg, Arc::clone(&f));
+    let found = out.expect_violation().clone();
+
+    let path = dir.join(name);
+    if std::env::var_os(REGEN_ENV).is_some() {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, &found.trace) {
+            die(&format!("cannot write corpus trace {}: {e}", path.display()));
+        }
+    }
+    let committed = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => die(&format!(
+            "missing corpus trace {} ({e}); run the harness once with {REGEN_ENV}=1",
+            path.display()
+        )),
+    };
+    if committed != found.trace {
+        die(&format!(
+            "corpus trace {} drifted from the freshly found schedule;\n\
+             rerun with {REGEN_ENV}=1 and review the diff\n\
+             committed: {committed}\n\
+             found:     {}",
+            path.display(),
+            found.trace
+        ));
+    }
+
+    let plan = match trace::parse(&committed) {
+        Ok(p) => p,
+        Err(e) => die(&format!("corpus trace {} unparsable: {e}", path.display())),
+    };
+    let replayed = exec::replay_impl(cfg, plan, f);
+    let again = replayed.expect_violation();
+    if again.message != found.message {
+        die(&format!(
+            "replay of {} diverged:\n  explored: {}\n  replayed: {}",
+            path.display(),
+            found.message,
+            again.message
+        ));
+    }
+    found
+}

@@ -1,0 +1,1128 @@
+//! Turn-based deterministic scheduler + DFS explorer.
+//!
+//! Model threads are real OS threads, but exactly one runs at a time:
+//! every shim operation parks the thread with a declared pending [`Op`]
+//! and waits for a grant. When all live threads are parked the scheduler
+//! picks the next one — a *decision*. Decisions (thread choices, relaxed
+//! read-from choices, notify-waiter choices) fully determine an
+//! execution, so a recorded decision list is a replayable schedule.
+//!
+//! Exploration is stateless DFS over decision prefixes with a sleep-set
+//! (DPOR-lite) reduction and a CHESS-style preemption bound. A decision
+//! node is recorded only when its *raw* arity is > 1 (more than one
+//! enabled thread / more than one readable store), which makes node
+//! positions a pure function of the choice prefix — the alignment
+//! property replay relies on.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, Once, PoisonError};
+
+use super::memory::{is_acquire, is_release, is_seqcst, ord_label, Memory, View};
+use super::{die, trace, Config, Mode, Outcome, Violation};
+
+/// Model thread id (dense, assigned in spawn order; root is 0).
+pub type Tid = usize;
+
+/// Read-modify-write flavors the shim can issue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RmwKind {
+    /// `fetch_add(v)`.
+    Add(u64),
+    /// `swap(v)`.
+    Swap(u64),
+}
+
+/// A pending shim operation — the unit of scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// First yield of every model thread.
+    ThreadStart,
+    /// Atomic load.
+    Load {
+        /// Location id.
+        loc: usize,
+        /// User-requested ordering.
+        ord: Ordering,
+    },
+    /// Atomic store.
+    Store {
+        /// Location id.
+        loc: usize,
+        /// User-requested ordering.
+        ord: Ordering,
+        /// Value to store.
+        val: u64,
+    },
+    /// Atomic read-modify-write.
+    Rmw {
+        /// Location id.
+        loc: usize,
+        /// User-requested ordering.
+        ord: Ordering,
+        /// Operation flavor.
+        kind: RmwKind,
+    },
+    /// Standalone fence.
+    Fence {
+        /// User-requested ordering.
+        ord: Ordering,
+    },
+    /// Mutex acquisition (blocks while owned).
+    MutexLock {
+        /// Mutex id.
+        mid: usize,
+    },
+    /// Mutex release.
+    MutexUnlock {
+        /// Mutex id.
+        mid: usize,
+    },
+    /// Condvar wait phase 1: atomically release the mutex and register.
+    CvWait {
+        /// Condvar id.
+        cv: usize,
+        /// Mutex id released while waiting.
+        mid: usize,
+    },
+    /// Condvar wait phase 2: re-acquire after being woken.
+    CvReacquire {
+        /// Condvar id.
+        cv: usize,
+        /// Mutex id re-acquired on wake.
+        mid: usize,
+    },
+    /// `notify_one` / `notify_all`.
+    CvNotify {
+        /// Condvar id.
+        cv: usize,
+        /// True for `notify_all`.
+        all: bool,
+    },
+    /// Join on another model thread.
+    Join {
+        /// Target thread.
+        target: Tid,
+    },
+}
+
+impl Op {
+    /// Short stable label used in traces and failure messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Op::ThreadStart => "start".to_string(),
+            Op::Load { loc, ord } => format!("load[{loc}] {}", ord_label(*ord)),
+            Op::Store { loc, ord, val } => format!("store[{loc}]={val} {}", ord_label(*ord)),
+            Op::Rmw { loc, ord, kind } => match kind {
+                RmwKind::Add(v) => format!("rmw[{loc}] add {v} {}", ord_label(*ord)),
+                RmwKind::Swap(v) => format!("rmw[{loc}] swap {v} {}", ord_label(*ord)),
+            },
+            Op::Fence { ord } => format!("fence {}", ord_label(*ord)),
+            Op::MutexLock { mid } => format!("lock m{mid}"),
+            Op::MutexUnlock { mid } => format!("unlock m{mid}"),
+            Op::CvWait { cv, mid } => format!("cvwait c{cv}/m{mid}"),
+            Op::CvReacquire { cv, mid } => format!("cvreacq c{cv}/m{mid}"),
+            Op::CvNotify { cv, all } => {
+                if *all {
+                    format!("notify_all c{cv}")
+                } else {
+                    format!("notify c{cv}")
+                }
+            }
+            Op::Join { target } => format!("join t{target}"),
+        }
+    }
+}
+
+fn atomic_site(op: &Op) -> Option<(usize, bool, bool)> {
+    match op {
+        Op::Load { loc, ord } => Some((*loc, false, is_seqcst(*ord))),
+        Op::Store { loc, ord, .. } => Some((*loc, true, is_seqcst(*ord))),
+        Op::Rmw { loc, ord, .. } => Some((*loc, true, is_seqcst(*ord))),
+        _ => None,
+    }
+}
+
+fn mutex_of(op: &Op) -> Option<usize> {
+    match op {
+        Op::MutexLock { mid }
+        | Op::MutexUnlock { mid }
+        | Op::CvWait { mid, .. }
+        | Op::CvReacquire { mid, .. } => Some(*mid),
+        _ => None,
+    }
+}
+
+fn cv_of(op: &Op) -> Option<usize> {
+    match op {
+        Op::CvWait { cv, .. } | Op::CvReacquire { cv, .. } | Op::CvNotify { cv, .. } => Some(*cv),
+        _ => None,
+    }
+}
+
+/// Dependence relation for the sleep-set reduction: two ops are
+/// dependent iff executing them in either order can lead to different
+/// states or different enabledness. Conservative where in doubt.
+pub(crate) fn dependent(a: &Op, b: &Op) -> bool {
+    if let (Some((l1, w1, s1)), Some((l2, w2, s2))) = (atomic_site(a), atomic_site(b)) {
+        // Same location: dependent unless both are loads. Cross-location
+        // SeqCst accesses interact through the global SC view.
+        return (l1 == l2 && (w1 || w2)) || (s1 && s2);
+    }
+    let sc_fence = |op: &Op| matches!(op, Op::Fence { ord } if is_seqcst(*ord));
+    let sc_access = |op: &Op| matches!(atomic_site(op), Some((_, _, true)));
+    if sc_fence(a) && (sc_fence(b) || sc_access(b)) {
+        return true;
+    }
+    if sc_fence(b) && sc_access(a) {
+        return true;
+    }
+    // Acquire/release fences only touch thread-local views.
+    if matches!(a, Op::Fence { .. }) || matches!(b, Op::Fence { .. }) {
+        return false;
+    }
+    if let (Some(m1), Some(m2)) = (mutex_of(a), mutex_of(b)) {
+        if m1 == m2 {
+            return true;
+        }
+    }
+    if let (Some(c1), Some(c2)) = (cv_of(a), cv_of(b)) {
+        if c1 == c2 {
+            return true;
+        }
+    }
+    false
+}
+
+/// One resolved decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Choice {
+    /// Scheduler granted this thread.
+    Thread(Tid),
+    /// Index into a candidate list (read-from or notify-waiter).
+    Pick(usize),
+}
+
+/// Node metadata the explorer needs for backtracking.
+#[derive(Debug, Clone)]
+pub(crate) enum NodeInfo {
+    /// A scheduling point with >1 enabled thread.
+    Thread {
+        /// All enabled threads with their pending ops (raw arity basis).
+        enabled: Vec<(Tid, Op)>,
+        /// Enabled threads not in the sleep set at record time — the set
+        /// DFS may explore from this node.
+        candidates: Vec<Tid>,
+    },
+    /// A value pick with >1 candidate.
+    Pick {
+        /// Number of candidates.
+        arity: usize,
+        /// What was picked ("read", "notify") — trace cosmetics.
+        what: &'static str,
+    },
+}
+
+/// A recorded decision: what was chosen plus enough info to backtrack.
+#[derive(Debug, Clone)]
+pub(crate) struct DecisionRec {
+    pub(crate) choice: Choice,
+    pub(crate) info: NodeInfo,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Registered; OS thread not yet at its first yield.
+    Spawning,
+    /// Parked with a pending op, waiting for a grant.
+    Parked,
+    /// Granted; executing its op + following run segment.
+    Running,
+    /// Model thread finished (or unwound after an abort).
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    status: Status,
+    pending: Option<Op>,
+    view: View,
+    /// Pending acquire view (joined by relaxed loads, applied by fences).
+    acq: View,
+    /// View at the last release fence (message view of relaxed stores).
+    rel: View,
+    /// Set when this thread spawned another inside the current segment;
+    /// consumed (conservatively clearing the sleep set) at its next yield.
+    spawned_in_segment: bool,
+}
+
+impl ThreadState {
+    fn new(view: View) -> Self {
+        ThreadState {
+            status: Status::Spawning,
+            pending: None,
+            view,
+            acq: View::default(),
+            rel: View::default(),
+            spawned_in_segment: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct MutexState {
+    owner: Option<Tid>,
+    /// View left by the last unlocker (lock acquires it).
+    view: View,
+}
+
+#[derive(Debug)]
+struct Waiter {
+    tid: Tid,
+    woken: bool,
+    /// Notifier's view at wake time, joined on re-acquire.
+    woken_view: View,
+}
+
+#[derive(Debug, Default)]
+struct CvState {
+    waiters: Vec<Waiter>,
+}
+
+/// Terminal state of one execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum EndState {
+    Running,
+    Done,
+    Pruned,
+    Failed(String),
+}
+
+/// Per-run scheduler configuration (derived from [`Config`]).
+#[derive(Debug, Clone)]
+pub(crate) struct RunCfg {
+    preemption_bound: u32,
+    read_window: usize,
+    max_steps: usize,
+    use_sleep: bool,
+    rng: Option<u64>,
+}
+
+struct ExecInner {
+    threads: Vec<ThreadState>,
+    memory: Memory,
+    mutexes: Vec<MutexState>,
+    cvs: Vec<CvState>,
+    /// Currently granted thread, if any.
+    active: Option<Tid>,
+    /// Last granted thread (preemption accounting).
+    cur: Tid,
+    preempt_used: u32,
+    cur_sleep: Vec<(Tid, Op)>,
+    plan: Vec<Choice>,
+    /// Extra sleep entries to merge when the decision counter reaches
+    /// the given node index (the DFS backtrack point).
+    plan_extra_sleep: Option<(usize, Vec<(Tid, Op)>)>,
+    decisions: Vec<DecisionRec>,
+    steps: usize,
+    state: EndState,
+    cfg: RunCfg,
+    rng: Option<u64>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Shared execution state: one per explored schedule.
+pub(crate) struct Exec {
+    m: StdMutex<ExecInner>,
+    cv: StdCondvar,
+}
+
+/// Marker payload used to unwind model threads when an execution ends
+/// early (violation elsewhere, prune, budget). Not an error.
+struct AbortToken;
+
+fn abort_unwind() -> ! {
+    panic::resume_unwind(Box::new(AbortToken));
+}
+
+fn payload_msg(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn splitmix(s: &mut u64) -> u64 {
+    *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *s;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Exec>, Tid)>> = const { RefCell::new(None) };
+    static SILENT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Current model context, if this OS thread is a model thread.
+pub(crate) fn current_ctx() -> Option<(Arc<Exec>, Tid)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn install_silent_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if SILENT.with(|s| s.get()) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+enum Performed {
+    /// Op done; value returned to the shim caller.
+    Done(u64),
+    /// Op done, but the thread must immediately repark with a new op
+    /// (condvar wait phase 2).
+    Repark(Op),
+}
+
+impl Exec {
+    fn new(cfg: RunCfg, plan: Vec<Choice>, extra: Option<(usize, Vec<(Tid, Op)>)>) -> Self {
+        let rng = cfg.rng;
+        Exec {
+            m: StdMutex::new(ExecInner {
+                threads: Vec::new(),
+                memory: Memory::default(),
+                mutexes: Vec::new(),
+                cvs: Vec::new(),
+                active: None,
+                cur: 0,
+                preempt_used: 0,
+                cur_sleep: Vec::new(),
+                plan,
+                plan_extra_sleep: extra,
+                decisions: Vec::new(),
+                steps: 0,
+                state: EndState::Running,
+                cfg,
+                rng,
+                os_handles: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, ExecInner> {
+        self.m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a fresh atomic location (shim `AtomicU64::new`).
+    pub(crate) fn alloc_loc(&self, init: u64) -> usize {
+        self.lock().memory.alloc(init)
+    }
+
+    /// Registers a fresh mutex (shim `Mutex::new`).
+    pub(crate) fn alloc_mutex(&self) -> usize {
+        let mut g = self.lock();
+        g.mutexes.push(MutexState { owner: None, view: View::default() });
+        g.mutexes.len() - 1
+    }
+
+    /// Registers a fresh condvar (shim `Condvar::new`).
+    pub(crate) fn alloc_cv(&self) -> usize {
+        let mut g = self.lock();
+        g.cvs.push(CvState::default());
+        g.cvs.len() - 1
+    }
+
+    /// Emergency unlock from a guard dropped during a panic unwind: no
+    /// scheduling, just release ownership so deadlock reports stay sane.
+    pub(crate) fn force_unlock(&self, mid: usize) {
+        let mut g = self.lock();
+        g.mutexes[mid].owner = None;
+        self.cv.notify_all();
+    }
+
+    fn fail(&self, g: &mut ExecInner, msg: String) {
+        if g.state == EndState::Running {
+            g.state = EndState::Failed(msg);
+        }
+        self.cv.notify_all();
+    }
+
+    /// The heart of the shim: declare `op`, park, wait for the grant,
+    /// perform it, and return the op's value.
+    pub(crate) fn yield_op(&self, me: Tid, op: Op) -> u64 {
+        let mut g = self.lock();
+        let mut op = op;
+        loop {
+            if g.state != EndState::Running {
+                drop(g);
+                abort_unwind();
+            }
+            if g.cfg.use_sleep && g.threads[me].spawned_in_segment {
+                g.threads[me].spawned_in_segment = false;
+                g.cur_sleep.clear();
+            }
+            g.threads[me].pending = Some(op.clone());
+            g.threads[me].status = Status::Parked;
+            if g.active == Some(me) {
+                g.active = None;
+            }
+            self.maybe_schedule(&mut g);
+            self.cv.notify_all();
+            while g.active != Some(me) {
+                if g.state != EndState::Running {
+                    drop(g);
+                    abort_unwind();
+                }
+                g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            g.threads[me].status = Status::Running;
+            g.threads[me].pending = None;
+            g.steps += 1;
+            if g.steps > g.cfg.max_steps {
+                let msg = format!("step budget exceeded ({} steps)", g.cfg.max_steps);
+                self.fail(&mut g, msg);
+                drop(g);
+                abort_unwind();
+            }
+            let performed = self.perform(&mut g, me, &op);
+            if g.cfg.use_sleep {
+                let done_op = op.clone();
+                g.cur_sleep.retain(|(t, sop)| *t != me && !dependent(sop, &done_op));
+            }
+            match performed {
+                Performed::Done(v) => return v,
+                Performed::Repark(next) => {
+                    op = next;
+                    g.active = None;
+                    // Loop: re-declare and park on the follow-up op.
+                }
+            }
+        }
+    }
+
+    /// Marks `me` finished (normal return, assertion panic, or abort)
+    /// and lets the scheduler move on.
+    fn finish_thread(&self, me: Tid, failure: Option<String>) {
+        let mut g = self.lock();
+        if let Some(msg) = failure {
+            let msg = format!("thread t{me}: {msg}");
+            if g.state == EndState::Running {
+                g.state = EndState::Failed(msg);
+            }
+        }
+        g.threads[me].status = Status::Finished;
+        g.threads[me].pending = None;
+        if g.active == Some(me) {
+            g.active = None;
+        }
+        if g.cfg.use_sleep {
+            if g.threads[me].spawned_in_segment {
+                g.cur_sleep.clear();
+            } else {
+                // Finishing enables Join(me) — those sleepers must wake.
+                g.cur_sleep
+                    .retain(|(_, sop)| !matches!(sop, Op::Join { target } if *target == me));
+            }
+        }
+        self.maybe_schedule(&mut g);
+        self.cv.notify_all();
+    }
+
+    fn op_enabled(g: &ExecInner, tid: Tid, op: &Op) -> bool {
+        match op {
+            Op::MutexLock { mid } => g.mutexes[*mid].owner.is_none(),
+            Op::CvReacquire { cv, mid } => {
+                let woken = g.cvs[*cv].waiters.iter().any(|w| w.tid == tid && w.woken);
+                woken && g.mutexes[*mid].owner.is_none()
+            }
+            Op::Join { target } => g.threads[*target].status == Status::Finished,
+            _ => true,
+        }
+    }
+
+    /// If every live thread is parked, resolve the next scheduling
+    /// decision (or end the execution: done / deadlock / prune).
+    fn maybe_schedule(&self, g: &mut ExecInner) {
+        if g.active.is_some() || g.state != EndState::Running {
+            return;
+        }
+        if g.threads.iter().any(|t| matches!(t.status, Status::Spawning | Status::Running)) {
+            return;
+        }
+        let live: Vec<Tid> = (0..g.threads.len())
+            .filter(|t| g.threads[*t].status == Status::Parked)
+            .collect();
+        if live.is_empty() {
+            g.state = EndState::Done;
+            self.cv.notify_all();
+            return;
+        }
+        let enabled: Vec<(Tid, Op)> = live
+            .iter()
+            .filter_map(|t| {
+                let op = g.threads[*t].pending.clone()?;
+                Self::op_enabled(g, *t, &op).then_some((*t, op))
+            })
+            .collect();
+        if enabled.is_empty() {
+            let stuck: Vec<String> = live
+                .iter()
+                .map(|t| {
+                    let d = g.threads[*t]
+                        .pending
+                        .as_ref()
+                        .map(|o| o.describe())
+                        .unwrap_or_else(|| "?".to_string());
+                    format!("t{t}: {d}")
+                })
+                .collect();
+            self.fail(g, format!("deadlock: all threads blocked [{}]", stuck.join(", ")));
+            return;
+        }
+        // Inject the backtrack's sleep entries only at a point that will
+        // actually *record* decision `at` (raw arity > 1): arity-1 points
+        // don't advance `decisions.len()`, so matching on the count alone
+        // could fire early — sleeping a thread whose pending op is not yet
+        // the one explored at the node, wrongly pruning whole subtrees.
+        // Node positions are a pure function of the choice prefix, so the
+        // first arity>1 point with a matching count IS the backtracked
+        // node.
+        if enabled.len() > 1 {
+            if let Some((at, _)) = &g.plan_extra_sleep {
+                if g.decisions.len() == *at {
+                    if let Some((_, extra)) = g.plan_extra_sleep.take() {
+                        g.cur_sleep.extend(extra);
+                    }
+                }
+            }
+        }
+        let mut cands: Vec<Tid> = enabled
+            .iter()
+            .map(|(t, _)| *t)
+            .filter(|t| !g.cur_sleep.iter().any(|(s, _)| s == t))
+            .collect();
+        let cur_enabled = enabled.iter().any(|(t, _)| *t == g.cur);
+        if g.preempt_used >= g.cfg.preemption_bound && cur_enabled {
+            cands.retain(|t| *t == g.cur);
+        }
+        // Prefer continuing the current thread: cheapest (no preemption)
+        // and the natural DFS spine.
+        cands.sort_unstable_by_key(|t| (*t != g.cur, *t));
+        let arity = enabled.len();
+        let k = g.decisions.len();
+        let chosen = if arity > 1 && k < g.plan.len() {
+            match g.plan[k] {
+                Choice::Thread(t) if enabled.iter().any(|(e, _)| *e == t) => t,
+                other => {
+                    self.fail(
+                        g,
+                        format!("replay divergence at node {k}: plan {other:?} not enabled"),
+                    );
+                    return;
+                }
+            }
+        } else if cands.is_empty() {
+            // Every enabled thread is sleeping: this execution is
+            // equivalent to one already explored.
+            g.state = EndState::Pruned;
+            self.cv.notify_all();
+            return;
+        } else if let Some(rng) = &mut g.rng {
+            cands[(splitmix(rng) as usize) % cands.len()]
+        } else {
+            cands[0]
+        };
+        if arity > 1 {
+            g.decisions.push(DecisionRec {
+                choice: Choice::Thread(chosen),
+                info: NodeInfo::Thread { enabled: enabled.clone(), candidates: cands },
+            });
+        }
+        if cur_enabled && chosen != g.cur {
+            g.preempt_used += 1;
+        }
+        g.cur = chosen;
+        g.active = Some(chosen);
+    }
+
+    /// Resolves a value decision (read-from / notify-waiter) with the
+    /// same plan/record discipline as thread decisions.
+    fn pick(&self, g: &mut ExecInner, arity: usize, what: &'static str) -> usize {
+        if arity <= 1 {
+            return 0;
+        }
+        let k = g.decisions.len();
+        let idx = if k < g.plan.len() {
+            match g.plan[k] {
+                Choice::Pick(i) if i < arity => i,
+                other => {
+                    self.fail(
+                        g,
+                        format!("replay divergence at node {k}: plan {other:?}, {what} arity {arity}"),
+                    );
+                    abort_unwind();
+                }
+            }
+        } else if let Some(rng) = &mut g.rng {
+            (splitmix(rng) as usize) % arity
+        } else {
+            0
+        };
+        g.decisions.push(DecisionRec { choice: Choice::Pick(idx), info: NodeInfo::Pick { arity, what } });
+        idx
+    }
+
+    fn perform(&self, g: &mut ExecInner, me: Tid, op: &Op) -> Performed {
+        match op {
+            Op::ThreadStart => Performed::Done(0),
+            Op::Load { loc, ord } => {
+                let (loc, ord) = (*loc, *ord);
+                if is_seqcst(ord) {
+                    let sc = g.memory.sc_view.clone();
+                    g.threads[me].view.join(&sc);
+                }
+                let len = g.memory.locs[loc].stores.len() as u32;
+                let floor = g.threads[me].view.get(loc);
+                let window = g.cfg.read_window as u32;
+                let mut lo = floor.max(len.saturating_sub(window.max(1)));
+                if is_seqcst(ord) {
+                    lo = lo.max(g.memory.locs[loc].last_sc);
+                }
+                // Newest first: index 0 is the coherence-latest store, so
+                // the DFS default behaves sequentially consistent and
+                // stale reads are explored as backtracks.
+                let cand: Vec<u32> = (lo..len).rev().collect();
+                let ci = self.pick(g, cand.len(), "read");
+                let i = cand[ci];
+                let msg = g.memory.locs[loc].stores[i as usize].view.clone();
+                let val = g.memory.locs[loc].stores[i as usize].val;
+                let th = &mut g.threads[me];
+                th.view.raise(loc, i);
+                if is_acquire(ord) {
+                    th.view.join(&msg);
+                } else {
+                    th.acq.join(&msg);
+                }
+                if is_seqcst(ord) {
+                    let v = th.view.clone();
+                    g.memory.sc_view.join(&v);
+                }
+                Performed::Done(val)
+            }
+            Op::Store { loc, ord, val } => {
+                let (loc, ord, val) = (*loc, *ord, *val);
+                if is_seqcst(ord) {
+                    let sc = g.memory.sc_view.clone();
+                    g.threads[me].view.join(&sc);
+                }
+                let n = g.memory.locs[loc].stores.len() as u32;
+                let th = &mut g.threads[me];
+                th.view.raise(loc, n);
+                let mut msg = if is_release(ord) { th.view.clone() } else { th.rel.clone() };
+                msg.raise(loc, n);
+                if is_seqcst(ord) {
+                    let v = th.view.clone();
+                    g.memory.sc_view.join(&v);
+                    g.memory.locs[loc].last_sc = n;
+                }
+                g.memory.locs[loc].stores.push(super::memory::StoreMsg { val, view: msg });
+                Performed::Done(0)
+            }
+            Op::Rmw { loc, ord, kind } => {
+                let (loc, ord, kind) = (*loc, *ord, kind.clone());
+                if is_seqcst(ord) {
+                    let sc = g.memory.sc_view.clone();
+                    g.threads[me].view.join(&sc);
+                }
+                // Atomicity: an RMW always reads the latest store in
+                // modification order.
+                let n = (g.memory.locs[loc].stores.len() - 1) as u32;
+                let old = g.memory.locs[loc].stores[n as usize].val;
+                let prev_view = g.memory.locs[loc].stores[n as usize].view.clone();
+                let new_val = match kind {
+                    RmwKind::Add(v) => old.wrapping_add(v),
+                    RmwKind::Swap(v) => v,
+                };
+                let m = n + 1;
+                let th = &mut g.threads[me];
+                th.view.raise(loc, n);
+                if is_acquire(ord) {
+                    th.view.join(&prev_view);
+                } else {
+                    th.acq.join(&prev_view);
+                }
+                th.view.raise(loc, m);
+                let mut msg = if is_release(ord) { th.view.clone() } else { th.rel.clone() };
+                // Release-sequence approximation: the RMW's message view
+                // carries the previous store's message forward.
+                msg.join(&prev_view);
+                msg.raise(loc, m);
+                if is_seqcst(ord) {
+                    let v = th.view.clone();
+                    g.memory.sc_view.join(&v);
+                    g.memory.locs[loc].last_sc = m;
+                }
+                g.memory.locs[loc].stores.push(super::memory::StoreMsg { val: new_val, view: msg });
+                Performed::Done(old)
+            }
+            Op::Fence { ord } => {
+                let ord = *ord;
+                let th = &mut g.threads[me];
+                if is_acquire(ord) {
+                    let acq = th.acq.clone();
+                    th.view.join(&acq);
+                }
+                if is_seqcst(ord) {
+                    let sc = g.memory.sc_view.clone();
+                    g.threads[me].view.join(&sc);
+                    let v = g.threads[me].view.clone();
+                    g.memory.sc_view.join(&v);
+                }
+                let th = &mut g.threads[me];
+                if is_release(ord) {
+                    th.rel = th.view.clone();
+                }
+                Performed::Done(0)
+            }
+            Op::MutexLock { mid } => {
+                let mid = *mid;
+                g.mutexes[mid].owner = Some(me);
+                let mv = g.mutexes[mid].view.clone();
+                g.threads[me].view.join(&mv);
+                Performed::Done(0)
+            }
+            Op::MutexUnlock { mid } => {
+                let mid = *mid;
+                g.mutexes[mid].owner = None;
+                g.mutexes[mid].view = g.threads[me].view.clone();
+                Performed::Done(0)
+            }
+            Op::CvWait { cv, mid } => {
+                let (cv, mid) = (*cv, *mid);
+                g.mutexes[mid].owner = None;
+                g.mutexes[mid].view = g.threads[me].view.clone();
+                g.cvs[cv].waiters.push(Waiter { tid: me, woken: false, woken_view: View::default() });
+                Performed::Repark(Op::CvReacquire { cv, mid })
+            }
+            Op::CvReacquire { cv, mid } => {
+                let (cv, mid) = (*cv, *mid);
+                let mut woken_view = View::default();
+                g.cvs[cv].waiters.retain_mut(|w| {
+                    if w.tid == me {
+                        woken_view = std::mem::take(&mut w.woken_view);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                g.mutexes[mid].owner = Some(me);
+                let mv = g.mutexes[mid].view.clone();
+                let th = &mut g.threads[me];
+                th.view.join(&mv);
+                th.view.join(&woken_view);
+                Performed::Done(0)
+            }
+            Op::CvNotify { cv, all } => {
+                let (cv, all) = (*cv, *all);
+                let nview = g.threads[me].view.clone();
+                if all {
+                    for w in g.cvs[cv].waiters.iter_mut() {
+                        if !w.woken {
+                            w.woken = true;
+                            w.woken_view = nview.clone();
+                        }
+                    }
+                } else {
+                    let mut idle: Vec<usize> = g.cvs[cv]
+                        .waiters
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, w)| !w.woken)
+                        .map(|(i, _)| i)
+                        .collect();
+                    idle.sort_by_key(|i| g.cvs[cv].waiters[*i].tid);
+                    if !idle.is_empty() {
+                        let pick = self.pick(g, idle.len(), "notify");
+                        let w = &mut g.cvs[cv].waiters[idle[pick]];
+                        w.woken = true;
+                        w.woken_view = nview;
+                    }
+                }
+                Performed::Done(0)
+            }
+            Op::Join { target } => {
+                let tv = g.threads[*target].view.clone();
+                g.threads[me].view.join(&tv);
+                Performed::Done(0)
+            }
+        }
+    }
+}
+
+fn run_model_thread(exec: Arc<Exec>, me: Tid, f: Box<dyn FnOnce() + Send>) {
+    SILENT.with(|s| s.set(true));
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), me)));
+    let result = panic::catch_unwind(AssertUnwindSafe(move || {
+        exec_start(me);
+        f();
+    }));
+    CTX.with(|c| *c.borrow_mut() = None);
+    let failure = match result {
+        Ok(()) => None,
+        Err(p) if p.downcast_ref::<AbortToken>().is_some() => None,
+        Err(p) => Some(payload_msg(p.as_ref())),
+    };
+    exec.finish_thread(me, failure);
+}
+
+fn exec_start(me: Tid) {
+    if let Some((exec, tid)) = current_ctx() {
+        if tid == me {
+            exec.yield_op(me, Op::ThreadStart);
+        }
+    }
+}
+
+/// Spawns a model thread running `f`; called from the shim.
+pub(crate) fn spawn_model_thread(
+    exec: &Arc<Exec>,
+    parent: Tid,
+    f: Box<dyn FnOnce() + Send + 'static>,
+) -> Tid {
+    let mut g = exec.lock();
+    let tid = g.threads.len();
+    let pview = g.threads[parent].view.clone();
+    g.threads.push(ThreadState::new(pview));
+    g.threads[parent].spawned_in_segment = true;
+    let e2 = Arc::clone(exec);
+    let built = std::thread::Builder::new()
+        .name(format!("conc-model-{tid}"))
+        .spawn(move || run_model_thread(e2, tid, f));
+    match built {
+        Ok(h) => g.os_handles.push(h),
+        Err(e) => die(&format!("OS thread spawn failed: {e}")),
+    }
+    tid
+}
+
+struct RunResult {
+    decisions: Vec<DecisionRec>,
+    state: EndState,
+}
+
+fn run_once(
+    rc: &RunCfg,
+    plan: Vec<Choice>,
+    extra: Option<(usize, Vec<(Tid, Op)>)>,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> RunResult {
+    install_silent_panic_hook();
+    let exec = Arc::new(Exec::new(rc.clone(), plan, extra));
+    {
+        let mut g = exec.lock();
+        g.threads.push(ThreadState::new(View::default()));
+        let e2 = Arc::clone(&exec);
+        let built = std::thread::Builder::new()
+            .name("conc-model-0".to_string())
+            .spawn(move || run_model_thread(e2, 0, Box::new(move || f())));
+        match built {
+            Ok(h) => g.os_handles.push(h),
+            Err(e) => die(&format!("OS thread spawn failed: {e}")),
+        }
+    }
+    let mut g = exec.lock();
+    while !g.threads.iter().all(|t| t.status == Status::Finished) {
+        g = exec.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+    }
+    let decisions = std::mem::take(&mut g.decisions);
+    let state = g.state.clone();
+    let handles = std::mem::take(&mut g.os_handles);
+    drop(g);
+    for h in handles {
+        let _ = h.join();
+    }
+    let state = if state == EndState::Running { EndState::Done } else { state };
+    RunResult { decisions, state }
+}
+
+/// DFS frontier: the current decision path with per-node explored sets.
+struct PathNode {
+    rec: DecisionRec,
+    explored: Vec<Choice>,
+}
+
+#[derive(Default)]
+struct Explorer {
+    path: Vec<PathNode>,
+}
+
+impl Explorer {
+    /// Folds a finished run into the tree: the prefix up to `plan_len`
+    /// was forced (already on the path); everything beyond is new.
+    fn absorb(&mut self, decisions: Vec<DecisionRec>, plan_len: usize) {
+        for (i, d) in decisions.into_iter().enumerate() {
+            if i < plan_len {
+                if i < self.path.len() && self.path[i].rec.choice != d.choice {
+                    die(&format!(
+                        "exploration drift at node {i}: path {:?} vs run {:?}",
+                        self.path[i].rec.choice, d.choice
+                    ));
+                }
+            } else {
+                self.path.push(PathNode { rec: d.clone(), explored: vec![d.choice] });
+            }
+        }
+    }
+
+    /// Pops to the deepest node with an unexplored sibling and returns
+    /// the forced plan + extra sleep entries for the backtrack node.
+    #[allow(clippy::type_complexity)]
+    fn next_plan(&mut self) -> Option<(Vec<Choice>, Option<(usize, Vec<(Tid, Op)>)>)> {
+        loop {
+            let d = self.path.len().checked_sub(1)?;
+            let next = {
+                let node = &self.path[d];
+                match &node.rec.info {
+                    NodeInfo::Pick { arity, .. } => (0..*arity)
+                        .map(Choice::Pick)
+                        .find(|c| !node.explored.contains(c)),
+                    NodeInfo::Thread { candidates, .. } => candidates
+                        .iter()
+                        .map(|t| Choice::Thread(*t))
+                        .find(|c| !node.explored.contains(c)),
+                }
+            };
+            if let Some(c) = next {
+                let node = &mut self.path[d];
+                node.explored.push(c);
+                node.rec.choice = c;
+                let extra = match (&node.rec.info, c) {
+                    (NodeInfo::Thread { enabled, .. }, Choice::Thread(chosen)) => {
+                        // Sleep the already-explored siblings: any run
+                        // that schedules them before an op dependent with
+                        // theirs is equivalent to an explored one.
+                        let entries: Vec<(Tid, Op)> = node
+                            .explored
+                            .iter()
+                            .filter_map(|e| match e {
+                                Choice::Thread(t) if *t != chosen => enabled
+                                    .iter()
+                                    .find(|(et, _)| et == t)
+                                    .map(|(et, eop)| (*et, eop.clone())),
+                                _ => None,
+                            })
+                            .collect();
+                        if entries.is_empty() { None } else { Some((d, entries)) }
+                    }
+                    _ => None,
+                };
+                let plan: Vec<Choice> = self.path[..=d].iter().map(|n| n.rec.choice).collect();
+                return Some((plan, extra));
+            }
+            self.path.pop();
+        }
+    }
+}
+
+fn outcome_from_failure(state: &EndState, decisions: &[DecisionRec], schedules: u32) -> Option<Outcome> {
+    if let EndState::Failed(msg) = state {
+        Some(Outcome {
+            violation: Some(Violation {
+                message: msg.clone(),
+                trace: trace::serialize(decisions),
+            }),
+            schedules,
+            complete: false,
+        })
+    } else {
+        None
+    }
+}
+
+pub(crate) fn check_impl(cfg: Config, f: Arc<dyn Fn() + Send + Sync>) -> Outcome {
+    match cfg.mode {
+        Mode::Exhaustive => {
+            let rc = RunCfg {
+                preemption_bound: cfg.preemption_bound,
+                read_window: cfg.read_window,
+                max_steps: cfg.max_steps,
+                use_sleep: true,
+                rng: None,
+            };
+            let mut explorer = Explorer::default();
+            let mut plan: Vec<Choice> = Vec::new();
+            let mut extra = None;
+            let mut schedules = 0u32;
+            loop {
+                let plan_len = plan.len();
+                let res = run_once(&rc, plan, extra, Arc::clone(&f));
+                schedules += 1;
+                if std::env::var_os("CONC_DEBUG").is_some() {
+                    eprintln!(
+                        "run {schedules}: state={:?} plan_len={plan_len} decisions={:?}",
+                        res.state,
+                        res.decisions.iter().map(|d| &d.choice).collect::<Vec<_>>()
+                    );
+                }
+                if let Some(out) = outcome_from_failure(&res.state, &res.decisions, schedules) {
+                    return out;
+                }
+                explorer.absorb(res.decisions, plan_len);
+                if schedules >= cfg.max_schedules {
+                    return Outcome { violation: None, schedules, complete: false };
+                }
+                match explorer.next_plan() {
+                    Some((p, e)) => {
+                        plan = p;
+                        extra = e;
+                    }
+                    None => return Outcome { violation: None, schedules, complete: true },
+                }
+            }
+        }
+        Mode::Random { seed, schedules } => {
+            for i in 0..schedules {
+                let rc = RunCfg {
+                    preemption_bound: cfg.preemption_bound,
+                    read_window: cfg.read_window,
+                    max_steps: cfg.max_steps,
+                    use_sleep: false,
+                    rng: Some(seed ^ (0xA5A5_5A5A_u64.wrapping_mul(u64::from(i) + 1))),
+                };
+                let res = run_once(&rc, Vec::new(), None, Arc::clone(&f));
+                if let Some(out) = outcome_from_failure(&res.state, &res.decisions, i + 1) {
+                    return out;
+                }
+            }
+            Outcome { violation: None, schedules, complete: false }
+        }
+    }
+}
+
+pub(crate) fn replay_impl(cfg: Config, plan: Vec<Choice>, f: Arc<dyn Fn() + Send + Sync>) -> Outcome {
+    let rc = RunCfg {
+        preemption_bound: u32::MAX,
+        read_window: cfg.read_window,
+        max_steps: cfg.max_steps,
+        use_sleep: false,
+        rng: None,
+    };
+    let res = run_once(&rc, plan, None, f);
+    match outcome_from_failure(&res.state, &res.decisions, 1) {
+        Some(out) => out,
+        None => Outcome { violation: None, schedules: 1, complete: false },
+    }
+}

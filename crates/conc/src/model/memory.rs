@@ -1,0 +1,119 @@
+//! Operational weak-memory state: per-location store histories plus
+//! per-thread views, in the style of view-based RA semantics.
+//!
+//! Every atomic store appends a `StoreMsg` to its location's history. A
+//! view maps each location to a *floor*: the index of the most recent
+//! store the viewer is ordered after (coherence + happens-before). A
+//! `Relaxed` load may read any store at or above its thread's floor
+//! within the configured `read_window`; an `Acquire` load additionally
+//! joins the chosen store's message view into the thread view, which
+//! raises floors on *other* locations and is exactly what makes
+//! publication patterns (store data Relaxed, publish flag Release, read
+//! flag Acquire) come out right.
+
+/// Per-location floor map. Index = location id, value = lowest store
+/// index the viewer may still observe (all earlier stores are stale).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct View {
+    at: Vec<u32>,
+}
+
+impl View {
+    /// Floor for `loc` (0 if never raised).
+    pub fn get(&self, loc: usize) -> u32 {
+        self.at.get(loc).copied().unwrap_or(0)
+    }
+
+    /// Raises the floor for `loc` to at least `idx`.
+    pub fn raise(&mut self, loc: usize, idx: u32) {
+        if self.at.len() <= loc {
+            self.at.resize(loc + 1, 0);
+        }
+        if self.at[loc] < idx {
+            self.at[loc] = idx;
+        }
+    }
+
+    /// Pointwise max with `other`.
+    pub fn join(&mut self, other: &View) {
+        if self.at.len() < other.at.len() {
+            self.at.resize(other.at.len(), 0);
+        }
+        for (i, v) in other.at.iter().enumerate() {
+            if self.at[i] < *v {
+                self.at[i] = *v;
+            }
+        }
+    }
+}
+
+/// One store in a location's history: the value plus the message view a
+/// reader acquires by synchronizing with it.
+#[derive(Debug, Clone)]
+pub struct StoreMsg {
+    /// Stored value.
+    pub val: u64,
+    /// View transferred to an Acquire reader of this store.
+    pub view: View,
+}
+
+/// One atomic location (an `AtomicU64` instance inside an execution).
+#[derive(Debug, Clone)]
+pub struct Location {
+    /// Store history; index 0 is the initial value.
+    pub stores: Vec<StoreMsg>,
+    /// Index of the latest SeqCst store (SC reads may not go below it).
+    pub last_sc: u32,
+}
+
+/// All atomic state of one execution.
+#[derive(Debug, Default)]
+pub struct Memory {
+    /// Locations, indexed by allocation order.
+    pub locs: Vec<Location>,
+    /// Global SC view: joined by every SeqCst access and fence.
+    pub sc_view: View,
+}
+
+impl Memory {
+    /// Allocates a fresh location with initial value `init`; the initial
+    /// store carries an empty message view.
+    pub fn alloc(&mut self, init: u64) -> usize {
+        self.locs.push(Location {
+            stores: vec![StoreMsg { val: init, view: View::default() }],
+            last_sc: 0,
+        });
+        self.locs.len() - 1
+    }
+}
+
+// Ordering classification is confined to this file so the srclint
+// atomic-ordering audit has a single, reasoned exemption site.
+use std::sync::atomic::Ordering;
+
+/// True for Acquire, AcqRel, SeqCst. // conc: the model interprets user orderings; not a synchronization site itself
+pub fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// True for Release, AcqRel, SeqCst. // conc: see is_acquire
+pub fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// True for SeqCst only. // conc: see is_acquire
+pub fn is_seqcst(ord: Ordering) -> bool {
+    matches!(ord, Ordering::SeqCst)
+}
+
+/// Short stable label for traces. // conc: see is_acquire
+pub fn ord_label(ord: Ordering) -> &'static str {
+    match ord {
+        Ordering::Relaxed => "rlx",
+        Ordering::Acquire => "acq",
+        Ordering::Release => "rel",
+        Ordering::AcqRel => "acqrel",
+        Ordering::SeqCst => "sc",
+        _ => "other",
+    }
+}

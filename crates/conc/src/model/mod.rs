@@ -1,0 +1,150 @@
+//! Deterministic model-checking runtime (only compiled with `--features
+//! model`).
+//!
+//! A *check* runs a closure repeatedly, once per explored schedule. All
+//! shim operations are yield points: the thread declares its pending
+//! operation and parks; the scheduler grants exactly one thread at a
+//! time, so an execution is fully determined by the sequence of recorded
+//! decisions (which thread runs next, which store a relaxed load reads,
+//! which waiter a notify wakes). Exploration is DFS over those decisions
+//! with a sleep-set (DPOR-lite) reduction and a CHESS-style preemption
+//! bound; past the exhaustive budget, seeded random schedules take over.
+//!
+//! ## Memory model captured (and not)
+//!
+//! Weak orderings are modeled *operationally* with per-location store
+//! histories and per-thread views (see [`memory`]): a `Relaxed` load may
+//! return any sufficiently recent store not yet ordered before the
+//! loading thread by Release/Acquire edges or fences. `SeqCst` is
+//! approximated as Acquire+Release plus a global SC view — stronger than
+//! C11 SC in corner cases, so absence of a violation under `SeqCst`-heavy
+//! code is slightly weaker evidence than for RA code. Consume ordering,
+//! spurious condvar wakeups, and compiler reordering of *non-atomic*
+//! accesses are not modeled; non-atomic data is protected by the modeled
+//! `Mutex`, whose lock/unlock edges the scheduler does enforce.
+
+pub mod corpus;
+pub mod exec;
+pub mod memory;
+pub mod shim;
+pub mod trace;
+
+use std::sync::Arc;
+
+pub use exec::{Choice, Op, Tid};
+
+/// Exploration strategy for [`check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Bounded-exhaustive DFS with sleep sets; `max_schedules` caps the
+    /// number of executions before the checker reports `complete: false`.
+    Exhaustive,
+    /// Seeded random schedules: `schedules` executions, decision points
+    /// resolved by a splitmix64 stream derived from `seed`.
+    Random { seed: u64, schedules: u32 },
+}
+
+/// Checker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Exploration strategy.
+    pub mode: Mode,
+    /// Max preemptions per execution (CHESS-style). Switching away from a
+    /// still-enabled running thread costs one; blocked switches are free.
+    pub preemption_bound: u32,
+    /// How many most-recent stores per location a `Relaxed` load may
+    /// observe (beyond coherence/acquire floors).
+    pub read_window: usize,
+    /// Max schedules explored in `Exhaustive` mode before giving up.
+    pub max_schedules: u32,
+    /// Max scheduler steps in one execution (runaway guard).
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            mode: Mode::Exhaustive,
+            preemption_bound: 2,
+            read_window: 4,
+            max_schedules: 200_000,
+            max_steps: 20_000,
+        }
+    }
+}
+
+/// An invariant violation found by the checker.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Panic message (assertion text) or deadlock description.
+    pub message: String,
+    /// Serialized `disparity-conc/trace-v1` schedule, replayable via
+    /// [`replay`].
+    pub trace: String,
+}
+
+/// Result of a [`check`] run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// First violation found, if any.
+    pub violation: Option<Violation>,
+    /// Number of executions run.
+    pub schedules: u32,
+    /// True iff exhaustive exploration finished within budget (always
+    /// false for `Random` mode and for runs that stop at a violation).
+    pub complete: bool,
+}
+
+impl Outcome {
+    /// Panics (outside any model execution) if a violation was found —
+    /// convenience for harness tests on unmutated structures.
+    pub fn assert_ok(&self) {
+        if let Some(v) = &self.violation {
+            die(&format!("model check failed: {}\ntrace: {}", v.message, v.trace));
+        }
+    }
+
+    /// Returns the violation or panics — for mutant tests that require
+    /// the checker to catch a seeded bug.
+    pub fn expect_violation(&self) -> &Violation {
+        match &self.violation {
+            Some(v) => v,
+            None => die(&format!(
+                "model check found no violation in {} schedules (complete: {})",
+                self.schedules, self.complete
+            )),
+        }
+    }
+}
+
+/// Central escape hatch for unrecoverable checker-internal errors and
+/// harness assertion helpers. Kept in one place so the srclint `panic`
+/// allow entry covers a single file.
+pub(crate) fn die(msg: &str) -> ! {
+    panic!("disparity-conc: {msg}");
+}
+
+/// Runs `f` under the model scheduler per `cfg`. `f` must perform all
+/// cross-thread synchronization through [`crate::sync`] shim types that
+/// it constructs *inside* the closure (types constructed outside fall
+/// back to std and are invisible to the scheduler).
+pub fn check<F>(cfg: Config, f: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    exec::check_impl(cfg, Arc::new(f))
+}
+
+/// Re-runs `f` under a previously recorded schedule trace. Returns the
+/// outcome of that single execution; replaying a violation trace against
+/// unchanged code reproduces the identical failure message.
+pub fn replay<F>(cfg: Config, trace_json: &str, f: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let plan = match trace::parse(trace_json) {
+        Ok(p) => p,
+        Err(e) => die(&format!("bad trace: {e}")),
+    };
+    exec::replay_impl(cfg, plan, Arc::new(f))
+}

@@ -1,0 +1,379 @@
+//! Instrumented drop-in replacements for the `std::sync` surface that
+//! checked structures use.
+//!
+//! Every type is dual-mode: constructed *inside* a model execution it
+//! registers with the scheduler and every operation becomes a yield
+//! point; constructed *outside* (statics, ordinary runtime code in a
+//! `--features model` build) it transparently wraps the `std` primitive,
+//! so model builds still run normally outside the checker.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, LockResult, PoisonError, Weak};
+
+use super::die;
+use super::exec::{current_ctx, spawn_model_thread, Exec, Op, RmwKind, Tid};
+
+fn ctx_for(exec: &Weak<Exec>, what: &str) -> (Arc<Exec>, Tid) {
+    let (cur, tid) = match current_ctx() {
+        Some(x) => x,
+        None => die(&format!("modeled {what} used outside any model execution")),
+    };
+    match exec.upgrade() {
+        Some(e) if Arc::ptr_eq(&e, &cur) => (cur, tid),
+        _ => die(&format!("modeled {what} used outside its own execution")),
+    }
+}
+
+/// Shim `AtomicU64`: std-backed outside executions, scheduler-driven
+/// inside (weak orderings modeled operationally).
+#[derive(Debug)]
+pub struct AtomicU64 {
+    repr: AtomicRepr,
+}
+
+#[derive(Debug)]
+enum AtomicRepr {
+    Real(std::sync::atomic::AtomicU64),
+    Model { exec: Weak<Exec>, loc: usize },
+}
+
+impl AtomicU64 {
+    /// Creates an atomic; registers a model location when called inside
+    /// an execution.
+    pub fn new(v: u64) -> Self {
+        let repr = match current_ctx() {
+            Some((exec, _)) => {
+                let loc = exec.alloc_loc(v);
+                AtomicRepr::Model { exec: Arc::downgrade(&exec), loc }
+            }
+            None => AtomicRepr::Real(std::sync::atomic::AtomicU64::new(v)),
+        };
+        AtomicU64 { repr }
+    }
+
+    fn run(&self, mk: impl FnOnce(usize) -> Op, real: impl FnOnce(&std::sync::atomic::AtomicU64) -> u64) -> u64 {
+        match &self.repr {
+            AtomicRepr::Real(a) => real(a),
+            AtomicRepr::Model { exec, loc } => {
+                let (e, tid) = ctx_for(exec, "AtomicU64");
+                e.yield_op(tid, mk(*loc))
+            }
+        }
+    }
+
+    /// Atomic load with `ord`.
+    pub fn load(&self, ord: Ordering) -> u64 {
+        self.run(|loc| Op::Load { loc, ord }, |a| a.load(ord))
+    }
+
+    /// Atomic store with `ord`.
+    pub fn store(&self, val: u64, ord: Ordering) {
+        self.run(
+            |loc| Op::Store { loc, ord, val },
+            |a| {
+                a.store(val, ord);
+                0
+            },
+        );
+    }
+
+    /// Atomic fetch-add with `ord`; returns the previous value.
+    pub fn fetch_add(&self, val: u64, ord: Ordering) -> u64 {
+        self.run(|loc| Op::Rmw { loc, ord, kind: RmwKind::Add(val) }, |a| a.fetch_add(val, ord))
+    }
+
+    /// Atomic swap with `ord`; returns the previous value.
+    pub fn swap(&self, val: u64, ord: Ordering) -> u64 {
+        self.run(|loc| Op::Rmw { loc, ord, kind: RmwKind::Swap(val) }, |a| a.swap(val, ord))
+    }
+}
+
+/// Shim `fence`: a scheduler yield point inside executions, std fence
+/// outside.
+pub fn fence(ord: Ordering) {
+    match current_ctx() {
+        Some((exec, tid)) => {
+            exec.yield_op(tid, Op::Fence { ord });
+        }
+        None => std::sync::atomic::fence(ord),
+    }
+}
+
+/// Shim `Mutex<T>`.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    repr: MutexRepr<T>,
+}
+
+enum MutexRepr<T> {
+    Real(std::sync::Mutex<T>),
+    Model { exec: Weak<Exec>, mid: usize, cell: UnsafeCell<T> },
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexRepr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutexRepr::Real(m) => m.fmt(f),
+            MutexRepr::Model { mid, .. } => write!(f, "ModelMutex(m{mid})"),
+        }
+    }
+}
+
+// Safety: mirrors std — the model variant serializes access through the
+// scheduler (at most one granted owner), so `UnsafeCell<T>` is only
+// touched by the thread holding the model lock.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex; registers with the scheduler inside executions.
+    pub fn new(t: T) -> Self {
+        let repr = match current_ctx() {
+            Some((exec, _)) => {
+                let mid = exec.alloc_mutex();
+                MutexRepr::Model { exec: Arc::downgrade(&exec), mid, cell: UnsafeCell::new(t) }
+            }
+            None => MutexRepr::Real(std::sync::Mutex::new(t)),
+        };
+        Mutex { repr }
+    }
+
+    /// Acquires the mutex (a blocking yield point inside executions).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match &self.repr {
+            MutexRepr::Real(m) => match m.lock() {
+                Ok(k) => Ok(MutexGuard { inner: GuardRepr::Real(std::mem::ManuallyDrop::new(k)) }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    inner: GuardRepr::Real(std::mem::ManuallyDrop::new(p.into_inner())),
+                })),
+            },
+            MutexRepr::Model { exec, mid, .. } => {
+                let (e, tid) = ctx_for(exec, "Mutex");
+                e.yield_op(tid, Op::MutexLock { mid: *mid });
+                Ok(MutexGuard { inner: GuardRepr::Model { mx: self } })
+            }
+        }
+    }
+}
+
+/// Shim `MutexGuard`.
+pub struct MutexGuard<'a, T> {
+    inner: GuardRepr<'a, T>,
+}
+
+enum GuardRepr<'a, T> {
+    // ManuallyDrop so Condvar::wait can move the std guard out without
+    // tripping the outer Drop impl.
+    Real(std::mem::ManuallyDrop<std::sync::MutexGuard<'a, T>>),
+    Model { mx: &'a Mutex<T> },
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            GuardRepr::Real(k) => k,
+            // Safety: the scheduler grants the model lock exclusively.
+            GuardRepr::Model { mx } => match &mx.repr {
+                MutexRepr::Model { cell, .. } => unsafe { &*cell.get() },
+                MutexRepr::Real(_) => die("guard/mutex repr mismatch"),
+            },
+        }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            GuardRepr::Real(k) => k,
+            // Safety: as in `Deref`.
+            GuardRepr::Model { mx } => match &mx.repr {
+                MutexRepr::Model { cell, .. } => unsafe { &mut *cell.get() },
+                MutexRepr::Real(_) => die("guard/mutex repr mismatch"),
+            },
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        match &mut self.inner {
+            // Safety: dropped exactly once — `Condvar::wait` moves the
+            // std guard out only via `ManuallyDrop::take` after wrapping
+            // the whole shim guard in `ManuallyDrop`.
+            GuardRepr::Real(k) => unsafe { std::mem::ManuallyDrop::drop(k) },
+            GuardRepr::Model { mx } => {
+                if let MutexRepr::Model { exec, mid, .. } = &mx.repr {
+                    if std::thread::panicking() {
+                        // Unwinding (assertion failure or execution
+                        // abort): release ownership without scheduling.
+                        if let Some(e) = exec.upgrade() {
+                            e.force_unlock(*mid);
+                        }
+                    } else {
+                        let (e, tid) = ctx_for(exec, "MutexGuard");
+                        e.yield_op(tid, Op::MutexUnlock { mid: *mid });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Shim `Condvar` with two-phase modeled wait (atomic release+register,
+/// then re-acquire once woken) — lost-wakeup semantics match std.
+#[derive(Debug)]
+pub struct Condvar {
+    repr: CvRepr,
+}
+
+#[derive(Debug)]
+enum CvRepr {
+    Real(std::sync::Condvar),
+    Model { exec: Weak<Exec>, cv: usize },
+}
+
+impl Condvar {
+    /// Creates a condvar; registers with the scheduler inside executions.
+    pub fn new() -> Self {
+        let repr = match current_ctx() {
+            Some((exec, _)) => {
+                let cv = exec.alloc_cv();
+                CvRepr::Model { exec: Arc::downgrade(&exec), cv }
+            }
+            None => CvRepr::Real(std::sync::Condvar::new()),
+        };
+        Condvar { repr }
+    }
+
+    /// Blocks on the condvar, releasing the guard's mutex while waiting.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match &self.repr {
+            CvRepr::Real(cv) => {
+                let mut guard = std::mem::ManuallyDrop::new(guard);
+                let k = match &mut guard.inner {
+                    // Safety: the shim guard is wrapped in ManuallyDrop,
+                    // so its Drop (which would re-drop) never runs.
+                    GuardRepr::Real(k) => unsafe { std::mem::ManuallyDrop::take(k) },
+                    GuardRepr::Model { .. } => die("std condvar waited with model guard"),
+                };
+                match cv.wait(k) {
+                    Ok(k) => Ok(MutexGuard { inner: GuardRepr::Real(std::mem::ManuallyDrop::new(k)) }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        inner: GuardRepr::Real(std::mem::ManuallyDrop::new(p.into_inner())),
+                    })),
+                }
+            }
+            CvRepr::Model { exec, cv } => {
+                let mx = match &guard.inner {
+                    GuardRepr::Model { mx } => *mx,
+                    GuardRepr::Real(_) => die("model condvar waited with std guard"),
+                };
+                let mid = match &mx.repr {
+                    MutexRepr::Model { mid, .. } => *mid,
+                    MutexRepr::Real(_) => die("model condvar waited with std mutex"),
+                };
+                // The modeled wait releases the mutex itself; skip the
+                // guard's Drop.
+                std::mem::forget(guard);
+                let (e, tid) = ctx_for(exec, "Condvar");
+                e.yield_op(tid, Op::CvWait { cv: *cv, mid });
+                Ok(MutexGuard { inner: GuardRepr::Model { mx } })
+            }
+        }
+    }
+
+    /// Wakes one waiter (the scheduler explores every eligible choice).
+    pub fn notify_one(&self) {
+        match &self.repr {
+            CvRepr::Real(cv) => cv.notify_one(),
+            CvRepr::Model { exec, cv } => {
+                let (e, tid) = ctx_for(exec, "Condvar");
+                e.yield_op(tid, Op::CvNotify { cv: *cv, all: false });
+            }
+        }
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        match &self.repr {
+            CvRepr::Real(cv) => cv.notify_all(),
+            CvRepr::Model { exec, cv } => {
+                let (e, tid) = ctx_for(exec, "Condvar");
+                e.yield_op(tid, Op::CvNotify { cv: *cv, all: true });
+            }
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// Shim `thread`: model-scheduled spawn/join inside executions, std
+/// passthrough outside.
+pub mod thread {
+    use super::*;
+
+    /// Shim `JoinHandle`.
+    pub struct JoinHandle<T> {
+        inner: HandleRepr<T>,
+    }
+
+    enum HandleRepr<T> {
+        Real(std::thread::JoinHandle<T>),
+        Model { exec: Arc<Exec>, target: Tid, slot: Arc<std::sync::Mutex<Option<T>>> },
+    }
+
+    /// Spawns a thread; inside an execution the child is a model thread
+    /// under scheduler control.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match current_ctx() {
+            None => JoinHandle { inner: HandleRepr::Real(std::thread::spawn(f)) },
+            Some((exec, me)) => {
+                let slot = Arc::new(std::sync::Mutex::new(None));
+                let s2 = Arc::clone(&slot);
+                let target = spawn_model_thread(
+                    &exec,
+                    me,
+                    Box::new(move || {
+                        let v = f();
+                        *s2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                    }),
+                );
+                JoinHandle { inner: HandleRepr::Model { exec, target, slot } }
+            }
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread; a blocking yield point in executions.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.inner {
+                HandleRepr::Real(h) => h.join(),
+                HandleRepr::Model { exec, target, slot } => {
+                    let (cur, me) = match current_ctx() {
+                        Some(x) => x,
+                        None => die("model JoinHandle joined outside any execution"),
+                    };
+                    if !Arc::ptr_eq(&cur, &exec) {
+                        die("model JoinHandle joined outside its execution");
+                    }
+                    cur.yield_op(me, Op::Join { target });
+                    match slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
+                        Some(v) => Ok(v),
+                        None => die("joined model thread produced no value"),
+                    }
+                }
+            }
+        }
+    }
+}

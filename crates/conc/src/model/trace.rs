@@ -1,0 +1,80 @@
+//! Schedule trace serialization: `disparity-conc/trace-v1`.
+//!
+//! A trace is the recorded decision list of one execution. Replaying it
+//! forces every recorded choice, so (against unchanged code) the same
+//! execution — and the same violation message — reproduces byte for
+//! byte. Violation traces are committed to per-crate regression corpora
+//! and re-run by replay tests.
+
+use disparity_model::json::{object, Value};
+
+use super::exec::{Choice, DecisionRec, NodeInfo};
+
+/// Schema tag embedded in every trace document.
+pub const TRACE_SCHEMA: &str = "disparity-conc/trace-v1";
+
+/// Serializes a decision list to a compact JSON document. Each decision
+/// carries an informational `op`/`what` label for human readers; only
+/// `kind` + `tid`/`idx` are consumed by [`parse`].
+pub(crate) fn serialize(decisions: &[DecisionRec]) -> String {
+    let rows: Vec<Value> = decisions
+        .iter()
+        .map(|d| match (&d.choice, &d.info) {
+            (Choice::Thread(t), NodeInfo::Thread { enabled, .. }) => {
+                let op = enabled
+                    .iter()
+                    .find(|(et, _)| et == t)
+                    .map(|(_, o)| o.describe())
+                    .unwrap_or_default();
+                object(vec![
+                    ("kind", Value::Str("thread".to_string())),
+                    ("tid", Value::Int(*t as i64)),
+                    ("op", Value::Str(op)),
+                ])
+            }
+            (Choice::Pick(i), NodeInfo::Pick { arity, what }) => object(vec![
+                ("kind", Value::Str("pick".to_string())),
+                ("idx", Value::Int(*i as i64)),
+                ("arity", Value::Int(*arity as i64)),
+                ("what", Value::Str((*what).to_string())),
+            ]),
+            // A mismatched pairing cannot be produced by the scheduler;
+            // serialize it observably rather than panicking mid-report.
+            (c, _) => object(vec![("kind", Value::Str(format!("corrupt:{c:?}")))]),
+        })
+        .collect();
+    object(vec![
+        ("schema", Value::Str(TRACE_SCHEMA.to_string())),
+        ("decisions", Value::Array(rows)),
+    ])
+    .to_string()
+}
+
+/// Parses a trace document back into a forced decision plan.
+pub fn parse(text: &str) -> Result<Vec<Choice>, String> {
+    let v = Value::parse(text).map_err(|e| format!("trace JSON: {e}"))?;
+    match v.get("schema").and_then(Value::as_str) {
+        Some(TRACE_SCHEMA) => {}
+        other => return Err(format!("trace schema mismatch: {other:?}")),
+    }
+    let rows = v
+        .get("decisions")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "trace missing decisions array".to_string())?;
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| match row.get("kind").and_then(Value::as_str) {
+            Some("thread") => row
+                .get("tid")
+                .and_then(Value::as_i64)
+                .map(|t| Choice::Thread(t as usize))
+                .ok_or_else(|| format!("decision {i}: missing tid")),
+            Some("pick") => row
+                .get("idx")
+                .and_then(Value::as_i64)
+                .map(|x| Choice::Pick(x as usize))
+                .ok_or_else(|| format!("decision {i}: missing idx")),
+            other => Err(format!("decision {i}: bad kind {other:?}")),
+        })
+        .collect()
+}

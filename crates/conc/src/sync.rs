@@ -1,0 +1,42 @@
+//! The sync shim: `std` re-exports in normal builds, instrumented model
+//! types under `--features model`.
+//!
+//! Code under check imports exactly this surface:
+//!
+//! ```ignore
+//! use disparity_conc::sync::{Condvar, Mutex, MutexGuard};
+//! use disparity_conc::sync::atomic::{fence, AtomicU64, Ordering};
+//! use disparity_conc::sync::thread;
+//! ```
+//!
+//! In normal builds every name is the `std` item, so there is no wrapper
+//! in the compiled artifact at all. Under the `model` feature the same
+//! names resolve to scheduler-instrumented versions; a model type
+//! constructed *outside* a model execution transparently falls back to
+//! its `std` implementation, so statics and ordinary runtime code keep
+//! working even in model builds.
+
+#[cfg(not(feature = "model"))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(not(feature = "model"))]
+pub mod atomic {
+    //! Re-export of `std::sync::atomic` items used by checked structures.
+    pub use std::sync::atomic::{fence, AtomicU64, Ordering};
+}
+
+#[cfg(not(feature = "model"))]
+pub use std::thread;
+
+#[cfg(feature = "model")]
+pub use crate::model::shim::{Condvar, Mutex, MutexGuard};
+
+#[cfg(feature = "model")]
+pub mod atomic {
+    //! Model-instrumented atomics (std fallback outside an execution).
+    pub use crate::model::shim::{fence, AtomicU64};
+    pub use std::sync::atomic::Ordering;
+}
+
+#[cfg(feature = "model")]
+pub use crate::model::shim::thread;

@@ -1,0 +1,345 @@
+//! Scheduler + memory-model self-tests.
+//!
+//! The litmus set pins down what the operational model admits and
+//! forbids: store buffering must expose the relaxed 0/0 outcome and a
+//! SeqCst fence must forbid it; message passing must be safe under
+//! release/acquire and broken under relaxed; IRIW must stay coherent
+//! per-location while (under our stronger-than-C11 SC approximation)
+//! SeqCst agrees on a single order. Exhaustive exploration must report
+//! `complete: true` at these sizes, and a recorded violation trace must
+//! replay to a byte-identical failure.
+#![cfg(feature = "model")]
+
+use std::sync::Arc;
+
+use disparity_conc::model::{check, replay, Config, Mode, Outcome};
+use disparity_conc::sync::atomic::{fence, AtomicU64, Ordering};
+use disparity_conc::sync::{thread, Condvar, Mutex};
+use std::sync::PoisonError;
+
+fn cfg() -> Config {
+    Config { preemption_bound: 4, ..Config::default() }
+}
+
+/// Runs `f` under exhaustive exploration and asserts it completed.
+fn explore(f: impl Fn() + Send + Sync + 'static) -> Outcome {
+    let out = check(cfg(), f);
+    assert!(out.complete || out.violation.is_some(), "exploration did not finish: {out:?}");
+    out
+}
+
+/// Store buffering (SB): with relaxed accesses both threads may read 0.
+/// The harness asserts the outcome is *reachable* by collecting every
+/// explored result.
+#[test]
+fn store_buffering_relaxed_admits_zero_zero() {
+    let seen = Arc::new(std::sync::Mutex::new(std::collections::BTreeSet::new()));
+    let seen2 = Arc::clone(&seen);
+    let out = explore(move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+        let t1 = thread::spawn(move || {
+            x1.store(1, Ordering::Relaxed);
+            y1.load(Ordering::Relaxed)
+        });
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t2 = thread::spawn(move || {
+            y2.store(1, Ordering::Relaxed);
+            x2.load(Ordering::Relaxed)
+        });
+        let a = t1.join().unwrap_or(99);
+        let b = t2.join().unwrap_or(99);
+        seen2.lock().unwrap_or_else(PoisonError::into_inner).insert((a, b));
+    });
+    assert!(out.violation.is_none(), "unexpected violation: {out:?}");
+    let seen = seen.lock().unwrap_or_else(PoisonError::into_inner);
+    assert!(seen.contains(&(0, 0)), "relaxed SB must admit (0,0); saw {seen:?}");
+    assert!(seen.contains(&(1, 1)), "SB must admit (1,1); saw {seen:?}");
+}
+
+/// SB with SeqCst fences between store and load: (0,0) must vanish.
+#[test]
+fn store_buffering_sc_fence_forbids_zero_zero() {
+    let seen = Arc::new(std::sync::Mutex::new(std::collections::BTreeSet::new()));
+    let seen2 = Arc::clone(&seen);
+    let out = explore(move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+        let t1 = thread::spawn(move || {
+            x1.store(1, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            y1.load(Ordering::Relaxed)
+        });
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t2 = thread::spawn(move || {
+            y2.store(1, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            x2.load(Ordering::Relaxed)
+        });
+        let a = t1.join().unwrap_or(99);
+        let b = t2.join().unwrap_or(99);
+        seen2.lock().unwrap_or_else(PoisonError::into_inner).insert((a, b));
+    });
+    assert!(out.violation.is_none(), "unexpected violation: {out:?}");
+    let seen = seen.lock().unwrap_or_else(PoisonError::into_inner);
+    assert!(!seen.contains(&(0, 0)), "SC-fenced SB must forbid (0,0); saw {seen:?}");
+}
+
+/// Message passing (MP), release/acquire: if the reader sees the flag it
+/// must see the payload. Asserted inside the execution so a violation is
+/// a catchable schedule.
+#[test]
+fn message_passing_release_acquire_is_safe() {
+    let out = explore(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d1, f1) = (Arc::clone(&data), Arc::clone(&flag));
+        let t1 = thread::spawn(move || {
+            d1.store(42, Ordering::Relaxed);
+            f1.store(1, Ordering::Release);
+        });
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t2 = thread::spawn(move || {
+            if f2.load(Ordering::Acquire) == 1 {
+                assert_eq!(d2.load(Ordering::Relaxed), 42, "MP: flag seen but payload stale");
+            }
+        });
+        let _ = t1.join();
+        let _ = t2.join();
+    });
+    assert!(out.violation.is_none(), "RA message passing must be safe: {out:?}");
+    assert!(out.complete, "MP exploration should be exhaustive");
+}
+
+/// MP with a relaxed flag store: the stale-payload read must be found.
+#[test]
+fn message_passing_relaxed_is_caught() {
+    let out = check(cfg(), || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d1, f1) = (Arc::clone(&data), Arc::clone(&flag));
+        let t1 = thread::spawn(move || {
+            d1.store(42, Ordering::Relaxed);
+            f1.store(1, Ordering::Relaxed);
+        });
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t2 = thread::spawn(move || {
+            if f2.load(Ordering::Acquire) == 1 {
+                assert_eq!(d2.load(Ordering::Relaxed), 42, "MP: flag seen but payload stale");
+            }
+        });
+        let _ = t1.join();
+        let _ = t2.join();
+    });
+    let v = out.expect_violation();
+    assert!(v.message.contains("payload stale"), "wrong violation: {}", v.message);
+}
+
+/// MP where release is supplied by a standalone fence before a relaxed
+/// flag store — the pattern the flight-recorder fix relies on.
+#[test]
+fn message_passing_release_fence_is_safe() {
+    let out = explore(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d1, f1) = (Arc::clone(&data), Arc::clone(&flag));
+        let t1 = thread::spawn(move || {
+            d1.store(42, Ordering::Relaxed);
+            fence(Ordering::Release);
+            f1.store(1, Ordering::Relaxed);
+        });
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t2 = thread::spawn(move || {
+            if f2.load(Ordering::Relaxed) == 1 {
+                fence(Ordering::Acquire);
+                assert_eq!(d2.load(Ordering::Relaxed), 42, "MP: flag seen but payload stale");
+            }
+        });
+        let _ = t1.join();
+        let _ = t2.join();
+    });
+    assert!(out.violation.is_none(), "fence-based MP must be safe: {out:?}");
+}
+
+/// IRIW with SeqCst accesses: the two readers must agree on the order of
+/// the two independent writes (1,0) + (0,1) is forbidden.
+#[test]
+fn iriw_seqcst_readers_agree() {
+    let seen = Arc::new(std::sync::Mutex::new(std::collections::BTreeSet::new()));
+    let seen2 = Arc::clone(&seen);
+    let out = explore(move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let xw = Arc::clone(&x);
+        let w1 = thread::spawn(move || xw.store(1, Ordering::SeqCst));
+        let yw = Arc::clone(&y);
+        let w2 = thread::spawn(move || yw.store(1, Ordering::SeqCst));
+        let (xr, yr) = (Arc::clone(&x), Arc::clone(&y));
+        let r1 = thread::spawn(move || {
+            let a = xr.load(Ordering::SeqCst);
+            let b = yr.load(Ordering::SeqCst);
+            (a, b)
+        });
+        let (xr2, yr2) = (Arc::clone(&x), Arc::clone(&y));
+        let r2 = thread::spawn(move || {
+            let b = yr2.load(Ordering::SeqCst);
+            let a = xr2.load(Ordering::SeqCst);
+            (a, b)
+        });
+        let _ = w1.join();
+        let _ = w2.join();
+        let o1 = r1.join().unwrap_or((9, 9));
+        let o2 = r2.join().unwrap_or((9, 9));
+        seen2.lock().unwrap_or_else(PoisonError::into_inner).insert((o1, o2));
+    });
+    assert!(out.violation.is_none(), "unexpected violation: {out:?}");
+    let seen = seen.lock().unwrap_or_else(PoisonError::into_inner);
+    // r1 saw x then !y while r2 saw y then !x: writers observed in
+    // opposite orders.
+    assert!(
+        !seen.contains(&((1, 0), (0, 1))),
+        "SC IRIW readers disagreed on write order; saw {seen:?}"
+    );
+}
+
+/// Per-location coherence: a thread re-reading the same location may
+/// never go backwards, even fully relaxed.
+#[test]
+fn coherence_no_backwards_reads() {
+    let out = explore(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let xw = Arc::clone(&x);
+        let t1 = thread::spawn(move || {
+            xw.store(1, Ordering::Relaxed);
+            xw.store(2, Ordering::Relaxed);
+        });
+        let xr = Arc::clone(&x);
+        let t2 = thread::spawn(move || {
+            let a = xr.load(Ordering::Relaxed);
+            let b = xr.load(Ordering::Relaxed);
+            assert!(b >= a, "coherence violated: read {a} then {b}");
+        });
+        let _ = t1.join();
+        let _ = t2.join();
+    });
+    assert!(out.violation.is_none(), "coherence must hold: {out:?}");
+}
+
+/// Mutex + condvar round trip: producer/consumer handshake terminates
+/// and transfers the value (condvar wakeups + view transfer).
+#[test]
+fn mutex_condvar_handshake() {
+    let out = explore(|| {
+        let slot = Arc::new(Mutex::new(0u64));
+        let cv = Arc::new(Condvar::new());
+        let (s1, c1) = (Arc::clone(&slot), Arc::clone(&cv));
+        let t1 = thread::spawn(move || {
+            let mut g = s1.lock().unwrap_or_else(PoisonError::into_inner);
+            *g = 7;
+            drop(g);
+            c1.notify_one();
+        });
+        let (s2, c2) = (Arc::clone(&slot), Arc::clone(&cv));
+        let t2 = thread::spawn(move || {
+            let mut g = s2.lock().unwrap_or_else(PoisonError::into_inner);
+            while *g == 0 {
+                g = c2.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            assert_eq!(*g, 7);
+        });
+        let _ = t1.join();
+        let _ = t2.join();
+    });
+    assert!(out.violation.is_none(), "handshake must succeed: {out:?}");
+    assert!(out.complete, "handshake exploration should be exhaustive");
+}
+
+/// A missing notify must surface as a deadlock violation (lost wakeup).
+#[test]
+fn lost_wakeup_reported_as_deadlock() {
+    let out = check(cfg(), || {
+        let slot = Arc::new(Mutex::new(0u64));
+        let cv = Arc::new(Condvar::new());
+        let (s1, _c1) = (Arc::clone(&slot), Arc::clone(&cv));
+        let t1 = thread::spawn(move || {
+            let mut g = s1.lock().unwrap_or_else(PoisonError::into_inner);
+            *g = 7;
+            // Bug under test: no notify.
+        });
+        let (s2, c2) = (Arc::clone(&slot), Arc::clone(&cv));
+        let t2 = thread::spawn(move || {
+            let mut g = s2.lock().unwrap_or_else(PoisonError::into_inner);
+            while *g == 0 {
+                g = c2.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+        });
+        let _ = t1.join();
+        let _ = t2.join();
+    });
+    let v = out.expect_violation();
+    assert!(v.message.contains("deadlock"), "expected deadlock, got: {}", v.message);
+}
+
+/// Replay determinism: running the recorded violation trace reproduces
+/// the byte-identical failure message, twice.
+#[test]
+fn replay_reproduces_identical_failure() {
+    let scenario = || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d1, f1) = (Arc::clone(&data), Arc::clone(&flag));
+        let t1 = thread::spawn(move || {
+            d1.store(42, Ordering::Relaxed);
+            f1.store(1, Ordering::Relaxed);
+        });
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t2 = thread::spawn(move || {
+            if f2.load(Ordering::Acquire) == 1 {
+                assert_eq!(d2.load(Ordering::Relaxed), 42, "MP: flag seen but payload stale");
+            }
+        });
+        let _ = t1.join();
+        let _ = t2.join();
+    };
+    let out = check(cfg(), scenario);
+    let v = out.expect_violation().clone();
+    let r1 = replay(cfg(), &v.trace, scenario);
+    let rv1 = r1.expect_violation();
+    assert_eq!(rv1.message, v.message, "replay 1 diverged");
+    assert_eq!(rv1.trace, v.trace, "replay 1 trace not byte-identical");
+    let r2 = replay(cfg(), &v.trace, scenario);
+    let rv2 = r2.expect_violation();
+    assert_eq!(rv2.message, v.message, "replay 2 diverged");
+    assert_eq!(rv2.trace, v.trace, "replay 2 trace not byte-identical");
+}
+
+/// Random mode finds the relaxed-MP bug too, and its trace replays.
+#[test]
+fn random_mode_finds_and_replays() {
+    let scenario = || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d1, f1) = (Arc::clone(&data), Arc::clone(&flag));
+        let t1 = thread::spawn(move || {
+            d1.store(42, Ordering::Relaxed);
+            f1.store(1, Ordering::Relaxed);
+        });
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t2 = thread::spawn(move || {
+            if f2.load(Ordering::Acquire) == 1 {
+                assert_eq!(d2.load(Ordering::Relaxed), 42, "MP: flag seen but payload stale");
+            }
+        });
+        let _ = t1.join();
+        let _ = t2.join();
+    };
+    let out = check(
+        Config { mode: Mode::Random { seed: 7, schedules: 500 }, ..cfg() },
+        scenario,
+    );
+    let v = out.expect_violation().clone();
+    let r = replay(cfg(), &v.trace, scenario);
+    assert_eq!(r.expect_violation().message, v.message, "random trace replay diverged");
+}

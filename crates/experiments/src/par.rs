@@ -35,6 +35,8 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| loop {
+                    // conc: claim counter; the slots mutex and the scope
+                    // join publish every written value to the collector
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
                         return;

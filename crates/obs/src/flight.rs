@@ -27,9 +27,13 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
+
+// Sync primitives come from the conc shim: plain std re-exports in
+// normal builds, model-checked instrumented versions under `--features
+// model` (see `tests/conc_flight.rs` for the harness + mutant probes).
+use disparity_conc::sync::atomic::{fence, AtomicU64, Ordering};
 
 use disparity_model::json::{self, Value};
 
@@ -142,7 +146,10 @@ struct Slot {
 }
 
 impl Slot {
-    const fn empty() -> Self {
+    // Not `const`: the shim's AtomicU64 registers with the scheduler in
+    // model executions, so slots are built at runtime (`flight()` inits
+    // the global set once).
+    fn empty() -> Self {
         Slot {
             tag: AtomicU64::new(0),
             ts_ns: AtomicU64::new(0),
@@ -160,25 +167,36 @@ struct Journal {
     slots: Box<[Slot]>,
 }
 
-struct FlightRecorder {
+/// A set of ring journals. The process-wide instance behind [`record`] /
+/// [`snapshot`] uses [`JOURNALS`] × [`JOURNAL_CAPACITY`]; model harnesses
+/// build tiny instances (e.g. 1 journal × 1 slot) so slot aliasing —
+/// tickets `N` and `N + capacity` hitting the same slot — is exhaustively
+/// explorable.
+pub struct FlightRecorder {
     journals: Vec<Journal>,
+    /// Ring-index mask (`capacity - 1`; capacity is a power of two).
+    mask: u64,
+}
+
+impl core::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("journals", &self.journals.len())
+            .field("capacity", &(self.mask + 1))
+            .finish()
+    }
 }
 
 static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
 
 /// Monotonic dump counter: makes postmortem filenames unique within a
 /// process even when several failures share a reason and trace id.
-static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+/// Stays on the std atomic — it is pure bookkeeping outside the checked
+/// protocol, and statics need a `const` constructor.
+static DUMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 fn flight() -> &'static FlightRecorder {
-    RECORDER.get_or_init(|| FlightRecorder {
-        journals: (0..JOURNALS)
-            .map(|_| Journal {
-                head: AtomicU64::new(0),
-                slots: (0..JOURNAL_CAPACITY).map(|_| Slot::empty()).collect(),
-            })
-            .collect(),
-    })
+    RECORDER.get_or_init(|| FlightRecorder::new(JOURNALS, JOURNAL_CAPACITY))
 }
 
 /// Pre-allocate the journals and pin the timestamp epoch. Optional —
@@ -187,6 +205,87 @@ fn flight() -> &'static FlightRecorder {
 pub fn init() {
     let _ = flight();
     let _ = recorder::epoch();
+}
+
+impl FlightRecorder {
+    /// Builds a recorder with `journals` rings of `capacity` slots each
+    /// (`capacity` is rounded up to a power of two, minimum 1).
+    #[must_use]
+    pub fn new(journals: usize, capacity: usize) -> Self {
+        let capacity = capacity.next_power_of_two().max(1);
+        FlightRecorder {
+            journals: (0..journals.max(1))
+                .map(|_| Journal {
+                    head: AtomicU64::new(0),
+                    slots: (0..capacity).map(|_| Slot::empty()).collect(),
+                })
+                .collect(),
+            mask: (capacity - 1) as u64,
+        }
+    }
+
+    /// The seqlock-style write protocol with all fields supplied by the
+    /// caller. Wait-free: one ticket `fetch_add` plus six atomic stores
+    /// and a fence; never locks, never allocates.
+    pub fn record_raw(&self, thread: u64, trace: u64, ts_ns: u64, kind: EventKind, arg: u64) {
+        // srclint: hot-path-begin — wait-free record path: no locks, no heap.
+        let journal = &self.journals[(thread as usize) % self.journals.len()];
+        let ticket = journal.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &journal.slots[(ticket & self.mask) as usize];
+        slot.tag.store(0, Ordering::Release);
+        // conc: release fence so the relaxed payload stores below carry the
+        // tag=0 un-publish with them. Without it a reader that observed
+        // this writer's payload could still re-read the *previous*
+        // ticket's tag on its recheck (read-read coherence permits the
+        // stale value) and accept a torn record; found by the conc model
+        // checker — see obs/tests/conc_flight.rs and the committed trace
+        // in obs/tests/conc_corpus/.
+        fence(Ordering::Release);
+        slot.ts_ns.store(ts_ns, Ordering::Relaxed);
+        slot.trace.store(trace, Ordering::Relaxed);
+        slot.thread.store(thread, Ordering::Relaxed);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.arg.store(arg, Ordering::Relaxed);
+        slot.tag.store(ticket + 1, Ordering::Release);
+        // srclint: hot-path-end
+    }
+
+    /// Read every published event, oldest first (by timestamp, then
+    /// thread). Best-effort: slots overwritten while being read are
+    /// detected via the tag recheck and skipped.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<EventRecord> {
+        let mut events = Vec::new();
+        for journal in &self.journals {
+            for slot in journal.slots.iter() {
+                let tag = slot.tag.load(Ordering::Acquire);
+                if tag == 0 {
+                    continue;
+                }
+                let record = EventRecord {
+                    ts_ns: slot.ts_ns.load(Ordering::Relaxed),
+                    thread: slot.thread.load(Ordering::Relaxed),
+                    trace: slot.trace.load(Ordering::Relaxed),
+                    kind: match EventKind::from_code(slot.kind.load(Ordering::Relaxed)) {
+                        Some(kind) => kind,
+                        None => continue,
+                    },
+                    arg: slot.arg.load(Ordering::Relaxed),
+                };
+                // Order the tag re-check after the field reads; a writer
+                // that reclaimed the slot meanwhile zeroed or bumped the
+                // tag, and its release fence forces that un-publish to be
+                // visible here if any of its payload stores were.
+                fence(Ordering::Acquire);
+                if slot.tag.load(Ordering::Relaxed) != tag {
+                    continue;
+                }
+                events.push(record);
+            }
+        }
+        events.sort_by_key(|e| (e.ts_ns, e.thread));
+        events
+    }
 }
 
 /// Record one lifecycle event on the calling thread's journal, tagged
@@ -199,18 +298,7 @@ pub fn record(kind: EventKind, arg: u64) {
         .unwrap_or(u64::MAX);
     let thread = recorder::thread_track();
     let trace = recorder::current_trace();
-    // srclint: hot-path-begin — wait-free record path: no locks, no heap.
-    let journal = &flight.journals[(thread as usize) % JOURNALS];
-    let ticket = journal.head.fetch_add(1, Ordering::Relaxed);
-    let slot = &journal.slots[(ticket as usize) & (JOURNAL_CAPACITY - 1)];
-    slot.tag.store(0, Ordering::Release);
-    slot.ts_ns.store(ts_ns, Ordering::Relaxed);
-    slot.trace.store(trace, Ordering::Relaxed);
-    slot.thread.store(thread, Ordering::Relaxed);
-    slot.kind.store(kind as u64, Ordering::Relaxed);
-    slot.arg.store(arg, Ordering::Relaxed);
-    slot.tag.store(ticket + 1, Ordering::Release);
-    // srclint: hot-path-end
+    flight.record_raw(thread, trace, ts_ns, kind, arg);
 }
 
 /// A decoded flight-recorder event.
@@ -233,35 +321,93 @@ pub struct EventRecord {
 /// being read are skipped, and recording continues concurrently.
 #[must_use]
 pub fn snapshot() -> Vec<EventRecord> {
-    let flight = flight();
-    let mut events = Vec::new();
-    for journal in &flight.journals {
-        for slot in journal.slots.iter() {
-            let tag = slot.tag.load(Ordering::Acquire);
-            if tag == 0 {
-                continue;
-            }
-            let record = EventRecord {
-                ts_ns: slot.ts_ns.load(Ordering::Relaxed),
-                thread: slot.thread.load(Ordering::Relaxed),
-                trace: slot.trace.load(Ordering::Relaxed),
-                kind: match EventKind::from_code(slot.kind.load(Ordering::Relaxed)) {
-                    Some(kind) => kind,
-                    None => continue,
-                },
-                arg: slot.arg.load(Ordering::Relaxed),
-            };
-            // Order the tag re-check after the field reads; a writer that
-            // reclaimed the slot meanwhile zeroed or bumped the tag.
-            fence(Ordering::Acquire);
-            if slot.tag.load(Ordering::Relaxed) != tag {
-                continue;
-            }
-            events.push(record);
-        }
+    flight().snapshot()
+}
+
+/// Deliberately weakened copies of the record/snapshot protocols —
+/// mutation probes proving the model checker actually catches the bugs
+/// the real code guards against. Compiled only for model builds and only
+/// ever called by `tests/conc_flight.rs`; each probe must be caught
+/// within the tier-1 schedule budget.
+#[cfg(feature = "model")]
+pub mod probes {
+    use super::*;
+
+    /// The pre-fix write path: no release fence between the tag=0
+    /// un-publish and the relaxed payload stores. This is the genuine
+    /// ordering bug the checker found in the shipped `record` path.
+    pub fn record_raw_missing_release_fence(
+        fr: &FlightRecorder,
+        thread: u64,
+        trace: u64,
+        ts_ns: u64,
+        kind: EventKind,
+        arg: u64,
+    ) {
+        let journal = &fr.journals[(thread as usize) % fr.journals.len()];
+        let ticket = journal.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &journal.slots[(ticket & fr.mask) as usize];
+        slot.tag.store(0, Ordering::Release);
+        // conc: mutant under test — release fence deliberately omitted.
+        slot.ts_ns.store(ts_ns, Ordering::Relaxed);
+        slot.trace.store(trace, Ordering::Relaxed);
+        slot.thread.store(thread, Ordering::Relaxed);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.arg.store(arg, Ordering::Relaxed);
+        slot.tag.store(ticket + 1, Ordering::Release);
     }
-    events.sort_by_key(|e| (e.ts_ns, e.thread));
-    events
+
+    /// Publishes the new tag *before* writing the payload: a reader can
+    /// observe the fresh tag with the previous ticket's fields.
+    pub fn record_raw_publish_before_payload(
+        fr: &FlightRecorder,
+        thread: u64,
+        trace: u64,
+        ts_ns: u64,
+        kind: EventKind,
+        arg: u64,
+    ) {
+        let journal = &fr.journals[(thread as usize) % fr.journals.len()];
+        let ticket = journal.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &journal.slots[(ticket & fr.mask) as usize];
+        // conc: mutant under test — tag published before the payload.
+        slot.tag.store(ticket + 1, Ordering::Release);
+        slot.ts_ns.store(ts_ns, Ordering::Relaxed);
+        slot.trace.store(trace, Ordering::Relaxed);
+        slot.thread.store(thread, Ordering::Relaxed);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.arg.store(arg, Ordering::Relaxed);
+    }
+
+    /// Snapshot without the fence + tag recheck: accepts torn records
+    /// whenever a writer reclaims the slot mid-read.
+    #[must_use]
+    pub fn snapshot_missing_recheck(fr: &FlightRecorder) -> Vec<EventRecord> {
+        let mut events = Vec::new();
+        for journal in &fr.journals {
+            for slot in journal.slots.iter() {
+                let tag = slot.tag.load(Ordering::Acquire);
+                if tag == 0 {
+                    continue;
+                }
+                // conc: mutant under test — fence + recheck deliberately
+                // omitted.
+                let record = EventRecord {
+                    ts_ns: slot.ts_ns.load(Ordering::Relaxed),
+                    thread: slot.thread.load(Ordering::Relaxed),
+                    trace: slot.trace.load(Ordering::Relaxed),
+                    kind: match EventKind::from_code(slot.kind.load(Ordering::Relaxed)) {
+                        Some(kind) => kind,
+                        None => continue,
+                    },
+                    arg: slot.arg.load(Ordering::Relaxed),
+                };
+                events.push(record);
+            }
+        }
+        events.sort_by_key(|e| (e.ts_ns, e.thread));
+        events
+    }
 }
 
 /// Render one event as its postmortem NDJSON object.

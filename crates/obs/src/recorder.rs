@@ -31,6 +31,7 @@ static SPANS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
 static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
+    // conc: unique-id allocation needs atomicity, not ordering
     static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
     static DEPTH: Cell<u32> = const { Cell::new(0) };
     static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
@@ -49,18 +50,19 @@ pub(crate) fn thread_track() -> u64 {
 /// Turn recording on. Idempotent; fixes the timestamp epoch on first call.
 pub fn enable() {
     epoch();
-    ENABLED.store(true, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst); // conc: rare toggle; strongest order by default
 }
 
 /// Turn recording off. Spans already open keep recording until dropped.
 pub fn disable() {
-    ENABLED.store(false, Ordering::SeqCst);
+    ENABLED.store(false, Ordering::SeqCst); // conc: rare toggle; strongest order by default
 }
 
 /// Whether the recorder is currently on. This is the ~one-atomic-load
 /// gate instrumented hot paths may use to skip attribute computation.
 #[inline]
 pub fn is_enabled() -> bool {
+    // conc: advisory gate; a stale read only delays the toggle by one event
     ENABLED.load(Ordering::Relaxed)
 }
 

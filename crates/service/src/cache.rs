@@ -13,7 +13,8 @@
 //! [`AnalysisEngine`]: disparity_core::engine::AnalysisEngine
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use disparity_conc::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, PoisonError};
 
 use disparity_core::engine::HopCache;
 use disparity_model::graph::CauseEffectGraph;
@@ -273,6 +274,169 @@ impl ShardedCache {
         shard.slots.entry(key).or_default().push(Slot {
             entry: Arc::clone(&entry),
             stamp,
+        });
+        shard.len += 1;
+        entry
+    }
+}
+
+/// Model-checker instrumentation: invariant audit and clock control,
+/// compiled only under the `model` feature so the normal build's surface
+/// is untouched. Used by `tests/conc_model.rs`.
+#[cfg(feature = "model")]
+impl ShardedCache {
+    /// Checks every shard's bookkeeping invariants and returns the first
+    /// violation as text: `len` equals the live slot count, recency
+    /// stamps are unique, and no bucket holds two slots for the same
+    /// canonical text (the "one `HopCache` per spec" contract).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first invariant breach.
+    pub fn debug_audit(&self) -> Result<(), String> {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            let live: usize = shard.slots.values().map(Vec::len).sum();
+            if shard.len != live {
+                return Err(format!(
+                    "shard {i}: len counter {} but {live} live slots",
+                    shard.len
+                ));
+            }
+            let mut stamps: Vec<u64> = shard.slots.values().flatten().map(|s| s.stamp).collect();
+            stamps.sort_unstable();
+            if stamps.windows(2).any(|w| w[0] == w[1]) {
+                return Err(format!("shard {i}: duplicate recency stamp"));
+            }
+            for bucket in shard.slots.values() {
+                for (a, slot) in bucket.iter().enumerate() {
+                    if bucket[a + 1..]
+                        .iter()
+                        .any(|other| other.entry.canonical.text == slot.entry.canonical.text)
+                    {
+                        return Err(format!("shard {i}: duplicate canonical text in bucket"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Forces the recency clock of `key`'s shard — lets the harness start
+    /// an execution at `u64::MAX` so the renumbering path in
+    /// `Shard::next_stamp` runs under concurrency instead of being
+    /// theoretical.
+    pub fn debug_set_clock(&self, key: u64, clock: u64) {
+        self.shard(key).clock = clock;
+    }
+}
+
+/// Deliberately weakened copies of the insert/eviction path, compiled
+/// only under the `model` feature. Mutation probes for the in-tree
+/// concurrency checker (`tests/conc_model.rs`): each resurrects a
+/// bookkeeping bug the real code guards against, and the checker must
+/// catch each via [`ShardedCache::debug_audit`] within the tier-1
+/// schedule budget.
+#[cfg(feature = "model")]
+pub mod probes {
+    use super::*;
+
+    /// Mutant: eviction decrements `len` twice per removed slot. With two
+    /// or more live slots at eviction time the counter drifts below the
+    /// live count and capacity enforcement silently degrades.
+    pub fn insert_double_decrement_eviction(
+        cache: &ShardedCache,
+        key: u64,
+        entry: GraphEntry,
+    ) -> Arc<GraphEntry> {
+        let mut shard = cache.shard(key);
+        // Deref once so field borrows split (`slots` vs `len`).
+        let shard = &mut *shard;
+        let clock = shard.next_stamp();
+        if let Some(bucket) = shard.slots.get_mut(&key) {
+            if let Some(slot) = bucket
+                .iter_mut()
+                .find(|s| s.entry.canonical.text == entry.canonical.text)
+            {
+                slot.stamp = clock;
+                return Arc::clone(&slot.entry);
+            }
+        }
+        while shard.len >= cache.per_shard_capacity {
+            let oldest = shard
+                .slots
+                .iter()
+                .flat_map(|(&k, v)| v.iter().map(move |s| (s.stamp, k)))
+                .min();
+            let Some((stamp, victim)) = oldest else { break };
+            if let Some(bucket) = shard.slots.get_mut(&victim) {
+                if let Some(at) = bucket.iter().position(|s| s.stamp == stamp) {
+                    bucket.remove(at);
+                    // MUTANT: `len` decremented twice for one removed slot.
+                    shard.len = shard.len.saturating_sub(2);
+                }
+                if bucket.is_empty() {
+                    shard.slots.remove(&victim);
+                }
+            }
+        }
+        let entry = Arc::new(entry);
+        shard.slots.entry(key).or_default().push(Slot {
+            entry: Arc::clone(&entry),
+            stamp: clock,
+        });
+        shard.len += 1;
+        entry
+    }
+
+    /// Mutant: the historical retain-based eviction, paired with a stale
+    /// clock read so slots inserted through this path share recency
+    /// stamps. `retain` then drops *every* slot carrying the victim stamp
+    /// while `len` decrements once — exactly the desync the comment in
+    /// `Shard::evict_lru` warns about.
+    pub fn insert_retain_eviction(
+        cache: &ShardedCache,
+        key: u64,
+        entry: GraphEntry,
+    ) -> Arc<GraphEntry> {
+        let mut shard = cache.shard(key);
+        // Deref once so field borrows split (`slots` vs `len`).
+        let shard = &mut *shard;
+        // MUTANT: reuses the current clock instead of drawing a fresh
+        // stamp, so repeated probe inserts collide on one stamp.
+        let clock = shard.clock;
+        if let Some(bucket) = shard.slots.get_mut(&key) {
+            if let Some(slot) = bucket
+                .iter_mut()
+                .find(|s| s.entry.canonical.text == entry.canonical.text)
+            {
+                slot.stamp = clock;
+                return Arc::clone(&slot.entry);
+            }
+        }
+        while shard.len >= cache.per_shard_capacity {
+            let oldest = shard
+                .slots
+                .iter()
+                .flat_map(|(&k, v)| v.iter().map(move |s| (s.stamp, k)))
+                .min();
+            let Some((stamp, victim)) = oldest else { break };
+            if let Some(bucket) = shard.slots.get_mut(&victim) {
+                let before = bucket.len();
+                // MUTANT: drops every slot sharing the victim stamp.
+                bucket.retain(|s| s.stamp != stamp);
+                if bucket.len() < before {
+                    shard.len -= 1;
+                }
+                if bucket.is_empty() {
+                    shard.slots.remove(&victim);
+                }
+            }
+        }
+        let entry = Arc::new(entry);
+        shard.slots.entry(key).or_default().push(Slot {
+            entry: Arc::clone(&entry),
+            stamp: clock,
         });
         shard.len += 1;
         entry

@@ -20,8 +20,9 @@
 //! never touched the queue. The regression test lives in
 //! `tests/server_hardening.rs::vanishing_clients_leak_no_queue_capacity`.
 
+use disparity_conc::sync::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::PoisonError;
 
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +172,66 @@ impl<T> BoundedQueue<T> {
         self.lock().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
+    }
+}
+
+/// Deliberately weakened copies of the queue's hot paths, compiled only
+/// under the `model` feature. They are mutation probes for the in-tree
+/// concurrency checker (`tests/conc_model.rs`): each drops exactly one
+/// ordering/wakeup obligation the real code carries, and the checker must
+/// catch each within the tier-1 schedule budget — proof the harness has
+/// teeth, not just green runs.
+#[cfg(feature = "model")]
+pub mod probes {
+    use super::*;
+
+    /// Mutant: [`BoundedQueue::pop`] without the `not_full` notification —
+    /// the "permit release" that unblocks a waiting `push_blocking`. A
+    /// producer parked on a full queue then sleeps forever; the checker
+    /// reports the lost wakeup as a deadlock.
+    pub fn pop_missing_permit_release<T>(q: &BoundedQueue<T>) -> Option<T> {
+        let mut s = q.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                // MUTANT: `q.not_full.notify_one()` dropped.
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = q
+                .not_empty
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Mutant: [`BoundedQueue::push_blocking`] without the `not_empty`
+    /// notification. A consumer already parked in `pop` never learns the
+    /// item arrived; the checker reports the deadlock.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] exactly like the real path.
+    pub fn push_blocking_missing_notify<T>(
+        q: &BoundedQueue<T>,
+        item: T,
+    ) -> Result<(), (T, PushError)> {
+        let mut s = q.lock();
+        loop {
+            if s.closed {
+                return Err((item, PushError::Closed));
+            }
+            if s.items.len() < q.capacity {
+                s.items.push_back(item);
+                // MUTANT: `q.not_empty.notify_one()` dropped.
+                return Ok(());
+            }
+            s = q
+                .not_full
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
     }
 }
 

@@ -94,6 +94,7 @@ pub struct ServerHandle {
 impl core::fmt::Debug for ServerShared {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("ServerShared")
+            // conc: debug display only
             .field("closing", &self.closing.load(Ordering::SeqCst))
             .finish_non_exhaustive()
     }
@@ -156,6 +157,8 @@ impl ServerHandle {
     /// Graceful shutdown: drains every accepted request, then stops.
     /// Safe to call more than once; later calls are no-ops.
     pub fn shutdown(&self) {
+        // conc: once-only shutdown latch on a cold path; SeqCst pairs with
+        // the accept loop's load and keeps the drain handshake simple
         if self.shared.closing.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -181,7 +184,7 @@ impl ServerHandle {
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
     for stream in listener.incoming() {
-        if shared.closing.load(Ordering::SeqCst) {
+        if shared.closing.load(Ordering::SeqCst) { // conc: pairs with shutdown's swap
             break;
         }
         let Ok(stream) = stream else { continue };
@@ -197,6 +200,7 @@ fn spawn_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    // conc: unique-id allocation; per-connection, so ordering cost is noise
     let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
     lock(&shared.client_reads).insert(conn_id, read_half);
     let (tx, rx) = channel::<Reply>();

@@ -199,11 +199,11 @@ impl Quarantine {
 
 /// A snapshot of one counter (relaxed load; the counters are gauges).
 fn load(c: &AtomicU64) -> u64 {
-    c.load(Ordering::Relaxed)
+    c.load(Ordering::Relaxed) // conc: stats gauge; staleness only skews a report
 }
 
 fn bump(c: &AtomicU64) {
-    c.fetch_add(1, Ordering::Relaxed);
+    c.fetch_add(1, Ordering::Relaxed); // conc: stats gauge; count, not ordering
 }
 
 /// Per-endpoint latency: the cumulative-since-start histogram the

@@ -85,6 +85,18 @@ echo "==> srclint gate (workspace source lint, committed allowlist)"
 ensure_fresh srclint disparity-analyzer
 ./target/release/srclint
 
+echo "==> conc gate (model checker litmus + queue/cache/flight harnesses)"
+# Bounded-exhaustive interleaving exploration at the committed config
+# sizes, seeded random passes beyond that budget, and the mutation
+# corpus replayed byte-for-byte. The `model` feature swaps conc::sync's
+# std re-exports for instrumented primitives; normal builds are
+# untouched (the benchgate steps above prove the shim costs nothing).
+cargo test -p disparity-conc --release --features model -q
+cargo test -p disparity-obs --release --features model --test conc_flight -q
+cargo test -p disparity-service --release --features model --test conc_model -q
+cargo clippy -p disparity-conc -p disparity-obs -p disparity-service \
+    --features model --all-targets -- -D warnings
+
 echo "==> diag smoke (D0xx diagnostics, known-clean WATERS spec, deny errors)"
 ensure_fresh diag disparity-analyzer
 ./target/release/diag specs/waters_clean.json --deny-lints
