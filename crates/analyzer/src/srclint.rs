@@ -216,7 +216,7 @@ impl Report {
 }
 
 /// Crates whose `src` trees must stay wall-clock free.
-const DETERMINISTIC_CRATES: [&str; 7] = [
+const DETERMINISTIC_CRATES: [&str; 8] = [
     "model",
     "sched",
     "core",
@@ -224,6 +224,7 @@ const DETERMINISTIC_CRATES: [&str; 7] = [
     "workload",
     "rng",
     "analyzer",
+    "opt",
 ];
 
 // The scanner's own pattern table is assembled from split literals so that

@@ -1,0 +1,102 @@
+//! Benchmarks the global optimizer's two candidate-scoring paths.
+//!
+//! `delta_scored` is what the search pays per explored state on its hot
+//! path: [`AnalyzedSystem::apply`] rebasing the parent state across one
+//! `ResizeBuffer` edit. `cold_scored` is the fallback (and the
+//! exhaustive oracle's only path): canonical clone, edit application,
+//! and a full from-scratch re-analysis. `plan_auto` times one complete
+//! `optimize_analyzed` call — search, greedy fold-in, and the final
+//! cold validation pass — on a fig6ab-scale fusion workload.
+//!
+//! Before any timing, the delta-scored state is asserted bound-identical
+//! to the cold pipeline on the same edit. The committed
+//! `BENCH_opt_baseline.json` plus `benchgate --metric
+//! delta_scored=cold_scored --threshold-pct -80` is the standing proof
+//! that the incremental path makes each search node ≥5× cheaper than
+//! cold re-analysis (see `scripts/tier1.sh`).
+//!
+//! [`AnalyzedSystem::apply`]: disparity_core::delta::AnalyzedSystem::apply
+
+use disparity_bench::{criterion_group, criterion_main, Criterion};
+use disparity_core::delta::AnalyzedSystem;
+use disparity_core::disparity::AnalysisConfig;
+use disparity_model::edit::{apply_all, SpecEdit};
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::spec::SystemSpec;
+use disparity_opt::{
+    derive_candidates, optimize_analyzed, BackendChoice, BufferBudget, PlanRequest,
+};
+use disparity_rng::rngs::StdRng;
+use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
+use std::hint::black_box;
+
+/// A seeded multi-sink fusion workload (WATERS period bins). Four
+/// independent fusion sinks make the cost model honest: a cold score
+/// recomputes every sink's report while the delta path carries over
+/// every chain that avoids the resized edge.
+fn seeded_workload(seed: u64) -> CauseEffectGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = FunnelConfig {
+        stage_widths: vec![16, 8, 4, 4],
+        ..FunnelConfig::default()
+    };
+    schedulable_funnel_system(&config, &mut rng, 64).expect("funnel workload generates")
+}
+
+fn bench_opt_search(c: &mut Criterion) {
+    let graph = seeded_workload(42);
+    let spec = SystemSpec::from_graph(&graph);
+    let base =
+        AnalyzedSystem::analyze(&spec, AnalysisConfig::default()).expect("base analyzes cold");
+
+    // Score a last-stage candidate channel: the edit the search pays
+    // for most often is a local one, reaching one sink, not a sensor
+    // edge feeding the whole graph.
+    let candidates = derive_candidates(&base).expect("candidates derive");
+    let ch = candidates
+        .channels
+        .last()
+        .expect("fusion workload has a resizable channel");
+    let edit = SpecEdit::ResizeBuffer {
+        from: ch.from_name.clone(),
+        to: ch.to_name.clone(),
+        capacity: ch.base_capacity + 1,
+    };
+
+    // Consistency gate: both scoring paths must agree on every fusion
+    // task's bound before either is worth timing.
+    let (delta_sys, _stats) = base.apply(&edit).expect("delta path applies");
+    let mut spec2 = spec.clone();
+    apply_all(&mut spec2, std::slice::from_ref(&edit)).expect("edit applies");
+    let cold_sys =
+        AnalyzedSystem::analyze(&spec2, AnalysisConfig::default()).expect("cold path analyzes");
+    for (d, c) in delta_sys.reports().iter().zip(cold_sys.reports()) {
+        assert_eq!(d.task, c.task, "report order");
+        assert_eq!(d.bound, c.bound, "delta and cold scores agree");
+    }
+
+    let request = PlanRequest::with_budget(BufferBudget::slots(4));
+
+    let mut group = c.benchmark_group("opt_search/score");
+    group.bench_function("delta_scored", |b| {
+        b.iter(|| black_box(&base).apply(black_box(&edit)).expect("delta applies"))
+    });
+    group.bench_function("cold_scored", |b| {
+        b.iter(|| {
+            let mut spec2 = black_box(&spec).clone();
+            apply_all(&mut spec2, std::slice::from_ref(black_box(&edit)))
+                .expect("edit applies");
+            AnalyzedSystem::analyze(&spec2, AnalysisConfig::default()).expect("analyzes")
+        })
+    });
+    group.bench_function("plan_auto", |b| {
+        b.iter(|| {
+            optimize_analyzed(black_box(&base), black_box(&request), BackendChoice::Auto)
+                .expect("plans")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_opt_search);
+criterion_main!(benches);

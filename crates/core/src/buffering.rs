@@ -45,7 +45,12 @@ pub struct BufferPlan {
     pub shift: Duration,
     /// The Theorem 2 bound before buffering.
     pub bound_before: Duration,
-    /// The Theorem 3 bound after buffering (`bound_before − L`).
+    /// The bound after buffering: Theorem 2 re-run on the buffered
+    /// graph. Theorem 3 predicts `bound_before − L`; when the
+    /// prediction overshoots what re-analysis certifies (possible on
+    /// multi-joint pairs, where the `x/y` recursion's floors absorb
+    /// part of the shift), the re-analyzed value wins and the
+    /// divergence is counted (`buffering.theorem3_divergence`).
     pub bound_after: Duration,
 }
 
@@ -135,13 +140,29 @@ pub fn design_buffer(
         None => unreachable!("consecutive chain tasks are connected"),
     };
     let bound_before = theorem2_bound(graph, lambda, nu, rt)?;
+    // Theorem 3 predicts `bound_before − L`, but the prediction is only a
+    // statement about the sampling-window shift; certify the buffered
+    // bound by re-running Theorem 2 on the buffered graph instead of
+    // extrapolating. The two agree on single-joint pairs; on deeper
+    // pairs the recursion's floor terms can absorb part of the shift.
+    let bound_after = if shift.is_zero() {
+        bound_before
+    } else {
+        let mut buffered = graph.clone();
+        buffered.set_channel_capacity(channel, steps as usize + 1)?;
+        let certified = theorem2_bound(&buffered, lambda, nu, rt)?;
+        if certified != bound_before - shift {
+            disparity_obs::counter_add("buffering.theorem3_divergence", 1);
+        }
+        certified
+    };
     Ok(BufferPlan {
         side,
         channel,
         capacity: steps as usize + 1,
         shift,
         bound_before,
-        bound_after: bound_before - shift,
+        bound_after,
     })
 }
 
@@ -475,6 +496,58 @@ mod tests {
         assert!(plan.capacity > 1);
         // Shift is a whole multiple of the buffered source's period.
         assert_eq!(plan.shift % g.task(s1).period(), Duration::ZERO);
+    }
+
+    #[test]
+    fn overshooting_theorem3_prediction_is_corrected_by_reanalysis() {
+        // Regression for the old `bound_after = bound_before − shift`
+        // extrapolation. On the default funnel at seed 0 at least one
+        // multi-joint pair's midpoint gap overlaps recursion floors that
+        // absorb the whole shift: Theorem 3 predicts an improvement the
+        // re-run of Theorem 2 does not certify. `design_buffer` must
+        // return the certified bound, never the optimistic prediction.
+        use disparity_rng::SplitMix64;
+        use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
+
+        let mut rng = SplitMix64::new(0);
+        let g = schedulable_funnel_system(&FunnelConfig::default(), &mut rng, 64).unwrap();
+        let rt = response_times(&g).unwrap();
+        let mut overshoot_seen = false;
+        for sink in g.sinks() {
+            let report =
+                worst_case_disparity(&g, sink, &rt, AnalysisConfig::default()).unwrap();
+            for pair in &report.pairs {
+                let lambda = &report.chains[pair.lambda];
+                let nu = &report.chains[pair.nu];
+                let Some((lam_t, nu_t)) = lambda.truncate_to_last_joint(nu) else {
+                    continue;
+                };
+                let Ok(plan) = design_buffer(&g, &lam_t, &nu_t, &rt) else {
+                    continue;
+                };
+                if plan.shift.is_zero() {
+                    continue;
+                }
+                let mut buffered = g.clone();
+                plan.apply(&mut buffered).unwrap();
+                let certified = theorem2_bound(&buffered, &lam_t, &nu_t, &rt).unwrap();
+                assert_eq!(
+                    plan.bound_after, certified,
+                    "bound_after must be the certified re-analysis value"
+                );
+                if plan.bound_after != plan.bound_before - plan.shift {
+                    overshoot_seen = true;
+                    assert!(
+                        plan.bound_after > plan.bound_before - plan.shift,
+                        "divergence can only be an overshoot of the prediction"
+                    );
+                }
+            }
+        }
+        assert!(
+            overshoot_seen,
+            "fixture regressed: funnel seed 0 no longer exhibits an overshooting pair"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! so the delta path is transitively identical to the uncached oracle.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use disparity_model::edit::{EditError, SpecEdit};
 use disparity_model::error::ModelError;
@@ -36,7 +37,7 @@ use disparity_sched::error::SchedError;
 use disparity_sched::wcrt::{response_times, response_times_partial, ResponseTimes};
 
 use crate::disparity::{AnalysisConfig, DisparityReport};
-use crate::engine::{AnalysisEngine, HopCache};
+use crate::engine::{AnalysisEngine, ChainTable, HopCache};
 use crate::error::AnalysisError;
 
 /// Why an incremental (or cold) analysis failed.
@@ -230,8 +231,13 @@ pub struct AnalyzedSystem {
     config: AnalysisConfig,
     workers: Option<usize>,
     reports: Vec<DisparityReport>,
+    /// `tables[r]` = the prefix tables of `reports[r]`'s chains, in chain
+    /// order. Shared (`Arc`) across derived systems: a delta apply clones
+    /// handles for every clean chain and rebuilds only dirty ones.
+    tables: Vec<Vec<Arc<ChainTable>>>,
     skipped: Vec<TaskId>,
-    deps: DependencyMap,
+    /// Shared across shape-preserving derives (chain sets are identical).
+    deps: Arc<DependencyMap>,
 }
 
 impl AnalyzedSystem {
@@ -263,15 +269,15 @@ impl AnalyzedSystem {
     ) -> Result<Self, DeltaError> {
         let graph = spec.build()?;
         let rt = response_times(&graph)?;
-        let (reports, skipped, hops) = {
+        let (reports, tables, skipped, hops) = {
             let mut engine = AnalysisEngine::new(&graph, &rt);
             if let Some(w) = workers {
                 engine = engine.with_workers(w);
             }
-            let (reports, skipped) = engine.analyze_all_tasks(config)?;
-            (reports, skipped, engine.hop_cache())
+            let (reports, tables, skipped) = engine.analyze_all_tasks_with_tables(config)?;
+            (reports, tables, skipped, engine.hop_cache())
         };
-        let deps = DependencyMap::build(graph.task_count(), &reports);
+        let deps = Arc::new(DependencyMap::build(graph.task_count(), &reports));
         Ok(AnalyzedSystem {
             spec: spec.clone(),
             hashes: spec.subsystem_hashes(),
@@ -281,6 +287,7 @@ impl AnalyzedSystem {
             config,
             workers,
             reports,
+            tables,
             skipped,
             deps,
         })
@@ -650,7 +657,7 @@ pub fn reanalyze(
     };
     stats.wcrt_reused = n - stats.wcrt_recomputed;
 
-    let (reports2, skipped2) = {
+    let (reports2, tables2, skipped2) = {
         let mut engine = AnalysisEngine::new(&graph2, &rt2).with_hop_cache(hops2.clone());
         if let Some(w) = prev.workers {
             engine = engine.with_workers(w);
@@ -663,15 +670,19 @@ pub fn reanalyze(
     };
 
     let deps2 = if downstream.is_some() {
-        DependencyMap::build(n, &reports2)
+        Arc::new(DependencyMap::build(n, &reports2))
     } else {
         // The chain sets are untouched, so the reverse index is too.
-        prev.deps.clone()
+        Arc::clone(&prev.deps)
     };
 
     span.attr("pairs_recomputed", stats.pairs_recomputed);
     span.attr("pairs_reused", stats.pairs_reused);
-    let hashes2 = spec2.subsystem_hashes();
+    // Shape-preserving edits reach at most two task fragments or one
+    // channel fragment; rebasing the hash set recomputes exactly those
+    // instead of re-hashing the whole spec.
+    let hashes2 = prev.hashes.rebase(&spec2, edit);
+    debug_assert_eq!(hashes2, spec2.subsystem_hashes());
     Ok((
         AnalyzedSystem {
             spec: spec2,
@@ -682,12 +693,18 @@ pub fn reanalyze(
             config: prev.config,
             workers: prev.workers,
             reports: reports2,
+            tables: tables2,
             skipped: skipped2,
             deps: deps2,
         },
         stats,
     ))
 }
+
+/// What a re-sweep produces: the derived reports, their chain tables
+/// (reused where clean), and the skipped-task list.
+type ResweepResult =
+    Result<(Vec<DisparityReport>, Vec<Vec<Arc<ChainTable>>>, Vec<TaskId>), DeltaError>;
 
 /// Re-sweep for shape-preserving edits: every report keeps its chain set,
 /// so each one either copies verbatim (no dirty chain) or re-sweeps only
@@ -698,7 +715,7 @@ fn resweep_in_place(
     dirty_task: &[bool],
     resized: Option<(TaskId, TaskId)>,
     stats: &mut ReanalyzeStats,
-) -> Result<(Vec<DisparityReport>, Vec<TaskId>), DeltaError> {
+) -> ResweepResult {
     let mut dirty_chains: Vec<Vec<bool>> = prev
         .reports
         .iter()
@@ -718,6 +735,7 @@ fn resweep_in_place(
     }
 
     let mut reports = Vec::with_capacity(prev.reports.len());
+    let mut tables = Vec::with_capacity(prev.reports.len());
     for (r, report) in prev.reports.iter().enumerate() {
         let dirty = &dirty_chains[r];
         if dirty.iter().any(|&d| d) {
@@ -732,20 +750,24 @@ fn resweep_in_place(
                 }
             }
             stats.reports_recomputed += 1;
-            reports.push(engine.worst_case_disparity_partial(
+            let (report2, tables2) = engine.worst_case_disparity_partial(
                 report.task,
                 prev.config,
                 report.chains.clone(),
                 &report.pairs,
+                &prev.tables[r],
                 dirty,
-            )?);
+            )?;
+            reports.push(report2);
+            tables.push(tables2);
         } else {
             stats.pairs_reused += report.pairs.len();
             stats.reports_reused += 1;
             reports.push(report.clone());
+            tables.push(prev.tables[r].clone());
         }
     }
-    Ok((reports, prev.skipped.clone()))
+    Ok((reports, tables, prev.skipped.clone()))
 }
 
 /// Re-sweep for channel insertions/removals: tasks downstream of the
@@ -758,20 +780,26 @@ fn resweep_topology(
     engine: &AnalysisEngine<'_>,
     affected: &[bool],
     stats: &mut ReanalyzeStats,
-) -> Result<(Vec<DisparityReport>, Vec<TaskId>), DeltaError> {
-    let prev_by_task: HashMap<TaskId, &DisparityReport> =
-        prev.reports.iter().map(|r| (r.task, r)).collect();
+) -> ResweepResult {
+    let prev_by_task: HashMap<TaskId, (usize, &DisparityReport)> = prev
+        .reports
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.task, (i, r)))
+        .collect();
     let mut reports = Vec::new();
+    let mut tables = Vec::new();
     let mut skipped = Vec::new();
     for task in engine.graph().tasks() {
         let id = task.id();
         if affected[id.index()] {
-            match engine.worst_case_disparity(id, prev.config) {
-                Ok(report) => {
+            match engine.worst_case_disparity_with_tables(id, prev.config) {
+                Ok((report, report_tables)) => {
                     stats.pairs_recomputed += report.pairs.len();
                     if report.chains.len() >= 2 {
                         stats.reports_recomputed += 1;
                         reports.push(report);
+                        tables.push(report_tables);
                     }
                 }
                 Err(AnalysisError::Model(ModelError::ChainLimitExceeded { .. })) => {
@@ -779,15 +807,16 @@ fn resweep_topology(
                 }
                 Err(e) => return Err(e.into()),
             }
-        } else if let Some(&report) = prev_by_task.get(&id) {
+        } else if let Some(&(r, report)) = prev_by_task.get(&id) {
             stats.pairs_reused += report.pairs.len();
             stats.reports_reused += 1;
             reports.push(report.clone());
+            tables.push(prev.tables[r].clone());
         } else if prev.skipped.contains(&id) {
             skipped.push(id);
         }
     }
-    Ok((reports, skipped))
+    Ok((reports, tables, skipped))
 }
 
 #[cfg(test)]

@@ -140,8 +140,14 @@ impl fmt::Debug for HopCache {
 /// * `W = hop_prefix[end] − hop_prefix[start]` (Lemma 4 + Lemma 6);
 /// * `B = bcet_prefix[end+1] − bcet_prefix[start] − R(tasks[end])
 ///   + shift_prefix[end] − shift_prefix[start]` (Lemma 5 + Lemma 6).
+///
+/// Tables are handed around in `Arc`s: a table depends only on the
+/// chain's tasks, their BCETs, the response times, and the hop/shift
+/// terms of its edges, so the delta engine shares a clean chain's table
+/// across derived systems instead of rebuilding it (see
+/// `worst_case_disparity_partial`).
 #[derive(Debug)]
-struct ChainTable {
+pub(crate) struct ChainTable {
     /// `hop_prefix[k]` = sum of the first `k` edge hop bounds.
     hop_prefix: Vec<Duration>,
     /// `bcet_prefix[k]` = sum of the first `k` tasks' BCETs.
@@ -412,16 +418,28 @@ impl<'a> AnalysisEngine<'a> {
         task: TaskId,
         config: AnalysisConfig,
     ) -> Result<DisparityReport, AnalysisError> {
+        self.worst_case_disparity_with_tables(task, config)
+            .map(|(report, _)| report)
+    }
+
+    /// [`Self::worst_case_disparity`] returning the built chain tables
+    /// alongside the report, so the delta engine can carry clean tables
+    /// into derived systems.
+    pub(crate) fn worst_case_disparity_with_tables(
+        &self,
+        task: TaskId,
+        config: AnalysisConfig,
+    ) -> Result<(DisparityReport, Vec<Arc<ChainTable>>), AnalysisError> {
         self.check_budget()?;
         let chains = self.graph.chains_to(task, config.chain_limit)?;
         let mut span = disparity_obs::span("disparity.worst_case");
         span.attr("chains", chains.len());
         span.attr("engine", 1usize);
-        let tables: Vec<ChainTable> = chains
+        let tables: Vec<Arc<ChainTable>> = chains
             .iter()
             .map(|c| {
                 self.check_budget()?;
-                self.table(c)
+                self.table(c).map(Arc::new)
             })
             .collect::<Result<_, _>>()?;
         disparity_obs::counter_add("engine.chain_tables", tables.len() as u64);
@@ -449,27 +467,33 @@ impl<'a> AnalysisEngine<'a> {
             .unwrap_or(Duration::ZERO);
         span.attr("pairs", pairs.len());
         span.attr("bound_ns", bound);
-        Ok(DisparityReport {
-            task,
-            method: config.method,
-            bound,
-            chains,
-            pairs,
-        })
+        Ok((
+            DisparityReport {
+                task,
+                method: config.method,
+                bound,
+                chains,
+                pairs,
+            },
+            tables,
+        ))
     }
 
     /// Re-sweeps only the pairs that touch a dirty chain, copying every
-    /// clean pair from `prev_pairs`.
+    /// clean pair from `prev_pairs` and every clean chain's prefix table
+    /// from `prev_tables`. Returns the report and the (partially shared)
+    /// tables of the derived system.
     ///
     /// Caller contract (upheld by the delta engine in `delta.rs`): the
     /// `chains` are exactly what [`CauseEffectGraph::chains_to`] would
     /// enumerate for `task` under `config`, `prev_pairs` is the pair list
-    /// of a report over those same chains in the same `(i, j)` order, and
+    /// of a report over those same chains in the same `(i, j)` order,
+    /// `prev_tables` are that report's chain tables in chain order, and
     /// `dirty[i]` is `true` for every chain whose bounds may have changed.
     /// Under that contract the result is byte-identical to a full
-    /// [`Self::worst_case_disparity`] run: clean pairs were computed from
-    /// unchanged inputs by identical arithmetic, dirty pairs are
-    /// recomputed here through the (pre-invalidated) hop cache.
+    /// [`Self::worst_case_disparity`] run: clean pairs and clean tables
+    /// were computed from unchanged inputs by identical arithmetic, dirty
+    /// ones are recomputed here through the (pre-invalidated) hop cache.
     ///
     /// # Errors
     ///
@@ -480,24 +504,28 @@ impl<'a> AnalysisEngine<'a> {
         config: AnalysisConfig,
         chains: Vec<Chain>,
         prev_pairs: &[PairBound],
+        prev_tables: &[Arc<ChainTable>],
         dirty: &[bool],
-    ) -> Result<DisparityReport, AnalysisError> {
+    ) -> Result<(DisparityReport, Vec<Arc<ChainTable>>), AnalysisError> {
         self.check_budget()?;
         let n = chains.len();
-        let any_dirty = dirty.iter().any(|&d| d);
-        // Tables are only needed to recompute dirty pairs, and one dirty
-        // chain pairs with every other chain — so it is all tables or none.
-        let tables: Vec<ChainTable> = if any_dirty {
-            chains
-                .iter()
-                .map(|c| {
+        debug_assert_eq!(prev_tables.len(), n, "one table per chain");
+        // Only dirty chains rebuild their table; a clean chain's prefix
+        // sums depend on unchanged inputs, so its previous table is
+        // shared as-is (dirty pairs read the clean partner through it).
+        let tables: Vec<Arc<ChainTable>> = chains
+            .iter()
+            .zip(prev_tables)
+            .zip(dirty)
+            .map(|((c, prev), &d)| {
+                if d {
                     self.check_budget()?;
-                    self.table(c)
-                })
-                .collect::<Result<_, _>>()?
-        } else {
-            Vec::new()
-        };
+                    self.table(c).map(Arc::new)
+                } else {
+                    Ok(Arc::clone(prev))
+                }
+            })
+            .collect::<Result<_, _>>()?;
         let mut pairs = Vec::with_capacity(prev_pairs.len());
         let mut flat = 0usize;
         let mut recomputed = 0usize;
@@ -525,13 +553,16 @@ impl<'a> AnalysisEngine<'a> {
             .map(|p| p.bound)
             .max()
             .unwrap_or(Duration::ZERO);
-        Ok(DisparityReport {
-            task,
-            method: config.method,
-            bound,
-            chains,
-            pairs,
-        })
+        Ok((
+            DisparityReport {
+                task,
+                method: config.method,
+                bound,
+                chains,
+                pairs,
+            },
+            tables,
+        ))
     }
 
     /// The pair loop over a scoped-thread worker pool. Pairs are chunked
@@ -541,7 +572,7 @@ impl<'a> AnalysisEngine<'a> {
     fn pairs_parallel(
         &self,
         chains: &[Chain],
-        tables: &[ChainTable],
+        tables: &[Arc<ChainTable>],
         method: Method,
         n_pairs: usize,
     ) -> Result<Vec<PairBound>, AnalysisError> {
@@ -601,7 +632,7 @@ impl<'a> AnalysisEngine<'a> {
     fn pair_bound(
         &self,
         chains: &[Chain],
-        tables: &[ChainTable],
+        tables: &[Arc<ChainTable>],
         i: usize,
         j: usize,
         method: Method,
@@ -633,7 +664,7 @@ impl<'a> AnalysisEngine<'a> {
     }
 
     /// Theorem 1 over the *full* chain pair (the **P-diff** leg).
-    fn theorem1_full(&self, chains: &[Chain], tables: &[ChainTable], i: usize, j: usize) -> Duration {
+    fn theorem1_full(&self, chains: &[Chain], tables: &[Arc<ChainTable>], i: usize, j: usize) -> Duration {
         let li = chains[i].len() - 1;
         let lj = chains[j].len() - 1;
         let bl = tables[i].bounds(self.rt, chains[i].tail(), 0, li);
@@ -647,7 +678,7 @@ impl<'a> AnalysisEngine<'a> {
     fn theorem2_truncated(
         &self,
         chains: &[Chain],
-        tables: &[ChainTable],
+        tables: &[Arc<ChainTable>],
         i: usize,
         j: usize,
     ) -> (Duration, TaskId) {
@@ -756,13 +787,27 @@ impl<'a> AnalysisEngine<'a> {
         &self,
         config: AnalysisConfig,
     ) -> Result<(Vec<DisparityReport>, Vec<TaskId>), AnalysisError> {
+        self.analyze_all_tasks_with_tables(config)
+            .map(|(reports, _, skipped)| (reports, skipped))
+    }
+
+    /// [`Self::analyze_all_tasks`] returning each report's chain tables
+    /// (in report order), so the delta engine can seed its table
+    /// carry-over from a cold run.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn analyze_all_tasks_with_tables(
+        &self,
+        config: AnalysisConfig,
+    ) -> Result<(Vec<DisparityReport>, Vec<Vec<Arc<ChainTable>>>, Vec<TaskId>), AnalysisError> {
         let mut reports = Vec::new();
+        let mut tables = Vec::new();
         let mut skipped = Vec::new();
         for task in self.graph.tasks() {
-            match self.worst_case_disparity(task.id(), config) {
-                Ok(report) => {
+            match self.worst_case_disparity_with_tables(task.id(), config) {
+                Ok((report, t)) => {
                     if report.chains.len() >= 2 {
                         reports.push(report);
+                        tables.push(t);
                     }
                 }
                 Err(AnalysisError::Model(ModelError::ChainLimitExceeded { .. })) => {
@@ -771,7 +816,7 @@ impl<'a> AnalysisEngine<'a> {
                 Err(e) => return Err(e),
             }
         }
-        Ok((reports, skipped))
+        Ok((reports, tables, skipped))
     }
 }
 

@@ -8,7 +8,7 @@
 //!         [--require-cache-hit] [--probe-overload N] [--shutdown]
 //!         [--chaos-soak] [--soak-tag TAG] [--direct-addr HOST:PORT]
 //!         [--latency-series FILE] [--series-interval-ms N] [--dump]
-//!         [--edit-replay]
+//!         [--edit-replay] [--optimize-replay]
 //! ```
 //!
 //! Each connection runs a synchronous request/response loop over the
@@ -66,6 +66,19 @@
 //! `patch_memo_hits` counters moved, so CI can prove both the derive and
 //! the warm path were exercised.
 //!
+//! # Optimize replay
+//!
+//! `--optimize-replay` exercises the global buffer-plan optimizer end to
+//! end: the full spec is sent once to seat the base graph, then
+//! `--requests` `optimize` requests — cycling a small sweep of slot
+//! budgets against the base's canonical hash, all carrying `--seed` as
+//! the plan seed — are replayed. Every response must be
+//! **byte-identical** to a local [`disparity_opt`] run plus the pure
+//! [`encode_optimize_result`] encoder (replaying the same budget twice
+//! must therefore also produce identical bytes), and the run asserts the
+//! server's `optimized` / `opt_delta_scored` / `opt_cold_scored`
+//! counters moved.
+//!
 //! # Latency series
 //!
 //! `--latency-series FILE` samples the server's `metrics` op every
@@ -83,6 +96,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use disparity_core::delta::AnalyzedSystem;
 use disparity_core::disparity::AnalysisConfig;
 use disparity_core::engine::AnalysisEngine;
 use disparity_model::edit::{apply_all, SpecEdit};
@@ -93,9 +107,11 @@ use disparity_model::time::Duration as SpecDuration;
 use disparity_obs::Histogram;
 use disparity_rng::rngs::StdRng;
 use disparity_rng::{splitmix64_mix, Rng};
+use disparity_opt::{optimize_analyzed, BackendChoice, BufferBudget, PlanRequest};
 use disparity_sched::wcrt::response_times;
 use disparity_service::proto::{
-    encode_disparity_result, is_trace_id, response_line, split_trace, ResponseBody, Status,
+    encode_disparity_result, encode_optimize_result, is_trace_id, response_line, split_trace,
+    ResponseBody, Status,
 };
 
 struct Args {
@@ -119,6 +135,7 @@ struct Args {
     series_interval_ms: u64,
     dump: bool,
     edit_replay: bool,
+    optimize_replay: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -143,6 +160,7 @@ fn parse_args() -> Result<Args, String> {
         series_interval_ms: 100,
         dump: false,
         edit_replay: false,
+        optimize_replay: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -189,6 +207,7 @@ fn parse_args() -> Result<Args, String> {
             "--latency-series" => args.latency_series = Some(value("--latency-series")?),
             "--dump" => args.dump = true,
             "--edit-replay" => args.edit_replay = true,
+            "--optimize-replay" => args.optimize_replay = true,
             "--series-interval-ms" => {
                 args.series_interval_ms = value("--series-interval-ms")?
                     .parse()
@@ -942,6 +961,139 @@ fn run_edit_replay(
     Ok((report, failed))
 }
 
+// ---------------------------------------------------------------------------
+// Optimize replay
+// ---------------------------------------------------------------------------
+
+/// The expected `ok` result bytes for an `optimize` answer on `spec`: a
+/// local optimizer run through the same pure encoder the server uses.
+fn local_optimize_answer(spec: &SystemSpec, budget: usize, seed: u64) -> Result<Value, String> {
+    let base = AnalyzedSystem::analyze(spec, AnalysisConfig::default())
+        .map_err(|e| format!("optimize-replay: base analysis: {e}"))?;
+    let mut request = PlanRequest::with_budget(BufferBudget::slots(budget));
+    request.seed = seed;
+    let plan = optimize_analyzed(&base, &request, BackendChoice::Auto)
+        .map_err(|e| format!("optimize-replay: planning (budget {budget}): {e}"))?;
+    let mut opt_spec = spec.clone();
+    apply_all(&mut opt_spec, &plan.edits())
+        .map_err(|(i, e)| format!("optimize-replay: plan edit [{i}]: {e}"))?;
+    Ok(encode_optimize_result(&plan, opt_spec.canonical_hash(), None))
+}
+
+/// Seeds the base spec into the server's cache, then replays `optimize`
+/// requests sweeping a small pool of slot budgets against the base
+/// canonical hash, accepting only responses byte-identical to a local
+/// optimizer run. Each budget recurs across the replay, so the run also
+/// proves response bytes are stable across repeated identical requests.
+fn run_optimize_replay(
+    args: &Args,
+    spec: &SystemSpec,
+    task: &str,
+) -> Result<(Value, bool), String> {
+    let base = spec.canonical_hash();
+    let tally = SoakTally::default();
+    let mut rng = StdRng::seed_from_u64(splitmix64_mix(args.seed ^ 0x0B7A));
+
+    // Warm request: the server must hold the base graph before an
+    // optimize can address it by hash.
+    let warm_id = "optimize-replay-warm";
+    let warm_line = format!(
+        "{{\"id\":{},\"op\":\"disparity\",\"task\":{},\"spec\":{}}}",
+        Value::from(warm_id),
+        Value::from(task),
+        spec.to_json()
+    );
+    let warm_want = response_line(
+        &Value::from(warm_id),
+        Status::Ok,
+        ResponseBody::Result(cold_answer(spec, task)?),
+    );
+    soak_request(&args.addr, &warm_line, &warm_want, warm_id, args, &mut rng, &tally)
+        .map_err(|()| "optimize-replay: warm request never matched the cold pipeline".to_string())?;
+
+    // A small budget sweep; precompute each budget's expected bytes once.
+    let distinct = args.requests.clamp(1, 5);
+    let mut pool = Vec::with_capacity(distinct);
+    for budget in 0..distinct {
+        pool.push((budget, local_optimize_answer(spec, budget, args.seed)?));
+    }
+
+    for i in 0..args.requests {
+        let (budget, answer) = &pool[i % distinct];
+        let id = format!("optimize-replay-{i}");
+        let line = format!(
+            "{{\"id\":{},\"op\":\"optimize\",\"base\":\"{base:016x}\",\"budget_slots\":{budget},\"seed\":{}}}",
+            Value::from(id.as_str()),
+            args.seed
+        );
+        let want = response_line(
+            &Value::from(id.as_str()),
+            Status::Ok,
+            ResponseBody::Result(answer.clone()),
+        );
+        match soak_request(&args.addr, &line, &want, &id, args, &mut rng, &tally) {
+            Ok(_) => bump(&tally.accepted),
+            Err(()) => bump(&tally.lost),
+        }
+    }
+
+    let stats = server_query(&args.addr, "stats")?;
+    let counter = |name: &str| {
+        stats
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_i64)
+            .unwrap_or(0)
+    };
+    let optimized = counter("optimized");
+    let delta_scored = counter("opt_delta_scored");
+    let cold_scored = counter("opt_cold_scored");
+
+    let accepted = load(&tally.accepted);
+    let lost = load(&tally.lost);
+    let mut failed = false;
+    let mut fail = |cond: bool, msg: &str| {
+        if cond {
+            eprintln!("loadgen: FAIL: {msg}");
+            failed = true;
+        }
+    };
+    fail(
+        lost > 0,
+        &format!("{lost} optimize response(s) never matched the local optimizer"),
+    );
+    fail(
+        accepted != args.requests as u64,
+        &format!("accepted {accepted} of {} optimize responses", args.requests),
+    );
+    fail(
+        optimized < args.requests as i64,
+        &format!("server reports {optimized} optimized plans for {} requests", args.requests),
+    );
+    fail(
+        distinct > 1 && delta_scored + cold_scored < 1,
+        "server reports zero scored search states despite non-zero budgets",
+    );
+
+    let report = json::object(vec![
+        ("mode", Value::from("optimize-replay")),
+        ("addr", Value::from(args.addr.as_str())),
+        ("spec", Value::from(args.spec.as_str())),
+        ("base", Value::from(format!("{base:016x}").as_str())),
+        ("seed", uint(args.seed)),
+        ("requests", Value::from(args.requests)),
+        ("distinct_budgets", Value::from(distinct)),
+        ("accepted", uint(accepted)),
+        ("lost", uint(lost)),
+        ("retried_attempts", uint(load(&tally.retried_attempts))),
+        ("server_optimized", Value::Int(optimized)),
+        ("server_opt_delta_scored", Value::Int(delta_scored)),
+        ("server_opt_cold_scored", Value::Int(cold_scored)),
+        ("passed", Value::Bool(!failed)),
+    ]);
+    Ok((report, failed))
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -1018,8 +1170,13 @@ fn main() -> ExitCode {
         return if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS };
     }
 
-    if args.edit_replay {
-        let (report, failed) = match run_edit_replay(&args, &spec, &task) {
+    if args.edit_replay || args.optimize_replay {
+        let run = if args.optimize_replay {
+            run_optimize_replay(&args, &spec, &task)
+        } else {
+            run_edit_replay(&args, &spec, &task)
+        };
+        let (report, failed) = match run {
             Ok(r) => r,
             Err(msg) => {
                 eprintln!("loadgen: {msg}");

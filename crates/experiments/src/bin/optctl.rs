@@ -1,0 +1,211 @@
+//! `optctl` — drive the global buffer-plan optimizer's Pareto sweep.
+//!
+//! ```text
+//! optctl [--budgets CSV] [--systems N] [--seed N] [--backend NAME]
+//!        [--beam-width N] [--bytes-per-sample N] [--out DIR]
+//!        [--forbid-new-findings]
+//!        [--trace-out FILE] [--metrics-out FILE] [--deny-lints] [--lints-out FILE]
+//! ```
+//!
+//! Sweeps slot budgets over a seeded population of fusion workloads
+//! (see [`disparity_experiments::pareto`]) and emits the disparity
+//! reduction versus buffer-bytes frontier: markdown on stdout, CSV to
+//! `--out` (default `results/pareto.csv`). `--backend` picks `auto`
+//! (default), `branch_and_bound`, or `beam` (sized by `--beam-width`).
+//! `--forbid-new-findings` turns the service's D007 cleanliness guard
+//! back on (the sweep admits over-buffering by default — see
+//! [`disparity_experiments::pareto::ParetoConfig::allow_overbuffering`]).
+//! `--deny-lints` runs the analyzer diagnostic gate over the sweep's
+//! own regenerated workloads before sweeping, exactly like `fig6`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use disparity_experiments::lintcli::LintArgs;
+use disparity_experiments::obscli::ObsArgs;
+use disparity_experiments::par::attempt_seed;
+use disparity_experiments::pareto::{self, ParetoConfig};
+use disparity_opt::{BackendChoice, DEFAULT_BEAM_WIDTH};
+use disparity_rng::SplitMix64;
+use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
+
+#[derive(Debug)]
+struct Args {
+    budgets: Vec<usize>,
+    systems: usize,
+    seed: u64,
+    backend_name: String,
+    beam_width: usize,
+    bytes_per_sample: usize,
+    allow_overbuffering: bool,
+    out: PathBuf,
+    obs: ObsArgs,
+    lint: LintArgs,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let defaults = ParetoConfig::default();
+    let mut args = Args {
+        budgets: defaults.budgets,
+        systems: defaults.systems,
+        seed: defaults.seed,
+        backend_name: "auto".to_string(),
+        beam_width: DEFAULT_BEAM_WIDTH,
+        bytes_per_sample: defaults.bytes_per_sample,
+        allow_overbuffering: defaults.allow_overbuffering,
+        out: PathBuf::from("results"),
+        obs: ObsArgs::default(),
+        lint: LintArgs::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if args.obs.try_parse(&arg, &mut || it.next())? {
+            continue;
+        }
+        if args.lint.try_parse(&arg, &mut || it.next())? {
+            continue;
+        }
+        match arg.as_str() {
+            "--budgets" => {
+                let v = it.next().ok_or("--budgets needs a value")?;
+                args.budgets = v
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad budget: {s}")))
+                    .collect::<Result<_, _>>()?;
+                if args.budgets.is_empty() {
+                    return Err("--budgets needs at least one value".to_string());
+                }
+            }
+            "--systems" => {
+                let v = it.next().ok_or("--systems needs a value")?;
+                args.systems = v.parse().map_err(|_| format!("bad count: {v}"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--backend" => args.backend_name = it.next().ok_or("--backend needs a value")?,
+            "--beam-width" => {
+                let v = it.next().ok_or("--beam-width needs a value")?;
+                args.beam_width = v.parse().map_err(|_| format!("bad width: {v}"))?;
+            }
+            "--bytes-per-sample" => {
+                let v = it.next().ok_or("--bytes-per-sample needs a value")?;
+                args.bytes_per_sample = v.parse().map_err(|_| format!("bad size: {v}"))?;
+            }
+            "--forbid-new-findings" => args.allow_overbuffering = false,
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn backend_of(args: &Args) -> Result<BackendChoice, String> {
+    match args.backend_name.as_str() {
+        "auto" => Ok(BackendChoice::Auto),
+        "branch_and_bound" => Ok(BackendChoice::BranchAndBound),
+        "beam" => Ok(BackendChoice::Beam {
+            width: args.beam_width.max(1),
+        }),
+        other => Err(format!(
+            "--backend must be auto, branch_and_bound or beam, got {other:?}"
+        )),
+    }
+}
+
+fn config_of(args: &Args) -> Result<ParetoConfig, String> {
+    Ok(ParetoConfig {
+        budgets: args.budgets.clone(),
+        systems: args.systems,
+        bytes_per_sample: args.bytes_per_sample,
+        seed: args.seed,
+        backend: backend_of(args)?,
+        allow_overbuffering: args.allow_overbuffering,
+    })
+}
+
+/// Regenerates the sweep's own workload population for the lint gate
+/// (fresh RNGs; running the gate cannot change the sweep's output).
+fn run_lint_gate(args: &Args, config: &ParetoConfig) -> Result<bool, String> {
+    if !args.lint.requested() {
+        return Ok(true);
+    }
+    let mut probes = Vec::new();
+    for attempt in 0..config.systems * 20 {
+        let mut rng = SplitMix64::new(attempt_seed(config.seed, 0, attempt));
+        if let Ok(graph) = schedulable_funnel_system(&FunnelConfig::default(), &mut rng, 64) {
+            probes.push((format!("pareto-attempt{attempt}"), graph));
+            if probes.len() >= config.systems {
+                break;
+            }
+        }
+    }
+    let errors = args.lint.gate("optctl", &probes)?;
+    Ok(!(args.lint.deny_lints && errors > 0))
+}
+
+fn run_sweep(args: &Args, config: &ParetoConfig) -> ExitCode {
+    eprintln!(
+        "optctl: sweeping budgets={:?} over {} systems ({}) ...",
+        config.budgets, config.systems, args.backend_name
+    );
+    let rows = pareto::run(config);
+    let t = pareto::table(&rows);
+    println!("## Buffer-plan Pareto frontier — bound reduction vs buffer bytes\n");
+    println!("{}", t.to_markdown());
+    let path = args.out.join("pareto.csv");
+    if let Err(e) = t.write_csv(&path) {
+        eprintln!("error writing CSV: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("CSV written to {}", path.display());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: optctl [--budgets CSV] [--systems N] [--seed N] [--backend NAME] \
+                 [--beam-width N] [--bytes-per-sample N] [--out DIR] \
+                 [--forbid-new-findings] \
+                 [--trace-out FILE] [--metrics-out FILE] [--deny-lints] [--lints-out FILE]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match config_of(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    args.obs.enable_if_requested();
+    let code = match run_lint_gate(&args, &config) {
+        Ok(true) => run_sweep(&args, &config),
+        Ok(false) => {
+            eprintln!("optctl: --deny-lints: error diagnostics on probe graphs; not sweeping");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    };
+    match args.obs.flush() {
+        Ok(lines) => {
+            for line in lines {
+                eprintln!("optctl: {line}");
+            }
+            code
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -3,6 +3,8 @@
 //!
 //! * [`fig6ab`] — Fig. 6(a)/(b): P-diff / S-diff / Sim on random DAGs.
 //! * [`fig6cd`] — Fig. 6(c)/(d): buffer optimization on merged chains.
+//! * [`pareto`] — budget/disparity Pareto frontier of the global
+//!   buffer-plan optimizer (the `optctl` binary).
 //! * [`soak`] — fault-injection soundness soak over seeds × plans ×
 //!   workloads (the `soak` binary).
 //! * [`table`] / [`stats`] — CSV/markdown emission and aggregation.
@@ -21,6 +23,7 @@ pub mod fig6cd;
 pub mod lintcli;
 pub mod obscli;
 pub mod par;
+pub mod pareto;
 pub mod soak;
 pub mod stats;
 pub mod table;

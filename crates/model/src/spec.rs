@@ -36,6 +36,7 @@ use std::collections::BTreeMap;
 
 use crate::builder::SystemBuilder;
 use crate::ecu::EcuKind;
+use crate::edit::SpecEdit;
 use crate::error::ModelError;
 use crate::graph::CauseEffectGraph;
 use crate::ids::Priority;
@@ -537,34 +538,15 @@ impl SystemSpec {
     pub fn subsystem_hashes(&self) -> SubsystemHashes {
         let mut tasks = BTreeMap::new();
         for t in &self.tasks {
-            tasks.insert(
-                t.name.clone(),
-                fnv1a(canonical_task_json(t).to_string().as_bytes()),
-            );
+            tasks.insert(t.name.clone(), task_fragment_hash(t));
         }
         let mut ecus = BTreeMap::new();
         for e in &self.ecus {
-            // The ECU subsystem hash covers the resource record plus the
-            // fragment hash of every member task, in name order — exactly
-            // the inputs of that ECU's WCRT fixed points.
-            let mut bytes = canonical_ecu_json(e).to_string().into_bytes();
-            let mut members: Vec<&TaskEntry> = self
-                .tasks
-                .iter()
-                .filter(|t| t.ecu.as_deref() == Some(e.name.as_str()))
-                .collect();
-            members.sort_by(|a, b| a.name.cmp(&b.name));
-            for m in members {
-                bytes.extend_from_slice(&tasks[&m.name].to_le_bytes());
-            }
-            ecus.insert(e.name.clone(), fnv1a(&bytes));
+            ecus.insert(e.name.clone(), ecu_set_hash(self, e, &tasks));
         }
         let mut channels = BTreeMap::new();
         for c in &self.channels {
-            channels.insert(
-                (c.from.clone(), c.to.clone()),
-                fnv1a(canonical_channel_json(c).to_string().as_bytes()),
-            );
+            channels.insert((c.from.clone(), c.to.clone()), channel_fragment_hash(c));
         }
         SubsystemHashes {
             tasks,
@@ -678,6 +660,34 @@ fn canonical_channel_json(c: &ChannelSpec) -> Value {
     ])
 }
 
+/// Fragment hash of one task entry.
+fn task_fragment_hash(t: &TaskEntry) -> u64 {
+    fnv1a(canonical_task_json(t).to_string().as_bytes())
+}
+
+/// Task-set hash of one ECU: the resource record plus the fragment hash
+/// of every member task, in name order — exactly the inputs of that
+/// ECU's WCRT fixed points. `tasks` must already hold the fragment hash
+/// of every member.
+fn ecu_set_hash(spec: &SystemSpec, e: &EcuSpec, tasks: &BTreeMap<String, u64>) -> u64 {
+    let mut bytes = canonical_ecu_json(e).to_string().into_bytes();
+    let mut members: Vec<&TaskEntry> = spec
+        .tasks
+        .iter()
+        .filter(|t| t.ecu.as_deref() == Some(e.name.as_str()))
+        .collect();
+    members.sort_by(|a, b| a.name.cmp(&b.name));
+    for m in members {
+        bytes.extend_from_slice(&tasks[&m.name].to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+/// Fragment hash of one channel entry.
+fn channel_fragment_hash(c: &ChannelSpec) -> u64 {
+    fnv1a(canonical_channel_json(c).to_string().as_bytes())
+}
+
 /// Per-subsystem content hashes of a spec.
 ///
 /// Each hash covers exactly the inputs of one analysis subsystem:
@@ -736,6 +746,62 @@ impl SubsystemHashes {
             ecus,
             channels,
             shape_changed,
+        }
+    }
+
+    /// Rebases this hash set across `edit`, where `spec2` is `edit`
+    /// already applied to the spec these hashes were computed from.
+    ///
+    /// Recomputes exactly the fragments whose canonical inputs the edit
+    /// reaches — the edited task(s) plus their ECU task-set hashes, or
+    /// the edited channel — and copies everything else. The result
+    /// equals `spec2.subsystem_hashes()`; the point is cost: a delta
+    /// re-analysis rehashes O(1) fragments instead of the whole spec.
+    #[must_use]
+    pub fn rebase(&self, spec2: &SystemSpec, edit: &SpecEdit) -> SubsystemHashes {
+        let mut out = self.clone();
+        match edit {
+            SpecEdit::SetWcet { task, .. }
+            | SpecEdit::SetBcet { task, .. }
+            | SpecEdit::SetPeriod { task, .. } => out.refresh_task(spec2, task),
+            SpecEdit::SwapPriority { a, b } => {
+                // Order-insensitive: each refresh folds the already
+                // updated fragment map into the ECU hash, so a shared
+                // ECU settles on the second call.
+                out.refresh_task(spec2, a);
+                out.refresh_task(spec2, b);
+            }
+            SpecEdit::ResizeBuffer { from, to, .. } | SpecEdit::AddChannel { from, to, .. } => {
+                if let Some(c) = spec2
+                    .channels
+                    .iter()
+                    .find(|c| c.from == *from && c.to == *to)
+                {
+                    out.channels
+                        .insert((from.clone(), to.clone()), channel_fragment_hash(c));
+                }
+            }
+            SpecEdit::RemoveChannel { from, to } => {
+                out.channels.remove(&(from.clone(), to.clone()));
+            }
+        }
+        out
+    }
+
+    /// Refreshes one task's fragment hash and its ECU's task-set hash
+    /// (which folds every member fragment) against the edited spec.
+    fn refresh_task(&mut self, spec2: &SystemSpec, name: &str) {
+        let Some(t) = spec2.tasks.iter().find(|t| t.name == name) else {
+            return;
+        };
+        self.tasks.insert(name.to_string(), task_fragment_hash(t));
+        let ecu = t
+            .ecu
+            .as_deref()
+            .and_then(|n| spec2.ecus.iter().find(|e| e.name == n));
+        if let Some(e) = ecu {
+            self.ecus
+                .insert(e.name.clone(), ecu_set_hash(spec2, e, &self.tasks));
         }
     }
 }

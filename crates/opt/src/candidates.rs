@@ -1,0 +1,270 @@
+//! Candidate lattice and D007 constraint derivation.
+//!
+//! The optimizer searches per-channel FIFO capacities over a finite
+//! lattice derived from the base analysis. A channel is a candidate iff
+//! it heads the truncated *fresher* side of at least one analyzed chain
+//! pair — exactly the channels Algorithm 1 (and Lemma 6) can act on.
+//! Truncated chains always start at a source, and a source has no
+//! predecessors, so a candidate channel can only ever appear as a
+//! *first hop*; its capacity moves a sampling window if and only if the
+//! window's chain starts with it.
+//!
+//! The per-channel ceiling is the **maximum** midpoint gap (in whole
+//! source periods) over every pair the channel heads as the fresher
+//! side — the deepest buffer any single-pair Algorithm 1 design could
+//! want. Deeper ceilings than that cannot lower any pair bound further
+//! (beyond alignment a shift re-widens its own pair).
+//!
+//! Joint assignments inside that box can still over-buffer a *different*
+//! pair the channel heads (analyzer rule D007): a window is shifted by
+//! its own head channel only, so a shift designed for one pair's gap may
+//! overshoot another pair's. Rather than shrinking the box to the
+//! worst-case pair (which empties it on funnel systems, where most
+//! channels head both fresh and stale sides), the derivation also emits
+//! the full pair-constraint table; the search evaluates candidate
+//! assignments against it and never returns a plan that introduces a
+//! new D007 finding. The midpoint arithmetic is exact: buffering a head
+//! channel by `e` slots moves that side's sampling-window midpoint left
+//! by exactly `e·T(source)` (Lemma 6) and nothing else.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use disparity_core::delta::AnalyzedSystem;
+use disparity_core::pairwise::decompose;
+use disparity_model::chain::Chain;
+use disparity_model::ids::{ChannelId, TaskId};
+use disparity_model::time::Duration;
+
+use crate::error::OptError;
+
+/// One resizable channel with its score-relevant capacity ceiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateChannel {
+    /// The channel.
+    pub channel: ChannelId,
+    /// Producing (source) task.
+    pub from: TaskId,
+    /// Consuming task.
+    pub to: TaskId,
+    /// Producing task name (wire form).
+    pub from_name: String,
+    /// Consuming task name (wire form).
+    pub to_name: String,
+    /// The source's period — one extra slot shifts the window left by
+    /// exactly this much (Lemma 6).
+    pub period: Duration,
+    /// The capacity the spec already has.
+    pub base_capacity: usize,
+    /// Largest useful number of extra slots: the maximum midpoint gap
+    /// in whole source periods over every pair this channel heads as
+    /// the fresher side.
+    pub max_extra: usize,
+    /// Fusion tasks with at least one pair headed by this channel —
+    /// the only reports a resize can move (used by the admissible
+    /// bound of the branch-and-bound backend).
+    pub reports_touched: usize,
+}
+
+/// One side of a pair constraint: the head channel (if the chain is
+/// long enough to have one) and the base-analysis window midpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairSide {
+    /// The side's first-hop channel; `None` for trivial chains, which
+    /// have no buffer to over-size.
+    pub channel: Option<ChannelId>,
+    /// The channel's capacity in the base spec.
+    pub base_capacity: usize,
+    /// The side's sampling-window midpoint on the base system.
+    pub midpoint: Duration,
+    /// The side's source period (the per-slot shift).
+    pub period: Duration,
+}
+
+/// One analyzed chain pair as a D007 constraint: a side with total
+/// capacity `> 1` must keep its shifted midpoint at or above its
+/// peer's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairConstraint {
+    /// The λ side (after truncation to the last joint task).
+    pub lambda: PairSide,
+    /// The ν side.
+    pub nu: PairSide,
+}
+
+impl PairConstraint {
+    /// Whether the assignment `extra_of` (extra slots per channel)
+    /// makes a side of this pair fire D007 when it did not fire on the
+    /// base system. Sides already firing in the base spec are
+    /// grandfathered — the optimizer refuses to *introduce* findings,
+    /// not to inherit them.
+    pub fn introduces_finding(&self, extra_of: &dyn Fn(ChannelId) -> usize) -> bool {
+        let shift = |side: &PairSide| -> Duration {
+            match side.channel {
+                Some(ch) => side.period * i64::try_from(extra_of(ch)).unwrap_or(i64::MAX),
+                None => Duration::ZERO,
+            }
+        };
+        let fires = |own: &PairSide, own_shift: Duration, other_mid: Duration| -> bool {
+            let extra = own.channel.map_or(0, extra_of);
+            own.base_capacity + extra > 1 && own.midpoint - own_shift < other_mid
+        };
+        let (sl, sn) = (shift(&self.lambda), shift(&self.nu));
+        let lambda_new = fires(&self.lambda, sl, self.nu.midpoint - sn)
+            && !(self.lambda.base_capacity > 1 && self.lambda.midpoint < self.nu.midpoint);
+        let nu_new = fires(&self.nu, sn, self.lambda.midpoint - sl)
+            && !(self.nu.base_capacity > 1 && self.nu.midpoint < self.lambda.midpoint);
+        lambda_new || nu_new
+    }
+}
+
+/// The derived search space: the channel lattice plus the D007
+/// constraint table every returned plan is checked against.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    /// Resizable channels, sorted by channel id (the search's level
+    /// order).
+    pub channels: Vec<CandidateChannel>,
+    /// Every decomposable truncated chain pair at every sink, exactly
+    /// the set analyzer rule D007 sweeps.
+    pub constraints: Vec<PairConstraint>,
+}
+
+impl CandidateSet {
+    /// Whether the assignment introduces any new D007 finding.
+    #[must_use]
+    pub fn introduces_finding(&self, extra_of: &dyn Fn(ChannelId) -> usize) -> bool {
+        self.constraints
+            .iter()
+            .any(|c| c.introduces_finding(extra_of))
+    }
+}
+
+/// Per-channel accumulation while sweeping pairs.
+struct Accum {
+    max_steps: i64,
+    touched: BTreeSet<TaskId>,
+}
+
+fn side_of(graph: &disparity_model::graph::CauseEffectGraph, chain: &Chain, mid: Duration) -> PairSide {
+    let channel = chain
+        .get(1)
+        .and_then(|second| graph.channel_between(chain.head(), second));
+    PairSide {
+        channel: channel.map(disparity_model::channel::Channel::id),
+        base_capacity: channel.map_or(1, disparity_model::channel::Channel::capacity),
+        midpoint: mid,
+        period: graph.task(chain.head()).period(),
+    }
+}
+
+/// Derives the candidate lattice and the D007 constraint table from the
+/// base analysis.
+///
+/// Channels that never head a fresher side (ceiling zero everywhere)
+/// are dropped: resizing them cannot lower any bound. The result is
+/// sorted by channel id, which fixes the search's level order.
+///
+/// # Errors
+///
+/// Propagates nothing today — pairs whose decomposition fails are
+/// skipped (a pair the pairwise analysis refuses cannot be buffered
+/// either, and D007 skips it too); the signature is fallible for
+/// forward compatibility.
+pub fn derive_candidates(base: &AnalyzedSystem) -> Result<CandidateSet, OptError> {
+    let graph = base.graph();
+    let rt = base.response_times();
+    let mut accum: BTreeMap<ChannelId, Accum> = BTreeMap::new();
+
+    for report in base.reports() {
+        for pair in &report.pairs {
+            let lambda = &report.chains[pair.lambda];
+            let nu = &report.chains[pair.nu];
+            let Some((lam_t, nu_t)) = lambda.truncate_to_last_joint(nu) else {
+                continue;
+            };
+            let Ok(d) = decompose(graph, &lam_t, &nu_t, rt) else {
+                continue;
+            };
+            let w_lambda = d.lambda_source_window();
+            let w_nu = d.nu_source_window(graph);
+            let sides: [(&Chain, Duration, Duration); 2] = [
+                (&lam_t, w_lambda.midpoint(), w_nu.midpoint()),
+                (&nu_t, w_nu.midpoint(), w_lambda.midpoint()),
+            ];
+            for (chain, own_mid, other_mid) in sides {
+                let Some(second) = chain.get(1) else {
+                    continue;
+                };
+                let Some(ch) = graph.channel_between(chain.head(), second) else {
+                    continue;
+                };
+                let period = graph.task(chain.head()).period();
+                let steps = if own_mid >= other_mid && period > Duration::ZERO {
+                    (own_mid - other_mid).div_floor(period)
+                } else {
+                    0
+                };
+                let entry = accum.entry(ch.id()).or_insert(Accum {
+                    max_steps: 0,
+                    touched: BTreeSet::new(),
+                });
+                entry.max_steps = entry.max_steps.max(steps);
+                entry.touched.insert(report.task);
+            }
+        }
+    }
+
+    let mut channels = Vec::new();
+    for (id, acc) in accum {
+        if acc.max_steps <= 0 {
+            continue;
+        }
+        let ch = graph.channel(id);
+        let from = ch.src();
+        let to = ch.dst();
+        channels.push(CandidateChannel {
+            channel: id,
+            from,
+            to,
+            from_name: graph.task(from).name().to_string(),
+            to_name: graph.task(to).name().to_string(),
+            period: graph.task(from).period(),
+            base_capacity: ch.capacity(),
+            max_extra: usize::try_from(acc.max_steps).unwrap_or(0),
+            reports_touched: acc.touched.len(),
+        });
+    }
+
+    // Mirror `check_pairwise`'s D007 sweep: every decomposable truncated
+    // chain pair at every sink becomes one constraint.
+    let mut constraints = Vec::new();
+    let chain_limit = base.config().chain_limit;
+    for sink in graph.sinks() {
+        let Ok(chains) = graph.chains_to(sink, chain_limit) else {
+            continue;
+        };
+        for i in 0..chains.len() {
+            for j in (i + 1)..chains.len() {
+                let Some((lam_t, nu_t)) = chains[i].truncate_to_last_joint(&chains[j]) else {
+                    continue;
+                };
+                if lam_t == nu_t {
+                    continue;
+                }
+                let Ok(d) = decompose(graph, &lam_t, &nu_t, rt) else {
+                    continue;
+                };
+                constraints.push(PairConstraint {
+                    lambda: side_of(graph, &lam_t, d.lambda_source_window().midpoint()),
+                    nu: side_of(graph, &nu_t, d.nu_source_window(graph).midpoint()),
+                });
+            }
+        }
+    }
+
+    Ok(CandidateSet {
+        channels,
+        constraints,
+    })
+}

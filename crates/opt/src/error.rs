@@ -1,0 +1,78 @@
+//! Error type of the global buffer-plan optimizer.
+
+use disparity_core::delta::DeltaError;
+use disparity_core::error::AnalysisError;
+use disparity_model::time::Duration;
+
+/// Everything that can go wrong while planning buffers.
+#[derive(Debug)]
+pub enum OptError {
+    /// The underlying disparity analysis failed (bad chains, budget
+    /// exhaustion, unschedulable system, ...).
+    Analysis(AnalysisError),
+    /// The incremental engine rejected a candidate edit or re-analysis.
+    Delta(DeltaError),
+    /// A generated [`SpecEdit`](disparity_model::edit::SpecEdit) did not
+    /// apply to the base spec (a bug in candidate derivation).
+    Edit(String),
+    /// A disparity target names a task the spec does not contain.
+    UnknownTarget {
+        /// The unresolvable task name.
+        task: String,
+    },
+    /// The plan's predicted bound disagreed with a cold re-analysis of
+    /// the plan-applied spec. The optimizer asserts this invariant on
+    /// every returned plan; a divergence means the incremental engine
+    /// and the cold pipeline no longer agree.
+    ValidationDivergence {
+        /// The task whose bound diverged.
+        task: String,
+        /// What the search's incremental state predicted.
+        predicted: Duration,
+        /// What the cold re-analysis computed.
+        reanalyzed: Duration,
+    },
+}
+
+impl core::fmt::Display for OptError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OptError::Analysis(e) => write!(f, "analysis: {e}"),
+            OptError::Delta(e) => write!(f, "incremental re-analysis: {e}"),
+            OptError::Edit(msg) => write!(f, "candidate edit rejected: {msg}"),
+            OptError::UnknownTarget { task } => {
+                write!(f, "disparity target names unknown task {task:?}")
+            }
+            OptError::ValidationDivergence {
+                task,
+                predicted,
+                reanalyzed,
+            } => write!(
+                f,
+                "plan validation diverged on {task}: predicted {predicted}, re-analysis {reanalyzed}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptError::Analysis(e) => Some(e),
+            OptError::Delta(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AnalysisError> for OptError {
+    fn from(e: AnalysisError) -> Self {
+        OptError::Analysis(e)
+    }
+}
+
+impl From<DeltaError> for OptError {
+    fn from(e: DeltaError) -> Self {
+        OptError::Delta(e)
+    }
+}

@@ -1,0 +1,61 @@
+//! Global buffer-plan optimization for cause-effect chains.
+//!
+//! The paper's Algorithm 1 sizes the buffers of **one** chain pair in
+//! isolation. This crate optimizes **jointly**: given an analyzed
+//! system, a total-memory budget and optional per-task disparity
+//! targets, it searches over per-channel FIFO capacities for the
+//! assignment that minimizes first the total target excess and then
+//! the total worst-case disparity bound across every fusion task.
+//!
+//! Two backends implement the search behind the [`Optimizer`] trait:
+//!
+//! * [`BranchAndBound`] — exact over the candidate lattice, pruned by a
+//!   Lemma 6 admissible bound; asserted against exhaustive enumeration
+//!   in tests.
+//! * [`BeamSearch`] — width-limited, for WATERS-scale systems whose
+//!   lattice is too large to enumerate.
+//!
+//! Candidates are scored through the incremental re-analysis engine
+//! (each search node is one `resize_buffer` edit away from its parent)
+//! with a cold-pipeline fallback, and every returned plan is validated
+//! against a full cold re-analysis of the plan-applied spec — the
+//! numbers in a [`GlobalPlan`] are the cold pipeline's numbers.
+//!
+//! ```
+//! use disparity_core::disparity::AnalysisConfig;
+//! use disparity_opt::{optimize_spec, BackendChoice, BufferBudget, PlanRequest};
+//! use disparity_model::spec::SystemSpec;
+//! use disparity_rng::SplitMix64;
+//! use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
+//!
+//! let mut rng = SplitMix64::new(7);
+//! let graph = schedulable_funnel_system(&FunnelConfig::default(), &mut rng, 64)
+//!     .expect("funnel generation is budgeted");
+//! let spec = SystemSpec::from_graph(&graph);
+//! let request = PlanRequest::with_budget(BufferBudget::slots(4));
+//! let plan = optimize_spec(&spec, AnalysisConfig::default(), &request, BackendChoice::Auto)
+//!     .expect("funnel systems analyze");
+//! assert!(plan.slots_used <= 4);
+//! for p in &plan.predictions {
+//!     assert!(p.after <= p.before, "plans never regress a bound");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod error;
+pub mod plan;
+pub mod search;
+
+pub use candidates::{derive_candidates, CandidateChannel};
+pub use error::OptError;
+pub use plan::{
+    BufferBudget, ChannelAssignment, DisparityTarget, GlobalPlan, PairDelta, PlanRequest,
+    PlanScore, SearchStats, TaskPrediction,
+};
+pub use search::{
+    exhaustive_plan, greedy_assignment, optimize_analyzed, optimize_spec, BackendChoice,
+    BeamSearch, BranchAndBound, Optimizer, DEFAULT_BEAM_WIDTH,
+};

@@ -1,0 +1,236 @@
+//! Plan, budget and target types of the global optimizer.
+
+use disparity_model::edit::SpecEdit;
+use disparity_model::ids::ChannelId;
+use disparity_model::time::Duration;
+
+/// A total-memory budget for the whole plan, counted in *extra* FIFO
+/// slots beyond the spec's existing capacities (a register channel has
+/// capacity 1; giving it capacity `n` costs `n − 1` extra slots).
+///
+/// Slots are the paper-level unit — §IV sizes buffers in samples, not
+/// bytes. A byte budget divides by the payload size first
+/// ([`BufferBudget::from_bytes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferBudget {
+    /// Total extra slots the plan may allocate across all channels.
+    pub extra_slots: usize,
+}
+
+impl BufferBudget {
+    /// A budget of `extra_slots` FIFO slots.
+    #[must_use]
+    pub fn slots(extra_slots: usize) -> Self {
+        BufferBudget { extra_slots }
+    }
+
+    /// Converts a byte budget into slots given a per-sample payload
+    /// size (rounding down; a fractional slot holds no sample).
+    #[must_use]
+    pub fn from_bytes(bytes: usize, bytes_per_sample: usize) -> Self {
+        BufferBudget {
+            extra_slots: bytes / bytes_per_sample.max(1),
+        }
+    }
+
+    /// The byte cost of `extra_slots` at a given payload size.
+    #[must_use]
+    pub fn bytes(self, bytes_per_sample: usize) -> usize {
+        self.extra_slots.saturating_mul(bytes_per_sample)
+    }
+}
+
+/// An optional per-task ceiling on the achieved disparity bound.
+///
+/// Targets are *soft*: the optimizer first minimizes the total excess
+/// over all targets, then the total bound — a plan that leaves a target
+/// unmet is still returned (with [`TaskPrediction::met`] = `false`)
+/// when the budget cannot do better.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisparityTarget {
+    /// The fusion task the target constrains.
+    pub task: String,
+    /// The desired worst-case disparity bound.
+    pub bound: Duration,
+}
+
+/// Everything the optimizer needs besides the analyzed base system.
+#[derive(Debug, Clone)]
+pub struct PlanRequest {
+    /// The total-memory budget.
+    pub budget: BufferBudget,
+    /// Optional per-task disparity targets.
+    pub targets: Vec<DisparityTarget>,
+    /// Seed of the deterministic tie-break among equal-score plans.
+    pub seed: u64,
+    /// Refuse plans that introduce a new analyzer D007 finding
+    /// (over-buffered channel), the default. A joint assignment can
+    /// lower the *total* bound while overshooting one pair's window
+    /// alignment; with this set, such plans are excluded from the
+    /// search space (and from the greedy incumbent), so optimizing a
+    /// diagnostically clean spec keeps it clean. Turning it off admits
+    /// every assignment and makes the optimizer never worse than the
+    /// raw per-pair greedy, at the price of possible D007 findings on
+    /// the optimized spec.
+    pub forbid_new_findings: bool,
+}
+
+impl PlanRequest {
+    /// A target-free request with the given budget, seed 0 and the
+    /// D007 guard on.
+    #[must_use]
+    pub fn with_budget(budget: BufferBudget) -> Self {
+        PlanRequest {
+            budget,
+            targets: Vec::new(),
+            seed: 0,
+            forbid_new_findings: true,
+        }
+    }
+}
+
+/// One channel's capacity assignment in a [`GlobalPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelAssignment {
+    /// The resized channel.
+    pub channel: ChannelId,
+    /// Producing task name (wire form of the channel).
+    pub from: String,
+    /// Consuming task name.
+    pub to: String,
+    /// The capacity the spec already had.
+    pub base_capacity: usize,
+    /// The planned capacity (always `> base_capacity`).
+    pub capacity: usize,
+}
+
+impl ChannelAssignment {
+    /// Extra slots this assignment costs against the budget.
+    #[must_use]
+    pub fn extra_slots(&self) -> usize {
+        self.capacity.saturating_sub(self.base_capacity)
+    }
+
+    /// The assignment as an incremental-engine edit.
+    #[must_use]
+    pub fn edit(&self) -> SpecEdit {
+        SpecEdit::ResizeBuffer {
+            from: self.from.clone(),
+            to: self.to.clone(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// One chain pair's predicted bound movement under the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairDelta {
+    /// Index of the pair's first chain in the task's report.
+    pub lambda: usize,
+    /// Index of the pair's second chain in the task's report.
+    pub nu: usize,
+    /// Name of the last joint task the pair was analyzed at.
+    pub analyzed_at: String,
+    /// The pair's bound before the plan.
+    pub before: Duration,
+    /// The pair's bound with the plan applied (validated by cold
+    /// re-analysis, not extrapolated).
+    pub after: Duration,
+}
+
+/// Predicted effect of the plan on one fusion task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPrediction {
+    /// The fusion task.
+    pub task: String,
+    /// Worst-case disparity bound before the plan.
+    pub before: Duration,
+    /// Bound with the plan applied (validated by cold re-analysis).
+    pub after: Duration,
+    /// The requested target, if one was set for this task.
+    pub target: Option<Duration>,
+    /// Per-pair bound movements.
+    pub pairs: Vec<PairDelta>,
+}
+
+impl TaskPrediction {
+    /// Whether the achieved bound meets the target (`None` without one).
+    #[must_use]
+    pub fn met(&self) -> Option<bool> {
+        self.target.map(|t| self.after <= t)
+    }
+}
+
+/// The optimizer's objective, minimized lexicographically: first the
+/// total nanoseconds of target excess, then the total bound across all
+/// fusion tasks. Ties are broken by a seeded hash of the assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PlanScore {
+    /// `Σ max(0, bound(task) − target(task))` over all targets, in ns.
+    pub target_excess_ns: i128,
+    /// `Σ bound(task)` over every analyzed fusion task, in ns.
+    pub total_bound_ns: i128,
+}
+
+/// Search-effort accounting, also exported as obs counters
+/// (`opt.search.nodes`, `opt.score.delta`, `opt.score.cold`, ...).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Channels the candidate derivation admitted to the lattice.
+    pub candidates: usize,
+    /// Search nodes visited (states scored or reused).
+    pub nodes: u64,
+    /// Subtrees cut by the admissible bound (branch-and-bound only).
+    pub pruned: u64,
+    /// Candidates scored through the incremental engine.
+    pub delta_scored: u64,
+    /// Candidates scored through the cold pipeline (fallback or oracle).
+    pub cold_scored: u64,
+}
+
+/// A complete, validated buffer plan.
+///
+/// Every prediction in the plan was checked against a cold re-analysis
+/// of the plan-applied spec before the plan was returned; the numbers
+/// here *are* the cold pipeline's numbers.
+#[derive(Debug, Clone)]
+pub struct GlobalPlan {
+    /// Which backend produced the winning assignment (`"branch_and_bound"`,
+    /// `"beam"`, `"greedy"`, `"exhaustive"` or `"noop"`).
+    pub backend: &'static str,
+    /// The channel resizes to apply, ordered by channel id.
+    pub assignments: Vec<ChannelAssignment>,
+    /// Per-fusion-task predicted effect, in report order.
+    pub predictions: Vec<TaskPrediction>,
+    /// The achieved objective.
+    pub score: PlanScore,
+    /// Extra slots the plan consumes (`≤` the requested budget).
+    pub slots_used: usize,
+    /// Search-effort accounting.
+    pub stats: SearchStats,
+}
+
+impl GlobalPlan {
+    /// The plan as a sequence of incremental-engine edits.
+    #[must_use]
+    pub fn edits(&self) -> Vec<SpecEdit> {
+        self.assignments.iter().map(ChannelAssignment::edit).collect()
+    }
+
+    /// Total predicted bound reduction across all fusion tasks (ns).
+    #[must_use]
+    pub fn improvement_ns(&self) -> i128 {
+        self.predictions
+            .iter()
+            .map(|p| i128::from(p.before.as_nanos()) - i128::from(p.after.as_nanos()))
+            .sum()
+    }
+
+    /// Whether every requested target is met.
+    #[must_use]
+    pub fn all_targets_met(&self) -> bool {
+        self.predictions
+            .iter()
+            .all(|p| p.met().unwrap_or(true))
+    }
+}

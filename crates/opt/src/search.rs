@@ -1,0 +1,866 @@
+//! Search backends: branch-and-bound (provably optimal on the lattice)
+//! and beam search (WATERS scale), behind one [`Optimizer`] trait.
+//!
+//! Candidates are scored with the incremental engine — each search node
+//! is one [`SpecEdit::ResizeBuffer`] away from its parent, so scoring a
+//! node is a [`AnalyzedSystem::apply`] that re-sweeps only the chains
+//! through the resized edge. When the incremental path refuses an edit
+//! the node falls back to the cold pipeline (and the fallback is
+//! counted: see [`SearchStats::cold_scored`]).
+//!
+//! The branch-and-bound backend prunes with a Lemma 6 admissible bound:
+//! one extra slot on channel `c` shifts a sampling window by at most
+//! `T(src(c))`, so a report's bound can drop by at most
+//! `Σ shifts` of the channels that head one of its pairs. Summing that
+//! over the undecided suffix of the candidate order (with each channel
+//! at its budget-capped ceiling) never underestimates what the
+//! remaining choices can still gain, so pruning on it never cuts an
+//! optimal leaf.
+//!
+//! Determinism: the candidate order is fixed (channel id), both
+//! backends visit states in a fixed order, and equal-score plans are
+//! resolved by a seeded hash of the assignment
+//! ([`PlanRequest::seed`]) — the same request always returns the same
+//! plan, byte for byte.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use disparity_core::buffering::optimize_task;
+use disparity_core::delta::AnalyzedSystem;
+use disparity_core::disparity::AnalysisConfig;
+use disparity_model::edit::{apply_all, SpecEdit};
+use disparity_model::ids::{ChannelId, TaskId};
+use disparity_model::spec::SystemSpec;
+use disparity_model::time::Duration;
+use disparity_rng::splitmix64_mix;
+
+use crate::candidates::{derive_candidates, CandidateChannel, PairConstraint};
+use crate::error::OptError;
+use crate::plan::{
+    ChannelAssignment, GlobalPlan, PairDelta, PlanRequest, PlanScore, SearchStats, TaskPrediction,
+};
+
+/// Default beam width of [`BeamSearch`] and the `Auto` fallback.
+pub const DEFAULT_BEAM_WIDTH: usize = 8;
+
+/// Rounds handed to the per-pair greedy when building the incumbent.
+const GREEDY_ROUNDS: usize = 4;
+
+/// `Auto` runs branch-and-bound while the lattice has at most this many
+/// states; beyond it, beam search.
+const AUTO_BNB_STATE_LIMIT: u128 = 20_000;
+
+/// Which search backend to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Branch-and-bound on small lattices (up to 20 000 states), beam
+    /// search beyond that.
+    Auto,
+    /// Exact branch-and-bound (optimal over the candidate lattice).
+    BranchAndBound,
+    /// Beam search with the given width.
+    Beam {
+        /// States kept per level.
+        width: usize,
+    },
+}
+
+impl BackendChoice {
+    fn resolve(self, candidates: &[CandidateChannel]) -> ResolvedBackend {
+        match self {
+            BackendChoice::BranchAndBound => ResolvedBackend::BranchAndBound,
+            BackendChoice::Beam { width } => ResolvedBackend::Beam(width.max(1)),
+            BackendChoice::Auto => {
+                let mut states: u128 = 1;
+                for c in candidates {
+                    states = states.saturating_mul(c.max_extra as u128 + 1);
+                    if states > AUTO_BNB_STATE_LIMIT {
+                        return ResolvedBackend::Beam(DEFAULT_BEAM_WIDTH);
+                    }
+                }
+                ResolvedBackend::BranchAndBound
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ResolvedBackend {
+    BranchAndBound,
+    Beam(usize),
+}
+
+/// A search backend that turns an analyzed base system and a request
+/// into a validated plan.
+///
+/// Backends search the D007-safe candidate lattice only. The product
+/// entry point [`optimize_analyzed`] additionally folds in the per-pair
+/// greedy incumbent, which guarantees its plans are never worse than
+/// greedy under the same budget; a bare backend makes no such promise.
+pub trait Optimizer {
+    /// Stable backend name (used in plans and wire responses).
+    fn name(&self) -> &'static str;
+
+    /// Searches for the best assignment under `request`.
+    ///
+    /// # Errors
+    ///
+    /// See [`OptError`]; notably `ValidationDivergence` when a plan's
+    /// predicted bounds disagree with a cold re-analysis.
+    fn plan(&self, base: &AnalyzedSystem, request: &PlanRequest) -> Result<GlobalPlan, OptError>;
+}
+
+/// Exact branch-and-bound (depth-first, Lemma 6 admissible bound).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BranchAndBound;
+
+impl Optimizer for BranchAndBound {
+    fn name(&self) -> &'static str {
+        "branch_and_bound"
+    }
+
+    fn plan(&self, base: &AnalyzedSystem, request: &PlanRequest) -> Result<GlobalPlan, OptError> {
+        let mut s = Searcher::new(base, request)?;
+        let best = s.branch_and_bound()?;
+        s.finish(self.name(), best)
+    }
+}
+
+/// Width-limited beam search for systems whose lattice is too large to
+/// enumerate.
+#[derive(Debug, Clone, Copy)]
+pub struct BeamSearch {
+    /// States kept per level.
+    pub width: usize,
+}
+
+impl Default for BeamSearch {
+    fn default() -> Self {
+        BeamSearch {
+            width: DEFAULT_BEAM_WIDTH,
+        }
+    }
+}
+
+impl Optimizer for BeamSearch {
+    fn name(&self) -> &'static str {
+        "beam"
+    }
+
+    fn plan(&self, base: &AnalyzedSystem, request: &PlanRequest) -> Result<GlobalPlan, OptError> {
+        let mut s = Searcher::new(base, request)?;
+        let best = s.beam(self.width.max(1))?;
+        s.finish(self.name(), best)
+    }
+}
+
+/// The product entry point: runs the chosen backend, then folds in the
+/// budget-truncated per-pair greedy assignment and the no-op plan, and
+/// returns whichever scores best (ties broken by the seeded hash).
+///
+/// Consequences, by construction:
+///
+/// * the plan is never worse than per-pair greedy [`optimize_task`]
+///   truncated to the same budget — unconditionally with
+///   [`PlanRequest::forbid_new_findings`] off, and whenever the greedy
+///   plan is itself admissible (introduces no new D007 finding) with
+///   the guard on;
+/// * the plan is never worse than doing nothing.
+///
+/// # Errors
+///
+/// See [`OptError`].
+pub fn optimize_analyzed(
+    base: &AnalyzedSystem,
+    request: &PlanRequest,
+    backend: BackendChoice,
+) -> Result<GlobalPlan, OptError> {
+    let mut s = {
+        let _span = disparity_obs::span("opt.candidates");
+        Searcher::new(base, request)?
+    };
+    let resolved = backend.resolve(&s.candidates);
+    let (name, searched) = {
+        let mut span = disparity_obs::span("opt.search");
+        span.attr("candidates", i64::try_from(s.candidates.len()).unwrap_or(i64::MAX));
+        match resolved {
+            ResolvedBackend::BranchAndBound => ("branch_and_bound", s.branch_and_bound()?),
+            ResolvedBackend::Beam(width) => ("beam", s.beam(width)?),
+        }
+    };
+    let greedy = s.greedy_candidate()?;
+    let mut best = Candidate {
+        backend: name,
+        ..searched
+    };
+    if let Some(g) = greedy {
+        if (g.score, g.tie) < (best.score, best.tie) {
+            best = g;
+        }
+    }
+    s.finish(best.backend, best)
+}
+
+/// Convenience: cold-analyzes `spec` and calls [`optimize_analyzed`].
+///
+/// # Errors
+///
+/// See [`OptError`].
+pub fn optimize_spec(
+    spec: &SystemSpec,
+    config: AnalysisConfig,
+    request: &PlanRequest,
+    backend: BackendChoice,
+) -> Result<GlobalPlan, OptError> {
+    let base = AnalyzedSystem::analyze(spec, config)?;
+    optimize_analyzed(&base, request, backend)
+}
+
+/// Exhaustive enumeration of the whole candidate lattice, scored
+/// through the **cold** pipeline only — the independent oracle the
+/// branch-and-bound backend is asserted against in tests. Exponential;
+/// fixtures only.
+///
+/// # Errors
+///
+/// See [`OptError`].
+pub fn exhaustive_plan(
+    base: &AnalyzedSystem,
+    request: &PlanRequest,
+) -> Result<GlobalPlan, OptError> {
+    let mut s = Searcher::new(base, request)?;
+    let n = s.candidates.len();
+    let mut extras = vec![0usize; n];
+    let mut best: Option<Candidate> = None;
+    loop {
+        let used: usize = extras.iter().sum();
+        if used <= s.budget && s.clean_lattice(&extras) {
+            s.stats.nodes += 1;
+            s.stats.cold_scored += 1;
+            let mut spec = s.base.spec().clone();
+            let edits: Vec<SpecEdit> = s.lattice_assignments(&extras).iter().map(ChannelAssignment::edit).collect();
+            apply_all(&mut spec, &edits).map_err(|(_, e)| OptError::Edit(e.to_string()))?;
+            let sys = Rc::new(AnalyzedSystem::analyze(&spec, s.base.config())?);
+            let score = s.score_of(&sys);
+            let tie = s.tie_of(&s.lattice_pairs(&extras));
+            let cand = Candidate {
+                backend: "exhaustive",
+                extras: extras.clone(),
+                sys,
+                score,
+                tie,
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| (cand.score, cand.tie) < (b.score, b.tie))
+            {
+                best = Some(cand);
+            }
+        }
+        // Odometer over the per-channel ranges.
+        let mut i = 0;
+        loop {
+            if i == n {
+                let Some(best) = best else {
+                    return s.noop_finish("exhaustive");
+                };
+                return s.finish("exhaustive", best);
+            }
+            if extras[i] < s.candidates[i].max_extra {
+                extras[i] += 1;
+                break;
+            }
+            extras[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// The budget-truncated per-pair greedy assignment: runs
+/// [`optimize_task`] for every fusion task (in task-id order) on a
+/// shared working graph, consuming budget slots step by step and
+/// skipping steps that no longer fit.
+///
+/// # Errors
+///
+/// Propagates analysis errors from the greedy rounds.
+pub fn greedy_assignment(
+    base: &AnalyzedSystem,
+    budget: usize,
+) -> Result<Vec<ChannelAssignment>, OptError> {
+    let mut graph = base.graph().clone();
+    let mut remaining = budget;
+    let mut tasks: Vec<TaskId> = base.reports().iter().map(|r| r.task).collect();
+    tasks.sort_unstable();
+    for task in tasks {
+        if remaining == 0 {
+            break;
+        }
+        let outcome = optimize_task(&graph, task, base.config(), GREEDY_ROUNDS)?;
+        for step in &outcome.steps {
+            let current = graph.channel(step.plan.channel).capacity();
+            let extra = step.plan.capacity.saturating_sub(current);
+            if extra == 0 {
+                continue;
+            }
+            if extra > remaining {
+                // Later steps of this task build on this one; stop here.
+                break;
+            }
+            graph
+                .set_channel_capacity(step.plan.channel, step.plan.capacity)
+                .map_err(|e| OptError::Edit(e.to_string()))?;
+            remaining -= extra;
+        }
+    }
+    let base_graph = base.graph();
+    let mut assignments = Vec::new();
+    for ch in base_graph.channels() {
+        let new_cap = graph.channel(ch.id()).capacity();
+        if new_cap > ch.capacity() {
+            assignments.push(ChannelAssignment {
+                channel: ch.id(),
+                from: base_graph.task(ch.src()).name().to_string(),
+                to: base_graph.task(ch.dst()).name().to_string(),
+                base_capacity: ch.capacity(),
+                capacity: new_cap,
+            });
+        }
+    }
+    Ok(assignments)
+}
+
+/// A resolved per-task target.
+struct ResolvedTarget {
+    task: TaskId,
+    bound: Duration,
+}
+
+/// A scored assignment, lattice (`extras` aligned with the candidate
+/// order) or free-form (greedy; `extras` empty, `sys` already carries
+/// the resizes).
+struct Candidate {
+    backend: &'static str,
+    /// Extra slots per candidate, aligned with the lattice order. For
+    /// free-form (greedy) candidates this is empty and the assignment
+    /// is recovered from `sys`'s graph instead.
+    extras: Vec<usize>,
+    sys: Rc<AnalyzedSystem>,
+    score: PlanScore,
+    tie: u64,
+}
+
+struct Searcher<'a> {
+    base: &'a AnalyzedSystem,
+    candidates: Vec<CandidateChannel>,
+    /// The D007 constraint table; a plan that introduces a finding is
+    /// never returned (and never becomes a pruning incumbent).
+    constraints: Vec<PairConstraint>,
+    /// Channel id → lattice level, for constraint evaluation.
+    index: BTreeMap<ChannelId, usize>,
+    targets: Vec<ResolvedTarget>,
+    budget: usize,
+    seed: u64,
+    forbid_new_findings: bool,
+    stats: SearchStats,
+}
+
+impl<'a> Searcher<'a> {
+    fn new(base: &'a AnalyzedSystem, request: &PlanRequest) -> Result<Self, OptError> {
+        let set = derive_candidates(base)?;
+        let candidates = set.channels;
+        let constraints = set.constraints;
+        let index: BTreeMap<ChannelId, usize> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.channel, i))
+            .collect();
+        let mut targets = Vec::with_capacity(request.targets.len());
+        for t in &request.targets {
+            let task = base
+                .graph()
+                .find_task(&t.task)
+                .ok_or_else(|| OptError::UnknownTarget {
+                    task: t.task.clone(),
+                })?;
+            targets.push(ResolvedTarget {
+                task,
+                bound: t.bound,
+            });
+        }
+        let stats = SearchStats {
+            candidates: candidates.len(),
+            ..SearchStats::default()
+        };
+        Ok(Searcher {
+            base,
+            candidates,
+            constraints,
+            index,
+            targets,
+            budget: request.budget.extra_slots,
+            seed: request.seed,
+            forbid_new_findings: request.forbid_new_findings,
+            stats,
+        })
+    }
+
+    /// Whether a lattice assignment is admissible under the request's
+    /// D007 policy (introduces no new over-buffered-channel finding, or
+    /// the guard is off). Exact per Lemma 6: each side's midpoint
+    /// shifts left by its own head channel's `extra × period`.
+    fn clean_lattice(&self, extras: &[usize]) -> bool {
+        if !self.forbid_new_findings {
+            return true;
+        }
+        let extra_of = |ch: ChannelId| self.index.get(&ch).map_or(0, |&i| extras[i]);
+        !self
+            .constraints
+            .iter()
+            .any(|c| c.introduces_finding(&extra_of))
+    }
+
+    /// Admissibility of a free-form (off-lattice) assignment.
+    fn clean_map(&self, extra: &BTreeMap<ChannelId, usize>) -> bool {
+        if !self.forbid_new_findings {
+            return true;
+        }
+        let extra_of = |ch: ChannelId| extra.get(&ch).copied().unwrap_or(0);
+        !self
+            .constraints
+            .iter()
+            .any(|c| c.introduces_finding(&extra_of))
+    }
+
+    /// The lexicographic objective of a state.
+    fn score_of(&self, sys: &AnalyzedSystem) -> PlanScore {
+        let total = sys
+            .reports()
+            .iter()
+            .map(|r| i128::from(r.bound.as_nanos()))
+            .sum();
+        let excess = self
+            .targets
+            .iter()
+            .map(|t| {
+                let bound = sys.report_for(t.task).map_or(Duration::ZERO, |r| r.bound);
+                (i128::from(bound.as_nanos()) - i128::from(t.bound.as_nanos())).max(0)
+            })
+            .sum();
+        PlanScore {
+            target_excess_ns: excess,
+            total_bound_ns: total,
+        }
+    }
+
+    /// Seeded tie-break hash over the non-trivial `(channel, capacity)`
+    /// pairs of an assignment (must be sorted by channel).
+    fn tie_of(&self, pairs: &[(ChannelId, usize)]) -> u64 {
+        let mut h = splitmix64_mix(self.seed ^ 0x0B7A_5EED);
+        for (ch, cap) in pairs {
+            h = splitmix64_mix(h ^ ch.index() as u64);
+            h = splitmix64_mix(h ^ *cap as u64);
+        }
+        h
+    }
+
+    /// Non-trivial `(channel, capacity)` pairs of a lattice assignment.
+    fn lattice_pairs(&self, extras: &[usize]) -> Vec<(ChannelId, usize)> {
+        self.candidates
+            .iter()
+            .zip(extras)
+            .filter(|(_, &e)| e > 0)
+            .map(|(c, &e)| (c.channel, c.base_capacity + e))
+            .collect()
+    }
+
+    /// Lattice assignment as wire-ready channel assignments.
+    fn lattice_assignments(&self, extras: &[usize]) -> Vec<ChannelAssignment> {
+        self.candidates
+            .iter()
+            .zip(extras)
+            .filter(|(_, &e)| e > 0)
+            .map(|(c, &e)| ChannelAssignment {
+                channel: c.channel,
+                from: c.from_name.clone(),
+                to: c.to_name.clone(),
+                base_capacity: c.base_capacity,
+                capacity: c.base_capacity + e,
+            })
+            .collect()
+    }
+
+    /// Scores a child one resize away from `parent`: incremental first,
+    /// cold fallback.
+    fn child(
+        &mut self,
+        parent: &Rc<AnalyzedSystem>,
+        edit: &SpecEdit,
+    ) -> Result<Rc<AnalyzedSystem>, OptError> {
+        match parent.apply(edit) {
+            Ok((sys, _)) => {
+                self.stats.delta_scored += 1;
+                Ok(Rc::new(sys))
+            }
+            Err(_) => {
+                self.stats.cold_scored += 1;
+                let mut spec = parent.spec().clone();
+                apply_all(&mut spec, std::slice::from_ref(edit))
+                    .map_err(|(_, e)| OptError::Edit(e.to_string()))?;
+                Ok(Rc::new(AnalyzedSystem::analyze(&spec, parent.config())?))
+            }
+        }
+    }
+
+    /// The root state (no resizes).
+    fn root(&mut self) -> Candidate {
+        self.stats.nodes += 1;
+        let sys = Rc::new(self.base.clone());
+        let score = self.score_of(&sys);
+        let extras = vec![0usize; self.candidates.len()];
+        let tie = self.tie_of(&self.lattice_pairs(&extras));
+        Candidate {
+            backend: "noop",
+            extras,
+            sys,
+            score,
+            tie,
+        }
+    }
+
+    /// Optimistic reduction still achievable from `level` on with
+    /// `remaining` budget slots (Lemma 6 relaxation, admissible).
+    fn optimistic_reduction(&self, level: usize, remaining: usize) -> i128 {
+        self.candidates[level..]
+            .iter()
+            .map(|c| {
+                let extra = c.max_extra.min(remaining) as i128;
+                i128::from(c.period.as_nanos()) * extra * c.reports_touched as i128
+            })
+            .sum()
+    }
+
+    fn branch_and_bound(&mut self) -> Result<Candidate, OptError> {
+        let root = self.root();
+        let mut incumbent = Candidate {
+            backend: "branch_and_bound",
+            ..root
+        };
+        let root_state = Rc::clone(&incumbent.sys);
+        let mut extras = vec![0usize; self.candidates.len()];
+        self.bnb_node(0, &root_state, incumbent.score, &mut extras, self.budget, &mut incumbent)?;
+        Ok(incumbent)
+    }
+
+    /// Expands one branch-and-bound node: `state` reflects
+    /// `extras[..level]`, `score` is its objective.
+    fn bnb_node(
+        &mut self,
+        level: usize,
+        state: &Rc<AnalyzedSystem>,
+        score: PlanScore,
+        extras: &mut Vec<usize>,
+        remaining: usize,
+        incumbent: &mut Candidate,
+    ) -> Result<(), OptError> {
+        if level == self.candidates.len() {
+            if !self.clean_lattice(extras) {
+                return Ok(());
+            }
+            let tie = self.tie_of(&self.lattice_pairs(extras));
+            if (score, tie) < (incumbent.score, incumbent.tie) {
+                *incumbent = Candidate {
+                    backend: "branch_and_bound",
+                    extras: extras.clone(),
+                    sys: Rc::clone(state),
+                    score,
+                    tie,
+                };
+            }
+            return Ok(());
+        }
+        // Admissible prune: even reducing every undecided channel's
+        // touched reports by its full budget-capped shift cannot beat
+        // the incumbent.
+        let optimistic = self.optimistic_reduction(level, remaining);
+        let optimistic_score = PlanScore {
+            target_excess_ns: (score.target_excess_ns - optimistic).max(0),
+            total_bound_ns: (score.total_bound_ns - optimistic).max(0),
+        };
+        if optimistic_score > incumbent.score {
+            self.stats.pruned += 1;
+            return Ok(());
+        }
+        let cand = self.candidates[level].clone();
+        let cap = cand.max_extra.min(remaining);
+        // Deeper buffers first: good incumbents early tighten pruning.
+        for extra in (0..=cap).rev() {
+            extras[level] = extra;
+            if extra == 0 {
+                self.stats.nodes += 1;
+                self.bnb_node(level + 1, state, score, extras, remaining, incumbent)?;
+            } else {
+                let edit = SpecEdit::ResizeBuffer {
+                    from: cand.from_name.clone(),
+                    to: cand.to_name.clone(),
+                    capacity: cand.base_capacity + extra,
+                };
+                let child = self.child(state, &edit)?;
+                let child_score = self.score_of(&child);
+                self.stats.nodes += 1;
+                self.bnb_node(
+                    level + 1,
+                    &child,
+                    child_score,
+                    extras,
+                    remaining - extra,
+                    incumbent,
+                )?;
+            }
+        }
+        extras[level] = 0;
+        Ok(())
+    }
+
+    fn beam(&mut self, width: usize) -> Result<Candidate, OptError> {
+        let root = self.root();
+        let base_score = root.score;
+        let base_tie = root.tie;
+        let mut beam = vec![BeamState {
+            extras: Vec::new(),
+            used: 0,
+            sys: Rc::clone(&root.sys),
+            score: root.score,
+        }];
+        for level in 0..self.candidates.len() {
+            let cand = self.candidates[level].clone();
+            let mut next = Vec::new();
+            for state in &beam {
+                let cap = cand.max_extra.min(self.budget - state.used);
+                for extra in 0..=cap {
+                    let mut extras = state.extras.clone();
+                    extras.push(extra);
+                    if extra == 0 {
+                        self.stats.nodes += 1;
+                        next.push(BeamState {
+                            extras,
+                            used: state.used,
+                            sys: Rc::clone(&state.sys),
+                            score: state.score,
+                        });
+                    } else {
+                        let edit = SpecEdit::ResizeBuffer {
+                            from: cand.from_name.clone(),
+                            to: cand.to_name.clone(),
+                            capacity: cand.base_capacity + extra,
+                        };
+                        let sys = self.child(&state.sys, &edit)?;
+                        let score = self.score_of(&sys);
+                        self.stats.nodes += 1;
+                        next.push(BeamState {
+                            extras,
+                            used: state.used + extra,
+                            sys,
+                            score,
+                        });
+                    }
+                }
+            }
+            next.sort_by(|a, b| {
+                (a.score, self.tie_of(&self.lattice_pairs(&a.extras)))
+                    .cmp(&(b.score, self.tie_of(&self.lattice_pairs(&b.extras))))
+            });
+            next.truncate(width);
+            beam = next;
+        }
+        // Final states are complete assignments; only D007-clean ones
+        // may be returned.
+        let best = beam
+            .into_iter()
+            .find(|s| self.clean_lattice(&s.extras));
+        let Some(best) = best else {
+            // Empty candidate set: the root is the only state.
+            return Ok(Candidate {
+                backend: "beam",
+                ..self.root()
+            });
+        };
+        let tie = self.tie_of(&self.lattice_pairs(&best.extras));
+        let mut result = Candidate {
+            backend: "beam",
+            extras: best.extras,
+            sys: best.sys,
+            score: best.score,
+            tie,
+        };
+        // The all-zero path can fall off a narrow beam; doing nothing is
+        // always admissible, so never return worse than the root.
+        if (base_score, base_tie) < (result.score, result.tie) {
+            result = Candidate {
+                backend: "beam",
+                extras: vec![0; self.candidates.len()],
+                sys: Rc::new(self.base.clone()),
+                score: base_score,
+                tie: base_tie,
+            };
+        }
+        Ok(result)
+    }
+
+    /// Scores the budget-truncated greedy assignment as a free-form
+    /// candidate. Returns `None` when greedy finds nothing to resize —
+    /// or when its per-pair designs jointly over-buffer some other pair
+    /// (a new D007 finding): greedy plans that trade one pair's
+    /// alignment away are not admissible product plans.
+    fn greedy_candidate(&mut self) -> Result<Option<Candidate>, OptError> {
+        let assignments = greedy_assignment(self.base, self.budget)?;
+        if assignments.is_empty() {
+            return Ok(None);
+        }
+        let extra: BTreeMap<ChannelId, usize> = assignments
+            .iter()
+            .map(|a| (a.channel, a.extra_slots()))
+            .collect();
+        if !self.clean_map(&extra) {
+            return Ok(None);
+        }
+        let mut sys = Rc::new(self.base.clone());
+        for a in &assignments {
+            sys = self.child(&sys, &a.edit())?;
+        }
+        self.stats.nodes += 1;
+        let score = self.score_of(&sys);
+        let mut pairs: Vec<(ChannelId, usize)> =
+            assignments.iter().map(|a| (a.channel, a.capacity)).collect();
+        pairs.sort_unstable();
+        let tie = self.tie_of(&pairs);
+        Ok(Some(Candidate {
+            backend: "greedy",
+            extras: Vec::new(),
+            sys,
+            score,
+            tie,
+        }))
+    }
+
+    /// Finishes with the empty plan (used when a search found nothing).
+    fn noop_finish(&mut self, backend: &'static str) -> Result<GlobalPlan, OptError> {
+        let root = self.root();
+        self.finish(backend, root)
+    }
+
+    /// Validates the winning candidate against a cold re-analysis of
+    /// the plan-applied spec and assembles the plan from the **cold**
+    /// numbers. Divergence is an error, not a warning: a plan whose
+    /// predictions the cold pipeline cannot reproduce must never ship.
+    fn finish(&mut self, backend: &'static str, best: Candidate) -> Result<GlobalPlan, OptError> {
+        let _span = disparity_obs::span("opt.validate");
+        let assignments = if best.extras.is_empty() && best.backend == "greedy" {
+            let mut a: Vec<ChannelAssignment> = Vec::new();
+            let base_graph = self.base.graph();
+            for ch in base_graph.channels() {
+                let new_cap = best.sys.graph().channel(ch.id()).capacity();
+                if new_cap > ch.capacity() {
+                    a.push(ChannelAssignment {
+                        channel: ch.id(),
+                        from: base_graph.task(ch.src()).name().to_string(),
+                        to: base_graph.task(ch.dst()).name().to_string(),
+                        base_capacity: ch.capacity(),
+                        capacity: new_cap,
+                    });
+                }
+            }
+            a
+        } else {
+            self.lattice_assignments(&best.extras)
+        };
+        let mut spec = self.base.spec().clone();
+        let edits: Vec<SpecEdit> = assignments.iter().map(ChannelAssignment::edit).collect();
+        apply_all(&mut spec, &edits).map_err(|(_, e)| OptError::Edit(e.to_string()))?;
+        let cold = AnalyzedSystem::analyze(&spec, self.base.config())?;
+
+        // Byte-identity of every predicted bound against the cold run.
+        for predicted in best.sys.reports() {
+            let name = self.base.graph().task(predicted.task).name().to_string();
+            let Some(actual) = cold.report_for(predicted.task) else {
+                return Err(OptError::ValidationDivergence {
+                    task: name,
+                    predicted: predicted.bound,
+                    reanalyzed: Duration::ZERO,
+                });
+            };
+            if actual.bound != predicted.bound
+                || actual.pairs.len() != predicted.pairs.len()
+                || actual
+                    .pairs
+                    .iter()
+                    .zip(&predicted.pairs)
+                    .any(|(a, p)| a.bound != p.bound)
+            {
+                return Err(OptError::ValidationDivergence {
+                    task: name,
+                    predicted: predicted.bound,
+                    reanalyzed: actual.bound,
+                });
+            }
+        }
+
+        let graph = self.base.graph();
+        let mut predictions = Vec::new();
+        for after in cold.reports() {
+            let Some(before) = self.base.report_for(after.task) else {
+                continue;
+            };
+            let target = self
+                .targets
+                .iter()
+                .find(|t| t.task == after.task)
+                .map(|t| t.bound);
+            let pairs = before
+                .pairs
+                .iter()
+                .zip(&after.pairs)
+                .map(|(b, a)| PairDelta {
+                    lambda: b.lambda,
+                    nu: b.nu,
+                    analyzed_at: graph.task(b.analyzed_at).name().to_string(),
+                    before: b.bound,
+                    after: a.bound,
+                })
+                .collect();
+            predictions.push(TaskPrediction {
+                task: graph.task(after.task).name().to_string(),
+                before: before.bound,
+                after: after.bound,
+                target,
+                pairs,
+            });
+        }
+
+        let score = self.score_of(&cold);
+        let slots_used = assignments.iter().map(ChannelAssignment::extra_slots).sum();
+        let stats = self.stats;
+        disparity_obs::counter_add("opt.plans", 1);
+        disparity_obs::counter_add("opt.search.nodes", stats.nodes);
+        disparity_obs::counter_add("opt.search.pruned", stats.pruned);
+        disparity_obs::counter_add("opt.score.delta", stats.delta_scored);
+        disparity_obs::counter_add("opt.score.cold", stats.cold_scored);
+        Ok(GlobalPlan {
+            backend,
+            assignments,
+            predictions,
+            score,
+            slots_used,
+            stats,
+        })
+    }
+}
+
+/// One beam state: `extras` covers the levels expanded so far.
+struct BeamState {
+    extras: Vec<usize>,
+    used: usize,
+    sys: Rc<AnalyzedSystem>,
+    score: PlanScore,
+}

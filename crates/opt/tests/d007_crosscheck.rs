@@ -1,0 +1,67 @@
+//! Optimizer output cross-checked against analyzer rule D007
+//! (over-buffered channel): optimizing a diagnostically clean spec must
+//! never introduce a D007 finding. The candidate lattice guarantees
+//! this by construction (per-channel ceilings are minimum midpoint
+//! gaps); this test keeps the two subsystems honest against each other.
+
+use disparity_analyzer::checks::{analyze_graph, DiagConfig};
+use disparity_analyzer::diag::DiagCode;
+use disparity_core::delta::AnalyzedSystem;
+use disparity_core::disparity::AnalysisConfig;
+use disparity_model::graph::CauseEffectGraph;
+use disparity_model::spec::SystemSpec;
+use disparity_opt::{optimize_analyzed, BackendChoice, BufferBudget, PlanRequest};
+use disparity_rng::SplitMix64;
+use disparity_workload::funnel::{schedulable_funnel_system, FunnelConfig};
+use disparity_workload::graphgen::schedulable_random_system;
+
+fn d007_count(graph: &CauseEffectGraph) -> usize {
+    analyze_graph(graph, &DiagConfig::default()).count_of(DiagCode::OverBuffered)
+}
+
+fn check_no_new_d007(graph: &CauseEffectGraph, budget: usize, backend: BackendChoice) {
+    let before = d007_count(graph);
+    if before != 0 {
+        return; // only *clean* specs carry the guarantee
+    }
+    let spec = SystemSpec::from_graph(graph);
+    let Ok(base) = AnalyzedSystem::analyze(&spec, AnalysisConfig::default()) else {
+        return;
+    };
+    let request = PlanRequest::with_budget(BufferBudget::slots(budget));
+    let plan = optimize_analyzed(&base, &request, backend).expect("plan");
+    let mut optimized = graph.clone();
+    for a in &plan.assignments {
+        optimized
+            .set_channel_capacity(a.channel, a.capacity)
+            .expect("plan channels exist in the base graph");
+    }
+    assert_eq!(
+        d007_count(&optimized),
+        0,
+        "optimizing a D007-clean spec introduced over-buffered channels ({backend:?}, budget {budget})"
+    );
+}
+
+#[test]
+fn funnels_stay_d007_clean_after_optimization() {
+    for seed in 0..5u64 {
+        let mut rng = SplitMix64::new(seed);
+        let Ok(g) = schedulable_funnel_system(&FunnelConfig::default(), &mut rng, 64) else {
+            continue;
+        };
+        check_no_new_d007(&g, 4, BackendChoice::Auto);
+        check_no_new_d007(&g, 8, BackendChoice::Beam { width: 4 });
+    }
+}
+
+#[test]
+fn waters_systems_stay_d007_clean_after_optimization() {
+    for seed in 0..5u64 {
+        let mut rng = SplitMix64::new(0xD0_07 + seed);
+        let Ok(g) = schedulable_random_system(Default::default(), &mut rng, 64) else {
+            continue;
+        };
+        check_no_new_d007(&g, 3, BackendChoice::Auto);
+    }
+}

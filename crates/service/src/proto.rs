@@ -28,6 +28,8 @@ use disparity_model::edit::SpecEdit;
 use disparity_model::graph::CauseEffectGraph;
 use disparity_model::json::{self, Value};
 use disparity_model::spec::SystemSpec;
+use disparity_model::time::Duration;
+use disparity_opt::{BackendChoice, DisparityTarget, GlobalPlan, DEFAULT_BEAM_WIDTH};
 
 /// Default chain-enumeration budget (mirrors
 /// [`disparity_core::disparity::AnalysisConfig`]).
@@ -87,6 +89,36 @@ pub enum Op {
         /// Chain-enumeration budget.
         chain_limit: usize,
     },
+    /// Global buffer-plan optimization (§IV generalized): search
+    /// per-channel FIFO capacities under a total extra-slot budget and
+    /// optional per-task disparity targets, scored through the
+    /// incremental engine, validated against cold re-analysis.
+    Optimize {
+        /// The analyzed spec (exactly one of `spec` / `base`).
+        spec: Option<SystemSpec>,
+        /// Canonical hash of an already-cached base spec (exactly one
+        /// of `spec` / `base`; mirrors [`Op::Patch`]).
+        base: Option<u64>,
+        /// Total extra FIFO slots the plan may allocate.
+        budget_slots: usize,
+        /// Optional per-task disparity targets (soft).
+        targets: Vec<DisparityTarget>,
+        /// Which search backend runs.
+        backend: BackendChoice,
+        /// Seed of the deterministic tie-break.
+        seed: u64,
+        /// Admit plans that introduce new D007 (over-buffered channel)
+        /// findings. Off by default: optimizing a clean spec keeps it
+        /// clean.
+        allow_overbuffering: bool,
+        /// Which pairwise theorem scores candidates.
+        method: Method,
+        /// Chain-enumeration budget.
+        chain_limit: usize,
+        /// When set, validate the optimized spec by simulating this
+        /// many milliseconds and report observed per-task disparities.
+        sim_horizon_ms: Option<u64>,
+    },
     /// Server statistics (counters, queue depth, latency percentiles).
     Stats,
     /// Live metrics: Prometheus-style text exposition plus sliding-window
@@ -145,6 +177,7 @@ impl Op {
             | Op::Backward { spec, .. }
             | Op::Buffer { spec, .. }
             | Op::Panic { spec, .. } => Some(spec),
+            Op::Optimize { spec, .. } => spec.as_ref(),
             Op::Patch { .. }
             | Op::Stats
             | Op::Metrics
@@ -448,6 +481,96 @@ impl Request {
                         .map_err(|m| ProtoError::new(&id, m))?,
                 }
             }
+            "optimize" => {
+                let spec = match value.get("spec") {
+                    None | Some(Value::Null) => None,
+                    Some(_) => Some(spec_field(value, &id)?),
+                };
+                let base = match value.get("base") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => {
+                        let text = v.as_str().ok_or_else(|| {
+                            ProtoError::new(&id, "\"base\" must be a 16-hex canonical hash string")
+                        })?;
+                        Some(u64::from_str_radix(text, 16).map_err(|_| {
+                            ProtoError::new(&id, format!("bad \"base\": {text:?} is not a hex hash"))
+                        })?)
+                    }
+                };
+                if spec.is_some() == base.is_some() {
+                    return Err(ProtoError::new(
+                        &id,
+                        "\"optimize\" needs exactly one of \"spec\" or \"base\"",
+                    ));
+                }
+                let budget_slots = value
+                    .get("budget_slots")
+                    .and_then(Value::as_i64)
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| {
+                        ProtoError::new(&id, "missing or negative \"budget_slots\"")
+                    })?;
+                let mut targets = Vec::new();
+                if let Some(list) = value.get("targets") {
+                    let list = list.as_array().ok_or_else(|| {
+                        ProtoError::new(&id, "\"targets\" must be an array")
+                    })?;
+                    for (index, t) in list.iter().enumerate() {
+                        let task = t.get("task").and_then(Value::as_str).ok_or_else(|| {
+                            ProtoError::new(&id, format!("target [{index}]: missing \"task\""))
+                        })?;
+                        let bound = t
+                            .get("bound_ns")
+                            .and_then(Value::as_i64)
+                            .filter(|&n| n >= 0)
+                            .ok_or_else(|| {
+                                ProtoError::new(
+                                    &id,
+                                    format!("target [{index}]: missing or negative \"bound_ns\""),
+                                )
+                            })?;
+                        targets.push(DisparityTarget {
+                            task: task.to_string(),
+                            bound: Duration::from_nanos(bound),
+                        });
+                    }
+                }
+                let beam_width = usize_field(value, "beam_width", DEFAULT_BEAM_WIDTH)
+                    .map_err(|m| ProtoError::new(&id, m))?;
+                let backend = match value.get("backend").and_then(Value::as_str) {
+                    None | Some("auto") => BackendChoice::Auto,
+                    Some("branch_and_bound") => BackendChoice::BranchAndBound,
+                    Some("beam") => BackendChoice::Beam { width: beam_width },
+                    Some(other) => {
+                        return Err(ProtoError::new(
+                            &id,
+                            format!(
+                                "\"backend\" must be \"auto\", \"branch_and_bound\" or \"beam\", got {other:?}"
+                            ),
+                        ));
+                    }
+                };
+                Op::Optimize {
+                    spec,
+                    base,
+                    budget_slots,
+                    targets,
+                    backend,
+                    seed: u64_field(value, "seed")
+                        .map_err(|m| ProtoError::new(&id, m))?
+                        .unwrap_or(0),
+                    allow_overbuffering: value
+                        .get("allow_overbuffering")
+                        .and_then(Value::as_bool)
+                        .unwrap_or(false),
+                    method: parse_method(value.get("method"))
+                        .map_err(|m| ProtoError::new(&id, m))?,
+                    chain_limit: usize_field(value, "chain_limit", DEFAULT_CHAIN_LIMIT)
+                        .map_err(|m| ProtoError::new(&id, m))?,
+                    sim_horizon_ms: u64_field(value, "sim_horizon_ms")
+                        .map_err(|m| ProtoError::new(&id, m))?,
+                }
+            }
             "stats" => Op::Stats,
             "metrics" => Op::Metrics,
             "dump" => Op::Dump,
@@ -491,6 +614,7 @@ impl Request {
             Op::Backward { .. } => "backward",
             Op::Buffer { .. } => "buffer",
             Op::Patch { .. } => "patch",
+            Op::Optimize { .. } => "optimize",
             Op::Stats => "stats",
             Op::Metrics => "metrics",
             Op::Dump => "dump",
@@ -630,6 +754,96 @@ pub fn encode_buffer_result(graph: &CauseEffectGraph, outcome: &OptimizationOutc
     ])
 }
 
+fn ns_i64(v: i128) -> Value {
+    Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+/// Encodes a [`GlobalPlan`] as the `optimize` result payload.
+///
+/// Pure over its inputs: a direct [`disparity_opt`] run plus the
+/// canonical hash of the plan-applied spec encodes to exactly the bytes
+/// the server returns, which is how the loadgen replay mode verifies
+/// responses end to end.
+#[must_use]
+pub fn encode_optimize_result(
+    plan: &GlobalPlan,
+    optimized_hash: u64,
+    sim: Option<Value>,
+) -> Value {
+    let assignments = plan
+        .assignments
+        .iter()
+        .map(|a| {
+            json::object(vec![
+                ("from", Value::from(a.from.as_str())),
+                ("to", Value::from(a.to.as_str())),
+                ("base_capacity", Value::from(a.base_capacity)),
+                ("capacity", Value::from(a.capacity)),
+            ])
+        })
+        .collect();
+    let predictions = plan
+        .predictions
+        .iter()
+        .map(|p| {
+            let pairs = p
+                .pairs
+                .iter()
+                .map(|d| {
+                    json::object(vec![
+                        ("lambda", Value::from(d.lambda)),
+                        ("nu", Value::from(d.nu)),
+                        ("analyzed_at", Value::from(d.analyzed_at.as_str())),
+                        ("before_ns", Value::Int(d.before.as_nanos())),
+                        ("after_ns", Value::Int(d.after.as_nanos())),
+                    ])
+                })
+                .collect();
+            json::object(vec![
+                ("task", Value::from(p.task.as_str())),
+                ("before_ns", Value::Int(p.before.as_nanos())),
+                ("after_ns", Value::Int(p.after.as_nanos())),
+                (
+                    "target_ns",
+                    p.target.map_or(Value::Null, |t| Value::Int(t.as_nanos())),
+                ),
+                ("met", p.met().map_or(Value::Null, Value::Bool)),
+                ("pairs", Value::Array(pairs)),
+            ])
+        })
+        .collect();
+    json::object(vec![
+        ("backend", Value::from(plan.backend)),
+        ("slots_used", Value::from(plan.slots_used)),
+        ("assignments", Value::Array(assignments)),
+        ("predictions", Value::Array(predictions)),
+        (
+            "score",
+            json::object(vec![
+                ("target_excess_ns", ns_i64(plan.score.target_excess_ns)),
+                ("total_bound_ns", ns_i64(plan.score.total_bound_ns)),
+            ]),
+        ),
+        ("improvement_ns", ns_i64(plan.improvement_ns())),
+        ("all_targets_met", Value::Bool(plan.all_targets_met())),
+        (
+            "stats",
+            json::object(vec![
+                ("candidates", Value::from(plan.stats.candidates)),
+                ("nodes", ns_i64(i128::from(plan.stats.nodes))),
+                ("pruned", ns_i64(i128::from(plan.stats.pruned))),
+                ("delta_scored", ns_i64(i128::from(plan.stats.delta_scored))),
+                ("cold_scored", ns_i64(i128::from(plan.stats.cold_scored))),
+            ]),
+        ),
+        (
+            "optimized_spec_hash",
+            Value::from(format!("{optimized_hash:016x}")),
+        ),
+        ("sim", sim.unwrap_or(Value::Null)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -663,6 +877,84 @@ mod tests {
 
         let err = Request::parse("not json").unwrap_err();
         assert_eq!(err.id, Value::Null);
+    }
+
+    #[test]
+    fn parses_optimize_requests() {
+        let line = r#"{"id":"o1","op":"optimize","base":"00000000deadbeef","budget_slots":3,"targets":[{"task":"fuse","bound_ns":5000000}],"backend":"beam","beam_width":4,"seed":9,"allow_overbuffering":true,"sim_horizon_ms":250}"#;
+        let req = Request::parse(line).unwrap();
+        assert_eq!(req.endpoint(), "optimize");
+        match req.op {
+            Op::Optimize {
+                spec,
+                base,
+                budget_slots,
+                targets,
+                backend,
+                seed,
+                allow_overbuffering,
+                chain_limit,
+                sim_horizon_ms,
+                ..
+            } => {
+                assert!(spec.is_none());
+                assert_eq!(base, Some(0x0000_0000_dead_beef));
+                assert_eq!(budget_slots, 3);
+                assert_eq!(targets.len(), 1);
+                assert_eq!(targets[0].task, "fuse");
+                assert_eq!(targets[0].bound, Duration::from_nanos(5_000_000));
+                assert_eq!(backend, BackendChoice::Beam { width: 4 });
+                assert_eq!(seed, 9);
+                assert!(allow_overbuffering);
+                assert_eq!(chain_limit, DEFAULT_CHAIN_LIMIT);
+                assert_eq!(sim_horizon_ms, Some(250));
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimize_requires_exactly_one_of_spec_and_base() {
+        let neither = r#"{"id":1,"op":"optimize","budget_slots":2}"#;
+        let err = Request::parse(neither).unwrap_err();
+        assert!(err.to_string().contains("exactly one"), "{err}");
+
+        let both = r#"{"id":1,"op":"optimize","budget_slots":2,"base":"ff","spec":{"tasks":[{"name":"a","period":1000000}]}}"#;
+        let err = Request::parse(both).unwrap_err();
+        assert!(err.to_string().contains("exactly one"), "{err}");
+
+        let missing_budget = r#"{"id":1,"op":"optimize","base":"ff"}"#;
+        let err = Request::parse(missing_budget).unwrap_err();
+        assert!(err.to_string().contains("budget_slots"), "{err}");
+
+        let bad_backend = r#"{"id":1,"op":"optimize","base":"ff","budget_slots":0,"backend":"genetic"}"#;
+        let err = Request::parse(bad_backend).unwrap_err();
+        assert!(err.to_string().contains("backend"), "{err}");
+    }
+
+    #[test]
+    fn optimize_defaults() {
+        let line = r#"{"id":1,"op":"optimize","base":"ff","budget_slots":0}"#;
+        let req = Request::parse(line).unwrap();
+        match req.op {
+            Op::Optimize {
+                budget_slots,
+                targets,
+                backend,
+                seed,
+                allow_overbuffering,
+                sim_horizon_ms,
+                ..
+            } => {
+                assert_eq!(budget_slots, 0, "zero budget is meaningful, not an error");
+                assert!(targets.is_empty());
+                assert_eq!(backend, BackendChoice::Auto);
+                assert_eq!(seed, 0);
+                assert!(!allow_overbuffering);
+                assert_eq!(sim_horizon_ms, None);
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 
 use disparity_analyzer::checks::{analyze_spec, DiagConfig};
 use disparity_core::buffering::optimize_task;
-use disparity_core::delta::DeltaBasis;
+use disparity_core::delta::{AnalyzedSystem, DeltaBasis};
 use disparity_core::disparity::AnalysisConfig;
 use disparity_core::engine::AnalysisEngine;
 use disparity_core::error::AnalysisError;
@@ -46,13 +46,17 @@ use disparity_model::json::{self, Value};
 use disparity_model::spec::{hash_canonical_text, Canonical, SystemSpec};
 use disparity_obs::flight::{self, EventKind};
 use disparity_obs::{Histogram, WindowedHistogram};
+use disparity_opt::{optimize_analyzed, BufferBudget, GlobalPlan, OptError, PlanRequest};
 use disparity_sched::schedulability::analyze;
+use disparity_sim::engine::{CommunicationSemantics, SimConfig, Simulator};
+use disparity_sim::exec::ExecutionTimeModel;
+use disparity_sim::fault::FaultPlan;
 
 use crate::cache::{BaseLookup, GraphEntry, ShardedCache};
 use crate::proto::{
     attach_trace, encode_backward_result, encode_buffer_result, encode_disparity_result,
-    method_str, ok_line_prerendered, response_line, Op, PanicKind, ProtoError, Request,
-    ResponseBody, Status, TraceId,
+    encode_optimize_result, method_str, ok_line_prerendered, response_line, Op, PanicKind,
+    ProtoError, Request, ResponseBody, Status, TraceId,
 };
 use crate::queue::{BoundedQueue, PushError};
 
@@ -153,6 +157,12 @@ pub struct Counters {
     pub patched: AtomicU64,
     /// `patch` requests answered verbatim from the response memo.
     pub patch_memo_hits: AtomicU64,
+    /// `optimize` requests that produced a validated plan.
+    pub optimized: AtomicU64,
+    /// Optimizer search states scored through the incremental engine.
+    pub opt_delta_scored: AtomicU64,
+    /// Optimizer search states scored through the cold pipeline.
+    pub opt_cold_scored: AtomicU64,
     /// Panics contained by the per-request isolation boundary (answered
     /// `internal_error`) plus worker deaths (unanswered).
     pub panics: AtomicU64,
@@ -849,6 +859,95 @@ impl Service {
                     .map_err(refusal_of)?;
                 Ok(encode_buffer_result(&entry.graph, &outcome))
             }
+            Op::Optimize {
+                spec,
+                base,
+                budget_slots,
+                targets,
+                backend,
+                seed,
+                allow_overbuffering,
+                method,
+                chain_limit,
+                sim_horizon_ms,
+            } => {
+                let entry = match (spec, base) {
+                    (Some(spec), None) => self.graph_entry(spec, canonical, *chain_limit)?,
+                    (None, Some(base)) => match self.cache.get_by_key(*base) {
+                        BaseLookup::Hit(entry) => entry,
+                        BaseLookup::Miss => {
+                            return Err(Refusal::Failed(format!(
+                                "unknown base {base:016x}: not cached (send the full spec once first)"
+                            )));
+                        }
+                        BaseLookup::Ambiguous => {
+                            return Err(Refusal::Failed(format!(
+                                "ambiguous base {base:016x}: several cached specs collide on this hash"
+                            )));
+                        }
+                    },
+                    // `Request::from_value` enforces exactly-one; a
+                    // hand-built Op that violates it is answered, not
+                    // panicked on.
+                    _ => {
+                        return Err(Refusal::Failed(
+                            "\"optimize\" needs exactly one of \"spec\" or \"base\"".into(),
+                        ));
+                    }
+                };
+                let config = AnalysisConfig {
+                    method: *method,
+                    chain_limit: *chain_limit,
+                };
+                // The optimizer re-analyzes candidate specs through its
+                // own incremental engine (cold fallback included), so like
+                // `buffer` it cannot thread the soft deadline's budget
+                // hook; the deadline is checked once planning returns.
+                let analyzed = AnalyzedSystem::analyze(entry.spec(), config)
+                    .map_err(|e| Refusal::Failed(format!("analysis failed: {e}")))?;
+                let plan_request = PlanRequest {
+                    budget: BufferBudget::slots(*budget_slots),
+                    targets: targets.clone(),
+                    seed: *seed,
+                    forbid_new_findings: !*allow_overbuffering,
+                };
+                let plan =
+                    optimize_analyzed(&analyzed, &plan_request, *backend).map_err(opt_refusal)?;
+                if deadline.is_some_and(|d| Instant::now() > d) {
+                    return Err(Refusal::Timeout);
+                }
+                bump(&self.counters.optimized);
+                self.counters
+                    .opt_delta_scored
+                    // conc: stats gauge; count, not ordering
+                    .fetch_add(plan.stats.delta_scored, Ordering::Relaxed);
+                self.counters
+                    .opt_cold_scored
+                    // conc: stats gauge; count, not ordering
+                    .fetch_add(plan.stats.cold_scored, Ordering::Relaxed);
+                disparity_obs::counter_add("service.optimized", 1);
+                // Re-admit the optimized spec through the same gates a
+                // full-spec request passes (diag gate included — a clean
+                // plan must stay admissible) and cache it so follow-up
+                // requests can address it by `optimized_spec_hash`.
+                let mut opt_spec = entry.spec().clone();
+                if let Err((index, e)) = apply_all(&mut opt_spec, &plan.edits()) {
+                    return Err(Refusal::Failed(format!("bad plan edit [{index}]: {e}")));
+                }
+                let canonical2 = opt_spec.canonical();
+                let opt_entry = match self.lookup_entry(&canonical2) {
+                    Some(e) => e,
+                    None => {
+                        self.diag_admit(&opt_spec, *chain_limit)?;
+                        self.cold_build(&opt_spec, &canonical2)?
+                    }
+                };
+                let sim = match sim_horizon_ms {
+                    None => None,
+                    Some(ms) => Some(sim_validate(&opt_entry, &plan, *ms, *seed)?),
+                };
+                Ok(encode_optimize_result(&plan, canonical2.hash, sim))
+            }
         }
     }
 
@@ -1092,6 +1191,9 @@ impl Service {
             ("cache_misses", uint(load(&c.cache_misses))),
             ("patched", uint(load(&c.patched))),
             ("patch_memo_hits", uint(load(&c.patch_memo_hits))),
+            ("optimized", uint(load(&c.optimized))),
+            ("opt_delta_scored", uint(load(&c.opt_delta_scored))),
+            ("opt_cold_scored", uint(load(&c.opt_cold_scored))),
             ("panics", uint(load(&c.panics))),
             ("quarantined", uint(load(&c.quarantined))),
             ("worker_respawns", uint(load(&c.worker_respawns))),
@@ -1304,6 +1406,69 @@ fn refusal_of(e: AnalysisError) -> Refusal {
         AnalysisError::BudgetExhausted => Refusal::Timeout,
         other => Refusal::Failed(format!("analysis failed: {other}")),
     }
+}
+
+fn opt_refusal(e: OptError) -> Refusal {
+    match e {
+        OptError::Analysis(AnalysisError::BudgetExhausted) => Refusal::Timeout,
+        other => Refusal::Failed(format!("optimize failed: {other}")),
+    }
+}
+
+/// Replays the optimized system in the discrete-event simulator and
+/// reports, per fusion task in the plan, the largest observed disparity
+/// against the certified bound. Seeded from the request, so repeated
+/// identical requests stay byte-identical.
+fn sim_validate(
+    entry: &GraphEntry,
+    plan: &GlobalPlan,
+    horizon_ms: u64,
+    seed: u64,
+) -> Result<Value, Refusal> {
+    let horizon = disparity_model::time::Duration::from_millis(
+        i64::try_from(horizon_ms).unwrap_or(i64::MAX),
+    );
+    let sim = Simulator::new(
+        &entry.graph,
+        SimConfig {
+            horizon,
+            exec_model: ExecutionTimeModel::Uniform,
+            seed,
+            warmup: disparity_model::time::Duration::from_nanos(horizon.as_nanos() / 5),
+            record_trace: false,
+            semantics: CommunicationSemantics::Implicit,
+            fault: FaultPlan::none(),
+        },
+    );
+    let outcome = sim
+        .run()
+        .map_err(|e| Refusal::Failed(format!("sim validation failed: {e}")))?;
+    let checks = plan
+        .predictions
+        .iter()
+        .map(|p| {
+            let observed = entry
+                .graph
+                .find_task(&p.task)
+                .and_then(|t| outcome.metrics.max_disparity(t));
+            json::object(vec![
+                ("task", Value::from(p.task.as_str())),
+                (
+                    "observed_ns",
+                    observed.map_or(Value::Null, |d| Value::Int(d.as_nanos())),
+                ),
+                (
+                    "within_bound",
+                    observed.map_or(Value::Null, |d| Value::Bool(d <= p.after)),
+                ),
+            ])
+        })
+        .collect();
+    Ok(json::object(vec![
+        ("horizon_ms", uint(horizon_ms)),
+        ("seed", uint(seed)),
+        ("checks", Value::Array(checks)),
+    ]))
 }
 
 impl From<AnalysisError> for Refusal {
